@@ -1,0 +1,43 @@
+//! E1 (criterion) — per-chain certificate → Datalog conversion cost,
+//! unoptimized (fact text + reparse) vs direct (in-memory facts).
+//!
+//! The paper reports ~2.4 ms mean unoptimized conversion (§3.1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nrslb_core::facts::{chain_facts, chain_facts_unoptimized};
+use nrslb_ctlog::{Corpus, CorpusConfig};
+use std::hint::black_box;
+
+fn bench_conversion(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig::paper_2022(2_000));
+    let chains: Vec<_> = (0..200).map(|i| corpus.chain_for_leaf(i * 7)).collect();
+
+    let mut group = c.benchmark_group("e1_conversion");
+    group.sample_size(30);
+    let mut idx = 0usize;
+    group.bench_function("unoptimized_text_reparse", |b| {
+        b.iter_batched(
+            || {
+                idx = (idx + 1) % chains.len();
+                chains[idx].clone()
+            },
+            |chain| black_box(chain_facts_unoptimized(&chain).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut idx = 0usize;
+    group.bench_function("direct_facts", |b| {
+        b.iter_batched(
+            || {
+                idx = (idx + 1) % chains.len();
+                chains[idx].clone()
+            },
+            |chain| black_box(chain_facts(&chain)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversion);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! E12 — splitting CA responsibility (paper §5.2).
+//!
+//! > "A more in-depth study could discover opportunities for splitting CA
+//! > certificate responsibility across multiple new, limited certificates.
+//! > For instance, if a CA exhibits a bi-modal scope of issuance, the CA
+//! > could potentially be split into two root certificates, each more
+//! > tightly constrained to its de facto scope."
+//!
+//! This binary runs that study over the calibrated corpus: for every
+//! issuing CA, detect bimodal TLD scopes and report how much a split
+//! would shrink the blast radius of a compromise (measured as the number
+//! of TLDs one compromised certificate could issue for, weighted by the
+//! CA's issuance volume).
+
+use nrslb_bench::{header, maybe_write_json, scale};
+use nrslb_ctlog::{Corpus, CorpusConfig};
+use nrslb_preemptive::gccgen::suggest_split;
+use nrslb_preemptive::scope::infer_scopes;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    cas_observed: usize,
+    cas_splittable_at_30pct: usize,
+    mean_scope_tlds_before: f64,
+    mean_scope_tlds_after: f64,
+    volume_weighted_blast_radius_before: f64,
+    volume_weighted_blast_radius_after: f64,
+}
+
+fn main() {
+    header(
+        "E12",
+        "bimodal CAs and the benefit of splitting",
+        "paper §5.2 (splitting CA certificate responsibility)",
+    );
+    let n = scale(100_000);
+    println!("generating corpus ({n} leaves)...");
+    let corpus = Corpus::generate(CorpusConfig::paper_2022(n));
+    let scopes = infer_scopes(&corpus.leaves);
+
+    let mut splittable = 0usize;
+    let mut before_sum = 0.0f64;
+    let mut after_sum = 0.0f64;
+    let mut blast_before = 0.0f64;
+    let mut blast_after = 0.0f64;
+    let mut total_leaves = 0.0f64;
+    let mut examples = Vec::new();
+    for (ca, scope) in &scopes {
+        let tlds_before = scope.tlds.len() as f64;
+        before_sum += tlds_before;
+        blast_before += tlds_before * scope.leaf_count as f64;
+        total_leaves += scope.leaf_count as f64;
+        match suggest_split(scope, 0.30) {
+            Some((a, b)) => {
+                splittable += 1;
+                // After a split, each certificate covers one bucket; the
+                // blast radius of compromising either is its own bucket
+                // size. Weight by the volume that bucket carries.
+                let vol = |bucket: &[String]| -> f64 {
+                    bucket
+                        .iter()
+                        .map(|t| *scope.tld_counts.get(t).unwrap_or(&0) as f64)
+                        .sum()
+                };
+                let (va, vb) = (vol(&a), vol(&b));
+                after_sum += (a.len().max(b.len())) as f64;
+                blast_after += a.len() as f64 * va + b.len() as f64 * vb;
+                if examples.len() < 3 && scope.tlds.len() >= 4 {
+                    examples.push((ca.clone(), a.len(), b.len(), scope.tlds.len()));
+                }
+            }
+            None => {
+                after_sum += tlds_before;
+                blast_after += tlds_before * scope.leaf_count as f64;
+            }
+        }
+    }
+    let n_cas = scopes.len();
+    let report = Report {
+        cas_observed: n_cas,
+        cas_splittable_at_30pct: splittable,
+        mean_scope_tlds_before: before_sum / n_cas as f64,
+        mean_scope_tlds_after: after_sum / n_cas as f64,
+        volume_weighted_blast_radius_before: blast_before / total_leaves,
+        volume_weighted_blast_radius_after: blast_after / total_leaves,
+    };
+
+    println!("issuing CAs observed:                     {n_cas}");
+    println!(
+        "bimodal (splittable at 30% share):        {} ({:.1}%)",
+        splittable,
+        splittable as f64 / n_cas as f64 * 100.0
+    );
+    println!(
+        "mean TLD scope per certificate:           {:.2} -> {:.2}",
+        report.mean_scope_tlds_before, report.mean_scope_tlds_after
+    );
+    println!(
+        "volume-weighted blast radius (TLDs a\n  compromised cert could issue for):      {:.2} -> {:.2}  ({:.0}% reduction)",
+        report.volume_weighted_blast_radius_before,
+        report.volume_weighted_blast_radius_after,
+        (1.0 - report.volume_weighted_blast_radius_after
+            / report.volume_weighted_blast_radius_before)
+            * 100.0
+    );
+    for (ca, a, b, total) in &examples {
+        println!("  example: {ca} — {total} TLDs -> buckets of {a} + {b}");
+    }
+    println!("\npaper shape: bimodal CAs exist and splitting them into per-scope");
+    println!("certificates (each with its own pre-emptive GCC) cuts the damage a");
+    println!("single compromised certificate can do.");
+    maybe_write_json(&report);
+}

@@ -1,0 +1,78 @@
+//! E1 — certificate → Datalog conversion time (paper §3.1).
+//!
+//! The paper: "we measured the time taken to convert ~100K certificates
+//! to their respective sets of Datalog statements and found that the mean
+//! (unoptimized) conversion time was ~2.4 ms."
+//!
+//! This binary converts `NRSLB_SCALE` (default 100 000) corpus chains
+//! through both pipelines:
+//!
+//! * **unoptimized** — build facts, pretty-print to Datalog text,
+//!   re-parse (the shape of a naive first implementation, and the one
+//!   whose cost the paper reports);
+//! * **direct** — in-memory fact construction.
+
+use nrslb_bench::{header, maybe_write_json, scale, Timer};
+use nrslb_core::facts::{chain_facts, chain_facts_unoptimized};
+use nrslb_ctlog::{Corpus, CorpusConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    chains: usize,
+    paper_mean_unoptimized_ms: f64,
+    mean_unoptimized_ms: f64,
+    mean_direct_ms: f64,
+    speedup: f64,
+    mean_facts_per_chain: f64,
+}
+
+fn main() {
+    header(
+        "E1",
+        "certificate-to-Datalog conversion time",
+        "paper §3.1 (~2.4 ms mean unoptimized conversion over ~100K certificates)",
+    );
+    let n = scale(100_000);
+    println!("generating corpus with {n} leaves...");
+    let corpus = Corpus::generate(CorpusConfig::paper_2022(n));
+
+    // Unoptimized path.
+    let timer = Timer::start();
+    let mut fact_count = 0usize;
+    for i in 0..n {
+        let chain = corpus.chain_for_leaf(i);
+        let program = chain_facts_unoptimized(&chain).expect("fact text parses");
+        fact_count += program.rules.len();
+    }
+    let unopt_ms = timer.millis() / n as f64;
+
+    // Direct path.
+    let timer = Timer::start();
+    let mut tuple_count = 0usize;
+    for i in 0..n {
+        let chain = corpus.chain_for_leaf(i);
+        tuple_count += chain_facts(&chain).len();
+    }
+    let direct_ms = timer.millis() / n as f64;
+
+    let report = Report {
+        chains: n,
+        paper_mean_unoptimized_ms: 2.4,
+        mean_unoptimized_ms: unopt_ms,
+        mean_direct_ms: direct_ms,
+        speedup: unopt_ms / direct_ms,
+        mean_facts_per_chain: fact_count as f64 / n as f64,
+    };
+    println!("chains converted:              {n}");
+    println!(
+        "mean facts per chain:          {:.1}",
+        report.mean_facts_per_chain
+    );
+    println!("paper mean (unoptimized):      2.4 ms / cert-chain");
+    println!("measured mean (unoptimized):   {unopt_ms:.4} ms / chain");
+    println!("measured mean (direct):        {direct_ms:.4} ms / chain");
+    println!("unoptimized/direct speedup:    {:.1}x", report.speedup);
+    assert_eq!(tuple_count, fact_count, "both paths agree on fact count");
+    maybe_write_json(&report);
+}

@@ -1,0 +1,89 @@
+//! E2 — pre-emptive constraint prevalence (paper §5.1).
+//!
+//! The paper's measurement (NSS roots as of 2022-07-19; intermediates
+//! from Nimbus2022/Argon2022/Argon2023/Xenon2023 non-expired as of
+//! 2022-08-02): 140 roots — 0 name-constrained, 5 path-length; 776
+//! intermediates — 701 path-length, 31 name-constrained; 6 roots in at
+//! least one chain with a name-constrained intermediate.
+//!
+//! This binary generates the calibrated corpus and **re-derives** the
+//! table by scanning certificates (issuer resolution by name matching),
+//! then prints paper-vs-measured.
+
+use nrslb_bench::{header, maybe_write_json, scale};
+use nrslb_ctlog::{Corpus, CorpusConfig};
+use nrslb_preemptive::scan::{scan_constraints, ConstraintPrevalence};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    metric: &'static str,
+    paper: usize,
+    measured: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    rows: Vec<Row>,
+}
+
+fn main() {
+    header(
+        "E2",
+        "constraint prevalence in roots and intermediates",
+        "paper §5.1 measurement, July/August 2022",
+    );
+    let n = scale(50_000);
+    println!("generating paper-calibrated corpus ({n} leaves)...");
+    let corpus = Corpus::generate(CorpusConfig::paper_2022(n));
+    let got = scan_constraints(&corpus.roots, &corpus.intermediates);
+    let paper = ConstraintPrevalence::paper_reported();
+
+    let rows = vec![
+        Row {
+            metric: "roots total",
+            paper: paper.n_roots,
+            measured: got.n_roots,
+        },
+        Row {
+            metric: "roots with name constraints",
+            paper: paper.roots_name_constrained,
+            measured: got.roots_name_constrained,
+        },
+        Row {
+            metric: "roots with path-length constraint",
+            paper: paper.roots_path_len,
+            measured: got.roots_path_len,
+        },
+        Row {
+            metric: "intermediates total",
+            paper: paper.n_intermediates,
+            measured: got.n_intermediates,
+        },
+        Row {
+            metric: "intermediates with path-length constraint",
+            paper: paper.ints_path_len,
+            measured: got.ints_path_len,
+        },
+        Row {
+            metric: "intermediates with name constraints",
+            paper: paper.ints_name_constrained,
+            measured: got.ints_name_constrained,
+        },
+        Row {
+            metric: "roots in >=1 chain with NC intermediate",
+            paper: paper.roots_with_nc_chain,
+            measured: got.roots_with_nc_chain,
+        },
+    ];
+    println!("{:<45} {:>8} {:>10}", "metric", "paper", "measured");
+    for row in &rows {
+        println!("{:<45} {:>8} {:>10}", row.metric, row.paper, row.measured);
+    }
+    let ok = rows.iter().all(|r| r.paper == r.measured);
+    println!(
+        "\nscan {} the paper's reported table",
+        if ok { "REPRODUCES" } else { "DIVERGES FROM" }
+    );
+    maybe_write_json(&Report { rows });
+}

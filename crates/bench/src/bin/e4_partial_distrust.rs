@@ -1,0 +1,79 @@
+//! E4 — partial-distrust fidelity: the Debian/Symantec dilemma (paper
+//! §2.3, Listing 2).
+//!
+//! Over a population of Symantec-era chains, a binary derivative must
+//! either keep the root (accepting everything the primary rejects) or
+//! remove it (rejecting everything the primary accepts — what forced
+//! Debian to revert). A GCC-capable derivative matches the primary
+//! exactly.
+
+use nrslb_bench::{header, maybe_write_json, scale};
+use nrslb_sim::{run_fidelity, FidelityConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    strategy: String,
+    legitimate_accepted: usize,
+    legitimate_total: usize,
+    attacks_accepted: usize,
+    attacks_total: usize,
+    wrongly_rejected: f64,
+    wrongly_accepted: f64,
+    matches_primary: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    rows: Vec<Row>,
+}
+
+fn main() {
+    header(
+        "E4",
+        "partial-distrust fidelity across derivative strategies",
+        "paper §2.3 (Debian's forced Symantec revert) + Listing 2",
+    );
+    let n = scale(240).min(800);
+    let config = FidelityConfig {
+        n_old_leaves: n / 2,
+        n_exempt_leaves: n / 6,
+        n_new_leaves: n / 3,
+    };
+    println!(
+        "population: {} pre-cutoff, {} exempt, {} post-cutoff chains",
+        config.n_old_leaves, config.n_exempt_leaves, config.n_new_leaves
+    );
+    let out = run_fidelity(config);
+    println!(
+        "\n{:<15} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "strategy", "legit ok", "attacks ok", "DoS rate", "vuln rate", "matches"
+    );
+    let mut rows = Vec::new();
+    for s in &out.per_strategy {
+        println!(
+            "{:<15} {:>7}/{:<4} {:>7}/{:<4} {:>10.3} {:>10.3} {:>8}",
+            s.strategy.to_string(),
+            s.stats.legitimate_accepted,
+            s.stats.legitimate_total,
+            s.stats.attacks_accepted,
+            s.stats.attacks_total,
+            s.wrongly_rejected,
+            s.wrongly_accepted,
+            s.stats.matches_primary()
+        );
+        rows.push(Row {
+            strategy: s.strategy.to_string(),
+            legitimate_accepted: s.stats.legitimate_accepted,
+            legitimate_total: s.stats.legitimate_total,
+            attacks_accepted: s.stats.attacks_accepted,
+            attacks_total: s.stats.attacks_total,
+            wrongly_rejected: s.wrongly_rejected,
+            wrongly_accepted: s.wrongly_accepted,
+            matches_primary: s.stats.matches_primary(),
+        });
+    }
+    println!("\npaper shape: binary-keep => vulnerable; binary-remove => DoS;");
+    println!("gcc => matches the primary on every chain.");
+    maybe_write_json(&Report { rows });
+}

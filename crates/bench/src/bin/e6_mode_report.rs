@@ -1,0 +1,116 @@
+//! E6 (report form) — median validation latency by GCC count and by
+//! deployment mode, in one table (the criterion bench
+//! `e6_validation_overhead` has the statistically careful version).
+
+use nrslb_bench::{header, maybe_write_json, Timer};
+use nrslb_core::daemon::{ephemeral_socket_path, TrustDaemon};
+use nrslb_core::{Usage, ValidationMode, Validator};
+use nrslb_rootstore::{Gcc, GccMetadata, RootStore};
+use nrslb_x509::testutil::simple_chain;
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct Row {
+    configuration: String,
+    median_us: f64,
+}
+
+fn median_us(mut run: impl FnMut()) -> f64 {
+    const N: usize = 60;
+    let mut samples = Vec::with_capacity(N);
+    for _ in 0..N {
+        let t = Timer::start();
+        run();
+        samples.push(t.secs() * 1e6);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[N / 2]
+}
+
+fn store_with_gccs(
+    n: usize,
+) -> (
+    RootStore,
+    nrslb_x509::Certificate,
+    Vec<nrslb_x509::Certificate>,
+    i64,
+) {
+    let pki = simple_chain("e6.example");
+    let mut store = RootStore::new("bench");
+    store.add_trusted(pki.root.clone()).unwrap();
+    for i in 0..n {
+        let src = format!(
+            "cutoff{i}(4000000000).\nvalid(Chain, _) :- leaf(Chain, C), notBefore(C, NB), cutoff{i}(T), NB < T."
+        );
+        store
+            .attach_gcc(
+                Gcc::parse(
+                    &format!("g{i}"),
+                    pki.root.fingerprint(),
+                    &src,
+                    GccMetadata::default(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+    }
+    (store, pki.leaf, vec![pki.intermediate], pki.now)
+}
+
+fn main() {
+    header(
+        "E6",
+        "validation latency by GCC count and deployment mode",
+        "paper §3.1 (GCC execution cost; user-agent vs platform vs redesign)",
+    );
+    let mut rows = Vec::new();
+    println!("{:<36} {:>12}", "configuration", "median (us)");
+    let mut report = |label: String, us: f64| {
+        println!("{label:<36} {us:>12.1}");
+        rows.push(Row {
+            configuration: label,
+            median_us: us,
+        });
+    };
+
+    for n in [0usize, 1, 2, 4, 8] {
+        let (store, leaf, pool, now) = store_with_gccs(n);
+        let v = Validator::new(store, ValidationMode::UserAgent);
+        let us = median_us(|| {
+            assert!(v
+                .validate(&leaf, &pool, Usage::Tls, now)
+                .unwrap()
+                .accepted());
+        });
+        report(format!("user-agent, {n} GCC(s)"), us);
+    }
+
+    let (store, leaf, pool, now) = store_with_gccs(2);
+    let daemon = TrustDaemon::spawn(store.clone(), ephemeral_socket_path("e6report")).unwrap();
+    let platform = Validator::new(
+        store.clone(),
+        ValidationMode::Platform(Arc::new(daemon.client())),
+    );
+    let us = median_us(|| {
+        assert!(platform
+            .validate(&leaf, &pool, Usage::Tls, now)
+            .unwrap()
+            .accepted());
+    });
+    report("platform daemon (IPC), 2 GCCs".into(), us);
+
+    let hammurabi = Validator::new(store, ValidationMode::Hammurabi);
+    let us = median_us(|| {
+        assert!(hammurabi
+            .validate(&leaf, &pool, Usage::Tls, now)
+            .unwrap()
+            .accepted());
+    });
+    report("hammurabi (full Datalog), 2 GCCs".into(), us);
+
+    println!("\nshape: each GCC adds one fact conversion + a small Datalog run;");
+    println!("IPC adds a socket round trip; the full-Datalog redesign pays one");
+    println!("larger evaluation that subsumes all standard checks.");
+    maybe_write_json(&rows);
+}

@@ -1,0 +1,187 @@
+//! E7 — the paper's three listings, executed verbatim.
+//!
+//! Listing 1 (TrustCor date/usage + EV), Listing 2 (Symantec date +
+//! exempt intermediates) and Listing 3 (pre-emptive lifetime/EKU/KU
+//! constraint) are run against fixture chains; the table shows each
+//! case's expected and observed verdicts.
+
+use nrslb_bench::{header, maybe_write_json};
+use nrslb_core::{evaluate_gcc, Usage};
+use nrslb_incidents::catalog::{symantec, trustcor};
+use nrslb_incidents::pki::{intermediate_ca, leaf_opts, root_ca};
+use nrslb_rootstore::{Gcc, GccMetadata};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Case {
+    listing: &'static str,
+    case: String,
+    usage: String,
+    expected: bool,
+    observed: bool,
+}
+
+fn main() {
+    header(
+        "E7",
+        "paper Listings 1-3 executed verbatim",
+        "paper §3 and §5.2",
+    );
+    let mut cases: Vec<Case> = Vec::new();
+
+    // ---- Listing 1: TrustCor ----
+    let root = root_ca("L1 TrustCor Root", 0x50);
+    let int = intermediate_ca("L1 TrustCor Issuing", 0x51, &root);
+    let gcc = Gcc::parse(
+        "listing-1",
+        root.cert.fingerprint(),
+        trustcor::LISTING_1_SOURCE,
+        GccMetadata::default(),
+    )
+    .expect("Listing 1 parses");
+    let cutoff = 1_669_784_400i64;
+    let pre = leaf_opts("a.example", &int, cutoff - 1_000_000, 4_000_000_000, false);
+    let pre_ev = leaf_opts("b.example", &int, cutoff - 1_000_000, 4_000_000_000, true);
+    let post = leaf_opts("c.example", &int, cutoff + 1_000_000, 4_000_000_000, false);
+    for (label, l, usage, expected) in [
+        ("pre-cutoff non-EV", &pre, Usage::Tls, true),
+        ("pre-cutoff non-EV", &pre, Usage::SMime, true),
+        ("pre-cutoff EV", &pre_ev, Usage::Tls, false),
+        ("pre-cutoff EV", &pre_ev, Usage::SMime, true),
+        ("post-cutoff", &post, Usage::Tls, false),
+        ("post-cutoff", &post, Usage::SMime, false),
+    ] {
+        let chain = vec![l.clone(), int.cert.clone(), root.cert.clone()];
+        let observed = evaluate_gcc(&gcc, &chain, usage).expect("evaluation");
+        cases.push(Case {
+            listing: "Listing 1 (TrustCor)",
+            case: label.to_string(),
+            usage: usage.to_string(),
+            expected,
+            observed,
+        });
+    }
+
+    // ---- Listing 2: Symantec ----
+    let root = root_ca("L2 Symantec Root", 0x54);
+    let normal = intermediate_ca("L2 Symantec Issuing", 0x55, &root);
+    let exempt = intermediate_ca("L2 Apple IST", 0x56, &root);
+    let gcc = Gcc::parse(
+        "listing-2",
+        root.cert.fingerprint(),
+        &symantec::listing_2_source(&exempt.cert.fingerprint().to_hex()),
+        GccMetadata::default(),
+    )
+    .expect("Listing 2 parses");
+    let june2016 = 1_464_753_600i64;
+    let old = leaf_opts(
+        "old.example",
+        &normal,
+        june2016 - 1_000_000,
+        4_000_000_000,
+        false,
+    );
+    let new = leaf_opts(
+        "new.example",
+        &normal,
+        june2016 + 1_000_000,
+        4_000_000_000,
+        false,
+    );
+    let apple = leaf_opts(
+        "apple.example",
+        &exempt,
+        june2016 + 1_000_000,
+        4_000_000_000,
+        false,
+    );
+    for (label, l, pool, expected) in [
+        ("pre-2016 leaf, ordinary intermediate", &old, &normal, true),
+        (
+            "post-2016 leaf, ordinary intermediate",
+            &new,
+            &normal,
+            false,
+        ),
+        ("post-2016 leaf, exempt intermediate", &apple, &exempt, true),
+    ] {
+        let chain = vec![l.clone(), pool.cert.clone(), root.cert.clone()];
+        let observed = evaluate_gcc(&gcc, &chain, Usage::Tls).expect("evaluation");
+        cases.push(Case {
+            listing: "Listing 2 (Symantec)",
+            case: label.to_string(),
+            usage: "TLS".into(),
+            expected,
+            observed,
+        });
+    }
+
+    // ---- Listing 3: pre-emptive constraint ----
+    const LISTING_3: &str = r#"
+oneMonthInSeconds(2630000).
+lifetimeValid(Leaf) :-
+  notBefore(Leaf, NB), % Get the leaf's notBefore date
+  notAfter(Leaf, NA), % Get the leaf's notAfter date
+  Lifetime = NA - NB, % Calculate leaf's lifetime
+  oneMonthInSeconds(Limit), % Get one month (in seconds)
+  Lifetime <= Limit. % Holds if leaf lifetime is < one month
+validUsage(Leaf) :-
+  extendedKeyUsage(Leaf, "id-kp-serverAuth"),
+  keyUsage(Leaf, "digitalSignature").
+valid(Chain, "TLS") :- % Valid TLS usage only
+  leaf(Chain, Cert), % Get the chain's leaf certificate
+  lifetimeValid(Cert), % Holds if leaf lifetime is valid
+  validUsage(Cert).
+"#;
+    let root = root_ca("L3 Hypothetical Root", 0x58);
+    let int = intermediate_ca("L3 Issuing", 0x59, &root);
+    let gcc = Gcc::parse(
+        "listing-3",
+        root.cert.fingerprint(),
+        LISTING_3,
+        GccMetadata::default(),
+    )
+    .expect("Listing 3 parses");
+    let short = leaf_opts("s.example", &int, 0, 2_000_000, false);
+    let long = leaf_opts("l.example", &int, 0, 90 * 86_400, false);
+    for (label, l, usage, expected) in [
+        ("one-month leaf", &short, Usage::Tls, true),
+        ("90-day leaf", &long, Usage::Tls, false),
+        ("one-month leaf, S/MIME", &short, Usage::SMime, false),
+    ] {
+        let chain = vec![l.clone(), int.cert.clone(), root.cert.clone()];
+        let observed = evaluate_gcc(&gcc, &chain, usage).expect("evaluation");
+        cases.push(Case {
+            listing: "Listing 3 (pre-emptive)",
+            case: label.to_string(),
+            usage: usage.to_string(),
+            expected,
+            observed,
+        });
+    }
+
+    // ---- Report ----
+    println!(
+        "{:<24} {:<40} {:<8} {:>9} {:>9}",
+        "listing", "case", "usage", "expected", "observed"
+    );
+    let mut all_ok = true;
+    for c in &cases {
+        let ok = c.expected == c.observed;
+        all_ok &= ok;
+        println!(
+            "{:<24} {:<40} {:<8} {:>9} {:>9}{}",
+            c.listing,
+            c.case,
+            c.usage,
+            c.expected,
+            c.observed,
+            if ok { "" } else { "  <-- MISMATCH" }
+        );
+    }
+    println!(
+        "\nall listings {} the paper's semantics",
+        if all_ok { "REPRODUCE" } else { "DIVERGE FROM" }
+    );
+    maybe_write_json(&cases);
+}

@@ -1,0 +1,113 @@
+//! E8 — RSF merging and conflict flagging (paper §4).
+//!
+//! Re-creates the Amazon Linux episode Ma et al. report: a derivative
+//! re-added 16 root certificates after NSS had explicitly removed them.
+//! The merge must flag all 16 as conflicts (primary-distrusted vs
+//! derivative-trusted) under either resolution policy.
+
+use nrslb_bench::{header, maybe_write_json};
+use nrslb_rootstore::{RootStore, TrustStatus};
+use nrslb_rsf::merge::MergePolicy;
+use nrslb_rsf::merge_stores;
+use nrslb_x509::builder::{CaKey, CertificateBuilder};
+use nrslb_x509::DistinguishedName;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    removed_by_primary: usize,
+    readded_by_derivative: usize,
+    conflicts_flagged_primary_wins: usize,
+    conflicts_flagged_derivative_wins: usize,
+    merged_trusted_primary_wins: usize,
+    merged_trusted_derivative_wins: usize,
+}
+
+fn make_root(i: usize) -> nrslb_x509::Certificate {
+    let key = CaKey::from_seed(
+        DistinguishedName::common_name(&format!("E8 Root {i:02}")),
+        {
+            let mut seed = [0xa5u8; 32];
+            seed[0] = i as u8;
+            seed
+        },
+        4,
+    )
+    .unwrap();
+    CertificateBuilder::new()
+        .validity_window(0, 4_000_000_000)
+        .ca(None)
+        .build_self_signed(&key)
+        .unwrap()
+}
+
+fn main() {
+    header(
+        "E8",
+        "RSF merge: Amazon Linux re-adding NSS-removed roots",
+        "paper §4 (16 roots re-added after explicit NSS removal)",
+    );
+    const N_SHARED: usize = 10;
+    const N_REMOVED: usize = 16;
+
+    println!("building stores ({N_SHARED} shared roots, {N_REMOVED} removed/re-added)...");
+    let shared: Vec<_> = (0..N_SHARED).map(make_root).collect();
+    let contested: Vec<_> = (N_SHARED..N_SHARED + N_REMOVED).map(make_root).collect();
+
+    let mut primary = RootStore::new("nss");
+    for cert in &shared {
+        primary.add_trusted(cert.clone()).unwrap();
+    }
+    for cert in &contested {
+        primary.distrust(cert.fingerprint(), "removed after incident review");
+    }
+
+    let mut derivative = RootStore::new("amazon-linux");
+    for cert in shared.iter().chain(&contested) {
+        derivative.add_trusted(cert.clone()).unwrap();
+    }
+
+    let pw = merge_stores("merged-pw", &primary, &derivative, MergePolicy::PrimaryWins);
+    let dw = merge_stores(
+        "merged-dw",
+        &primary,
+        &derivative,
+        MergePolicy::DerivativeWins,
+    );
+
+    println!(
+        "\nconflicts flagged (primary-wins policy):    {}",
+        pw.conflicts.len()
+    );
+    println!(
+        "conflicts flagged (derivative-wins policy): {}",
+        dw.conflicts.len()
+    );
+    println!(
+        "merged trusted set (primary wins):          {}",
+        pw.merged.len()
+    );
+    println!(
+        "merged trusted set (derivative wins):       {}",
+        dw.merged.len()
+    );
+    let pw_distrusted = contested
+        .iter()
+        .filter(|c| pw.merged.status(&c.fingerprint()) == TrustStatus::Distrusted)
+        .count();
+    println!("contested roots distrusted after primary-wins merge: {pw_distrusted}/{N_REMOVED}");
+    println!("\npaper shape: the attempted merge flags an issue to the operator");
+    println!("for every root in the primary's distrusted set but the");
+    println!("derivative's trusted set — conflicts are never silent.");
+
+    assert_eq!(pw.conflicts.len(), N_REMOVED);
+    assert_eq!(dw.conflicts.len(), N_REMOVED);
+    maybe_write_json(&Report {
+        removed_by_primary: N_REMOVED,
+        readded_by_derivative: N_REMOVED,
+        conflicts_flagged_primary_wins: pw.conflicts.len(),
+        conflicts_flagged_derivative_wins: dw.conflicts.len(),
+        merged_trusted_primary_wins: pw.merged.len(),
+        merged_trusted_derivative_wins: dw.merged.len(),
+    });
+}

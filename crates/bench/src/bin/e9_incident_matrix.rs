@@ -1,0 +1,71 @@
+//! E9 — the incident × strategy matrix (paper §2.2–§2.3).
+//!
+//! For each of the seven historical incidents, evaluate the three
+//! derivative strategies. The paper's argument holds when, for every
+//! incident, binary-keep is vulnerable, binary-remove causes collateral
+//! denial of service, and only the GCC matches the primary.
+
+use nrslb_bench::{header, maybe_write_json};
+use nrslb_incidents::{all_incidents, evaluate_scenario, DerivativeStrategy};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    incident: &'static str,
+    year: u16,
+    strategy: String,
+    vulnerable: bool,
+    denial_of_service: bool,
+    matches_primary: bool,
+}
+
+fn main() {
+    header(
+        "E9",
+        "seven incidents x three derivative strategies",
+        "paper §2.2 (incident review) and §2.3 (derivative dilemma)",
+    );
+    let mut cells = Vec::new();
+    println!(
+        "{:<12} {:<6} {:<15} {:>11} {:>6} {:>9}",
+        "incident", "year", "strategy", "vulnerable", "DoS", "matches"
+    );
+    let mut gcc_matches_everywhere = true;
+    for spec in all_incidents() {
+        let scenario = (spec.build)();
+        for strategy in [
+            DerivativeStrategy::BinaryKeep,
+            DerivativeStrategy::BinaryRemove,
+            DerivativeStrategy::Gcc,
+        ] {
+            let stats = evaluate_scenario(&scenario, strategy);
+            if strategy == DerivativeStrategy::Gcc {
+                gcc_matches_everywhere &= stats.matches_primary();
+            }
+            println!(
+                "{:<12} {:<6} {:<15} {:>11} {:>6} {:>9}",
+                spec.id,
+                spec.year,
+                strategy.to_string(),
+                stats.vulnerable(),
+                stats.denial_of_service(),
+                stats.matches_primary()
+            );
+            cells.push(Cell {
+                incident: spec.id,
+                year: spec.year,
+                strategy: strategy.to_string(),
+                vulnerable: stats.vulnerable(),
+                denial_of_service: stats.denial_of_service(),
+                matches_primary: stats.matches_primary(),
+            });
+        }
+    }
+    println!("\nincident details:");
+    for spec in all_incidents() {
+        println!("  {} ({}): {}", spec.id, spec.year, spec.description);
+        println!("      response: {}", spec.response);
+    }
+    println!("\nGCC strategy matches the primary on all seven incidents: {gcc_matches_everywhere}");
+    maybe_write_json(&cells);
+}

@@ -1,0 +1,59 @@
+//! # `nrslb-bench` — the experiment harness
+//!
+//! One binary per experiment in DESIGN.md §4 (run with
+//! `cargo run --release -p nrslb-bench --bin <name>`), plus Criterion
+//! benches for the timing experiments (`cargo bench -p nrslb-bench`).
+//!
+//! Every binary prints a human-readable table and, when the
+//! `NRSLB_JSON` environment variable is set, writes a JSON report to
+//! that path so EXPERIMENTS.md numbers are reproducible artifacts.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// Scale knob: most binaries honour `NRSLB_SCALE` (a leaf/chain count).
+pub fn scale(default: usize) -> usize {
+    std::env::var("NRSLB_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Emit a JSON report next to the printed table when `NRSLB_JSON` is set.
+pub fn maybe_write_json<T: Serialize>(report: &T) {
+    if let Ok(path) = std::env::var("NRSLB_JSON") {
+        let json = serde_json::to_string_pretty(report).expect("report serializes");
+        std::fs::write(&path, json).unwrap_or_else(|e| eprintln!("write {path}: {e}"));
+        eprintln!("json report written to {path}");
+    }
+}
+
+/// Print a header for an experiment section.
+pub fn header(id: &str, title: &str, anchor: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("paper anchor: {anchor}");
+    println!("================================================================");
+}
+
+/// A simple monotonic timer for report binaries (criterion handles the
+/// statistically careful timing).
+pub struct Timer(std::time::Instant);
+
+impl Timer {
+    /// Start timing.
+    pub fn start() -> Timer {
+        Timer(std::time::Instant::now())
+    }
+
+    /// Elapsed seconds.
+    pub fn secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+
+    /// Elapsed milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.0.elapsed().as_secs_f64() * 1e3
+    }
+}

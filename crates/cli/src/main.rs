@@ -1,0 +1,10 @@
+//! The `nrslb` binary: thin wrapper over [`nrslb_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Err(e) = nrslb_cli::run(args, &mut stdout) {
+        eprintln!("nrslb: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Minimal `--flag value` argument parsing (no external crates).
+
+use crate::CliError;
+use std::collections::BTreeMap;
+
+/// Parsed arguments: positional words plus `--key value` options.
+#[derive(Debug, Default)]
+pub struct Opts {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    options: BTreeMap<String, String>,
+}
+
+impl Opts {
+    /// Parse from an argument iterator (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, CliError> {
+        let mut out = Opts::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
+                if out.options.insert(key.to_string(), value).is_some() {
+                    return Err(CliError::Usage(format!("--{key} given twice")));
+                }
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Required option.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.options
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| CliError::Usage(format!("--{key} is required")))
+    }
+
+    /// Optional option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Optional with default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Opts, CliError> {
+        Opts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let opts = parse(&["store", "new", "--out", "x.rsf", "--name", "mine"]).unwrap();
+        assert_eq!(opts.positional, vec!["store", "new"]);
+        assert_eq!(opts.require("out").unwrap(), "x.rsf");
+        assert_eq!(opts.get_or("name", "d"), "mine");
+        assert_eq!(opts.get_or("missing", "d"), "d");
+        assert!(opts.require("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(parse(&["--out"]).is_err());
+        assert!(parse(&["--out", "a", "--out", "b"]).is_err());
+    }
+}

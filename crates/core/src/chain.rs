@@ -1,0 +1,273 @@
+//! Candidate-chain construction: from a leaf and a pool of intermediates
+//! to every structurally possible path ending at a trusted root.
+//!
+//! Chain *building* is purely structural (issuer/subject name chaining,
+//! cycle avoidance, depth limit); all semantic checks (signatures,
+//! validity, constraints, GCCs) happen in [`crate::validate`], which
+//! walks the candidates in order and may reject some and accept a later
+//! one — the "continue building" behaviour the paper requires when a GCC
+//! rejects a candidate (§3.1).
+
+use nrslb_rootstore::RootStore;
+use nrslb_x509::Certificate;
+use std::collections::HashSet;
+
+/// Maximum chain length (leaf + intermediates + root) explored.
+pub const DEFAULT_MAX_DEPTH: usize = 8;
+
+/// Errors from chain building.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// The leaf certificate is itself a trusted root; chains must have
+    /// at least a leaf and a root.
+    LeafIsRoot,
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::LeafIsRoot => write!(f, "leaf certificate is a trusted root"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// Builds candidate chains from a leaf toward the trusted roots of a
+/// store, through a pool of intermediate certificates.
+pub struct ChainBuilder<'a> {
+    store: &'a RootStore,
+    intermediates: &'a [Certificate],
+    max_depth: usize,
+}
+
+impl<'a> ChainBuilder<'a> {
+    /// Create a builder over `store` and an intermediate pool.
+    pub fn new(store: &'a RootStore, intermediates: &'a [Certificate]) -> ChainBuilder<'a> {
+        ChainBuilder {
+            store,
+            intermediates,
+            max_depth: DEFAULT_MAX_DEPTH,
+        }
+    }
+
+    /// Override the depth limit.
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// All candidate chains for `leaf`, leaf first and root last, in
+    /// depth-first discovery order (shorter chains first among branches
+    /// explored at the same point).
+    ///
+    /// Every returned chain ends in a certificate from the store's
+    /// *trusted* set. Distrusted and unknown roots never appear.
+    pub fn candidate_chains(&self, leaf: &Certificate) -> Vec<Vec<Certificate>> {
+        let mut out = Vec::new();
+        let mut path = vec![leaf.clone()];
+        let mut visited: HashSet<_> = [leaf.fingerprint()].into();
+        self.extend(&mut path, &mut visited, &mut out);
+        // Prefer shorter chains: stable sort preserves discovery order
+        // among equal lengths.
+        out.sort_by_key(|c| c.len());
+        out
+    }
+
+    fn extend(
+        &self,
+        path: &mut Vec<Certificate>,
+        visited: &mut HashSet<nrslb_crypto::sha256::Digest>,
+        out: &mut Vec<Vec<Certificate>>,
+    ) {
+        let current = path.last().expect("path never empty").clone();
+        // Candidate roots: trusted certs whose subject matches the
+        // current cert's issuer (skipping the degenerate case where the
+        // "root" is the current certificate itself re-added).
+        for root in self.store.roots_by_subject(current.issuer()) {
+            if root.fingerprint() == current.fingerprint() {
+                continue;
+            }
+            let mut chain = path.clone();
+            chain.push(root.clone());
+            out.push(chain);
+        }
+        if path.len() + 1 >= self.max_depth {
+            return;
+        }
+        // Candidate intermediates.
+        for cand in self.intermediates {
+            if cand.subject() != current.issuer() {
+                continue;
+            }
+            if !visited.insert(cand.fingerprint()) {
+                continue; // cycle or duplicate
+            }
+            path.push(cand.clone());
+            self.extend(path, visited, out);
+            path.pop();
+            visited.remove(&cand.fingerprint());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrslb_x509::builder::{CaKey, CertificateBuilder};
+    use nrslb_x509::testutil::simple_chain;
+    use nrslb_x509::DistinguishedName;
+
+    #[test]
+    fn finds_the_simple_chain() {
+        let pki = simple_chain("build.example");
+        let mut store = RootStore::new("test");
+        store.add_trusted(pki.root.clone()).unwrap();
+        let pool = vec![pki.intermediate.clone()];
+        let builder = ChainBuilder::new(&store, &pool);
+        let chains = builder.candidate_chains(&pki.leaf);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].len(), 3);
+        assert_eq!(chains[0][0], pki.leaf);
+        assert_eq!(chains[0][2], pki.root);
+    }
+
+    #[test]
+    fn no_chain_without_intermediate() {
+        let pki = simple_chain("nopath.example");
+        let mut store = RootStore::new("test");
+        store.add_trusted(pki.root.clone()).unwrap();
+        let builder = ChainBuilder::new(&store, &[]);
+        assert!(builder.candidate_chains(&pki.leaf).is_empty());
+    }
+
+    #[test]
+    fn no_chain_to_distrusted_root() {
+        let pki = simple_chain("distrusted.example");
+        let mut store = RootStore::new("test");
+        store.add_trusted(pki.root.clone()).unwrap();
+        store.distrust(pki.root.fingerprint(), "incident");
+        let pool = vec![pki.intermediate.clone()];
+        let builder = ChainBuilder::new(&store, &pool);
+        assert!(builder.candidate_chains(&pki.leaf).is_empty());
+    }
+
+    #[test]
+    fn multiple_paths_cross_signed() {
+        // Two roots with the *same subject DN* but different keys, both
+        // trusted: cross-signing produces two candidate chains.
+        let pki = simple_chain("cross.example");
+        let alt_root_key = CaKey::from_seed(pki.root_key.name().clone(), [0x77; 32], 6).unwrap();
+        let alt_root = CertificateBuilder::new()
+            .validity_window(0, 4_000_000_000)
+            .ca(None)
+            .build_self_signed(&alt_root_key)
+            .unwrap();
+        let mut store = RootStore::new("test");
+        store.add_trusted(pki.root.clone()).unwrap();
+        store.add_trusted(alt_root).unwrap();
+        let pool = vec![pki.intermediate.clone()];
+        let builder = ChainBuilder::new(&store, &pool);
+        let chains = builder.candidate_chains(&pki.leaf);
+        assert_eq!(chains.len(), 2);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        // A long chain of intermediates: i1 <- i2 <- ... <- i6.
+        let root_key = CaKey::generate_for_tests("Deep Root", 0xd0);
+        let root = CertificateBuilder::new()
+            .validity_window(0, 4_000_000_000)
+            .ca(None)
+            .build_self_signed(&root_key)
+            .unwrap();
+        let mut store = RootStore::new("test");
+        store.add_trusted(root).unwrap();
+
+        let mut keys = vec![root_key];
+        let mut pool = Vec::new();
+        for i in 0..6 {
+            let key = CaKey::generate_for_tests(&format!("Deep Int {i}"), 0xd1 + i as u8);
+            let cert = CertificateBuilder::new()
+                .subject(key.name().clone())
+                .subject_key(key.public())
+                .validity_window(0, 4_000_000_000)
+                .ca(None)
+                .build_signed_by(keys.last().unwrap())
+                .unwrap();
+            pool.push(cert);
+            keys.push(key);
+        }
+        let leaf = CertificateBuilder::new()
+            .subject(DistinguishedName::common_name("deep.example"))
+            .dns_names(&["deep.example"])
+            .validity_window(0, 4_000_000_000)
+            .build_signed_by(keys.last().unwrap())
+            .unwrap();
+
+        let builder = ChainBuilder::new(&store, &pool); // default depth 8
+        assert_eq!(builder.candidate_chains(&leaf).len(), 1); // 1 leaf + 6 ints + root = 8
+
+        let builder = ChainBuilder::new(&store, &pool).with_max_depth(7);
+        assert!(builder.candidate_chains(&leaf).is_empty());
+    }
+
+    #[test]
+    fn cycles_do_not_hang() {
+        // Two intermediates that issue each other.
+        let ka = CaKey::generate_for_tests("Cycle A", 0xe0);
+        let kb = CaKey::generate_for_tests("Cycle B", 0xe1);
+        let a_by_b = CertificateBuilder::new()
+            .subject(ka.name().clone())
+            .subject_key(ka.public())
+            .validity_window(0, 4_000_000_000)
+            .ca(None)
+            .build_signed_by(&kb)
+            .unwrap();
+        let b_by_a = CertificateBuilder::new()
+            .subject(kb.name().clone())
+            .subject_key(kb.public())
+            .validity_window(0, 4_000_000_000)
+            .ca(None)
+            .build_signed_by(&ka)
+            .unwrap();
+        let leaf = CertificateBuilder::new()
+            .subject(DistinguishedName::common_name("cycle.example"))
+            .validity_window(0, 4_000_000_000)
+            .build_signed_by(&ka)
+            .unwrap();
+        let store = RootStore::new("empty");
+        let pool = vec![a_by_b, b_by_a];
+        let builder = ChainBuilder::new(&store, &pool);
+        assert!(builder.candidate_chains(&leaf).is_empty()); // terminates
+    }
+
+    #[test]
+    fn shorter_chains_sort_first() {
+        // Leaf directly issued by a root that also cross-signs an
+        // intermediate with the same name... simpler: leaf signed by root
+        // directly AND via an intermediate with identical subject as root.
+        let pki = simple_chain("short-first.example");
+        let mut store = RootStore::new("test");
+        store.add_trusted(pki.root.clone()).unwrap();
+        // Intermediate whose subject equals the root's subject, signed by
+        // the root: creates a longer alternative path.
+        let shadow = CertificateBuilder::new()
+            .subject(pki.root.subject().clone())
+            .subject_key(pki.intermediate_key.public())
+            .validity_window(0, 4_000_000_000)
+            .ca(None)
+            .build_signed_by(&pki.root_key)
+            .unwrap();
+        let direct_leaf = CertificateBuilder::new()
+            .subject(DistinguishedName::common_name("direct.example"))
+            .validity_window(0, 4_000_000_000)
+            .build_signed_by(&pki.root_key)
+            .unwrap();
+        let pool = vec![shadow];
+        let builder = ChainBuilder::new(&store, &pool);
+        let chains = builder.candidate_chains(&direct_leaf);
+        assert_eq!(chains.len(), 2);
+        assert!(chains[0].len() < chains[1].len());
+    }
+}

@@ -1,0 +1,371 @@
+//! The *platform execution* deployment mode (§3.1): a system trust
+//! daemon — the moral equivalent of macOS's `trustd` — that owns the
+//! platform root store and evaluates GCCs on behalf of TLS user-agents.
+//!
+//! The daemon listens on a Unix-domain socket. A user-agent mid-chain-
+//! construction sends the candidate chain plus the requested usage; the
+//! daemon converts the chain to Datalog statements, executes all GCCs
+//! attached to the candidate root, and returns the per-GCC verdicts. The
+//! user-agent proceeds with chain construction, "building a new chain if
+//! the daemon responded false".
+//!
+//! ## Wire protocol
+//!
+//! Little-endian, length-prefixed:
+//!
+//! ```text
+//! request  := u8 opcode(1=evaluate) u8 usage(0=TLS,1=S/MIME)
+//!             u32 n_certs  (u32 len, bytes der)*
+//! response := u8 status(0=ok,1=error)
+//!             ok:    u32 n_verdicts (u8 accepted, u32 len, bytes name)*
+//!             error: u32 len, bytes message
+//! ```
+
+use crate::gcc_eval::GccVerdict;
+use crate::validate::{GccOracle, InProcessOracle};
+use crate::CoreError;
+use nrslb_rootstore::{RootStore, Usage};
+use nrslb_x509::Certificate;
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+const OP_EVALUATE: u8 = 1;
+const STATUS_OK: u8 = 0;
+const STATUS_ERR: u8 = 1;
+/// Upper bound on any length field, to bound allocations from hostile
+/// peers (a trust daemon is security-critical infrastructure).
+const MAX_LEN: u32 = 16 * 1024 * 1024;
+
+fn write_u32(w: &mut impl Write, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u8(r: &mut impl Read) -> std::io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u32(r: &mut impl Read) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_block(r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let len = read_u32(r)?;
+    if len > MAX_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "length field exceeds limit",
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn usage_to_byte(usage: Usage) -> u8 {
+    match usage {
+        Usage::Tls => 0,
+        Usage::SMime => 1,
+    }
+}
+
+fn usage_from_byte(b: u8) -> Option<Usage> {
+    match b {
+        0 => Some(Usage::Tls),
+        1 => Some(Usage::SMime),
+        _ => None,
+    }
+}
+
+/// A running trust daemon; dropping the handle shuts it down.
+pub struct TrustDaemon {
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TrustDaemon {
+    /// Bind `socket_path` and serve GCC evaluations for `store`.
+    pub fn spawn(store: RootStore, socket_path: impl AsRef<Path>) -> std::io::Result<TrustDaemon> {
+        let path = socket_path.as_ref().to_path_buf();
+        // Remove a stale socket from a previous run.
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let oracle = Arc::new(InProcessOracle::new(store));
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let oracle = oracle.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &*oracle);
+                });
+            }
+        });
+        Ok(TrustDaemon {
+            path,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The socket path clients should connect to.
+    pub fn socket_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Create a client for this daemon.
+    pub fn client(&self) -> DaemonClient {
+        DaemonClient::new(&self.path)
+    }
+}
+
+impl Drop for TrustDaemon {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop.
+        let _ = UnixStream::connect(&self.path);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn serve_connection(mut stream: UnixStream, oracle: &dyn GccOracle) -> std::io::Result<()> {
+    // Serve requests until the peer closes the connection.
+    loop {
+        let opcode = match read_u8(&mut stream) {
+            Ok(op) => op,
+            Err(_) => return Ok(()), // peer hung up
+        };
+        let reply = handle_request(opcode, &mut stream, oracle);
+        match reply {
+            Ok(verdicts) => {
+                stream.write_all(&[STATUS_OK])?;
+                write_u32(&mut stream, verdicts.len() as u32)?;
+                for v in verdicts {
+                    stream.write_all(&[u8::from(v.accepted)])?;
+                    write_u32(&mut stream, v.gcc_name.len() as u32)?;
+                    stream.write_all(v.gcc_name.as_bytes())?;
+                }
+            }
+            Err(message) => {
+                stream.write_all(&[STATUS_ERR])?;
+                write_u32(&mut stream, message.len() as u32)?;
+                stream.write_all(message.as_bytes())?;
+            }
+        }
+        stream.flush()?;
+    }
+}
+
+fn handle_request(
+    opcode: u8,
+    stream: &mut UnixStream,
+    oracle: &dyn GccOracle,
+) -> Result<Vec<GccVerdict>, String> {
+    if opcode != OP_EVALUATE {
+        return Err(format!("unknown opcode {opcode}"));
+    }
+    let usage = read_u8(stream)
+        .ok()
+        .and_then(usage_from_byte)
+        .ok_or("bad usage byte")?;
+    let n = read_u32(stream).map_err(|e| e.to_string())?;
+    if n > 64 {
+        return Err("chain too long".to_string());
+    }
+    let mut chain = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let der = read_block(stream).map_err(|e| e.to_string())?;
+        let cert = Certificate::from_der(&der).map_err(|e| e.to_string())?;
+        chain.push(cert);
+    }
+    oracle.evaluate(&chain, usage).map_err(|e| e.to_string())
+}
+
+/// Client side of the trust-daemon protocol. Implements [`GccOracle`],
+/// so a [`crate::Validator`] in `Platform` mode can delegate GCC
+/// evaluation to the daemon transparently.
+///
+/// Connects per evaluation; the daemon supports request pipelining on one
+/// connection, but a fresh connection per candidate chain keeps the
+/// client trivially robust to daemon restarts.
+#[derive(Clone, Debug)]
+pub struct DaemonClient {
+    path: PathBuf,
+}
+
+impl DaemonClient {
+    /// Client for the daemon at `socket_path`.
+    pub fn new(socket_path: impl AsRef<Path>) -> DaemonClient {
+        DaemonClient {
+            path: socket_path.as_ref().to_path_buf(),
+        }
+    }
+}
+
+impl GccOracle for DaemonClient {
+    fn evaluate(&self, chain: &[Certificate], usage: Usage) -> Result<Vec<GccVerdict>, CoreError> {
+        let io_err = |e: std::io::Error| CoreError::Daemon(e.to_string());
+        let mut stream = UnixStream::connect(&self.path).map_err(io_err)?;
+        // Request.
+        let mut req = Vec::new();
+        req.push(OP_EVALUATE);
+        req.push(usage_to_byte(usage));
+        req.extend_from_slice(&(chain.len() as u32).to_le_bytes());
+        for cert in chain {
+            let der = cert.to_der();
+            req.extend_from_slice(&(der.len() as u32).to_le_bytes());
+            req.extend_from_slice(der);
+        }
+        stream.write_all(&req).map_err(io_err)?;
+        stream.flush().map_err(io_err)?;
+        // Response.
+        let status = read_u8(&mut stream).map_err(io_err)?;
+        match status {
+            STATUS_OK => {
+                let n = read_u32(&mut stream).map_err(io_err)?;
+                if n > 1024 {
+                    return Err(CoreError::Daemon("verdict count exceeds limit".into()));
+                }
+                let mut verdicts = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let accepted = read_u8(&mut stream).map_err(io_err)? != 0;
+                    let name = read_block(&mut stream).map_err(io_err)?;
+                    let gcc_name = String::from_utf8(name)
+                        .map_err(|_| CoreError::Daemon("non-utf8 GCC name".into()))?;
+                    verdicts.push(GccVerdict { gcc_name, accepted });
+                }
+                Ok(verdicts)
+            }
+            STATUS_ERR => {
+                let msg = read_block(&mut stream).map_err(io_err)?;
+                Err(CoreError::Daemon(
+                    String::from_utf8_lossy(&msg).into_owned(),
+                ))
+            }
+            other => Err(CoreError::Daemon(format!("bad status byte {other}"))),
+        }
+    }
+}
+
+/// A unique socket path in the system temp directory (test/example aid).
+pub fn ephemeral_socket_path(tag: &str) -> PathBuf {
+    use std::sync::atomic::AtomicU64;
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "nrslb-trustd-{}-{}-{}.sock",
+        tag,
+        std::process::id(),
+        n
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{ValidationMode, Validator};
+    use nrslb_rootstore::{Gcc, GccMetadata};
+    use nrslb_x509::testutil::simple_chain;
+
+    #[test]
+    fn daemon_evaluates_gccs() {
+        let pki = simple_chain("daemon.example");
+        let mut store = RootStore::new("platform");
+        store.add_trusted(pki.root.clone()).unwrap();
+        let gcc = Gcc::parse(
+            "tls-only",
+            pki.root.fingerprint(),
+            r#"valid(Chain, "TLS") :- leaf(Chain, _)."#,
+            GccMetadata::default(),
+        )
+        .unwrap();
+        store.attach_gcc(gcc).unwrap();
+
+        let daemon = TrustDaemon::spawn(store, ephemeral_socket_path("eval")).unwrap();
+        let client = daemon.client();
+        let chain = vec![pki.leaf, pki.intermediate, pki.root];
+        let verdicts = client.evaluate(&chain, Usage::Tls).unwrap();
+        assert_eq!(verdicts.len(), 1);
+        assert!(verdicts[0].accepted);
+        let verdicts = client.evaluate(&chain, Usage::SMime).unwrap();
+        assert!(!verdicts[0].accepted);
+    }
+
+    #[test]
+    fn validator_platform_mode_uses_daemon() {
+        let pki = simple_chain("daemonmode.example");
+        let mut store = RootStore::new("platform");
+        store.add_trusted(pki.root.clone()).unwrap();
+        let gcc = Gcc::parse(
+            "deny-all",
+            pki.root.fingerprint(),
+            r#"valid(Chain, "never") :- leaf(Chain, _)."#,
+            GccMetadata::default(),
+        )
+        .unwrap();
+        store.attach_gcc(gcc).unwrap();
+
+        let daemon = TrustDaemon::spawn(store.clone(), ephemeral_socket_path("mode")).unwrap();
+        let validator = Validator::new(store, ValidationMode::Platform(Arc::new(daemon.client())));
+        let out = validator
+            .validate(
+                &pki.leaf,
+                std::slice::from_ref(&pki.intermediate),
+                Usage::Tls,
+                pki.now,
+            )
+            .unwrap();
+        assert!(!out.accepted());
+        assert!(matches!(
+            out.final_reason(),
+            Some(crate::validate::RejectReason::GccRejected { .. })
+        ));
+    }
+
+    #[test]
+    fn daemon_with_no_gccs_accepts_vacuously() {
+        let pki = simple_chain("daemonempty.example");
+        let mut store = RootStore::new("platform");
+        store.add_trusted(pki.root.clone()).unwrap();
+        let daemon = TrustDaemon::spawn(store, ephemeral_socket_path("empty")).unwrap();
+        let chain = vec![pki.leaf, pki.intermediate, pki.root];
+        let verdicts = daemon.client().evaluate(&chain, Usage::Tls).unwrap();
+        assert!(verdicts.is_empty());
+    }
+
+    #[test]
+    fn client_error_on_missing_daemon() {
+        let client = DaemonClient::new("/nonexistent/nrslb.sock");
+        let pki = simple_chain("noclient.example");
+        let err = client.evaluate(&[pki.leaf], Usage::Tls);
+        assert!(matches!(err, Err(CoreError::Daemon(_))));
+    }
+
+    #[test]
+    fn daemon_shuts_down_cleanly() {
+        let pki = simple_chain("shutdown.example");
+        let mut store = RootStore::new("platform");
+        store.add_trusted(pki.root.clone()).unwrap();
+        let path = ephemeral_socket_path("shutdown");
+        {
+            let _daemon = TrustDaemon::spawn(store, &path).unwrap();
+            assert!(path.exists());
+        }
+        assert!(!path.exists(), "socket removed on drop");
+    }
+}

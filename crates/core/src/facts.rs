@@ -1,0 +1,285 @@
+//! Conversion of certificate chains into Datalog fact bases.
+//!
+//! The fact schema follows the predicates used in the paper's listings,
+//! so Listings 1–3 run verbatim against converted chains:
+//!
+//! | predicate | meaning |
+//! |---|---|
+//! | `chain(Chain)` | the chain handle |
+//! | `leaf(Chain, Cert)` | `Cert` is the chain's leaf |
+//! | `root(Chain, Cert)` | `Cert` is the chain's root |
+//! | `intermediate(Chain, Cert)` | `Cert` is an intermediate |
+//! | `chainIndex(Chain, I, Cert)` | position `I` (0 = leaf) |
+//! | `signs(Issuer, Subject)` | adjacency: `Issuer` signed `Subject` |
+//! | `hash(Cert, Hex)` | SHA-256 fingerprint, lowercase hex |
+//! | `notBefore(Cert, T)` / `notAfter(Cert, T)` | validity (Unix secs) |
+//! | `subject(Cert, S)` / `issuer(Cert, S)` | display-form names |
+//! | `serial(Cert, S)` | decimal string (serials exceed i64) |
+//! | `EV(Cert)` | asserts the CA/B EV policy |
+//! | `isCA(Cert)` / `pathLen(Cert, N)` | BasicConstraints |
+//! | `san(Cert, Name)` | one fact per SAN DNS name |
+//! | `sanTld(Cert, Tld)` | the TLD of each SAN (precomputed; see §5.2) |
+//! | `keyUsage(Cert, U)` | one fact per named KeyUsage bit |
+//! | `extendedKeyUsage(Cert, P)` | one per EKU purpose (`"id-kp-serverAuth"`...) |
+//! | `permittedSubtree(Cert, D)` / `excludedSubtree(Cert, D)` | name constraints |
+//!
+//! Certificate handles are the fingerprint hex itself, which is why
+//! Listing 2's `hash(Int, H), exempt(H)` works unchanged.
+
+use nrslb_datalog::{Database, Program, Val};
+use nrslb_der::Oid;
+use nrslb_x509::Certificate;
+
+/// The Datalog handle for a certificate: its SHA-256 fingerprint in hex.
+pub fn cert_id(cert: &Certificate) -> String {
+    cert.fingerprint().to_hex()
+}
+
+/// The Datalog handle for a chain: `chain:` + the leaf's short hash.
+///
+/// One validation converts one chain, so the handle only needs to be
+/// stable and distinct from certificate handles.
+pub fn chain_id(chain: &[Certificate]) -> String {
+    match chain.first() {
+        Some(leaf) => format!("chain:{}", leaf.fingerprint().short()),
+        None => "chain:empty".to_string(),
+    }
+}
+
+fn eku_name(oid: &Oid) -> String {
+    use nrslb_x509::oids;
+    if *oid == oids::kp_server_auth() {
+        "id-kp-serverAuth".to_string()
+    } else if *oid == oids::kp_client_auth() {
+        "id-kp-clientAuth".to_string()
+    } else if *oid == oids::kp_email_protection() {
+        "id-kp-emailProtection".to_string()
+    } else {
+        oid.to_string()
+    }
+}
+
+/// Append the facts for one certificate (independent of chain position).
+pub fn cert_facts(cert: &Certificate, db: &mut Database) {
+    let id = Val::str(cert_id(cert));
+    db.add_fact(
+        "hash",
+        vec![id.clone(), Val::str(cert.fingerprint().to_hex())],
+    );
+    db.add_fact(
+        "notBefore",
+        vec![id.clone(), Val::int(cert.validity().not_before)],
+    );
+    db.add_fact(
+        "notAfter",
+        vec![id.clone(), Val::int(cert.validity().not_after)],
+    );
+    db.add_fact(
+        "subject",
+        vec![id.clone(), Val::str(cert.subject().to_string())],
+    );
+    db.add_fact(
+        "issuer",
+        vec![id.clone(), Val::str(cert.issuer().to_string())],
+    );
+    db.add_fact(
+        "serial",
+        vec![id.clone(), Val::str(cert.serial().to_string())],
+    );
+    if cert.is_ev() {
+        db.add_fact("EV", vec![id.clone()]);
+    }
+    if cert.is_ca() {
+        db.add_fact("isCA", vec![id.clone()]);
+    }
+    if let Some(n) = cert.path_len() {
+        db.add_fact("pathLen", vec![id.clone(), Val::int(n as i64)]);
+    }
+    for san in cert.dns_names() {
+        db.add_fact("san", vec![id.clone(), Val::str(san)]);
+        // TLD extraction is a string operation Datalog cannot do itself;
+        // providing it as a relation lets pre-emptive GCCs (§5.2)
+        // constrain issuance scope by TLD.
+        if let Some(tld) = nrslb_x509::name::tld(san) {
+            db.add_fact("sanTld", vec![id.clone(), Val::str(tld)]);
+        }
+    }
+    if let Some(ku) = cert.extensions().key_usage {
+        for name in ku.names() {
+            db.add_fact("keyUsage", vec![id.clone(), Val::str(name)]);
+        }
+    }
+    if let Some(eku) = &cert.extensions().extended_key_usage {
+        for oid in &eku.0 {
+            db.add_fact(
+                "extendedKeyUsage",
+                vec![id.clone(), Val::str(eku_name(oid))],
+            );
+        }
+    }
+    if let Some(nc) = &cert.extensions().name_constraints {
+        for base in &nc.permitted {
+            db.add_fact("permittedSubtree", vec![id.clone(), Val::str(base)]);
+        }
+        for base in &nc.excluded {
+            db.add_fact("excludedSubtree", vec![id.clone(), Val::str(base)]);
+        }
+    }
+}
+
+/// Convert a complete chain (leaf first, root last) into a fact database.
+///
+/// This is the **direct** path: facts are constructed in memory.
+pub fn chain_facts(chain: &[Certificate]) -> Database {
+    let mut db = Database::new();
+    add_chain_facts(chain, &mut db);
+    db
+}
+
+/// Append chain facts to an existing database (used by the Hammurabi mode
+/// which layers policy facts on top).
+pub fn add_chain_facts(chain: &[Certificate], db: &mut Database) {
+    let cid = Val::str(chain_id(chain));
+    db.add_fact("chain", vec![cid.clone()]);
+    for (i, cert) in chain.iter().enumerate() {
+        cert_facts(cert, db);
+        let id = Val::str(cert_id(cert));
+        db.add_fact(
+            "chainIndex",
+            vec![cid.clone(), Val::int(i as i64), id.clone()],
+        );
+        if i == 0 {
+            db.add_fact("leaf", vec![cid.clone(), id.clone()]);
+        }
+        if i == chain.len() - 1 {
+            db.add_fact("root", vec![cid.clone(), id.clone()]);
+        }
+        if i != 0 && i != chain.len() - 1 {
+            db.add_fact("intermediate", vec![cid.clone(), id.clone()]);
+        }
+        if i + 1 < chain.len() {
+            let issuer_id = Val::str(cert_id(&chain[i + 1]));
+            db.add_fact("signs", vec![issuer_id, id]);
+        }
+    }
+}
+
+/// Convert a chain via the **unoptimized** path the paper measured:
+/// build facts, serialize them to Datalog text, then re-parse the text
+/// into a program whose facts seed evaluation.
+///
+/// Returns the parsed program (facts only). Benchmark E1 compares this
+/// against [`chain_facts`].
+pub fn chain_facts_unoptimized(
+    chain: &[Certificate],
+) -> Result<Program, nrslb_datalog::DatalogError> {
+    let db = chain_facts(chain);
+    let text = db.to_fact_text();
+    Program::parse(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrslb_datalog::Engine;
+    use nrslb_x509::testutil::simple_chain;
+
+    fn test_chain() -> Vec<Certificate> {
+        let pki = simple_chain("facts.example");
+        vec![pki.leaf, pki.intermediate, pki.root]
+    }
+
+    #[test]
+    fn structural_facts() {
+        let chain = test_chain();
+        let db = chain_facts(&chain);
+        let cid = Val::str(chain_id(&chain));
+        let leaf = Val::str(cert_id(&chain[0]));
+        let mid = Val::str(cert_id(&chain[1]));
+        let root = Val::str(cert_id(&chain[2]));
+
+        assert!(db.contains("chain", std::slice::from_ref(&cid)));
+        assert!(db.contains("leaf", &[cid.clone(), leaf.clone()]));
+        assert!(db.contains("root", &[cid.clone(), root.clone()]));
+        assert!(db.contains("intermediate", &[cid.clone(), mid.clone()]));
+        assert!(db.contains("signs", &[mid.clone(), leaf.clone()]));
+        assert!(db.contains("signs", &[root.clone(), mid.clone()]));
+        assert!(!db.contains("signs", &[root, leaf]));
+    }
+
+    #[test]
+    fn field_facts() {
+        let chain = test_chain();
+        let db = chain_facts(&chain);
+        let leaf = &chain[0];
+        let id = Val::str(cert_id(leaf));
+        assert!(db.contains(
+            "notBefore",
+            &[id.clone(), Val::int(leaf.validity().not_before)]
+        ));
+        assert!(db.contains("san", &[id.clone(), Val::str("facts.example")]));
+        assert!(db.contains(
+            "extendedKeyUsage",
+            &[id.clone(), Val::str("id-kp-serverAuth")]
+        ));
+        assert!(db.contains("keyUsage", &[id.clone(), Val::str("digitalSignature")]));
+        assert!(!db.contains("isCA", std::slice::from_ref(&id)));
+        assert!(!db.contains("EV", &[id]));
+
+        let mid = Val::str(cert_id(&chain[1]));
+        assert!(db.contains("isCA", std::slice::from_ref(&mid)));
+        assert!(db.contains("pathLen", &[mid, Val::int(0)]));
+    }
+
+    #[test]
+    fn hash_fact_is_own_handle() {
+        // Listing 2 relies on hash(Cert, H) where H is the full hex digest.
+        let chain = test_chain();
+        let db = chain_facts(&chain);
+        let id = cert_id(&chain[1]);
+        assert!(db.contains("hash", &[Val::str(&id), Val::str(&id)]));
+        assert_eq!(id.len(), 64);
+    }
+
+    #[test]
+    fn unoptimized_path_equals_direct_path() {
+        let chain = test_chain();
+        let direct = chain_facts(&chain);
+        let program = chain_facts_unoptimized(&chain).unwrap();
+        // Run the fact-only program to materialize its database.
+        let reparsed = Engine::new(&program).unwrap().run(Database::new()).unwrap();
+        assert_eq!(reparsed.len(), direct.len());
+        for pred in direct.predicates() {
+            for tuple in direct.tuples(pred) {
+                assert!(reparsed.contains(pred, tuple), "{pred}{tuple:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn listing_1_runs_on_converted_chain() {
+        let chain = test_chain();
+        let db = chain_facts(&chain);
+        let program = Program::parse(
+            r#"
+            nov30th2022(1669784400).
+            valid(Chain, "TLS") :-
+              leaf(Chain, Cert), \+EV(Cert), nov30th2022(T), notBefore(Cert, NB), NB < T.
+            "#,
+        )
+        .unwrap();
+        let out = Engine::new(&program).unwrap().run(db).unwrap();
+        // testutil leaves are issued ~2022-01 (not_before = T0 - YEAR/2),
+        // which is before Nov 30 2022, and are not EV.
+        assert!(out.contains("valid", &[Val::str(chain_id(&chain)), Val::str("TLS")]));
+    }
+
+    #[test]
+    fn two_cert_chain_has_no_intermediates() {
+        let pki = simple_chain("short.example");
+        let chain = vec![pki.leaf, pki.root];
+        let db = chain_facts(&chain);
+        assert!(db.tuples("intermediate").is_empty());
+        assert_eq!(db.tuples("signs").len(), 1);
+    }
+}

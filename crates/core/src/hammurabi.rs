@@ -1,0 +1,462 @@
+//! The *complete validation redesign* deployment mode (§3.1): the entire
+//! per-chain validation policy — expiry, CA bits, path lengths, name
+//! constraints, EKU, hostname, systematic store constraints **and** all
+//! attached GCCs — expressed as one stratified Datalog program and
+//! evaluated in a single run, in the style of Hammurabi (Larisch et al.,
+//! CCS '22).
+//!
+//! Cryptographic signature verification stays outside the logic program
+//! (as in Hammurabi itself); its results are injected as `sigOk/1` facts.
+//! String matching (wildcards, name-constraint subtrees) is likewise
+//! precomputed into auxiliary relations (`subtreeMatch/2`, `hostOk/1`),
+//! because pure Datalog has no string primitives.
+
+use crate::facts::{add_chain_facts, cert_id, chain_id};
+use crate::validate::{RejectReason, ValidatorConfig};
+use crate::CoreError;
+use nrslb_datalog::{Database, Engine, Program, Val};
+use nrslb_rootstore::{RootStore, Usage};
+use nrslb_x509::name::in_subtree;
+use nrslb_x509::Certificate;
+use std::sync::Arc;
+
+/// The validation policy, as Datalog source. Public so documentation and
+/// examples can show the complete program.
+pub const POLICY: &str = r#"
+% ---- temporal validity ----
+expired(C) :- now(T), notAfter(C, NA), NA < T.
+notYetValid(C) :- now(T), notBefore(C, NB), T < NB.
+timeBad(Chain) :- chainIndex(Chain, _, C), expired(C).
+timeBad(Chain) :- chainIndex(Chain, _, C), notYetValid(C).
+
+% ---- signatures (verified natively, injected as sigOk facts) ----
+sigBad(Chain) :- chainIndex(Chain, _, C), \+sigOk(C).
+
+% ---- revocation (OneCRL/CRLite results injected as revoked facts) ----
+revBad(Chain) :- chainIndex(Chain, _, C), revoked(C).
+
+% ---- CA bit: everything above the leaf must be a CA ----
+caBad(Chain) :- chainIndex(Chain, I, C), I > 0, \+isCA(C).
+
+% ---- path length: CA at index I has I-1 CAs below it ----
+pathLenBad(Chain) :- chainIndex(Chain, I, C), I > 0, pathLen(C, L), M = I - 1, L < M.
+
+% ---- name constraints over leaf SANs ----
+constrained(CA) :- permittedSubtree(CA, _).
+permittedOk(CA, Name) :- permittedSubtree(CA, Base), subtreeMatch(Base, Name).
+ncBad(Chain) :- chainIndex(Chain, I, CA), I > 0, constrained(CA),
+                leaf(Chain, L), san(L, Name), \+permittedOk(CA, Name).
+ncBad(Chain) :- chainIndex(Chain, I, CA), I > 0, excludedSubtree(CA, Base),
+                leaf(Chain, L), san(L, Name), subtreeMatch(Base, Name).
+
+% ---- extended key usage of the leaf ----
+ekuFor("TLS", "id-kp-serverAuth").
+ekuFor("S/MIME", "id-kp-emailProtection").
+ekuRestricted(C) :- extendedKeyUsage(C, _).
+ekuOk(Chain) :- leaf(Chain, L), \+ekuRestricted(L).
+ekuOk(Chain) :- leaf(Chain, L), queryUsage(U), ekuFor(U, P), extendedKeyUsage(L, P).
+ekuBad(Chain) :- chain(Chain), \+ekuOk(Chain).
+
+% ---- hostname (matching precomputed into hostOk facts) ----
+hostBad(Chain) :- hostRequested(1), leaf(Chain, L), \+hostOk(L).
+
+% ---- systematic store constraints (NSS date/usage pairs) ----
+usageDateBad(Chain) :- root(Chain, R), queryUsage("TLS"), tlsDistrustAfter(R, T),
+                       leaf(Chain, L), notBefore(L, NB), NB >= T.
+usageDateBad(Chain) :- root(Chain, R), queryUsage("S/MIME"), smimeDistrustAfter(R, T),
+                       leaf(Chain, L), notBefore(L, NB), NB >= T.
+
+% ---- verdict ----
+chainBad(Chain) :- timeBad(Chain).
+chainBad(Chain) :- sigBad(Chain).
+chainBad(Chain) :- revBad(Chain).
+chainBad(Chain) :- caBad(Chain).
+chainBad(Chain) :- pathLenBad(Chain).
+chainBad(Chain) :- ncBad(Chain).
+chainBad(Chain) :- ekuBad(Chain).
+chainBad(Chain) :- hostBad(Chain).
+chainBad(Chain) :- usageDateBad(Chain).
+policyOk(Chain) :- chain(Chain), \+chainBad(Chain).
+"#;
+
+/// Rename every *derived* predicate of `program` by appending `suffix`,
+/// leaving EDB (fact-base) predicates untouched. Used to merge several
+/// GCCs into one policy run without their `valid/2` (or helper) rules
+/// colliding.
+pub fn namespace_program(program: &Program, suffix: &str) -> Program {
+    use nrslb_datalog::ast::{BodyItem, Literal};
+    let derived = program.derived_predicates();
+    let rename = |lit: &Literal| -> Literal {
+        if derived.contains(&lit.pred) {
+            Literal {
+                pred: Arc::from(format!("{}{}", lit.pred, suffix).as_str()),
+                args: lit.args.clone(),
+            }
+        } else {
+            lit.clone()
+        }
+    };
+    let rules = program
+        .rules
+        .iter()
+        .map(|rule| nrslb_datalog::Rule {
+            head: rename(&rule.head),
+            body: rule
+                .body
+                .iter()
+                .map(|item| match item {
+                    BodyItem::Pos(l) => BodyItem::Pos(rename(l)),
+                    BodyItem::Neg(l) => BodyItem::Neg(rename(l)),
+                    other => other.clone(),
+                })
+                .collect(),
+        })
+        .collect();
+    Program { rules }
+}
+
+/// Build the complete program for a chain: the base [`POLICY`], plus each
+/// attached GCC namespaced apart and wired into `chainBad` via
+/// `gccBad`.
+fn full_program(
+    store: &RootStore,
+    root_fp: &nrslb_crypto::sha256::Digest,
+) -> Result<Program, CoreError> {
+    let mut program = Program::parse(POLICY).expect("base policy parses");
+    for (i, gcc) in store.gccs_for(root_fp).iter().enumerate() {
+        let suffix = format!("__g{i}");
+        let renamed = namespace_program(gcc.program(), &suffix);
+        program.rules.extend(renamed.rules);
+        let wire = format!(
+            "gccBad(Chain) :- chain(Chain), queryUsage(U), \\+valid{suffix}(Chain, U).\n\
+             chainBad(Chain) :- gccBad(Chain)."
+        );
+        let wire = Program::parse(&wire).expect("wire rules parse");
+        program.rules.extend(wire.rules);
+    }
+    Ok(program)
+}
+
+/// Inject the per-validation facts the policy needs beyond the chain
+/// conversion: time, usage, signature results, subtree matches, hostname
+/// match and systematic constraints.
+#[allow(clippy::too_many_arguments)]
+fn add_policy_facts(
+    db: &mut Database,
+    chain: &[Certificate],
+    usage: Usage,
+    now: i64,
+    hostname: Option<&str>,
+    store: &RootStore,
+    config: ValidatorConfig,
+    revocation: Option<&dyn nrslb_revocation::RevocationChecker>,
+) {
+    db.add_fact("now", vec![Val::int(now)]);
+    db.add_fact("queryUsage", vec![Val::str(usage.as_datalog())]);
+    // Signature results (crypto outside the program).
+    for (i, cert) in chain.iter().enumerate() {
+        let issuer = chain.get(i + 1).unwrap_or(cert);
+        if cert.verify_signed_by(issuer).is_ok() {
+            db.add_fact("sigOk", vec![Val::str(cert_id(cert))]);
+        }
+    }
+    // Revocation results (computed natively, injected as facts).
+    if let Some(checker) = revocation {
+        for cert in chain {
+            if checker.is_revoked(cert) {
+                db.add_fact("revoked", vec![Val::str(cert_id(cert))]);
+            }
+        }
+    }
+    // Subtree matches for every (constraint base, leaf SAN) pair.
+    let leaf = &chain[0];
+    for cert in chain.iter().skip(1) {
+        if let Some(nc) = &cert.extensions().name_constraints {
+            for base in nc.permitted.iter().chain(&nc.excluded) {
+                for san in leaf.dns_names() {
+                    if in_subtree(san, base, config.dot_semantics) {
+                        db.add_fact("subtreeMatch", vec![Val::str(base), Val::str(san)]);
+                    }
+                }
+            }
+        }
+    }
+    // Hostname.
+    if let Some(host) = hostname {
+        db.add_fact("hostRequested", vec![Val::int(1)]);
+        if leaf.matches_hostname(host) {
+            db.add_fact("hostOk", vec![Val::str(cert_id(leaf))]);
+        }
+    }
+    // Systematic constraints for the chain's root.
+    if let Some(root) = chain.last() {
+        if let Some(rec) = store.record(&root.fingerprint()) {
+            let rid = Val::str(cert_id(root));
+            if let Some(t) = rec.tls_distrust_after {
+                db.add_fact("tlsDistrustAfter", vec![rid.clone(), Val::int(t)]);
+            }
+            if let Some(t) = rec.smime_distrust_after {
+                db.add_fact("smimeDistrustAfter", vec![rid, Val::int(t)]);
+            }
+        }
+    }
+    // EKU enforcement knob: when disabled, suppress by marking every leaf
+    // usage as satisfied (inject the relevant fact).
+    if !config.enforce_eku {
+        let lid = Val::str(cert_id(leaf));
+        db.add_fact(
+            "extendedKeyUsage",
+            vec![lid.clone(), Val::str("id-kp-serverAuth")],
+        );
+        db.add_fact(
+            "extendedKeyUsage",
+            vec![lid, Val::str("id-kp-emailProtection")],
+        );
+    }
+}
+
+/// Evaluate the full policy program for one candidate chain.
+///
+/// Returns `Ok(Ok(()))` on acceptance, `Ok(Err(reason))` on rejection,
+/// `Err` only on engine failure.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_chain(
+    chain: &[Certificate],
+    usage: Usage,
+    now: i64,
+    hostname: Option<&str>,
+    store: &RootStore,
+    config: ValidatorConfig,
+    revocation: Option<&dyn nrslb_revocation::RevocationChecker>,
+) -> Result<Result<(), RejectReason>, CoreError> {
+    let root_fp = chain.last().expect("chain non-empty").fingerprint();
+    let program = full_program(store, &root_fp)?;
+    let mut db = Database::new();
+    add_chain_facts(chain, &mut db);
+    add_policy_facts(
+        &mut db, chain, usage, now, hostname, store, config, revocation,
+    );
+    let out = Engine::new(&program)?.run(db)?;
+
+    let cid = Val::str(chain_id(chain));
+    if out.contains("policyOk", std::slice::from_ref(&cid)) {
+        return Ok(Ok(()));
+    }
+    // Extract a specific reason for parity with the native validator.
+    let index_of = |cert_handle: &Val| -> usize {
+        chain
+            .iter()
+            .position(|c| Val::str(cert_id(c)) == *cert_handle)
+            .unwrap_or(0)
+    };
+    // Per-cert temporal reasons.
+    for (i, cert) in chain.iter().enumerate() {
+        let h = Val::str(cert_id(cert));
+        if out.contains("notYetValid", std::slice::from_ref(&h)) {
+            return Ok(Err(RejectReason::NotYetValid { index: i }));
+        }
+        if out.contains("expired", &[h]) {
+            return Ok(Err(RejectReason::Expired { index: i }));
+        }
+    }
+    if out.contains("sigBad", std::slice::from_ref(&cid)) {
+        for (i, cert) in chain.iter().enumerate() {
+            if !out.contains("sigOk", &[Val::str(cert_id(cert))]) {
+                return Ok(Err(RejectReason::BadSignature { index: i }));
+            }
+        }
+    }
+    if out.contains("revBad", std::slice::from_ref(&cid)) {
+        for (i, cert) in chain.iter().enumerate() {
+            if out.contains("revoked", &[Val::str(cert_id(cert))]) {
+                return Ok(Err(RejectReason::Revoked { index: i }));
+            }
+        }
+    }
+    if out.contains("caBad", std::slice::from_ref(&cid)) {
+        for (i, cert) in chain.iter().enumerate().skip(1) {
+            if !cert.is_ca() {
+                return Ok(Err(RejectReason::NotCa { index: i }));
+            }
+        }
+    }
+    if out.contains("pathLenBad", std::slice::from_ref(&cid)) {
+        for (i, cert) in chain.iter().enumerate().skip(1) {
+            if let Some(l) = cert.path_len() {
+                if (i - 1) as u32 > l {
+                    return Ok(Err(RejectReason::PathLenExceeded { index: i }));
+                }
+            }
+        }
+    }
+    if out.contains("ncBad", std::slice::from_ref(&cid)) {
+        // Find the first violating (CA, SAN) pair the way the native
+        // validator reports it.
+        let leaf = &chain[0];
+        for (i, cert) in chain.iter().enumerate().skip(1) {
+            if let Some(nc) = &cert.extensions().name_constraints {
+                for san in leaf.dns_names() {
+                    if !nc.allows(san, config.dot_semantics) {
+                        return Ok(Err(RejectReason::NameConstraintViolation {
+                            index: i,
+                            name: san.clone(),
+                        }));
+                    }
+                }
+            }
+        }
+    }
+    if out.contains("ekuBad", std::slice::from_ref(&cid)) {
+        return Ok(Err(RejectReason::WrongEku));
+    }
+    if out.contains("hostBad", std::slice::from_ref(&cid)) {
+        return Ok(Err(RejectReason::HostnameMismatch));
+    }
+    if out.contains("usageDateBad", std::slice::from_ref(&cid)) {
+        return Ok(Err(RejectReason::UsageDateConstraint));
+    }
+    if out.contains("gccBad", std::slice::from_ref(&cid)) {
+        // Identify which GCC rejected (re-query the namespaced valids).
+        for (i, gcc) in store.gccs_for(&root_fp).iter().enumerate() {
+            let pred = format!("valid__g{i}");
+            if !out.contains(&pred, &[cid.clone(), Val::str(usage.as_datalog())]) {
+                return Ok(Err(RejectReason::GccRejected {
+                    gcc_name: gcc.name().to_string(),
+                }));
+            }
+        }
+        return Ok(Err(RejectReason::PolicyRejected));
+    }
+    let _ = index_of;
+    Ok(Err(RejectReason::PolicyRejected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{ValidationMode, Validator};
+    use nrslb_rootstore::{Gcc, GccMetadata, RootStore};
+    use nrslb_x509::testutil::{simple_chain, YEAR};
+
+    #[test]
+    fn base_policy_parses_and_stratifies() {
+        let program = Program::parse(POLICY).unwrap();
+        Engine::new(&program).unwrap();
+    }
+
+    #[test]
+    fn accepts_good_chain() {
+        let pki = simple_chain("ham.example");
+        let mut store = RootStore::new("test");
+        store.add_trusted(pki.root.clone()).unwrap();
+        let chain = vec![pki.leaf, pki.intermediate, pki.root];
+        let verdict = evaluate_chain(
+            &chain,
+            Usage::Tls,
+            pki.now,
+            None,
+            &store,
+            ValidatorConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(verdict, Ok(()));
+    }
+
+    #[test]
+    fn rejects_expired_with_reason() {
+        let pki = simple_chain("hamexp.example");
+        let mut store = RootStore::new("test");
+        store.add_trusted(pki.root.clone()).unwrap();
+        let chain = vec![pki.leaf, pki.intermediate, pki.root];
+        let verdict = evaluate_chain(
+            &chain,
+            Usage::Tls,
+            pki.now + 2 * YEAR,
+            None,
+            &store,
+            ValidatorConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(verdict, Err(RejectReason::Expired { index: 0 }));
+    }
+
+    #[test]
+    fn hammurabi_mode_agrees_with_user_agent_mode() {
+        let pki = simple_chain("hamparity.example");
+        let mut store = RootStore::new("test");
+        store.add_trusted(pki.root.clone()).unwrap();
+        let gcc = Gcc::parse(
+            "smime-block",
+            pki.root.fingerprint(),
+            r#"valid(Chain, "TLS") :- leaf(Chain, _)."#,
+            GccMetadata::default(),
+        )
+        .unwrap();
+        store.attach_gcc(gcc).unwrap();
+
+        let ua = Validator::new(store.clone(), ValidationMode::UserAgent);
+        let ham = Validator::new(store, ValidationMode::Hammurabi);
+        let pool = [pki.intermediate.clone()];
+        for usage in Usage::ALL {
+            for t in [pki.now, pki.now + 2 * YEAR, pki.now - 2 * YEAR] {
+                let a = ua.validate(&pki.leaf, &pool, usage, t).unwrap();
+                let b = ham.validate(&pki.leaf, &pool, usage, t).unwrap();
+                assert_eq!(a.accepted(), b.accepted(), "usage={usage} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_gccs_all_must_accept() {
+        let pki = simple_chain("hammulti.example");
+        let mut store = RootStore::new("test");
+        store.add_trusted(pki.root.clone()).unwrap();
+        let accept_all = Gcc::parse(
+            "accept",
+            pki.root.fingerprint(),
+            "valid(Chain, U) :- chainIndex(Chain, _, _), queryUsage(U).",
+            GccMetadata::default(),
+        )
+        .unwrap();
+        // Uses an `exempt` helper that must not collide with other GCCs.
+        let deny_tls = Gcc::parse(
+            "deny-tls",
+            pki.root.fingerprint(),
+            r#"
+            exempt("nobody").
+            valid(Chain, "S/MIME") :- leaf(Chain, _).
+            valid(Chain, "TLS") :- root(Chain, R), hash(R, H), exempt(H).
+            "#,
+            GccMetadata::default(),
+        )
+        .unwrap();
+        store.attach_gcc(accept_all).unwrap();
+        store.attach_gcc(deny_tls).unwrap();
+
+        let ham = Validator::new(store, ValidationMode::Hammurabi);
+        let pool = [pki.intermediate.clone()];
+        let tls = ham.validate(&pki.leaf, &pool, Usage::Tls, pki.now).unwrap();
+        assert!(!tls.accepted());
+        assert!(matches!(
+            tls.final_reason(),
+            Some(RejectReason::GccRejected { gcc_name }) if gcc_name == "deny-tls"
+        ));
+    }
+
+    #[test]
+    fn namespacing_keeps_edb_predicates() {
+        let p = Program::parse(
+            "helper(X) :- leaf(C, X).
+             valid(C, U) :- helper(X), leaf(C, X), queryUsage(U).",
+        )
+        .unwrap();
+        let n = namespace_program(&p, "__g0");
+        let text = n.to_string();
+        assert!(text.contains("helper__g0"));
+        assert!(text.contains("valid__g0"));
+        assert!(text.contains("leaf(C, X)")); // EDB untouched
+        assert!(!text.contains("leaf__g0"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Standard (RFC 4648) base64 encoding/decoding, for PEM armor.
+
+use crate::CryptoError;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode `data` as standard base64 with padding.
+pub fn encode(data: impl AsRef<[u8]>) -> String {
+    let data = data.as_ref();
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn value(c: u8) -> Result<u32, CryptoError> {
+    match c {
+        b'A'..=b'Z' => Ok((c - b'A') as u32),
+        b'a'..=b'z' => Ok((c - b'a' + 26) as u32),
+        b'0'..=b'9' => Ok((c - b'0' + 52) as u32),
+        b'+' => Ok(62),
+        b'/' => Ok(63),
+        _ => Err(CryptoError::Malformed("base64 character")),
+    }
+}
+
+/// Decode standard base64; whitespace is tolerated (PEM wraps lines),
+/// padding is required to align to 4.
+pub fn decode(input: &str) -> Result<Vec<u8>, CryptoError> {
+    let cleaned: Vec<u8> = input.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+    if !cleaned.len().is_multiple_of(4) {
+        return Err(CryptoError::Malformed("base64 length"));
+    }
+    let mut out = Vec::with_capacity(cleaned.len() / 4 * 3);
+    for chunk in cleaned.chunks(4) {
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || chunk[..4 - pad].contains(&b'=') {
+            return Err(CryptoError::Malformed("base64 padding"));
+        }
+        let mut n: u32 = 0;
+        for &c in &chunk[..4 - pad] {
+            n = (n << 6) | value(c)?;
+        }
+        n <<= 6 * pad as u32;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad == 0 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"", ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (raw, enc) in cases {
+            assert_eq!(encode(raw), enc);
+            assert_eq!(decode(enc).unwrap(), raw);
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(decode("Zm9v\nYmFy\n").unwrap(), b"foobar");
+        assert_eq!(decode("Z m 9 v").unwrap(), b"foo");
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mut state = 7u64;
+        for len in 0..80usize {
+            let data: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(2862933555777941757)
+                        .wrapping_add(3037000493);
+                    (state >> 33) as u8
+                })
+                .collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(decode("Zg=").is_err()); // bad length
+        assert!(decode("Z===").is_err()); // over-padding
+        assert!(decode("Zm=v").is_err()); // padding inside
+        assert!(decode("Zm9$").is_err()); // bad character
+    }
+}

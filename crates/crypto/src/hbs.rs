@@ -1,0 +1,454 @@
+//! Stateful hash-based signatures: Winternitz one-time signatures (WOTS,
+//! `w = 16`) under a complete Merkle tree, in the style of XMSS.
+//!
+//! This is the workspace's public-key signature scheme, substituting for
+//! RSA/ECDSA in certificates and root-store-feed signing (see DESIGN.md §2:
+//! the paper's contribution is trust *policy*; all that matters here is a
+//! genuinely asymmetric scheme — public verification, tamper detection —
+//! built from our own primitives).
+//!
+//! A [`Keypair`] of height `h` can produce `2^h` signatures; signing is
+//! stateful (each signature consumes one Merkle leaf) and returns
+//! [`CryptoError::KeyExhausted`] afterwards. Verification needs only the
+//! 32-byte [`PublicKey`] (the Merkle root plus the tree height).
+//!
+//! Parameters: `n = 32` bytes, `w = 16` (4 bits per chain), 64 message
+//! chains + 3 checksum chains = 67 chains per one-time key.
+
+use crate::hmac::prf;
+use crate::merkle::{fold_auth_path, node_hash};
+use crate::sha256::{sha256, sha256_concat, Digest};
+use crate::CryptoError;
+
+/// Winternitz parameter: digits are base-16.
+const W: u32 = 16;
+/// Number of base-`W` digits covering a 256-bit message digest.
+const LEN1: usize = 64;
+/// Number of checksum digits (max checksum 64 × 15 = 960 < 16³).
+const LEN2: usize = 3;
+/// Total chains per one-time key.
+const LEN: usize = LEN1 + LEN2;
+/// Domain-separation tag for the chain function.
+const CHAIN_TAG: u8 = 0x02;
+/// Domain-separation tag for compressing a WOTS public key into a leaf.
+const LEAF_TAG: u8 = 0x03;
+
+/// Maximum supported tree height (2^20 signatures; keygen cost grows as
+/// `2^h`, so large heights are for corpus generation in release builds).
+pub const MAX_HEIGHT: u8 = 20;
+
+/// One application of the hash chain: `H(0x02 || x)`.
+fn chain_step(x: &Digest) -> Digest {
+    sha256_concat(&[&[CHAIN_TAG], x.as_bytes()])
+}
+
+/// Apply `steps` chain steps to `x`.
+fn chain(mut x: Digest, steps: u32) -> Digest {
+    for _ in 0..steps {
+        x = chain_step(&x);
+    }
+    x
+}
+
+/// Split a digest into 64 base-16 digits followed by 3 checksum digits.
+fn digits(msg_digest: &Digest) -> [u32; LEN] {
+    let mut out = [0u32; LEN];
+    for (i, byte) in msg_digest.as_bytes().iter().enumerate() {
+        out[2 * i] = (byte >> 4) as u32;
+        out[2 * i + 1] = (byte & 0x0f) as u32;
+    }
+    let checksum: u32 = out[..LEN1].iter().map(|d| (W - 1) - d).sum();
+    // Encode the checksum (max 960 < 4096) as 3 base-16 digits, big-endian.
+    out[LEN1] = (checksum >> 8) & 0xf;
+    out[LEN1 + 1] = (checksum >> 4) & 0xf;
+    out[LEN1 + 2] = checksum & 0xf;
+    out
+}
+
+/// Derive the j-th one-time secret for leaf `leaf` from `seed`.
+fn wots_secret(seed: &[u8; 32], leaf: u64, j: usize) -> Digest {
+    prf(
+        seed,
+        &[b"wots-sk", &leaf.to_be_bytes(), &(j as u32).to_be_bytes()],
+    )
+}
+
+/// Compute the WOTS public leaf digest for `leaf`.
+fn wots_leaf(seed: &[u8; 32], leaf: u64) -> Digest {
+    let mut h = crate::sha256::Sha256::new();
+    h.update([LEAF_TAG]);
+    for j in 0..LEN {
+        let top = chain(wots_secret(seed, leaf, j), W - 1);
+        h.update(top.as_bytes());
+    }
+    h.finalize()
+}
+
+/// Public verification key: Merkle root over all one-time public keys.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey {
+    /// Merkle root of the one-time public keys.
+    pub root: Digest,
+    /// Tree height; the key supports `2^height` signatures.
+    pub height: u8,
+}
+
+impl std::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PublicKey(h={}, {})", self.height, self.root.short())
+    }
+}
+
+impl PublicKey {
+    /// Serialize to `1 + 32` bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(33);
+        out.push(self.height);
+        out.extend_from_slice(self.root.as_bytes());
+        out
+    }
+
+    /// Parse from the output of [`PublicKey::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<PublicKey, CryptoError> {
+        if bytes.len() != 33 {
+            return Err(CryptoError::Malformed("public key length"));
+        }
+        let height = bytes[0];
+        if height > MAX_HEIGHT {
+            return Err(CryptoError::Malformed("public key height"));
+        }
+        let mut root = [0u8; 32];
+        root.copy_from_slice(&bytes[1..]);
+        Ok(PublicKey {
+            root: Digest(root),
+            height,
+        })
+    }
+
+    /// A stable fingerprint of the key (hash of its serialization).
+    pub fn fingerprint(&self) -> Digest {
+        sha256(self.to_bytes())
+    }
+}
+
+/// A signature: the consumed leaf index, the WOTS chain values, and the
+/// Merkle authentication path.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Which one-time key was used.
+    pub leaf_index: u64,
+    /// 67 chain values.
+    pub wots: Vec<Digest>,
+    /// `height` sibling digests from leaf to root.
+    pub auth_path: Vec<Digest>,
+}
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Signature(leaf={}, h={})",
+            self.leaf_index,
+            self.auth_path.len()
+        )
+    }
+}
+
+impl Signature {
+    /// Serialize: `u64` index, 67 chain digests, then the auth path.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 32 * (self.wots.len() + self.auth_path.len()) + 1);
+        out.extend_from_slice(&self.leaf_index.to_be_bytes());
+        out.push(self.auth_path.len() as u8);
+        for d in &self.wots {
+            out.extend_from_slice(d.as_bytes());
+        }
+        for d in &self.auth_path {
+            out.extend_from_slice(d.as_bytes());
+        }
+        out
+    }
+
+    /// Parse from the output of [`Signature::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Signature, CryptoError> {
+        if bytes.len() < 9 {
+            return Err(CryptoError::Malformed("signature header"));
+        }
+        let mut idx = [0u8; 8];
+        idx.copy_from_slice(&bytes[..8]);
+        let leaf_index = u64::from_be_bytes(idx);
+        let height = bytes[8] as usize;
+        if height > MAX_HEIGHT as usize {
+            return Err(CryptoError::Malformed("signature height"));
+        }
+        let body = &bytes[9..];
+        let expected = 32 * (LEN + height);
+        if body.len() != expected {
+            return Err(CryptoError::Malformed("signature length"));
+        }
+        let read = |i: usize| -> Digest {
+            let mut d = [0u8; 32];
+            d.copy_from_slice(&body[i * 32..(i + 1) * 32]);
+            Digest(d)
+        };
+        let wots = (0..LEN).map(read).collect();
+        let auth_path = (LEN..LEN + height).map(read).collect();
+        Ok(Signature {
+            leaf_index,
+            wots,
+            auth_path,
+        })
+    }
+}
+
+/// A stateful hash-based signing key.
+///
+/// Cloning a signing key and using both copies is a classic one-time-key
+/// hazard; `Keypair` therefore does not implement `Clone`.
+pub struct Keypair {
+    seed: [u8; 32],
+    height: u8,
+    /// Next unused leaf; `2^height` means exhausted.
+    next_leaf: u64,
+    /// Tree node layers, bottom-up; `layers[0]` is the one-time-key leaf layer.
+    layers: Vec<Vec<Digest>>,
+    public: PublicKey,
+}
+
+impl std::fmt::Debug for Keypair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Keypair(h={}, used={}/{}, {})",
+            self.height,
+            self.next_leaf,
+            1u64 << self.height,
+            self.public.root.short()
+        )
+    }
+}
+
+impl Keypair {
+    /// Deterministically generate a keypair of `height` from a 32-byte seed.
+    ///
+    /// Keygen computes all `2^height` one-time public keys; cost grows as
+    /// `2^height`, so keep heights small (≤ 10) in debug/test builds.
+    pub fn from_seed(seed: [u8; 32], height: u8) -> Result<Keypair, CryptoError> {
+        if height == 0 || height > MAX_HEIGHT {
+            return Err(CryptoError::Malformed("keypair height"));
+        }
+        let n = 1u64 << height;
+        let leaves: Vec<Digest> = (0..n).map(|i| wots_leaf(&seed, i)).collect();
+        let mut layers = vec![leaves];
+        while layers.last().unwrap().len() > 1 {
+            let prev = layers.last().unwrap();
+            let next: Vec<Digest> = prev
+                .chunks_exact(2)
+                .map(|pair| node_hash(&pair[0], &pair[1]))
+                .collect();
+            layers.push(next);
+        }
+        let root = layers.last().unwrap()[0];
+        Ok(Keypair {
+            seed,
+            height,
+            next_leaf: 0,
+            layers,
+            public: PublicKey { root, height },
+        })
+    }
+
+    /// Generate a keypair from an RNG-style entropy function.
+    pub fn generate(height: u8, mut fill: impl FnMut(&mut [u8])) -> Result<Keypair, CryptoError> {
+        let mut seed = [0u8; 32];
+        fill(&mut seed);
+        Keypair::from_seed(seed, height)
+    }
+
+    /// The public verification key.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signatures remaining before exhaustion.
+    pub fn remaining(&self) -> u64 {
+        (1u64 << self.height) - self.next_leaf
+    }
+
+    /// Sign `message`, consuming one leaf.
+    pub fn sign(&mut self, message: &[u8]) -> Result<Signature, CryptoError> {
+        let leaf = self.next_leaf;
+        if leaf >= 1u64 << self.height {
+            return Err(CryptoError::KeyExhausted);
+        }
+        self.next_leaf += 1;
+        let msg_digest = sha256(message);
+        let ds = digits(&msg_digest);
+        let wots = (0..LEN)
+            .map(|j| chain(wots_secret(&self.seed, leaf, j), ds[j]))
+            .collect();
+        let mut auth_path = Vec::with_capacity(self.height as usize);
+        let mut index = leaf as usize;
+        for layer in &self.layers[..self.height as usize] {
+            auth_path.push(layer[index ^ 1]);
+            index /= 2;
+        }
+        Ok(Signature {
+            leaf_index: leaf,
+            wots,
+            auth_path,
+        })
+    }
+}
+
+/// Verify `signature` over `message` under `public`.
+pub fn verify(
+    public: &PublicKey,
+    message: &[u8],
+    signature: &Signature,
+) -> Result<(), CryptoError> {
+    if signature.wots.len() != LEN
+        || signature.auth_path.len() != public.height as usize
+        || signature.leaf_index >= 1u64 << public.height
+    {
+        return Err(CryptoError::BadSignature);
+    }
+    let msg_digest = sha256(message);
+    let ds = digits(&msg_digest);
+    let mut h = crate::sha256::Sha256::new();
+    h.update([LEAF_TAG]);
+    for (sig_chain, &digit) in signature.wots.iter().zip(ds.iter()) {
+        let top = chain(*sig_chain, (W - 1) - digit);
+        h.update(top.as_bytes());
+    }
+    let leaf = h.finalize();
+    let root = fold_auth_path(&leaf, signature.leaf_index, &signature.auth_path);
+    if root == public.root {
+        Ok(())
+    } else {
+        Err(CryptoError::BadSignature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keypair(h: u8, tag: u8) -> Keypair {
+        let mut seed = [tag; 32];
+        seed[0] = h;
+        Keypair::from_seed(seed, h).unwrap()
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut kp = keypair(4, 1);
+        let pk = kp.public();
+        for i in 0..5 {
+            let msg = format!("message {i}");
+            let sig = kp.sign(msg.as_bytes()).unwrap();
+            verify(&pk, msg.as_bytes(), &sig).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_tampered_message() {
+        let mut kp = keypair(3, 2);
+        let sig = kp.sign(b"original").unwrap();
+        assert_eq!(
+            verify(&kp.public(), b"tampered", &sig),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_key() {
+        let mut kp1 = keypair(3, 3);
+        let kp2 = keypair(3, 4);
+        let sig = kp1.sign(b"msg").unwrap();
+        assert_eq!(
+            verify(&kp2.public(), b"msg", &sig),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn rejects_tampered_signature() {
+        let mut kp = keypair(3, 5);
+        let mut sig = kp.sign(b"msg").unwrap();
+        sig.wots[10] = sha256(b"garbage");
+        assert_eq!(
+            verify(&kp.public(), b"msg", &sig),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut kp = keypair(1, 6); // 2 signatures
+        assert_eq!(kp.remaining(), 2);
+        kp.sign(b"a").unwrap();
+        kp.sign(b"b").unwrap();
+        assert_eq!(kp.remaining(), 0);
+        assert_eq!(kp.sign(b"c"), Err(CryptoError::KeyExhausted));
+    }
+
+    #[test]
+    fn each_signature_uses_fresh_leaf() {
+        let mut kp = keypair(3, 7);
+        let s1 = kp.sign(b"m").unwrap();
+        let s2 = kp.sign(b"m").unwrap();
+        assert_ne!(s1.leaf_index, s2.leaf_index);
+        // Both still verify.
+        verify(&kp.public(), b"m", &s1).unwrap();
+        verify(&kp.public(), b"m", &s2).unwrap();
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut kp = keypair(4, 8);
+        let sig = kp.sign(b"serialize me").unwrap();
+        let sig2 = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(sig, sig2);
+        verify(&kp.public(), b"serialize me", &sig2).unwrap();
+
+        let pk2 = PublicKey::from_bytes(&kp.public().to_bytes()).unwrap();
+        assert_eq!(pk2, kp.public());
+    }
+
+    #[test]
+    fn serialization_rejects_garbage() {
+        assert!(Signature::from_bytes(&[0u8; 4]).is_err());
+        assert!(Signature::from_bytes(&[0u8; 100]).is_err());
+        assert!(PublicKey::from_bytes(&[0u8; 3]).is_err());
+        let mut bad_height = [0u8; 33];
+        bad_height[0] = 99;
+        assert!(PublicKey::from_bytes(&bad_height).is_err());
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = Keypair::from_seed([9u8; 32], 3).unwrap();
+        let b = Keypair::from_seed([9u8; 32], 3).unwrap();
+        assert_eq!(a.public(), b.public());
+        let c = Keypair::from_seed([10u8; 32], 3).unwrap();
+        assert_ne!(a.public(), c.public());
+    }
+
+    #[test]
+    fn digit_checksum_covers_full_range() {
+        // All-zero digest: 64 zero digits, checksum = 64*15 = 960 = 0x3c0.
+        let ds = digits(&Digest::ZERO);
+        assert_eq!(&ds[LEN1..], &[0x3, 0xc, 0x0]);
+        // All-0xff digest: checksum 0.
+        let ds = digits(&Digest([0xff; 32]));
+        assert_eq!(&ds[LEN1..], &[0, 0, 0]);
+        assert!(ds[..LEN1].iter().all(|&d| d == 15));
+    }
+
+    #[test]
+    fn invalid_heights_rejected() {
+        assert!(Keypair::from_seed([0; 32], 0).is_err());
+        assert!(Keypair::from_seed([0; 32], MAX_HEIGHT + 1).is_err());
+    }
+}

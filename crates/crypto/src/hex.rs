@@ -1,0 +1,64 @@
+//! Lowercase hex encoding and decoding.
+
+use crate::CryptoError;
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encode `data` as lowercase hex.
+pub fn encode(data: impl AsRef<[u8]>) -> String {
+    let data = data.as_ref();
+    let mut out = String::with_capacity(data.len() * 2);
+    for b in data {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decode a hex string (upper- or lowercase). Fails on odd length or
+/// non-hex characters.
+pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
+    let s = s.as_bytes();
+    if !s.len().is_multiple_of(2) {
+        return Err(CryptoError::BadHex);
+    }
+    let nibble = |c: u8| -> Result<u8, CryptoError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(CryptoError::BadHex),
+        }
+    };
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in s.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0x00u8, 0x01, 0xab, 0xff, 0x10];
+        assert_eq!(encode(data), "0001abff10");
+        assert_eq!(decode("0001abff10").unwrap(), data);
+        assert_eq!(decode("0001ABFF10").unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(decode("abc"), Err(CryptoError::BadHex));
+        assert_eq!(decode("zz"), Err(CryptoError::BadHex));
+        assert_eq!(decode("0g"), Err(CryptoError::BadHex));
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode([]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,410 @@
+//! RFC 6962-style Merkle trees with inclusion and consistency proofs.
+//!
+//! Leaf hashes are domain-separated from interior node hashes (`0x00` /
+//! `0x01` prefixes) exactly as in Certificate Transparency, so the
+//! simulated CT log in `nrslb-ctlog` has the same proof semantics as a
+//! real log. The hash-based signature scheme reuses [`fold_auth_path`].
+
+use crate::sha256::{sha256_concat, Digest};
+use crate::CryptoError;
+
+/// Hash of a leaf entry: `SHA-256(0x00 || data)`.
+pub fn leaf_hash(data: &[u8]) -> Digest {
+    sha256_concat(&[&[0x00], data])
+}
+
+/// Hash of an interior node: `SHA-256(0x01 || left || right)`.
+pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    sha256_concat(&[&[0x01], left.as_bytes(), right.as_bytes()])
+}
+
+/// An append-only Merkle tree over opaque leaf hashes.
+///
+/// The tree follows RFC 6962: for `n > 1` leaves, the split point is the
+/// largest power of two strictly less than `n`. The empty tree's root is
+/// `SHA-256("")`, matching CT.
+#[derive(Clone, Debug, Default)]
+pub struct MerkleTree {
+    leaves: Vec<Digest>,
+}
+
+/// An inclusion (audit) proof for one leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InclusionProof {
+    /// Index of the proven leaf.
+    pub leaf_index: u64,
+    /// Tree size the proof was generated against.
+    pub tree_size: u64,
+    /// Sibling hashes from the leaf toward the root.
+    pub path: Vec<Digest>,
+}
+
+/// A consistency proof between two tree sizes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsistencyProof {
+    /// The older tree size.
+    pub old_size: u64,
+    /// The newer tree size.
+    pub new_size: u64,
+    /// Proof nodes per RFC 6962 §2.1.2.
+    pub path: Vec<Digest>,
+}
+
+impl MerkleTree {
+    /// Create an empty tree.
+    pub fn new() -> Self {
+        MerkleTree { leaves: Vec::new() }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> u64 {
+        self.leaves.len() as u64
+    }
+
+    /// True when the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Append a raw entry; returns its leaf index.
+    pub fn push(&mut self, data: &[u8]) -> u64 {
+        self.push_leaf_hash(leaf_hash(data))
+    }
+
+    /// Append a precomputed leaf hash; returns its leaf index.
+    pub fn push_leaf_hash(&mut self, h: Digest) -> u64 {
+        self.leaves.push(h);
+        self.leaves.len() as u64 - 1
+    }
+
+    /// Root hash of the whole tree.
+    pub fn root(&self) -> Digest {
+        self.subtree_root(&self.leaves)
+    }
+
+    /// Root of the first `size` leaves (historical tree head).
+    pub fn root_at(&self, size: u64) -> Option<Digest> {
+        let size = size as usize;
+        if size > self.leaves.len() {
+            return None;
+        }
+        Some(self.subtree_root(&self.leaves[..size]))
+    }
+
+    fn subtree_root(&self, leaves: &[Digest]) -> Digest {
+        match leaves.len() {
+            0 => crate::sha256::sha256(b""),
+            1 => leaves[0],
+            n => {
+                let k = largest_power_of_two_below(n as u64) as usize;
+                node_hash(
+                    &self.subtree_root(&leaves[..k]),
+                    &self.subtree_root(&leaves[k..]),
+                )
+            }
+        }
+    }
+
+    /// Inclusion proof for `leaf_index` in the tree of `tree_size` leaves.
+    pub fn prove_inclusion(&self, leaf_index: u64, tree_size: u64) -> Option<InclusionProof> {
+        if leaf_index >= tree_size || tree_size > self.len() {
+            return None;
+        }
+        let mut path = Vec::new();
+        self.inclusion_path(
+            leaf_index as usize,
+            &self.leaves[..tree_size as usize],
+            &mut path,
+        );
+        Some(InclusionProof {
+            leaf_index,
+            tree_size,
+            path,
+        })
+    }
+
+    fn inclusion_path(&self, index: usize, leaves: &[Digest], out: &mut Vec<Digest>) {
+        if leaves.len() <= 1 {
+            return;
+        }
+        let k = largest_power_of_two_below(leaves.len() as u64) as usize;
+        if index < k {
+            self.inclusion_path(index, &leaves[..k], out);
+            out.push(self.subtree_root(&leaves[k..]));
+        } else {
+            self.inclusion_path(index - k, &leaves[k..], out);
+            out.push(self.subtree_root(&leaves[..k]));
+        }
+    }
+
+    /// Consistency proof between `old_size` and `new_size` (RFC 6962 §2.1.2).
+    pub fn prove_consistency(&self, old_size: u64, new_size: u64) -> Option<ConsistencyProof> {
+        if old_size > new_size || new_size > self.len() || old_size == 0 {
+            return None;
+        }
+        let mut path = Vec::new();
+        if old_size != new_size {
+            self.consistency_path(
+                old_size as usize,
+                &self.leaves[..new_size as usize],
+                true,
+                &mut path,
+            );
+        }
+        Some(ConsistencyProof {
+            old_size,
+            new_size,
+            path,
+        })
+    }
+
+    fn consistency_path(&self, m: usize, leaves: &[Digest], complete: bool, out: &mut Vec<Digest>) {
+        let n = leaves.len();
+        debug_assert!(m <= n);
+        if m == n {
+            if !complete {
+                out.push(self.subtree_root(leaves));
+            }
+            return;
+        }
+        let k = largest_power_of_two_below(n as u64) as usize;
+        if m <= k {
+            self.consistency_path(m, &leaves[..k], complete, out);
+            out.push(self.subtree_root(&leaves[k..]));
+        } else {
+            self.consistency_path(m - k, &leaves[k..], false, out);
+            out.push(self.subtree_root(&leaves[..k]));
+        }
+    }
+}
+
+/// Verify an inclusion proof: does `leaf` live at `proof.leaf_index` in the
+/// tree whose root (at `proof.tree_size`) is `root`?
+pub fn verify_inclusion(
+    leaf: &Digest,
+    proof: &InclusionProof,
+    root: &Digest,
+) -> Result<(), CryptoError> {
+    // Bottom-up verification per RFC 9162 §2.1.3.2.
+    if proof.leaf_index >= proof.tree_size {
+        return Err(CryptoError::BadProof);
+    }
+    let mut fnode = proof.leaf_index;
+    let mut snode = proof.tree_size - 1;
+    let mut hash = *leaf;
+    for sibling in &proof.path {
+        if snode == 0 {
+            return Err(CryptoError::BadProof);
+        }
+        if fnode % 2 == 1 || fnode == snode {
+            hash = node_hash(sibling, &hash);
+            if fnode.is_multiple_of(2) {
+                while fnode.is_multiple_of(2) && fnode != 0 {
+                    fnode >>= 1;
+                    snode >>= 1;
+                }
+            }
+        } else {
+            hash = node_hash(&hash, sibling);
+        }
+        fnode >>= 1;
+        snode >>= 1;
+    }
+    if snode != 0 {
+        return Err(CryptoError::BadProof);
+    }
+    if hash == *root {
+        Ok(())
+    } else {
+        Err(CryptoError::BadProof)
+    }
+}
+
+/// Verify a consistency proof between `old_root` and `new_root`.
+pub fn verify_consistency(
+    proof: &ConsistencyProof,
+    old_root: &Digest,
+    new_root: &Digest,
+) -> Result<(), CryptoError> {
+    let (m, n) = (proof.old_size, proof.new_size);
+    if m == 0 || m > n {
+        return Err(CryptoError::BadProof);
+    }
+    if m == n {
+        return if old_root == new_root && proof.path.is_empty() {
+            Ok(())
+        } else {
+            Err(CryptoError::BadProof)
+        };
+    }
+    // Walk the proof in reverse of generation order, rebuilding both the
+    // old and the new root (RFC 6962 §2.1.4 verification algorithm).
+    let mut node = m - 1;
+    let mut last_node = n - 1;
+    while node % 2 == 1 {
+        node /= 2;
+        last_node /= 2;
+    }
+    let mut path = proof.path.iter();
+    let (mut old_hash, mut new_hash) = if node != 0 {
+        let first = path.next().ok_or(CryptoError::BadProof)?;
+        (*first, *first)
+    } else {
+        (*old_root, *old_root)
+    };
+    while node != 0 || last_node != 0 {
+        if node % 2 == 1 {
+            let p = path.next().ok_or(CryptoError::BadProof)?;
+            old_hash = node_hash(p, &old_hash);
+            new_hash = node_hash(p, &new_hash);
+        } else if node < last_node {
+            let p = path.next().ok_or(CryptoError::BadProof)?;
+            new_hash = node_hash(&new_hash, p);
+        }
+        node /= 2;
+        last_node /= 2;
+    }
+    if path.next().is_some() {
+        return Err(CryptoError::BadProof);
+    }
+    if old_hash == *old_root && new_hash == *new_root {
+        Ok(())
+    } else {
+        Err(CryptoError::BadProof)
+    }
+}
+
+/// Fold an authentication path from a leaf up to a root, given the leaf
+/// index. Used by the hash-based signature scheme where trees are complete
+/// (size `2^h`).
+pub fn fold_auth_path(leaf: &Digest, mut index: u64, path: &[Digest]) -> Digest {
+    let mut hash = *leaf;
+    for sibling in path {
+        hash = if index.is_multiple_of(2) {
+            node_hash(&hash, sibling)
+        } else {
+            node_hash(sibling, &hash)
+        };
+        index /= 2;
+    }
+    hash
+}
+
+fn largest_power_of_two_below(n: u64) -> u64 {
+    debug_assert!(n > 1);
+    let mut k = 1u64;
+    while k * 2 < n {
+        k *= 2;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn build(n: usize) -> (MerkleTree, Vec<Digest>) {
+        let mut tree = MerkleTree::new();
+        let mut leaves = Vec::new();
+        for i in 0..n {
+            let data = format!("entry-{i}");
+            leaves.push(leaf_hash(data.as_bytes()));
+            tree.push(data.as_bytes());
+        }
+        (tree, leaves)
+    }
+
+    #[test]
+    fn empty_root_matches_ct() {
+        // RFC 6962: the hash of an empty tree is SHA-256 of the empty string.
+        assert_eq!(MerkleTree::new().root(), sha256(b""));
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let (tree, leaves) = build(1);
+        assert_eq!(tree.root(), leaves[0]);
+    }
+
+    #[test]
+    fn inclusion_proofs_verify_for_all_sizes() {
+        for n in 1..=33u64 {
+            let (tree, leaves) = build(n as usize);
+            let root = tree.root();
+            for i in 0..n {
+                let proof = tree.prove_inclusion(i, n).unwrap();
+                verify_inclusion(&leaves[i as usize], &proof, &root)
+                    .unwrap_or_else(|_| panic!("n={n} i={i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn inclusion_proof_rejects_wrong_leaf() {
+        let (tree, leaves) = build(8);
+        let proof = tree.prove_inclusion(3, 8).unwrap();
+        let root = tree.root();
+        assert!(verify_inclusion(&leaves[4], &proof, &root).is_err());
+    }
+
+    #[test]
+    fn inclusion_proof_rejects_wrong_root() {
+        let (tree, leaves) = build(8);
+        let proof = tree.prove_inclusion(3, 8).unwrap();
+        assert!(verify_inclusion(&leaves[3], &proof, &sha256(b"bogus")).is_err());
+    }
+
+    #[test]
+    fn inclusion_proof_rejects_truncated_path() {
+        let (tree, leaves) = build(8);
+        let mut proof = tree.prove_inclusion(3, 8).unwrap();
+        proof.path.pop();
+        assert!(verify_inclusion(&leaves[3], &proof, &tree.root()).is_err());
+    }
+
+    #[test]
+    fn historical_roots() {
+        let (tree, _) = build(20);
+        let (tree13, _) = build(13);
+        assert_eq!(tree.root_at(13).unwrap(), tree13.root());
+        assert!(tree.root_at(21).is_none());
+    }
+
+    #[test]
+    fn consistency_proofs_verify_for_all_size_pairs() {
+        let (tree, _) = build(32);
+        for old in 1..=32u64 {
+            for new in old..=32u64 {
+                let proof = tree.prove_consistency(old, new).unwrap();
+                let old_root = tree.root_at(old).unwrap();
+                let new_root = tree.root_at(new).unwrap();
+                verify_consistency(&proof, &old_root, &new_root)
+                    .unwrap_or_else(|_| panic!("old={old} new={new}"));
+            }
+        }
+    }
+
+    #[test]
+    fn consistency_proof_rejects_forked_tree() {
+        let (tree, _) = build(16);
+        let proof = tree.prove_consistency(7, 16).unwrap();
+        let old_root = tree.root_at(7).unwrap();
+        // A fork: different history of the same size.
+        let mut forked = MerkleTree::new();
+        for i in 0..16 {
+            forked.push(format!("fork-{i}").as_bytes());
+        }
+        assert!(verify_consistency(&proof, &old_root, &forked.root()).is_err());
+    }
+
+    #[test]
+    fn fold_auth_path_matches_tree_root_for_complete_trees() {
+        let (tree, leaves) = build(16);
+        let root = tree.root();
+        for i in 0..16u64 {
+            let proof = tree.prove_inclusion(i, 16).unwrap();
+            assert_eq!(fold_auth_path(&leaves[i as usize], i, &proof.path), root);
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! Synthetic Web-PKI issuance corpus, calibrated to the paper's §5.1
+//! measurement of the NSS root store and four CT logs (July/August 2022).
+//!
+//! The calibration sets the *marginals* (how many CAs carry which
+//! constraints, how TLD scopes are sized); all downstream numbers —
+//! the constraint-prevalence table (E2), the CAge CDF (E3) — are
+//! re-derived by scanning the generated certificates with the analysis
+//! code in `nrslb-preemptive`, exactly as a measurement over real CT
+//! data would.
+//!
+//! Corpus certificates carry **dummy signatures**
+//! ([`nrslb_x509::CertificateBuilder::build_unsigned`]): the scanning and
+//! conversion experiments never verify signatures, and skipping the
+//! hash-based signing makes 100 000-leaf corpora cheap to build. The
+//! small-scale incident/lag simulations (`nrslb-sim`) build real signed
+//! PKIs instead.
+
+use crate::log::CtLog;
+use nrslb_x509::builder::CaKey;
+use nrslb_x509::extensions::{BasicConstraints, ExtendedKeyUsage, KeyUsage, NameConstraints};
+use nrslb_x509::{oids, Certificate, CertificateBuilder, DistinguishedName};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Corpus shape parameters.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// RNG seed; corpora are deterministic given the config.
+    pub seed: u64,
+    /// Number of root certificates (paper: 140).
+    pub n_roots: usize,
+    /// Number of intermediate CA certificates (paper: 776).
+    pub n_intermediates: usize,
+    /// Number of leaf certificates to issue.
+    pub n_leaves: usize,
+    /// Roots carrying a path-length constraint (paper: 5).
+    pub roots_with_path_len: usize,
+    /// Roots carrying name constraints (paper: 0).
+    pub roots_with_name_constraints: usize,
+    /// Intermediates carrying a path-length constraint (paper: 701).
+    pub ints_with_path_len: usize,
+    /// Intermediates carrying name constraints (paper: 31).
+    pub ints_with_name_constraints: usize,
+    /// Distinct roots that should appear in at least one chain with a
+    /// name-constrained intermediate (paper: 6).
+    pub roots_with_nc_chain: usize,
+    /// Size of the TLD universe.
+    pub n_tlds: usize,
+    /// Per-CA TLD-scope geometric parameter; 0.206 gives
+    /// P(scope ≤ 10) ≈ 0.9, the CAge observation.
+    pub scope_geometric_p: f64,
+    /// Leaf issuance window (Unix seconds).
+    pub issuance_window: (i64, i64),
+    /// Fraction of EV leaves.
+    pub ev_fraction: f64,
+    /// Sign certificates with real hash-based keys (slower; default
+    /// false — scanning/conversion experiments never verify signatures).
+    /// Signed corpora allow full validator runs over corpus chains; keep
+    /// leaf counts moderate (every leaf consumes a one-time signature
+    /// from its issuing CA's 2^9-leaf key).
+    pub signed: bool,
+}
+
+/// Roughly 2021-08-01.
+const WINDOW_START: i64 = 1_627_776_000;
+/// Roughly 2022-08-01.
+const WINDOW_END: i64 = 1_659_312_000;
+
+impl CorpusConfig {
+    /// The paper-calibrated configuration with a chosen leaf count.
+    pub fn paper_2022(n_leaves: usize) -> CorpusConfig {
+        CorpusConfig {
+            seed: 0x0051_2022,
+            n_roots: 140,
+            n_intermediates: 776,
+            n_leaves,
+            roots_with_path_len: 5,
+            roots_with_name_constraints: 0,
+            ints_with_path_len: 701,
+            ints_with_name_constraints: 31,
+            roots_with_nc_chain: 6,
+            n_tlds: 120,
+            scope_geometric_p: 0.206,
+            issuance_window: (WINDOW_START, WINDOW_END),
+            ev_fraction: 0.05,
+            signed: false,
+        }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn small(seed: u64) -> CorpusConfig {
+        CorpusConfig {
+            seed,
+            n_roots: 12,
+            n_intermediates: 40,
+            n_leaves: 400,
+            roots_with_path_len: 2,
+            roots_with_name_constraints: 0,
+            ints_with_path_len: 35,
+            ints_with_name_constraints: 4,
+            roots_with_nc_chain: 3,
+            n_tlds: 30,
+            scope_geometric_p: 0.206,
+            issuance_window: (WINDOW_START, WINDOW_END),
+            ev_fraction: 0.05,
+            signed: false,
+        }
+    }
+
+    /// Enable real signing (see the `signed` field).
+    pub fn signed(mut self) -> CorpusConfig {
+        self.signed = true;
+        self
+    }
+}
+
+/// The generated corpus: certificates plus the ground-truth structure
+/// (who issued what, which TLDs each CA legitimately serves).
+pub struct Corpus {
+    /// Configuration used.
+    pub config: CorpusConfig,
+    /// Self-issued root certificates.
+    pub roots: Vec<Certificate>,
+    /// Intermediate CA certificates.
+    pub intermediates: Vec<Certificate>,
+    /// For each intermediate, the index of its issuing root.
+    pub int_issuer: Vec<usize>,
+    /// Leaf certificates.
+    pub leaves: Vec<Certificate>,
+    /// For each leaf, the index of its issuing intermediate.
+    pub leaf_issuer: Vec<usize>,
+    /// The TLD universe.
+    pub tlds: Vec<String>,
+    /// Ground-truth TLD scope (indices into `tlds`) per intermediate.
+    pub int_scopes: Vec<Vec<usize>>,
+}
+
+impl Corpus {
+    /// Generate a corpus from `config`.
+    pub fn generate(config: CorpusConfig) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // TLD universe: a few real ones for flavor plus synthetic ones,
+        // Zipf-weighted by rank.
+        let real = [
+            "com", "net", "org", "de", "fr", "uk", "cn", "jp", "br", "tr",
+        ];
+        let tlds: Vec<String> = (0..config.n_tlds)
+            .map(|i| {
+                real.get(i)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| format!("tld{i:03}"))
+            })
+            .collect();
+        let tld_weight = |i: usize| 1.0 / (i as f64 + 1.5);
+
+        // --- Roots ---
+        let mut roots = Vec::with_capacity(config.n_roots);
+        let mut root_keys: Vec<CaKey> = Vec::new();
+        for i in 0..config.n_roots {
+            let name = DistinguishedName::ca(
+                &format!("Synthetic Root CA R{i:03}"),
+                &format!("Trust Services {i:03}"),
+                "US",
+            );
+            let mut b = CertificateBuilder::new()
+                .subject(name.clone())
+                .validity_window(
+                    WINDOW_START - 15 * 365 * 86_400,
+                    WINDOW_END + 15 * 365 * 86_400,
+                )
+                .key_usage(KeyUsage::KEY_CERT_SIGN.union(KeyUsage::CRL_SIGN))
+                .serial(1_000_000 + i as i128);
+            let path_len = if i < config.roots_with_path_len {
+                Some(1 + (i as u32 % 3))
+            } else {
+                None
+            };
+            b = b.basic_constraints(BasicConstraints { ca: true, path_len });
+            if i < config.roots_with_name_constraints {
+                b = b.name_constraints(NameConstraints::permit(&["gov"]));
+            }
+            if config.signed {
+                let mut seed = [0u8; 32];
+                rng.fill(&mut seed);
+                let key = CaKey::from_seed(name, seed, 8).expect("root key");
+                let cert = b
+                    .subject_key(key.public())
+                    .build_self_signed(&key)
+                    .expect("root construction");
+                roots.push(cert);
+                root_keys.push(key);
+            } else {
+                roots.push(b.build_unsigned(name).expect("root construction"));
+            }
+        }
+
+        // --- Intermediates ---
+        // Name-constrained intermediates hang off exactly
+        // `roots_with_nc_chain` distinct roots.
+        let nc_root_pool: Vec<usize> =
+            (0..config.roots_with_nc_chain.min(config.n_roots)).collect();
+        // Scope sizes are geometric (most CAs serve few TLDs; ~10% serve
+        // more than 10) and assigned in descending order of issuance
+        // volume — large CAs serve broad scopes, as in the real PKI.
+        let mut scope_sizes: Vec<usize> = (0..config.n_intermediates)
+            .map(|_| {
+                let mut k = 1usize;
+                while rng.gen::<f64>() > config.scope_geometric_p && k < config.n_tlds {
+                    k += 1;
+                }
+                k
+            })
+            .collect();
+        scope_sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let mut intermediates = Vec::with_capacity(config.n_intermediates);
+        let mut int_issuer = Vec::with_capacity(config.n_intermediates);
+        let mut int_scopes = Vec::with_capacity(config.n_intermediates);
+        let mut int_keys: Vec<CaKey> = Vec::new();
+        for i in 0..config.n_intermediates {
+            // Name-constrained CAs are the low-volume tail (gov-style).
+            let name_constrained = i >= config.n_intermediates - config.ints_with_name_constraints;
+            let mut k = scope_sizes[i];
+            if name_constrained {
+                k = k.min(3); // constrained CAs are narrow (gov-style)
+            }
+            // Zipf-weighted sample without replacement.
+            let mut scope: Vec<usize> = Vec::with_capacity(k);
+            while scope.len() < k {
+                let pick = weighted_pick(&mut rng, config.n_tlds, tld_weight);
+                if !scope.contains(&pick) {
+                    scope.push(pick);
+                }
+            }
+            scope.sort_unstable();
+
+            let issuer_idx = if name_constrained {
+                nc_root_pool[i % nc_root_pool.len()]
+            } else {
+                rng.gen_range(0..config.n_roots)
+            };
+            let name = DistinguishedName::ca(
+                &format!("Synthetic Issuing CA I{i:04}"),
+                &format!("Trust Services {issuer_idx:03}"),
+                "US",
+            );
+            let mut b = CertificateBuilder::new()
+                .subject(name.clone())
+                .validity_window(
+                    WINDOW_START - 8 * 365 * 86_400,
+                    WINDOW_END + 8 * 365 * 86_400,
+                )
+                .key_usage(KeyUsage::KEY_CERT_SIGN.union(KeyUsage::CRL_SIGN))
+                .serial(2_000_000 + i as i128);
+            let path_len = if i >= config.n_intermediates - config.ints_with_path_len {
+                Some(0)
+            } else {
+                None
+            };
+            b = b.basic_constraints(BasicConstraints { ca: true, path_len });
+            if name_constrained {
+                let bases: Vec<String> = scope.iter().map(|&t| tlds[t].clone()).collect();
+                let base_refs: Vec<&str> = bases.iter().map(|s| s.as_str()).collect();
+                b = b.name_constraints(NameConstraints::permit(&base_refs));
+            }
+            let cert = if config.signed {
+                let mut seed = [0u8; 32];
+                rng.fill(&mut seed);
+                let key = CaKey::from_seed(name, seed, 9).expect("intermediate key");
+                let cert = b
+                    .subject_key(key.public())
+                    .build_signed_by(&root_keys[issuer_idx])
+                    .expect("intermediate construction");
+                int_keys.push(key);
+                cert
+            } else {
+                b.build_unsigned(roots[issuer_idx].subject().clone())
+                    .expect("intermediate construction")
+            };
+            intermediates.push(cert);
+            int_issuer.push(issuer_idx);
+            int_scopes.push(scope);
+        }
+
+        // --- Leaves ---
+        // Issuance volume is skewed: a few big CAs issue most leaves.
+        let int_weight = |i: usize| 1.0 / (i as f64 + 2.0);
+        let mut leaves = Vec::with_capacity(config.n_leaves);
+        let mut leaf_issuer = Vec::with_capacity(config.n_leaves);
+        let (win_start, win_end) = config.issuance_window;
+        for i in 0..config.n_leaves {
+            let ca = weighted_pick(&mut rng, config.n_intermediates, int_weight);
+            let scope = &int_scopes[ca];
+            let tld_idx = scope[weighted_pick(&mut rng, scope.len(), |j| 1.0 / (j as f64 + 1.0))];
+            let domain = format!("host{:05}.{}", rng.gen_range(0..100_000), tlds[tld_idx]);
+            let not_before = rng.gen_range(win_start..win_end);
+            let lifetime: i64 = match rng.gen_range(0..10) {
+                0..=5 => 90 * 86_400,
+                6..=8 => 365 * 86_400,
+                _ => 398 * 86_400,
+            };
+            let mut san: Vec<String> = vec![domain.clone()];
+            if rng.gen_bool(0.3) {
+                san.push(format!("www.{domain}"));
+            }
+            if rng.gen_bool(0.1) {
+                san.push(format!("*.{domain}"));
+            }
+            let san_refs: Vec<&str> = san.iter().map(|s| s.as_str()).collect();
+            let mut eku = vec![oids::kp_server_auth()];
+            if rng.gen_bool(0.4) {
+                eku.push(oids::kp_client_auth());
+            }
+            let mut b = CertificateBuilder::new()
+                .subject(DistinguishedName::common_name(&domain))
+                .dns_names(&san_refs)
+                .validity_window(not_before, not_before + lifetime)
+                .key_usage(KeyUsage::DIGITAL_SIGNATURE.union(KeyUsage::KEY_ENCIPHERMENT))
+                .extended_key_usage(ExtendedKeyUsage(eku))
+                .serial(10_000_000 + i as i128);
+            if rng.gen_bool(config.ev_fraction) {
+                b = b.ev();
+            }
+            let cert = if config.signed {
+                b.build_signed_by(&int_keys[ca])
+                    .expect("leaf construction (issuing key exhausted? lower n_leaves)")
+            } else {
+                b.build_unsigned(intermediates[ca].subject().clone())
+                    .expect("leaf construction")
+            };
+            leaves.push(cert);
+            leaf_issuer.push(ca);
+        }
+
+        Corpus {
+            config,
+            roots,
+            intermediates,
+            int_issuer,
+            leaves,
+            leaf_issuer,
+            tlds,
+            int_scopes,
+        }
+    }
+
+    /// The full chain (leaf, intermediate, root) for leaf `i`.
+    pub fn chain_for_leaf(&self, i: usize) -> Vec<Certificate> {
+        let int = self.leaf_issuer[i];
+        let root = self.int_issuer[int];
+        vec![
+            self.leaves[i].clone(),
+            self.intermediates[int].clone(),
+            self.roots[root].clone(),
+        ]
+    }
+
+    /// Build a CT log over all leaves (entry index = leaf index).
+    pub fn to_log(&self) -> CtLog {
+        let mut log = CtLog::new([0x1c; 32], 4).expect("log key");
+        for leaf in &self.leaves {
+            log.append(leaf.clone());
+        }
+        log
+    }
+}
+
+/// Pick an index in `0..n` with probability proportional to `weight`.
+fn weighted_pick(rng: &mut StdRng, n: usize, weight: impl Fn(usize) -> f64) -> usize {
+    let total: f64 = (0..n).map(&weight).sum();
+    let mut target = rng.gen::<f64>() * total;
+    for i in 0..n {
+        target -= weight(i);
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Corpus::generate(CorpusConfig::small(1));
+        let b = Corpus::generate(CorpusConfig::small(1));
+        assert_eq!(a.leaves[0].fingerprint(), b.leaves[0].fingerprint());
+        let c = Corpus::generate(CorpusConfig::small(2));
+        assert_ne!(a.leaves[0].fingerprint(), c.leaves[0].fingerprint());
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let config = CorpusConfig::small(3);
+        let corpus = Corpus::generate(config.clone());
+        assert_eq!(corpus.roots.len(), config.n_roots);
+        assert_eq!(corpus.intermediates.len(), config.n_intermediates);
+        assert_eq!(corpus.leaves.len(), config.n_leaves);
+
+        let nc_ints = corpus
+            .intermediates
+            .iter()
+            .filter(|c| c.extensions().name_constraints.is_some())
+            .count();
+        assert_eq!(nc_ints, config.ints_with_name_constraints);
+        let pl_ints = corpus
+            .intermediates
+            .iter()
+            .filter(|c| c.path_len().is_some())
+            .count();
+        assert_eq!(pl_ints, config.ints_with_path_len);
+        let pl_roots = corpus
+            .roots
+            .iter()
+            .filter(|c| c.path_len().is_some())
+            .count();
+        assert_eq!(pl_roots, config.roots_with_path_len);
+        assert!(corpus.roots.iter().all(|c| c.is_ca()));
+        assert!(corpus.leaves.iter().all(|c| !c.is_ca()));
+    }
+
+    #[test]
+    fn nc_chains_touch_configured_root_count() {
+        let config = CorpusConfig::small(4);
+        let corpus = Corpus::generate(config.clone());
+        let mut nc_roots: Vec<usize> = corpus
+            .intermediates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.extensions().name_constraints.is_some())
+            .map(|(i, _)| corpus.int_issuer[i])
+            .collect();
+        nc_roots.sort_unstable();
+        nc_roots.dedup();
+        assert_eq!(nc_roots.len(), config.roots_with_nc_chain);
+    }
+
+    #[test]
+    fn leaves_respect_issuer_scope() {
+        let corpus = Corpus::generate(CorpusConfig::small(5));
+        for (i, leaf) in corpus.leaves.iter().enumerate() {
+            let scope = &corpus.int_scopes[corpus.leaf_issuer[i]];
+            for san in leaf.dns_names() {
+                let tld = nrslb_x509::name::tld(san).unwrap();
+                assert!(
+                    scope.iter().any(|&t| corpus.tlds[t] == tld),
+                    "leaf {i} SAN {san} outside issuer scope"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chains_are_name_consistent() {
+        let corpus = Corpus::generate(CorpusConfig::small(6));
+        for i in (0..corpus.leaves.len()).step_by(37) {
+            let chain = corpus.chain_for_leaf(i);
+            assert_eq!(chain[0].issuer(), chain[1].subject());
+            assert_eq!(chain[1].issuer(), chain[2].subject());
+            assert_eq!(chain[2].issuer(), chain[2].subject()); // self-issued root
+        }
+    }
+
+    #[test]
+    fn log_contains_all_leaves() {
+        let corpus = Corpus::generate(CorpusConfig::small(7));
+        let log = corpus.to_log();
+        assert_eq!(log.len(), corpus.leaves.len() as u64);
+        assert_eq!(log.get(0).unwrap(), &corpus.leaves[0]);
+    }
+
+    #[test]
+    fn issuance_window_respected() {
+        let config = CorpusConfig::small(8);
+        let corpus = Corpus::generate(config.clone());
+        for leaf in &corpus.leaves {
+            let nb = leaf.validity().not_before;
+            assert!(nb >= config.issuance_window.0 && nb < config.issuance_window.1);
+        }
+    }
+}

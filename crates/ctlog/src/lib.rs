@@ -1,0 +1,26 @@
+//! # `nrslb-ctlog` — a simulated Certificate Transparency log and the
+//! calibrated issuance corpus
+//!
+//! The paper's pre-emptive-constraint proposal (§5) leans on Certificate
+//! Transparency: "operators can more easily examine scopes of issuance
+//! because all certificates must be publicly logged". This crate provides:
+//!
+//! * [`log`] — an append-only Merkle log in the RFC 6962 mold: signed
+//!   tree heads, inclusion and consistency proofs (via `nrslb-crypto`'s
+//!   Merkle tree), and an entry-iteration API for monitors.
+//! * [`corpus`] — the synthetic Web-PKI issuance corpus, calibrated to
+//!   the paper's July/August 2022 measurement (§5.1): 140 roots (0
+//!   name-constrained, 5 path-length-constrained), 776 intermediates
+//!   (701 path-length, 31 name-constrained), 6 roots appearing in a
+//!   chain with a name-constrained intermediate, and per-CA TLD scopes
+//!   sized so ~90% of CAs issue for ≤ 10 TLDs (the CAge observation,
+//!   §5.2). The *analysis* code in `nrslb-preemptive` re-derives all of
+//!   those numbers by scanning the generated certificates.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod log;
+
+pub use corpus::{Corpus, CorpusConfig};
+pub use log::{CtLog, SignedTreeHead};

@@ -1,0 +1,219 @@
+//! The append-only certificate log: Merkle tree + signed tree heads.
+
+use nrslb_crypto::hbs::{self, Keypair, PublicKey, Signature};
+use nrslb_crypto::merkle::{
+    leaf_hash, verify_consistency, verify_inclusion, ConsistencyProof, InclusionProof, MerkleTree,
+};
+use nrslb_crypto::sha256::Digest;
+use nrslb_crypto::CryptoError;
+use nrslb_x509::Certificate;
+use std::sync::Mutex;
+
+/// A signed tree head: the log's commitment to its first `size` entries.
+#[derive(Clone, Debug)]
+pub struct SignedTreeHead {
+    /// Number of committed entries.
+    pub size: u64,
+    /// Merkle root over those entries.
+    pub root: Digest,
+    /// Issuance timestamp (Unix seconds).
+    pub timestamp: i64,
+    /// Log signature over `(size, root, timestamp)`.
+    pub signature: Signature,
+}
+
+fn sth_bytes(size: u64, root: &Digest, timestamp: i64) -> Vec<u8> {
+    let mut out = b"nrslb-ct-sth-v1:".to_vec();
+    out.extend_from_slice(&size.to_be_bytes());
+    out.extend_from_slice(root.as_bytes());
+    out.extend_from_slice(&timestamp.to_be_bytes());
+    out
+}
+
+impl SignedTreeHead {
+    /// Verify under the log's public key.
+    pub fn verify(&self, log_key: &PublicKey) -> Result<(), CryptoError> {
+        hbs::verify(
+            log_key,
+            &sth_bytes(self.size, &self.root, self.timestamp),
+            &self.signature,
+        )
+    }
+}
+
+/// A simulated CT log over certificates.
+pub struct CtLog {
+    tree: MerkleTree,
+    entries: Vec<Certificate>,
+    key: Mutex<Keypair>,
+    public: PublicKey,
+}
+
+impl CtLog {
+    /// Create a log with a deterministic key. `height` bounds the number
+    /// of STHs the log can sign.
+    pub fn new(seed: [u8; 32], height: u8) -> Result<CtLog, CryptoError> {
+        let key = Keypair::from_seed(seed, height)?;
+        let public = key.public();
+        Ok(CtLog {
+            tree: MerkleTree::new(),
+            entries: Vec::new(),
+            key: Mutex::new(key),
+            public,
+        })
+    }
+
+    /// The log's public verification key.
+    pub fn public_key(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Number of logged certificates.
+    pub fn len(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// True when nothing is logged.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Append a certificate; returns its entry index.
+    pub fn append(&mut self, cert: Certificate) -> u64 {
+        let idx = self.tree.push(cert.to_der());
+        self.entries.push(cert);
+        idx
+    }
+
+    /// The certificate at `index`.
+    pub fn get(&self, index: u64) -> Option<&Certificate> {
+        self.entries.get(index as usize)
+    }
+
+    /// Iterate all logged certificates (what a monitor consumes).
+    pub fn iter(&self) -> impl Iterator<Item = &Certificate> {
+        self.entries.iter()
+    }
+
+    /// Sign the current tree head.
+    pub fn sign_tree_head(&self, timestamp: i64) -> Result<SignedTreeHead, CryptoError> {
+        let size = self.tree.len();
+        let root = self.tree.root();
+        let signature = self
+            .key
+            .lock()
+            .unwrap()
+            .sign(&sth_bytes(size, &root, timestamp))?;
+        Ok(SignedTreeHead {
+            size,
+            root,
+            timestamp,
+            signature,
+        })
+    }
+
+    /// Inclusion proof for entry `index` against tree size `size`.
+    pub fn prove_inclusion(&self, index: u64, size: u64) -> Option<InclusionProof> {
+        self.tree.prove_inclusion(index, size)
+    }
+
+    /// Consistency proof between two tree sizes.
+    pub fn prove_consistency(&self, old: u64, new: u64) -> Option<ConsistencyProof> {
+        self.tree.prove_consistency(old, new)
+    }
+}
+
+/// Verify a certificate's inclusion proof against a signed tree head.
+pub fn verify_cert_inclusion(
+    cert: &Certificate,
+    proof: &InclusionProof,
+    sth: &SignedTreeHead,
+    log_key: &PublicKey,
+) -> Result<(), CryptoError> {
+    sth.verify(log_key)?;
+    if proof.tree_size != sth.size {
+        return Err(CryptoError::BadProof);
+    }
+    verify_inclusion(&leaf_hash(cert.to_der()), proof, &sth.root)
+}
+
+/// Verify log append-only-ness between two signed tree heads.
+pub fn verify_log_consistency(
+    proof: &ConsistencyProof,
+    old: &SignedTreeHead,
+    new: &SignedTreeHead,
+    log_key: &PublicKey,
+) -> Result<(), CryptoError> {
+    old.verify(log_key)?;
+    new.verify(log_key)?;
+    if proof.old_size != old.size || proof.new_size != new.size {
+        return Err(CryptoError::BadProof);
+    }
+    verify_consistency(proof, &old.root, &new.root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrslb_x509::testutil::simple_chain;
+
+    fn log_with(n: usize) -> (CtLog, Vec<Certificate>) {
+        let mut log = CtLog::new([0x11; 32], 6).unwrap();
+        let mut certs = Vec::new();
+        for i in 0..n {
+            let pki = simple_chain(&format!("log{i}.example"));
+            log.append(pki.leaf.clone());
+            certs.push(pki.leaf);
+        }
+        (log, certs)
+    }
+
+    #[test]
+    fn inclusion_proofs_against_sth() {
+        let (log, certs) = log_with(5);
+        let sth = log.sign_tree_head(1_000).unwrap();
+        for (i, cert) in certs.iter().enumerate() {
+            let proof = log.prove_inclusion(i as u64, sth.size).unwrap();
+            verify_cert_inclusion(cert, &proof, &sth, &log.public_key()).unwrap();
+        }
+    }
+
+    #[test]
+    fn wrong_cert_fails_inclusion() {
+        let (log, _) = log_with(4);
+        let sth = log.sign_tree_head(0).unwrap();
+        let proof = log.prove_inclusion(0, sth.size).unwrap();
+        let other = simple_chain("other.example").leaf;
+        assert!(verify_cert_inclusion(&other, &proof, &sth, &log.public_key()).is_err());
+    }
+
+    #[test]
+    fn consistency_between_sths() {
+        let (mut log, _) = log_with(3);
+        let old = log.sign_tree_head(10).unwrap();
+        let pki = simple_chain("later.example");
+        log.append(pki.leaf);
+        log.append(pki.intermediate);
+        let new = log.sign_tree_head(20).unwrap();
+        let proof = log.prove_consistency(old.size, new.size).unwrap();
+        verify_log_consistency(&proof, &old, &new, &log.public_key()).unwrap();
+    }
+
+    #[test]
+    fn forged_sth_rejected() {
+        let (log, _) = log_with(2);
+        let mut sth = log.sign_tree_head(0).unwrap();
+        sth.size += 1; // tamper
+        assert!(sth.verify(&log.public_key()).is_err());
+    }
+
+    #[test]
+    fn monitor_iteration() {
+        let (log, certs) = log_with(3);
+        let seen: Vec<_> = log.iter().collect();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[1], &certs[1]);
+        assert_eq!(log.get(2), Some(&certs[2]));
+        assert_eq!(log.get(3), None);
+    }
+}

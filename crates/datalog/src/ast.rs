@@ -1,0 +1,327 @@
+//! Abstract syntax for stratified Datalog programs.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A ground value: the constants that populate relations.
+///
+/// Strings are reference-counted because certificate fact bases repeat the
+/// same handles (fingerprint hex, chain ids) across many tuples.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Val {
+    /// A 64-bit integer (timestamps, lifetimes, path lengths...).
+    Int(i64),
+    /// A string constant (`"TLS"`, fingerprints, DNS names...).
+    Str(Arc<str>),
+}
+
+impl Val {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Val {
+        Val::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Construct an integer value.
+    pub fn int(i: i64) -> Val {
+        Val::Int(i)
+    }
+
+    /// The integer contents, if this is an [`Val::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Val::Int(i) => Some(*i),
+            Val::Str(_) => None,
+        }
+    }
+
+    /// The string contents, if this is a [`Val::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            Val::Int(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Int(i) => write!(f, "{i}"),
+            Val::Str(s) => write!(f, "{:?}", s.as_ref()),
+        }
+    }
+}
+
+/// A term: a constant or a variable.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A ground constant.
+    Const(Val),
+    /// A variable (`X`, `Chain`, `_Ignored`). The anonymous variable `_`
+    /// is expanded to a fresh name by the parser.
+    Var(Arc<str>),
+}
+
+impl Term {
+    /// Construct a variable term.
+    pub fn var(name: impl AsRef<str>) -> Term {
+        Term::Var(Arc::from(name.as_ref()))
+    }
+
+    /// Construct an integer constant term.
+    pub fn int(i: i64) -> Term {
+        Term::Const(Val::Int(i))
+    }
+
+    /// Construct a string constant term.
+    pub fn str(s: impl AsRef<str>) -> Term {
+        Term::Const(Val::str(s))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => write!(f, "{v}"),
+            Term::Var(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// A predicate applied to terms: `notBefore(Cert, NB)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Literal {
+    /// Predicate name.
+    pub pred: Arc<str>,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Literal {
+    /// Construct a literal.
+    pub fn new(pred: impl AsRef<str>, args: Vec<Term>) -> Literal {
+        Literal {
+            pred: Arc::from(pred.as_ref()),
+            args,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, arg) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{arg}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Comparison operators available in rule bodies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=` (also written `=<` in classic Prolog; both are accepted)
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==` — equality test (both sides must be bound)
+    Eq,
+    /// `!=` (also `\=`)
+    Ne,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic operators in expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+        })
+    }
+}
+
+/// An arithmetic expression over integer terms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A bare term.
+    Term(Term),
+    /// A binary operation.
+    Bin(Box<Expr>, ArithOp, Box<Expr>),
+}
+
+impl Expr {
+    /// All variables mentioned in the expression.
+    pub fn vars(&self, out: &mut Vec<Arc<str>>) {
+        match self {
+            Expr::Term(Term::Var(v)) => out.push(v.clone()),
+            Expr::Term(Term::Const(_)) => {}
+            Expr::Bin(l, _, r) => {
+                l.vars(out);
+                r.vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Term(t) => write!(f, "{t}"),
+            Expr::Bin(l, op, r) => write!(f, "({l} {op} {r})"),
+        }
+    }
+}
+
+/// One item in a rule body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BodyItem {
+    /// A positive literal: joins against the relation.
+    Pos(Literal),
+    /// A negated literal: `\+ EV(Cert)`. Requires stratification.
+    Neg(Literal),
+    /// A comparison between two arithmetic expressions: `NB < T`.
+    Cmp(Expr, CmpOp, Expr),
+    /// `X = Expr` — evaluate the right side and bind (or check) the left
+    /// variable: `Lifetime = NA - NB`.
+    Assign(Arc<str>, Expr),
+}
+
+impl fmt::Display for BodyItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyItem::Pos(l) => write!(f, "{l}"),
+            BodyItem::Neg(l) => write!(f, "\\+{l}"),
+            BodyItem::Cmp(a, op, b) => write!(f, "{a} {op} {b}"),
+            BodyItem::Assign(v, e) => write!(f, "{v} = {e}"),
+        }
+    }
+}
+
+/// A rule `head :- body.`; a fact is a rule with an empty body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// The derived literal.
+    pub head: Literal,
+    /// Body items, evaluated left to right.
+    pub body: Vec<BodyItem>,
+}
+
+impl Rule {
+    /// True when the rule has no body (a ground or non-ground fact; only
+    /// ground facts pass the safety check).
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, item) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{item}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A parsed program: an ordered list of rules and facts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The program's rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Parse a program from source text. See [`crate::parser`].
+    pub fn parse(src: &str) -> Result<Program, crate::DatalogError> {
+        crate::parser::parse_program(src)
+    }
+
+    /// Names of all predicates that appear in rule heads.
+    pub fn derived_predicates(&self) -> std::collections::BTreeSet<Arc<str>> {
+        self.rules.iter().map(|r| r.head.pred.clone()).collect()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let src = r#"
+            limit(2630000).
+            valid(Chain, "TLS") :- leaf(Chain, C), \+ev(C), notBefore(C, NB), limit(T), NB < T.
+            lifetimeOk(C) :- notBefore(C, NB), notAfter(C, NA), L = NA - NB, limit(Max), L <= Max.
+        "#;
+        let p = Program::parse(src).unwrap();
+        let printed = p.to_string();
+        let reparsed = Program::parse(&printed).unwrap();
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn val_accessors() {
+        assert_eq!(Val::int(5).as_int(), Some(5));
+        assert_eq!(Val::int(5).as_str(), None);
+        assert_eq!(Val::str("x").as_str(), Some("x"));
+        assert_eq!(Val::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Val::str("TLS").to_string(), "\"TLS\"");
+        assert_eq!(Val::int(-3).to_string(), "-3");
+        assert_eq!(
+            Literal::new("leaf", vec![Term::var("Chain"), Term::var("Cert")]).to_string(),
+            "leaf(Chain, Cert)"
+        );
+    }
+}

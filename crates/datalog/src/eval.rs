@@ -1,0 +1,829 @@
+//! Bottom-up evaluation: semi-naive (default) with a naive mode retained
+//! for the ablation benchmark (DESIGN.md §5).
+
+use crate::ast::{ArithOp, BodyItem, CmpOp, Expr, Literal, Program, Rule, Term, Val};
+use crate::{safety, stratify, DatalogError};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// A ground tuple.
+pub type Tuple = Vec<Val>;
+
+/// A single relation: deduplicated tuples plus a first-argument index.
+#[derive(Clone, Debug, Default)]
+struct Relation {
+    tuples: Vec<Tuple>,
+    seen: HashSet<Tuple>,
+    /// Maps first argument -> indices into `tuples`, accelerating joins
+    /// where the first argument is already bound (the common shape for
+    /// certificate facts like `notBefore(Cert, NB)`).
+    first_arg: HashMap<Val, Vec<u32>>,
+}
+
+impl Relation {
+    fn insert(&mut self, tuple: Tuple) -> bool {
+        if self.seen.contains(&tuple) {
+            return false;
+        }
+        self.seen.insert(tuple.clone());
+        if let Some(first) = tuple.first() {
+            self.first_arg
+                .entry(first.clone())
+                .or_default()
+                .push(self.tuples.len() as u32);
+        }
+        self.tuples.push(tuple);
+        true
+    }
+
+    fn contains(&self, tuple: &[Val]) -> bool {
+        self.seen.contains(tuple)
+    }
+}
+
+/// A fact database: named relations over ground tuples.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: BTreeMap<Arc<str>, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Add a ground fact; returns `true` if it was new.
+    pub fn add_fact(&mut self, pred: impl AsRef<str>, tuple: Tuple) -> bool {
+        self.relations
+            .entry(Arc::from(pred.as_ref()))
+            .or_default()
+            .insert(tuple)
+    }
+
+    /// Is `tuple` present in relation `pred`?
+    pub fn contains(&self, pred: &str, tuple: &[Val]) -> bool {
+        self.relations
+            .get(pred)
+            .map(|r| r.contains(tuple))
+            .unwrap_or(false)
+    }
+
+    /// All tuples of `pred` (empty slice if absent).
+    pub fn tuples(&self, pred: &str) -> &[Tuple] {
+        self.relations
+            .get(pred)
+            .map(|r| r.tuples.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Tuples of `pred` matching a pattern (`None` = wildcard).
+    pub fn query<'a>(&'a self, pred: &str, pattern: &[Option<Val>]) -> Vec<&'a Tuple> {
+        self.tuples(pred)
+            .iter()
+            .filter(|t| {
+                t.len() == pattern.len()
+                    && t.iter()
+                        .zip(pattern)
+                        .all(|(v, p)| p.as_ref().is_none_or(|p| p == v))
+            })
+            .collect()
+    }
+
+    /// Total number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(|r| r.tuples.len()).sum()
+    }
+
+    /// True when no relation has tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Names of all non-empty relations.
+    pub fn predicates(&self) -> impl Iterator<Item = &str> {
+        self.relations
+            .iter()
+            .filter(|(_, r)| !r.tuples.is_empty())
+            .map(|(k, _)| &**k)
+    }
+
+    /// Render the database as Datalog fact text (used by the paper-E1
+    /// "unoptimized conversion" path, which serializes facts to text and
+    /// re-parses them).
+    pub fn to_fact_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (pred, rel) in &self.relations {
+            for tuple in &rel.tuples {
+                write!(out, "{pred}(").unwrap();
+                for (i, v) in tuple.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write!(out, "{v}").unwrap();
+                }
+                out.push_str(").\n");
+            }
+        }
+        out
+    }
+}
+
+/// Evaluation strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Semi-naive: per-round deltas drive recursive rules.
+    #[default]
+    SemiNaive,
+    /// Naive: every round re-derives from full relations. Kept for the
+    /// ablation benchmark.
+    Naive,
+}
+
+/// Counters from one evaluation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Fixpoint rounds across all strata.
+    pub rounds: usize,
+    /// Tuples newly derived (not counting duplicates).
+    pub derived: usize,
+    /// Rule body evaluations attempted.
+    pub rule_applications: usize,
+}
+
+/// Default budget on derived tuples: defense in depth on top of the
+/// stratification-level termination guarantees.
+pub const DEFAULT_BUDGET: usize = 1_000_000;
+
+/// A checked, ready-to-run Datalog program.
+///
+/// Construction performs the safety and stratification checks; [`Engine::run`]
+/// evaluates against a fact database and returns the extended database.
+pub struct Engine {
+    program: Program,
+    strata: Vec<Vec<usize>>, // rule indices grouped by stratum
+    derived_by_stratum: Vec<HashSet<Arc<str>>>,
+    mode: EvalMode,
+    budget: usize,
+}
+
+impl Engine {
+    /// Check `program` and build an engine.
+    pub fn new(program: &Program) -> Result<Engine, DatalogError> {
+        safety::check_program(program)?;
+        let strat = stratify::stratify(program)?;
+        let mut strata: Vec<Vec<usize>> = vec![Vec::new(); strat.count];
+        let mut derived_by_stratum: Vec<HashSet<Arc<str>>> = vec![HashSet::new(); strat.count];
+        for (i, rule) in program.rules.iter().enumerate() {
+            let s = strat.of(&rule.head.pred);
+            strata[s].push(i);
+            derived_by_stratum[s].insert(rule.head.pred.clone());
+        }
+        Ok(Engine {
+            program: program.clone(),
+            strata,
+            derived_by_stratum,
+            mode: EvalMode::SemiNaive,
+            budget: DEFAULT_BUDGET,
+        })
+    }
+
+    /// Select naive or semi-naive evaluation.
+    pub fn with_mode(mut self, mode: EvalMode) -> Engine {
+        self.mode = mode;
+        self
+    }
+
+    /// Override the derived-tuple budget.
+    pub fn with_budget(mut self, budget: usize) -> Engine {
+        self.budget = budget;
+        self
+    }
+
+    /// Evaluate to fixpoint over `db`, returning the extended database.
+    pub fn run(&self, db: Database) -> Result<Database, DatalogError> {
+        self.run_with_stats(db).map(|(db, _)| db)
+    }
+
+    /// Like [`Engine::run`] but also returns evaluation statistics.
+    pub fn run_with_stats(&self, mut db: Database) -> Result<(Database, EvalStats), DatalogError> {
+        let mut stats = EvalStats::default();
+        // Program facts (ground heads, checked by safety) seed the db.
+        for rule in &self.program.rules {
+            if rule.is_fact() {
+                let tuple: Tuple = rule
+                    .head
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(v) => v.clone(),
+                        Term::Var(_) => unreachable!("safety rejects non-ground facts"),
+                    })
+                    .collect();
+                if db.add_fact(rule.head.pred.clone(), tuple) {
+                    stats.derived += 1;
+                }
+            }
+        }
+        for (stratum_idx, rule_indices) in self.strata.iter().enumerate() {
+            let rules: Vec<&Rule> = rule_indices
+                .iter()
+                .map(|&i| &self.program.rules[i])
+                .filter(|r| !r.is_fact())
+                .collect();
+            if rules.is_empty() {
+                continue;
+            }
+            match self.mode {
+                EvalMode::SemiNaive => self.run_stratum_semi_naive(
+                    &rules,
+                    &self.derived_by_stratum[stratum_idx],
+                    &mut db,
+                    &mut stats,
+                )?,
+                EvalMode::Naive => self.run_stratum_naive(&rules, &mut db, &mut stats)?,
+            }
+        }
+        Ok((db, stats))
+    }
+
+    fn run_stratum_naive(
+        &self,
+        rules: &[&Rule],
+        db: &mut Database,
+        stats: &mut EvalStats,
+    ) -> Result<(), DatalogError> {
+        loop {
+            stats.rounds += 1;
+            let mut new_tuples: Vec<(Arc<str>, Tuple)> = Vec::new();
+            for rule in rules {
+                stats.rule_applications += 1;
+                evaluate_rule(rule, db, None, &HashSet::new(), &mut |pred, tuple| {
+                    new_tuples.push((pred, tuple));
+                })?;
+            }
+            let mut changed = false;
+            for (pred, tuple) in new_tuples {
+                if db.add_fact(pred, tuple) {
+                    stats.derived += 1;
+                    changed = true;
+                    if stats.derived > self.budget {
+                        return Err(DatalogError::BudgetExceeded {
+                            budget: self.budget,
+                        });
+                    }
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn run_stratum_semi_naive(
+        &self,
+        rules: &[&Rule],
+        stratum_preds: &HashSet<Arc<str>>,
+        db: &mut Database,
+        stats: &mut EvalStats,
+    ) -> Result<(), DatalogError> {
+        // Round 0: full evaluation; derived tuples seed the delta.
+        stats.rounds += 1;
+        let mut delta: HashMap<Arc<str>, HashSet<Tuple>> = HashMap::new();
+        let mut pending: Vec<(Arc<str>, Tuple)> = Vec::new();
+        for rule in rules {
+            stats.rule_applications += 1;
+            evaluate_rule(rule, db, None, &HashSet::new(), &mut |pred, tuple| {
+                pending.push((pred, tuple));
+            })?;
+        }
+        for (pred, tuple) in pending.drain(..) {
+            if db.add_fact(pred.clone(), tuple.clone()) {
+                stats.derived += 1;
+                delta.entry(pred).or_default().insert(tuple);
+            }
+        }
+        self.check_budget(stats)?;
+
+        // Subsequent rounds: only rule instantiations touching the delta.
+        while !delta.is_empty() {
+            stats.rounds += 1;
+            let mut next_delta: HashMap<Arc<str>, HashSet<Tuple>> = HashMap::new();
+            for rule in rules {
+                // For each positive literal over a predicate in this
+                // stratum, re-run with that literal restricted to delta.
+                for (idx, item) in rule.body.iter().enumerate() {
+                    let BodyItem::Pos(lit) = item else { continue };
+                    if !stratum_preds.contains(&lit.pred) {
+                        continue;
+                    }
+                    let Some(dset) = delta.get(&lit.pred) else {
+                        continue;
+                    };
+                    if dset.is_empty() {
+                        continue;
+                    }
+                    stats.rule_applications += 1;
+                    evaluate_rule(rule, db, Some((idx, dset)), stratum_preds, &mut |p, t| {
+                        pending.push((p, t));
+                    })?;
+                }
+            }
+            for (pred, tuple) in pending.drain(..) {
+                if db.add_fact(pred.clone(), tuple.clone()) {
+                    stats.derived += 1;
+                    next_delta.entry(pred).or_default().insert(tuple);
+                }
+            }
+            self.check_budget(stats)?;
+            delta = next_delta;
+        }
+        Ok(())
+    }
+
+    fn check_budget(&self, stats: &EvalStats) -> Result<(), DatalogError> {
+        if stats.derived > self.budget {
+            Err(DatalogError::BudgetExceeded {
+                budget: self.budget,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+type Env = HashMap<Arc<str>, Val>;
+
+/// Evaluate one rule against `db`, calling `emit` for each derived head
+/// tuple. When `delta` is `Some((idx, tuples))`, body literal `idx`
+/// iterates over `tuples` instead of the full relation.
+fn evaluate_rule(
+    rule: &Rule,
+    db: &Database,
+    delta: Option<(usize, &HashSet<Tuple>)>,
+    _stratum_preds: &HashSet<Arc<str>>,
+    emit: &mut dyn FnMut(Arc<str>, Tuple),
+) -> Result<(), DatalogError> {
+    let mut env: Env = HashMap::new();
+    solve(rule, 0, db, delta, &mut env, emit)
+}
+
+fn solve(
+    rule: &Rule,
+    idx: usize,
+    db: &Database,
+    delta: Option<(usize, &HashSet<Tuple>)>,
+    env: &mut Env,
+    emit: &mut dyn FnMut(Arc<str>, Tuple),
+) -> Result<(), DatalogError> {
+    let Some(item) = rule.body.get(idx) else {
+        // Body satisfied: instantiate the head (safety guarantees ground).
+        let tuple: Tuple = rule
+            .head
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(v) => v.clone(),
+                Term::Var(v) => env[v].clone(),
+            })
+            .collect();
+        emit(rule.head.pred.clone(), tuple);
+        return Ok(());
+    };
+    match item {
+        BodyItem::Pos(lit) => {
+            // Iterate either the delta set (for the designated literal) or
+            // the stored relation, using the first-arg index when possible.
+            if let Some((didx, dset)) = delta {
+                if didx == idx {
+                    for tuple in dset {
+                        try_tuple(rule, idx, db, delta, env, emit, lit, tuple)?;
+                    }
+                    return Ok(());
+                }
+            }
+            let rel = db.relations.get(&lit.pred);
+            let Some(rel) = rel else { return Ok(()) };
+            // Index lookup when the first argument is bound.
+            let first_bound: Option<Val> = lit.args.first().and_then(|t| match t {
+                Term::Const(v) => Some(v.clone()),
+                Term::Var(v) => env.get(v).cloned(),
+            });
+            if let Some(key) = first_bound {
+                if let Some(indices) = rel.first_arg.get(&key) {
+                    for &i in indices {
+                        let tuple = rel.tuples[i as usize].clone();
+                        try_tuple(rule, idx, db, delta, env, emit, lit, &tuple)?;
+                    }
+                }
+                return Ok(());
+            }
+            for i in 0..rel.tuples.len() {
+                let tuple = db.relations[&lit.pred].tuples[i].clone();
+                try_tuple(rule, idx, db, delta, env, emit, lit, &tuple)?;
+            }
+            Ok(())
+        }
+        BodyItem::Neg(lit) => {
+            // Safety guarantees all vars bound; ground the literal.
+            let tuple: Tuple = lit
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Const(v) => v.clone(),
+                    Term::Var(v) => env[v].clone(),
+                })
+                .collect();
+            if !db.contains(&lit.pred, &tuple) {
+                solve(rule, idx + 1, db, delta, env, emit)?;
+            }
+            Ok(())
+        }
+        BodyItem::Cmp(lhs, op, rhs) => {
+            let l = eval_expr(lhs, env)?;
+            let r = eval_expr(rhs, env)?;
+            if compare(&l, *op, &r)? {
+                solve(rule, idx + 1, db, delta, env, emit)?;
+            }
+            Ok(())
+        }
+        BodyItem::Assign(var, expr) => {
+            let value = eval_expr(expr, env)?;
+            match env.get(var) {
+                Some(existing) => {
+                    // Re-assignment acts as an equality check.
+                    if *existing == value {
+                        solve(rule, idx + 1, db, delta, env, emit)?;
+                    }
+                    Ok(())
+                }
+                None => {
+                    env.insert(var.clone(), value);
+                    solve(rule, idx + 1, db, delta, env, emit)?;
+                    env.remove(var);
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_tuple(
+    rule: &Rule,
+    idx: usize,
+    db: &Database,
+    delta: Option<(usize, &HashSet<Tuple>)>,
+    env: &mut Env,
+    emit: &mut dyn FnMut(Arc<str>, Tuple),
+    lit: &Literal,
+    tuple: &[Val],
+) -> Result<(), DatalogError> {
+    if tuple.len() != lit.args.len() {
+        return Ok(());
+    }
+    let mut bound_here: Vec<Arc<str>> = Vec::new();
+    let mut ok = true;
+    for (arg, val) in lit.args.iter().zip(tuple) {
+        match arg {
+            Term::Const(c) => {
+                if c != val {
+                    ok = false;
+                    break;
+                }
+            }
+            Term::Var(v) => match env.get(v) {
+                Some(existing) => {
+                    if existing != val {
+                        ok = false;
+                        break;
+                    }
+                }
+                None => {
+                    env.insert(v.clone(), val.clone());
+                    bound_here.push(v.clone());
+                }
+            },
+        }
+    }
+    if ok {
+        solve(rule, idx + 1, db, delta, env, emit)?;
+    }
+    for v in bound_here {
+        env.remove(&v);
+    }
+    Ok(())
+}
+
+fn eval_expr(expr: &Expr, env: &Env) -> Result<Val, DatalogError> {
+    match expr {
+        Expr::Term(Term::Const(v)) => Ok(v.clone()),
+        Expr::Term(Term::Var(v)) => Ok(env[v].clone()),
+        Expr::Bin(l, op, r) => {
+            let l = eval_expr(l, env)?;
+            let r = eval_expr(r, env)?;
+            let (Val::Int(a), Val::Int(b)) = (&l, &r) else {
+                return Err(DatalogError::Eval {
+                    message: format!("arithmetic on non-integers: {l} {op} {r}"),
+                });
+            };
+            let out = match op {
+                ArithOp::Add => a.checked_add(*b),
+                ArithOp::Sub => a.checked_sub(*b),
+                ArithOp::Mul => a.checked_mul(*b),
+            };
+            out.map(Val::Int).ok_or_else(|| DatalogError::Eval {
+                message: format!("arithmetic overflow: {a} {op} {b}"),
+            })
+        }
+    }
+}
+
+fn compare(l: &Val, op: CmpOp, r: &Val) -> Result<bool, DatalogError> {
+    match op {
+        CmpOp::Eq => Ok(l == r),
+        CmpOp::Ne => Ok(l != r),
+        _ => {
+            let (Val::Int(a), Val::Int(b)) = (l, r) else {
+                return Err(DatalogError::Eval {
+                    message: format!("ordered comparison on non-integers: {l} {op} {r}"),
+                });
+            };
+            Ok(match op {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+                CmpOp::Eq | CmpOp::Ne => unreachable!(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, db: Database) -> Database {
+        Engine::new(&Program::parse(src).unwrap())
+            .unwrap()
+            .run(db)
+            .unwrap()
+    }
+
+    #[test]
+    fn facts_from_program() {
+        let db = run("p(1). p(2). q(\"a\").", Database::new());
+        assert!(db.contains("p", &[Val::int(1)]));
+        assert!(db.contains("p", &[Val::int(2)]));
+        assert!(db.contains("q", &[Val::str("a")]));
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut db = Database::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            db.add_fact("edge", vec![Val::str(a), Val::str(b)]);
+        }
+        let out = run(
+            "reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).",
+            db,
+        );
+        assert!(out.contains("reach", &[Val::str("a"), Val::str("d")]));
+        assert_eq!(out.tuples("reach").len(), 6);
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let mut db = Database::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "a")] {
+            db.add_fact("edge", vec![Val::str(a), Val::str(b)]);
+        }
+        let out = run(
+            "reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).",
+            db,
+        );
+        assert_eq!(out.tuples("reach").len(), 9); // complete 3x3
+    }
+
+    #[test]
+    fn negation_across_strata() {
+        let mut db = Database::new();
+        db.add_fact("cert", vec![Val::str("c1")]);
+        db.add_fact("cert", vec![Val::str("c2")]);
+        db.add_fact("revoked", vec![Val::str("c1")]);
+        let out = run(
+            "bad(X) :- cert(X), revoked(X).
+             good(X) :- cert(X), \\+bad(X).",
+            db,
+        );
+        assert!(out.contains("good", &[Val::str("c2")]));
+        assert!(!out.contains("good", &[Val::str("c1")]));
+    }
+
+    #[test]
+    fn listing_1_trustcor_semantics() {
+        // Full paper Listing 1 executed against two synthetic chains.
+        let src = r#"
+            nov30th2022(1669784400).
+            valid(Chain, "S/MIME") :-
+              leaf(Chain, Cert), nov30th2022(T), notBefore(Cert, NB), NB < T.
+            valid(Chain, "TLS") :-
+              leaf(Chain, Cert), \+EV(Cert), nov30th2022(T), notBefore(Cert, NB), NB < T.
+        "#;
+        let mut db = Database::new();
+        // Chain 1: issued before the cutoff, not EV -> valid for both.
+        db.add_fact("leaf", vec![Val::str("chain1"), Val::str("leaf1")]);
+        db.add_fact(
+            "notBefore",
+            vec![Val::str("leaf1"), Val::int(1_600_000_000)],
+        );
+        // Chain 2: issued before cutoff but EV -> S/MIME only.
+        db.add_fact("leaf", vec![Val::str("chain2"), Val::str("leaf2")]);
+        db.add_fact(
+            "notBefore",
+            vec![Val::str("leaf2"), Val::int(1_600_000_000)],
+        );
+        db.add_fact("EV", vec![Val::str("leaf2")]);
+        // Chain 3: issued after cutoff -> invalid for both.
+        db.add_fact("leaf", vec![Val::str("chain3"), Val::str("leaf3")]);
+        db.add_fact(
+            "notBefore",
+            vec![Val::str("leaf3"), Val::int(1_700_000_000)],
+        );
+
+        let out = run(src, db);
+        assert!(out.contains("valid", &[Val::str("chain1"), Val::str("S/MIME")]));
+        assert!(out.contains("valid", &[Val::str("chain1"), Val::str("TLS")]));
+        assert!(out.contains("valid", &[Val::str("chain2"), Val::str("S/MIME")]));
+        assert!(!out.contains("valid", &[Val::str("chain2"), Val::str("TLS")]));
+        assert!(!out.contains("valid", &[Val::str("chain3"), Val::str("S/MIME")]));
+        assert!(!out.contains("valid", &[Val::str("chain3"), Val::str("TLS")]));
+    }
+
+    #[test]
+    fn listing_3_lifetime_arithmetic() {
+        let src = r#"
+            oneMonthInSeconds(2630000).
+            lifetimeValid(Leaf) :-
+              notBefore(Leaf, NB), notAfter(Leaf, NA),
+              Lifetime = NA - NB, oneMonthInSeconds(Limit), Lifetime <= Limit.
+        "#;
+        let mut db = Database::new();
+        db.add_fact("notBefore", vec![Val::str("short"), Val::int(0)]);
+        db.add_fact("notAfter", vec![Val::str("short"), Val::int(2_000_000)]);
+        db.add_fact("notBefore", vec![Val::str("long"), Val::int(0)]);
+        db.add_fact("notAfter", vec![Val::str("long"), Val::int(90 * 86_400)]);
+        let out = run(src, db);
+        assert!(out.contains("lifetimeValid", &[Val::str("short")]));
+        assert!(!out.contains("lifetimeValid", &[Val::str("long")]));
+    }
+
+    #[test]
+    fn naive_and_semi_naive_agree() {
+        let src = "reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).
+                   isolated(X) :- node(X), \\+reach(X, X).";
+        let mut db = Database::new();
+        let nodes = ["a", "b", "c", "d", "e"];
+        for n in nodes {
+            db.add_fact("node", vec![Val::str(n)]);
+        }
+        for (a, b) in [("a", "b"), ("b", "a"), ("c", "d"), ("d", "e")] {
+            db.add_fact("edge", vec![Val::str(a), Val::str(b)]);
+        }
+        let program = Program::parse(src).unwrap();
+        let semi = Engine::new(&program).unwrap().run(db.clone()).unwrap();
+        let naive = Engine::new(&program)
+            .unwrap()
+            .with_mode(EvalMode::Naive)
+            .run(db)
+            .unwrap();
+        for pred in ["reach", "isolated"] {
+            let mut a: Vec<_> = semi.tuples(pred).to_vec();
+            let mut b: Vec<_> = naive.tuples(pred).to_vec();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{pred}");
+        }
+    }
+
+    #[test]
+    fn semi_naive_does_less_work_on_chains() {
+        // A long path: naive evaluation re-derives everything each round.
+        let mut db = Database::new();
+        for i in 0..60 {
+            db.add_fact("edge", vec![Val::int(i), Val::int(i + 1)]);
+        }
+        let program =
+            Program::parse("reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).")
+                .unwrap();
+        let (_, semi) = Engine::new(&program)
+            .unwrap()
+            .run_with_stats(db.clone())
+            .unwrap();
+        let (_, naive) = Engine::new(&program)
+            .unwrap()
+            .with_mode(EvalMode::Naive)
+            .run_with_stats(db)
+            .unwrap();
+        assert!(semi.derived == naive.derived);
+        assert!(
+            semi.rule_applications < naive.rule_applications * 2,
+            "semi={} naive={}",
+            semi.rule_applications,
+            naive.rule_applications
+        );
+    }
+
+    #[test]
+    fn budget_exceeded() {
+        let mut db = Database::new();
+        for i in 0..40 {
+            for j in 0..40 {
+                db.add_fact("edge", vec![Val::int(i), Val::int(j)]);
+            }
+        }
+        let program =
+            Program::parse("reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).")
+                .unwrap();
+        let err = Engine::new(&program)
+            .unwrap()
+            .with_budget(100)
+            .run(db)
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::BudgetExceeded { budget: 100 }));
+    }
+
+    #[test]
+    fn arithmetic_overflow_is_an_error() {
+        let mut db = Database::new();
+        db.add_fact("n", vec![Val::int(i64::MAX)]);
+        let program = Program::parse("big(Y) :- n(X), Y = X + 1.").unwrap();
+        let err = Engine::new(&program).unwrap().run(db).unwrap_err();
+        assert!(matches!(err, DatalogError::Eval { .. }));
+    }
+
+    #[test]
+    fn comparison_type_error() {
+        let mut db = Database::new();
+        db.add_fact("v", vec![Val::str("notanint")]);
+        let program = Program::parse("p(X) :- v(X), X < 5.").unwrap();
+        let err = Engine::new(&program).unwrap().run(db).unwrap_err();
+        assert!(matches!(err, DatalogError::Eval { .. }));
+    }
+
+    #[test]
+    fn equality_works_on_strings() {
+        let mut db = Database::new();
+        db.add_fact("u", vec![Val::str("TLS")]);
+        db.add_fact("u", vec![Val::str("S/MIME")]);
+        let program = Program::parse(r#"tls(X) :- u(X), X == "TLS"."#).unwrap();
+        let out = Engine::new(&program).unwrap().run(db).unwrap();
+        assert_eq!(out.tuples("tls").len(), 1);
+    }
+
+    #[test]
+    fn assign_acts_as_check_when_bound() {
+        let mut db = Database::new();
+        db.add_fact("pair", vec![Val::int(2), Val::int(4)]);
+        db.add_fact("pair", vec![Val::int(3), Val::int(5)]);
+        // Y must equal X * 2.
+        let program = Program::parse("double(X, Y) :- pair(X, Y), Y = X * 2.").unwrap();
+        let out = Engine::new(&program).unwrap().run(db).unwrap();
+        assert_eq!(out.tuples("double").len(), 1);
+        assert!(out.contains("double", &[Val::int(2), Val::int(4)]));
+    }
+
+    #[test]
+    fn query_patterns() {
+        let db = run("p(1, \"a\"). p(2, \"b\"). p(1, \"c\").", Database::new());
+        let hits = db.query("p", &[Some(Val::int(1)), None]);
+        assert_eq!(hits.len(), 2);
+        let hits = db.query("p", &[None, Some(Val::str("b"))]);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn fact_text_roundtrip() {
+        let db = run(
+            r#"p(1, "a"). q(-5). r("with \"quotes\"")."#,
+            Database::new(),
+        );
+        let text = db.to_fact_text();
+        let reparsed = run(&text, Database::new());
+        assert_eq!(reparsed.len(), db.len());
+        assert!(reparsed.contains("p", &[Val::int(1), Val::str("a")]));
+        assert!(reparsed.contains("q", &[Val::int(-5)]));
+        assert!(reparsed.contains("r", &[Val::str("with \"quotes\"")]));
+    }
+
+    #[test]
+    fn duplicate_facts_dedupe() {
+        let mut db = Database::new();
+        assert!(db.add_fact("p", vec![Val::int(1)]));
+        assert!(!db.add_fact("p", vec![Val::int(1)]));
+        assert_eq!(db.len(), 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! Tokenizer for the paper's Datalog syntax.
+//!
+//! Notable syntax (all taken from the paper's listings):
+//! `%` line comments, `:-` rule separator, `\+` negation, quoted strings,
+//! and the comparison/arithmetic operators used in Listings 1–3.
+
+use crate::DatalogError;
+
+/// A lexical token with its byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Byte offset in the source, for error reporting.
+    pub offset: usize,
+    /// The token kind and payload.
+    pub kind: TokenKind,
+}
+
+/// The token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier starting with a lowercase letter: predicate or symbol.
+    Ident(String),
+    /// Variable starting with an uppercase letter or `_`.
+    Var(String),
+    /// Integer literal (sign handled by the parser).
+    Int(i64),
+    /// Quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:-`
+    Turnstile,
+    /// `\+`
+    Naf,
+    /// `<`
+    Lt,
+    /// `<=` or `=<`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=` or `\=`
+    Ne,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `?` (query terminator, accepted for completeness)
+    Question,
+}
+
+/// Tokenize `src` into a vector of tokens.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, DatalogError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(tok(i, TokenKind::LParen));
+                i += 1;
+            }
+            b')' => {
+                tokens.push(tok(i, TokenKind::RParen));
+                i += 1;
+            }
+            b',' => {
+                tokens.push(tok(i, TokenKind::Comma));
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(tok(i, TokenKind::Dot));
+                i += 1;
+            }
+            b'?' => {
+                tokens.push(tok(i, TokenKind::Question));
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(tok(i, TokenKind::Plus));
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(tok(i, TokenKind::Minus));
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(tok(i, TokenKind::Star));
+                i += 1;
+            }
+            b':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    tokens.push(tok(i, TokenKind::Turnstile));
+                    i += 2;
+                } else {
+                    return Err(lex_err(i, "expected `:-`"));
+                }
+            }
+            b'\\' => match bytes.get(i + 1) {
+                Some(b'+') => {
+                    tokens.push(tok(i, TokenKind::Naf));
+                    i += 2;
+                }
+                Some(b'=') => {
+                    tokens.push(tok(i, TokenKind::Ne));
+                    i += 2;
+                }
+                _ => return Err(lex_err(i, "expected `\\+` or `\\=`")),
+            },
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(tok(i, TokenKind::Le));
+                    i += 2;
+                } else {
+                    tokens.push(tok(i, TokenKind::Lt));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(tok(i, TokenKind::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(tok(i, TokenKind::Gt));
+                    i += 1;
+                }
+            }
+            b'=' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(tok(i, TokenKind::EqEq));
+                    i += 2;
+                }
+                Some(b'<') => {
+                    tokens.push(tok(i, TokenKind::Le));
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(tok(i, TokenKind::Assign));
+                    i += 1;
+                }
+            },
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(tok(i, TokenKind::Ne));
+                    i += 2;
+                } else {
+                    return Err(lex_err(i, "expected `!=`"));
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(lex_err(start, "unterminated string")),
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            match bytes.get(i + 1) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                _ => return Err(lex_err(i, "bad string escape")),
+                            }
+                            i += 2;
+                        }
+                        Some(_) => {
+                            // Copy the full UTF-8 character.
+                            let ch_start = i;
+                            i += 1;
+                            while i < bytes.len() && bytes[i] & 0xc0 == 0x80 {
+                                i += 1;
+                            }
+                            s.push_str(&src[ch_start..i]);
+                        }
+                    }
+                }
+                tokens.push(tok(start, TokenKind::Str(s)));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| lex_err(start, "integer literal overflows i64"))?;
+                tokens.push(tok(start, TokenKind::Int(value)));
+            }
+            b'a'..=b'z' => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                tokens.push(tok(start, TokenKind::Ident(src[start..i].to_string())));
+            }
+            b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                tokens.push(tok(start, TokenKind::Var(src[start..i].to_string())));
+            }
+            _ => {
+                return Err(lex_err(
+                    i,
+                    &format!(
+                        "unexpected character {:?}",
+                        src[i..].chars().next().unwrap()
+                    ),
+                ))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'\''
+}
+
+fn tok(offset: usize, kind: TokenKind) -> Token {
+    Token { offset, kind }
+}
+
+fn lex_err(offset: usize, message: &str) -> DatalogError {
+    DatalogError::Lex {
+        offset,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TokenKind::*;
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn paper_listing_fragment() {
+        let toks = kinds(r#"valid(Chain, "S/MIME") :- leaf(Chain, Cert), NB < T."#);
+        assert_eq!(
+            toks,
+            vec![
+                Ident("valid".into()),
+                LParen,
+                Var("Chain".into()),
+                Comma,
+                Str("S/MIME".into()),
+                RParen,
+                Turnstile,
+                Ident("leaf".into()),
+                LParen,
+                Var("Chain".into()),
+                Comma,
+                Var("Cert".into()),
+                RParen,
+                Comma,
+                Var("NB".into()),
+                Lt,
+                Var("T".into()),
+                Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn negation_and_comments() {
+        let toks = kinds("\\+EV(Cert), % the not operator\n x");
+        assert_eq!(
+            toks,
+            vec![
+                Naf,
+                Var("EV".into()),
+                LParen,
+                Var("Cert".into()),
+                RParen,
+                Comma,
+                Ident("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("< <= =< > >= = == != \\= + - *"),
+            vec![Lt, Le, Le, Gt, Ge, Assign, EqEq, Ne, Ne, Plus, Minus, Star]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            kinds(r#"1669784400 "with \"quote\" and \\backslash""#),
+            vec![
+                Int(1_669_784_400),
+                Str("with \"quote\" and \\backslash".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_strings_pass_through() {
+        assert_eq!(kinds("\"héllo\""), vec![Str("héllo".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("@").is_err());
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize(":x").is_err());
+        assert!(tokenize("!x").is_err());
+        assert!(tokenize("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn offsets_reported() {
+        let toks = tokenize("ab cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+}

@@ -1,0 +1,375 @@
+//! Recursive-descent parser for the paper's Datalog syntax.
+//!
+//! Grammar (body items evaluated left to right):
+//!
+//! ```text
+//! program   := clause*
+//! clause    := literal ( ":-" body )? "."
+//! body      := item ( "," item )*
+//! item      := "\+" literal
+//!            | literal
+//!            | expr cmp expr            % comparison
+//!            | VAR "=" expr             % arithmetic binding
+//! literal   := name "(" term ("," term)* ")"
+//! name      := IDENT | VAR-followed-by-"(" (the paper writes EV(Cert))
+//! expr      := mul ( ("+" | "-") mul )*
+//! mul       := atom ( "*" atom )*
+//! atom      := INT | "-" INT | STR | VAR | "(" expr ")"
+//! cmp       := "<" | "<=" | ">" | ">=" | "==" | "!="
+//! ```
+//!
+//! A bare `=` between a variable and an expression is an arithmetic
+//! binding (`Lifetime = NA - NB`); `==` is a comparison of two bound
+//! expressions. The anonymous variable `_` is renamed apart per clause.
+
+use crate::ast::{ArithOp, BodyItem, CmpOp, Expr, Literal, Program, Rule, Term};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::DatalogError;
+use std::sync::Arc;
+
+/// Parse a complete program.
+pub fn parse_program(src: &str) -> Result<Program, DatalogError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        anon_counter: 0,
+    };
+    let mut rules = Vec::new();
+    while !p.at_end() {
+        rules.push(p.clause()?);
+    }
+    Ok(Program { rules })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    anon_counter: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek2(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + 1).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.offset + 1).unwrap_or(0))
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> DatalogError {
+        DatalogError::Parse {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), DatalogError> {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn clause(&mut self) -> Result<Rule, DatalogError> {
+        self.anon_counter = 0;
+        let head = self.literal()?;
+        let body = if self.peek() == Some(&TokenKind::Turnstile) {
+            self.pos += 1;
+            let mut items = vec![self.body_item()?];
+            while self.peek() == Some(&TokenKind::Comma) {
+                self.pos += 1;
+                items.push(self.body_item()?);
+            }
+            items
+        } else {
+            Vec::new()
+        };
+        // Accept `?` before `.` so pasted queries parse too.
+        if self.peek() == Some(&TokenKind::Question) {
+            self.pos += 1;
+        }
+        self.expect(&TokenKind::Dot, "`.` at end of clause")?;
+        Ok(Rule { head, body })
+    }
+
+    fn body_item(&mut self) -> Result<BodyItem, DatalogError> {
+        if self.peek() == Some(&TokenKind::Naf) {
+            self.pos += 1;
+            return Ok(BodyItem::Neg(self.literal()?));
+        }
+        // A literal begins with a name token directly followed by `(`.
+        let is_literal = matches!(
+            (self.peek(), self.peek2()),
+            (Some(TokenKind::Ident(_)), Some(TokenKind::LParen))
+                | (Some(TokenKind::Var(_)), Some(TokenKind::LParen))
+        );
+        if is_literal {
+            return Ok(BodyItem::Pos(self.literal()?));
+        }
+        // Otherwise: comparison or assignment.
+        let lhs = self.expr()?;
+        let op = match self.bump() {
+            Some(TokenKind::Lt) => Some(CmpOp::Lt),
+            Some(TokenKind::Le) => Some(CmpOp::Le),
+            Some(TokenKind::Gt) => Some(CmpOp::Gt),
+            Some(TokenKind::Ge) => Some(CmpOp::Ge),
+            Some(TokenKind::EqEq) => Some(CmpOp::Eq),
+            Some(TokenKind::Ne) => Some(CmpOp::Ne),
+            Some(TokenKind::Assign) => None,
+            _ => return Err(self.err("expected comparison or `=`")),
+        };
+        match op {
+            Some(op) => {
+                let rhs = self.expr()?;
+                Ok(BodyItem::Cmp(lhs, op, rhs))
+            }
+            None => {
+                let var = match lhs {
+                    Expr::Term(Term::Var(v)) => v,
+                    other => {
+                        return Err(self.err(format!(
+                            "left side of `=` must be a variable, found `{other}`"
+                        )))
+                    }
+                };
+                let rhs = self.expr()?;
+                Ok(BodyItem::Assign(var, rhs))
+            }
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, DatalogError> {
+        let pred: Arc<str> = match self.bump() {
+            Some(TokenKind::Ident(name)) => Arc::from(name.as_str()),
+            Some(TokenKind::Var(name)) => Arc::from(name.as_str()),
+            _ => return Err(self.err("expected predicate name")),
+        };
+        self.expect(&TokenKind::LParen, "`(` after predicate name")?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&TokenKind::RParen) {
+            args.push(self.term()?);
+            while self.peek() == Some(&TokenKind::Comma) {
+                self.pos += 1;
+                args.push(self.term()?);
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)` after arguments")?;
+        Ok(Literal { pred, args })
+    }
+
+    fn term(&mut self) -> Result<Term, DatalogError> {
+        match self.bump() {
+            Some(TokenKind::Int(i)) => Ok(Term::int(i)),
+            Some(TokenKind::Minus) => match self.bump() {
+                Some(TokenKind::Int(i)) => Ok(Term::int(-i)),
+                _ => Err(self.err("expected integer after `-`")),
+            },
+            Some(TokenKind::Str(s)) => Ok(Term::str(s)),
+            Some(TokenKind::Ident(s)) => {
+                // Unquoted lowercase identifiers in term position are
+                // symbolic constants (strings).
+                Ok(Term::str(s))
+            }
+            Some(TokenKind::Var(v)) => {
+                if v == "_" {
+                    self.anon_counter += 1;
+                    Ok(Term::var(format!("_anon{}", self.anon_counter)))
+                } else {
+                    Ok(Term::var(v))
+                }
+            }
+            _ => Err(self.err("expected term")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, DatalogError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => ArithOp::Add,
+                Some(TokenKind::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, DatalogError> {
+        let mut lhs = self.atom_expr()?;
+        while self.peek() == Some(&TokenKind::Star) {
+            self.pos += 1;
+            let rhs = self.atom_expr()?;
+            lhs = Expr::Bin(Box::new(lhs), ArithOp::Mul, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn atom_expr(&mut self) -> Result<Expr, DatalogError> {
+        if self.peek() == Some(&TokenKind::LParen) {
+            self.pos += 1;
+            let e = self.expr()?;
+            self.expect(&TokenKind::RParen, "`)` in expression")?;
+            return Ok(e);
+        }
+        Ok(Expr::Term(self.term()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Val;
+
+    #[test]
+    fn parses_listing_1() {
+        // Paper Listing 1: TrustCor constraints.
+        let src = r#"
+            nov30th2022(1669784400). % Unix timestamp
+            valid(Chain, "S/MIME") :- % Valid rule for S/MIME usage
+              leaf(Chain, Cert), % Get the chain's leaf certificate
+              nov30th2022(T), % Get November 30th, 2022
+              notBefore(Cert, NB), % Get the leaf's notBefore date
+              NB < T. % Holds if notBefore before November 30th, 2022
+            valid(Chain, "TLS") :- % Valid rule for TLS usage
+              leaf(Chain, Cert),
+              \+EV(Cert), % Assert that leaf is not EV
+              nov30th2022(T),
+              notBefore(Cert, NB),
+              NB < T.
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert!(p.rules[0].is_fact());
+        assert_eq!(p.rules[0].head.args[0], Term::int(1_669_784_400));
+        let tls = &p.rules[2];
+        assert_eq!(tls.head.args[1], Term::str("TLS"));
+        assert!(matches!(&tls.body[1], BodyItem::Neg(l) if &*l.pred == "EV"));
+        assert!(matches!(&tls.body[4], BodyItem::Cmp(_, CmpOp::Lt, _)));
+    }
+
+    #[test]
+    fn parses_listing_2_with_wildcard() {
+        // Paper Listing 2: Symantec constraints; uses `_` for any usage.
+        let src = r#"
+            june1st2016(1464753600).
+            exempt("aabbcc").
+            valid(Chain, _) :-
+              leaf(Chain, Cert),
+              notBefore(Cert, NB),
+              june1st2016(T),
+              NB < T.
+            valid(Chain, _) :-
+              root(Chain, Root),
+              signs(Root, Int),
+              hash(Int, H),
+              exempt(H).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 4);
+        // The two `_` are distinct fresh variables.
+        let v1 = &p.rules[2].head.args[1];
+        let v2 = &p.rules[3].head.args[1];
+        assert!(matches!(v1, Term::Var(_)));
+        assert_eq!(v1, v2); // counter resets per clause, so same name...
+    }
+
+    #[test]
+    fn anonymous_vars_distinct_within_clause() {
+        let p = parse_program("p(_, _) :- q(_, _).").unwrap();
+        let args = &p.rules[0].head.args;
+        assert_ne!(args[0], args[1]);
+    }
+
+    #[test]
+    fn parses_listing_3_arithmetic() {
+        // Paper Listing 3: pre-emptive constraint with lifetime arithmetic.
+        let src = r#"
+            oneMonthInSeconds(2630000).
+            lifetimeValid(Leaf) :-
+              notBefore(Leaf, NB),
+              notAfter(Leaf, NA),
+              Lifetime = NA - NB,
+              oneMonthInSeconds(Limit),
+              Lifetime <= Limit.
+            validUsage(Leaf) :-
+              extendedKeyUsage(Leaf, "id-kp-serverAuth"),
+              keyUsage(Leaf, "digitalSignature").
+            valid(Chain, "TLS") :-
+              leaf(Chain, Cert),
+              lifetimeValid(Cert),
+              validUsage(Cert).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 4);
+        let lv = &p.rules[1];
+        assert!(
+            matches!(&lv.body[2], BodyItem::Assign(v, Expr::Bin(_, ArithOp::Sub, _)) if &**v == "Lifetime")
+        );
+    }
+
+    #[test]
+    fn negative_integers_and_symbols() {
+        let p = parse_program("p(-5, tls).").unwrap();
+        assert_eq!(p.rules[0].head.args[0], Term::int(-5));
+        assert_eq!(p.rules[0].head.args[1], Term::Const(Val::str("tls")));
+    }
+
+    #[test]
+    fn query_question_mark_tolerated() {
+        let p = parse_program("valid(Chain, Usage)?.").unwrap();
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_have_offsets() {
+        let err = parse_program("p(a) :- q(").unwrap_err();
+        assert!(matches!(err, DatalogError::Parse { .. }));
+        let err = parse_program("p(a)").unwrap_err(); // missing dot
+        assert!(matches!(err, DatalogError::Parse { .. }));
+        let err = parse_program("5 = X.").unwrap_err(); // head must be literal
+        assert!(matches!(err, DatalogError::Parse { .. }));
+    }
+
+    #[test]
+    fn assignment_lhs_must_be_variable() {
+        let err = parse_program("p(X) :- q(X), 5 = X + 1.").unwrap_err();
+        match err {
+            DatalogError::Parse { message, .. } => {
+                assert!(message.contains("left side"), "{message}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_arithmetic() {
+        let p = parse_program("p(X) :- q(X, A, B, C), X == (A + B) * C.").unwrap();
+        assert!(matches!(
+            &p.rules[0].body[1],
+            BodyItem::Cmp(_, CmpOp::Eq, Expr::Bin(_, ArithOp::Mul, _))
+        ));
+    }
+}

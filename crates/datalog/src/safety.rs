@@ -1,0 +1,167 @@
+//! Range-restriction (safety) checking.
+//!
+//! A rule is *safe* when, scanning its body left to right:
+//!
+//! * every variable of a negated literal is already bound by an earlier
+//!   positive literal or assignment;
+//! * every variable of a comparison is already bound;
+//! * the right side of an assignment is fully bound (the left side
+//!   becomes bound);
+//! * after the whole body, every head variable is bound.
+//!
+//! Safety guarantees that evaluation only ever enumerates ground tuples,
+//! which together with stratification gives the termination property the
+//! paper relies on for executing untrusted constraint programs.
+
+use crate::ast::{BodyItem, Program, Rule, Term};
+use crate::DatalogError;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Check every rule in `program`; returns the first violation.
+pub fn check_program(program: &Program) -> Result<(), DatalogError> {
+    for rule in &program.rules {
+        check_rule(rule)?;
+    }
+    Ok(())
+}
+
+/// Check a single rule for range restriction.
+pub fn check_rule(rule: &Rule) -> Result<(), DatalogError> {
+    let mut bound: HashSet<Arc<str>> = HashSet::new();
+    let fail = |message: String| DatalogError::Unsafe {
+        rule: rule.to_string(),
+        message,
+    };
+    for item in &rule.body {
+        match item {
+            BodyItem::Pos(lit) => {
+                for arg in &lit.args {
+                    if let Term::Var(v) = arg {
+                        bound.insert(v.clone());
+                    }
+                }
+            }
+            BodyItem::Neg(lit) => {
+                for arg in &lit.args {
+                    if let Term::Var(v) = arg {
+                        if !bound.contains(v) {
+                            return Err(fail(format!(
+                                "variable {v} in negated literal is not bound by an earlier positive literal"
+                            )));
+                        }
+                    }
+                }
+            }
+            BodyItem::Cmp(lhs, _, rhs) => {
+                let mut vars = Vec::new();
+                lhs.vars(&mut vars);
+                rhs.vars(&mut vars);
+                for v in vars {
+                    if !bound.contains(&v) {
+                        return Err(fail(format!(
+                            "variable {v} in comparison is not bound by an earlier positive literal"
+                        )));
+                    }
+                }
+            }
+            BodyItem::Assign(target, expr) => {
+                let mut vars = Vec::new();
+                expr.vars(&mut vars);
+                for v in vars {
+                    if !bound.contains(&v) {
+                        return Err(fail(format!(
+                            "variable {v} on the right of `=` is not bound"
+                        )));
+                    }
+                }
+                bound.insert(target.clone());
+            }
+        }
+    }
+    for arg in &rule.head.args {
+        if let Term::Var(v) = arg {
+            if !bound.contains(v) {
+                return Err(fail(format!("head variable {v} is not bound by the body")));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(src: &str) {
+        check_program(&Program::parse(src).unwrap()).unwrap();
+    }
+
+    fn bad(src: &str) -> String {
+        match check_program(&Program::parse(src).unwrap()) {
+            Err(DatalogError::Unsafe { message, .. }) => message,
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ground_facts_are_safe() {
+        ok("p(1). q(\"x\", 2).");
+    }
+
+    #[test]
+    fn nonground_fact_is_unsafe() {
+        let msg = bad("p(X).");
+        assert!(msg.contains("head variable X"));
+    }
+
+    #[test]
+    fn bound_negation_is_safe() {
+        ok("p(X) :- q(X), \\+r(X).");
+    }
+
+    #[test]
+    fn unbound_negation_is_unsafe() {
+        let msg = bad("p(X) :- q(X), \\+r(Y).");
+        assert!(msg.contains("negated literal"));
+    }
+
+    #[test]
+    fn negation_before_binding_is_unsafe() {
+        // Order matters: X is bound only after the negation.
+        let msg = bad("p(X) :- \\+r(X), q(X).");
+        assert!(msg.contains("negated literal"));
+    }
+
+    #[test]
+    fn comparisons_require_bound_vars() {
+        ok("p(X) :- q(X, Y), X < Y.");
+        let msg = bad("p(X) :- q(X), X < Y.");
+        assert!(msg.contains("comparison"));
+    }
+
+    #[test]
+    fn assignment_binds_target() {
+        ok("p(L) :- q(A, B), L = B - A, L <= 100.");
+        let msg = bad("p(L) :- q(A), L = A + Missing.");
+        assert!(msg.contains("right of `=`"));
+    }
+
+    #[test]
+    fn head_can_use_assigned_var() {
+        ok("p(L) :- q(A, B), L = A * B.");
+    }
+
+    #[test]
+    fn paper_listings_are_safe() {
+        ok(r#"
+            nov30th2022(1669784400).
+            valid(Chain, "S/MIME") :- leaf(Chain, Cert), nov30th2022(T), notBefore(Cert, NB), NB < T.
+            valid(Chain, "TLS") :- leaf(Chain, Cert), \+EV(Cert), nov30th2022(T), notBefore(Cert, NB), NB < T.
+        "#);
+        ok(r#"
+            oneMonthInSeconds(2630000).
+            lifetimeValid(Leaf) :- notBefore(Leaf, NB), notAfter(Leaf, NA), Lifetime = NA - NB, oneMonthInSeconds(Limit), Lifetime <= Limit.
+        "#);
+    }
+}

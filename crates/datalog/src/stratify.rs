@@ -1,0 +1,250 @@
+//! Stratification: dependency analysis over predicates.
+//!
+//! Builds the predicate dependency graph (an edge `p → q` for every rule
+//! deriving `p` whose body mentions `q`; the edge is *negative* when `q`
+//! appears under `\+`). A program is stratifiable iff no cycle contains a
+//! negative edge; predicates are then assigned strata evaluated bottom-up.
+//!
+//! Arithmetic is treated like negation for termination purposes: a rule
+//! that *creates* new values (via `=` bindings used in its head) inside a
+//! recursive cycle could enumerate unboundedly many tuples, so such
+//! programs are rejected. This keeps the paper's "Datalog termination is
+//! guaranteed" property honest even with the arithmetic its listings use.
+
+use crate::ast::{BodyItem, Program};
+use crate::DatalogError;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// The result of stratification: each derived predicate's stratum, and
+/// the total number of strata.
+#[derive(Clone, Debug)]
+pub struct Stratification {
+    /// Stratum index per derived predicate (EDB predicates are absent and
+    /// implicitly stratum 0).
+    pub stratum: BTreeMap<Arc<str>, usize>,
+    /// Total number of strata.
+    pub count: usize,
+}
+
+impl Stratification {
+    /// The stratum of `pred` (0 for pure EDB predicates).
+    pub fn of(&self, pred: &str) -> usize {
+        self.stratum.get(pred).copied().unwrap_or(0)
+    }
+}
+
+/// Compute a stratification or explain why none exists.
+pub fn stratify(program: &Program) -> Result<Stratification, DatalogError> {
+    let derived: BTreeSet<Arc<str>> = program.rules.iter().map(|r| r.head.pred.clone()).collect();
+
+    // Edges: (from=head, to=body-pred, negative?).
+    let mut pos_edges: BTreeMap<Arc<str>, BTreeSet<Arc<str>>> = BTreeMap::new();
+    let mut neg_edges: BTreeMap<Arc<str>, BTreeSet<Arc<str>>> = BTreeMap::new();
+    for rule in &program.rules {
+        let head = rule.head.pred.clone();
+        for item in &rule.body {
+            match item {
+                BodyItem::Pos(lit) => {
+                    if derived.contains(&lit.pred) {
+                        pos_edges
+                            .entry(head.clone())
+                            .or_default()
+                            .insert(lit.pred.clone());
+                    }
+                }
+                BodyItem::Neg(lit) => {
+                    if derived.contains(&lit.pred) {
+                        neg_edges
+                            .entry(head.clone())
+                            .or_default()
+                            .insert(lit.pred.clone());
+                    }
+                }
+                BodyItem::Cmp(..) | BodyItem::Assign(..) => {}
+            }
+        }
+    }
+
+    // Iteratively compute strata: stratum(p) >= stratum(q) for positive
+    // deps, stratum(p) >= stratum(q) + 1 for negative deps. Divergence
+    // beyond the predicate count means a negative cycle.
+    let mut stratum: BTreeMap<Arc<str>, usize> =
+        derived.iter().map(|p| (p.clone(), 0usize)).collect();
+    let limit = derived.len() + 1;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for rule in &program.rules {
+            let head = &rule.head.pred;
+            for item in &rule.body {
+                let (pred, bump) = match item {
+                    BodyItem::Pos(lit) => (&lit.pred, 0),
+                    BodyItem::Neg(lit) => (&lit.pred, 1),
+                    _ => continue,
+                };
+                if !derived.contains(pred) {
+                    continue;
+                }
+                let need = stratum[pred] + bump;
+                if stratum[head] < need {
+                    if need >= limit {
+                        return Err(DatalogError::NotStratifiable {
+                            message: format!(
+                                "predicate {head} depends negatively on itself (via {pred})"
+                            ),
+                        });
+                    }
+                    *stratum.get_mut(head).unwrap() = need;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Termination guard for arithmetic: a head-reaching assignment inside
+    // a recursive component can generate fresh constants forever.
+    let components = same_stratum_cycles(&pos_edges, &stratum);
+    for rule in &program.rules {
+        let creates_values = rule.body.iter().any(|i| matches!(i, BodyItem::Assign(..)));
+        if !creates_values {
+            continue;
+        }
+        let head = &rule.head.pred;
+        // Recursive = the head participates in a cycle among its stratum
+        // (including direct self-recursion).
+        if components.contains(head) {
+            return Err(DatalogError::NotStratifiable {
+                message: format!(
+                    "rule for {head} uses arithmetic inside a recursive cycle; \
+                     this could generate unboundedly many values"
+                ),
+            });
+        }
+    }
+
+    let count = stratum.values().copied().max().map(|m| m + 1).unwrap_or(1);
+    Ok(Stratification { stratum, count })
+}
+
+/// Predicates that are part of some positive cycle (p reaches p).
+fn same_stratum_cycles(
+    pos_edges: &BTreeMap<Arc<str>, BTreeSet<Arc<str>>>,
+    _stratum: &BTreeMap<Arc<str>, usize>,
+) -> BTreeSet<Arc<str>> {
+    let mut cyclic = BTreeSet::new();
+    for start in pos_edges.keys() {
+        // DFS from each successor of `start`; if we can get back, it's cyclic.
+        let mut stack: Vec<&Arc<str>> = pos_edges[start].iter().collect();
+        let mut seen: BTreeSet<&Arc<str>> = BTreeSet::new();
+        while let Some(p) = stack.pop() {
+            if p == start {
+                cyclic.insert(start.clone());
+                break;
+            }
+            if !seen.insert(p) {
+                continue;
+            }
+            if let Some(next) = pos_edges.get(p) {
+                stack.extend(next.iter());
+            }
+        }
+    }
+    cyclic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strat(src: &str) -> Stratification {
+        stratify(&Program::parse(src).unwrap()).unwrap()
+    }
+
+    fn fails(src: &str) -> String {
+        match stratify(&Program::parse(src).unwrap()) {
+            Err(DatalogError::NotStratifiable { message }) => message,
+            other => panic!("expected NotStratifiable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positive_recursion_is_fine() {
+        let s = strat("reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.of("reach"), 0);
+        assert_eq!(s.of("edge"), 0); // EDB
+    }
+
+    #[test]
+    fn negation_pushes_up_a_stratum() {
+        let s = strat(
+            "bad(X) :- cert(X), revoked(X).
+             good(X) :- cert(X), \\+bad(X).",
+        );
+        assert_eq!(s.of("bad"), 0);
+        assert_eq!(s.of("good"), 1);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn chained_negation() {
+        let s = strat(
+            "a(X) :- e(X).
+             b(X) :- e(X), \\+a(X).
+             c(X) :- e(X), \\+b(X).",
+        );
+        assert_eq!(s.of("a"), 0);
+        assert_eq!(s.of("b"), 1);
+        assert_eq!(s.of("c"), 2);
+    }
+
+    #[test]
+    fn negative_self_cycle_rejected() {
+        let msg = fails("p(X) :- q(X), \\+p(X).");
+        assert!(msg.contains("negatively"));
+    }
+
+    #[test]
+    fn negative_two_cycle_rejected() {
+        let msg = fails(
+            "p(X) :- q(X), \\+r(X).
+             r(X) :- q(X), \\+p(X).",
+        );
+        assert!(msg.contains("negatively"));
+    }
+
+    #[test]
+    fn arithmetic_in_recursion_rejected() {
+        let msg = fails("count(Y) :- count(X), Y = X + 1.");
+        assert!(msg.contains("arithmetic"));
+    }
+
+    #[test]
+    fn arithmetic_in_mutual_recursion_rejected() {
+        let msg = fails(
+            "even(X) :- odd(X2), X = X2 - 1, positive(X).
+             odd(X) :- even(X2), X = X2 - 1, positive(X).",
+        );
+        assert!(msg.contains("arithmetic"));
+    }
+
+    #[test]
+    fn arithmetic_outside_recursion_allowed() {
+        let s = strat(
+            "lifetime(C, L) :- notBefore(C, NB), notAfter(C, NA), L = NA - NB.
+             shortLived(C) :- lifetime(C, L), L < 100.",
+        );
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn paper_listing_1_stratifies() {
+        let s = strat(
+            r#"nov30th2022(1669784400).
+               valid(Chain, "TLS") :- leaf(Chain, Cert), \+EV(Cert), nov30th2022(T), notBefore(Cert, NB), NB < T."#,
+        );
+        // EV is an EDB predicate: negation over EDB needs no extra stratum.
+        assert_eq!(s.count, 1);
+    }
+}

@@ -1,0 +1,686 @@
+//! # `nrslb-der` — minimal ASN.1 DER encoding and decoding
+//!
+//! The X.509 substrate (`nrslb-x509`) encodes certificates with real DER so
+//! that the corpus-analysis experiments (DESIGN.md E1/E2) exercise the same
+//! parse-then-scan code path a real Web-PKI measurement would.
+//!
+//! The crate offers a tree-structured [`Value`] model plus strict
+//! [`encode`]/[`decode`] functions. Decoding enforces DER's canonical
+//! rules where they matter for signatures over encoded bytes:
+//!
+//! * definite, minimal-length encodings only;
+//! * a depth limit (no stack exhaustion on adversarial input);
+//! * no trailing bytes after the top-level value.
+//!
+//! Time values use `GeneralizedTime` backed by Unix-epoch seconds, with
+//! proleptic-Gregorian conversion in [`time`].
+
+#![warn(missing_docs)]
+
+pub mod time;
+
+use std::fmt;
+
+/// Errors from DER encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DerError {
+    /// Input ended before a complete TLV was read.
+    Truncated,
+    /// A length octet sequence was not minimally encoded or was indefinite.
+    BadLength,
+    /// An unsupported or reserved tag was encountered.
+    BadTag(u8),
+    /// Value contents did not satisfy the type's constraints.
+    BadValue(&'static str),
+    /// Trailing bytes followed the top-level value.
+    TrailingBytes,
+    /// Nesting exceeded [`MAX_DEPTH`].
+    TooDeep,
+}
+
+impl fmt::Display for DerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DerError::Truncated => write!(f, "truncated DER input"),
+            DerError::BadLength => write!(f, "non-minimal or indefinite DER length"),
+            DerError::BadTag(t) => write!(f, "unsupported DER tag 0x{t:02x}"),
+            DerError::BadValue(what) => write!(f, "invalid DER value: {what}"),
+            DerError::TrailingBytes => write!(f, "trailing bytes after DER value"),
+            DerError::TooDeep => write!(f, "DER nesting exceeds depth limit"),
+        }
+    }
+}
+
+impl std::error::Error for DerError {}
+
+/// Maximum nesting depth accepted by the decoder.
+pub const MAX_DEPTH: usize = 32;
+
+/// An object identifier: a sequence of integer arcs.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(pub Vec<u64>);
+
+impl Oid {
+    /// Construct from arcs, e.g. `Oid::new(&[2, 5, 29, 19])`.
+    pub fn new(arcs: &[u64]) -> Oid {
+        Oid(arcs.to_vec())
+    }
+
+    fn write_dotted(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for arc in &self.0 {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{arc}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write_dotted(f)
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write_dotted(f)
+    }
+}
+
+/// A decoded DER value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// BOOLEAN (tag 0x01); DER requires 0x00 or 0xFF contents.
+    Boolean(bool),
+    /// INTEGER (tag 0x02), restricted to the `i128` range.
+    Integer(i128),
+    /// BIT STRING (tag 0x03) with a count of unused trailing bits.
+    BitString {
+        /// Number of unused bits in the final byte (0–7).
+        unused: u8,
+        /// The bit string contents.
+        bytes: Vec<u8>,
+    },
+    /// OCTET STRING (tag 0x04).
+    OctetString(Vec<u8>),
+    /// NULL (tag 0x05).
+    Null,
+    /// OBJECT IDENTIFIER (tag 0x06).
+    Oid(Oid),
+    /// UTF8String (tag 0x0C).
+    Utf8String(String),
+    /// PrintableString (tag 0x13); contents restricted per X.680.
+    PrintableString(String),
+    /// IA5String (tag 0x16); ASCII only. Used for DNS names.
+    Ia5String(String),
+    /// GeneralizedTime (tag 0x18), stored as Unix-epoch seconds.
+    GeneralizedTime(i64),
+    /// SEQUENCE (tag 0x30).
+    Sequence(Vec<Value>),
+    /// SET (tag 0x31). The encoder does not sort; callers supply DER order.
+    Set(Vec<Value>),
+    /// Context-specific constructed value `[n]` (tag 0xA0 | n).
+    ContextConstructed(u8, Vec<Value>),
+    /// Context-specific primitive value `[n]` (tag 0x80 | n).
+    ContextPrimitive(u8, Vec<u8>),
+}
+
+impl Value {
+    /// Convenience: the contained sequence elements, if this is a SEQUENCE.
+    pub fn as_sequence(&self) -> Option<&[Value]> {
+        match self {
+            Value::Sequence(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the contained integer, if this is an INTEGER.
+    pub fn as_integer(&self) -> Option<i128> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the contained OID, if this is an OBJECT IDENTIFIER.
+    pub fn as_oid(&self) -> Option<&Oid> {
+        match self {
+            Value::Oid(oid) => Some(oid),
+            _ => None,
+        }
+    }
+
+    /// Convenience: string contents for any of the string types.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Utf8String(s) | Value::PrintableString(s) | Value::Ia5String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Convenience: octet-string bytes.
+    pub fn as_octets(&self) -> Option<&[u8]> {
+        match self {
+            Value::OctetString(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Encode a [`Value`] to DER bytes.
+pub fn encode(value: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(value, &mut out);
+    out
+}
+
+/// Encode a [`Value`], appending to `out`.
+pub fn encode_into(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Boolean(b) => write_tlv(out, 0x01, &[if *b { 0xff } else { 0x00 }]),
+        Value::Integer(i) => {
+            let body = encode_integer(*i);
+            write_tlv(out, 0x02, &body);
+        }
+        Value::BitString { unused, bytes } => {
+            let mut body = Vec::with_capacity(bytes.len() + 1);
+            body.push(*unused);
+            body.extend_from_slice(bytes);
+            write_tlv(out, 0x03, &body);
+        }
+        Value::OctetString(bytes) => write_tlv(out, 0x04, bytes),
+        Value::Null => write_tlv(out, 0x05, &[]),
+        Value::Oid(oid) => {
+            let body = encode_oid(oid);
+            write_tlv(out, 0x06, &body);
+        }
+        Value::Utf8String(s) => write_tlv(out, 0x0c, s.as_bytes()),
+        Value::PrintableString(s) => write_tlv(out, 0x13, s.as_bytes()),
+        Value::Ia5String(s) => write_tlv(out, 0x16, s.as_bytes()),
+        Value::GeneralizedTime(ts) => {
+            let s = time::unix_to_generalized(*ts);
+            write_tlv(out, 0x18, s.as_bytes());
+        }
+        Value::Sequence(items) => write_constructed(out, 0x30, items),
+        Value::Set(items) => write_constructed(out, 0x31, items),
+        Value::ContextConstructed(n, items) => write_constructed(out, 0xa0 | (n & 0x1f), items),
+        Value::ContextPrimitive(n, bytes) => write_tlv(out, 0x80 | (n & 0x1f), bytes),
+    }
+}
+
+fn write_constructed(out: &mut Vec<u8>, tag: u8, items: &[Value]) {
+    let mut body = Vec::new();
+    for item in items {
+        encode_into(item, &mut body);
+    }
+    write_tlv(out, tag, &body);
+}
+
+fn write_tlv(out: &mut Vec<u8>, tag: u8, body: &[u8]) {
+    out.push(tag);
+    write_len(out, body.len());
+    out.extend_from_slice(body);
+}
+
+fn write_len(out: &mut Vec<u8>, len: usize) {
+    if len < 0x80 {
+        out.push(len as u8);
+    } else {
+        let bytes = (len as u64).to_be_bytes();
+        let skip = bytes.iter().take_while(|&&b| b == 0).count();
+        let sig = &bytes[skip..];
+        out.push(0x80 | sig.len() as u8);
+        out.extend_from_slice(sig);
+    }
+}
+
+fn encode_integer(i: i128) -> Vec<u8> {
+    let bytes = i.to_be_bytes();
+    // Minimal two's-complement: strip redundant leading 0x00/0xFF octets.
+    let mut start = 0;
+    while start < 15 {
+        let cur = bytes[start];
+        let next = bytes[start + 1];
+        if (cur == 0x00 && next & 0x80 == 0) || (cur == 0xff && next & 0x80 != 0) {
+            start += 1;
+        } else {
+            break;
+        }
+    }
+    bytes[start..].to_vec()
+}
+
+fn encode_oid(oid: &Oid) -> Vec<u8> {
+    let arcs = &oid.0;
+    let mut out = Vec::new();
+    // X.690: the first two arcs combine into one octet sequence.
+    let (first, second) = match (arcs.first(), arcs.get(1)) {
+        (Some(&a), Some(&b)) => (a, b),
+        _ => (0, 0), // degenerate OID; encoded as 0.0
+    };
+    push_base128(&mut out, first * 40 + second);
+    for &arc in arcs.iter().skip(2) {
+        push_base128(&mut out, arc);
+    }
+    out
+}
+
+fn push_base128(out: &mut Vec<u8>, mut v: u64) {
+    let mut stack = [0u8; 10];
+    let mut n = 0;
+    loop {
+        stack[n] = (v & 0x7f) as u8;
+        v >>= 7;
+        n += 1;
+        if v == 0 {
+            break;
+        }
+    }
+    for i in (0..n).rev() {
+        let mut b = stack[i];
+        if i != 0 {
+            b |= 0x80;
+        }
+        out.push(b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Decode exactly one DER value from `input`; trailing bytes are an error.
+pub fn decode(input: &[u8]) -> Result<Value, DerError> {
+    let mut reader = Reader {
+        data: input,
+        pos: 0,
+    };
+    let value = reader.read_value(0)?;
+    if reader.pos != input.len() {
+        return Err(DerError::TrailingBytes);
+    }
+    Ok(value)
+}
+
+/// Decode one DER value from the front of `input`, returning the value and
+/// the number of bytes consumed.
+pub fn decode_prefix(input: &[u8]) -> Result<(Value, usize), DerError> {
+    let mut reader = Reader {
+        data: input,
+        pos: 0,
+    };
+    let value = reader.read_value(0)?;
+    Ok((value, reader.pos))
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DerError> {
+        if self.data.len() - self.pos < n {
+            return Err(DerError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn read_len(&mut self) -> Result<usize, DerError> {
+        let first = self.take(1)?[0];
+        if first < 0x80 {
+            return Ok(first as usize);
+        }
+        let n = (first & 0x7f) as usize;
+        if n == 0 || n > 8 {
+            // 0x80 is the BER indefinite form, forbidden in DER.
+            return Err(DerError::BadLength);
+        }
+        let bytes = self.take(n)?;
+        if bytes[0] == 0 {
+            return Err(DerError::BadLength); // non-minimal
+        }
+        let mut len: u64 = 0;
+        for &b in bytes {
+            len = (len << 8) | b as u64;
+        }
+        if len < 0x80 || len > usize::MAX as u64 {
+            return Err(DerError::BadLength); // must have used short form
+        }
+        Ok(len as usize)
+    }
+
+    fn read_value(&mut self, depth: usize) -> Result<Value, DerError> {
+        if depth > MAX_DEPTH {
+            return Err(DerError::TooDeep);
+        }
+        let tag = self.take(1)?[0];
+        let len = self.read_len()?;
+        let body = self.take(len)?;
+        match tag {
+            0x01 => match body {
+                [0x00] => Ok(Value::Boolean(false)),
+                [0xff] => Ok(Value::Boolean(true)),
+                _ => Err(DerError::BadValue("boolean contents")),
+            },
+            0x02 => decode_integer(body),
+            0x03 => {
+                let (&unused, bytes) = body
+                    .split_first()
+                    .ok_or(DerError::BadValue("empty bit string"))?;
+                if unused > 7 || (bytes.is_empty() && unused != 0) {
+                    return Err(DerError::BadValue("bit string unused bits"));
+                }
+                Ok(Value::BitString {
+                    unused,
+                    bytes: bytes.to_vec(),
+                })
+            }
+            0x04 => Ok(Value::OctetString(body.to_vec())),
+            0x05 => {
+                if body.is_empty() {
+                    Ok(Value::Null)
+                } else {
+                    Err(DerError::BadValue("null contents"))
+                }
+            }
+            0x06 => decode_oid(body),
+            0x0c => String::from_utf8(body.to_vec())
+                .map(Value::Utf8String)
+                .map_err(|_| DerError::BadValue("utf8 string")),
+            0x13 => {
+                let s = std::str::from_utf8(body).map_err(|_| DerError::BadValue("printable"))?;
+                if !s.bytes().all(is_printable_char) {
+                    return Err(DerError::BadValue("printable string alphabet"));
+                }
+                Ok(Value::PrintableString(s.to_string()))
+            }
+            0x16 => {
+                if !body.iter().all(|b| b.is_ascii()) {
+                    return Err(DerError::BadValue("ia5 string"));
+                }
+                Ok(Value::Ia5String(
+                    std::str::from_utf8(body).unwrap().to_string(),
+                ))
+            }
+            0x18 => {
+                let s = std::str::from_utf8(body)
+                    .map_err(|_| DerError::BadValue("generalized time"))?;
+                let ts = time::generalized_to_unix(s)
+                    .ok_or(DerError::BadValue("generalized time format"))?;
+                Ok(Value::GeneralizedTime(ts))
+            }
+            0x30 => Ok(Value::Sequence(decode_items(body, depth + 1)?)),
+            0x31 => Ok(Value::Set(decode_items(body, depth + 1)?)),
+            t if t & 0xe0 == 0xa0 => Ok(Value::ContextConstructed(
+                t & 0x1f,
+                decode_items(body, depth + 1)?,
+            )),
+            t if t & 0xe0 == 0x80 => Ok(Value::ContextPrimitive(t & 0x1f, body.to_vec())),
+            t => Err(DerError::BadTag(t)),
+        }
+    }
+}
+
+fn is_printable_char(b: u8) -> bool {
+    matches!(b,
+        b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9'
+        | b' ' | b'\'' | b'(' | b')' | b'+' | b',' | b'-' | b'.' | b'/' | b':' | b'=' | b'?')
+}
+
+fn decode_items(body: &[u8], depth: usize) -> Result<Vec<Value>, DerError> {
+    let mut reader = Reader { data: body, pos: 0 };
+    let mut items = Vec::new();
+    while reader.pos < body.len() {
+        items.push(reader.read_value(depth)?);
+    }
+    Ok(items)
+}
+
+fn decode_integer(body: &[u8]) -> Result<Value, DerError> {
+    if body.is_empty() || body.len() > 16 {
+        return Err(DerError::BadValue("integer length"));
+    }
+    if body.len() >= 2 {
+        let redundant =
+            (body[0] == 0x00 && body[1] & 0x80 == 0) || (body[0] == 0xff && body[1] & 0x80 != 0);
+        if redundant {
+            return Err(DerError::BadValue("non-minimal integer"));
+        }
+    }
+    let negative = body[0] & 0x80 != 0;
+    let mut bytes = if negative { [0xffu8; 16] } else { [0u8; 16] };
+    bytes[16 - body.len()..].copy_from_slice(body);
+    Ok(Value::Integer(i128::from_be_bytes(bytes)))
+}
+
+fn decode_oid(body: &[u8]) -> Result<Value, DerError> {
+    if body.is_empty() {
+        return Err(DerError::BadValue("empty oid"));
+    }
+    let mut arcs = Vec::new();
+    let mut cur: u64 = 0;
+    let mut in_arc = false;
+    for &b in body {
+        if !in_arc && b == 0x80 {
+            return Err(DerError::BadValue("non-minimal oid arc"));
+        }
+        if cur > (u64::MAX >> 7) {
+            return Err(DerError::BadValue("oid arc overflow"));
+        }
+        cur = (cur << 7) | (b & 0x7f) as u64;
+        if b & 0x80 == 0 {
+            if arcs.is_empty() {
+                // First encoded datum combines the first two arcs.
+                let (a, rest) = if cur < 40 {
+                    (0, cur)
+                } else if cur < 80 {
+                    (1, cur - 40)
+                } else {
+                    (2, cur - 80)
+                };
+                arcs.push(a);
+                arcs.push(rest);
+            } else {
+                arcs.push(cur);
+            }
+            cur = 0;
+            in_arc = false;
+        } else {
+            in_arc = true;
+        }
+    }
+    if in_arc {
+        return Err(DerError::BadValue("truncated oid arc"));
+    }
+    Ok(Value::Oid(Oid(arcs)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let bytes = encode(v);
+        let back = decode(&bytes).unwrap_or_else(|e| panic!("decode {v:?}: {e}"));
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(&Value::Boolean(true));
+        roundtrip(&Value::Boolean(false));
+        roundtrip(&Value::Null);
+        roundtrip(&Value::OctetString(vec![1, 2, 3]));
+        roundtrip(&Value::OctetString(vec![]));
+        roundtrip(&Value::Utf8String("héllo".into()));
+        roundtrip(&Value::PrintableString("Example CA 1".into()));
+        roundtrip(&Value::Ia5String("www.example.com".into()));
+        roundtrip(&Value::BitString {
+            unused: 3,
+            bytes: vec![0xa8],
+        });
+        roundtrip(&Value::GeneralizedTime(0));
+        roundtrip(&Value::GeneralizedTime(1_669_784_400)); // Nov 30 2022 (paper Listing 1)
+        roundtrip(&Value::GeneralizedTime(-86400));
+    }
+
+    #[test]
+    fn integer_roundtrips() {
+        for i in [
+            0i128,
+            1,
+            -1,
+            127,
+            128,
+            -128,
+            -129,
+            255,
+            256,
+            i128::from(i64::MAX),
+            i128::from(i64::MIN),
+            i128::MAX,
+            i128::MIN,
+        ] {
+            roundtrip(&Value::Integer(i));
+        }
+    }
+
+    #[test]
+    fn integer_known_encodings() {
+        assert_eq!(encode(&Value::Integer(0)), vec![0x02, 0x01, 0x00]);
+        assert_eq!(encode(&Value::Integer(127)), vec![0x02, 0x01, 0x7f]);
+        assert_eq!(encode(&Value::Integer(128)), vec![0x02, 0x02, 0x00, 0x80]);
+        assert_eq!(encode(&Value::Integer(-1)), vec![0x02, 0x01, 0xff]);
+        assert_eq!(encode(&Value::Integer(-128)), vec![0x02, 0x01, 0x80]);
+    }
+
+    #[test]
+    fn rejects_non_minimal_integer() {
+        assert!(decode(&[0x02, 0x02, 0x00, 0x01]).is_err());
+        assert!(decode(&[0x02, 0x02, 0xff, 0xff]).is_err());
+    }
+
+    #[test]
+    fn oid_roundtrips() {
+        roundtrip(&Value::Oid(Oid::new(&[2, 5, 29, 19])));
+        roundtrip(&Value::Oid(Oid::new(&[1, 3, 6, 1, 5, 5, 7, 3, 1])));
+        roundtrip(&Value::Oid(Oid::new(&[2, 999, 3])));
+        roundtrip(&Value::Oid(Oid::new(&[0, 39])));
+    }
+
+    #[test]
+    fn oid_known_encoding() {
+        // id-ce-basicConstraints = 2.5.29.19 -> 55 1D 13
+        assert_eq!(
+            encode(&Value::Oid(Oid::new(&[2, 5, 29, 19]))),
+            vec![0x06, 0x03, 0x55, 0x1d, 0x13]
+        );
+    }
+
+    #[test]
+    fn nested_structures() {
+        roundtrip(&Value::Sequence(vec![
+            Value::Integer(2),
+            Value::Sequence(vec![
+                Value::Oid(Oid::new(&[2, 5, 4, 3])),
+                Value::Utf8String("Root CA".into()),
+            ]),
+            Value::ContextConstructed(3, vec![Value::OctetString(vec![0xde, 0xad])]),
+            Value::ContextPrimitive(2, b"example.com".to_vec()),
+            Value::Set(vec![Value::Boolean(true)]),
+        ]));
+    }
+
+    #[test]
+    fn long_lengths() {
+        roundtrip(&Value::OctetString(vec![7u8; 127]));
+        roundtrip(&Value::OctetString(vec![7u8; 128]));
+        roundtrip(&Value::OctetString(vec![7u8; 255]));
+        roundtrip(&Value::OctetString(vec![7u8; 256]));
+        roundtrip(&Value::OctetString(vec![7u8; 65536]));
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = encode(&Value::Null);
+        bytes.push(0x00);
+        assert_eq!(decode(&bytes), Err(DerError::TrailingBytes));
+    }
+
+    #[test]
+    fn decode_prefix_reports_consumed() {
+        let mut bytes = encode(&Value::Integer(5));
+        let len = bytes.len();
+        bytes.extend_from_slice(&encode(&Value::Boolean(true)));
+        let (v, used) = decode_prefix(&bytes).unwrap();
+        assert_eq!(v, Value::Integer(5));
+        assert_eq!(used, len);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let bytes = encode(&Value::OctetString(vec![1, 2, 3, 4]));
+        for cut in 1..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite_and_non_minimal_lengths() {
+        assert_eq!(decode(&[0x04, 0x80, 0x00, 0x00]), Err(DerError::BadLength));
+        // 0x81 0x05: long form used for a length < 0x80.
+        assert_eq!(
+            decode(&[0x04, 0x81, 0x05, 1, 2, 3, 4, 5]),
+            Err(DerError::BadLength)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_boolean() {
+        assert!(decode(&[0x01, 0x01, 0x01]).is_err());
+        assert!(decode(&[0x01, 0x02, 0xff, 0xff]).is_err());
+    }
+
+    #[test]
+    fn rejects_excessive_depth() {
+        let mut v = Value::Null;
+        for _ in 0..MAX_DEPTH + 2 {
+            v = Value::Sequence(vec![v]);
+        }
+        let bytes = encode(&v);
+        assert_eq!(decode(&bytes), Err(DerError::TooDeep));
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        assert_eq!(decode(&[0x19, 0x00]), Err(DerError::BadTag(0x19)));
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_input() {
+        // Cheap deterministic fuzz: decode pseudo-random byte strings.
+        let mut state = 0x12345678u64;
+        for _ in 0..2000 {
+            let len = (state % 64) as usize;
+            let mut bytes = Vec::with_capacity(len);
+            for _ in 0..len {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                bytes.push((state >> 33) as u8);
+            }
+            let _ = decode(&bytes); // must not panic
+        }
+    }
+}

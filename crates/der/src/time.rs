@@ -1,0 +1,139 @@
+//! Conversion between Unix-epoch seconds and ASN.1 `GeneralizedTime`
+//! (`YYYYMMDDHHMMSSZ`), using the proleptic Gregorian calendar.
+//!
+//! The civil-date arithmetic follows Howard Hinnant's `days_from_civil` /
+//! `civil_from_days` algorithms, which are exact over the full supported
+//! range.
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe as i64 * 365 + yoe as i64 / 4 - yoe as i64 / 100 + doy;
+    era * 146097 + doe - 719468
+}
+
+/// Civil date `(year, month, day)` for days since 1970-01-01.
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Unix timestamp for a UTC civil datetime.
+pub fn unix_from_datetime(y: i64, mo: u32, d: u32, h: u32, mi: u32, s: u32) -> i64 {
+    days_from_civil(y, mo, d) * 86400 + (h as i64) * 3600 + (mi as i64) * 60 + s as i64
+}
+
+/// Render a Unix timestamp as `YYYYMMDDHHMMSSZ`.
+pub fn unix_to_generalized(ts: i64) -> String {
+    let days = ts.div_euclid(86400);
+    let secs = ts.rem_euclid(86400);
+    let (y, m, d) = civil_from_days(days);
+    format!(
+        "{:04}{:02}{:02}{:02}{:02}{:02}Z",
+        y,
+        m,
+        d,
+        secs / 3600,
+        (secs % 3600) / 60,
+        secs % 60
+    )
+}
+
+/// Parse `YYYYMMDDHHMMSSZ` into a Unix timestamp. Returns `None` on any
+/// format violation (wrong length, missing `Z`, out-of-range fields).
+pub fn generalized_to_unix(s: &str) -> Option<i64> {
+    let bytes = s.as_bytes();
+    if bytes.len() != 15 || bytes[14] != b'Z' {
+        return None;
+    }
+    if !bytes[..14].iter().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let num = |range: std::ops::Range<usize>| -> i64 { s[range].parse().unwrap() };
+    let y = num(0..4);
+    let mo = num(4..6) as u32;
+    let d = num(6..8) as u32;
+    let h = num(8..10) as u32;
+    let mi = num(10..12) as u32;
+    let sec = num(12..14) as u32;
+    if !(1..=12).contains(&mo) || !(1..=31).contains(&d) || h > 23 || mi > 59 || sec > 59 {
+        return None;
+    }
+    // Reject dates that do not round-trip (e.g. Feb 30).
+    let ts = unix_from_datetime(y, mo, d, h, mi, sec);
+    let (ry, rm, rd) = civil_from_days(ts.div_euclid(86400));
+    if (ry, rm, rd) != (y, mo, d) {
+        return None;
+    }
+    Some(ts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(unix_to_generalized(0), "19700101000000Z");
+    }
+
+    #[test]
+    fn paper_dates() {
+        // Listing 1: November 30th 2022 = 1669784400 (05:00 UTC, the paper
+        // uses US/Eastern midnight).
+        assert_eq!(unix_to_generalized(1_669_784_400), "20221130050000Z");
+        // Listing 2: June 1st 2016 = 1464753600 (04:00 UTC).
+        assert_eq!(unix_to_generalized(1_464_753_600), "20160601040000Z");
+    }
+
+    #[test]
+    fn roundtrip_wide_range() {
+        // Every ~37 hours across ±80 years.
+        let mut ts: i64 = -2_524_608_000; // 1890
+        while ts < 4_102_444_800 {
+            // 2100
+            let s = unix_to_generalized(ts);
+            assert_eq!(generalized_to_unix(&s), Some(ts), "ts={ts} s={s}");
+            ts += 133_200;
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(generalized_to_unix("20240229120000Z").is_some());
+        assert_eq!(generalized_to_unix("20230229120000Z"), None);
+        assert!(generalized_to_unix("20000229000000Z").is_some()); // 400-year rule
+        assert_eq!(generalized_to_unix("19000229000000Z"), None); // 100-year rule
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(generalized_to_unix(""), None);
+        assert_eq!(generalized_to_unix("2022113005000Z"), None); // short
+        assert_eq!(generalized_to_unix("20221130050000"), None); // no Z
+        assert_eq!(generalized_to_unix("20221330050000Z"), None); // month 13
+        assert_eq!(generalized_to_unix("20221100050000Z"), None); // day 0
+        assert_eq!(generalized_to_unix("20221130240000Z"), None); // hour 24
+        assert_eq!(generalized_to_unix("2022113005000aZ"), None); // non-digit
+    }
+
+    #[test]
+    fn negative_timestamps() {
+        assert_eq!(unix_to_generalized(-1), "19691231235959Z");
+        assert_eq!(generalized_to_unix("19691231235959Z"), Some(-1));
+    }
+}

@@ -1,0 +1,726 @@
+//! The seven incidents, each as a GCC-bearing scenario.
+
+use crate::pki::{
+    intermediate_ca, leaf, leaf_opts, root_ca, IncidentScenario, TestChain, NOW_2015, NOW_2017,
+};
+use nrslb_rootstore::{Gcc, GccMetadata, RootStore, Usage};
+
+/// June 1st 2016, the Symantec distrust cutoff (paper Listing 2).
+pub const JUNE_1ST_2016: i64 = 1_464_753_600;
+/// November 30th 2022, the TrustCor cutoff (paper Listing 1).
+pub const NOV_30TH_2022: i64 = 1_669_784_400;
+/// October 21st 2016, the WoSign/StartCom new-certificate cutoff.
+pub const OCT_21ST_2016: i64 = 1_477_008_000;
+
+/// A named incident with its scenario builder.
+pub struct IncidentSpec {
+    /// Short identifier (`"symantec"`...).
+    pub id: &'static str,
+    /// Year of the incident.
+    pub year: u16,
+    /// One-line description of what happened.
+    pub description: &'static str,
+    /// One-line description of the primary's response being modeled.
+    pub response: &'static str,
+    /// Scenario builder.
+    pub build: fn() -> IncidentScenario,
+}
+
+/// All seven incidents from the paper's §2.2, in chronological order.
+pub fn all_incidents() -> Vec<IncidentSpec> {
+    vec![
+        IncidentSpec {
+            id: "turktrust",
+            year: 2013,
+            description: "TURKTRUST mis-issued intermediates; one issued *.google.com",
+            response: "EV disallowed; TUBITAK-style constraint to the .tr TLD",
+            build: turktrust::scenario,
+        },
+        IncidentSpec {
+            id: "anssi",
+            year: 2013,
+            description: "ANSSI intermediate used to MITM Google domains",
+            response: "root name-constrained to French TLDs",
+            build: anssi::scenario,
+        },
+        IncidentSpec {
+            id: "india-cca",
+            year: 2014,
+            description: "India CCA intermediates mis-issued Google/Yahoo leaves",
+            response: "root constrained to Indian TLDs",
+            build: india_cca::scenario,
+        },
+        IncidentSpec {
+            id: "cnnic",
+            year: 2015,
+            description: "MCS Holdings intermediate under CNNIC used for MITM",
+            response: "allowlist of exempt subordinate CAs",
+            build: cnnic::scenario,
+        },
+        IncidentSpec {
+            id: "wosign",
+            year: 2016,
+            description: "WoSign backdated SHA-1 certs; covert StartCom acquisition",
+            response: "distrust all newly issued leaves; keep existing ones",
+            build: wosign::scenario,
+        },
+        IncidentSpec {
+            id: "symantec",
+            year: 2018,
+            description: "systemic Symantec compliance failures",
+            response: "Listing 2: leaves before 2016-06-01 or exempt intermediates",
+            build: symantec::scenario,
+        },
+        IncidentSpec {
+            id: "trustcor",
+            year: 2022,
+            description: "TrustCor ties to surveillance contractor",
+            response: "Listing 1: date/usage cutoffs, EV excluded for TLS",
+            build: trustcor::scenario,
+        },
+    ]
+}
+
+fn meta(justification: &str, url: &str, at: i64) -> GccMetadata {
+    GccMetadata {
+        justification: justification.to_string(),
+        discussion_url: url.to_string(),
+        created_at: at,
+    }
+}
+
+/// A GCC constraining every leaf SAN to one TLD (the shape Mozilla
+/// hard-coded for TUBITAK, ANSSI and — in Chrome — India CCA).
+fn tld_gcc(name: &str, target: nrslb_crypto::sha256::Digest, tld: &str, m: GccMetadata) -> Gcc {
+    let src = format!(
+        r#"bad(Chain) :- leaf(Chain, C), sanTld(C, T), T != "{tld}".
+valid(Chain, "TLS") :- chain(Chain), \+bad(Chain).
+valid(Chain, "S/MIME") :- chain(Chain), \+bad(Chain)."#
+    );
+    Gcc::parse(name, target, &src, m).expect("tld GCC well-formed")
+}
+
+/// Comodo (2011) — the paper's §2.1 background incident: a registration
+/// authority compromise led to nine fraudulent leaves for high-value
+/// domains (google.com, addons.mozilla.com...). The response was
+/// *revocation* of the individual leaves, not a constraint — so this
+/// scenario exercises the `nrslb-revocation` layer rather than a GCC,
+/// and is not part of [`all_incidents`]'s GCC matrix.
+pub mod comodo {
+    use super::*;
+    use nrslb_x509::Certificate;
+
+    /// The Comodo scenario: the affected store plus the fraudulent and
+    /// legitimate leaves (the caller builds the OneCRL from
+    /// `fraudulent`).
+    pub struct ComodoScenario {
+        /// Store trusting the (not-removed) Comodo root.
+        pub store: RootStore,
+        /// The intermediate both leaf sets chain through.
+        pub intermediate: Certificate,
+        /// The nine fraudulent leaves.
+        pub fraudulent: Vec<Certificate>,
+        /// Legitimate leaves that must keep validating.
+        pub legitimate: Vec<Certificate>,
+        /// Validation time.
+        pub at: i64,
+    }
+
+    /// Build the scenario.
+    pub fn scenario() -> ComodoScenario {
+        let root = root_ca("Comodo CA Root", 0x2a);
+        let int = intermediate_ca("Comodo RA Issuing", 0x2b, &root);
+        let mut store = RootStore::new("primary");
+        store.add_trusted(root.cert.clone()).unwrap();
+        let at = 1_301_000_000; // late March 2011
+        let targets = [
+            "mail.google.com",
+            "www.google.com",
+            "login.yahoo.com",
+            "login.skype.com",
+            "addons.mozilla.org",
+            "login.live.com",
+            "global.trustee.example",
+            "www.google.com",
+            "login.yahoo.com",
+        ];
+        let fraudulent: Vec<Certificate> = targets
+            .iter()
+            .map(|host| leaf(host, &int, at - 1_000_000, 4_000_000_000))
+            .collect();
+        let legitimate = vec![
+            leaf("shop.legit.example", &int, at - 50_000_000, 4_000_000_000),
+            leaf("mail.legit.example", &int, at - 50_000_000, 4_000_000_000),
+        ];
+        ComodoScenario {
+            store,
+            intermediate: int.cert.clone(),
+            fraudulent,
+            legitimate,
+            at,
+        }
+    }
+}
+
+/// TURKTRUST (2013).
+pub mod turktrust {
+    use super::*;
+
+    /// Build the scenario.
+    pub fn scenario() -> IncidentScenario {
+        let root = root_ca("TURKTRUST Root CA", 0x30);
+        let legit_int = intermediate_ca("TURKTRUST Issuing CA", 0x31, &root);
+        let rogue_int = intermediate_ca("EGO Rogue CA", 0x32, &root);
+
+        let mut store = RootStore::new("primary");
+        store.add_trusted(root.cert.clone()).unwrap();
+        let fp = root.cert.fingerprint();
+        // Response 1: EV no longer accepted from this root.
+        store.record_mut(&fp).unwrap().ev_allowed = false;
+        // Response 2 (TUBITAK-style): constrain to the Turkish TLD.
+        store
+            .attach_gcc(tld_gcc(
+                "turktrust-tr-only",
+                fp,
+                "tr",
+                meta(
+                    "Restrict to Turkish domains after *.google.com mis-issuance",
+                    "https://bugzilla.mozilla.org/show_bug.cgi?id=1262809",
+                    NOW_2015,
+                ),
+            ))
+            .unwrap();
+
+        let legit = leaf(
+            "eokul.meb.gov.tr",
+            &legit_int,
+            NOW_2015 - 10_000_000,
+            4_000_000_000,
+        );
+        let attack = leaf(
+            "accounts.google.com",
+            &rogue_int,
+            NOW_2015 - 5_000_000,
+            4_000_000_000,
+        );
+        IncidentScenario {
+            store,
+            affected_root: root.cert.clone(),
+            legitimate: vec![TestChain::new(
+                "Turkish government site",
+                legit,
+                vec![legit_int.cert.clone()],
+                NOW_2015,
+                Usage::Tls,
+            )],
+            attacks: vec![TestChain::new(
+                "google.com via mis-issued intermediate",
+                attack,
+                vec![rogue_int.cert.clone()],
+                NOW_2015,
+                Usage::Tls,
+            )],
+        }
+    }
+}
+
+/// ANSSI (2013).
+pub mod anssi {
+    use super::*;
+
+    /// Build the scenario.
+    pub fn scenario() -> IncidentScenario {
+        let root = root_ca("ANSSI IGC/A", 0x34);
+        let gov_int = intermediate_ca("ANSSI Gov CA", 0x35, &root);
+        let mitm_int = intermediate_ca("DCSSI MITM Appliance", 0x36, &root);
+
+        let mut store = RootStore::new("primary");
+        store.add_trusted(root.cert.clone()).unwrap();
+        store
+            .attach_gcc(tld_gcc(
+                "anssi-fr-only",
+                root.cert.fingerprint(),
+                "fr",
+                meta(
+                    "Hard code ANSSI (DCISS) to French government DNS space",
+                    "https://bugzilla.mozilla.org/show_bug.cgi?id=952572",
+                    NOW_2015,
+                ),
+            ))
+            .unwrap();
+
+        let legit = leaf(
+            "impots.gouv.fr",
+            &gov_int,
+            NOW_2015 - 10_000_000,
+            4_000_000_000,
+        );
+        let attack = leaf(
+            "mail.google.com",
+            &mitm_int,
+            NOW_2015 - 5_000_000,
+            4_000_000_000,
+        );
+        IncidentScenario {
+            store,
+            affected_root: root.cert.clone(),
+            legitimate: vec![TestChain::new(
+                "French government site",
+                legit,
+                vec![gov_int.cert.clone()],
+                NOW_2015,
+                Usage::Tls,
+            )],
+            attacks: vec![TestChain::new(
+                "google.com via MITM intermediate",
+                attack,
+                vec![mitm_int.cert.clone()],
+                NOW_2015,
+                Usage::Tls,
+            )],
+        }
+    }
+}
+
+/// India CCA (2014).
+pub mod india_cca {
+    use super::*;
+
+    /// Build the scenario.
+    pub fn scenario() -> IncidentScenario {
+        let root = root_ca("India CCA Root", 0x38);
+        let nic = intermediate_ca("NIC Certifying Authority", 0x39, &root);
+
+        let mut store = RootStore::new("primary");
+        store.add_trusted(root.cert.clone()).unwrap();
+        store
+            .attach_gcc(tld_gcc(
+                "india-cca-in-only",
+                root.cert.fingerprint(),
+                "in",
+                meta(
+                    "Chrome constrained India CCA to Indian TLDs",
+                    "https://security.googleblog.com/2014/07/maintaining-digital-certificate-security.html",
+                    NOW_2015,
+                ),
+            ))
+            .unwrap();
+
+        let legit = leaf("portal.nic.in", &nic, NOW_2015 - 10_000_000, 4_000_000_000);
+        let attack_google = leaf("www.google.com", &nic, NOW_2015 - 5_000_000, 4_000_000_000);
+        let attack_yahoo = leaf("login.yahoo.com", &nic, NOW_2015 - 5_000_000, 4_000_000_000);
+        IncidentScenario {
+            store,
+            affected_root: root.cert.clone(),
+            legitimate: vec![TestChain::new(
+                "Indian government portal",
+                legit,
+                vec![nic.cert.clone()],
+                NOW_2015,
+                Usage::Tls,
+            )],
+            attacks: vec![
+                TestChain::new(
+                    "mis-issued google.com",
+                    attack_google,
+                    vec![nic.cert.clone()],
+                    NOW_2015,
+                    Usage::Tls,
+                ),
+                TestChain::new(
+                    "mis-issued yahoo.com",
+                    attack_yahoo,
+                    vec![nic.cert.clone()],
+                    NOW_2015,
+                    Usage::Tls,
+                ),
+            ],
+        }
+    }
+}
+
+/// MCS/CNNIC (2015).
+pub mod cnnic {
+    use super::*;
+
+    /// Build the scenario.
+    pub fn scenario() -> IncidentScenario {
+        let root = root_ca("CNNIC ROOT", 0x3c);
+        let exempt_int = intermediate_ca("CNNIC SSL", 0x3d, &root);
+        let mcs_int = intermediate_ca("MCS Holdings", 0x3e, &root);
+
+        let mut store = RootStore::new("primary");
+        store.add_trusted(root.cert.clone()).unwrap();
+        // "They partially distrusted the CNNIC root with an allowlist of
+        // exempted subordinate certificates."
+        let src = format!(
+            r#"exempt("{exempt}").
+intOk(Chain) :- root(Chain, R), signs(R, I), hash(I, H), exempt(H).
+valid(Chain, "TLS") :- chain(Chain), intOk(Chain).
+valid(Chain, "S/MIME") :- chain(Chain), intOk(Chain)."#,
+            exempt = exempt_int.cert.fingerprint().to_hex()
+        );
+        let gcc = Gcc::parse(
+            "cnnic-allowlist",
+            root.cert.fingerprint(),
+            &src,
+            meta(
+                "Allowlist of exempted CNNIC subordinates after the MCS MITM",
+                "https://blog.mozilla.org/security/2015/03/23/revoking-trust-in-one-cnnic-intermediate-certificate/",
+                NOW_2015,
+            ),
+        )
+        .expect("cnnic GCC well-formed");
+        store.attach_gcc(gcc).unwrap();
+
+        let legit = leaf(
+            "www.cnnic.cn",
+            &exempt_int,
+            NOW_2015 - 10_000_000,
+            4_000_000_000,
+        );
+        let attack = leaf(
+            "www.google.com",
+            &mcs_int,
+            NOW_2015 - 1_000_000,
+            4_000_000_000,
+        );
+        IncidentScenario {
+            store,
+            affected_root: root.cert.clone(),
+            legitimate: vec![TestChain::new(
+                "existing CNNIC subscriber via exempt intermediate",
+                legit,
+                vec![exempt_int.cert.clone()],
+                NOW_2015,
+                Usage::Tls,
+            )],
+            attacks: vec![TestChain::new(
+                "MITM leaf via MCS intermediate",
+                attack,
+                vec![mcs_int.cert.clone()],
+                NOW_2015,
+                Usage::Tls,
+            )],
+        }
+    }
+}
+
+/// WoSign/StartCom (2016).
+pub mod wosign {
+    use super::*;
+
+    /// Build the scenario.
+    pub fn scenario() -> IncidentScenario {
+        let root = root_ca("WoSign CA Free SSL G2", 0x40);
+        let int = intermediate_ca("WoSign Class 1", 0x41, &root);
+
+        let mut store = RootStore::new("primary");
+        store.add_trusted(root.cert.clone()).unwrap();
+        // "Mozilla distrusted all *new* leaf certificates chaining up to
+        // the offending roots (maintaining existing leaves)."
+        let src = format!(
+            r#"cutoff({OCT_21ST_2016}).
+valid(Chain, _) :- leaf(Chain, C), notBefore(C, NB), cutoff(T), NB < T."#
+        );
+        let gcc = Gcc::parse(
+            "wosign-no-new-certs",
+            root.cert.fingerprint(),
+            &src,
+            meta(
+                "Distrust new WoSign/StartCom certificates",
+                "https://blog.mozilla.org/security/2016/10/24/distrusting-new-wosign-and-startcom-certificates/",
+                OCT_21ST_2016,
+            ),
+        )
+        .expect("wosign GCC well-formed");
+        store.attach_gcc(gcc).unwrap();
+
+        let existing = leaf(
+            "blog.example.cn",
+            &int,
+            OCT_21ST_2016 - 30_000_000,
+            4_000_000_000,
+        );
+        let new_cert = leaf(
+            "shop.example.cn",
+            &int,
+            OCT_21ST_2016 + 1_000_000,
+            4_000_000_000,
+        );
+        IncidentScenario {
+            store,
+            affected_root: root.cert.clone(),
+            legitimate: vec![TestChain::new(
+                "existing subscriber (issued before cutoff)",
+                existing,
+                vec![int.cert.clone()],
+                NOW_2017,
+                Usage::Tls,
+            )],
+            attacks: vec![TestChain::new(
+                "newly issued certificate after distrust",
+                new_cert,
+                vec![int.cert.clone()],
+                NOW_2017,
+                Usage::Tls,
+            )],
+        }
+    }
+}
+
+/// Symantec (2018) — the paper's Listing 2, verbatim modulo the exempt
+/// hash values.
+pub mod symantec {
+    use super::*;
+
+    /// The Listing 2 source with `{exempt}` substituted.
+    pub fn listing_2_source(exempt_hash: &str) -> String {
+        format!(
+            r#"june1st2016({JUNE_1ST_2016}). % Unix timestamp
+exempt("{exempt_hash}").
+valid(Chain, _) :-
+  leaf(Chain, Cert), % Get the chain's leaf
+  notBefore(Cert, NB), % Get the leaf's notBefore date
+  june1st2016(T), % Get June 1st, 2016 date
+  NB < T. % Holds if notBefore date is before June 1st, 2016
+valid(Chain, _) :-
+  root(Chain, Root), % Get the chain's root
+  signs(Root, Int), % Get the intermediate signed by root
+  hash(Int, H), % Get the intermediate's SHA-256 hash
+  exempt(H). % Holds if hash is one of exempt hashes"#
+        )
+    }
+
+    /// Build the scenario with the default (one chain per class) sizing.
+    pub fn scenario() -> IncidentScenario {
+        scenario_sized(1, 1, 1)
+    }
+
+    /// Build the Symantec scenario with a population of chains:
+    /// `n_old` pre-cutoff leaves and `n_exempt` leaves via the exempt
+    /// intermediate (both legitimate), plus `n_new` post-cutoff leaves
+    /// via ordinary intermediates (what the May-2018 policy rejects).
+    /// Used by the E4 partial-distrust-fidelity experiment.
+    ///
+    /// Requires `n_old + n_exempt + n_new <= 900` (one-time signing keys).
+    pub fn scenario_sized(n_old: usize, n_exempt: usize, n_new: usize) -> IncidentScenario {
+        assert!(
+            n_old + n_exempt + n_new <= 900,
+            "population exceeds key budget"
+        );
+        let sized = n_old + n_exempt + n_new > 3;
+        let height = if sized { 10 } else { 6 };
+        let root = {
+            let key = nrslb_x509::builder::CaKey::from_seed(
+                nrslb_x509::DistinguishedName::common_name("VeriSign Class 3 Public Primary G5"),
+                [0x44; 32],
+                height,
+            )
+            .unwrap();
+            let cert = nrslb_x509::CertificateBuilder::new()
+                .validity_window(0, 4_000_000_000)
+                .ca(None)
+                .build_self_signed(&key)
+                .unwrap();
+            crate::pki::Ca { key, cert }
+        };
+        let mk_int = |cn: &str, tag: u8| {
+            let key = nrslb_x509::builder::CaKey::from_seed(
+                nrslb_x509::DistinguishedName::common_name(cn),
+                [tag; 32],
+                height,
+            )
+            .unwrap();
+            let cert = nrslb_x509::CertificateBuilder::new()
+                .subject(key.name().clone())
+                .subject_key(key.public())
+                .validity_window(0, 4_000_000_000)
+                .ca(Some(0))
+                .build_signed_by(&root.key)
+                .unwrap();
+            crate::pki::Ca { key, cert }
+        };
+        let normal_int = mk_int("Symantec Class 3 EV SSL", 0x45);
+        // "a few allowlisted intermediate CA certificates issued by
+        // Symantec roots but controlled by Apple and Google"
+        let apple_int = mk_int("Apple IST CA 2", 0x46);
+
+        let mut store = RootStore::new("primary");
+        store.add_trusted(root.cert.clone()).unwrap();
+        let gcc = Gcc::parse(
+            "symantec-may-2018",
+            root.cert.fingerprint(),
+            &listing_2_source(&apple_int.cert.fingerprint().to_hex()),
+            meta(
+                "NSS constraints on Symantec roots as of May 2018",
+                "https://blog.mozilla.org/security/2018/03/12/distrust-symantec-tls-certificates/",
+                NOW_2017,
+            ),
+        )
+        .expect("Listing 2 is well-formed");
+        store.attach_gcc(gcc).unwrap();
+
+        let at = NOW_2017 + 50_000_000;
+        let mut legitimate = Vec::new();
+        let mut attacks = Vec::new();
+        for i in 0..n_old {
+            let l = leaf(
+                &format!("old{i}.example.com"),
+                &normal_int,
+                JUNE_1ST_2016 - 40_000_000 - (i as i64) * 86_400,
+                4_000_000_000,
+            );
+            legitimate.push(TestChain::new(
+                "leaf issued before 2016-06-01",
+                l,
+                vec![normal_int.cert.clone()],
+                at,
+                Usage::Tls,
+            ));
+        }
+        for i in 0..n_exempt {
+            let l = leaf(
+                &format!("svc{i}.apple.com"),
+                &apple_int,
+                NOW_2017 + (i as i64) * 86_400,
+                4_000_000_000,
+            );
+            legitimate.push(TestChain::new(
+                "new leaf via exempt Apple intermediate",
+                l,
+                vec![apple_int.cert.clone()],
+                at,
+                Usage::Tls,
+            ));
+        }
+        for i in 0..n_new {
+            let l = leaf(
+                &format!("new{i}.example.com"),
+                &normal_int,
+                NOW_2017 + (i as i64) * 86_400,
+                4_000_000_000,
+            );
+            attacks.push(TestChain::new(
+                "new leaf via ordinary Symantec intermediate",
+                l,
+                vec![normal_int.cert.clone()],
+                at,
+                Usage::Tls,
+            ));
+        }
+        IncidentScenario {
+            store,
+            affected_root: root.cert.clone(),
+            legitimate,
+            attacks,
+        }
+    }
+}
+
+/// TrustCor (2022) — the paper's Listing 1, verbatim.
+pub mod trustcor {
+    use super::*;
+
+    /// The Listing 1 source.
+    pub const LISTING_1_SOURCE: &str = r#"nov30th2022(1669784400). % Unix timestamp
+valid(Chain, "S/MIME") :- % Valid rule for S/MIME usage
+  leaf(Chain, Cert), % Get the chain's leaf certificate
+  nov30th2022(T), % Get November 30th, 2022
+  notBefore(Cert, NB), % Get the leaf's notBefore date
+  NB < T. % Holds if notBefore before November 30th, 2022
+valid(Chain, "TLS") :- % Valid rule for TLS usage
+  leaf(Chain, Cert), % Get the chain's leaf certificate
+  \+EV(Cert), % Assert that leaf is not EV
+  nov30th2022(T), % Get November 30th, 2022
+  notBefore(Cert, NB), % Get the leaf's notBefore date
+  NB < T. % Holds if notBefore before November 30th, 2022"#;
+
+    /// Build the scenario.
+    pub fn scenario() -> IncidentScenario {
+        let root = root_ca("TrustCor RootCert CA-1", 0x48);
+        let int = intermediate_ca("TrustCor Issuing CA", 0x49, &root);
+
+        let mut store = RootStore::new("primary");
+        store.add_trusted(root.cert.clone()).unwrap();
+        let gcc = Gcc::parse(
+            "trustcor-date-usage",
+            root.cert.fingerprint(),
+            LISTING_1_SOURCE,
+            meta(
+                "TrustCor date/usage constraints as found in NSS",
+                "https://groups.google.com/a/mozilla.org/g/dev-security-policy/c/oxX69KFvsm4",
+                NOV_30TH_2022,
+            ),
+        )
+        .expect("Listing 1 is well-formed");
+        store.attach_gcc(gcc).unwrap();
+
+        let before = NOV_30TH_2022 - 10_000_000;
+        let after = NOV_30TH_2022 + 1_000_000;
+        let old_tls = leaf("site.example", &int, before, 4_000_000_000);
+        let old_ev = leaf_opts("ev.example", &int, before, 4_000_000_000, true);
+        let new_tls = leaf("late.example", &int, after, 4_000_000_000);
+        IncidentScenario {
+            store,
+            affected_root: root.cert.clone(),
+            legitimate: vec![TestChain::new(
+                "pre-cutoff non-EV TLS leaf",
+                old_tls.clone(),
+                vec![int.cert.clone()],
+                after + 1_000_000,
+                Usage::Tls,
+            )],
+            attacks: vec![
+                TestChain::new(
+                    "post-cutoff TLS leaf",
+                    new_tls,
+                    vec![int.cert.clone()],
+                    after + 2_000_000,
+                    Usage::Tls,
+                ),
+                TestChain::new(
+                    "pre-cutoff EV leaf for TLS (EV excluded)",
+                    old_ev,
+                    vec![int.cert.clone()],
+                    after + 1_000_000,
+                    Usage::Tls,
+                ),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{evaluate_scenario, DerivativeStrategy};
+
+    #[test]
+    fn all_seven_incidents_enumerate() {
+        let incidents = all_incidents();
+        assert_eq!(incidents.len(), 7);
+        let years: Vec<u16> = incidents.iter().map(|i| i.year).collect();
+        let mut sorted = years.clone();
+        sorted.sort_unstable();
+        assert_eq!(years, sorted, "chronological order");
+    }
+
+    #[test]
+    fn every_gcc_blocks_attacks_and_admits_legitimate() {
+        for spec in all_incidents() {
+            let scenario = (spec.build)();
+            let stats = evaluate_scenario(&scenario, DerivativeStrategy::Gcc);
+            assert_eq!(
+                stats.attacks_accepted, 0,
+                "{}: attack accepted under GCC",
+                spec.id
+            );
+            assert_eq!(
+                stats.legitimate_accepted, stats.legitimate_total,
+                "{}: legitimate chain rejected under GCC",
+                spec.id
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # `nrslb-incidents` — the paper's seven root-CA incidents, executable
+//!
+//! Section 2.2 of the paper reviews a decade of CA incidents and the
+//! ad-hoc partial distrust each provoked. This crate encodes every one
+//! of them as a **General Certificate Constraint** plus a synthetic
+//! scenario (a signed mini-PKI with chains that must stay accepted and
+//! attack chains that must be rejected):
+//!
+//! | module | incident | year | primary response modeled |
+//! |---|---|---|---|
+//! | [`catalog::turktrust`] | TURKTRUST mis-issued intermediates | 2013 | EV disallowed; TUBITAK-style constraint to Turkish TLD |
+//! | [`catalog::anssi`] | ANSSI MITM intermediate | 2013 | name-constrained to French TLDs |
+//! | [`catalog::india_cca`] | India CCA mis-issuance | 2014 | name-constrained to Indian TLDs |
+//! | [`catalog::cnnic`] | MCS/CNNIC MITM | 2015 | allowlist of exempt subordinates |
+//! | [`catalog::wosign`] | WoSign backdating / StartCom | 2016 | distrust leaves issued after cutoff |
+//! | [`catalog::symantec`] | Symantec gradual distrust | 2018 | Listing 2: date cutoff + exempt intermediates |
+//! | [`catalog::trustcor`] | TrustCor removal | 2022 | Listing 1: date/usage pairs + EV bit |
+//!
+//! [`matrix`] evaluates each scenario under three derivative-store
+//! strategies — keep the root (binary trust), remove the root (binary
+//! distrust), or apply the GCC — quantifying the paper's §2.3 argument
+//! that binary derivatives must choose between vulnerability and denial
+//! of service.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod matrix;
+pub mod pki;
+
+pub use catalog::{all_incidents, IncidentSpec};
+pub use matrix::{evaluate_scenario, DerivativeStrategy, ScenarioStats};
+pub use pki::{IncidentScenario, TestChain};

@@ -1,0 +1,183 @@
+//! The derivative-strategy matrix (§2.3): for each incident, what happens
+//! to clients whose root store (a) keeps the affected root with full
+//! trust, (b) removes it entirely, or (c) applies the primary's GCC?
+//!
+//! Binary derivatives must pick (a) — staying vulnerable to the incident's
+//! mis-issued chains — or (b) — breaking every legitimate chain under the
+//! root (Debian's Symantec experience). Only (c) matches the primary.
+
+use crate::pki::IncidentScenario;
+use nrslb_core::{ValidationMode, Validator};
+use nrslb_rootstore::RootStore;
+
+/// How a derivative store mirrors the primary's response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DerivativeStrategy {
+    /// Keep the root, no policy (what an out-of-date or
+    /// can't-express-policy derivative does).
+    BinaryKeep,
+    /// Remove the root entirely (what Debian did for Symantec).
+    BinaryRemove,
+    /// Apply the primary's GCC (the paper's proposal).
+    Gcc,
+}
+
+impl std::fmt::Display for DerivativeStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DerivativeStrategy::BinaryKeep => "binary-keep",
+            DerivativeStrategy::BinaryRemove => "binary-remove",
+            DerivativeStrategy::Gcc => "gcc",
+        })
+    }
+}
+
+/// Outcome counts for one (scenario, strategy) cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScenarioStats {
+    /// Legitimate chains accepted.
+    pub legitimate_accepted: usize,
+    /// Total legitimate chains.
+    pub legitimate_total: usize,
+    /// Attack chains accepted (each one is a live vulnerability).
+    pub attacks_accepted: usize,
+    /// Total attack chains.
+    pub attacks_total: usize,
+}
+
+impl ScenarioStats {
+    /// Any attack chain accepted?
+    pub fn vulnerable(&self) -> bool {
+        self.attacks_accepted > 0
+    }
+
+    /// Any legitimate chain rejected (collateral denial of service)?
+    pub fn denial_of_service(&self) -> bool {
+        self.legitimate_accepted < self.legitimate_total
+    }
+
+    /// Matches the primary exactly: no vulnerability and no DoS.
+    pub fn matches_primary(&self) -> bool {
+        !self.vulnerable() && !self.denial_of_service()
+    }
+}
+
+/// Derive the store a strategy produces from the scenario's primary.
+pub fn derivative_store(scenario: &IncidentScenario, strategy: DerivativeStrategy) -> RootStore {
+    match strategy {
+        DerivativeStrategy::Gcc => scenario.store.clone(),
+        DerivativeStrategy::BinaryKeep => {
+            // A plain certificate collection: the certificates, nothing
+            // else — no GCCs, no systematic constraints.
+            let mut store = RootStore::new("derivative-keep");
+            for (_, rec) in scenario.store.iter() {
+                store.add_trusted(rec.cert.clone()).expect("roots are CAs");
+            }
+            store
+        }
+        DerivativeStrategy::BinaryRemove => {
+            let mut store = RootStore::new("derivative-remove");
+            for (_, rec) in scenario.store.iter() {
+                store.add_trusted(rec.cert.clone()).expect("roots are CAs");
+            }
+            store.distrust(scenario.affected_root.fingerprint(), "mirrored removal");
+            store
+        }
+    }
+}
+
+/// Run every labeled chain of `scenario` against the strategy's store.
+pub fn evaluate_scenario(
+    scenario: &IncidentScenario,
+    strategy: DerivativeStrategy,
+) -> ScenarioStats {
+    let store = derivative_store(scenario, strategy);
+    let validator = Validator::new(store, ValidationMode::UserAgent);
+    let mut stats = ScenarioStats {
+        legitimate_total: scenario.legitimate.len(),
+        attacks_total: scenario.attacks.len(),
+        ..Default::default()
+    };
+    for case in &scenario.legitimate {
+        let outcome = validator
+            .validate(&case.leaf, &case.intermediates, case.usage, case.at)
+            .expect("validation machinery");
+        if outcome.accepted() {
+            stats.legitimate_accepted += 1;
+        }
+    }
+    for case in &scenario.attacks {
+        let outcome = validator
+            .validate(&case.leaf, &case.intermediates, case.usage, case.at)
+            .expect("validation machinery");
+        if outcome.accepted() {
+            stats.attacks_accepted += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::all_incidents;
+
+    #[test]
+    fn binary_keep_is_vulnerable_everywhere() {
+        for spec in all_incidents() {
+            let scenario = (spec.build)();
+            let stats = evaluate_scenario(&scenario, DerivativeStrategy::BinaryKeep);
+            assert!(stats.vulnerable(), "{}: keep should be vulnerable", spec.id);
+            assert!(
+                !stats.denial_of_service(),
+                "{}: keep should not break legitimate chains",
+                spec.id
+            );
+        }
+    }
+
+    #[test]
+    fn binary_remove_causes_dos_everywhere() {
+        for spec in all_incidents() {
+            let scenario = (spec.build)();
+            let stats = evaluate_scenario(&scenario, DerivativeStrategy::BinaryRemove);
+            assert!(
+                stats.denial_of_service(),
+                "{}: remove should break legitimate chains",
+                spec.id
+            );
+            assert!(
+                !stats.vulnerable(),
+                "{}: remove should block attacks",
+                spec.id
+            );
+        }
+    }
+
+    #[test]
+    fn gcc_matches_primary_everywhere() {
+        for spec in all_incidents() {
+            let scenario = (spec.build)();
+            let stats = evaluate_scenario(&scenario, DerivativeStrategy::Gcc);
+            assert!(
+                stats.matches_primary(),
+                "{}: GCC strategy should match the primary exactly ({stats:?})",
+                spec.id
+            );
+        }
+    }
+
+    #[test]
+    fn strategies_are_distinct() {
+        // Sanity: the three strategies produce three different stores for
+        // at least the Symantec scenario.
+        let scenario = (all_incidents()[5].build)();
+        let keep = derivative_store(&scenario, DerivativeStrategy::BinaryKeep);
+        let remove = derivative_store(&scenario, DerivativeStrategy::BinaryRemove);
+        let gcc = derivative_store(&scenario, DerivativeStrategy::Gcc);
+        let fp = scenario.affected_root.fingerprint();
+        assert!(keep.gccs_for(&fp).is_empty());
+        assert!(!gcc.gccs_for(&fp).is_empty());
+        assert_eq!(remove.status(&fp), nrslb_rootstore::TrustStatus::Distrusted);
+    }
+}

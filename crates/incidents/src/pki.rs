@@ -1,0 +1,120 @@
+//! Scenario scaffolding: small signed PKIs with labeled good/attack
+//! chains.
+
+use nrslb_rootstore::{RootStore, Usage};
+use nrslb_x509::builder::{CaKey, CertificateBuilder};
+use nrslb_x509::extensions::{ExtendedKeyUsage, KeyUsage};
+use nrslb_x509::{Certificate, DistinguishedName};
+
+/// One labeled validation case within a scenario.
+#[derive(Clone, Debug)]
+pub struct TestChain {
+    /// Human-readable label ("google.com via rogue intermediate").
+    pub label: String,
+    /// The leaf to validate.
+    pub leaf: Certificate,
+    /// The intermediate pool available to the validator.
+    pub intermediates: Vec<Certificate>,
+    /// Validation time.
+    pub at: i64,
+    /// Requested usage.
+    pub usage: Usage,
+}
+
+/// A complete incident scenario.
+pub struct IncidentScenario {
+    /// The primary's store *after* its response (GCC attached and/or
+    /// systematic constraints set).
+    pub store: RootStore,
+    /// The affected root certificate.
+    pub affected_root: Certificate,
+    /// Chains that must remain accepted (collateral if rejected).
+    pub legitimate: Vec<TestChain>,
+    /// Chains that must be rejected (vulnerability if accepted).
+    pub attacks: Vec<TestChain>,
+}
+
+/// Mid-2015 reference timestamp used as "now" in most scenarios.
+pub const NOW_2015: i64 = 1_430_000_000;
+/// Mid-2017 reference.
+pub const NOW_2017: i64 = 1_500_000_000;
+/// Mid-2022 reference.
+pub const NOW_2022: i64 = 1_655_000_000;
+
+/// A CA signing key + its certificate.
+pub struct Ca {
+    /// Signing key.
+    pub key: CaKey,
+    /// Certificate (self-signed for roots).
+    pub cert: Certificate,
+}
+
+/// Build a self-signed root CA valid across all scenario times.
+pub fn root_ca(cn: &str, tag: u8) -> Ca {
+    let key = CaKey::generate_for_tests(cn, tag);
+    let cert = CertificateBuilder::new()
+        .validity_window(0, 4_000_000_000)
+        .ca(None)
+        .key_usage(KeyUsage::KEY_CERT_SIGN.union(KeyUsage::CRL_SIGN))
+        .build_self_signed(&key)
+        .expect("root construction");
+    Ca { key, cert }
+}
+
+/// Build an intermediate CA under `parent`.
+pub fn intermediate_ca(cn: &str, tag: u8, parent: &Ca) -> Ca {
+    let key = CaKey::generate_for_tests(cn, tag);
+    let cert = CertificateBuilder::new()
+        .subject(key.name().clone())
+        .subject_key(key.public())
+        .validity_window(0, 4_000_000_000)
+        .ca(Some(0))
+        .key_usage(KeyUsage::KEY_CERT_SIGN.union(KeyUsage::CRL_SIGN))
+        .build_signed_by(&parent.key)
+        .expect("intermediate construction");
+    Ca { key, cert }
+}
+
+/// Issue a TLS server leaf for `host` under `issuer`.
+pub fn leaf(host: &str, issuer: &Ca, not_before: i64, not_after: i64) -> Certificate {
+    leaf_opts(host, issuer, not_before, not_after, false)
+}
+
+/// Issue a leaf, optionally asserting the EV policy.
+pub fn leaf_opts(
+    host: &str,
+    issuer: &Ca,
+    not_before: i64,
+    not_after: i64,
+    ev: bool,
+) -> Certificate {
+    let mut b = CertificateBuilder::new()
+        .subject(DistinguishedName::common_name(host))
+        .dns_names(&[host])
+        .validity_window(not_before, not_after)
+        .key_usage(KeyUsage::DIGITAL_SIGNATURE)
+        .extended_key_usage(ExtendedKeyUsage::server_auth());
+    if ev {
+        b = b.ev();
+    }
+    b.build_signed_by(&issuer.key).expect("leaf construction")
+}
+
+impl TestChain {
+    /// Convenience constructor.
+    pub fn new(
+        label: &str,
+        leaf: Certificate,
+        intermediates: Vec<Certificate>,
+        at: i64,
+        usage: Usage,
+    ) -> TestChain {
+        TestChain {
+            label: label.to_string(),
+            leaf,
+            intermediates,
+            at,
+            usage,
+        }
+    }
+}

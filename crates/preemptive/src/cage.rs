@@ -1,0 +1,121 @@
+//! The CAge baseline (Kasten, Wustrow, Halderman — FC '13): constrain
+//! each CA to the set of TLDs it has historically issued for; a
+//! certificate for a never-before-seen TLD is rejected (or flagged).
+//!
+//! CAge is *names only*; the paper's pre-emptive GCCs extend the idea to
+//! every certificate field (see [`crate::gccgen`]).
+
+use crate::scope::ScopeMap;
+use nrslb_x509::Certificate;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A trained CAge model: per-CA allowed TLD sets.
+#[derive(Clone, Debug, Default)]
+pub struct CageModel {
+    /// Allowed TLDs per issuer DN (display form).
+    pub allowed: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CageModel {
+    /// Train from inferred scopes (the CT-log pass).
+    pub fn train(scopes: &ScopeMap) -> CageModel {
+        CageModel {
+            allowed: scopes
+                .iter()
+                .map(|(ca, scope)| (ca.clone(), scope.tlds.clone()))
+                .collect(),
+        }
+    }
+
+    /// Would CAge accept this leaf? Returns `false` when the leaf's
+    /// issuer is unknown or any SAN's TLD is outside the trained set.
+    pub fn accepts(&self, leaf: &Certificate) -> bool {
+        let Some(allowed) = self.allowed.get(&leaf.issuer().to_string()) else {
+            return false;
+        };
+        leaf.dns_names().iter().all(|san| {
+            nrslb_x509::name::tld(san)
+                .map(|tld| allowed.contains(&tld))
+                .unwrap_or(false)
+        })
+    }
+
+    /// Number of CAs in the model.
+    pub fn len(&self) -> usize {
+        self.allowed.len()
+    }
+
+    /// True when no CA was trained.
+    pub fn is_empty(&self) -> bool {
+        self.allowed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::infer_scopes;
+    use nrslb_ctlog::{Corpus, CorpusConfig};
+    use nrslb_x509::{CertificateBuilder, DistinguishedName};
+
+    #[test]
+    fn accepts_training_data() {
+        let corpus = Corpus::generate(CorpusConfig::small(21));
+        let model = CageModel::train(&infer_scopes(&corpus.leaves));
+        for leaf in &corpus.leaves {
+            assert!(model.accepts(leaf));
+        }
+    }
+
+    #[test]
+    fn rejects_novel_tld() {
+        let corpus = Corpus::generate(CorpusConfig::small(22));
+        let model = CageModel::train(&infer_scopes(&corpus.leaves));
+        let issuer = corpus.intermediates[corpus.leaf_issuer[0]]
+            .subject()
+            .clone();
+        let attack = CertificateBuilder::new()
+            .subject(DistinguishedName::common_name("bank.neverseen"))
+            .dns_names(&["bank.neverseen"])
+            .validity_window(0, 86_400)
+            .build_unsigned(issuer)
+            .unwrap();
+        assert!(!model.accepts(&attack));
+    }
+
+    #[test]
+    fn rejects_unknown_issuer() {
+        let model = CageModel::default();
+        let leaf = CertificateBuilder::new()
+            .subject(DistinguishedName::common_name("x.com"))
+            .dns_names(&["x.com"])
+            .validity_window(0, 1)
+            .build_unsigned(DistinguishedName::common_name("Unknown CA"))
+            .unwrap();
+        assert!(!model.accepts(&leaf));
+        assert!(model.is_empty());
+    }
+
+    #[test]
+    fn cage_misses_non_name_fields() {
+        // The limitation the paper calls out: CAge cannot catch a
+        // mis-issued cert whose *names* are in scope but whose other
+        // fields (here: an absurd lifetime) are not.
+        let corpus = Corpus::generate(CorpusConfig::small(23));
+        let scopes = infer_scopes(&corpus.leaves);
+        let model = CageModel::train(&scopes);
+        let victim_ca = corpus.leaf_issuer[0];
+        let issuer = corpus.intermediates[victim_ca].subject().clone();
+        let in_scope_tld = &corpus.tlds[corpus.int_scopes[victim_ca][0]];
+        let sneaky = CertificateBuilder::new()
+            .subject(DistinguishedName::common_name("sneaky"))
+            .dns_names(&[&format!("sneaky.{in_scope_tld}")])
+            .validity_window(0, 20 * 365 * 86_400) // 20-year lifetime
+            .build_unsigned(issuer)
+            .unwrap();
+        assert!(model.accepts(&sneaky), "CAge accepts: names in scope");
+        // The full scope check catches it.
+        let scope = &scopes[&sneaky.issuer().to_string()];
+        assert!(!scope.contains(&sneaky), "full scope rejects: lifetime");
+    }
+}

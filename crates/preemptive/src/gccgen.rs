@@ -1,0 +1,287 @@
+//! Generating pre-emptive GCCs from inferred issuance scopes —
+//! Listing 3 generalized: "browsers and/or root stores \[should\]
+//! pre-emptively construct, for each root, a GCC that limits that root's
+//! scope of issuance, i.e., the names, lifetimes, key usages, and other
+//! fields that it may issue certificates for" (§5.2).
+
+use crate::scope::IssuanceScope;
+use nrslb_crypto::sha256::Digest;
+use nrslb_rootstore::{Gcc, GccMetadata};
+use std::fmt::Write;
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Generate a full pre-emptive GCC for the CA scope, attached to the
+/// root `target`. The constraint rejects any chain whose leaf exceeds
+/// the observed scope in *any* dimension: TLDs, EKU, key usage,
+/// lifetime, or EV use.
+pub fn generate_preemptive_gcc(
+    name: &str,
+    target: Digest,
+    scope: &IssuanceScope,
+    created_at: i64,
+) -> Result<Gcc, nrslb_datalog::DatalogError> {
+    let mut src = String::new();
+    writeln!(src, "% Pre-emptive scope-of-issuance constraint.").unwrap();
+    for tld in &scope.tlds {
+        writeln!(src, "allowedTld({}).", quote(tld)).unwrap();
+    }
+    for eku in &scope.ekus {
+        writeln!(src, "allowedEku({}).", quote(eku)).unwrap();
+    }
+    for ku in &scope.key_usages {
+        writeln!(src, "allowedKu({}).", quote(ku)).unwrap();
+    }
+    writeln!(src, "maxLifetime({}).", scope.max_lifetime).unwrap();
+    writeln!(
+        src,
+        "bad(Chain) :- leaf(Chain, C), sanTld(C, T), \\+allowedTld(T)."
+    )
+    .unwrap();
+    writeln!(
+        src,
+        "bad(Chain) :- leaf(Chain, C), extendedKeyUsage(C, P), \\+allowedEku(P)."
+    )
+    .unwrap();
+    writeln!(
+        src,
+        "bad(Chain) :- leaf(Chain, C), keyUsage(C, U), \\+allowedKu(U)."
+    )
+    .unwrap();
+    writeln!(
+        src,
+        "bad(Chain) :- leaf(Chain, C), notBefore(C, NB), notAfter(C, NA), \
+         L = NA - NB, maxLifetime(M), L > M."
+    )
+    .unwrap();
+    if !scope.ev_seen {
+        writeln!(src, "bad(Chain) :- leaf(Chain, C), EV(C).").unwrap();
+    }
+    // The scope constrains *what* may be issued, not the usage context;
+    // valid/2 holds for both usages whenever nothing is out of scope.
+    writeln!(src, "valid(Chain, \"TLS\") :- chain(Chain), \\+bad(Chain).").unwrap();
+    writeln!(
+        src,
+        "valid(Chain, \"S/MIME\") :- chain(Chain), \\+bad(Chain)."
+    )
+    .unwrap();
+
+    Gcc::parse(
+        name,
+        target,
+        &src,
+        GccMetadata {
+            justification: format!(
+                "Pre-emptive constraint inferred from {} observed leaves",
+                scope.leaf_count
+            ),
+            discussion_url: String::new(),
+            created_at,
+        },
+    )
+}
+
+/// Generate the CAge-equivalent GCC: TLD constraints only (the baseline
+/// the paper compares against).
+pub fn generate_cage_gcc(
+    name: &str,
+    target: Digest,
+    scope: &IssuanceScope,
+    created_at: i64,
+) -> Result<Gcc, nrslb_datalog::DatalogError> {
+    let mut src = String::new();
+    writeln!(src, "% CAge-style constraint: names only.").unwrap();
+    for tld in &scope.tlds {
+        writeln!(src, "allowedTld({}).", quote(tld)).unwrap();
+    }
+    writeln!(
+        src,
+        "bad(Chain) :- leaf(Chain, C), sanTld(C, T), \\+allowedTld(T)."
+    )
+    .unwrap();
+    writeln!(src, "valid(Chain, \"TLS\") :- chain(Chain), \\+bad(Chain).").unwrap();
+    writeln!(
+        src,
+        "valid(Chain, \"S/MIME\") :- chain(Chain), \\+bad(Chain)."
+    )
+    .unwrap();
+    Gcc::parse(
+        name,
+        target,
+        &src,
+        GccMetadata {
+            justification: "CAge baseline: inferred TLD scope".into(),
+            discussion_url: String::new(),
+            created_at,
+        },
+    )
+}
+
+/// Bimodal-scope detection (§5.2): if a CA's issuance volume splits into
+/// two disjoint TLD groups, each carrying at least `min_share` of its
+/// leaves, suggest splitting the CA into two constrained certificates.
+///
+/// The heuristic greedily partitions TLDs by descending volume into two
+/// buckets (largest-first into the emptier bucket), then checks both
+/// buckets carry enough share.
+pub fn suggest_split(scope: &IssuanceScope, min_share: f64) -> Option<(Vec<String>, Vec<String>)> {
+    if scope.tlds.len() < 2 || scope.leaf_count == 0 {
+        return None;
+    }
+    let mut by_volume: Vec<(&String, usize)> =
+        scope.tld_counts.iter().map(|(t, &c)| (t, c)).collect();
+    by_volume.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    type Bucket<'a> = Vec<(&'a String, usize)>;
+    let (mut a, mut b): (Bucket, Bucket) = (vec![], vec![]);
+    for (tld, count) in by_volume {
+        let a_total: usize = a.iter().map(|x| x.1).sum();
+        let b_total: usize = b.iter().map(|x| x.1).sum();
+        if a_total <= b_total {
+            a.push((tld, count));
+        } else {
+            b.push((tld, count));
+        }
+    }
+    let total = scope.leaf_count as f64;
+    let a_share = a.iter().map(|x| x.1).sum::<usize>() as f64 / total;
+    let b_share = b.iter().map(|x| x.1).sum::<usize>() as f64 / total;
+    if a_share >= min_share && b_share >= min_share {
+        Some((
+            a.into_iter().map(|(t, _)| t.clone()).collect(),
+            b.into_iter().map(|(t, _)| t.clone()).collect(),
+        ))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::infer_scopes;
+    use nrslb_core::{evaluate_gcc, Usage};
+    use nrslb_ctlog::{Corpus, CorpusConfig};
+    use nrslb_x509::{CertificateBuilder, DistinguishedName};
+
+    fn corpus_and_scope() -> (Corpus, usize, IssuanceScope) {
+        let corpus = Corpus::generate(CorpusConfig::small(31));
+        let scopes = infer_scopes(&corpus.leaves);
+        // Pick the busiest intermediate.
+        let ca = *corpus
+            .leaf_issuer
+            .iter()
+            .max_by_key(|&&ca| corpus.leaf_issuer.iter().filter(|&&x| x == ca).count())
+            .unwrap();
+        let scope = scopes[&corpus.intermediates[ca].subject().to_string()].clone();
+        (corpus, ca, scope)
+    }
+
+    #[test]
+    fn generated_gcc_accepts_in_scope_chains() {
+        let (corpus, ca, scope) = corpus_and_scope();
+        let root = corpus.int_issuer[ca];
+        let gcc =
+            generate_preemptive_gcc("preemptive", corpus.roots[root].fingerprint(), &scope, 0)
+                .unwrap();
+        let mut checked = 0;
+        for (i, &issuer) in corpus.leaf_issuer.iter().enumerate() {
+            if issuer != ca || checked >= 25 {
+                continue;
+            }
+            checked += 1;
+            let chain = corpus.chain_for_leaf(i);
+            assert!(
+                evaluate_gcc(&gcc, &chain, Usage::Tls).unwrap(),
+                "in-scope leaf {i} rejected"
+            );
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn generated_gcc_rejects_out_of_scope_chain() {
+        let (corpus, ca, scope) = corpus_and_scope();
+        let root_idx = corpus.int_issuer[ca];
+        let root = &corpus.roots[root_idx];
+        let gcc = generate_preemptive_gcc("preemptive", root.fingerprint(), &scope, 0).unwrap();
+        // Mis-issuance: a leaf for a TLD this CA never served.
+        let evil = CertificateBuilder::new()
+            .subject(DistinguishedName::common_name("bank.evil"))
+            .dns_names(&["bank.neverseen"])
+            .validity_window(0, 86_400)
+            .build_unsigned(corpus.intermediates[ca].subject().clone())
+            .unwrap();
+        let chain = vec![evil, corpus.intermediates[ca].clone(), root.clone()];
+        assert!(!evaluate_gcc(&gcc, &chain, Usage::Tls).unwrap());
+    }
+
+    #[test]
+    fn preemptive_catches_lifetime_cage_does_not() {
+        let (corpus, ca, scope) = corpus_and_scope();
+        let root_idx = corpus.int_issuer[ca];
+        let root = &corpus.roots[root_idx];
+        let preemptive = generate_preemptive_gcc("pre", root.fingerprint(), &scope, 0).unwrap();
+        let cage = generate_cage_gcc("cage", root.fingerprint(), &scope, 0).unwrap();
+        // In-scope TLD, absurd lifetime.
+        let in_tld = scope.tlds.iter().next().unwrap().clone();
+        let sneaky = CertificateBuilder::new()
+            .subject(DistinguishedName::common_name("sneaky"))
+            .dns_names(&[&format!("sneaky.{in_tld}")])
+            .validity_window(0, 20 * 365 * 86_400)
+            .key_usage(nrslb_x509::KeyUsage::DIGITAL_SIGNATURE)
+            .extended_key_usage(nrslb_x509::ExtendedKeyUsage::server_auth())
+            .build_unsigned(corpus.intermediates[ca].subject().clone())
+            .unwrap();
+        let chain = vec![sneaky, corpus.intermediates[ca].clone(), root.clone()];
+        assert!(evaluate_gcc(&cage, &chain, Usage::Tls).unwrap());
+        assert!(!evaluate_gcc(&preemptive, &chain, Usage::Tls).unwrap());
+    }
+
+    #[test]
+    fn split_detection_bimodal() {
+        let mut scope = IssuanceScope {
+            leaf_count: 100,
+            ..Default::default()
+        };
+        scope.tlds.insert("com".into());
+        scope.tlds.insert("gov".into());
+        scope.tld_counts.insert("com".into(), 55);
+        scope.tld_counts.insert("gov".into(), 45);
+        let (a, b) = suggest_split(&scope, 0.3).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_ne!(a[0], b[0]);
+    }
+
+    #[test]
+    fn split_not_suggested_for_unimodal() {
+        let mut scope = IssuanceScope {
+            leaf_count: 100,
+            ..Default::default()
+        };
+        for (tld, n) in [("com", 95), ("net", 3), ("org", 2)] {
+            scope.tlds.insert(tld.into());
+            scope.tld_counts.insert(tld.into(), n);
+        }
+        assert!(suggest_split(&scope, 0.3).is_none());
+        // Single-TLD CA: nothing to split.
+        let mut single = IssuanceScope {
+            leaf_count: 10,
+            ..Default::default()
+        };
+        single.tlds.insert("fr".into());
+        single.tld_counts.insert("fr".into(), 10);
+        assert!(suggest_split(&single, 0.1).is_none());
+    }
+
+    #[test]
+    fn gcc_source_quotes_special_chars() {
+        let mut scope = IssuanceScope::default();
+        scope.tlds.insert("we\"ird".into());
+        scope.max_lifetime = 1;
+        let gcc = generate_preemptive_gcc("q", Digest::ZERO, &scope, 0).unwrap();
+        assert!(gcc.source().contains("\\\""));
+    }
+}

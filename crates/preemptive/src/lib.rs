@@ -1,0 +1,30 @@
+//! # `nrslb-preemptive` — pre-emptive constraints: scope inference, CAge
+//! and generated GCCs
+//!
+//! Section 5 of the paper argues that browsers should constrain CA power
+//! *before* compromise, by inferring each CA's **scope of issuance** from
+//! Certificate Transparency and compiling it into a GCC. This crate
+//! implements that pipeline plus the CAge baseline it extends:
+//!
+//! * [`scan`] — the constraint-prevalence measurement (the paper's §5.1
+//!   numbers: how many roots/intermediates use name or path-length
+//!   constraints), re-derived by scanning certificates.
+//! * [`scope`] — scope-of-issuance inference: per-CA TLD sets, EKUs, key
+//!   usages, maximum lifetimes and EV use, from a set of observed leaves.
+//! * [`cage`] — the CAge baseline (Kasten et al., FC '13): *names only* —
+//!   reject a leaf whose TLD the CA has never issued for.
+//! * [`gccgen`] — pre-emptive GCC generation over **all** fields
+//!   (Listing 3's shape), the paper's advance over CAge, plus bimodal
+//!   split detection (§5.2's "splitting CA certificate responsibility").
+
+#![warn(missing_docs)]
+
+pub mod cage;
+pub mod gccgen;
+pub mod scan;
+pub mod scope;
+
+pub use cage::CageModel;
+pub use gccgen::{generate_cage_gcc, generate_preemptive_gcc, suggest_split};
+pub use scan::{scan_constraints, ConstraintPrevalence};
+pub use scope::{infer_scopes, scope_of, IssuanceScope, ScopeMap};

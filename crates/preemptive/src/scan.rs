@@ -1,0 +1,144 @@
+//! Constraint-prevalence scanning: the measurement behind the paper's
+//! §5.1 numbers.
+//!
+//! Works the way a real CT measurement does: issuer relationships are
+//! reconstructed by *subject/issuer name matching* over the certificate
+//! sets, not taken from generator ground truth.
+
+use nrslb_x509::Certificate;
+use std::collections::{BTreeSet, HashMap};
+
+/// The §5.1 table: how many CAs carry which pre-emptive constraints.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConstraintPrevalence {
+    /// Total roots scanned (paper: 140).
+    pub n_roots: usize,
+    /// Roots with name constraints (paper: 0).
+    pub roots_name_constrained: usize,
+    /// Roots with a path-length constraint (paper: 5).
+    pub roots_path_len: usize,
+    /// Total intermediates scanned (paper: 776).
+    pub n_intermediates: usize,
+    /// Intermediates with a path-length constraint (paper: 701).
+    pub ints_path_len: usize,
+    /// Intermediates with name constraints (paper: 31).
+    pub ints_name_constrained: usize,
+    /// Roots included in at least one chain where an intermediate has a
+    /// name constraint (paper: 6).
+    pub roots_with_nc_chain: usize,
+}
+
+impl ConstraintPrevalence {
+    /// The numbers the paper reports for July/August 2022, for
+    /// comparison in EXPERIMENTS.md.
+    pub fn paper_reported() -> ConstraintPrevalence {
+        ConstraintPrevalence {
+            n_roots: 140,
+            roots_name_constrained: 0,
+            roots_path_len: 5,
+            n_intermediates: 776,
+            ints_path_len: 701,
+            ints_name_constrained: 31,
+            roots_with_nc_chain: 6,
+        }
+    }
+}
+
+impl std::fmt::Display for ConstraintPrevalence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "roots: {} total, {} name-constrained, {} path-length-constrained",
+            self.n_roots, self.roots_name_constrained, self.roots_path_len
+        )?;
+        writeln!(
+            f,
+            "intermediates: {} total, {} path-length-constrained, {} name-constrained",
+            self.n_intermediates, self.ints_path_len, self.ints_name_constrained
+        )?;
+        write!(
+            f,
+            "roots in >=1 chain with a name-constrained intermediate: {}",
+            self.roots_with_nc_chain
+        )
+    }
+}
+
+/// Scan roots and intermediates for constraint usage.
+pub fn scan_constraints(
+    roots: &[Certificate],
+    intermediates: &[Certificate],
+) -> ConstraintPrevalence {
+    let mut out = ConstraintPrevalence {
+        n_roots: roots.len(),
+        n_intermediates: intermediates.len(),
+        ..Default::default()
+    };
+    for root in roots {
+        if root.extensions().name_constraints.is_some() {
+            out.roots_name_constrained += 1;
+        }
+        if root.path_len().is_some() {
+            out.roots_path_len += 1;
+        }
+    }
+    // Issuer resolution by name, as a measurement over CT data would do.
+    let root_by_subject: HashMap<String, Vec<usize>> = {
+        let mut m: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, root) in roots.iter().enumerate() {
+            m.entry(root.subject().to_string()).or_default().push(i);
+        }
+        m
+    };
+    let mut nc_chain_roots: BTreeSet<usize> = BTreeSet::new();
+    for int in intermediates {
+        if int.path_len().is_some() {
+            out.ints_path_len += 1;
+        }
+        if int.extensions().name_constraints.is_some() {
+            out.ints_name_constrained += 1;
+            if let Some(parents) = root_by_subject.get(&int.issuer().to_string()) {
+                nc_chain_roots.extend(parents.iter().copied());
+            }
+        }
+    }
+    out.roots_with_nc_chain = nc_chain_roots.len();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrslb_ctlog::{Corpus, CorpusConfig};
+
+    #[test]
+    fn scan_rederives_generator_calibration() {
+        let config = CorpusConfig::small(42);
+        let corpus = Corpus::generate(config.clone());
+        let got = scan_constraints(&corpus.roots, &corpus.intermediates);
+        assert_eq!(got.n_roots, config.n_roots);
+        assert_eq!(
+            got.roots_name_constrained,
+            config.roots_with_name_constraints
+        );
+        assert_eq!(got.roots_path_len, config.roots_with_path_len);
+        assert_eq!(got.n_intermediates, config.n_intermediates);
+        assert_eq!(got.ints_path_len, config.ints_with_path_len);
+        assert_eq!(got.ints_name_constrained, config.ints_with_name_constraints);
+        assert_eq!(got.roots_with_nc_chain, config.roots_with_nc_chain);
+    }
+
+    #[test]
+    fn empty_scan() {
+        let got = scan_constraints(&[], &[]);
+        assert_eq!(got, ConstraintPrevalence::default());
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = ConstraintPrevalence::paper_reported().to_string();
+        assert!(s.contains("140"));
+        assert!(s.contains("776"));
+        assert!(s.contains("701"));
+    }
+}

@@ -1,0 +1,208 @@
+//! A CRLite-style Bloom-filter cascade.
+//!
+//! CRLite's observation: with Certificate Transparency, the universe of
+//! *known* certificates is closed, so a Bloom filter's false positives
+//! can be corrected by a second filter built over exactly those false
+//! positives, and so on — a cascade with **exact** membership for every
+//! certificate in the universe, at a fraction of the size of an explicit
+//! list.
+//!
+//! Levels alternate: level 0 holds the revoked set; level 1 holds the
+//! valid certificates that level 0 falsely matched; level 2 holds the
+//! revoked certificates level 1 falsely matched; ... A lookup walks
+//! levels until one misses; the parity of the last matching level gives
+//! the answer.
+
+use crate::RevocationChecker;
+use nrslb_crypto::sha256::{sha256_concat, Digest};
+use nrslb_x509::Certificate;
+
+/// One Bloom filter level.
+#[derive(Clone, Debug)]
+struct Level {
+    bits: Vec<u64>,
+    n_bits: u64,
+    n_hashes: u32,
+}
+
+impl Level {
+    fn build(keys: &[Digest], level_idx: u32, bits_per_key: usize) -> Level {
+        let n_bits = (keys.len().max(1) * bits_per_key).next_power_of_two() as u64;
+        let n_hashes = 3;
+        let mut level = Level {
+            bits: vec![0u64; (n_bits as usize).div_ceil(64)],
+            n_bits,
+            n_hashes,
+        };
+        for key in keys {
+            for i in 0..n_hashes {
+                let bit = level.bit_index(key, level_idx, i);
+                level.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+            }
+        }
+        level
+    }
+
+    fn bit_index(&self, key: &Digest, level_idx: u32, hash_idx: u32) -> u64 {
+        // Domain-separated per level and hash function.
+        let digest = sha256_concat(&[
+            b"crlite",
+            &level_idx.to_be_bytes(),
+            &hash_idx.to_be_bytes(),
+            key.as_bytes(),
+        ]);
+        let mut val = [0u8; 8];
+        val.copy_from_slice(&digest.as_bytes()[..8]);
+        u64::from_be_bytes(val) % self.n_bits
+    }
+
+    fn contains(&self, key: &Digest, level_idx: u32) -> bool {
+        (0..self.n_hashes).all(|i| {
+            let bit = self.bit_index(key, level_idx, i);
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+/// A built cascade. Exact for every certificate in the build universe;
+/// certificates outside the universe must not be queried (CRLite
+/// guarantees this via CT: unlogged certificates are rejected upstream).
+#[derive(Clone, Debug)]
+pub struct CrliteCascade {
+    levels: Vec<Level>,
+}
+
+impl CrliteCascade {
+    /// Build a cascade over a closed universe. `revoked` and `valid`
+    /// must be disjoint; together they are the universe.
+    pub fn build(revoked: &[Digest], valid: &[Digest]) -> CrliteCascade {
+        let mut levels = Vec::new();
+        // include: keys the current level must match;
+        // exclude: keys it must (eventually) not match.
+        let mut include: Vec<Digest> = revoked.to_vec();
+        let mut exclude: Vec<Digest> = valid.to_vec();
+        let mut level_idx = 0u32;
+        while !include.is_empty() {
+            let level = Level::build(&include, level_idx, 16);
+            // False positives among the excluded set become the next
+            // level's include set.
+            let fps: Vec<Digest> = exclude
+                .iter()
+                .filter(|k| level.contains(k, level_idx))
+                .copied()
+                .collect();
+            levels.push(level);
+            exclude = include;
+            include = fps;
+            level_idx += 1;
+            assert!(level_idx < 64, "cascade failed to converge");
+        }
+        CrliteCascade { levels }
+    }
+
+    /// Build from certificates.
+    pub fn build_from_certs(revoked: &[Certificate], valid: &[Certificate]) -> CrliteCascade {
+        let r: Vec<Digest> = revoked.iter().map(|c| c.fingerprint()).collect();
+        let v: Vec<Digest> = valid.iter().map(|c| c.fingerprint()).collect();
+        CrliteCascade::build(&r, &v)
+    }
+
+    /// Is `key` in the revoked set? Exact within the build universe.
+    pub fn contains(&self, key: &Digest) -> bool {
+        let mut last_match = None;
+        for (i, level) in self.levels.iter().enumerate() {
+            if level.contains(key, i as u32) {
+                last_match = Some(i);
+            } else {
+                break;
+            }
+        }
+        // Matched through an even number of levels -> revoked.
+        matches!(last_match, Some(i) if i % 2 == 0)
+    }
+
+    /// Number of cascade levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total filter size in bytes (the quantity CRLite optimizes).
+    pub fn size_bytes(&self) -> usize {
+        self.levels.iter().map(Level::size_bytes).sum()
+    }
+}
+
+impl RevocationChecker for CrliteCascade {
+    fn is_revoked(&self, cert: &Certificate) -> bool {
+        self.contains(&cert.fingerprint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digests(tag: u8, n: usize) -> Vec<Digest> {
+        (0..n)
+            .map(|i| sha256_concat(&[&[tag], &(i as u64).to_be_bytes()]))
+            .collect()
+    }
+
+    #[test]
+    fn exact_over_universe() {
+        let revoked = digests(1, 500);
+        let valid = digests(2, 5_000);
+        let cascade = CrliteCascade::build(&revoked, &valid);
+        for k in &revoked {
+            assert!(cascade.contains(k), "revoked key missing");
+        }
+        for k in &valid {
+            assert!(!cascade.contains(k), "valid key falsely revoked");
+        }
+    }
+
+    #[test]
+    fn empty_revocation_set() {
+        let cascade = CrliteCascade::build(&[], &digests(3, 100));
+        assert_eq!(cascade.depth(), 0);
+        for k in digests(3, 100) {
+            assert!(!cascade.contains(&k));
+        }
+    }
+
+    #[test]
+    fn everything_revoked() {
+        let revoked = digests(4, 64);
+        let cascade = CrliteCascade::build(&revoked, &[]);
+        for k in &revoked {
+            assert!(cascade.contains(k));
+        }
+    }
+
+    #[test]
+    fn cascade_is_smaller_than_explicit_list_at_scale() {
+        // CRLite's pitch: the cascade beats shipping 32-byte hashes.
+        let revoked = digests(5, 2_000);
+        let valid = digests(6, 40_000);
+        let cascade = CrliteCascade::build(&revoked, &valid);
+        let explicit = revoked.len() * 32;
+        assert!(
+            cascade.size_bytes() < explicit,
+            "cascade {} bytes >= explicit list {} bytes",
+            cascade.size_bytes(),
+            explicit
+        );
+    }
+
+    #[test]
+    fn cascade_depth_is_shallow() {
+        let revoked = digests(7, 1_000);
+        let valid = digests(8, 10_000);
+        let cascade = CrliteCascade::build(&revoked, &valid);
+        assert!(cascade.depth() <= 8, "depth {}", cascade.depth());
+    }
+}

@@ -1,0 +1,48 @@
+//! # `nrslb-revocation` — certificate revocation substrate
+//!
+//! The paper leans on the revocation mechanisms primaries already push
+//! outside software updates: Mozilla's **OneCRL** and Chrome's
+//! **CRLSet** (intermediate/leaf revocation lists), and cites **CRLite**
+//! (Larisch et al., S&P '17) — "a scalable system for pushing all TLS
+//! revocations to all browsers" built on Bloom-filter cascades. It also
+//! argues (§4) that RSF *negative inclusion* subsumes **root**
+//! revocation; this crate supplies the sub-root layers:
+//!
+//! * [`onecrl`] — an exact revocation list keyed the two ways OneCRL
+//!   entries are: by certificate fingerprint, or by (issuer DN, serial);
+//! * [`cascade`] — a CRLite-style Bloom-filter cascade: given the closed
+//!   universe of known certificates (which CT provides), a compact
+//!   structure with *zero* false positives and negatives.
+//!
+//! `nrslb-core`'s validator consumes either through the
+//! [`RevocationChecker`] trait; incidents use it for the parts of §2.2
+//! that were revocations rather than constraints (the MCS intermediate,
+//! WoSign's backdated leaves).
+
+#![warn(missing_docs)]
+
+pub mod cascade;
+pub mod onecrl;
+
+pub use cascade::CrliteCascade;
+pub use onecrl::OneCrl;
+
+use nrslb_x509::Certificate;
+
+/// Anything that can answer "is this certificate revoked?".
+pub trait RevocationChecker: Send + Sync {
+    /// Is `cert` revoked?
+    fn is_revoked(&self, cert: &Certificate) -> bool;
+}
+
+impl<T: RevocationChecker + ?Sized> RevocationChecker for &T {
+    fn is_revoked(&self, cert: &Certificate) -> bool {
+        (**self).is_revoked(cert)
+    }
+}
+
+impl<T: RevocationChecker + ?Sized> RevocationChecker for std::sync::Arc<T> {
+    fn is_revoked(&self, cert: &Certificate) -> bool {
+        (**self).is_revoked(cert)
+    }
+}

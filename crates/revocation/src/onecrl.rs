@@ -1,0 +1,117 @@
+//! An exact revocation list in OneCRL's shape.
+//!
+//! OneCRL entries identify certificates either by subject/public-key
+//! (here: SHA-256 fingerprint) or by (issuer, serial) pair; both forms
+//! are supported, with justification strings kept alongside, mirroring
+//! the public audit trail the real list carries.
+
+use crate::RevocationChecker;
+use nrslb_crypto::sha256::Digest;
+use nrslb_x509::Certificate;
+use std::collections::BTreeMap;
+
+/// An exact revocation list.
+#[derive(Clone, Debug, Default)]
+pub struct OneCrl {
+    by_fingerprint: BTreeMap<Digest, String>,
+    by_issuer_serial: BTreeMap<(String, i128), String>,
+}
+
+impl OneCrl {
+    /// An empty list.
+    pub fn new() -> OneCrl {
+        OneCrl::default()
+    }
+
+    /// Revoke a certificate by fingerprint.
+    pub fn revoke_fingerprint(&mut self, fp: Digest, justification: impl Into<String>) {
+        self.by_fingerprint.insert(fp, justification.into());
+    }
+
+    /// Revoke by (issuer DN display form, serial) — the form used when
+    /// the certificate itself was never collected.
+    pub fn revoke_issuer_serial(
+        &mut self,
+        issuer: &str,
+        serial: i128,
+        justification: impl Into<String>,
+    ) {
+        self.by_issuer_serial
+            .insert((issuer.to_string(), serial), justification.into());
+    }
+
+    /// Convenience: revoke a certificate in hand (records both forms).
+    pub fn revoke_cert(&mut self, cert: &Certificate, justification: impl Into<String>) {
+        let j = justification.into();
+        self.revoke_fingerprint(cert.fingerprint(), j.clone());
+        self.revoke_issuer_serial(&cert.issuer().to_string(), cert.serial(), j);
+    }
+
+    /// Number of entries (both forms counted).
+    pub fn len(&self) -> usize {
+        self.by_fingerprint.len() + self.by_issuer_serial.len()
+    }
+
+    /// True when nothing is revoked.
+    pub fn is_empty(&self) -> bool {
+        self.by_fingerprint.is_empty() && self.by_issuer_serial.is_empty()
+    }
+
+    /// The justification recorded for `cert`, if it is revoked.
+    pub fn justification(&self, cert: &Certificate) -> Option<&str> {
+        self.by_fingerprint
+            .get(&cert.fingerprint())
+            .or_else(|| {
+                self.by_issuer_serial
+                    .get(&(cert.issuer().to_string(), cert.serial()))
+            })
+            .map(|s| s.as_str())
+    }
+}
+
+impl RevocationChecker for OneCrl {
+    fn is_revoked(&self, cert: &Certificate) -> bool {
+        self.justification(cert).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrslb_x509::testutil::simple_chain;
+
+    #[test]
+    fn revocation_by_fingerprint() {
+        let pki = simple_chain("onecrl.example");
+        let mut list = OneCrl::new();
+        assert!(!list.is_revoked(&pki.intermediate));
+        list.revoke_fingerprint(pki.intermediate.fingerprint(), "MITM incident");
+        assert!(list.is_revoked(&pki.intermediate));
+        assert!(!list.is_revoked(&pki.leaf));
+        assert_eq!(list.justification(&pki.intermediate), Some("MITM incident"));
+    }
+
+    #[test]
+    fn revocation_by_issuer_serial() {
+        let pki = simple_chain("onecrl2.example");
+        let mut list = OneCrl::new();
+        list.revoke_issuer_serial(
+            &pki.leaf.issuer().to_string(),
+            pki.leaf.serial(),
+            "backdated",
+        );
+        assert!(list.is_revoked(&pki.leaf));
+        // Same serial under a different issuer is untouched.
+        let other = simple_chain("other.example");
+        assert!(!list.is_revoked(&other.leaf));
+    }
+
+    #[test]
+    fn revoke_cert_covers_both_forms() {
+        let pki = simple_chain("onecrl3.example");
+        let mut list = OneCrl::new();
+        list.revoke_cert(&pki.leaf, "both");
+        assert_eq!(list.len(), 2);
+        assert!(list.is_revoked(&pki.leaf));
+    }
+}

@@ -1,0 +1,96 @@
+//! # `nrslb-rootstore` — root certificate stores with programmable trust
+//!
+//! The paper's central observation (§2.2) is that primary root stores are
+//! no longer mere collections of certificates: each root carries
+//! *certificate-specific policy* — systematic date/usage constraints, EV
+//! allowances, and ad-hoc partial distrust hard-coded into NSS/Firefox.
+//! Derivative stores (Debian, Android...) can only mirror the certificate
+//! *set*, losing the policy. This crate models the store itself:
+//!
+//! * [`RootStore`] — a named, versioned store with a **trusted** set and an
+//!   explicitly **distrusted** set (the paper's *negative inclusion*, §4);
+//! * [`Gcc`] — a General Certificate Constraint: a checked stratified-
+//!   Datalog program attached to a root by SHA-256 fingerprint (§3);
+//! * [`TrustRecord`] — per-root systematic constraints (date/usage pairs,
+//!   EV allowance) mirroring NSS's two systematic mechanisms, plus the
+//!   list of attached GCCs; and
+//! * [`TrustRecord::systematic_gcc`] — compiles the systematic constraints
+//!   into a GCC, demonstrating the paper's claim that "all of the
+//!   systematic constraints that Mozilla places on root certificates can
+//!   be expressed using GCCs".
+//!
+//! Evaluation of GCCs during chain validation lives in `nrslb-core`.
+
+#![warn(missing_docs)]
+
+pub mod gcc;
+pub mod store;
+
+pub use gcc::{Gcc, GccMetadata};
+pub use store::{RootStore, TrustRecord, TrustStatus};
+
+use std::fmt;
+
+/// Certificate usage contexts, as in the paper's `valid(Chain, Usage)`
+/// query: TLS server authentication or S/MIME email protection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Usage {
+    /// TLS server authentication.
+    Tls,
+    /// S/MIME (email protection).
+    SMime,
+}
+
+impl Usage {
+    /// The string form used inside Datalog programs (`"TLS"`, `"S/MIME"`),
+    /// matching the paper's listings.
+    pub fn as_datalog(&self) -> &'static str {
+        match self {
+            Usage::Tls => "TLS",
+            Usage::SMime => "S/MIME",
+        }
+    }
+
+    /// Both usages.
+    pub const ALL: [Usage; 2] = [Usage::Tls, Usage::SMime];
+}
+
+impl fmt::Display for Usage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_datalog())
+    }
+}
+
+/// Errors from root-store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The referenced root is not in the trusted set.
+    UnknownRoot(String),
+    /// A GCC failed its checks (parse, safety or stratification).
+    BadGcc(nrslb_datalog::DatalogError),
+    /// Attempted to trust an explicitly distrusted certificate.
+    Distrusted(String),
+    /// The certificate is not a CA certificate.
+    NotACa(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownRoot(fp) => write!(f, "root {fp} is not in the trusted set"),
+            StoreError::BadGcc(e) => write!(f, "invalid GCC: {e}"),
+            StoreError::Distrusted(fp) => {
+                write!(f, "certificate {fp} is explicitly distrusted")
+            }
+            StoreError::NotACa(fp) => write!(f, "certificate {fp} is not a CA certificate"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<nrslb_datalog::DatalogError> for StoreError {
+    fn from(e: nrslb_datalog::DatalogError) -> Self {
+        StoreError::BadGcc(e)
+    }
+}

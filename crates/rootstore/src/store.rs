@@ -1,0 +1,452 @@
+//! The root store: trusted + explicitly-distrusted certificate sets with
+//! per-root policy.
+
+use crate::gcc::{Gcc, GccMetadata};
+use crate::{StoreError, Usage};
+use nrslb_crypto::sha256::Digest;
+use nrslb_x509::{Certificate, DistinguishedName};
+use std::collections::BTreeMap;
+
+/// Trust status of a certificate with respect to a store.
+///
+/// The three-way distinction implements the paper's *negative inclusion*
+/// (§4): an explicitly removed root is `Distrusted`, which is different
+/// from one that was simply never added (`Unknown`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrustStatus {
+    /// In the trusted set.
+    Trusted,
+    /// Explicitly distrusted (negative inclusion).
+    Distrusted,
+    /// Not mentioned by the store at all.
+    Unknown,
+}
+
+/// Per-root trust policy: the certificate plus NSS-style systematic
+/// constraints and any attached GCCs.
+#[derive(Clone, Debug)]
+pub struct TrustRecord {
+    /// The root certificate.
+    pub cert: Certificate,
+    /// Last notBefore date for which leaves under this root are accepted
+    /// for TLS (NSS's date/usage pair), if constrained.
+    pub tls_distrust_after: Option<i64>,
+    /// Last notBefore date for S/MIME acceptance, if constrained.
+    pub smime_distrust_after: Option<i64>,
+    /// May this root issue EV certificates? (Firefox's EV bit.)
+    pub ev_allowed: bool,
+    /// Attached General Certificate Constraints.
+    pub gccs: Vec<Gcc>,
+}
+
+impl TrustRecord {
+    fn new(cert: Certificate) -> TrustRecord {
+        TrustRecord {
+            cert,
+            tls_distrust_after: None,
+            smime_distrust_after: None,
+            ev_allowed: true,
+            gccs: Vec::new(),
+        }
+    }
+
+    /// Does this record carry any partial-distrust policy (anything a
+    /// plain certificate collection could not express)?
+    pub fn has_policy(&self) -> bool {
+        self.tls_distrust_after.is_some()
+            || self.smime_distrust_after.is_some()
+            || !self.ev_allowed
+            || !self.gccs.is_empty()
+    }
+
+    /// Compile the *systematic* constraints (date/usage pairs and the EV
+    /// bit) into an equivalent GCC, as the paper proposes: "Mozilla could
+    /// write a similar GCC for every root in NSS that has a date/usage
+    /// constraint" (§3, Listing 1).
+    ///
+    /// Returns `None` when the record has no systematic constraints (the
+    /// all-permissive GCC is pointless to attach).
+    pub fn systematic_gcc(&self) -> Option<Gcc> {
+        if self.tls_distrust_after.is_none()
+            && self.smime_distrust_after.is_none()
+            && self.ev_allowed
+        {
+            return None;
+        }
+        let mut src = String::new();
+        // TLS rule.
+        match (self.tls_distrust_after, self.ev_allowed) {
+            (Some(t), true) => {
+                src.push_str(&format!(
+                    "valid(Chain, \"TLS\") :- leaf(Chain, Cert), notBefore(Cert, NB), NB < {t}.\n"
+                ));
+            }
+            (Some(t), false) => {
+                src.push_str(&format!(
+                    "valid(Chain, \"TLS\") :- leaf(Chain, Cert), \\+EV(Cert), notBefore(Cert, NB), NB < {t}.\n"
+                ));
+            }
+            (None, true) => {
+                src.push_str("valid(Chain, \"TLS\") :- leaf(Chain, _).\n");
+            }
+            (None, false) => {
+                src.push_str("valid(Chain, \"TLS\") :- leaf(Chain, Cert), \\+EV(Cert).\n");
+            }
+        }
+        // S/MIME rule (EV is TLS-only policy in Firefox, so no EV check).
+        match self.smime_distrust_after {
+            Some(t) => src.push_str(&format!(
+                "valid(Chain, \"S/MIME\") :- leaf(Chain, Cert), notBefore(Cert, NB), NB < {t}.\n"
+            )),
+            None => src.push_str("valid(Chain, \"S/MIME\") :- leaf(Chain, _).\n"),
+        }
+        let gcc = Gcc::parse(
+            &format!("systematic:{}", self.cert.fingerprint().short()),
+            self.cert.fingerprint(),
+            &src,
+            GccMetadata {
+                justification: "Compiled from NSS-style systematic date/usage constraints".into(),
+                ..Default::default()
+            },
+        )
+        .expect("generated systematic GCC is well-formed");
+        Some(gcc)
+    }
+}
+
+/// A named, versioned root certificate store.
+///
+/// Stores are value types: cloning yields an independent snapshot, which
+/// is how the feed layer (`nrslb-rsf`) captures store states.
+#[derive(Clone, Debug)]
+pub struct RootStore {
+    name: String,
+    version: u64,
+    trusted: BTreeMap<Digest, TrustRecord>,
+    distrusted: BTreeMap<Digest, String>, // fingerprint -> justification
+}
+
+impl RootStore {
+    /// Create an empty store.
+    pub fn new(name: impl Into<String>) -> RootStore {
+        RootStore {
+            name: name.into(),
+            version: 0,
+            trusted: BTreeMap::new(),
+            distrusted: BTreeMap::new(),
+        }
+    }
+
+    /// The store's name (e.g. `"nss"`, `"debian"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Monotonic version; bumped on every mutation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of trusted roots.
+    pub fn len(&self) -> usize {
+        self.trusted.len()
+    }
+
+    /// True when no roots are trusted.
+    pub fn is_empty(&self) -> bool {
+        self.trusted.is_empty()
+    }
+
+    /// Add a root to the trusted set. Re-adding refreshes nothing and
+    /// returns `Ok(false)`; adding an explicitly distrusted root fails.
+    pub fn add_trusted(&mut self, cert: Certificate) -> Result<bool, StoreError> {
+        let fp = cert.fingerprint();
+        if self.distrusted.contains_key(&fp) {
+            return Err(StoreError::Distrusted(fp.to_hex()));
+        }
+        if !cert.is_ca() {
+            return Err(StoreError::NotACa(fp.to_hex()));
+        }
+        if self.trusted.contains_key(&fp) {
+            return Ok(false);
+        }
+        self.trusted.insert(fp, TrustRecord::new(cert));
+        self.version += 1;
+        Ok(true)
+    }
+
+    /// Force-add a trusted root even if it was distrusted (models
+    /// derivative stores overriding their primary, like Amazon Linux
+    /// re-adding 16 NSS-removed roots). Clears the distrust mark.
+    pub fn add_trusted_overriding(&mut self, cert: Certificate) -> Result<bool, StoreError> {
+        let fp = cert.fingerprint();
+        self.distrusted.remove(&fp);
+        if !cert.is_ca() {
+            return Err(StoreError::NotACa(fp.to_hex()));
+        }
+        if self.trusted.contains_key(&fp) {
+            return Ok(false);
+        }
+        self.trusted.insert(fp, TrustRecord::new(cert));
+        self.version += 1;
+        Ok(true)
+    }
+
+    /// Remove a root *without* marking it distrusted (it becomes
+    /// `Unknown`, as if never added).
+    pub fn remove(&mut self, fp: &Digest) -> bool {
+        let removed = self.trusted.remove(fp).is_some();
+        if removed {
+            self.version += 1;
+        }
+        removed
+    }
+
+    /// Explicitly distrust a certificate (negative inclusion): removes it
+    /// from the trusted set and records the distrust with a justification.
+    pub fn distrust(&mut self, fp: Digest, justification: impl Into<String>) {
+        self.trusted.remove(&fp);
+        self.distrusted.insert(fp, justification.into());
+        self.version += 1;
+    }
+
+    /// Trust status of a fingerprint.
+    pub fn status(&self, fp: &Digest) -> TrustStatus {
+        if self.trusted.contains_key(fp) {
+            TrustStatus::Trusted
+        } else if self.distrusted.contains_key(fp) {
+            TrustStatus::Distrusted
+        } else {
+            TrustStatus::Unknown
+        }
+    }
+
+    /// The trust record for a fingerprint, if trusted.
+    pub fn record(&self, fp: &Digest) -> Option<&TrustRecord> {
+        self.trusted.get(fp)
+    }
+
+    /// Mutable access to a trust record (to set systematic constraints).
+    pub fn record_mut(&mut self, fp: &Digest) -> Option<&mut TrustRecord> {
+        let rec = self.trusted.get_mut(fp);
+        if rec.is_some() {
+            self.version += 1;
+        }
+        rec
+    }
+
+    /// Attach a GCC to its target root.
+    pub fn attach_gcc(&mut self, gcc: Gcc) -> Result<(), StoreError> {
+        let target = gcc.target();
+        let record = self
+            .trusted
+            .get_mut(&target)
+            .ok_or_else(|| StoreError::UnknownRoot(target.to_hex()))?;
+        if !record.gccs.contains(&gcc) {
+            record.gccs.push(gcc);
+            self.version += 1;
+        }
+        Ok(())
+    }
+
+    /// Remove a GCC (by target + content hash). Returns whether anything
+    /// was removed.
+    pub fn detach_gcc(&mut self, target: &Digest, source_hash: &Digest) -> bool {
+        let Some(record) = self.trusted.get_mut(target) else {
+            return false;
+        };
+        let before = record.gccs.len();
+        record.gccs.retain(|g| g.source_hash() != *source_hash);
+        let removed = record.gccs.len() != before;
+        if removed {
+            self.version += 1;
+        }
+        removed
+    }
+
+    /// GCCs attached to a root (empty if none or unknown).
+    pub fn gccs_for(&self, fp: &Digest) -> &[Gcc] {
+        self.trusted
+            .get(fp)
+            .map(|r| r.gccs.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterate over trusted records.
+    pub fn iter(&self) -> impl Iterator<Item = (&Digest, &TrustRecord)> {
+        self.trusted.iter()
+    }
+
+    /// Iterate over explicitly distrusted fingerprints with justifications.
+    pub fn iter_distrusted(&self) -> impl Iterator<Item = (&Digest, &str)> {
+        self.distrusted.iter().map(|(d, j)| (d, j.as_str()))
+    }
+
+    /// Trusted roots whose subject matches `name` (used during chain
+    /// building to find candidate trust anchors).
+    pub fn roots_by_subject(&self, name: &DistinguishedName) -> Vec<&Certificate> {
+        self.trusted
+            .values()
+            .filter(|r| r.cert.subject() == name)
+            .map(|r| &r.cert)
+            .collect()
+    }
+
+    /// Does the record for `fp` permit `usage` for a leaf with the given
+    /// notBefore? Implements NSS's systematic date/usage constraints.
+    pub fn usage_permitted(&self, fp: &Digest, usage: Usage, leaf_not_before: i64) -> bool {
+        let Some(rec) = self.trusted.get(fp) else {
+            return false;
+        };
+        let cutoff = match usage {
+            Usage::Tls => rec.tls_distrust_after,
+            Usage::SMime => rec.smime_distrust_after,
+        };
+        match cutoff {
+            Some(t) => leaf_not_before < t,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrslb_x509::testutil::simple_chain;
+
+    #[test]
+    fn add_remove_distrust_lifecycle() {
+        let pki = simple_chain("store.example");
+        let fp = pki.root.fingerprint();
+        let mut store = RootStore::new("test");
+        assert_eq!(store.status(&fp), TrustStatus::Unknown);
+
+        assert!(store.add_trusted(pki.root.clone()).unwrap());
+        assert!(!store.add_trusted(pki.root.clone()).unwrap()); // idempotent
+        assert_eq!(store.status(&fp), TrustStatus::Trusted);
+        assert_eq!(store.len(), 1);
+
+        store.distrust(fp, "incident");
+        assert_eq!(store.status(&fp), TrustStatus::Distrusted);
+        assert_eq!(store.len(), 0);
+
+        // Re-adding a distrusted root fails...
+        assert!(matches!(
+            store.add_trusted(pki.root.clone()),
+            Err(StoreError::Distrusted(_))
+        ));
+        // ...unless overridden (the Amazon Linux behaviour).
+        assert!(store.add_trusted_overriding(pki.root.clone()).unwrap());
+        assert_eq!(store.status(&fp), TrustStatus::Trusted);
+    }
+
+    #[test]
+    fn leaves_are_rejected() {
+        let pki = simple_chain("leafstore.example");
+        let mut store = RootStore::new("test");
+        assert!(matches!(
+            store.add_trusted(pki.leaf.clone()),
+            Err(StoreError::NotACa(_))
+        ));
+    }
+
+    #[test]
+    fn version_bumps_on_mutation() {
+        let pki = simple_chain("version.example");
+        let mut store = RootStore::new("test");
+        assert_eq!(store.version(), 0);
+        store.add_trusted(pki.root.clone()).unwrap();
+        assert_eq!(store.version(), 1);
+        store.distrust(pki.intermediate.fingerprint(), "x");
+        assert_eq!(store.version(), 2);
+    }
+
+    #[test]
+    fn gcc_attachment() {
+        let pki = simple_chain("gcc.example");
+        let fp = pki.root.fingerprint();
+        let mut store = RootStore::new("test");
+        store.add_trusted(pki.root.clone()).unwrap();
+
+        let gcc = Gcc::parse(
+            "test-gcc",
+            fp,
+            "valid(Chain, U) :- chainUsage(Chain, U).",
+            GccMetadata::default(),
+        )
+        .unwrap();
+        store.attach_gcc(gcc.clone()).unwrap();
+        assert_eq!(store.gccs_for(&fp).len(), 1);
+        // Duplicate attachment is a no-op.
+        store.attach_gcc(gcc.clone()).unwrap();
+        assert_eq!(store.gccs_for(&fp).len(), 1);
+        // Detach.
+        assert!(store.detach_gcc(&fp, &gcc.source_hash()));
+        assert!(store.gccs_for(&fp).is_empty());
+
+        // Attaching to an unknown root fails.
+        let other = gcc.retarget(Digest([9u8; 32]));
+        assert!(matches!(
+            store.attach_gcc(other),
+            Err(StoreError::UnknownRoot(_))
+        ));
+    }
+
+    #[test]
+    fn systematic_constraints() {
+        let pki = simple_chain("sys.example");
+        let fp = pki.root.fingerprint();
+        let mut store = RootStore::new("test");
+        store.add_trusted(pki.root.clone()).unwrap();
+        store.record_mut(&fp).unwrap().tls_distrust_after = Some(1_000);
+
+        assert!(store.usage_permitted(&fp, Usage::Tls, 999));
+        assert!(!store.usage_permitted(&fp, Usage::Tls, 1_000));
+        assert!(store.usage_permitted(&fp, Usage::SMime, 2_000)); // unconstrained
+        assert!(!store.usage_permitted(&Digest([0; 32]), Usage::Tls, 0)); // unknown root
+    }
+
+    #[test]
+    fn systematic_gcc_generation() {
+        let pki = simple_chain("sysgcc.example");
+        let fp = pki.root.fingerprint();
+        let mut store = RootStore::new("test");
+        store.add_trusted(pki.root.clone()).unwrap();
+
+        // Unconstrained record: no GCC to generate.
+        assert!(store.record(&fp).unwrap().systematic_gcc().is_none());
+
+        {
+            let rec = store.record_mut(&fp).unwrap();
+            rec.tls_distrust_after = Some(1_669_784_400);
+            rec.smime_distrust_after = Some(1_669_784_400);
+            rec.ev_allowed = false;
+        }
+        let gcc = store.record(&fp).unwrap().systematic_gcc().unwrap();
+        assert_eq!(gcc.target(), fp);
+        // The generated source mirrors Listing 1's shape.
+        assert!(gcc.source().contains("\\+EV(Cert)"));
+        assert!(gcc.source().contains("1669784400"));
+    }
+
+    #[test]
+    fn roots_by_subject() {
+        let pki = simple_chain("subject.example");
+        let mut store = RootStore::new("test");
+        store.add_trusted(pki.root.clone()).unwrap();
+        let found = store.roots_by_subject(pki.root.subject());
+        assert_eq!(found.len(), 1);
+        assert!(store.roots_by_subject(pki.leaf.subject()).is_empty());
+    }
+
+    #[test]
+    fn has_policy_detection() {
+        let pki = simple_chain("policy.example");
+        let fp = pki.root.fingerprint();
+        let mut store = RootStore::new("test");
+        store.add_trusted(pki.root.clone()).unwrap();
+        assert!(!store.record(&fp).unwrap().has_policy());
+        store.record_mut(&fp).unwrap().ev_allowed = false;
+        assert!(store.record(&fp).unwrap().has_policy());
+    }
+}

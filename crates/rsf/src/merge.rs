@@ -1,0 +1,212 @@
+//! RSF merging (§4): derivative stores sometimes *augment* their primary
+//! (Amazon Linux re-added 16 roots NSS had removed). Merging the primary
+//! feed with the derivative's own feed must flag the dangerous case —
+//! a root in the primary's **distrusted** set but the derivative's
+//! **trusted** set — instead of silently picking one.
+
+use nrslb_crypto::sha256::Digest;
+use nrslb_rootstore::{RootStore, TrustStatus};
+
+/// A conflict discovered during a merge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Conflict {
+    /// The primary explicitly distrusts this root but the derivative
+    /// trusts it — the paper's headline merge hazard.
+    PrimaryDistrustsDerivativeTrusts {
+        /// The contested root.
+        fingerprint: Digest,
+        /// The primary's distrust justification.
+        justification: String,
+    },
+}
+
+/// How to resolve conflicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MergePolicy {
+    /// Security-first: the primary's distrust wins; conflicted roots stay
+    /// distrusted in the merged store.
+    #[default]
+    PrimaryWins,
+    /// Availability-first: the derivative's trust wins (what Amazon Linux
+    /// de facto did); conflicted roots stay trusted.
+    DerivativeWins,
+}
+
+/// The merge result: the merged store plus everything an operator should
+/// look at.
+#[derive(Clone, Debug)]
+pub struct MergeReport {
+    /// The merged store.
+    pub merged: RootStore,
+    /// Conflicts found (regardless of policy, so operators always see
+    /// them — the paper: "the attempted merge flags an issue").
+    pub conflicts: Vec<Conflict>,
+    /// Roots the derivative added that the primary never mentioned
+    /// (benign augmentation, e.g. enterprise roots).
+    pub augmented: Vec<Digest>,
+}
+
+/// Merge `primary` and `derivative` into a new store named `name`.
+pub fn merge_stores(
+    name: &str,
+    primary: &RootStore,
+    derivative: &RootStore,
+    policy: MergePolicy,
+) -> MergeReport {
+    let mut merged = RootStore::new(name);
+    let mut conflicts = Vec::new();
+    let mut augmented = Vec::new();
+
+    // Primary distrust marks go in first.
+    for (fp, justification) in primary.iter_distrusted() {
+        merged.distrust(*fp, justification);
+    }
+    // Primary trusted set.
+    for (_, rec) in primary.iter() {
+        merged
+            .add_trusted(rec.cert.clone())
+            .expect("primary roots are CAs and not self-conflicting");
+        let fp = rec.cert.fingerprint();
+        let m = merged.record_mut(&fp).expect("just added");
+        m.tls_distrust_after = rec.tls_distrust_after;
+        m.smime_distrust_after = rec.smime_distrust_after;
+        m.ev_allowed = rec.ev_allowed;
+        m.gccs = rec.gccs.clone();
+    }
+    // Derivative additions.
+    for (fp, rec) in derivative.iter() {
+        match primary.status(fp) {
+            TrustStatus::Trusted => {} // already merged from primary
+            TrustStatus::Unknown => {
+                if merged.status(fp) != TrustStatus::Trusted {
+                    merged
+                        .add_trusted(rec.cert.clone())
+                        .expect("derivative roots are CAs");
+                    augmented.push(*fp);
+                }
+            }
+            TrustStatus::Distrusted => {
+                let justification = primary
+                    .iter_distrusted()
+                    .find(|(d, _)| *d == fp)
+                    .map(|(_, j)| j.to_string())
+                    .unwrap_or_default();
+                conflicts.push(Conflict::PrimaryDistrustsDerivativeTrusts {
+                    fingerprint: *fp,
+                    justification,
+                });
+                if policy == MergePolicy::DerivativeWins {
+                    merged
+                        .add_trusted_overriding(rec.cert.clone())
+                        .expect("derivative roots are CAs");
+                }
+            }
+        }
+    }
+    // Derivative distrust marks for roots the primary doesn't trust.
+    for (fp, justification) in derivative.iter_distrusted() {
+        if primary.status(fp) == TrustStatus::Unknown {
+            merged.distrust(*fp, justification);
+        }
+    }
+
+    MergeReport {
+        merged,
+        conflicts,
+        augmented,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrslb_x509::testutil::simple_chain;
+
+    #[test]
+    fn clean_merge_with_augmentation() {
+        let a = simple_chain("merge-a.example");
+        let b = simple_chain("merge-b.example");
+        let mut primary = RootStore::new("nss");
+        primary.add_trusted(a.root.clone()).unwrap();
+        let mut derivative = RootStore::new("amazon");
+        derivative.add_trusted(a.root.clone()).unwrap();
+        derivative.add_trusted(b.root.clone()).unwrap(); // augmentation
+
+        let report = merge_stores("merged", &primary, &derivative, MergePolicy::PrimaryWins);
+        assert!(report.conflicts.is_empty());
+        assert_eq!(report.augmented, vec![b.root.fingerprint()]);
+        assert_eq!(report.merged.len(), 2);
+    }
+
+    #[test]
+    fn distrust_conflict_flagged_primary_wins() {
+        let a = simple_chain("merge-c.example");
+        let mut primary = RootStore::new("nss");
+        primary.distrust(a.root.fingerprint(), "compromised 2024");
+        let mut derivative = RootStore::new("amazon");
+        derivative.add_trusted(a.root.clone()).unwrap();
+
+        let report = merge_stores("merged", &primary, &derivative, MergePolicy::PrimaryWins);
+        assert_eq!(report.conflicts.len(), 1);
+        let Conflict::PrimaryDistrustsDerivativeTrusts {
+            fingerprint,
+            justification,
+        } = &report.conflicts[0];
+        assert_eq!(*fingerprint, a.root.fingerprint());
+        assert_eq!(justification, "compromised 2024");
+        assert_eq!(
+            report.merged.status(&a.root.fingerprint()),
+            TrustStatus::Distrusted
+        );
+    }
+
+    #[test]
+    fn distrust_conflict_derivative_wins_still_flagged() {
+        let a = simple_chain("merge-d.example");
+        let mut primary = RootStore::new("nss");
+        primary.distrust(a.root.fingerprint(), "x");
+        let mut derivative = RootStore::new("amazon");
+        derivative.add_trusted(a.root.clone()).unwrap();
+
+        let report = merge_stores("merged", &primary, &derivative, MergePolicy::DerivativeWins);
+        assert_eq!(report.conflicts.len(), 1); // flagged either way
+        assert_eq!(
+            report.merged.status(&a.root.fingerprint()),
+            TrustStatus::Trusted
+        );
+    }
+
+    #[test]
+    fn primary_policy_survives_merge() {
+        let a = simple_chain("merge-e.example");
+        let mut primary = RootStore::new("nss");
+        primary.add_trusted(a.root.clone()).unwrap();
+        primary
+            .record_mut(&a.root.fingerprint())
+            .unwrap()
+            .tls_distrust_after = Some(999);
+        let derivative = RootStore::new("amazon");
+        let report = merge_stores("merged", &primary, &derivative, MergePolicy::PrimaryWins);
+        assert_eq!(
+            report
+                .merged
+                .record(&a.root.fingerprint())
+                .unwrap()
+                .tls_distrust_after,
+            Some(999)
+        );
+    }
+
+    #[test]
+    fn derivative_distrust_of_unknown_root_propagates() {
+        let a = simple_chain("merge-f.example");
+        let primary = RootStore::new("nss");
+        let mut derivative = RootStore::new("debian");
+        derivative.distrust(a.root.fingerprint(), "local policy");
+        let report = merge_stores("merged", &primary, &derivative, MergePolicy::PrimaryWins);
+        assert_eq!(
+            report.merged.status(&a.root.fingerprint()),
+            TrustStatus::Distrusted
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Feed signing: "RSF updates \[should\] be signed with a separate key that
+//! should itself be signed by a coordinating body like ICANN" (§4).
+//!
+//! Two-link verification chain: subscribers pin the **coordinator's**
+//! public key ([`FeedTrust`]); each message carries the feed's public key,
+//! the coordinator's *endorsement* of that key, and the feed's signature
+//! over the payload.
+
+use crate::wire::{Reader, Writer};
+use crate::RsfError;
+use nrslb_crypto::hbs::{self, Keypair, PublicKey, Signature};
+use std::sync::Mutex;
+
+/// Domain-separation prefixes so an endorsement can never be confused
+/// with a message signature.
+const ENDORSE_TAG: &[u8] = b"nrslb-rsf-endorse-v1:";
+const MESSAGE_TAG: &[u8] = b"nrslb-rsf-message-v1:";
+
+fn endorse_bytes(feed_key: &PublicKey) -> Vec<u8> {
+    let mut out = ENDORSE_TAG.to_vec();
+    out.extend_from_slice(&feed_key.to_bytes());
+    out
+}
+
+fn message_bytes(kind: MessageKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = MESSAGE_TAG.to_vec();
+    out.push(kind as u8);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The coordinating body's signing key (the ICANN stand-in).
+pub struct CoordinatorKey {
+    keypair: Mutex<Keypair>,
+    public: PublicKey,
+}
+
+impl CoordinatorKey {
+    /// Deterministic coordinator key from a seed.
+    pub fn from_seed(seed: [u8; 32], height: u8) -> Result<CoordinatorKey, RsfError> {
+        let keypair =
+            Keypair::from_seed(seed, height).map_err(|_| RsfError::Wire("bad key params"))?;
+        let public = keypair.public();
+        Ok(CoordinatorKey {
+            keypair: Mutex::new(keypair),
+            public,
+        })
+    }
+
+    /// The coordinator's public key; subscribers pin this.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Endorse a feed key.
+    pub fn endorse(&self, feed_key: &PublicKey) -> Result<Signature, RsfError> {
+        self.keypair
+            .lock()
+            .unwrap()
+            .sign(&endorse_bytes(feed_key))
+            .map_err(|_| RsfError::BadSignature("coordinator key exhausted"))
+    }
+}
+
+/// A feed operator's signing key plus its coordinator endorsement.
+pub struct FeedKey {
+    keypair: Mutex<Keypair>,
+    public: PublicKey,
+    endorsement: Signature,
+}
+
+impl FeedKey {
+    /// Create a feed key and have `coordinator` endorse it.
+    pub fn new(
+        seed: [u8; 32],
+        height: u8,
+        coordinator: &CoordinatorKey,
+    ) -> Result<FeedKey, RsfError> {
+        let keypair =
+            Keypair::from_seed(seed, height).map_err(|_| RsfError::Wire("bad key params"))?;
+        let public = keypair.public();
+        let endorsement = coordinator.endorse(&public)?;
+        Ok(FeedKey {
+            keypair: Mutex::new(keypair),
+            public,
+            endorsement,
+        })
+    }
+
+    /// The feed's public key.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Sign raw bytes with the feed key (used by the transparency log's
+    /// checkpoints, which carry their own domain separation).
+    pub fn sign_raw(&self, message: &[u8]) -> Result<Signature, RsfError> {
+        self.keypair
+            .lock()
+            .unwrap()
+            .sign(message)
+            .map_err(|_| RsfError::BadSignature("feed key exhausted"))
+    }
+
+    /// Sign a feed message.
+    pub fn sign(&self, kind: MessageKind, payload: &[u8]) -> Result<SignedMessage, RsfError> {
+        let signature = self
+            .keypair
+            .lock()
+            .unwrap()
+            .sign(&message_bytes(kind, payload))
+            .map_err(|_| RsfError::BadSignature("feed key exhausted"))?;
+        Ok(SignedMessage {
+            kind,
+            payload: payload.to_vec(),
+            feed_key: self.public,
+            endorsement: self.endorsement.clone(),
+            signature,
+        })
+    }
+}
+
+/// What a subscriber pins: the coordinator's public key.
+#[derive(Clone, Copy, Debug)]
+pub struct FeedTrust {
+    /// Trusted coordinator public key.
+    pub coordinator: PublicKey,
+}
+
+/// The kind of payload inside a signed message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MessageKind {
+    /// A full [`crate::feed::Snapshot`].
+    Snapshot = 1,
+    /// A [`crate::feed::Delta`].
+    Delta = 2,
+}
+
+impl MessageKind {
+    fn from_u8(b: u8) -> Option<MessageKind> {
+        match b {
+            1 => Some(MessageKind::Snapshot),
+            2 => Some(MessageKind::Delta),
+            _ => None,
+        }
+    }
+}
+
+/// A signed feed message: payload + feed key + endorsement + signature.
+#[derive(Clone, Debug)]
+pub struct SignedMessage {
+    /// Payload kind.
+    pub kind: MessageKind,
+    /// Canonical payload bytes ([`crate::feed::Snapshot::encode`] or
+    /// [`crate::feed::Delta::encode`]).
+    pub payload: Vec<u8>,
+    /// The feed's public key.
+    pub feed_key: PublicKey,
+    /// Coordinator's endorsement of `feed_key`.
+    pub endorsement: Signature,
+    /// Feed signature over the payload.
+    pub signature: Signature,
+}
+
+impl SignedMessage {
+    /// Verify the two-link chain under the pinned coordinator key.
+    pub fn verify(&self, trust: &FeedTrust) -> Result<(), RsfError> {
+        hbs::verify(
+            &trust.coordinator,
+            &endorse_bytes(&self.feed_key),
+            &self.endorsement,
+        )
+        .map_err(|_| RsfError::BadSignature("feed key endorsement"))?;
+        hbs::verify(
+            &self.feed_key,
+            &message_bytes(self.kind, &self.payload),
+            &self.signature,
+        )
+        .map_err(|_| RsfError::BadSignature("message signature"))?;
+        Ok(())
+    }
+
+    /// Serialize the whole signed message (transport format).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str("RSF1-SIGNED");
+        w.put_u8(self.kind as u8);
+        w.put_bytes(&self.payload);
+        w.put_bytes(&self.feed_key.to_bytes());
+        w.put_bytes(&self.endorsement.to_bytes());
+        w.put_bytes(&self.signature.to_bytes());
+        w.finish()
+    }
+
+    /// Parse a signed message (verification is separate).
+    pub fn decode(bytes: &[u8]) -> Result<SignedMessage, RsfError> {
+        let mut r = Reader::new(bytes);
+        if r.get_str()? != "RSF1-SIGNED" {
+            return Err(RsfError::Wire("bad signed-message magic"));
+        }
+        let kind = MessageKind::from_u8(r.get_u8()?).ok_or(RsfError::Wire("bad message kind"))?;
+        let payload = r.get_bytes()?.to_vec();
+        let feed_key =
+            PublicKey::from_bytes(r.get_bytes()?).map_err(|_| RsfError::Wire("bad feed key"))?;
+        let endorsement =
+            Signature::from_bytes(r.get_bytes()?).map_err(|_| RsfError::Wire("bad endorsement"))?;
+        let signature =
+            Signature::from_bytes(r.get_bytes()?).map_err(|_| RsfError::Wire("bad signature"))?;
+        r.expect_end()?;
+        Ok(SignedMessage {
+            kind,
+            payload,
+            feed_key,
+            endorsement,
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (CoordinatorKey, FeedKey, FeedTrust) {
+        let coordinator = CoordinatorKey::from_seed([1; 32], 4).unwrap();
+        let feed = FeedKey::new([2; 32], 6, &coordinator).unwrap();
+        let trust = FeedTrust {
+            coordinator: coordinator.public(),
+        };
+        (coordinator, feed, trust)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (_c, feed, trust) = setup();
+        let msg = feed.sign(MessageKind::Snapshot, b"payload").unwrap();
+        msg.verify(&trust).unwrap();
+        let decoded = SignedMessage::decode(&msg.encode()).unwrap();
+        decoded.verify(&trust).unwrap();
+        assert_eq!(decoded.payload, b"payload");
+        assert_eq!(decoded.kind, MessageKind::Snapshot);
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let (_c, feed, trust) = setup();
+        let mut msg = feed.sign(MessageKind::Delta, b"original").unwrap();
+        msg.payload = b"tampered".to_vec();
+        assert!(matches!(
+            msg.verify(&trust),
+            Err(RsfError::BadSignature("message signature"))
+        ));
+    }
+
+    #[test]
+    fn kind_confusion_rejected() {
+        // A snapshot signature must not validate as a delta (domain sep).
+        let (_c, feed, trust) = setup();
+        let mut msg = feed.sign(MessageKind::Snapshot, b"payload").unwrap();
+        msg.kind = MessageKind::Delta;
+        assert!(msg.verify(&trust).is_err());
+    }
+
+    #[test]
+    fn unendorsed_feed_key_rejected() {
+        let (_c, _feed, trust) = setup();
+        // A rogue feed with a *different* coordinator.
+        let rogue_coord = CoordinatorKey::from_seed([9; 32], 4).unwrap();
+        let rogue_feed = FeedKey::new([10; 32], 4, &rogue_coord).unwrap();
+        let msg = rogue_feed.sign(MessageKind::Snapshot, b"evil").unwrap();
+        assert!(matches!(
+            msg.verify(&trust),
+            Err(RsfError::BadSignature("feed key endorsement"))
+        ));
+    }
+
+    #[test]
+    fn endorsement_swap_rejected() {
+        // Signature by feed B, endorsement of feed A: must fail.
+        let coordinator = CoordinatorKey::from_seed([1; 32], 4).unwrap();
+        let feed_a = FeedKey::new([2; 32], 4, &coordinator).unwrap();
+        let feed_b = FeedKey::new([3; 32], 4, &coordinator).unwrap();
+        let trust = FeedTrust {
+            coordinator: coordinator.public(),
+        };
+        let msg_a = feed_a.sign(MessageKind::Snapshot, b"x").unwrap();
+        let msg_b = feed_b.sign(MessageKind::Snapshot, b"x").unwrap();
+        let mut frankenstein = msg_b.clone();
+        frankenstein.endorsement = msg_a.endorsement.clone();
+        frankenstein.feed_key = msg_a.feed_key;
+        // Now the endorsement verifies (it's A's) but the message
+        // signature is B's -> fails under A's key.
+        assert!(frankenstein.verify(&trust).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(SignedMessage::decode(b"").is_err());
+        assert!(SignedMessage::decode(b"RSFX").is_err());
+        let (_c, feed, _t) = setup();
+        let mut bytes = feed.sign(MessageKind::Snapshot, b"p").unwrap().encode();
+        bytes.truncate(bytes.len() - 3);
+        assert!(SignedMessage::decode(&bytes).is_err());
+    }
+}

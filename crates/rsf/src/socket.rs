@@ -1,0 +1,333 @@
+//! Feed distribution over a real transport: a Unix-domain-socket feed
+//! server and a matching remote subscriber.
+//!
+//! The sans-IO [`crate::transport`] layer stays the source of truth;
+//! this module is the thin framing that carries its artifacts across a
+//! socket, standing in for the HTTPS endpoint the paper proposes
+//! ("RSFs can be distributed using conventional protocols", §4). The
+//! protocol is a single request/response per connection:
+//!
+//! ```text
+//! request  := "RSFQ" u64 have_sequence u64 have_checkpoint_size
+//! response := "RSFR"
+//!             u32 n_messages (u32 len, bytes signed-message)*
+//!             u32 len, bytes checkpoint
+//!             u8 has_proof [u64 old u64 new u32 n (32-byte digest)*]
+//! ```
+//!
+//! Everything security-relevant (signatures, endorsements, sequence
+//! continuity, checkpoint consistency) is verified by the subscriber —
+//! the socket is untrusted, exactly like the HTTPS CDN would be.
+
+use crate::signing::{FeedTrust, SignedMessage};
+use crate::translog::Checkpoint;
+use crate::transport::{FeedPublisher, FeedSubscriber, SyncReport};
+use crate::wire::{Reader, Writer};
+use crate::RsfError;
+use nrslb_crypto::merkle::ConsistencyProof;
+use nrslb_crypto::sha256::Digest;
+use std::io::{Read as _, Write as _};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+fn io_err(e: std::io::Error) -> RsfError {
+    let _ = e;
+    RsfError::Wire("socket i/o failure")
+}
+
+fn read_frame(stream: &mut UnixStream, magic: &[u8; 4]) -> Result<Vec<u8>, RsfError> {
+    let mut head = [0u8; 8];
+    stream.read_exact(&mut head).map_err(io_err)?;
+    if &head[..4] != magic {
+        return Err(RsfError::Wire("bad frame magic"));
+    }
+    let len = u32::from_le_bytes(head[4..].try_into().unwrap());
+    if len > 256 * 1024 * 1024 {
+        return Err(RsfError::Wire("frame too large"));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body).map_err(io_err)?;
+    Ok(body)
+}
+
+fn write_frame(stream: &mut UnixStream, magic: &[u8; 4], body: &[u8]) -> Result<(), RsfError> {
+    stream.write_all(magic).map_err(io_err)?;
+    stream
+        .write_all(&(body.len() as u32).to_le_bytes())
+        .map_err(io_err)?;
+    stream.write_all(body).map_err(io_err)?;
+    stream.flush().map_err(io_err)
+}
+
+fn encode_proof(w: &mut Writer, proof: &ConsistencyProof) {
+    w.put_u64(proof.old_size);
+    w.put_u64(proof.new_size);
+    w.put_u32(proof.path.len() as u32);
+    for d in &proof.path {
+        w.put_bytes(d.as_bytes());
+    }
+}
+
+fn decode_proof(r: &mut Reader<'_>) -> Result<ConsistencyProof, RsfError> {
+    let old_size = r.get_u64()?;
+    let new_size = r.get_u64()?;
+    let n = r.get_u32()?;
+    if n > 1024 {
+        return Err(RsfError::Wire("oversized proof"));
+    }
+    let mut path = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let arr: [u8; 32] = r
+            .get_bytes()?
+            .try_into()
+            .map_err(|_| RsfError::Wire("bad proof digest"))?;
+        path.push(Digest(arr));
+    }
+    Ok(ConsistencyProof {
+        old_size,
+        new_size,
+        path,
+    })
+}
+
+/// A feed server bound to a Unix socket, sharing a publisher that the
+/// operator keeps updating through the mutex.
+pub struct FeedSocketServer {
+    path: PathBuf,
+    publisher: Arc<Mutex<FeedPublisher>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl FeedSocketServer {
+    /// Bind and serve.
+    pub fn spawn(
+        publisher: Arc<Mutex<FeedPublisher>>,
+        socket_path: impl AsRef<Path>,
+    ) -> std::io::Result<FeedSocketServer> {
+        let path = socket_path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let publisher2 = publisher.clone();
+        let thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = conn else { continue };
+                let publisher = publisher2.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_once(&mut stream, &publisher);
+                });
+            }
+        });
+        Ok(FeedSocketServer {
+            path,
+            publisher,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The socket path.
+    pub fn socket_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The shared publisher handle (for publishing updates).
+    pub fn publisher(&self) -> Arc<Mutex<FeedPublisher>> {
+        self.publisher.clone()
+    }
+}
+
+impl Drop for FeedSocketServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = UnixStream::connect(&self.path);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn serve_once(stream: &mut UnixStream, publisher: &Mutex<FeedPublisher>) -> Result<(), RsfError> {
+    let body = read_frame(stream, b"RSFQ")?;
+    let mut r = Reader::new(&body);
+    let have_sequence = r.get_u64()?;
+    let have_checkpoint = r.get_u64()?;
+    r.expect_end()?;
+
+    let mut publisher = publisher.lock().expect("publisher mutex");
+    let checkpoint = publisher.checkpoint()?;
+    let proof = if have_checkpoint > 0 {
+        publisher.prove_extension(have_checkpoint)
+    } else {
+        None
+    };
+    let messages: Vec<Vec<u8>> = publisher
+        .fetch(have_sequence)
+        .into_iter()
+        .map(|m| m.encode())
+        .collect();
+    drop(publisher);
+
+    let mut w = Writer::new();
+    w.put_u32(messages.len() as u32);
+    for m in &messages {
+        w.put_bytes(m);
+    }
+    w.put_bytes(&checkpoint.encode());
+    match proof {
+        Some(p) => {
+            w.put_u8(1);
+            encode_proof(&mut w, &p);
+        }
+        None => {
+            w.put_u8(0);
+        }
+    }
+    write_frame(stream, b"RSFR", &w.finish())
+}
+
+/// A subscriber that polls a [`FeedSocketServer`] over the socket.
+///
+/// Wraps the sans-IO [`FeedSubscriber`]'s *state* but performs its own
+/// verification of the transported artifacts, since it cannot hold a
+/// reference to the remote publisher.
+pub struct RemoteSubscriber {
+    inner: FeedSubscriber,
+    socket: PathBuf,
+}
+
+impl RemoteSubscriber {
+    /// A subscriber for the feed served at `socket`.
+    pub fn new(name: &str, trust: FeedTrust, socket: impl AsRef<Path>) -> RemoteSubscriber {
+        RemoteSubscriber {
+            inner: FeedSubscriber::new(name, trust),
+            socket: socket.as_ref().to_path_buf(),
+        }
+    }
+
+    /// The local store replica.
+    pub fn store(&self) -> &nrslb_rootstore::RootStore {
+        self.inner.store()
+    }
+
+    /// Last applied sequence.
+    pub fn sequence(&self) -> u64 {
+        self.inner.sequence()
+    }
+
+    /// Poll the server once.
+    pub fn sync(&mut self) -> Result<SyncReport, RsfError> {
+        let mut stream = UnixStream::connect(&self.socket).map_err(io_err)?;
+        let mut req = Writer::new();
+        req.put_u64(self.inner.sequence());
+        req.put_u64(self.inner.pinned_checkpoint().map(|c| c.size).unwrap_or(0));
+        write_frame(&mut stream, b"RSFQ", &req.finish())?;
+
+        let body = read_frame(&mut stream, b"RSFR")?;
+        let mut r = Reader::new(&body);
+        let n = r.get_u32()?;
+        if n > 100_000 {
+            return Err(RsfError::Wire("too many messages"));
+        }
+        let mut messages = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            messages.push(SignedMessage::decode(r.get_bytes()?)?);
+        }
+        let checkpoint = Checkpoint::decode(r.get_bytes()?)?;
+        let proof = match r.get_u8()? {
+            0 => None,
+            1 => Some(decode_proof(&mut r)?),
+            _ => return Err(RsfError::Wire("bad proof tag")),
+        };
+        r.expect_end()?;
+        self.inner.apply_remote(messages, checkpoint, proof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signing::{CoordinatorKey, FeedKey};
+    use nrslb_rootstore::{RootStore, TrustStatus};
+    use nrslb_x509::testutil::simple_chain;
+
+    fn socket_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("nrslb-rsf-{tag}-{}.sock", std::process::id()))
+    }
+
+    fn setup(tag: &str) -> (FeedSocketServer, RemoteSubscriber, RootStore) {
+        let coordinator = CoordinatorKey::from_seed([1; 32], 4).unwrap();
+        let key = FeedKey::new([2; 32], 8, &coordinator).unwrap();
+        let trust = FeedTrust {
+            coordinator: coordinator.public(),
+        };
+        let pki = simple_chain(&format!("sock-{tag}.example"));
+        let mut store = RootStore::new("nss");
+        store.add_trusted(pki.root.clone()).unwrap();
+        let publisher = FeedPublisher::new("nss", key, &store, 0).unwrap();
+        let server =
+            FeedSocketServer::spawn(Arc::new(Mutex::new(publisher)), socket_path(tag)).unwrap();
+        let subscriber = RemoteSubscriber::new("remote", trust, server.socket_path());
+        (server, subscriber, store)
+    }
+
+    #[test]
+    fn remote_bootstrap_and_incremental_sync() {
+        let (server, mut subscriber, mut store) = setup("inc");
+        let report = subscriber.sync().unwrap();
+        assert!(report.snapshot_applied);
+        assert_eq!(subscriber.store().len(), 1);
+
+        // Publish a distrust; remote pickup on next poll.
+        let fp = *store.iter().next().unwrap().0;
+        store.distrust(fp, "incident");
+        server
+            .publisher()
+            .lock()
+            .unwrap()
+            .publish(&store, 100)
+            .unwrap();
+        let report = subscriber.sync().unwrap();
+        assert_eq!(report.deltas_applied, 1);
+        assert_eq!(subscriber.store().status(&fp), TrustStatus::Distrusted);
+
+        // Idle poll: nothing to apply, checkpoint still verifies.
+        let report = subscriber.sync().unwrap();
+        assert_eq!(report.deltas_applied, 0);
+        assert!(!report.snapshot_applied);
+    }
+
+    #[test]
+    fn wrong_coordinator_rejected_over_socket() {
+        let (server, _subscriber, _store) = setup("forge");
+        let other = CoordinatorKey::from_seed([9; 32], 4).unwrap();
+        let mut victim = RemoteSubscriber::new(
+            "victim",
+            FeedTrust {
+                coordinator: other.public(),
+            },
+            server.socket_path(),
+        );
+        let err = victim.sync();
+        assert!(matches!(err, Err(RsfError::BadSignature(_))));
+        assert!(victim.store().is_empty());
+    }
+
+    #[test]
+    fn server_socket_cleanup_on_drop() {
+        let (server, _s, _st) = setup("cleanup");
+        let path = server.socket_path().to_path_buf();
+        assert!(path.exists());
+        drop(server);
+        assert!(!path.exists());
+    }
+}

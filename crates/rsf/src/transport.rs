@@ -1,0 +1,457 @@
+//! Sans-IO feed distribution: a publisher holding a signed message log
+//! and subscribers that poll it.
+//!
+//! Following the smoltcp school of protocol design, this layer is pure
+//! state-machine logic — *when* a subscriber polls (hourly, as the paper
+//! proposes for systemd RSF clients; monthly, like a laggy derivative) is
+//! the caller's decision, which is exactly the knob the staleness
+//! experiment (E5) turns.
+
+use crate::feed::{Delta, Snapshot};
+use crate::signing::{FeedKey, FeedTrust, MessageKind, SignedMessage};
+use crate::translog::{verify_extension, Checkpoint, TransparencyLog};
+use crate::RsfError;
+use nrslb_crypto::hbs::PublicKey;
+use nrslb_crypto::merkle::ConsistencyProof;
+use nrslb_rootstore::RootStore;
+
+/// A primary operator's feed: the current store state plus a log of
+/// signed messages subscribers can fetch.
+pub struct FeedPublisher {
+    name: String,
+    key: FeedKey,
+    /// State as of the latest published message.
+    published_store: RootStore,
+    sequence: u64,
+    /// Signed deltas, indexed by `to_sequence` (log[i].to = base + i + 1).
+    deltas: Vec<SignedMessage>,
+    /// The most recent full snapshot (always available for bootstrap).
+    snapshot: SignedMessage,
+    snapshot_sequence: u64,
+    /// Transparency log over every published message (§4 "immutable
+    /// logs"); checkpoints are cached so polling does not consume
+    /// one-time signatures.
+    translog: TransparencyLog,
+    cached_checkpoint: Option<Checkpoint>,
+}
+
+impl FeedPublisher {
+    /// Create a feed publishing `initial` as snapshot sequence 1.
+    pub fn new(
+        name: &str,
+        key: FeedKey,
+        initial: &RootStore,
+        now: i64,
+    ) -> Result<FeedPublisher, RsfError> {
+        let snap = Snapshot::capture(name, 1, now, initial);
+        let signed = key.sign(MessageKind::Snapshot, &snap.encode())?;
+        let mut translog = TransparencyLog::new();
+        translog.append(&signed);
+        Ok(FeedPublisher {
+            name: name.to_string(),
+            key,
+            published_store: initial.clone(),
+            sequence: 1,
+            deltas: Vec::new(),
+            snapshot: signed,
+            snapshot_sequence: 1,
+            translog,
+            cached_checkpoint: None,
+        })
+    }
+
+    /// The feed's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current sequence number.
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Publish the difference between the published state and `new`.
+    /// No-op (returns `false`) when nothing changed.
+    pub fn publish(&mut self, new: &RootStore, now: i64) -> Result<bool, RsfError> {
+        let delta = Delta::between(
+            &self.published_store,
+            new,
+            self.sequence,
+            self.sequence + 1,
+            now,
+        );
+        if delta.is_empty() {
+            return Ok(false);
+        }
+        let signed = self.key.sign(MessageKind::Delta, &delta.encode())?;
+        self.translog.append(&signed);
+        self.deltas.push(signed);
+        self.sequence += 1;
+        self.published_store = new.clone();
+        Ok(true)
+    }
+
+    /// Publish a fresh full snapshot at the current sequence (bootstrap
+    /// aid; also lets the publisher prune old deltas).
+    pub fn publish_snapshot(&mut self, now: i64) -> Result<(), RsfError> {
+        let snap = Snapshot::capture(&self.name, self.sequence, now, &self.published_store);
+        self.snapshot = self.key.sign(MessageKind::Snapshot, &snap.encode())?;
+        self.translog.append(&self.snapshot);
+        self.snapshot_sequence = self.sequence;
+        Ok(())
+    }
+
+    /// The current transparency-log checkpoint (signed once per log
+    /// growth and cached, so polls do not consume one-time signatures).
+    pub fn checkpoint(&mut self) -> Result<Checkpoint, RsfError> {
+        let current = self.translog.len();
+        if self
+            .cached_checkpoint
+            .as_ref()
+            .is_none_or(|c| c.size != current)
+        {
+            self.cached_checkpoint = Some(self.translog.checkpoint(&self.key)?);
+        }
+        Ok(self.cached_checkpoint.clone().expect("just cached"))
+    }
+
+    /// Consistency proof extending a subscriber's pinned checkpoint.
+    pub fn prove_extension(&self, old_size: u64) -> Option<ConsistencyProof> {
+        self.translog
+            .prove_consistency(old_size, self.translog.len())
+    }
+
+    /// Drop deltas at or below the latest snapshot's sequence.
+    pub fn prune(&mut self) {
+        let base = self.snapshot_sequence;
+        self.deltas.retain(|m| {
+            let delta = Delta::decode(&m.payload).expect("own log is well-formed");
+            delta.to_sequence > base
+        });
+    }
+
+    /// What a subscriber at `have_sequence` should fetch: either the
+    /// deltas that bring it current, or (after a gap/bootstrap) the
+    /// latest snapshot plus subsequent deltas.
+    pub fn fetch(&self, have_sequence: u64) -> Vec<&SignedMessage> {
+        if have_sequence == self.sequence {
+            return Vec::new();
+        }
+        // Deltas strictly after `have_sequence`, if the log reaches back.
+        let wanted: Vec<&SignedMessage> = self
+            .deltas
+            .iter()
+            .filter(|m| {
+                let d = Delta::decode(&m.payload).expect("own log is well-formed");
+                d.to_sequence > have_sequence
+            })
+            .collect();
+        let contiguous = wanted.first().map(|m| {
+            let d = Delta::decode(&m.payload).expect("own log");
+            d.from_sequence <= have_sequence
+        });
+        if have_sequence > 0 && contiguous == Some(true) {
+            wanted
+        } else {
+            // Bootstrap or gap: snapshot, then deltas after it.
+            let mut out = vec![&self.snapshot];
+            out.extend(self.deltas.iter().filter(|m| {
+                let d = Delta::decode(&m.payload).expect("own log");
+                d.from_sequence >= self.snapshot_sequence
+            }));
+            out
+        }
+    }
+}
+
+/// Result of one subscriber poll.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Deltas applied.
+    pub deltas_applied: usize,
+    /// Whether a full snapshot was applied first.
+    pub snapshot_applied: bool,
+    /// Sequence after syncing.
+    pub sequence: u64,
+    /// Bytes transferred (payloads + signatures), for the delta-vs-
+    /// snapshot bandwidth ablation.
+    pub bytes_transferred: usize,
+}
+
+/// A derivative store (or browser) subscribed to a feed.
+pub struct FeedSubscriber {
+    name: String,
+    trust: FeedTrust,
+    store: RootStore,
+    sequence: u64,
+    /// Pinned transparency-log checkpoint + the feed key it verified
+    /// under (set after the first successful sync).
+    pinned: Option<(Checkpoint, PublicKey)>,
+}
+
+impl FeedSubscriber {
+    /// A fresh subscriber that has never synced.
+    pub fn new(name: &str, trust: FeedTrust) -> FeedSubscriber {
+        FeedSubscriber {
+            name: name.to_string(),
+            trust,
+            store: RootStore::new(name),
+            sequence: 0,
+            pinned: None,
+        }
+    }
+
+    /// The pinned transparency-log checkpoint, if any sync completed.
+    pub fn pinned_checkpoint(&self) -> Option<&Checkpoint> {
+        self.pinned.as_ref().map(|(c, _)| c)
+    }
+
+    /// The subscriber's current store (what its TLS clients use).
+    pub fn store(&self) -> &RootStore {
+        &self.store
+    }
+
+    /// The last applied sequence (0 = never synced).
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Poll the publisher: fetch, verify and apply pending messages.
+    ///
+    /// Verification failures abort the sync *before* any state change —
+    /// a compromised transport cannot poison the store.
+    pub fn sync(&mut self, publisher: &mut FeedPublisher) -> Result<SyncReport, RsfError> {
+        let checkpoint = publisher.checkpoint()?;
+        let proof = self
+            .pinned
+            .as_ref()
+            .and_then(|(old, _)| publisher.prove_extension(old.size));
+        let messages: Vec<SignedMessage> = publisher
+            .fetch(self.sequence)
+            .into_iter()
+            .cloned()
+            .collect();
+        self.apply_remote(messages, checkpoint, proof)
+    }
+
+    /// Verify and apply transported feed artifacts (the shared core of
+    /// [`FeedSubscriber::sync`] and the socket transport's
+    /// [`crate::socket::RemoteSubscriber`]). Verification failures abort
+    /// *before* any state change.
+    pub fn apply_remote(
+        &mut self,
+        messages: Vec<SignedMessage>,
+        checkpoint: Checkpoint,
+        proof: Option<nrslb_crypto::merkle::ConsistencyProof>,
+    ) -> Result<SyncReport, RsfError> {
+        // Transparency-log step first: a publisher that rewrote history
+        // is rejected before any message is applied.
+        if let Some((old, key)) = &self.pinned {
+            verify_extension(Some(old), &checkpoint, proof.as_ref(), key)?;
+        }
+        let mut report = SyncReport {
+            sequence: self.sequence,
+            ..Default::default()
+        };
+        // Verify everything (coordinator endorsement + message
+        // signatures) before any state change.
+        for message in &messages {
+            message.verify(&self.trust)?;
+        }
+        // The feed key is pinned from the first *verified* message; the
+        // checkpoint must verify under it.
+        let feed_key = match (&self.pinned, messages.first()) {
+            (Some((_, key)), _) => *key,
+            (None, Some(first)) => first.feed_key,
+            (None, None) => return Err(RsfError::BadSignature("empty first sync")),
+        };
+        verify_extension(None, &checkpoint, None, &feed_key)?;
+        for message in messages {
+            report.bytes_transferred += message.encode().len();
+            match message.kind {
+                MessageKind::Snapshot => {
+                    let snap = Snapshot::decode(&message.payload)?;
+                    self.store = snap.to_store(&self.name)?;
+                    self.sequence = snap.sequence;
+                    report.snapshot_applied = true;
+                }
+                MessageKind::Delta => {
+                    let delta = Delta::decode(&message.payload)?;
+                    if delta.from_sequence != self.sequence {
+                        if delta.to_sequence <= self.sequence {
+                            continue; // already have it
+                        }
+                        return Err(RsfError::Sequence {
+                            expected: self.sequence,
+                            got: delta.from_sequence,
+                        });
+                    }
+                    delta.apply_to(&mut self.store)?;
+                    self.sequence = delta.to_sequence;
+                    report.deltas_applied += 1;
+                }
+            }
+        }
+        report.sequence = self.sequence;
+        self.pinned = Some((checkpoint, feed_key));
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signing::CoordinatorKey;
+    use nrslb_rootstore::TrustStatus;
+    use nrslb_x509::testutil::simple_chain;
+
+    fn setup(initial: &RootStore) -> (FeedPublisher, FeedSubscriber) {
+        let coordinator = CoordinatorKey::from_seed([1; 32], 4).unwrap();
+        let key = FeedKey::new([2; 32], 8, &coordinator).unwrap();
+        let trust = FeedTrust {
+            coordinator: coordinator.public(),
+        };
+        let publisher = FeedPublisher::new("nss", key, initial, 0).unwrap();
+        let subscriber = FeedSubscriber::new("debian", trust);
+        (publisher, subscriber)
+    }
+
+    #[test]
+    fn bootstrap_sync_applies_snapshot() {
+        let a = simple_chain("feed-a.example");
+        let mut store = RootStore::new("nss");
+        store.add_trusted(a.root.clone()).unwrap();
+        let (mut publisher, mut subscriber) = setup(&store);
+
+        let report = subscriber.sync(&mut publisher).unwrap();
+        assert!(report.snapshot_applied);
+        assert_eq!(report.sequence, 1);
+        assert_eq!(
+            subscriber.store().status(&a.root.fingerprint()),
+            TrustStatus::Trusted
+        );
+        // A second poll is a no-op.
+        let report = subscriber.sync(&mut publisher).unwrap();
+        assert_eq!(report.deltas_applied, 0);
+        assert!(!report.snapshot_applied);
+    }
+
+    #[test]
+    fn incremental_deltas() {
+        let a = simple_chain("feed-b.example");
+        let b = simple_chain("feed-c.example");
+        let mut store = RootStore::new("nss");
+        store.add_trusted(a.root.clone()).unwrap();
+        let (mut publisher, mut subscriber) = setup(&store);
+        subscriber.sync(&mut publisher).unwrap();
+
+        // Change 1: add a root.
+        store.add_trusted(b.root.clone()).unwrap();
+        assert!(publisher.publish(&store, 10).unwrap());
+        // Change 2: distrust the first.
+        store.distrust(a.root.fingerprint(), "incident");
+        assert!(publisher.publish(&store, 20).unwrap());
+        // No change: nothing published.
+        assert!(!publisher.publish(&store, 30).unwrap());
+
+        let report = subscriber.sync(&mut publisher).unwrap();
+        assert_eq!(report.deltas_applied, 2);
+        assert!(!report.snapshot_applied);
+        assert_eq!(report.sequence, 3);
+        assert_eq!(
+            subscriber.store().status(&a.root.fingerprint()),
+            TrustStatus::Distrusted
+        );
+        assert_eq!(
+            subscriber.store().status(&b.root.fingerprint()),
+            TrustStatus::Trusted
+        );
+    }
+
+    #[test]
+    fn gcc_distribution_via_feed() {
+        use nrslb_rootstore::{Gcc, GccMetadata};
+        let a = simple_chain("feed-gcc.example");
+        let mut store = RootStore::new("nss");
+        store.add_trusted(a.root.clone()).unwrap();
+        let (mut publisher, mut subscriber) = setup(&store);
+        subscriber.sync(&mut publisher).unwrap();
+
+        let gcc = Gcc::parse(
+            "partial-distrust",
+            a.root.fingerprint(),
+            r#"valid(Chain, "TLS") :- leaf(Chain, _)."#,
+            GccMetadata {
+                justification: "limit to TLS".into(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        store.attach_gcc(gcc).unwrap();
+        publisher.publish(&store, 50).unwrap();
+
+        subscriber.sync(&mut publisher).unwrap();
+        let gccs = subscriber.store().gccs_for(&a.root.fingerprint());
+        assert_eq!(gccs.len(), 1);
+        assert_eq!(gccs[0].name(), "partial-distrust");
+        assert_eq!(gccs[0].metadata().justification, "limit to TLS");
+    }
+
+    #[test]
+    fn pruned_log_falls_back_to_snapshot() {
+        let a = simple_chain("feed-prune.example");
+        let b = simple_chain("feed-prune2.example");
+        let mut store = RootStore::new("nss");
+        store.add_trusted(a.root.clone()).unwrap();
+        let (mut publisher, mut subscriber) = setup(&store);
+
+        store.add_trusted(b.root.clone()).unwrap();
+        publisher.publish(&store, 10).unwrap();
+        publisher.publish_snapshot(15).unwrap();
+        publisher.prune();
+        store.distrust(a.root.fingerprint(), "x");
+        publisher.publish(&store, 20).unwrap();
+
+        // Subscriber at 0 must bootstrap from the snapshot then apply the
+        // newer delta.
+        let report = subscriber.sync(&mut publisher).unwrap();
+        assert!(report.snapshot_applied);
+        assert_eq!(report.deltas_applied, 1);
+        assert_eq!(report.sequence, 3);
+        assert_eq!(
+            subscriber.store().status(&a.root.fingerprint()),
+            TrustStatus::Distrusted
+        );
+    }
+
+    #[test]
+    fn forged_message_rejected_without_state_change() {
+        let a = simple_chain("feed-forge.example");
+        let mut store = RootStore::new("nss");
+        store.add_trusted(a.root.clone()).unwrap();
+        let (mut publisher, _) = setup(&store);
+
+        // Subscriber trusting a different coordinator.
+        let other_coord = CoordinatorKey::from_seed([7; 32], 4).unwrap();
+        let mut victim = FeedSubscriber::new(
+            "victim",
+            FeedTrust {
+                coordinator: other_coord.public(),
+            },
+        );
+        let err = victim.sync(&mut publisher);
+        assert!(matches!(err, Err(RsfError::BadSignature(_))));
+        assert_eq!(victim.sequence(), 0);
+        assert!(victim.store().is_empty());
+    }
+
+    #[test]
+    fn bandwidth_reported() {
+        let a = simple_chain("feed-bw.example");
+        let mut store = RootStore::new("nss");
+        store.add_trusted(a.root.clone()).unwrap();
+        let (mut publisher, mut subscriber) = setup(&store);
+        let report = subscriber.sync(&mut publisher).unwrap();
+        assert!(report.bytes_transferred > 1000); // snapshot with one root + sigs
+    }
+}

@@ -1,0 +1,230 @@
+//! A deterministic, length-prefixed binary encoding for feed artifacts.
+//!
+//! Feed messages are signed, so their byte encoding must be canonical:
+//! same logical content ⇒ same bytes. The encoding is little-endian with
+//! `u32` length prefixes on all variable-size fields; composite types
+//! define a fixed field order and sort their collections (by fingerprint)
+//! before encoding.
+
+use crate::RsfError;
+
+/// An append-only byte writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Start an empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Finish, returning the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append a `u8`.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an `i64`.
+    pub fn put_i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append length-prefixed bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.put_bytes(v.as_bytes())
+    }
+
+    /// Append an `Option<i64>` as a presence byte + value.
+    pub fn put_opt_i64(&mut self, v: Option<i64>) -> &mut Self {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_i64(x)
+            }
+            None => self.put_u8(0),
+        }
+    }
+}
+
+/// A bounds-checked reader over a byte slice.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+/// Upper bound on any single length field (defense against hostile
+/// feeds allocating unbounded memory).
+pub const MAX_FIELD: u32 = 64 * 1024 * 1024;
+
+impl<'a> Reader<'a> {
+    /// Read from `data`.
+    pub fn new(data: &'a [u8]) -> Reader<'a> {
+        Reader { data, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Error unless the input is fully consumed.
+    pub fn expect_end(&self) -> Result<(), RsfError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(RsfError::Wire("trailing bytes"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RsfError> {
+        if self.remaining() < n {
+            return Err(RsfError::Wire("truncated"));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, RsfError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, RsfError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, RsfError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Read an `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, RsfError> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Read length-prefixed bytes.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], RsfError> {
+        let len = self.get_u32()?;
+        if len > MAX_FIELD {
+            return Err(RsfError::Wire("field too large"));
+        }
+        self.take(len as usize)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, RsfError> {
+        std::str::from_utf8(self.get_bytes()?).map_err(|_| RsfError::Wire("invalid utf-8"))
+    }
+
+    /// Read an `Option<i64>`.
+    pub fn get_opt_i64(&mut self) -> Result<Option<i64>, RsfError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_i64()?)),
+            _ => Err(RsfError::Wire("bad option tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = Writer::new();
+        w.put_u8(7)
+            .put_u32(0xdead_beef)
+            .put_u64(u64::MAX)
+            .put_i64(-42)
+            .put_bytes(b"hello")
+            .put_str("wörld")
+            .put_opt_i64(Some(5))
+            .put_opt_i64(None);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_str().unwrap(), "wörld");
+        assert_eq!(r.get_opt_i64().unwrap(), Some(5));
+        assert_eq!(r.get_opt_i64().unwrap(), None);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.put_bytes(b"data");
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(r.get_bytes().is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.put_u8(1).put_u8(2);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        r.get_u8().unwrap();
+        assert!(r.expect_end().is_err());
+        r.get_u8().unwrap();
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn oversized_field_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FIELD + 1).to_le_bytes());
+        bytes.extend_from_slice(&[0; 16]);
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.get_bytes(),
+            Err(RsfError::Wire("field too large"))
+        ));
+    }
+
+    #[test]
+    fn bad_option_tag() {
+        let mut r = Reader::new(&[2]);
+        assert!(r.get_opt_i64().is_err());
+    }
+}

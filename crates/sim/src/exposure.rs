@@ -1,0 +1,183 @@
+//! Ecosystem exposure: combine per-derivative propagation windows with a
+//! client-population mix into "what fraction of clients still accept the
+//! attack chain N days after the incident?" — the aggregate stake of the
+//! paper's §4 argument.
+
+use crate::lag::{DerivativeOutcome, LagConfig, LagOutcome};
+
+/// A client-population mix: derivative name → share of clients (shares
+/// should sum to ~1.0).
+pub type PopulationMix = Vec<(String, f64)>;
+
+/// A rough client mix over the derivative profiles of
+/// [`crate::lag::ma_et_al_profiles`]: mobile dominates, manually-mirrored
+/// server distributions follow, a small slice subscribes to feeds.
+pub fn default_population() -> PopulationMix {
+    vec![
+        ("android".into(), 0.40),
+        ("debian".into(), 0.12),
+        ("ubuntu".into(), 0.13),
+        ("amazon-linux".into(), 0.10),
+        ("alpine".into(), 0.05),
+        ("nodejs".into(), 0.10),
+        ("rsf-hourly".into(), 0.08),
+        ("rsf-daily".into(), 0.02),
+    ]
+}
+
+/// One point of the exposure curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExposurePoint {
+    /// Days since the distrust event.
+    pub days_after_incident: u32,
+    /// Fraction of clients still accepting the attack chain.
+    pub exposed_share: f64,
+}
+
+/// Compute the exposure curve from a lag simulation's windows.
+///
+/// A derivative's clients are exposed for exactly its vulnerability
+/// window (windows are contiguous from the event — the store flips once),
+/// so the curve is the population-weighted survival function of the
+/// window distribution.
+pub fn exposure_curve(
+    outcome: &LagOutcome,
+    population: &PopulationMix,
+    config: &LagConfig,
+    sample_days: &[u32],
+) -> Vec<ExposurePoint> {
+    let window_of = |name: &str| -> Option<f64> {
+        outcome
+            .per_derivative
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| d.vulnerability_window_days)
+    };
+    let horizon_after = config.horizon_days.saturating_sub(config.distrust_day);
+    sample_days
+        .iter()
+        .filter(|&&d| d <= horizon_after)
+        .map(|&d| {
+            let exposed: f64 = population
+                .iter()
+                .filter_map(|(name, share)| {
+                    window_of(name).map(|w| if (d as f64) < w { *share } else { 0.0 })
+                })
+                .sum();
+            ExposurePoint {
+                days_after_incident: d,
+                exposed_share: exposed,
+            }
+        })
+        .collect()
+}
+
+/// Population-weighted mean vulnerability window, in days.
+pub fn mean_window(outcome: &LagOutcome, population: &PopulationMix) -> f64 {
+    let mut total_share = 0.0;
+    let mut acc = 0.0;
+    for (name, share) in population {
+        if let Some(d) = outcome.per_derivative.iter().find(|d| &d.name == name) {
+            acc += share * d.vulnerability_window_days;
+            total_share += share;
+        }
+    }
+    if total_share > 0.0 {
+        acc / total_share
+    } else {
+        0.0
+    }
+}
+
+/// Replace every manual derivative's policy outcome with the RSF-hourly
+/// one (the counterfactual "everyone subscribes" world of the paper's
+/// proposal). Panics if no `rsf-hourly` row exists.
+pub fn counterfactual_all_rsf(outcome: &LagOutcome) -> LagOutcome {
+    let rsf = outcome
+        .per_derivative
+        .iter()
+        .find(|d| d.name == "rsf-hourly")
+        .expect("rsf-hourly row present")
+        .clone();
+    LagOutcome {
+        per_derivative: outcome
+            .per_derivative
+            .iter()
+            .map(|d| DerivativeOutcome {
+                name: d.name.clone(),
+                vulnerability_window_days: rsf.vulnerability_window_days,
+                incompatibility_window_days: rsf.incompatibility_window_days,
+                feed_bytes: rsf.feed_bytes,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lag::{DerivativeProfile, UpdatePolicy};
+
+    fn outcome() -> (LagOutcome, LagConfig) {
+        let config = LagConfig {
+            horizon_days: 100,
+            distrust_day: 10,
+            addition_day: 10,
+            derivatives: vec![
+                DerivativeProfile {
+                    name: "slow".into(),
+                    policy: UpdatePolicy::Manual { lag_days: 50 },
+                },
+                DerivativeProfile {
+                    name: "fast".into(),
+                    policy: UpdatePolicy::Manual { lag_days: 5 },
+                },
+                DerivativeProfile {
+                    name: "rsf-hourly".into(),
+                    policy: UpdatePolicy::Rsf {
+                        poll_interval_hours: 1,
+                    },
+                },
+            ],
+        };
+        (crate::lag::run_lag_simulation(&config), config)
+    }
+
+    #[test]
+    fn curve_decreases_as_windows_elapse() {
+        let (outcome, config) = outcome();
+        let pop: PopulationMix = vec![
+            ("slow".into(), 0.5),
+            ("fast".into(), 0.3),
+            ("rsf-hourly".into(), 0.2),
+        ];
+        let curve = exposure_curve(&outcome, &pop, &config, &[0, 1, 6, 60]);
+        // Day 0: everyone with a nonzero window is exposed (rsf window is
+        // sub-day but >0 at day 0 only if window > 0; hourly window ≈
+        // 0.014 days > 0).
+        assert!(curve[0].exposed_share >= 0.8, "{curve:?}");
+        // Day 1: only manual derivatives remain exposed.
+        assert!((curve[1].exposed_share - 0.8).abs() < 1e-9, "{curve:?}");
+        // Day 6: fast (5-day lag) has recovered.
+        assert!((curve[2].exposed_share - 0.5).abs() < 1e-9, "{curve:?}");
+        // Day 60: everyone recovered.
+        assert_eq!(curve[3].exposed_share, 0.0);
+    }
+
+    #[test]
+    fn mean_window_weighted() {
+        let (outcome, _) = outcome();
+        let pop: PopulationMix = vec![("slow".into(), 0.5), ("fast".into(), 0.5)];
+        let mean = mean_window(&outcome, &pop);
+        assert!((mean - 27.5).abs() < 0.01, "{mean}");
+    }
+
+    #[test]
+    fn counterfactual_zeroes_windows() {
+        let (outcome, _) = outcome();
+        let cf = counterfactual_all_rsf(&outcome);
+        for d in &cf.per_derivative {
+            assert!(d.vulnerability_window_days < 0.1, "{d:?}");
+        }
+    }
+}

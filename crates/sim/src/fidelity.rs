@@ -1,0 +1,104 @@
+//! Partial-distrust fidelity (E4): the Debian dilemma, quantified over a
+//! population of Symantec-era chains.
+
+use nrslb_incidents::catalog::symantec;
+use nrslb_incidents::matrix::{evaluate_scenario, DerivativeStrategy, ScenarioStats};
+
+/// Population sizing for the fidelity experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct FidelityConfig {
+    /// Legitimate leaves issued before the 2016-06-01 cutoff.
+    pub n_old_leaves: usize,
+    /// Legitimate post-cutoff leaves via the exempt (Apple) intermediate.
+    pub n_exempt_leaves: usize,
+    /// Post-cutoff leaves via ordinary intermediates (what the primary
+    /// rejects — treated as the attack/mis-issuance class).
+    pub n_new_leaves: usize,
+}
+
+impl Default for FidelityConfig {
+    fn default() -> Self {
+        FidelityConfig {
+            n_old_leaves: 120,
+            n_exempt_leaves: 40,
+            n_new_leaves: 80,
+        }
+    }
+}
+
+/// Results for one strategy.
+#[derive(Clone, Debug)]
+pub struct StrategyOutcome {
+    /// The strategy.
+    pub strategy: DerivativeStrategy,
+    /// Raw counts.
+    pub stats: ScenarioStats,
+    /// Fraction of legitimate chains wrongly rejected (DoS rate).
+    pub wrongly_rejected: f64,
+    /// Fraction of attack chains wrongly accepted (vulnerability rate).
+    pub wrongly_accepted: f64,
+}
+
+/// Results across all three strategies.
+#[derive(Clone, Debug)]
+pub struct FidelityOutcome {
+    /// Configuration used.
+    pub config: FidelityConfig,
+    /// One row per strategy.
+    pub per_strategy: Vec<StrategyOutcome>,
+}
+
+/// Run the experiment.
+pub fn run_fidelity(config: FidelityConfig) -> FidelityOutcome {
+    let scenario = symantec::scenario_sized(
+        config.n_old_leaves,
+        config.n_exempt_leaves,
+        config.n_new_leaves,
+    );
+    let mut per_strategy = Vec::new();
+    for strategy in [
+        DerivativeStrategy::BinaryKeep,
+        DerivativeStrategy::BinaryRemove,
+        DerivativeStrategy::Gcc,
+    ] {
+        let stats = evaluate_scenario(&scenario, strategy);
+        per_strategy.push(StrategyOutcome {
+            strategy,
+            stats,
+            wrongly_rejected: 1.0
+                - stats.legitimate_accepted as f64 / stats.legitimate_total.max(1) as f64,
+            wrongly_accepted: stats.attacks_accepted as f64 / stats.attacks_total.max(1) as f64,
+        });
+    }
+    FidelityOutcome {
+        config,
+        per_strategy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fidelity_shape_matches_paper_argument() {
+        let out = run_fidelity(FidelityConfig {
+            n_old_leaves: 20,
+            n_exempt_leaves: 8,
+            n_new_leaves: 12,
+        });
+        let keep = &out.per_strategy[0];
+        let remove = &out.per_strategy[1];
+        let gcc = &out.per_strategy[2];
+
+        // Binary keep: fully vulnerable, no DoS.
+        assert_eq!(keep.wrongly_accepted, 1.0);
+        assert_eq!(keep.wrongly_rejected, 0.0);
+        // Binary remove: no vulnerability, full DoS.
+        assert_eq!(remove.wrongly_accepted, 0.0);
+        assert_eq!(remove.wrongly_rejected, 1.0);
+        // GCC: matches the primary exactly.
+        assert_eq!(gcc.wrongly_accepted, 0.0);
+        assert_eq!(gcc.wrongly_rejected, 0.0);
+    }
+}

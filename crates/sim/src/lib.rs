@@ -1,0 +1,36 @@
+//! # `nrslb-sim` — ecosystem simulation: lag windows and distrust fidelity
+//!
+//! Two simulations quantify the paper's motivating problems:
+//!
+//! * [`lag`] — the **staleness** experiment (E5, paper §4): a primary
+//!   store evolves over a simulated year (a root distrust with a GCC, a
+//!   root addition); derivative stores track it either by *manual
+//!   mirroring with lag* (parameterised with the Ma et al. staleness
+//!   figures the paper quotes) or by *RSF polling*. The simulation
+//!   measures each derivative's **vulnerability window** (days its
+//!   clients still accept the distrusted root's post-incident chains) and
+//!   **incompatibility window** (days its clients reject the newly added
+//!   root's chains).
+//! * [`exposure`] — population-weighted **ecosystem exposure**: how many
+//!   clients remain attackable N days after an incident, under today's
+//!   mix vs the all-RSF counterfactual (E11).
+//! * [`fidelity`] — the **partial-distrust fidelity** experiment (E4,
+//!   paper §2.3): over a sized Symantec population, compare the three
+//!   derivative strategies (keep / remove / GCC) and report mis-accepted
+//!   and wrongly-rejected fractions — the Debian dilemma, quantified.
+
+#![warn(missing_docs)]
+
+pub mod exposure;
+pub mod fidelity;
+pub mod lag;
+
+pub use exposure::{
+    counterfactual_all_rsf, default_population, exposure_curve, mean_window, ExposurePoint,
+    PopulationMix,
+};
+pub use fidelity::{run_fidelity, FidelityConfig, FidelityOutcome, StrategyOutcome};
+pub use lag::{
+    ma_et_al_profiles, run_lag_simulation, DerivativeOutcome, DerivativeProfile, LagConfig,
+    LagOutcome, UpdatePolicy,
+};

@@ -1,0 +1,153 @@
+//! The client (user-agent) side: where the paper's validation hook
+//! actually runs.
+
+use crate::message::{ClientHello, Finished, ServerFlight};
+use crate::transcript::{
+    certificate_verify_payload, finished_mac, flight_transcript, master_secret,
+};
+use crate::{Session, TlsError};
+use nrslb_core::{ValidationMode, Validator};
+use nrslb_revocation::RevocationChecker;
+use nrslb_rootstore::RootStore;
+use std::sync::Arc;
+
+/// The revocation-checker handle threaded into the validator.
+pub type RevocationArc = Arc<dyn RevocationChecker>;
+
+/// Client configuration: the root store, the GCC deployment mode, the
+/// validation time and optional revocation.
+pub struct ClientConfig {
+    store: RootStore,
+    mode: ValidationMode,
+    now: i64,
+    revocation: Option<RevocationArc>,
+}
+
+impl ClientConfig {
+    /// Configure a client.
+    pub fn new(store: RootStore, mode: ValidationMode, now: i64) -> ClientConfig {
+        ClientConfig {
+            store,
+            mode,
+            now,
+            revocation: None,
+        }
+    }
+
+    /// Attach a revocation checker.
+    pub fn with_revocation(mut self, checker: RevocationArc) -> ClientConfig {
+        self.revocation = Some(checker);
+        self
+    }
+
+    fn validator(&self) -> Validator {
+        let v = Validator::new(self.store.clone(), self.mode.clone());
+        match &self.revocation {
+            Some(r) => v.with_revocation(r.clone()),
+            None => v,
+        }
+    }
+}
+
+enum State {
+    Start,
+    AwaitFlight(ClientHello),
+    Connected(Session),
+    Failed,
+}
+
+/// The client endpoint.
+pub struct Client {
+    config: ClientConfig,
+    hostname: String,
+    client_random: [u8; 32],
+    state: State,
+}
+
+impl Client {
+    /// A client intending to reach `hostname`. `client_random` is
+    /// caller-provided (sans-IO).
+    pub fn new(config: ClientConfig, hostname: &str, client_random: [u8; 32]) -> Client {
+        Client {
+            config,
+            hostname: hostname.to_string(),
+            client_random,
+            state: State::Start,
+        }
+    }
+
+    /// Produce the `ClientHello`.
+    pub fn start(&mut self) -> ClientHello {
+        let hello = ClientHello {
+            client_random: self.client_random,
+            server_name: self.hostname.clone(),
+        };
+        self.state = State::AwaitFlight(hello.clone());
+        hello
+    }
+
+    /// Process the server's flight: **this is where the paper's
+    /// machinery runs** — chain building, standard checks, systematic
+    /// store constraints, revocation and every GCC attached to the
+    /// candidate root.
+    pub fn process_server_flight(&mut self, flight: &ServerFlight) -> Result<Finished, TlsError> {
+        let State::AwaitFlight(hello) = &self.state else {
+            return Err(TlsError::Protocol("flight before ClientHello"));
+        };
+        let hello = hello.clone();
+        let fail = |s: &mut State, e: TlsError| {
+            *s = State::Failed;
+            Err(e)
+        };
+        let Some(leaf) = flight.chain.first() else {
+            return fail(&mut self.state, TlsError::Protocol("empty chain"));
+        };
+
+        // Certificate validation with the GCC hook (§3.1).
+        let validator = self.config.validator();
+        let outcome = validator
+            .validate_for_host(leaf, &flight.chain[1..], &self.hostname, self.config.now)
+            .map_err(|e| TlsError::Validator(e.to_string()))?;
+        let Some(accepted) = outcome.accepted_chain else {
+            let why = outcome
+                .final_reason()
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "no reason recorded".into());
+            return fail(&mut self.state, TlsError::CertificateRejected(why));
+        };
+
+        // Proof of key possession over the transcript.
+        let transcript = flight_transcript(&hello, flight);
+        let payload = certificate_verify_payload(&transcript);
+        if nrslb_crypto::hbs::verify(
+            &accepted.chain[0].public_key(),
+            &payload,
+            &flight.certificate_verify,
+        )
+        .is_err()
+        {
+            return fail(&mut self.state, TlsError::BadCertificateVerify);
+        }
+
+        // Key schedule + server Finished.
+        let session = master_secret(&hello, &flight.server_random, &transcript);
+        let expected = finished_mac(&session, b"server finished", &transcript);
+        if expected != flight.finished.verify_data {
+            return fail(&mut self.state, TlsError::BadFinished);
+        }
+
+        let client_finished = Finished {
+            verify_data: finished_mac(&session, b"client finished", &transcript),
+        };
+        self.state = State::Connected(session);
+        Ok(client_finished)
+    }
+
+    /// The established session, if the handshake completed.
+    pub fn session(&self) -> Option<Session> {
+        match self.state {
+            State::Connected(s) => Some(s),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! # `nrslb-tls` — a TLS-shaped handshake driving GCC-aware validation
+//!
+//! The paper's mechanisms live inside *TLS user-agents*: "Before
+//! finalizing a TLS connection to a given server, user-agents validate
+//! the server's X.509 certificate chain" (§1), and §3.1's deployment
+//! options are all about where, during that validation, GCCs execute.
+//! This crate makes the user-agent concrete: a sans-IO handshake state
+//! machine (in the smoltcp tradition — the caller owns the transport and
+//! the clock) whose certificate step is `nrslb-core`'s validator, in any
+//! of the three deployment modes, with optional revocation checking.
+//!
+//! ## The handshake
+//!
+//! A deliberately TLS-1.3-shaped *authentication* protocol — this is a
+//! policy reproduction, not a confidentiality layer, so there is no
+//! record encryption (see DESIGN.md §2):
+//!
+//! ```text
+//! C -> S   ClientHello        { client_random, server_name }
+//! S -> C   ServerHello        { server_random }
+//! S -> C   CertificateMsg     { chain (DER, leaf first) }
+//! S -> C   CertificateVerify  { hash-based signature over the transcript }
+//! S -> C   Finished           { HMAC(master_secret, transcript) }
+//! C -> S   Finished           { HMAC(master_secret, transcript) }
+//! ```
+//!
+//! The client accepts iff the chain validates for the requested
+//! hostname (expiry, signatures, constraints, systematic store policy,
+//! revocation **and all GCCs attached to the candidate root**), the
+//! `CertificateVerify` signature proves possession of the leaf key over
+//! the session transcript, and both `Finished` MACs bind the transcript.
+//!
+//! ```
+//! use nrslb_core::ValidationMode;
+//! use nrslb_rootstore::RootStore;
+//! use nrslb_tls::{Client, ClientConfig, Server, ServerIdentity};
+//! use nrslb_x509::builder::CaKey;
+//!
+//! let ca = CaKey::generate_for_tests("Handshake Root", 0x99);
+//! let (identity, root) = ServerIdentity::issue_under_test_root("site.example", &ca);
+//! let mut store = RootStore::new("client");
+//! store.add_trusted(root).unwrap();
+//!
+//! let mut server = Server::new(identity);
+//! let mut client = Client::new(
+//!     ClientConfig::new(store, ValidationMode::UserAgent, 1_000),
+//!     "site.example",
+//!     [7u8; 32],
+//! );
+//! let hello = client.start();
+//! let flight = server.respond(&hello, [9u8; 32]).unwrap();
+//! let finished = client.process_server_flight(&flight).unwrap();
+//! server.finish(&finished).unwrap();
+//! assert_eq!(client.session().unwrap(), server.session().unwrap());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod message;
+pub mod server;
+#[cfg(test)]
+mod tests;
+pub mod transcript;
+
+pub use client::{Client, ClientConfig};
+pub use message::{ClientHello, Finished, Message, ServerFlight};
+pub use server::{Server, ServerIdentity};
+
+use std::fmt;
+
+/// Handshake failure reasons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlsError {
+    /// The presented chain failed certificate validation.
+    CertificateRejected(String),
+    /// The `CertificateVerify` signature did not verify under the leaf key.
+    BadCertificateVerify,
+    /// A `Finished` MAC did not match the transcript.
+    BadFinished,
+    /// A message arrived out of order or malformed.
+    Protocol(&'static str),
+    /// The validator itself failed (engine error, daemon down...).
+    Validator(String),
+    /// The server's signing key is exhausted (stateful hash-based keys).
+    KeyExhausted,
+}
+
+impl fmt::Display for TlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TlsError::CertificateRejected(why) => write!(f, "certificate rejected: {why}"),
+            TlsError::BadCertificateVerify => write!(f, "CertificateVerify failed"),
+            TlsError::BadFinished => write!(f, "Finished MAC mismatch"),
+            TlsError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            TlsError::Validator(why) => write!(f, "validator error: {why}"),
+            TlsError::KeyExhausted => write!(f, "server signing key exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for TlsError {}
+
+/// The established session: both sides derive the same value on success.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Session {
+    /// `SHA-256("nrslb-master" || client_random || server_random || transcript)`.
+    pub master_secret: nrslb_crypto::Digest,
+}

@@ -1,0 +1,218 @@
+//! Handshake messages and their byte encodings.
+//!
+//! Encodings exist so tests can exercise tampering at the byte level;
+//! the in-memory structs are what the state machines exchange.
+
+use crate::TlsError;
+use nrslb_crypto::hbs::Signature;
+use nrslb_x509::Certificate;
+
+/// `ClientHello`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClientHello {
+    /// Client nonce.
+    pub client_random: [u8; 32],
+    /// Requested server name (SNI).
+    pub server_name: String,
+}
+
+/// `Finished` (either direction).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finished {
+    /// `HMAC(master_secret, label || transcript_hash)`.
+    pub verify_data: [u8; 32],
+}
+
+/// The server's single flight: hello, certificate chain, proof of key
+/// possession, and its `Finished`.
+#[derive(Clone, Debug)]
+pub struct ServerFlight {
+    /// Server nonce.
+    pub server_random: [u8; 32],
+    /// The certificate chain, leaf first.
+    pub chain: Vec<Certificate>,
+    /// Hash-based signature over the transcript through the certificate
+    /// message.
+    pub certificate_verify: Signature,
+    /// Server `Finished`.
+    pub finished: Finished,
+}
+
+/// Any handshake message (for byte-level encode/decode in tests and
+/// transports).
+#[derive(Clone, Debug)]
+pub enum Message {
+    /// Client hello.
+    ClientHello(ClientHello),
+    /// Server flight.
+    ServerFlight(Box<ServerFlight>),
+    /// Client finished.
+    ClientFinished(Finished),
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn get_bytes<'a>(input: &mut &'a [u8]) -> Result<&'a [u8], TlsError> {
+    if input.len() < 4 {
+        return Err(TlsError::Protocol("truncated length"));
+    }
+    let len = u32::from_le_bytes(input[..4].try_into().unwrap()) as usize;
+    if len > 1 << 24 || input.len() < 4 + len {
+        return Err(TlsError::Protocol("truncated body"));
+    }
+    let out = &input[4..4 + len];
+    *input = &input[4 + len..];
+    Ok(out)
+}
+
+fn get_array<const N: usize>(input: &mut &[u8]) -> Result<[u8; N], TlsError> {
+    if input.len() < N {
+        return Err(TlsError::Protocol("truncated array"));
+    }
+    let mut out = [0u8; N];
+    out.copy_from_slice(&input[..N]);
+    *input = &input[N..];
+    Ok(out)
+}
+
+impl Message {
+    /// Serialize to bytes (length-prefixed fields, 1-byte tag).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::ClientHello(ch) => {
+                out.push(1);
+                out.extend_from_slice(&ch.client_random);
+                put_bytes(&mut out, ch.server_name.as_bytes());
+            }
+            Message::ServerFlight(f) => {
+                out.push(2);
+                out.extend_from_slice(&f.server_random);
+                out.extend_from_slice(&(f.chain.len() as u32).to_le_bytes());
+                for cert in &f.chain {
+                    put_bytes(&mut out, cert.to_der());
+                }
+                put_bytes(&mut out, &f.certificate_verify.to_bytes());
+                out.extend_from_slice(&f.finished.verify_data);
+            }
+            Message::ClientFinished(fin) => {
+                out.push(3);
+                out.extend_from_slice(&fin.verify_data);
+            }
+        }
+        out
+    }
+
+    /// Parse from the output of [`Message::to_bytes`].
+    pub fn from_bytes(mut input: &[u8]) -> Result<Message, TlsError> {
+        let input = &mut input;
+        let tag = get_array::<1>(input)?[0];
+        let msg = match tag {
+            1 => {
+                let client_random = get_array::<32>(input)?;
+                let name = get_bytes(input)?;
+                let server_name = std::str::from_utf8(name)
+                    .map_err(|_| TlsError::Protocol("non-utf8 server name"))?
+                    .to_string();
+                Message::ClientHello(ClientHello {
+                    client_random,
+                    server_name,
+                })
+            }
+            2 => {
+                let server_random = get_array::<32>(input)?;
+                let n = u32::from_le_bytes(get_array::<4>(input)?) as usize;
+                if n > 64 {
+                    return Err(TlsError::Protocol("chain too long"));
+                }
+                let mut chain = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let der = get_bytes(input)?;
+                    chain.push(
+                        Certificate::from_der(der)
+                            .map_err(|_| TlsError::Protocol("bad certificate DER"))?,
+                    );
+                }
+                let sig_bytes = get_bytes(input)?;
+                let certificate_verify = nrslb_crypto::hbs::Signature::from_bytes(sig_bytes)
+                    .map_err(|_| TlsError::Protocol("bad signature encoding"))?;
+                let verify_data = get_array::<32>(input)?;
+                Message::ServerFlight(Box::new(ServerFlight {
+                    server_random,
+                    chain,
+                    certificate_verify,
+                    finished: Finished { verify_data },
+                }))
+            }
+            3 => Message::ClientFinished(Finished {
+                verify_data: get_array::<32>(input)?,
+            }),
+            _ => return Err(TlsError::Protocol("unknown message tag")),
+        };
+        if !input.is_empty() {
+            return Err(TlsError::Protocol("trailing bytes"));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrslb_x509::testutil::simple_chain;
+
+    #[test]
+    fn client_hello_roundtrip() {
+        let ch = ClientHello {
+            client_random: [7; 32],
+            server_name: "example.com".into(),
+        };
+        let bytes = Message::ClientHello(ch.clone()).to_bytes();
+        match Message::from_bytes(&bytes).unwrap() {
+            Message::ClientHello(back) => assert_eq!(back, ch),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_flight_roundtrip() {
+        let pki = simple_chain("flight.example");
+        let mut kp = nrslb_crypto::Keypair::from_seed([1; 32], 2).unwrap();
+        let sig = kp.sign(b"transcript").unwrap();
+        let flight = ServerFlight {
+            server_random: [9; 32],
+            chain: vec![pki.leaf.clone(), pki.intermediate.clone(), pki.root.clone()],
+            certificate_verify: sig,
+            finished: Finished {
+                verify_data: [3; 32],
+            },
+        };
+        let bytes = Message::ServerFlight(Box::new(flight.clone())).to_bytes();
+        match Message::from_bytes(&bytes).unwrap() {
+            Message::ServerFlight(back) => {
+                assert_eq!(back.server_random, flight.server_random);
+                assert_eq!(back.chain, flight.chain);
+                assert_eq!(back.certificate_verify, flight.certificate_verify);
+                assert_eq!(back.finished, flight.finished);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Message::from_bytes(&[]).is_err());
+        assert!(Message::from_bytes(&[9]).is_err());
+        let mut bytes = Message::ClientFinished(Finished {
+            verify_data: [0; 32],
+        })
+        .to_bytes();
+        bytes.push(0); // trailing
+        assert!(Message::from_bytes(&bytes).is_err());
+        bytes.truncate(10); // truncated
+        assert!(Message::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! The server side: an identity (chain + leaf signing key) and the
+//! single-flight responder.
+
+use crate::message::{ClientHello, Finished, ServerFlight};
+use crate::transcript::{
+    certificate_transcript, certificate_verify_payload, finished_mac, master_secret,
+};
+use crate::{Session, TlsError};
+use nrslb_crypto::hbs::Keypair;
+use nrslb_x509::builder::{CaKey, CertificateBuilder};
+use nrslb_x509::extensions::{ExtendedKeyUsage, KeyUsage};
+use nrslb_x509::{Certificate, DistinguishedName};
+use std::sync::Mutex;
+
+/// A server identity: its chain (leaf first, **excluding** the root —
+/// servers send intermediates, clients hold roots) plus the leaf's
+/// private key.
+pub struct ServerIdentity {
+    chain: Vec<Certificate>,
+    key: Mutex<Keypair>,
+}
+
+impl ServerIdentity {
+    /// Wrap an existing chain and leaf key.
+    pub fn new(chain: Vec<Certificate>, key: Keypair) -> ServerIdentity {
+        ServerIdentity {
+            chain,
+            key: Mutex::new(key),
+        }
+    }
+
+    /// Issue a fresh identity for `hostname` directly under a test root
+    /// CA; returns the identity and the root certificate to trust.
+    ///
+    /// The leaf key supports 2^10 handshakes (hash-based keys are
+    /// stateful; every `CertificateVerify` consumes a one-time leaf).
+    pub fn issue_under_test_root(hostname: &str, ca: &CaKey) -> (ServerIdentity, Certificate) {
+        let root = CertificateBuilder::new()
+            .validity_window(0, 4_000_000_000)
+            .ca(None)
+            .key_usage(KeyUsage::KEY_CERT_SIGN)
+            .build_self_signed(ca)
+            .expect("root construction");
+        let mut seed = *nrslb_crypto::sha256(hostname.as_bytes()).as_bytes();
+        seed[0] ^= 0x5a;
+        let leaf_key = Keypair::from_seed(seed, 10).expect("leaf key");
+        let leaf = CertificateBuilder::new()
+            .subject(DistinguishedName::common_name(hostname))
+            .dns_names(&[hostname])
+            .subject_key(leaf_key.public())
+            .validity_window(0, 4_000_000_000)
+            .key_usage(KeyUsage::DIGITAL_SIGNATURE)
+            .extended_key_usage(ExtendedKeyUsage::server_auth())
+            .build_signed_by(ca)
+            .expect("leaf construction");
+        (ServerIdentity::new(vec![leaf], leaf_key), root)
+    }
+
+    /// The chain this identity presents (leaf first).
+    pub fn chain(&self) -> &[Certificate] {
+        &self.chain
+    }
+}
+
+/// Server handshake state.
+enum State {
+    AwaitHello,
+    AwaitFinished {
+        session: Session,
+        transcript: nrslb_crypto::Digest,
+    },
+    Connected(Session),
+    Failed,
+}
+
+/// The server endpoint.
+pub struct Server {
+    identity: ServerIdentity,
+    state: State,
+}
+
+impl Server {
+    /// A server ready for one handshake (re-usable after completion).
+    pub fn new(identity: ServerIdentity) -> Server {
+        Server {
+            identity,
+            state: State::AwaitHello,
+        }
+    }
+
+    /// Respond to a `ClientHello` with the full server flight.
+    /// `server_random` is caller-provided (sans-IO: no ambient RNG).
+    pub fn respond(
+        &mut self,
+        hello: &ClientHello,
+        server_random: [u8; 32],
+    ) -> Result<ServerFlight, TlsError> {
+        let ders: Vec<Vec<u8>> = self
+            .identity
+            .chain
+            .iter()
+            .map(|c| c.to_der().to_vec())
+            .collect();
+        let transcript = certificate_transcript(hello, &server_random, &ders);
+        let signature = self
+            .identity
+            .key
+            .lock()
+            .unwrap()
+            .sign(&certificate_verify_payload(&transcript))
+            .map_err(|_| TlsError::KeyExhausted)?;
+        let session = master_secret(hello, &server_random, &transcript);
+        let finished = Finished {
+            verify_data: finished_mac(&session, b"server finished", &transcript),
+        };
+        self.state = State::AwaitFinished {
+            session,
+            transcript,
+        };
+        Ok(ServerFlight {
+            server_random,
+            chain: self.identity.chain.clone(),
+            certificate_verify: signature,
+            finished,
+        })
+    }
+
+    /// Consume the client's `Finished`; on success the session is
+    /// established.
+    pub fn finish(&mut self, client_finished: &Finished) -> Result<Session, TlsError> {
+        let State::AwaitFinished {
+            session,
+            transcript,
+        } = &self.state
+        else {
+            return Err(TlsError::Protocol("Finished before ClientHello"));
+        };
+        let expected = finished_mac(session, b"client finished", transcript);
+        if expected != client_finished.verify_data {
+            self.state = State::Failed;
+            return Err(TlsError::BadFinished);
+        }
+        let session = *session;
+        self.state = State::Connected(session);
+        Ok(session)
+    }
+
+    /// The established session, if the handshake completed.
+    pub fn session(&self) -> Option<Session> {
+        match self.state {
+            State::Connected(s) => Some(s),
+            _ => None,
+        }
+    }
+}

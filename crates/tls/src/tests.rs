@@ -1,0 +1,241 @@
+//! Handshake tests: success paths, every tamper point, and the paper's
+//! policy mechanisms biting at the TLS layer.
+
+use crate::message::Message;
+use crate::{Client, ClientConfig, Server, ServerIdentity, TlsError};
+use nrslb_core::{ValidationMode, Validator};
+use nrslb_rootstore::{Gcc, GccMetadata, RootStore};
+use nrslb_x509::builder::CaKey;
+
+fn setup(hostname: &str, tag: u8) -> (Server, RootStore) {
+    let ca = CaKey::generate_for_tests(&format!("TLS Root {tag}"), tag);
+    let (identity, root) = ServerIdentity::issue_under_test_root(hostname, &ca);
+    let mut store = RootStore::new("client");
+    store.add_trusted(root).unwrap();
+    (Server::new(identity), store)
+}
+
+fn mk_client(store: RootStore, hostname: &str) -> Client {
+    Client::new(
+        ClientConfig::new(store, ValidationMode::UserAgent, 1_000),
+        hostname,
+        [0x11; 32],
+    )
+}
+
+#[test]
+fn successful_handshake_agrees_on_session() {
+    let (mut server, store) = setup("ok.example", 0xa0);
+    let mut client = mk_client(store, "ok.example");
+    let hello = client.start();
+    let flight = server.respond(&hello, [0x22; 32]).unwrap();
+    let finished = client.process_server_flight(&flight).unwrap();
+    let server_session = server.finish(&finished).unwrap();
+    assert_eq!(client.session().unwrap(), server_session);
+}
+
+#[test]
+fn hostname_mismatch_rejected() {
+    let (mut server, store) = setup("real.example", 0xa1);
+    let mut client = mk_client(store, "other.example");
+    let hello = client.start();
+    let flight = server.respond(&hello, [0x22; 32]).unwrap();
+    let err = client.process_server_flight(&flight).unwrap_err();
+    assert!(matches!(err, TlsError::CertificateRejected(_)), "{err}");
+    assert!(client.session().is_none());
+}
+
+#[test]
+fn untrusted_root_rejected() {
+    let (mut server, _their_store) = setup("stranger.example", 0xa2);
+    let mut client = mk_client(RootStore::new("empty"), "stranger.example");
+    let hello = client.start();
+    let flight = server.respond(&hello, [0x22; 32]).unwrap();
+    let err = client.process_server_flight(&flight).unwrap_err();
+    assert!(matches!(err, TlsError::CertificateRejected(why) if why.contains("no chain")));
+}
+
+#[test]
+fn gcc_policy_bites_at_handshake_time() {
+    // A GCC that rejects everything: even a perfectly good chain fails
+    // the handshake — partial distrust enforced by the user-agent.
+    let (mut server, mut store) = setup("gcc.example", 0xa3);
+    let root_fp = *store.iter().next().unwrap().0;
+    store
+        .attach_gcc(
+            Gcc::parse(
+                "deny-all",
+                root_fp,
+                r#"valid(Chain, "never") :- leaf(Chain, _)."#,
+                GccMetadata::default(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let mut client = mk_client(store, "gcc.example");
+    let hello = client.start();
+    let flight = server.respond(&hello, [0x22; 32]).unwrap();
+    let err = client.process_server_flight(&flight).unwrap_err();
+    assert!(
+        matches!(&err, TlsError::CertificateRejected(why) if why.contains("deny-all")),
+        "{err}"
+    );
+}
+
+#[test]
+fn mitm_with_leaf_key_substitution_fails_certificate_verify() {
+    // The attacker relays the honest chain but cannot sign the
+    // transcript with the leaf's key: substitute a signature from a
+    // different key.
+    let (mut server, store) = setup("mitm.example", 0xa4);
+    let mut client = mk_client(store, "mitm.example");
+    let hello = client.start();
+    let mut flight = server.respond(&hello, [0x22; 32]).unwrap();
+    let mut mallory = nrslb_crypto::Keypair::from_seed([0x66; 32], 2).unwrap();
+    flight.certificate_verify = mallory.sign(b"anything").unwrap();
+    let err = client.process_server_flight(&flight).unwrap_err();
+    assert_eq!(err, TlsError::BadCertificateVerify);
+}
+
+#[test]
+fn transcript_tamper_detected() {
+    // Change the server random after signing: the signature no longer
+    // covers the transcript the client computes.
+    let (mut server, store) = setup("tamper.example", 0xa5);
+    let mut client = mk_client(store, "tamper.example");
+    let hello = client.start();
+    let mut flight = server.respond(&hello, [0x22; 32]).unwrap();
+    flight.server_random[0] ^= 1;
+    let err = client.process_server_flight(&flight).unwrap_err();
+    assert_eq!(err, TlsError::BadCertificateVerify);
+}
+
+#[test]
+fn finished_tamper_detected() {
+    let (mut server, store) = setup("fin.example", 0xa6);
+    let mut client = mk_client(store.clone(), "fin.example");
+    let hello = client.start();
+    let mut flight = server.respond(&hello, [0x22; 32]).unwrap();
+    flight.finished.verify_data[5] ^= 1;
+    let err = client.process_server_flight(&flight).unwrap_err();
+    assert_eq!(err, TlsError::BadFinished);
+
+    // And the server rejects a tampered client Finished.
+    let (mut server, store) = setup("fin2.example", 0xa7);
+    let mut client2 = mk_client(store, "fin2.example");
+    let hello = client2.start();
+    let flight = server.respond(&hello, [0x22; 32]).unwrap();
+    let mut finished = client2.process_server_flight(&flight).unwrap();
+    finished.verify_data[0] ^= 1;
+    assert_eq!(server.finish(&finished).unwrap_err(), TlsError::BadFinished);
+}
+
+#[test]
+fn byte_level_roundtrip_through_messages() {
+    // Run the whole handshake through Message::to_bytes/from_bytes, as a
+    // real transport would.
+    let (mut server, store) = setup("bytes.example", 0xa8);
+    let mut client = mk_client(store, "bytes.example");
+    let hello = client.start();
+    let hello_bytes = Message::ClientHello(hello).to_bytes();
+    let Message::ClientHello(hello) = Message::from_bytes(&hello_bytes).unwrap() else {
+        panic!()
+    };
+    let flight = server.respond(&hello, [0x22; 32]).unwrap();
+    let flight_bytes = Message::ServerFlight(Box::new(flight)).to_bytes();
+    let Message::ServerFlight(flight) = Message::from_bytes(&flight_bytes).unwrap() else {
+        panic!()
+    };
+    let finished = client.process_server_flight(&flight).unwrap();
+    let fin_bytes = Message::ClientFinished(finished).to_bytes();
+    let Message::ClientFinished(finished) = Message::from_bytes(&fin_bytes).unwrap() else {
+        panic!()
+    };
+    server.finish(&finished).unwrap();
+    assert_eq!(client.session(), server.session());
+}
+
+#[test]
+fn revoked_leaf_fails_handshake() {
+    use nrslb_revocation::OneCrl;
+    let (mut server, store) = setup("revoked.example", 0xa9);
+    let mut onecrl = OneCrl::new();
+    onecrl.revoke_fingerprint(
+        server
+            .respond(
+                &crate::message::ClientHello {
+                    client_random: [0; 32],
+                    server_name: "revoked.example".into(),
+                },
+                [0; 32],
+            )
+            .unwrap()
+            .chain[0]
+            .fingerprint(),
+        "leaked key",
+    );
+
+    let config = ClientConfig::new(store, ValidationMode::UserAgent, 1_000)
+        .with_revocation(std::sync::Arc::new(onecrl));
+    let mut client = Client::new(config, "revoked.example", [0x11; 32]);
+    let hello = client.start();
+    let flight = server.respond(&hello, [0x22; 32]).unwrap();
+    let err = client.process_server_flight(&flight).unwrap_err();
+    assert!(matches!(err, TlsError::CertificateRejected(why) if why.contains("revoked")));
+}
+
+#[test]
+fn hammurabi_mode_client_handshakes_identically() {
+    let (mut server, store) = setup("ham.example", 0xaa);
+    for mode in [ValidationMode::UserAgent, ValidationMode::Hammurabi] {
+        let mut client = Client::new(
+            ClientConfig::new(store.clone(), mode, 1_000),
+            "ham.example",
+            [0x11; 32],
+        );
+        let hello = client.start();
+        let flight = server.respond(&hello, [0x22; 32]).unwrap();
+        client.process_server_flight(&flight).unwrap();
+        assert!(client.session().is_some());
+    }
+}
+
+#[test]
+fn out_of_order_messages_rejected() {
+    let (mut server, store) = setup("order.example", 0xab);
+    // Client Finished before hello.
+    assert!(matches!(
+        server.finish(&crate::message::Finished {
+            verify_data: [0; 32]
+        }),
+        Err(TlsError::Protocol(_))
+    ));
+    // Client processing a flight before starting.
+    let mut c = mk_client(store, "order.example");
+    let hello = crate::message::ClientHello {
+        client_random: [1; 32],
+        server_name: "order.example".into(),
+    };
+    let flight = server.respond(&hello, [2; 32]).unwrap();
+    assert!(matches!(
+        c.process_server_flight(&flight),
+        Err(TlsError::Protocol(_))
+    ));
+}
+
+#[test]
+fn validator_sees_exactly_what_the_client_enforces() {
+    // Cross-check: a chain the bare validator rejects is also rejected
+    // in the handshake, with the same reason class.
+    let (mut server, store) = setup("cross.example", 0xac);
+    let hello = crate::message::ClientHello {
+        client_random: [1; 32],
+        server_name: "cross.example".into(),
+    };
+    let flight = server.respond(&hello, [2; 32]).unwrap();
+    let validator = Validator::new(store, ValidationMode::UserAgent);
+    let outcome = validator
+        .validate_for_host(&flight.chain[0], &flight.chain[1..], "cross.example", 1_000)
+        .unwrap();
+    assert!(outcome.accepted());
+}

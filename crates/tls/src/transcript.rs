@@ -1,0 +1,114 @@
+//! Transcript hashing and key-schedule helpers shared by both ends.
+
+use crate::message::{ClientHello, ServerFlight};
+use crate::Session;
+use nrslb_crypto::hmac::hmac_sha256;
+use nrslb_crypto::{Digest, Sha256};
+
+/// Hash of the handshake through the certificate message — what
+/// `CertificateVerify` signs.
+pub fn certificate_transcript(
+    hello: &ClientHello,
+    server_random: &[u8; 32],
+    chain_der: &[Vec<u8>],
+) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"nrslb-tls-transcript-v1");
+    h.update(hello.client_random);
+    h.update(hello.server_name.as_bytes());
+    h.update(*server_random);
+    for der in chain_der {
+        h.update((der.len() as u64).to_be_bytes());
+        h.update(der);
+    }
+    h.finalize()
+}
+
+/// The signing context for `CertificateVerify` (domain-separated from
+/// every other use of the leaf key).
+pub fn certificate_verify_payload(transcript: &Digest) -> Vec<u8> {
+    let mut out = b"nrslb-tls-certificate-verify:".to_vec();
+    out.extend_from_slice(transcript.as_bytes());
+    out
+}
+
+/// Master secret: binds both nonces and the certificate transcript.
+pub fn master_secret(
+    hello: &ClientHello,
+    flight_random: &[u8; 32],
+    transcript: &Digest,
+) -> Session {
+    let mut h = Sha256::new();
+    h.update(b"nrslb-master");
+    h.update(hello.client_random);
+    h.update(*flight_random);
+    h.update(transcript.as_bytes());
+    Session {
+        master_secret: h.finalize(),
+    }
+}
+
+/// `Finished` MAC for one side.
+pub fn finished_mac(session: &Session, label: &[u8], transcript: &Digest) -> [u8; 32] {
+    let mut msg = label.to_vec();
+    msg.extend_from_slice(transcript.as_bytes());
+    *hmac_sha256(session.master_secret.as_bytes(), &msg).as_bytes()
+}
+
+/// Convenience: the transcript for a whole server flight.
+pub fn flight_transcript(hello: &ClientHello, flight: &ServerFlight) -> Digest {
+    let ders: Vec<Vec<u8>> = flight.chain.iter().map(|c| c.to_der().to_vec()).collect();
+    certificate_transcript(hello, &flight.server_random, &ders)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hello() -> ClientHello {
+        ClientHello {
+            client_random: [1; 32],
+            server_name: "t.example".into(),
+        }
+    }
+
+    #[test]
+    fn transcript_binds_every_input() {
+        let base = certificate_transcript(&hello(), &[2; 32], &[vec![0xde, 0xad]]);
+        let mut h2 = hello();
+        h2.client_random[0] ^= 1;
+        assert_ne!(
+            base,
+            certificate_transcript(&h2, &[2; 32], &[vec![0xde, 0xad]])
+        );
+        let mut h3 = hello();
+        h3.server_name = "u.example".into();
+        assert_ne!(
+            base,
+            certificate_transcript(&h3, &[2; 32], &[vec![0xde, 0xad]])
+        );
+        assert_ne!(
+            base,
+            certificate_transcript(&hello(), &[3; 32], &[vec![0xde, 0xad]])
+        );
+        assert_ne!(
+            base,
+            certificate_transcript(&hello(), &[2; 32], &[vec![0xde, 0xae]])
+        );
+        assert_ne!(
+            base,
+            certificate_transcript(&hello(), &[2; 32], &[vec![0xde], vec![0xad]]),
+            "chain framing is length-prefixed"
+        );
+    }
+
+    #[test]
+    fn finished_labels_differ() {
+        let t = certificate_transcript(&hello(), &[2; 32], &[]);
+        let session = master_secret(&hello(), &[2; 32], &t);
+        assert_ne!(
+            finished_mac(&session, b"server", &t),
+            finished_mac(&session, b"client", &t)
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! Certificate construction: CA signing keys and a builder API.
+
+use crate::cert::{tbs_value, Certificate, Validity};
+use crate::extensions::{
+    BasicConstraints, CertificatePolicies, ExtendedKeyUsage, Extensions, KeyUsage, NameConstraints,
+    SubjectAltName,
+};
+use crate::name::DistinguishedName;
+use crate::{oids, X509Error};
+use nrslb_crypto::hbs::{Keypair, PublicKey};
+use nrslb_crypto::sha256::sha256_concat;
+use nrslb_der::{encode, Oid};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Mutex;
+
+static NEXT_SERIAL: AtomicI64 = AtomicI64::new(1);
+
+/// A certificate-authority signing key: a distinguished name plus a
+/// stateful hash-based keypair.
+///
+/// Signing consumes one-time leaves, so the keypair sits behind a mutex
+/// and `CaKey` is shareable across threads (corpus generation fans out).
+pub struct CaKey {
+    name: DistinguishedName,
+    keypair: Mutex<Keypair>,
+    public: PublicKey,
+}
+
+impl std::fmt::Debug for CaKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CaKey(\"{}\", {:?})", self.name, self.public)
+    }
+}
+
+impl CaKey {
+    /// Create a CA key from an explicit seed. `height` bounds the number
+    /// of certificates this CA can sign (`2^height`).
+    pub fn from_seed(
+        name: DistinguishedName,
+        seed: [u8; 32],
+        height: u8,
+    ) -> Result<CaKey, X509Error> {
+        let keypair = Keypair::from_seed(seed, height)?;
+        let public = keypair.public();
+        Ok(CaKey {
+            name,
+            keypair: Mutex::new(keypair),
+            public,
+        })
+    }
+
+    /// Deterministic small CA for unit tests and examples: height 6
+    /// (64 signatures), seeded from `tag`.
+    pub fn generate_for_tests(cn: &str, tag: u8) -> CaKey {
+        let mut seed = *sha256_concat(&[&[tag], cn.as_bytes()]).as_bytes();
+        seed[31] = tag;
+        CaKey::from_seed(DistinguishedName::common_name(cn), seed, 6)
+            .expect("test CA parameters are valid")
+    }
+
+    /// The CA's distinguished name (used as issuer on signed certs).
+    pub fn name(&self) -> &DistinguishedName {
+        &self.name
+    }
+
+    /// The CA's public verification key.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Remaining signatures before the key is exhausted.
+    pub fn remaining(&self) -> u64 {
+        self.keypair.lock().unwrap().remaining()
+    }
+
+    fn sign(&self, message: &[u8]) -> Result<nrslb_crypto::hbs::Signature, X509Error> {
+        self.keypair
+            .lock()
+            .unwrap()
+            .sign(message)
+            .map_err(X509Error::Crypto)
+    }
+}
+
+/// Builder for [`Certificate`].
+///
+/// Unset subject keys default to a deterministic *placeholder* key derived
+/// from the subject and serial: synthetic leaf certificates never sign
+/// anything, so corpus generation avoids the cost of real keygen. CA
+/// certificates must use the real key via [`CertificateBuilder::subject_key`]
+/// (the test-utility and corpus layers do this).
+#[derive(Default)]
+pub struct CertificateBuilder {
+    serial: Option<i128>,
+    subject: Option<DistinguishedName>,
+    validity: Option<Validity>,
+    subject_key: Option<PublicKey>,
+    extensions: Extensions,
+}
+
+impl CertificateBuilder {
+    /// Start an empty builder.
+    pub fn new() -> CertificateBuilder {
+        CertificateBuilder::default()
+    }
+
+    /// Set the serial number (defaults to a process-unique counter).
+    pub fn serial(mut self, serial: i128) -> Self {
+        self.serial = Some(serial);
+        self
+    }
+
+    /// Set the subject name.
+    pub fn subject(mut self, subject: DistinguishedName) -> Self {
+        self.subject = Some(subject);
+        self
+    }
+
+    /// Set the validity window in Unix seconds.
+    pub fn validity_window(mut self, not_before: i64, not_after: i64) -> Self {
+        self.validity = Some(Validity {
+            not_before,
+            not_after,
+        });
+        self
+    }
+
+    /// Set the subject public key (required for CA certificates).
+    pub fn subject_key(mut self, key: PublicKey) -> Self {
+        self.subject_key = Some(key);
+        self
+    }
+
+    /// Add a SubjectAltName extension with the given DNS names.
+    pub fn dns_names(mut self, names: &[&str]) -> Self {
+        self.extensions.subject_alt_name = Some(SubjectAltName::dns(names));
+        self
+    }
+
+    /// Add a BasicConstraints extension.
+    pub fn basic_constraints(mut self, bc: BasicConstraints) -> Self {
+        self.extensions.basic_constraints = Some(bc);
+        self
+    }
+
+    /// Shorthand: mark as a CA with an optional path-length limit.
+    pub fn ca(self, path_len: Option<u32>) -> Self {
+        self.basic_constraints(BasicConstraints { ca: true, path_len })
+    }
+
+    /// Add a KeyUsage extension.
+    pub fn key_usage(mut self, ku: KeyUsage) -> Self {
+        self.extensions.key_usage = Some(ku);
+        self
+    }
+
+    /// Add an ExtendedKeyUsage extension.
+    pub fn extended_key_usage(mut self, eku: ExtendedKeyUsage) -> Self {
+        self.extensions.extended_key_usage = Some(eku);
+        self
+    }
+
+    /// Add a NameConstraints extension.
+    pub fn name_constraints(mut self, nc: NameConstraints) -> Self {
+        self.extensions.name_constraints = Some(nc);
+        self
+    }
+
+    /// Add certificate policies.
+    pub fn policies(mut self, oids: Vec<Oid>) -> Self {
+        self.extensions.policies = Some(CertificatePolicies(oids));
+        self
+    }
+
+    /// Shorthand: assert the CA/B EV policy.
+    pub fn ev(self) -> Self {
+        self.policies(vec![oids::ev_policy()])
+    }
+
+    /// Attach an uninterpreted extension (raw inner DER bytes).
+    pub fn unknown_extension(mut self, oid: Oid, critical: bool, raw: Vec<u8>) -> Self {
+        self.extensions.unknown.push((oid, critical, raw));
+        self
+    }
+
+    fn finish(
+        self,
+        issuer: DistinguishedName,
+        signer: &CaKey,
+        self_signed_key: Option<PublicKey>,
+    ) -> Result<Certificate, X509Error> {
+        let subject = self.subject.ok_or(X509Error::Builder("subject not set"))?;
+        let validity = self
+            .validity
+            .ok_or(X509Error::Builder("validity not set"))?;
+        if validity.not_after < validity.not_before {
+            return Err(X509Error::Builder("notAfter before notBefore"));
+        }
+        // GeneralizedTime covers years 0000-9999.
+        const MIN_TS: i64 = -62_167_219_200; // 0000-01-01T00:00:00Z
+        const MAX_TS: i64 = 253_402_300_799; // 9999-12-31T23:59:59Z
+        if validity.not_before < MIN_TS || validity.not_after > MAX_TS {
+            return Err(X509Error::Builder("validity outside GeneralizedTime range"));
+        }
+        let serial = self
+            .serial
+            .unwrap_or_else(|| NEXT_SERIAL.fetch_add(1, Ordering::Relaxed) as i128);
+        let spki = self_signed_key.or(self.subject_key).unwrap_or_else(|| {
+            // Placeholder leaf key: deterministic, never used for signing.
+            let digest = sha256_concat(&[
+                b"placeholder-key",
+                format!("{subject}").as_bytes(),
+                &serial.to_be_bytes(),
+            ]);
+            PublicKey {
+                root: digest,
+                height: 1,
+            }
+        });
+        let tbs = tbs_value(serial, &issuer, &subject, validity, &spki, &self.extensions);
+        let tbs_der = encode(&tbs);
+        let signature = signer.sign(&tbs_der)?;
+        Ok(Certificate::assemble(
+            serial,
+            issuer,
+            subject,
+            validity,
+            spki,
+            self.extensions,
+            tbs_der,
+            signature,
+        ))
+    }
+
+    /// Build a certificate signed by `ca` (issuer = CA's name).
+    pub fn build_signed_by(self, ca: &CaKey) -> Result<Certificate, X509Error> {
+        self.finish(ca.name().clone(), ca, None)
+    }
+
+    /// Build a certificate that *claims* `issuer` but carries a dummy
+    /// (all-zero) signature.
+    ///
+    /// For corpus-scale synthesis only (hundreds of thousands of
+    /// certificates for the scanning/conversion experiments, where
+    /// signature bytes are never verified): it skips the hash-based
+    /// signing cost entirely. Such certificates always fail
+    /// [`Certificate::verify_signed_by`].
+    pub fn build_unsigned(self, issuer: DistinguishedName) -> Result<Certificate, X509Error> {
+        use nrslb_crypto::sha256::Digest;
+        let subject = self.subject.ok_or(X509Error::Builder("subject not set"))?;
+        let validity = self
+            .validity
+            .ok_or(X509Error::Builder("validity not set"))?;
+        if validity.not_after < validity.not_before {
+            return Err(X509Error::Builder("notAfter before notBefore"));
+        }
+        let serial = self
+            .serial
+            .unwrap_or_else(|| NEXT_SERIAL.fetch_add(1, Ordering::Relaxed) as i128);
+        let spki = self.subject_key.unwrap_or_else(|| {
+            let digest = sha256_concat(&[
+                b"placeholder-key",
+                format!("{subject}").as_bytes(),
+                &serial.to_be_bytes(),
+            ]);
+            PublicKey {
+                root: digest,
+                height: 1,
+            }
+        });
+        let tbs = tbs_value(serial, &issuer, &subject, validity, &spki, &self.extensions);
+        let tbs_der = encode(&tbs);
+        let signature = nrslb_crypto::hbs::Signature {
+            leaf_index: 0,
+            wots: vec![Digest::ZERO; 67],
+            auth_path: Vec::new(),
+        };
+        Ok(Certificate::assemble(
+            serial,
+            issuer,
+            subject,
+            validity,
+            spki,
+            self.extensions,
+            tbs_der,
+            signature,
+        ))
+    }
+
+    /// Build a self-signed certificate for `ca` itself; subject and issuer
+    /// both become the CA's name and the subject key is the CA's key.
+    pub fn build_self_signed(mut self, ca: &CaKey) -> Result<Certificate, X509Error> {
+        if self.subject.is_none() {
+            self.subject = Some(ca.name().clone());
+        }
+        let issuer = self.subject.clone().unwrap();
+        self.finish(issuer, ca, Some(ca.public()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_signed_root_verifies_itself() {
+        let ca = CaKey::generate_for_tests("Self Root", 0xc1);
+        let root = CertificateBuilder::new()
+            .validity_window(0, 10_000)
+            .ca(None)
+            .key_usage(KeyUsage::KEY_CERT_SIGN)
+            .build_self_signed(&ca)
+            .unwrap();
+        assert!(root.is_self_issued());
+        root.verify_signature(&ca.public()).unwrap();
+        assert_eq!(root.public_key(), ca.public());
+    }
+
+    #[test]
+    fn serial_defaults_are_unique() {
+        let ca = CaKey::generate_for_tests("Serial CA", 0xc2);
+        let a = CertificateBuilder::new()
+            .subject(DistinguishedName::common_name("a"))
+            .validity_window(0, 1)
+            .build_signed_by(&ca)
+            .unwrap();
+        let b = CertificateBuilder::new()
+            .subject(DistinguishedName::common_name("b"))
+            .validity_window(0, 1)
+            .build_signed_by(&ca)
+            .unwrap();
+        assert_ne!(a.serial(), b.serial());
+    }
+
+    #[test]
+    fn invalid_validity_rejected() {
+        let ca = CaKey::generate_for_tests("Validity CA", 0xc3);
+        let err = CertificateBuilder::new()
+            .subject(DistinguishedName::common_name("bad"))
+            .validity_window(10, 5)
+            .build_signed_by(&ca);
+        assert!(matches!(err, Err(X509Error::Builder(_))));
+    }
+
+    #[test]
+    fn key_exhaustion_surfaces() {
+        let seed = [0xc4u8; 32];
+        let ca = CaKey::from_seed(DistinguishedName::common_name("Tiny CA"), seed, 1).unwrap();
+        assert_eq!(ca.remaining(), 2);
+        for i in 0..2 {
+            CertificateBuilder::new()
+                .subject(DistinguishedName::common_name(&format!("leaf{i}")))
+                .validity_window(0, 1)
+                .build_signed_by(&ca)
+                .unwrap();
+        }
+        let err = CertificateBuilder::new()
+            .subject(DistinguishedName::common_name("leaf3"))
+            .validity_window(0, 1)
+            .build_signed_by(&ca);
+        assert!(matches!(err, Err(X509Error::Crypto(_))));
+    }
+}

@@ -1,0 +1,445 @@
+//! The certificate type: TBS fields, canonical DER, fingerprints and
+//! signature verification.
+
+use crate::extensions::Extensions;
+use crate::name::DistinguishedName;
+use crate::{name, oids, X509Error};
+use nrslb_crypto::hbs;
+use nrslb_crypto::sha256::{sha256, Digest};
+use nrslb_der::{decode, encode, Value};
+use std::sync::Arc;
+
+/// A validity window in Unix-epoch seconds (inclusive bounds, as X.509).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Validity {
+    /// notBefore.
+    pub not_before: i64,
+    /// notAfter.
+    pub not_after: i64,
+}
+
+impl Validity {
+    /// Is `at` within `[not_before, not_after]`?
+    pub fn contains(&self, at: i64) -> bool {
+        self.not_before <= at && at <= self.not_after
+    }
+
+    /// Certificate lifetime in seconds.
+    pub fn lifetime(&self) -> i64 {
+        self.not_after - self.not_before
+    }
+}
+
+/// An immutable, parsed X.509 v3 certificate.
+///
+/// Certificates are cheaply cloneable (`Arc` internals): corpus experiments
+/// pass hundreds of thousands of them around.
+#[derive(Clone)]
+pub struct Certificate {
+    inner: Arc<CertInner>,
+}
+
+struct CertInner {
+    serial: i128,
+    issuer: DistinguishedName,
+    subject: DistinguishedName,
+    validity: Validity,
+    spki: hbs::PublicKey,
+    extensions: Extensions,
+    tbs_der: Vec<u8>,
+    signature: hbs::Signature,
+    der: Vec<u8>,
+    fingerprint: Digest,
+}
+
+impl std::fmt::Debug for Certificate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Certificate(subject=\"{}\", issuer=\"{}\", serial={}, fp={})",
+            self.subject(),
+            self.issuer(),
+            self.serial(),
+            self.fingerprint().short()
+        )
+    }
+}
+
+impl PartialEq for Certificate {
+    fn eq(&self, other: &Self) -> bool {
+        self.fingerprint() == other.fingerprint()
+    }
+}
+
+impl Eq for Certificate {}
+
+impl std::hash::Hash for Certificate {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.fingerprint().hash(state);
+    }
+}
+
+impl Certificate {
+    /// Assemble a certificate from its parts; used by the builder.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        serial: i128,
+        issuer: DistinguishedName,
+        subject: DistinguishedName,
+        validity: Validity,
+        spki: hbs::PublicKey,
+        extensions: Extensions,
+        tbs_der: Vec<u8>,
+        signature: hbs::Signature,
+    ) -> Certificate {
+        let cert_value = Value::Sequence(vec![
+            decode(&tbs_der).expect("tbs is canonical"),
+            Value::Sequence(vec![Value::Oid(oids::hbs_signature())]),
+            Value::BitString {
+                unused: 0,
+                bytes: signature.to_bytes(),
+            },
+        ]);
+        let der = encode(&cert_value);
+        let fingerprint = sha256(&der);
+        Certificate {
+            inner: Arc::new(CertInner {
+                serial,
+                issuer,
+                subject,
+                validity,
+                spki,
+                extensions,
+                tbs_der,
+                signature,
+                der,
+                fingerprint,
+            }),
+        }
+    }
+
+    /// Parse a certificate from DER bytes.
+    pub fn from_der(bytes: &[u8]) -> Result<Certificate, X509Error> {
+        let top = decode(bytes)?;
+        let items = top
+            .as_sequence()
+            .ok_or(X509Error::Structure("certificate"))?;
+        let [tbs_v, alg_v, sig_v] = items else {
+            return Err(X509Error::Structure("certificate arity"));
+        };
+        // Signature algorithm.
+        let alg = alg_v
+            .as_sequence()
+            .and_then(|s| s.first())
+            .and_then(|v| v.as_oid())
+            .ok_or(X509Error::Structure("signature algorithm"))?;
+        if *alg != oids::hbs_signature() {
+            return Err(X509Error::Structure("unknown signature algorithm"));
+        }
+        let Value::BitString {
+            unused: 0,
+            bytes: sig_bytes,
+        } = sig_v
+        else {
+            return Err(X509Error::Structure("signature bits"));
+        };
+        let signature = hbs::Signature::from_bytes(sig_bytes)?;
+        // TBS: re-encode the parsed value; DER is canonical so this matches
+        // the signed bytes exactly.
+        let tbs_der = encode(tbs_v);
+        let (serial, issuer, subject, validity, spki, extensions) = parse_tbs(tbs_v)?;
+        let fingerprint = sha256(bytes);
+        Ok(Certificate {
+            inner: Arc::new(CertInner {
+                serial,
+                issuer,
+                subject,
+                validity,
+                spki,
+                extensions,
+                tbs_der,
+                signature,
+                der: bytes.to_vec(),
+                fingerprint,
+            }),
+        })
+    }
+
+    /// The certificate's full DER encoding.
+    pub fn to_der(&self) -> &[u8] {
+        &self.inner.der
+    }
+
+    /// DER of the TBS (to-be-signed) portion.
+    pub fn tbs_der(&self) -> &[u8] {
+        &self.inner.tbs_der
+    }
+
+    /// SHA-256 fingerprint of the full DER encoding — the identifier GCCs
+    /// attach to (paper §3).
+    pub fn fingerprint(&self) -> Digest {
+        self.inner.fingerprint
+    }
+
+    /// Serial number.
+    pub fn serial(&self) -> i128 {
+        self.inner.serial
+    }
+
+    /// Issuer distinguished name.
+    pub fn issuer(&self) -> &DistinguishedName {
+        &self.inner.issuer
+    }
+
+    /// Subject distinguished name.
+    pub fn subject(&self) -> &DistinguishedName {
+        &self.inner.subject
+    }
+
+    /// Validity window.
+    pub fn validity(&self) -> Validity {
+        self.inner.validity
+    }
+
+    /// Subject public key.
+    pub fn public_key(&self) -> hbs::PublicKey {
+        self.inner.spki
+    }
+
+    /// Parsed extensions.
+    pub fn extensions(&self) -> &Extensions {
+        &self.inner.extensions
+    }
+
+    /// The certificate's signature.
+    pub fn signature(&self) -> &hbs::Signature {
+        &self.inner.signature
+    }
+
+    /// True when BasicConstraints marks this certificate as a CA.
+    pub fn is_ca(&self) -> bool {
+        self.inner
+            .extensions
+            .basic_constraints
+            .map(|bc| bc.ca)
+            .unwrap_or(false)
+    }
+
+    /// The BasicConstraints path-length limit, if any.
+    pub fn path_len(&self) -> Option<u32> {
+        self.inner
+            .extensions
+            .basic_constraints
+            .and_then(|bc| bc.path_len)
+    }
+
+    /// True when the certificate asserts the CA/B EV policy.
+    pub fn is_ev(&self) -> bool {
+        self.inner.extensions.is_ev()
+    }
+
+    /// SAN DNS names.
+    pub fn dns_names(&self) -> &[String] {
+        self.inner
+            .extensions
+            .subject_alt_name
+            .as_ref()
+            .map(|san| san.dns_names.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Does any SAN entry match `hostname` (RFC 6125 wildcard rules)?
+    pub fn matches_hostname(&self, hostname: &str) -> bool {
+        self.dns_names()
+            .iter()
+            .any(|pattern| name::wildcard_matches(pattern, hostname))
+    }
+
+    /// Subject == issuer (necessary but not sufficient for self-signed).
+    pub fn is_self_issued(&self) -> bool {
+        self.inner.subject == self.inner.issuer
+    }
+
+    /// Verify this certificate's signature under `issuer_key`.
+    pub fn verify_signature(&self, issuer_key: &hbs::PublicKey) -> Result<(), X509Error> {
+        hbs::verify(issuer_key, &self.inner.tbs_der, &self.inner.signature)
+            .map_err(|_| X509Error::BadSignature)
+    }
+
+    /// Verify that `issuer` signed this certificate (key check only; name
+    /// chaining and CA-bit checks live in the validator).
+    pub fn verify_signed_by(&self, issuer: &Certificate) -> Result<(), X509Error> {
+        self.verify_signature(&issuer.public_key())
+    }
+}
+
+/// Build the DER TBS value from parts; shared with the builder.
+pub(crate) fn tbs_value(
+    serial: i128,
+    issuer: &DistinguishedName,
+    subject: &DistinguishedName,
+    validity: Validity,
+    spki: &hbs::PublicKey,
+    extensions: &Extensions,
+) -> Value {
+    Value::Sequence(vec![
+        // [0] EXPLICIT version v3(2)
+        Value::ContextConstructed(0, vec![Value::Integer(2)]),
+        Value::Integer(serial),
+        Value::Sequence(vec![Value::Oid(oids::hbs_signature())]),
+        issuer.to_der_value(),
+        Value::Sequence(vec![
+            Value::GeneralizedTime(validity.not_before),
+            Value::GeneralizedTime(validity.not_after),
+        ]),
+        subject.to_der_value(),
+        // SubjectPublicKeyInfo
+        Value::Sequence(vec![
+            Value::Sequence(vec![Value::Oid(oids::hbs_signature())]),
+            Value::BitString {
+                unused: 0,
+                bytes: spki.to_bytes(),
+            },
+        ]),
+        Value::ContextConstructed(3, vec![extensions.to_der_value()]),
+    ])
+}
+
+type TbsParts = (
+    i128,
+    DistinguishedName,
+    DistinguishedName,
+    Validity,
+    hbs::PublicKey,
+    Extensions,
+);
+
+fn parse_tbs(tbs: &Value) -> Result<TbsParts, X509Error> {
+    let items = tbs.as_sequence().ok_or(X509Error::Structure("tbs"))?;
+    let [version_v, serial_v, _alg_v, issuer_v, validity_v, subject_v, spki_v, exts_v] = items
+    else {
+        return Err(X509Error::Structure("tbs arity"));
+    };
+    match version_v {
+        Value::ContextConstructed(0, inner) if inner == &[Value::Integer(2)] => {}
+        _ => return Err(X509Error::Structure("version")),
+    }
+    let serial = serial_v
+        .as_integer()
+        .ok_or(X509Error::Structure("serial"))?;
+    let issuer = DistinguishedName::from_der_value(issuer_v)?;
+    let subject = DistinguishedName::from_der_value(subject_v)?;
+    let validity = match validity_v.as_sequence() {
+        Some([Value::GeneralizedTime(nb), Value::GeneralizedTime(na)]) => Validity {
+            not_before: *nb,
+            not_after: *na,
+        },
+        _ => return Err(X509Error::Structure("validity")),
+    };
+    let spki = match spki_v.as_sequence() {
+        Some([_alg, Value::BitString { unused: 0, bytes }]) => hbs::PublicKey::from_bytes(bytes)?,
+        _ => return Err(X509Error::Structure("spki")),
+    };
+    let extensions = match exts_v {
+        Value::ContextConstructed(3, inner) => match inner.as_slice() {
+            [seq] => Extensions::from_der_value(seq)?,
+            _ => return Err(X509Error::Structure("extensions wrapper")),
+        },
+        _ => return Err(X509Error::Structure("extensions tag")),
+    };
+    Ok((serial, issuer, subject, validity, spki, extensions))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::CaKey;
+    use crate::extensions::{BasicConstraints, KeyUsage};
+    use crate::testutil;
+    use crate::{Certificate, CertificateBuilder, DistinguishedName};
+
+    #[test]
+    fn der_roundtrip_preserves_everything() {
+        let pki = testutil::simple_chain("roundtrip.example");
+        for cert in [&pki.root, &pki.intermediate, &pki.leaf] {
+            let parsed = Certificate::from_der(cert.to_der()).unwrap();
+            assert_eq!(&parsed, cert);
+            assert_eq!(parsed.serial(), cert.serial());
+            assert_eq!(parsed.subject(), cert.subject());
+            assert_eq!(parsed.issuer(), cert.issuer());
+            assert_eq!(parsed.validity(), cert.validity());
+            assert_eq!(parsed.extensions(), cert.extensions());
+            assert_eq!(parsed.tbs_der(), cert.tbs_der());
+            assert_eq!(parsed.public_key(), cert.public_key());
+        }
+    }
+
+    #[test]
+    fn signature_chain_verifies() {
+        let pki = testutil::simple_chain("sig.example");
+        pki.leaf.verify_signed_by(&pki.intermediate).unwrap();
+        pki.intermediate.verify_signed_by(&pki.root).unwrap();
+        pki.root.verify_signed_by(&pki.root).unwrap(); // self-signed
+        assert!(pki.leaf.verify_signed_by(&pki.root).is_err());
+    }
+
+    #[test]
+    fn tampered_der_fails_signature_or_parse() {
+        let pki = testutil::simple_chain("tamper.example");
+        let mut der = pki.leaf.to_der().to_vec();
+        // Flip one byte somewhere in the middle of the TBS.
+        let idx = der.len() / 3;
+        der[idx] ^= 0x01;
+        match Certificate::from_der(&der) {
+            Err(_) => {}
+            Ok(cert) => assert!(cert.verify_signed_by(&pki.intermediate).is_err()),
+        }
+    }
+
+    #[test]
+    fn hostname_matching() {
+        let pki = testutil::simple_chain("www.example.com");
+        assert!(pki.leaf.matches_hostname("www.example.com"));
+        assert!(!pki.leaf.matches_hostname("mail.example.com"));
+    }
+
+    #[test]
+    fn ca_accessors() {
+        let pki = testutil::simple_chain("accessors.example");
+        assert!(pki.root.is_ca());
+        assert!(pki.intermediate.is_ca());
+        assert!(!pki.leaf.is_ca());
+        assert!(pki.root.is_self_issued());
+        assert!(!pki.leaf.is_self_issued());
+    }
+
+    #[test]
+    fn builder_rejects_missing_fields() {
+        let ca = CaKey::generate_for_tests("Builder CA", 0xb1);
+        let err = CertificateBuilder::new()
+            .subject(DistinguishedName::common_name("x"))
+            // no validity
+            .build_signed_by(&ca);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn explicit_extensions_survive() {
+        let ca = CaKey::generate_for_tests("Ext CA", 0xb2);
+        let cert = CertificateBuilder::new()
+            .subject(DistinguishedName::common_name("Ext Test"))
+            .validity_window(0, 1_000)
+            .serial(42)
+            .basic_constraints(BasicConstraints {
+                ca: true,
+                path_len: Some(3),
+            })
+            .key_usage(KeyUsage::KEY_CERT_SIGN)
+            .build_signed_by(&ca)
+            .unwrap();
+        assert!(cert.is_ca());
+        assert_eq!(cert.path_len(), Some(3));
+        assert_eq!(cert.serial(), 42);
+        let parsed = Certificate::from_der(cert.to_der()).unwrap();
+        assert_eq!(parsed.path_len(), Some(3));
+    }
+}

@@ -1,0 +1,559 @@
+//! X.509 v3 extensions: the subset the paper's experiments rely on.
+//!
+//! Each extension type knows how to convert itself to and from the DER
+//! `Extension { extnID, critical, extnValue OCTET STRING }` shape used in
+//! certificates. Unknown extensions round-trip as raw bytes so the corpus
+//! scanner never loses information.
+
+use crate::{name, oids, X509Error};
+use nrslb_der::{decode, encode, Oid, Value};
+
+/// BasicConstraints (RFC 5280 §4.2.1.9): CA flag + optional path length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct BasicConstraints {
+    /// True when the subject is a CA.
+    pub ca: bool,
+    /// Maximum number of *intermediate* certificates that may follow this
+    /// one in a valid chain. `None` = unlimited.
+    pub path_len: Option<u32>,
+}
+
+impl BasicConstraints {
+    fn to_der(self) -> Value {
+        let mut items = Vec::new();
+        if self.ca {
+            items.push(Value::Boolean(true));
+        }
+        if let Some(n) = self.path_len {
+            items.push(Value::Integer(n as i128));
+        }
+        Value::Sequence(items)
+    }
+
+    fn from_der(v: &Value) -> Result<Self, X509Error> {
+        let items = v
+            .as_sequence()
+            .ok_or(X509Error::Structure("basicConstraints"))?;
+        let mut out = BasicConstraints::default();
+        let mut iter = items.iter().peekable();
+        if let Some(Value::Boolean(b)) = iter.peek() {
+            out.ca = *b;
+            iter.next();
+        }
+        if let Some(Value::Integer(n)) = iter.peek() {
+            if *n < 0 || *n > u32::MAX as i128 {
+                return Err(X509Error::Structure("pathLen range"));
+            }
+            out.path_len = Some(*n as u32);
+            iter.next();
+        }
+        if iter.next().is_some() {
+            return Err(X509Error::Structure("basicConstraints trailing"));
+        }
+        Ok(out)
+    }
+}
+
+/// KeyUsage bit flags (RFC 5280 §4.2.1.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct KeyUsage(pub u16);
+
+impl KeyUsage {
+    /// digitalSignature (bit 0).
+    pub const DIGITAL_SIGNATURE: KeyUsage = KeyUsage(1 << 0);
+    /// keyEncipherment (bit 2).
+    pub const KEY_ENCIPHERMENT: KeyUsage = KeyUsage(1 << 2);
+    /// keyCertSign (bit 5).
+    pub const KEY_CERT_SIGN: KeyUsage = KeyUsage(1 << 5);
+    /// cRLSign (bit 6).
+    pub const CRL_SIGN: KeyUsage = KeyUsage(1 << 6);
+
+    /// Union of two usages.
+    pub fn union(self, other: KeyUsage) -> KeyUsage {
+        KeyUsage(self.0 | other.0)
+    }
+
+    /// Does this usage include all bits of `other`?
+    pub fn contains(self, other: KeyUsage) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Names of the set bits (for Datalog fact generation).
+    pub fn names(self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.contains(Self::DIGITAL_SIGNATURE) {
+            out.push("digitalSignature");
+        }
+        if self.contains(Self::KEY_ENCIPHERMENT) {
+            out.push("keyEncipherment");
+        }
+        if self.contains(Self::KEY_CERT_SIGN) {
+            out.push("keyCertSign");
+        }
+        if self.contains(Self::CRL_SIGN) {
+            out.push("cRLSign");
+        }
+        out
+    }
+
+    fn to_der(self) -> Value {
+        // KeyUsage bit i maps to bit (7 - i % 8) of octet i / 8 (MSB first).
+        let highest_bit = (0..16usize).rev().find(|b| self.0 & (1 << b) != 0);
+        match highest_bit {
+            None => Value::BitString {
+                unused: 0,
+                bytes: vec![],
+            },
+            Some(hb) => {
+                let nbytes = hb / 8 + 1;
+                let mut bytes = vec![0u8; nbytes];
+                for bit in 0..16usize {
+                    if self.0 & (1 << bit) != 0 {
+                        bytes[bit / 8] |= 0x80 >> (bit % 8);
+                    }
+                }
+                let unused = (nbytes * 8 - 1 - hb) as u8;
+                Value::BitString { unused, bytes }
+            }
+        }
+    }
+
+    fn from_der(v: &Value) -> Result<Self, X509Error> {
+        let Value::BitString { bytes, .. } = v else {
+            return Err(X509Error::Structure("keyUsage"));
+        };
+        let mut out = 0u16;
+        for (i, byte) in bytes.iter().take(2).enumerate() {
+            for bit in 0..8 {
+                if byte & (0x80 >> bit) != 0 {
+                    out |= 1 << (i * 8 + bit);
+                }
+            }
+        }
+        Ok(KeyUsage(out))
+    }
+}
+
+/// ExtendedKeyUsage: a list of key-purpose OIDs.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ExtendedKeyUsage(pub Vec<Oid>);
+
+impl ExtendedKeyUsage {
+    /// serverAuth only — the common TLS leaf shape.
+    pub fn server_auth() -> Self {
+        ExtendedKeyUsage(vec![oids::kp_server_auth()])
+    }
+
+    /// Does the EKU list contain `oid`?
+    pub fn contains(&self, oid: &Oid) -> bool {
+        self.0.contains(oid)
+    }
+
+    fn to_der(&self) -> Value {
+        Value::Sequence(self.0.iter().cloned().map(Value::Oid).collect())
+    }
+
+    fn from_der(v: &Value) -> Result<Self, X509Error> {
+        let items = v.as_sequence().ok_or(X509Error::Structure("eku"))?;
+        let mut oids = Vec::with_capacity(items.len());
+        for item in items {
+            oids.push(
+                item.as_oid()
+                    .ok_or(X509Error::Structure("eku member"))?
+                    .clone(),
+            );
+        }
+        Ok(ExtendedKeyUsage(oids))
+    }
+}
+
+/// SubjectAltName restricted to DNS names (GeneralName tag `[2]`).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SubjectAltName {
+    /// DNS names, possibly with a leading wildcard label.
+    pub dns_names: Vec<String>,
+}
+
+impl SubjectAltName {
+    /// Construct from a list of DNS names.
+    pub fn dns(names: &[&str]) -> Self {
+        SubjectAltName {
+            dns_names: names.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn to_der(&self) -> Value {
+        Value::Sequence(
+            self.dns_names
+                .iter()
+                .map(|n| Value::ContextPrimitive(2, n.as_bytes().to_vec()))
+                .collect(),
+        )
+    }
+
+    fn from_der(v: &Value) -> Result<Self, X509Error> {
+        let items = v.as_sequence().ok_or(X509Error::Structure("san"))?;
+        let mut dns_names = Vec::with_capacity(items.len());
+        for item in items {
+            // Other GeneralName forms are ignored by the DNS-centric
+            // experiments.
+            if let Value::ContextPrimitive(2, bytes) = item {
+                let s =
+                    std::str::from_utf8(bytes).map_err(|_| X509Error::Structure("san dns name"))?;
+                dns_names.push(s.to_string());
+            }
+        }
+        Ok(SubjectAltName { dns_names })
+    }
+}
+
+/// NameConstraints restricted to DNS subtrees (RFC 5280 §4.2.1.10).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct NameConstraints {
+    /// Permitted DNS subtrees; when non-empty, every SAN of every
+    /// descendant leaf must fall inside at least one.
+    pub permitted: Vec<String>,
+    /// Excluded DNS subtrees; no SAN may fall inside any.
+    pub excluded: Vec<String>,
+}
+
+impl NameConstraints {
+    /// Constraint permitting only the given DNS subtrees.
+    pub fn permit(subtrees: &[&str]) -> Self {
+        NameConstraints {
+            permitted: subtrees.iter().map(|s| s.to_string()).collect(),
+            excluded: Vec::new(),
+        }
+    }
+
+    /// Does `dns_name` satisfy these constraints?
+    pub fn allows(&self, dns_name: &str, semantics: name::DotSemantics) -> bool {
+        if self
+            .excluded
+            .iter()
+            .any(|base| name::in_subtree(dns_name, base, semantics))
+        {
+            return false;
+        }
+        if self.permitted.is_empty() {
+            return true;
+        }
+        self.permitted
+            .iter()
+            .any(|base| name::in_subtree(dns_name, base, semantics))
+    }
+
+    fn subtrees_to_der(list: &[String]) -> Value {
+        Value::Sequence(
+            list.iter()
+                .map(|base| {
+                    Value::Sequence(vec![Value::ContextPrimitive(2, base.as_bytes().to_vec())])
+                })
+                .collect(),
+        )
+    }
+
+    fn subtrees_from_der(v: &[Value]) -> Result<Vec<String>, X509Error> {
+        let mut out = Vec::with_capacity(v.len());
+        for subtree in v {
+            let items = subtree
+                .as_sequence()
+                .ok_or(X509Error::Structure("generalSubtree"))?;
+            let Some(Value::ContextPrimitive(2, bytes)) = items.first() else {
+                continue; // non-DNS subtree: ignored by DNS-centric model
+            };
+            let s = std::str::from_utf8(bytes).map_err(|_| X509Error::Structure("subtree name"))?;
+            out.push(s.to_string());
+        }
+        Ok(out)
+    }
+
+    fn to_der(&self) -> Value {
+        let mut items = Vec::new();
+        if !self.permitted.is_empty() {
+            let Value::Sequence(seq) = Self::subtrees_to_der(&self.permitted) else {
+                unreachable!()
+            };
+            items.push(Value::ContextConstructed(0, seq));
+        }
+        if !self.excluded.is_empty() {
+            let Value::Sequence(seq) = Self::subtrees_to_der(&self.excluded) else {
+                unreachable!()
+            };
+            items.push(Value::ContextConstructed(1, seq));
+        }
+        Value::Sequence(items)
+    }
+
+    fn from_der(v: &Value) -> Result<Self, X509Error> {
+        let items = v
+            .as_sequence()
+            .ok_or(X509Error::Structure("nameConstraints"))?;
+        let mut out = NameConstraints::default();
+        for item in items {
+            match item {
+                Value::ContextConstructed(0, seq) => {
+                    out.permitted = Self::subtrees_from_der(seq)?;
+                }
+                Value::ContextConstructed(1, seq) => {
+                    out.excluded = Self::subtrees_from_der(seq)?;
+                }
+                _ => return Err(X509Error::Structure("nameConstraints member")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// CertificatePolicies reduced to a list of policy OIDs (enough to detect
+/// the CA/B EV policy the paper's EV constraints key on).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CertificatePolicies(pub Vec<Oid>);
+
+impl CertificatePolicies {
+    /// Is the CA/B EV policy asserted?
+    pub fn is_ev(&self) -> bool {
+        self.0.contains(&oids::ev_policy())
+    }
+
+    fn to_der(&self) -> Value {
+        Value::Sequence(
+            self.0
+                .iter()
+                .map(|oid| Value::Sequence(vec![Value::Oid(oid.clone())]))
+                .collect(),
+        )
+    }
+
+    fn from_der(v: &Value) -> Result<Self, X509Error> {
+        let items = v.as_sequence().ok_or(X509Error::Structure("policies"))?;
+        let mut oids = Vec::with_capacity(items.len());
+        for item in items {
+            let info = item
+                .as_sequence()
+                .ok_or(X509Error::Structure("policyInformation"))?;
+            let oid = info
+                .first()
+                .and_then(|v| v.as_oid())
+                .ok_or(X509Error::Structure("policy oid"))?;
+            oids.push(oid.clone());
+        }
+        Ok(CertificatePolicies(oids))
+    }
+}
+
+/// The parsed extension set of a certificate.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Extensions {
+    /// BasicConstraints, if present.
+    pub basic_constraints: Option<BasicConstraints>,
+    /// KeyUsage, if present.
+    pub key_usage: Option<KeyUsage>,
+    /// ExtendedKeyUsage, if present.
+    pub extended_key_usage: Option<ExtendedKeyUsage>,
+    /// SubjectAltName, if present.
+    pub subject_alt_name: Option<SubjectAltName>,
+    /// NameConstraints, if present.
+    pub name_constraints: Option<NameConstraints>,
+    /// CertificatePolicies, if present.
+    pub policies: Option<CertificatePolicies>,
+    /// Extensions this model does not interpret: (oid, critical, raw DER value bytes).
+    pub unknown: Vec<(Oid, bool, Vec<u8>)>,
+}
+
+impl Extensions {
+    /// True when the certificate asserts the CA/B EV policy.
+    pub fn is_ev(&self) -> bool {
+        self.policies.as_ref().is_some_and(|p| p.is_ev())
+    }
+
+    /// Encode all present extensions as a SEQUENCE OF Extension.
+    pub fn to_der_value(&self) -> Value {
+        let mut items = Vec::new();
+        let mut push = |oid: Oid, critical: bool, inner: Value| {
+            let body = encode(&inner);
+            let mut ext = vec![Value::Oid(oid)];
+            if critical {
+                ext.push(Value::Boolean(true));
+            }
+            ext.push(Value::OctetString(body));
+            items.push(Value::Sequence(ext));
+        };
+        if let Some(bc) = self.basic_constraints {
+            push(oids::basic_constraints(), true, bc.to_der());
+        }
+        if let Some(ku) = self.key_usage {
+            push(oids::key_usage(), true, ku.to_der());
+        }
+        if let Some(eku) = &self.extended_key_usage {
+            push(oids::ext_key_usage(), false, eku.to_der());
+        }
+        if let Some(san) = &self.subject_alt_name {
+            push(oids::subject_alt_name(), false, san.to_der());
+        }
+        if let Some(nc) = &self.name_constraints {
+            push(oids::name_constraints(), true, nc.to_der());
+        }
+        if let Some(p) = &self.policies {
+            push(oids::certificate_policies(), false, p.to_der());
+        }
+        for (oid, critical, raw) in &self.unknown {
+            let mut ext = vec![Value::Oid(oid.clone())];
+            if *critical {
+                ext.push(Value::Boolean(true));
+            }
+            ext.push(Value::OctetString(raw.clone()));
+            items.push(Value::Sequence(ext));
+        }
+        Value::Sequence(items)
+    }
+
+    /// Decode a SEQUENCE OF Extension.
+    pub fn from_der_value(value: &Value) -> Result<Extensions, X509Error> {
+        let items = value
+            .as_sequence()
+            .ok_or(X509Error::Structure("extensions"))?;
+        let mut out = Extensions::default();
+        for item in items {
+            let parts = item
+                .as_sequence()
+                .ok_or(X509Error::Structure("extension"))?;
+            let (oid, critical, body) = match parts {
+                [Value::Oid(oid), Value::OctetString(body)] => (oid, false, body),
+                [Value::Oid(oid), Value::Boolean(c), Value::OctetString(body)] => (oid, *c, body),
+                _ => return Err(X509Error::Structure("extension shape")),
+            };
+            let inner = decode(body)?;
+            if *oid == oids::basic_constraints() {
+                out.basic_constraints = Some(BasicConstraints::from_der(&inner)?);
+            } else if *oid == oids::key_usage() {
+                out.key_usage = Some(KeyUsage::from_der(&inner)?);
+            } else if *oid == oids::ext_key_usage() {
+                out.extended_key_usage = Some(ExtendedKeyUsage::from_der(&inner)?);
+            } else if *oid == oids::subject_alt_name() {
+                out.subject_alt_name = Some(SubjectAltName::from_der(&inner)?);
+            } else if *oid == oids::name_constraints() {
+                out.name_constraints = Some(NameConstraints::from_der(&inner)?);
+            } else if *oid == oids::certificate_policies() {
+                out.policies = Some(CertificatePolicies::from_der(&inner)?);
+            } else {
+                out.unknown.push((oid.clone(), critical, body.clone()));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::DotSemantics;
+
+    fn roundtrip(e: &Extensions) {
+        let der = e.to_der_value();
+        let back = Extensions::from_der_value(&der).unwrap();
+        assert_eq!(&back, e);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        roundtrip(&Extensions::default());
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        roundtrip(&Extensions {
+            basic_constraints: Some(BasicConstraints {
+                ca: true,
+                path_len: Some(0),
+            }),
+            key_usage: Some(KeyUsage::KEY_CERT_SIGN.union(KeyUsage::CRL_SIGN)),
+            extended_key_usage: Some(ExtendedKeyUsage::server_auth()),
+            subject_alt_name: Some(SubjectAltName::dns(&["example.com", "*.example.com"])),
+            name_constraints: Some(NameConstraints {
+                permitted: vec!["gouv.fr".into()],
+                excluded: vec!["example.org".into()],
+            }),
+            policies: Some(CertificatePolicies(vec![oids::ev_policy()])),
+            unknown: vec![(Oid::new(&[1, 2, 3, 4]), true, vec![0x05, 0x00])],
+        });
+    }
+
+    #[test]
+    fn basic_constraints_defaults() {
+        roundtrip(&Extensions {
+            basic_constraints: Some(BasicConstraints {
+                ca: false,
+                path_len: None,
+            }),
+            ..Default::default()
+        });
+        roundtrip(&Extensions {
+            basic_constraints: Some(BasicConstraints {
+                ca: true,
+                path_len: None,
+            }),
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn key_usage_bits() {
+        let ku = KeyUsage::DIGITAL_SIGNATURE.union(KeyUsage::KEY_CERT_SIGN);
+        assert!(ku.contains(KeyUsage::DIGITAL_SIGNATURE));
+        assert!(!ku.contains(KeyUsage::CRL_SIGN));
+        assert_eq!(ku.names(), vec!["digitalSignature", "keyCertSign"]);
+        let der = ku.to_der();
+        assert_eq!(KeyUsage::from_der(&der).unwrap(), ku);
+    }
+
+    #[test]
+    fn key_usage_der_is_msb_first() {
+        // digitalSignature = bit 0 = MSB of first octet.
+        let der = KeyUsage::DIGITAL_SIGNATURE.to_der();
+        assert_eq!(
+            der,
+            Value::BitString {
+                unused: 7,
+                bytes: vec![0x80]
+            }
+        );
+        // keyCertSign = bit 5.
+        let der = KeyUsage::KEY_CERT_SIGN.to_der();
+        assert_eq!(
+            der,
+            Value::BitString {
+                unused: 2,
+                bytes: vec![0x04]
+            }
+        );
+    }
+
+    #[test]
+    fn ev_detection() {
+        let p = CertificatePolicies(vec![oids::dv_policy()]);
+        assert!(!p.is_ev());
+        let p = CertificatePolicies(vec![oids::dv_policy(), oids::ev_policy()]);
+        assert!(p.is_ev());
+    }
+
+    #[test]
+    fn name_constraints_allows() {
+        let nc = NameConstraints {
+            permitted: vec!["gov.tr".into(), "tr".into()],
+            excluded: vec!["blocked.tr".into()],
+        };
+        let s = DotSemantics::Rfc5280;
+        assert!(nc.allows("www.gov.tr", s));
+        assert!(nc.allows("anything.tr", s));
+        assert!(!nc.allows("www.blocked.tr", s));
+        assert!(!nc.allows("google.com", s));
+        // Empty permitted list = allow all except excluded.
+        let nc = NameConstraints {
+            permitted: vec![],
+            excluded: vec!["bad.com".into()],
+        };
+        assert!(nc.allows("good.com", s));
+        assert!(!nc.allows("x.bad.com", s));
+    }
+}

@@ -1,0 +1,89 @@
+//! # `nrslb-x509` — an X.509 v3 certificate substrate
+//!
+//! A from-scratch certificate model for the nrslb workspace: real DER
+//! encoding (via `nrslb-der`), SHA-256 fingerprints (the handle GCCs are
+//! attached by), and hash-based signatures (via `nrslb-crypto`).
+//!
+//! The model covers the fields and extensions the paper's experiments
+//! need:
+//!
+//! * subject / issuer distinguished names ([`name`]);
+//! * validity windows (`notBefore` / `notAfter` as Unix seconds);
+//! * BasicConstraints (CA flag + path length), KeyUsage, ExtendedKeyUsage,
+//!   SubjectAltName (DNS names), NameConstraints (permitted/excluded DNS
+//!   subtrees) and CertificatePolicies (for EV detection) — see
+//!   [`extensions`];
+//! * a builder API ([`builder`]) used by the corpus generators, and
+//!   [`testutil`] helpers for examples and tests.
+//!
+//! Certificates are immutable once built; [`cert::Certificate`] retains the
+//! exact DER of its TBS portion so signature verification operates over
+//! canonical bytes.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod cert;
+pub mod extensions;
+pub mod name;
+pub mod oids;
+pub mod pem;
+pub mod testutil;
+
+pub use builder::{CaKey, CertificateBuilder};
+pub use cert::{Certificate, Validity};
+pub use extensions::{
+    BasicConstraints, ExtendedKeyUsage, KeyUsage, NameConstraints, SubjectAltName,
+};
+pub use name::DistinguishedName;
+
+use std::fmt;
+
+/// Errors from certificate encoding, decoding or verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum X509Error {
+    /// The DER structure was not a well-formed certificate.
+    Structure(&'static str),
+    /// Underlying DER error.
+    Der(nrslb_der::DerError),
+    /// Underlying crypto error (bad signature, malformed key...).
+    Crypto(nrslb_crypto::CryptoError),
+    /// The certificate's signature did not verify under the given key.
+    BadSignature,
+    /// A builder was misconfigured.
+    Builder(&'static str),
+}
+
+impl fmt::Display for X509Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            X509Error::Structure(what) => write!(f, "malformed certificate: {what}"),
+            X509Error::Der(e) => write!(f, "DER error: {e}"),
+            X509Error::Crypto(e) => write!(f, "crypto error: {e}"),
+            X509Error::BadSignature => write!(f, "certificate signature verification failed"),
+            X509Error::Builder(what) => write!(f, "certificate builder: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for X509Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            X509Error::Der(e) => Some(e),
+            X509Error::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nrslb_der::DerError> for X509Error {
+    fn from(e: nrslb_der::DerError) -> Self {
+        X509Error::Der(e)
+    }
+}
+
+impl From<nrslb_crypto::CryptoError> for X509Error {
+    fn from(e: nrslb_crypto::CryptoError) -> Self {
+        X509Error::Crypto(e)
+    }
+}

@@ -1,0 +1,296 @@
+//! Distinguished names and DNS-name matching.
+//!
+//! Includes the DNS matching rules certificate validation needs:
+//! hostname matching with a single leftmost wildcard label, and RFC 5280
+//! name-constraint subtree matching. Because the paper notes that Firefox
+//! and OpenSSL have *disagreed* on the semantics of a leading dot in name
+//! constraints, both interpretations are implemented and selectable via
+//! [`DotSemantics`] (an ablation knob for the validator).
+
+use crate::oids;
+use nrslb_der::{Oid, Value};
+use std::fmt;
+
+/// One relative distinguished name component: attribute type + value.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameAttribute {
+    /// The attribute type OID (e.g. commonName).
+    pub oid: Oid,
+    /// The attribute value.
+    pub value: String,
+}
+
+/// An X.501 distinguished name: an ordered list of attributes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DistinguishedName {
+    /// Ordered attribute list.
+    pub attributes: Vec<NameAttribute>,
+}
+
+impl DistinguishedName {
+    /// A name with just a commonName.
+    pub fn common_name(cn: &str) -> DistinguishedName {
+        DistinguishedName {
+            attributes: vec![NameAttribute {
+                oid: oids::common_name(),
+                value: cn.to_string(),
+            }],
+        }
+    }
+
+    /// A name with commonName + organization + country, the shape used by
+    /// the synthetic CA corpus.
+    pub fn ca(cn: &str, org: &str, country: &str) -> DistinguishedName {
+        DistinguishedName {
+            attributes: vec![
+                NameAttribute {
+                    oid: oids::country(),
+                    value: country.to_string(),
+                },
+                NameAttribute {
+                    oid: oids::organization(),
+                    value: org.to_string(),
+                },
+                NameAttribute {
+                    oid: oids::common_name(),
+                    value: cn.to_string(),
+                },
+            ],
+        }
+    }
+
+    /// The first commonName value, if any.
+    pub fn cn(&self) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|a| a.oid == oids::common_name())
+            .map(|a| a.value.as_str())
+    }
+
+    /// Encode as an X.501 RDNSequence.
+    pub fn to_der_value(&self) -> Value {
+        Value::Sequence(
+            self.attributes
+                .iter()
+                .map(|attr| {
+                    Value::Set(vec![Value::Sequence(vec![
+                        Value::Oid(attr.oid.clone()),
+                        Value::Utf8String(attr.value.clone()),
+                    ])])
+                })
+                .collect(),
+        )
+    }
+
+    /// Decode from an RDNSequence value.
+    pub fn from_der_value(value: &Value) -> Result<DistinguishedName, crate::X509Error> {
+        let rdns = value
+            .as_sequence()
+            .ok_or(crate::X509Error::Structure("name is not a sequence"))?;
+        let mut attributes = Vec::with_capacity(rdns.len());
+        for rdn in rdns {
+            let set = match rdn {
+                Value::Set(items) => items,
+                _ => return Err(crate::X509Error::Structure("RDN is not a set")),
+            };
+            for atv in set {
+                let parts = atv
+                    .as_sequence()
+                    .ok_or(crate::X509Error::Structure("ATV is not a sequence"))?;
+                let [oid_v, val_v] = parts else {
+                    return Err(crate::X509Error::Structure("ATV arity"));
+                };
+                let oid = oid_v
+                    .as_oid()
+                    .ok_or(crate::X509Error::Structure("ATV type"))?
+                    .clone();
+                let value = val_v
+                    .as_str()
+                    .ok_or(crate::X509Error::Structure("ATV value"))?
+                    .to_string();
+                attributes.push(NameAttribute { oid, value });
+            }
+        }
+        Ok(DistinguishedName { attributes })
+    }
+}
+
+impl fmt::Display for DistinguishedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for attr in &self.attributes {
+            if !first {
+                write!(f, ", ")?;
+            }
+            let label = if attr.oid == oids::common_name() {
+                "CN"
+            } else if attr.oid == oids::organization() {
+                "O"
+            } else if attr.oid == oids::country() {
+                "C"
+            } else {
+                "OID"
+            };
+            write!(f, "{label}={}", attr.value)?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DNS matching
+// ---------------------------------------------------------------------------
+
+/// Interpretation of a leading dot in a DNS name constraint.
+///
+/// The paper (§5.1) observes that Firefox and OpenSSL have disagreed on
+/// this exact point, so the validator exposes both semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DotSemantics {
+    /// RFC 5280: `.example.com` and `example.com` both match the host
+    /// `example.com` and any subdomain.
+    #[default]
+    Rfc5280,
+    /// Stricter reading: `.example.com` matches only *proper* subdomains —
+    /// `a.example.com` yes, `example.com` itself no.
+    RequireSubdomain,
+}
+
+/// Case-insensitive DNS label equality (DNS names are ASCII).
+fn eq_label(a: &str, b: &str) -> bool {
+    a.eq_ignore_ascii_case(b)
+}
+
+/// Does `pattern` (possibly with one leading `*` label) match `host`?
+///
+/// Wildcards match exactly one label and only in the leftmost position,
+/// per RFC 6125: `*.example.com` matches `a.example.com` but neither
+/// `example.com` nor `a.b.example.com`.
+pub fn wildcard_matches(pattern: &str, host: &str) -> bool {
+    let p: Vec<&str> = pattern.split('.').collect();
+    let h: Vec<&str> = host.split('.').collect();
+    if p.iter().any(|l| l.is_empty()) || h.iter().any(|l| l.is_empty()) {
+        return false;
+    }
+    if p.first() == Some(&"*") {
+        if p.len() != h.len() || p.len() < 3 {
+            return false;
+        }
+        p[1..].iter().zip(&h[1..]).all(|(pl, hl)| eq_label(pl, hl))
+    } else {
+        p.len() == h.len() && p.iter().zip(&h).all(|(pl, hl)| eq_label(pl, hl))
+    }
+}
+
+/// Does DNS name `name` fall within the constraint subtree `base`?
+///
+/// Under [`DotSemantics::Rfc5280`], `base = "example.com"` matches
+/// `example.com` and every subdomain; a leading dot is tolerated and
+/// means the same thing. Under [`DotSemantics::RequireSubdomain`], a
+/// leading dot requires at least one extra label.
+pub fn in_subtree(name: &str, base: &str, semantics: DotSemantics) -> bool {
+    let (dotted, base) = match base.strip_prefix('.') {
+        Some(rest) => (true, rest),
+        None => (false, base),
+    };
+    if base.is_empty() {
+        // An empty base matches everything (the "any" subtree).
+        return !name.is_empty();
+    }
+    let name_labels: Vec<&str> = name.split('.').collect();
+    let base_labels: Vec<&str> = base.split('.').collect();
+    if name_labels.iter().any(|l| l.is_empty()) || base_labels.iter().any(|l| l.is_empty()) {
+        return false;
+    }
+    if name_labels.len() < base_labels.len() {
+        return false;
+    }
+    let offset = name_labels.len() - base_labels.len();
+    let suffix_matches = base_labels
+        .iter()
+        .zip(&name_labels[offset..])
+        .all(|(bl, nl)| eq_label(bl, nl));
+    if !suffix_matches {
+        return false;
+    }
+    match semantics {
+        DotSemantics::Rfc5280 => true,
+        DotSemantics::RequireSubdomain => !dotted || offset >= 1,
+    }
+}
+
+/// Extract the top-level domain of a DNS name (lowercased); `None` when
+/// the name has no dot or empty labels.
+pub fn tld(name: &str) -> Option<String> {
+    let name = name.strip_prefix("*.").unwrap_or(name);
+    let labels: Vec<&str> = name.split('.').collect();
+    if labels.len() < 2 || labels.iter().any(|l| l.is_empty()) {
+        return None;
+    }
+    Some(labels.last().unwrap().to_ascii_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dn_display_and_cn() {
+        let dn = DistinguishedName::ca("Example Root", "Example Trust", "US");
+        assert_eq!(dn.to_string(), "C=US, O=Example Trust, CN=Example Root");
+        assert_eq!(dn.cn(), Some("Example Root"));
+        assert_eq!(DistinguishedName::default().cn(), None);
+    }
+
+    #[test]
+    fn dn_der_roundtrip() {
+        let dn = DistinguishedName::ca("Root X1", "Example", "FR");
+        let der = dn.to_der_value();
+        let back = DistinguishedName::from_der_value(&der).unwrap();
+        assert_eq!(back, dn);
+    }
+
+    #[test]
+    fn wildcard_basics() {
+        assert!(wildcard_matches("example.com", "example.com"));
+        assert!(wildcard_matches("EXAMPLE.com", "example.COM"));
+        assert!(!wildcard_matches("example.com", "www.example.com"));
+        assert!(wildcard_matches("*.example.com", "www.example.com"));
+        assert!(!wildcard_matches("*.example.com", "example.com"));
+        assert!(!wildcard_matches("*.example.com", "a.b.example.com"));
+        assert!(!wildcard_matches("*.com", "example.com")); // too broad
+        assert!(!wildcard_matches("", ""));
+    }
+
+    #[test]
+    fn subtree_rfc5280() {
+        let s = DotSemantics::Rfc5280;
+        assert!(in_subtree("example.com", "example.com", s));
+        assert!(in_subtree("a.example.com", "example.com", s));
+        assert!(in_subtree("a.b.example.com", "example.com", s));
+        assert!(in_subtree("example.com", ".example.com", s));
+        assert!(!in_subtree("badexample.com", "example.com", s));
+        assert!(!in_subtree("example.org", "example.com", s));
+        assert!(in_subtree("anything.tr", "tr", s)); // TLD constraint (TUBITAK-style)
+        assert!(!in_subtree("anything.trx", "tr", s));
+    }
+
+    #[test]
+    fn subtree_require_subdomain() {
+        let s = DotSemantics::RequireSubdomain;
+        assert!(!in_subtree("example.com", ".example.com", s));
+        assert!(in_subtree("a.example.com", ".example.com", s));
+        // No leading dot behaves like RFC 5280.
+        assert!(in_subtree("example.com", "example.com", s));
+    }
+
+    #[test]
+    fn tld_extraction() {
+        assert_eq!(tld("www.example.com"), Some("com".into()));
+        assert_eq!(tld("*.gouv.fr"), Some("fr".into()));
+        assert_eq!(tld("localhost"), None);
+        assert_eq!(tld("bad..name"), None);
+        assert_eq!(tld("UPPER.ORG"), Some("org".into()));
+    }
+}

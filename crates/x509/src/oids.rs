@@ -1,0 +1,119 @@
+//! Well-known object identifiers used across the workspace.
+//!
+//! Real Web-PKI OIDs are used wherever they exist; the signature algorithm
+//! OID lives under a private experimental arc because the hash-based
+//! scheme of `nrslb-crypto` has no assigned identifier.
+
+use nrslb_der::Oid;
+
+/// `2.5.4.3` — id-at-commonName.
+pub fn common_name() -> Oid {
+    Oid::new(&[2, 5, 4, 3])
+}
+
+/// `2.5.4.10` — id-at-organizationName.
+pub fn organization() -> Oid {
+    Oid::new(&[2, 5, 4, 10])
+}
+
+/// `2.5.4.6` — id-at-countryName.
+pub fn country() -> Oid {
+    Oid::new(&[2, 5, 4, 6])
+}
+
+/// `2.5.29.19` — id-ce-basicConstraints.
+pub fn basic_constraints() -> Oid {
+    Oid::new(&[2, 5, 29, 19])
+}
+
+/// `2.5.29.15` — id-ce-keyUsage.
+pub fn key_usage() -> Oid {
+    Oid::new(&[2, 5, 29, 15])
+}
+
+/// `2.5.29.37` — id-ce-extKeyUsage.
+pub fn ext_key_usage() -> Oid {
+    Oid::new(&[2, 5, 29, 37])
+}
+
+/// `2.5.29.17` — id-ce-subjectAltName.
+pub fn subject_alt_name() -> Oid {
+    Oid::new(&[2, 5, 29, 17])
+}
+
+/// `2.5.29.30` — id-ce-nameConstraints.
+pub fn name_constraints() -> Oid {
+    Oid::new(&[2, 5, 29, 30])
+}
+
+/// `2.5.29.32` — id-ce-certificatePolicies.
+pub fn certificate_policies() -> Oid {
+    Oid::new(&[2, 5, 29, 32])
+}
+
+/// `1.3.6.1.5.5.7.3.1` — id-kp-serverAuth.
+pub fn kp_server_auth() -> Oid {
+    Oid::new(&[1, 3, 6, 1, 5, 5, 7, 3, 1])
+}
+
+/// `1.3.6.1.5.5.7.3.2` — id-kp-clientAuth.
+pub fn kp_client_auth() -> Oid {
+    Oid::new(&[1, 3, 6, 1, 5, 5, 7, 3, 2])
+}
+
+/// `1.3.6.1.5.5.7.3.4` — id-kp-emailProtection (S/MIME).
+pub fn kp_email_protection() -> Oid {
+    Oid::new(&[1, 3, 6, 1, 5, 5, 7, 3, 4])
+}
+
+/// `2.23.140.1.1` — the CA/Browser Forum Extended Validation policy.
+pub fn ev_policy() -> Oid {
+    Oid::new(&[2, 23, 140, 1, 1])
+}
+
+/// `2.23.140.1.2.1` — CA/B domain-validated policy.
+pub fn dv_policy() -> Oid {
+    Oid::new(&[2, 23, 140, 1, 2, 1])
+}
+
+/// `1.3.9999.1.1` — private arc: the nrslb hash-based signature algorithm.
+pub fn hbs_signature() -> Oid {
+    Oid::new(&[1, 3, 9999, 1, 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oids_are_distinct() {
+        let all = [
+            common_name(),
+            organization(),
+            country(),
+            basic_constraints(),
+            key_usage(),
+            ext_key_usage(),
+            subject_alt_name(),
+            name_constraints(),
+            certificate_policies(),
+            kp_server_auth(),
+            kp_client_auth(),
+            kp_email_protection(),
+            ev_policy(),
+            dv_policy(),
+            hbs_signature(),
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_dotted() {
+        assert_eq!(basic_constraints().to_string(), "2.5.29.19");
+        assert_eq!(kp_server_auth().to_string(), "1.3.6.1.5.5.7.3.1");
+    }
+}

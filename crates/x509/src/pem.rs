@@ -1,0 +1,93 @@
+//! PEM armor for certificates (RFC 7468 style).
+
+use crate::{Certificate, X509Error};
+use nrslb_crypto::base64;
+
+const BEGIN: &str = "-----BEGIN CERTIFICATE-----";
+const END: &str = "-----END CERTIFICATE-----";
+
+/// Render a certificate as a PEM block (64-column base64 body).
+pub fn encode(cert: &Certificate) -> String {
+    let b64 = base64::encode(cert.to_der());
+    let mut out = String::with_capacity(b64.len() + 64);
+    out.push_str(BEGIN);
+    out.push('\n');
+    for chunk in b64.as_bytes().chunks(64) {
+        out.push_str(std::str::from_utf8(chunk).expect("base64 is ascii"));
+        out.push('\n');
+    }
+    out.push_str(END);
+    out.push('\n');
+    out
+}
+
+/// Parse every certificate PEM block in `text`, in order.
+pub fn decode_all(text: &str) -> Result<Vec<Certificate>, X509Error> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find(BEGIN) {
+        let after = &rest[start + BEGIN.len()..];
+        let end = after
+            .find(END)
+            .ok_or(X509Error::Structure("unterminated PEM block"))?;
+        let body = &after[..end];
+        let der = base64::decode(body).map_err(X509Error::Crypto)?;
+        out.push(Certificate::from_der(&der)?);
+        rest = &after[end + END.len()..];
+    }
+    Ok(out)
+}
+
+/// Parse exactly one certificate from PEM text.
+pub fn decode(text: &str) -> Result<Certificate, X509Error> {
+    let mut all = decode_all(text)?;
+    match all.len() {
+        1 => Ok(all.remove(0)),
+        0 => Err(X509Error::Structure("no PEM certificate block")),
+        _ => Err(X509Error::Structure("multiple PEM certificate blocks")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::simple_chain;
+
+    #[test]
+    fn roundtrip_single() {
+        let pki = simple_chain("pem.example");
+        let pem = encode(&pki.leaf);
+        assert!(pem.starts_with(BEGIN));
+        assert!(pem.trim_end().ends_with(END));
+        assert!(pem.lines().all(|l| l.len() <= 64 + 5));
+        let back = decode(&pem).unwrap();
+        assert_eq!(back, pki.leaf);
+        assert_eq!(back.to_der(), pki.leaf.to_der());
+    }
+
+    #[test]
+    fn bundle_roundtrip() {
+        let pki = simple_chain("bundle.example");
+        let bundle = format!(
+            "# comment line\n{}{}{}",
+            encode(&pki.leaf),
+            encode(&pki.intermediate),
+            encode(&pki.root)
+        );
+        let certs = decode_all(&bundle).unwrap();
+        assert_eq!(certs.len(), 3);
+        assert_eq!(certs[0], pki.leaf);
+        assert_eq!(certs[2], pki.root);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(decode("").is_err());
+        assert!(decode("-----BEGIN CERTIFICATE-----\nZm9v\n").is_err()); // no END
+        assert!(decode(&format!("{BEGIN}\n!!!!\n{END}\n")).is_err()); // bad base64
+        let pki = simple_chain("pemdup.example");
+        let two = format!("{}{}", encode(&pki.leaf), encode(&pki.root));
+        assert!(decode(&two).is_err()); // decode() wants exactly one
+        assert_eq!(decode_all(&two).unwrap().len(), 2);
+    }
+}

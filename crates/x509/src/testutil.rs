@@ -1,0 +1,108 @@
+//! Ready-made synthetic PKIs for tests, examples and documentation.
+
+use crate::builder::{CaKey, CertificateBuilder};
+use crate::cert::Certificate;
+use crate::extensions::{ExtendedKeyUsage, KeyUsage};
+use crate::name::DistinguishedName;
+
+/// A minimal root → intermediate → leaf chain plus its signing keys.
+pub struct SimplePki {
+    /// Self-signed root certificate.
+    pub root: Certificate,
+    /// Intermediate signed by the root.
+    pub intermediate: Certificate,
+    /// Leaf signed by the intermediate, valid for the requested hostname.
+    pub leaf: Certificate,
+    /// The root's signing key.
+    pub root_key: CaKey,
+    /// The intermediate's signing key.
+    pub intermediate_key: CaKey,
+    /// A timestamp inside every certificate's validity window.
+    pub now: i64,
+}
+
+/// Deterministic timestamps used by the simple chains: roughly 2022-07-01.
+pub const T0: i64 = 1_656_633_600;
+/// One year of seconds.
+pub const YEAR: i64 = 365 * 86_400;
+
+/// Build a root → intermediate → leaf chain for `hostname`.
+///
+/// Deterministic per hostname: repeated calls with the same hostname yield
+/// byte-identical certificates. Roots are valid for 20 years around [`T0`],
+/// intermediates for 10, leaves for 1.
+pub fn simple_chain(hostname: &str) -> SimplePki {
+    simple_chain_at(hostname, T0)
+}
+
+/// [`simple_chain`] with an explicit "current time"; certificates are
+/// positioned so `now` is inside every validity window.
+pub fn simple_chain_at(hostname: &str, now: i64) -> SimplePki {
+    let root_key = CaKey::generate_for_tests(&format!("{hostname} Root CA"), 0xa0);
+    let intermediate_key = CaKey::generate_for_tests(&format!("{hostname} Issuing CA"), 0xa1);
+
+    let root = CertificateBuilder::new()
+        .validity_window(now - 10 * YEAR, now + 10 * YEAR)
+        .ca(None)
+        .key_usage(KeyUsage::KEY_CERT_SIGN.union(KeyUsage::CRL_SIGN))
+        .serial(1)
+        .build_self_signed(&root_key)
+        .expect("root construction");
+
+    let intermediate = CertificateBuilder::new()
+        .subject(intermediate_key.name().clone())
+        .subject_key(intermediate_key.public())
+        .validity_window(now - 5 * YEAR, now + 5 * YEAR)
+        .ca(Some(0))
+        .key_usage(KeyUsage::KEY_CERT_SIGN.union(KeyUsage::CRL_SIGN))
+        .serial(2)
+        .build_signed_by(&root_key)
+        .expect("intermediate construction");
+
+    let leaf = CertificateBuilder::new()
+        .subject(DistinguishedName::common_name(hostname))
+        .dns_names(&[hostname])
+        .validity_window(now - YEAR / 2, now + YEAR / 2)
+        .key_usage(KeyUsage::DIGITAL_SIGNATURE)
+        .extended_key_usage(ExtendedKeyUsage::server_auth())
+        .serial(3)
+        .build_signed_by(&intermediate_key)
+        .expect("leaf construction");
+
+    SimplePki {
+        root,
+        intermediate,
+        leaf,
+        root_key,
+        intermediate_key,
+        now,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_well_formed() {
+        let pki = simple_chain("test.example");
+        assert!(pki.root.is_ca());
+        assert!(pki.intermediate.is_ca());
+        assert_eq!(pki.intermediate.path_len(), Some(0));
+        assert!(!pki.leaf.is_ca());
+        assert!(pki.leaf.validity().contains(pki.now));
+        assert!(pki.leaf.matches_hostname("test.example"));
+        pki.leaf.verify_signed_by(&pki.intermediate).unwrap();
+        pki.intermediate.verify_signed_by(&pki.root).unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_hostname() {
+        let a = simple_chain("det.example");
+        let b = simple_chain("det.example");
+        assert_eq!(a.leaf.fingerprint(), b.leaf.fingerprint());
+        assert_eq!(a.root.fingerprint(), b.root.fingerprint());
+        let c = simple_chain("other.example");
+        assert_ne!(a.leaf.fingerprint(), c.leaf.fingerprint());
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests: any certificate the builder can produce
+//! round-trips through DER with every field intact.
+
+use nrslb_x509::builder::CertificateBuilder;
+use nrslb_x509::extensions::{BasicConstraints, ExtendedKeyUsage, KeyUsage, NameConstraints};
+use nrslb_x509::{oids, Certificate, DistinguishedName};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct CertSpec {
+    cn: String,
+    sans: Vec<String>,
+    serial: i128,
+    not_before: i64,
+    lifetime: i64,
+    ca: Option<Option<u32>>, // None = no BC; Some(path_len)
+    ku_bits: u16,
+    eku: Vec<u8>, // indices into the known EKU set
+    permitted: Vec<String>,
+    excluded: Vec<String>,
+    ev: bool,
+}
+
+fn dns_label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,8}[a-z0-9]".prop_map(|s| s)
+}
+
+fn dns_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(dns_label(), 1..4).prop_map(|labels| labels.join("."))
+}
+
+fn cert_spec() -> impl Strategy<Value = CertSpec> {
+    (
+        "[ -~]{1,24}",
+        proptest::collection::vec(dns_name(), 0..4),
+        any::<i64>().prop_map(|s| s as i128),
+        // Dates within GeneralizedTime's supported years.
+        0i64..4_000_000_000,
+        0i64..(50 * 365 * 86_400),
+        proptest::option::of(proptest::option::of(0u32..16)),
+        any::<u16>(),
+        proptest::collection::vec(0u8..3, 0..3),
+        proptest::collection::vec(dns_name(), 0..3),
+        proptest::collection::vec(dns_name(), 0..2),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(
+                cn,
+                sans,
+                serial,
+                not_before,
+                lifetime,
+                ca,
+                ku_bits,
+                eku,
+                permitted,
+                excluded,
+                ev,
+            )| {
+                CertSpec {
+                    cn,
+                    sans,
+                    serial,
+                    not_before,
+                    lifetime,
+                    ca,
+                    ku_bits,
+                    eku,
+                    permitted,
+                    excluded,
+                    ev,
+                }
+            },
+        )
+}
+
+fn build(spec: &CertSpec) -> Certificate {
+    let mut b = CertificateBuilder::new()
+        .subject(DistinguishedName::common_name(&spec.cn))
+        .serial(spec.serial)
+        .validity_window(spec.not_before, spec.not_before + spec.lifetime);
+    if !spec.sans.is_empty() {
+        let refs: Vec<&str> = spec.sans.iter().map(|s| s.as_str()).collect();
+        b = b.dns_names(&refs);
+    }
+    if let Some(path_len) = spec.ca {
+        b = b.basic_constraints(BasicConstraints { ca: true, path_len });
+    }
+    if spec.ku_bits != 0 {
+        b = b.key_usage(KeyUsage(spec.ku_bits));
+    }
+    if !spec.eku.is_empty() {
+        let all = [
+            oids::kp_server_auth(),
+            oids::kp_client_auth(),
+            oids::kp_email_protection(),
+        ];
+        let mut list: Vec<_> = spec.eku.iter().map(|&i| all[i as usize].clone()).collect();
+        list.dedup();
+        b = b.extended_key_usage(ExtendedKeyUsage(list));
+    }
+    if !spec.permitted.is_empty() || !spec.excluded.is_empty() {
+        b = b.name_constraints(NameConstraints {
+            permitted: spec.permitted.clone(),
+            excluded: spec.excluded.clone(),
+        });
+    }
+    if spec.ev {
+        b = b.ev();
+    }
+    b.build_unsigned(DistinguishedName::ca("Prop Issuer", "PropOrg", "US"))
+        .expect("spec is buildable")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn der_roundtrip_preserves_all_fields(spec in cert_spec()) {
+        let cert = build(&spec);
+        let parsed = Certificate::from_der(cert.to_der()).expect("own DER parses");
+        prop_assert_eq!(parsed.serial(), spec.serial);
+        prop_assert_eq!(parsed.subject().cn(), Some(spec.cn.as_str()));
+        prop_assert_eq!(parsed.validity().not_before, spec.not_before);
+        prop_assert_eq!(parsed.validity().lifetime(), spec.lifetime);
+        prop_assert_eq!(parsed.dns_names(), cert.dns_names());
+        prop_assert_eq!(parsed.is_ca(), spec.ca.is_some());
+        prop_assert_eq!(parsed.path_len(), spec.ca.flatten());
+        prop_assert_eq!(parsed.is_ev(), spec.ev);
+        prop_assert_eq!(parsed.extensions(), cert.extensions());
+        prop_assert_eq!(parsed.fingerprint(), cert.fingerprint());
+        prop_assert_eq!(parsed.tbs_der(), cert.tbs_der());
+    }
+
+    #[test]
+    fn fingerprints_are_injective_over_specs(a in cert_spec(), b in cert_spec()) {
+        let ca = build(&a);
+        let cb = build(&b);
+        if ca.to_der() != cb.to_der() {
+            prop_assert_ne!(ca.fingerprint(), cb.fingerprint());
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_certs(spec in cert_spec(), idx in 0usize..4096, byte in any::<u8>()) {
+        let cert = build(&spec);
+        let mut der = cert.to_der().to_vec();
+        let i = idx % der.len();
+        der[i] = byte;
+        let _ = Certificate::from_der(&der); // no panic, any result
+    }
+
+    #[test]
+    fn truncation_never_panics(spec in cert_spec(), cut in 0usize..4096) {
+        let cert = build(&spec);
+        let der = cert.to_der();
+        let cut = cut % der.len();
+        prop_assert!(Certificate::from_der(&der[..cut]).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Pre-emptive constraints (paper §5): infer a CA's scope of issuance
+//! from a CT log, compile it into a GCC, and catch mis-issuance that the
+//! CAge baseline (names only) misses.
+//!
+//! ```sh
+//! cargo run --example preemptive_constraints
+//! ```
+
+use nrslb::core::{evaluate_gcc, Usage};
+use nrslb::ctlog::{Corpus, CorpusConfig};
+use nrslb::preemptive::cage::CageModel;
+use nrslb::preemptive::gccgen::{generate_cage_gcc, generate_preemptive_gcc, suggest_split};
+use nrslb::preemptive::scope::{infer_scopes, tld_cdf_at};
+use nrslb::x509::{CertificateBuilder, DistinguishedName};
+
+fn main() {
+    // A CT-log-shaped corpus calibrated to the paper's 2022 measurement.
+    let corpus = Corpus::generate(CorpusConfig::paper_2022(20_000));
+    println!(
+        "corpus: {} roots, {} intermediates, {} leaves",
+        corpus.roots.len(),
+        corpus.intermediates.len(),
+        corpus.leaves.len()
+    );
+
+    // Scope inference over the log (the "study" §5.2 calls for).
+    let scopes = infer_scopes(&corpus.leaves);
+    println!(
+        "CAge observation: {:.0}% of issuing CAs sign for <= 10 TLDs (paper: 90%)\n",
+        tld_cdf_at(&scopes, 10) * 100.0
+    );
+
+    // Pick the busiest CA and constrain it.
+    let ca = {
+        let mut counts = vec![0usize; corpus.intermediates.len()];
+        for &i in &corpus.leaf_issuer {
+            counts[i] += 1;
+        }
+        (0..counts.len()).max_by_key(|&i| counts[i]).unwrap()
+    };
+    let int = &corpus.intermediates[ca];
+    let root = &corpus.roots[corpus.int_issuer[ca]];
+    let scope = &scopes[&int.subject().to_string()];
+    println!("busiest CA: {}", int.subject());
+    println!(
+        "  observed scope: {} leaves, {} TLDs, EKUs {:?}, max lifetime {} days, EV seen: {}",
+        scope.leaf_count,
+        scope.tlds.len(),
+        scope.ekus,
+        scope.max_lifetime / 86_400,
+        scope.ev_seen
+    );
+
+    let preemptive = generate_preemptive_gcc("preemptive", root.fingerprint(), scope, 0).unwrap();
+    let cage_gcc = generate_cage_gcc("cage", root.fingerprint(), scope, 0).unwrap();
+    let cage_model = CageModel::train(&scopes);
+    println!("\ngenerated pre-emptive GCC:\n{}", preemptive.source());
+
+    // Mis-issuance 1: a TLD the CA never served (both catch it).
+    let name_attack = CertificateBuilder::new()
+        .subject(DistinguishedName::common_name("bank.evil"))
+        .dns_names(&["login.bank.neverseen"])
+        .validity_window(0, 90 * 86_400)
+        .build_unsigned(int.subject().clone())
+        .unwrap();
+    // Mis-issuance 2: names in scope, but a 20-year lifetime (only the
+    // pre-emptive GCC catches it — the paper's advantage over CAge).
+    let in_tld = scope.tlds.iter().next().unwrap();
+    let field_attack = CertificateBuilder::new()
+        .subject(DistinguishedName::common_name("sneaky"))
+        .dns_names(&[&format!("sneaky.{in_tld}")])
+        .validity_window(0, 20 * 365 * 86_400)
+        .key_usage(nrslb::x509::KeyUsage::DIGITAL_SIGNATURE)
+        .extended_key_usage(nrslb::x509::ExtendedKeyUsage::server_auth())
+        .build_unsigned(int.subject().clone())
+        .unwrap();
+
+    for (label, attack) in [
+        ("novel-TLD attack", name_attack),
+        ("20-year-lifetime attack", field_attack),
+    ] {
+        let chain = vec![attack.clone(), int.clone(), root.clone()];
+        println!(
+            "{label}: CAge accepts = {}, CAge-GCC accepts = {}, pre-emptive GCC accepts = {}",
+            cage_model.accepts(&attack),
+            evaluate_gcc(&cage_gcc, &chain, Usage::Tls).unwrap(),
+            evaluate_gcc(&preemptive, &chain, Usage::Tls).unwrap(),
+        );
+    }
+
+    // Split suggestion (§5.2's bimodal CAs).
+    match suggest_split(scope, 0.3) {
+        Some((a, b)) => println!("\nbimodal issuance: suggest splitting into {a:?} and {b:?}"),
+        None => println!("\nno bimodal split suggested for this CA (scope is unimodal)"),
+    }
+}

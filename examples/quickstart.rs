@@ -1,0 +1,81 @@
+//! Quickstart: validate a chain, then attach the paper's Listing 1 GCC
+//! to its root and watch the policy bite.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use nrslb::core::{Usage, ValidationMode, Validator};
+use nrslb::rootstore::{Gcc, GccMetadata, RootStore};
+use nrslb::x509::testutil::simple_chain;
+
+fn main() {
+    // A synthetic PKI: root -> intermediate -> leaf for one hostname.
+    let pki = simple_chain("shop.example");
+    println!("leaf:         {:?}", pki.leaf);
+    println!("intermediate: {:?}", pki.intermediate);
+    println!("root:         {:?}", pki.root);
+
+    // A root store that trusts the root, with no policy attached.
+    let mut store = RootStore::new("quickstart");
+    store.add_trusted(pki.root.clone()).unwrap();
+
+    let validator = Validator::new(store.clone(), ValidationMode::UserAgent);
+    let outcome = validator
+        .validate_for_host(
+            &pki.leaf,
+            std::slice::from_ref(&pki.intermediate),
+            "shop.example",
+            pki.now,
+        )
+        .unwrap();
+    println!("\nwithout GCC: accepted = {}", outcome.accepted());
+
+    // Attach the paper's Listing 1 (TrustCor) constraint: the leaf must
+    // have been issued before 2022-11-30. Our leaf is issued in early
+    // 2022, so TLS stays valid; shift time forward and issue later and
+    // it would not.
+    let gcc = Gcc::parse(
+        "trustcor-listing-1",
+        pki.root.fingerprint(),
+        r#"
+        nov30th2022(1669784400).
+        valid(Chain, "S/MIME") :-
+          leaf(Chain, Cert), nov30th2022(T), notBefore(Cert, NB), NB < T.
+        valid(Chain, "TLS") :-
+          leaf(Chain, Cert), \+EV(Cert), nov30th2022(T), notBefore(Cert, NB), NB < T.
+        "#,
+        GccMetadata {
+            justification: "TrustCor date/usage constraints (paper Listing 1)".into(),
+            discussion_url: "https://groups.google.com/a/mozilla.org/g/dev-security-policy".into(),
+            created_at: 1_669_784_400,
+        },
+    )
+    .expect("GCC parses, is safe and stratifies");
+    store.attach_gcc(gcc).unwrap();
+
+    let validator = Validator::new(store, ValidationMode::UserAgent);
+    for usage in [Usage::Tls, Usage::SMime] {
+        let outcome = validator
+            .validate(
+                &pki.leaf,
+                std::slice::from_ref(&pki.intermediate),
+                usage,
+                pki.now,
+            )
+            .unwrap();
+        println!(
+            "with Listing-1 GCC, usage {usage}: accepted = {} (gcc verdicts: {:?})",
+            outcome.accepted(),
+            outcome
+                .attempts
+                .last()
+                .map(|a| a
+                    .gcc_verdicts
+                    .iter()
+                    .map(|v| (v.gcc_name.as_str(), v.accepted))
+                    .collect::<Vec<_>>())
+                .unwrap_or_default()
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Root-Store Feeds end to end (paper §4): a primary publishes signed
+//! snapshots and deltas (including a GCC), a derivative polls, and a
+//! merge with the derivative's own additions flags the dangerous
+//! conflict.
+//!
+//! ```sh
+//! cargo run --example rsf_feed_sync
+//! ```
+
+use nrslb::rootstore::{Gcc, GccMetadata, RootStore, TrustStatus};
+use nrslb::rsf::merge::MergePolicy;
+use nrslb::rsf::{merge_stores, CoordinatorKey, FeedKey, FeedPublisher, FeedSubscriber, FeedTrust};
+use nrslb::x509::testutil::simple_chain;
+
+fn main() {
+    // Key ceremony: a coordinating body (the ICANN stand-in) endorses
+    // the primary's feed key; subscribers pin only the coordinator.
+    let coordinator = CoordinatorKey::from_seed([1; 32], 6).unwrap();
+    let feed_key = FeedKey::new([2; 32], 8, &coordinator).unwrap();
+    let trust = FeedTrust {
+        coordinator: coordinator.public(),
+    };
+
+    // The primary store starts with two roots.
+    let pki_a = simple_chain("feed-a.example");
+    let pki_b = simple_chain("feed-b.example");
+    let mut primary = RootStore::new("nss");
+    primary.add_trusted(pki_a.root.clone()).unwrap();
+    primary.add_trusted(pki_b.root.clone()).unwrap();
+
+    let mut publisher = FeedPublisher::new("nss", feed_key, &primary, 0).unwrap();
+    let mut debian = FeedSubscriber::new("debian", trust);
+
+    // Bootstrap sync: the derivative fetches the signed snapshot.
+    let report = debian.sync(&mut publisher).unwrap();
+    println!(
+        "bootstrap: snapshot applied = {}, sequence = {}, {} bytes",
+        report.snapshot_applied, report.sequence, report.bytes_transferred
+    );
+    println!("derivative now trusts {} roots\n", debian.store().len());
+
+    // Incident: the primary partially distrusts root A via a GCC and
+    // publishes a delta.
+    let gcc = Gcc::parse(
+        "incident-response",
+        pki_a.root.fingerprint(),
+        r#"valid(Chain, "TLS") :- leaf(Chain, _)."#, // TLS-only from now on
+        GccMetadata {
+            justification: "S/MIME issuance compromised; restrict root A to TLS".into(),
+            discussion_url: "https://bugzilla.example/4242".into(),
+            created_at: 3_600,
+        },
+    )
+    .unwrap();
+    primary.attach_gcc(gcc).unwrap();
+    publisher.publish(&primary, 3_600).unwrap();
+
+    let report = debian.sync(&mut publisher).unwrap();
+    println!(
+        "hourly poll: {} delta(s) applied, sequence = {}",
+        report.deltas_applied, report.sequence
+    );
+    let gccs = debian.store().gccs_for(&pki_a.root.fingerprint());
+    println!(
+        "derivative received GCC '{}' with justification: {:?}\n",
+        gccs[0].name(),
+        gccs[0].metadata().justification
+    );
+
+    // Later: the primary removes root B outright (negative inclusion).
+    primary.distrust(pki_b.root.fingerprint(), "key compromise");
+    publisher.publish(&primary, 7_200).unwrap();
+    debian.sync(&mut publisher).unwrap();
+    println!(
+        "after distrust delta, root B status at derivative: {:?}",
+        debian.store().status(&pki_b.root.fingerprint())
+    );
+
+    // The derivative augments its store... by re-adding root B. The
+    // merge flags the conflict instead of silently resolving it.
+    let mut derivative_own = debian.store().clone();
+    derivative_own
+        .add_trusted_overriding(pki_b.root.clone())
+        .unwrap();
+    let report = merge_stores(
+        "merged",
+        debian.store(),
+        &derivative_own,
+        MergePolicy::PrimaryWins,
+    );
+    println!("\nmerge of primary feed with derivative additions:");
+    for conflict in &report.conflicts {
+        let nrslb::rsf::Conflict::PrimaryDistrustsDerivativeTrusts {
+            fingerprint,
+            justification,
+        } = conflict;
+        println!(
+            "  CONFLICT: {} distrusted by primary ({justification}) but trusted by derivative",
+            fingerprint.short()
+        );
+    }
+    assert_eq!(
+        report.merged.status(&pki_b.root.fingerprint()),
+        TrustStatus::Distrusted
+    );
+    println!("  primary-wins merge keeps it distrusted");
+}

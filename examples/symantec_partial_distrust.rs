@@ -1,0 +1,55 @@
+//! The Debian dilemma (paper §2.3): replay the 2018 Symantec partial
+//! distrust under the three derivative strategies.
+//!
+//! ```sh
+//! cargo run --example symantec_partial_distrust
+//! ```
+
+use nrslb::incidents::catalog::symantec;
+use nrslb::incidents::matrix::{evaluate_scenario, DerivativeStrategy};
+
+fn main() {
+    // A population: 30 pre-cutoff subscribers, 10 post-cutoff leaves via
+    // the exempt Apple intermediate, 20 post-cutoff leaves the primary
+    // policy (Listing 2) rejects.
+    let scenario = symantec::scenario_sized(30, 10, 20);
+    println!("Symantec scenario:");
+    println!("  affected root: {:?}", scenario.affected_root);
+    println!(
+        "  attached GCC:  {}",
+        scenario
+            .store
+            .gccs_for(&scenario.affected_root.fingerprint())[0]
+            .name()
+    );
+    println!(
+        "  {} legitimate chains, {} mis-issued chains\n",
+        scenario.legitimate.len(),
+        scenario.attacks.len()
+    );
+
+    for strategy in [
+        DerivativeStrategy::BinaryKeep,
+        DerivativeStrategy::BinaryRemove,
+        DerivativeStrategy::Gcc,
+    ] {
+        let stats = evaluate_scenario(&scenario, strategy);
+        println!("strategy {strategy}:");
+        println!(
+            "  legitimate accepted: {}/{}",
+            stats.legitimate_accepted, stats.legitimate_total
+        );
+        println!(
+            "  attacks accepted:    {}/{}",
+            stats.attacks_accepted, stats.attacks_total
+        );
+        let verdict = if stats.matches_primary() {
+            "matches the primary exactly"
+        } else if stats.vulnerable() {
+            "VULNERABLE: accepts chains the primary rejects"
+        } else {
+            "DENIAL OF SERVICE: rejects chains the primary accepts (Debian was forced to revert this)"
+        };
+        println!("  -> {verdict}\n");
+    }
+}

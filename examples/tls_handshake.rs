@@ -1,0 +1,68 @@
+//! A TLS-shaped handshake where the user-agent enforces a GCC (paper
+//! §1/§3.1): the server's certificate is fine by every classical check,
+//! but the root store's policy decides.
+//!
+//! ```sh
+//! cargo run --example tls_handshake
+//! ```
+
+use nrslb::core::ValidationMode;
+use nrslb::rootstore::{Gcc, GccMetadata, RootStore};
+use nrslb::tls::{Client, ClientConfig, Server, ServerIdentity, TlsError};
+use nrslb::x509::builder::CaKey;
+
+fn main() {
+    // Server side: an identity under a root the client trusts.
+    let ca = CaKey::generate_for_tests("Handshake Demo Root", 0x77);
+    let (identity, root) = ServerIdentity::issue_under_test_root("pay.example", &ca);
+    let mut server = Server::new(identity);
+
+    let mut store = RootStore::new("browser");
+    store.add_trusted(root.clone()).unwrap();
+
+    // Handshake 1: no policy — succeeds.
+    let mut client = Client::new(
+        ClientConfig::new(store.clone(), ValidationMode::UserAgent, 1_000),
+        "pay.example",
+        [0x01; 32],
+    );
+    let hello = client.start();
+    let flight = server.respond(&hello, [0x02; 32]).unwrap();
+    let finished = client.process_server_flight(&flight).unwrap();
+    server.finish(&finished).unwrap();
+    println!(
+        "handshake without policy: session established, master secret {}",
+        client.session().unwrap().master_secret.short()
+    );
+
+    // The primary pushes a WoSign-style partial distrust: only
+    // certificates issued before t=500 stay valid. Our server's leaf is
+    // issued at t=0... but wait, it was issued with notBefore 0, so it
+    // survives. Tighten to before t=0 to show the rejection.
+    let gcc = Gcc::parse(
+        "no-new-certs",
+        root.fingerprint(),
+        "cutoff(0).\nvalid(Chain, _) :- leaf(Chain, C), notBefore(C, NB), cutoff(T), NB < T.",
+        GccMetadata {
+            justification: "distrust all newly issued certificates".into(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    store.attach_gcc(gcc).unwrap();
+
+    // Handshake 2: same server, same chain — the GCC rejects it.
+    let mut client = Client::new(
+        ClientConfig::new(store, ValidationMode::UserAgent, 1_000),
+        "pay.example",
+        [0x03; 32],
+    );
+    let hello = client.start();
+    let flight = server.respond(&hello, [0x04; 32]).unwrap();
+    match client.process_server_flight(&flight) {
+        Err(TlsError::CertificateRejected(why)) => {
+            println!("handshake with GCC: rejected at the certificate step: {why}");
+        }
+        other => panic!("expected certificate rejection, got {other:?}"),
+    }
+}

@@ -1,0 +1,74 @@
+//! The platform-execution deployment mode (paper §3.1): a trust daemon
+//! owning the platform root store evaluates GCCs over a Unix-domain
+//! socket while the user-agent drives chain construction.
+//!
+//! ```sh
+//! cargo run --example trust_daemon
+//! ```
+
+use nrslb::core::daemon::{ephemeral_socket_path, TrustDaemon};
+use nrslb::core::{Usage, ValidationMode, Validator};
+use nrslb::rootstore::{Gcc, GccMetadata, RootStore};
+use nrslb::x509::testutil::simple_chain;
+use std::sync::Arc;
+
+fn main() {
+    let pki = simple_chain("daemon-demo.example");
+
+    // The *platform* root store (what /etc/ssl/certs would be, plus
+    // policy): trusts the root and carries a GCC that limits it to TLS.
+    let mut platform_store = RootStore::new("platform");
+    platform_store.add_trusted(pki.root.clone()).unwrap();
+    platform_store
+        .attach_gcc(
+            Gcc::parse(
+                "tls-only",
+                pki.root.fingerprint(),
+                r#"valid(Chain, "TLS") :- leaf(Chain, _)."#,
+                GccMetadata {
+                    justification: "email mis-issuance incident: restrict to TLS".into(),
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+    // Spawn the daemon (a thread in this demo; a systemd service in the
+    // deployment the paper sketches).
+    let socket = ephemeral_socket_path("example");
+    let daemon = TrustDaemon::spawn(platform_store.clone(), &socket).unwrap();
+    println!(
+        "trust daemon listening on {}",
+        daemon.socket_path().display()
+    );
+
+    // The user-agent: pulls root *certificates* from the platform (as
+    // today) but delegates GCC evaluation to the daemon over IPC.
+    let user_agent = Validator::new(
+        platform_store,
+        ValidationMode::Platform(Arc::new(daemon.client())),
+    );
+
+    for usage in [Usage::Tls, Usage::SMime] {
+        let outcome = user_agent
+            .validate(
+                &pki.leaf,
+                std::slice::from_ref(&pki.intermediate),
+                usage,
+                pki.now,
+            )
+            .unwrap();
+        println!(
+            "validate for {usage}: accepted = {} ({} candidate chain(s) tried)",
+            outcome.accepted(),
+            outcome.attempts.len()
+        );
+        if let Some(reason) = outcome.final_reason() {
+            println!("  rejected because: {reason}");
+        }
+    }
+    // Dropping the daemon handle shuts it down and removes the socket.
+    drop(daemon);
+    println!("daemon stopped, socket removed: {}", !socket.exists());
+}

@@ -1,0 +1,52 @@
+//! # No Root Store Left Behind (`nrslb`)
+//!
+//! Umbrella crate for the `nrslb` workspace, a from-scratch Rust
+//! reproduction of *"No Root Store Left Behind"* (Larisch et al.,
+//! HotNets '23). It re-exports every sub-crate so examples, integration
+//! tests and downstream users can depend on a single crate.
+//!
+//! The paper proposes two mechanisms for bringing *precise*, *timely*
+//! root-certificate trust decisions to every TLS root store in the Web PKI:
+//!
+//! * **General Certificate Constraints (GCCs)** — small stratified-Datalog
+//!   programs attached to individual root certificates (by SHA-256 hash)
+//!   that decide, per candidate chain and usage, whether the chain may be
+//!   accepted. See [`core`] and [`datalog`].
+//! * **Root-Store Feeds (RSFs)** — signed sequences of root-store snapshots
+//!   (certificate additions/removals *and* GCCs) that primary operators
+//!   publish and derivative stores poll. See [`rsf`].
+//!
+//! Quickstart:
+//!
+//! ```
+//! use nrslb::core::{Validator, ValidationMode, Usage};
+//! use nrslb::rootstore::RootStore;
+//! use nrslb::x509::testutil::simple_chain;
+//!
+//! // Build a tiny synthetic PKI: root -> intermediate -> leaf.
+//! let pki = simple_chain("example.com");
+//! let mut store = RootStore::new("quickstart");
+//! store.add_trusted(pki.root.clone());
+//!
+//! let validator = Validator::new(store, ValidationMode::UserAgent);
+//! let outcome = validator
+//!     .validate(&pki.leaf, &[pki.intermediate.clone()], Usage::Tls, pki.now)
+//!     .expect("validation should not error");
+//! assert!(outcome.accepted());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use nrslb_core as core;
+pub use nrslb_crypto as crypto;
+pub use nrslb_ctlog as ctlog;
+pub use nrslb_datalog as datalog;
+pub use nrslb_der as der;
+pub use nrslb_incidents as incidents;
+pub use nrslb_preemptive as preemptive;
+pub use nrslb_revocation as revocation;
+pub use nrslb_rootstore as rootstore;
+pub use nrslb_rsf as rsf;
+pub use nrslb_sim as sim;
+pub use nrslb_tls as tls;
+pub use nrslb_x509 as x509;

@@ -1,0 +1,96 @@
+//! Full-validator run over a *signed* corpus: every generated chain must
+//! pass all standard checks in every deployment mode — the corpus
+//! generator and the validator agree about what a well-formed Web PKI
+//! looks like (including the 4 name-constrained intermediates, whose
+//! leaves are generated within their constraint scopes).
+
+use nrslb::core::{Usage, ValidationMode, Validator};
+use nrslb::ctlog::{Corpus, CorpusConfig};
+use nrslb::rootstore::RootStore;
+use std::sync::OnceLock;
+
+fn signed_corpus() -> &'static Corpus {
+    static CORPUS: OnceLock<Corpus> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let mut config = CorpusConfig::small(77).signed();
+        config.n_leaves = 80;
+        Corpus::generate(config)
+    })
+}
+
+#[test]
+fn every_signed_corpus_chain_validates() {
+    let corpus = signed_corpus();
+    let mut store = RootStore::new("corpus");
+    for root in &corpus.roots {
+        store.add_trusted(root.clone()).unwrap();
+    }
+    let mid = (corpus.config.issuance_window.0 + corpus.config.issuance_window.1) / 2;
+
+    for mode in [ValidationMode::UserAgent, ValidationMode::Hammurabi] {
+        let validator = Validator::new(store.clone(), mode);
+        let mut accepted = 0usize;
+        for i in 0..corpus.leaves.len() {
+            let chain = corpus.chain_for_leaf(i);
+            // Validate at a time inside this leaf's own window.
+            let at = chain[0].validity().not_before + 1_000;
+            let out = validator
+                .validate(&chain[0], &chain[1..2], Usage::Tls, at)
+                .unwrap();
+            assert!(
+                out.accepted(),
+                "leaf {i} rejected: {:?} (SANs {:?}, issuer {})",
+                out.final_reason(),
+                chain[0].dns_names(),
+                chain[1].subject()
+            );
+            accepted += 1;
+        }
+        assert_eq!(accepted, corpus.leaves.len());
+        let _ = mid;
+    }
+}
+
+#[test]
+fn corpus_signatures_verify_and_cross_chains_fail() {
+    let corpus = signed_corpus();
+    // Correct parentage verifies...
+    for i in (0..corpus.leaves.len()).step_by(7) {
+        let int = corpus.leaf_issuer[i];
+        corpus.leaves[i]
+            .verify_signed_by(&corpus.intermediates[int])
+            .unwrap();
+        let root = corpus.int_issuer[int];
+        corpus.intermediates[int]
+            .verify_signed_by(&corpus.roots[root])
+            .unwrap();
+    }
+    // ...a wrong parent never does.
+    let int0 = corpus.leaf_issuer[0];
+    let other = (int0 + 1) % corpus.intermediates.len();
+    assert!(corpus.leaves[0]
+        .verify_signed_by(&corpus.intermediates[other])
+        .is_err());
+}
+
+#[test]
+fn unsigned_corpus_chains_fail_signature_checks() {
+    // The default (unsigned) corpus is for scanning only: the validator
+    // must reject its chains at the signature step, loudly.
+    let corpus = Corpus::generate(CorpusConfig::small(78));
+    let mut store = RootStore::new("unsigned");
+    for root in &corpus.roots {
+        store.add_trusted(root.clone()).unwrap();
+    }
+    let validator = Validator::new(store, ValidationMode::UserAgent);
+    let chain = corpus.chain_for_leaf(0);
+    let at = chain[0].validity().not_before + 1_000;
+    let out = validator
+        .validate(&chain[0], &chain[1..2], Usage::Tls, at)
+        .unwrap();
+    assert!(!out.accepted());
+    assert!(matches!(
+        out.final_reason(),
+        Some(nrslb::core::RejectReason::BadSignature { .. })
+    ));
+}

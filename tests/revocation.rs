@@ -1,0 +1,193 @@
+//! Integration: revocation (OneCRL / CRLite-style) composed with
+//! GCC-aware validation — the §2.2 responses that were revocations
+//! rather than constraints.
+
+use nrslb::core::{Usage, ValidationMode, Validator};
+use nrslb::incidents::pki::{intermediate_ca, leaf, root_ca, NOW_2015};
+use nrslb::revocation::{CrliteCascade, OneCrl, RevocationChecker};
+use nrslb::rootstore::RootStore;
+use std::sync::Arc;
+
+/// The 2015 MCS/CNNIC first response: revoke the MCS intermediate via
+/// OneCRL/CRLSet. Even a store with full (binary) trust in CNNIC then
+/// rejects the MITM chain, while the legitimate intermediate keeps
+/// working.
+#[test]
+fn onecrl_blocks_revoked_intermediate() {
+    let root = root_ca("CNNIC ROOT (rev)", 0x60);
+    let good_int = intermediate_ca("CNNIC SSL (rev)", 0x61, &root);
+    let mcs_int = intermediate_ca("MCS Holdings (rev)", 0x62, &root);
+    let mut store = RootStore::new("keep");
+    store.add_trusted(root.cert.clone()).unwrap();
+
+    let mut onecrl = OneCrl::new();
+    onecrl.revoke_cert(&mcs_int.cert, "used to MITM traffic");
+
+    let validator =
+        Validator::new(store, ValidationMode::UserAgent).with_revocation(Arc::new(onecrl));
+
+    let victim = leaf("www.google.com", &mcs_int, NOW_2015 - 1_000, 4_000_000_000);
+    let out = validator
+        .validate(
+            &victim,
+            std::slice::from_ref(&mcs_int.cert),
+            Usage::Tls,
+            NOW_2015,
+        )
+        .unwrap();
+    assert!(!out.accepted());
+    assert_eq!(
+        out.final_reason(),
+        Some(&nrslb::core::RejectReason::Revoked { index: 1 })
+    );
+
+    let legit = leaf("www.cnnic.cn", &good_int, NOW_2015 - 1_000, 4_000_000_000);
+    let out = validator
+        .validate(
+            &legit,
+            std::slice::from_ref(&good_int.cert),
+            Usage::Tls,
+            NOW_2015,
+        )
+        .unwrap();
+    assert!(out.accepted());
+}
+
+/// WoSign's backdated leaves: revoked individually via OneCRL by
+/// (issuer, serial) while the rest of the CA's issuance survives.
+#[test]
+fn onecrl_issuer_serial_revocation_of_backdated_leaves() {
+    let root = root_ca("WoSign (rev)", 0x63);
+    let int = intermediate_ca("WoSign Class 1 (rev)", 0x64, &root);
+    let mut store = RootStore::new("primary");
+    store.add_trusted(root.cert.clone()).unwrap();
+
+    let backdated = leaf("backdated.example.cn", &int, 1_420_000_000, 4_000_000_000);
+    let honest = leaf("honest.example.cn", &int, 1_420_000_000, 4_000_000_000);
+
+    let mut onecrl = OneCrl::new();
+    onecrl.revoke_issuer_serial(
+        &backdated.issuer().to_string(),
+        backdated.serial(),
+        "backdated SHA-1 certificate",
+    );
+
+    let validator =
+        Validator::new(store, ValidationMode::UserAgent).with_revocation(Arc::new(onecrl));
+    let at = 1_480_000_000;
+    assert!(!validator
+        .validate(&backdated, std::slice::from_ref(&int.cert), Usage::Tls, at)
+        .unwrap()
+        .accepted());
+    assert!(validator
+        .validate(&honest, std::slice::from_ref(&int.cert), Usage::Tls, at)
+        .unwrap()
+        .accepted());
+}
+
+/// The CRLite cascade gives the same verdicts as the exact list it was
+/// built from, across the whole universe.
+#[test]
+fn crlite_cascade_matches_exact_list() {
+    let root = root_ca("CRLite Root", 0x65);
+    let int = intermediate_ca("CRLite Issuing", 0x66, &root);
+    let mut revoked_certs = Vec::new();
+    let mut valid_certs = Vec::new();
+    for i in 0..40 {
+        let l = leaf(&format!("site{i}.example"), &int, 0, 4_000_000_000);
+        if i % 5 == 0 {
+            revoked_certs.push(l);
+        } else {
+            valid_certs.push(l);
+        }
+    }
+    let cascade = CrliteCascade::build_from_certs(&revoked_certs, &valid_certs);
+    let mut exact = OneCrl::new();
+    for c in &revoked_certs {
+        exact.revoke_fingerprint(c.fingerprint(), "x");
+    }
+    for c in revoked_certs.iter().chain(&valid_certs) {
+        assert_eq!(cascade.is_revoked(c), exact.is_revoked(c), "{c:?}");
+    }
+}
+
+/// Revocation verdicts agree between the user-agent and Hammurabi
+/// deployment modes (the `revoked/1` facts reach the policy program).
+#[test]
+fn revocation_cross_mode_parity() {
+    let root = root_ca("Rev Parity Root", 0x67);
+    let int = intermediate_ca("Rev Parity Int", 0x68, &root);
+    let mut store = RootStore::new("parity");
+    store.add_trusted(root.cert.clone()).unwrap();
+
+    let bad = leaf("revoked.example", &int, 0, 4_000_000_000);
+    let good = leaf("fine.example", &int, 0, 4_000_000_000);
+    let mut onecrl = OneCrl::new();
+    onecrl.revoke_cert(&bad, "incident");
+    let checker: Arc<OneCrl> = Arc::new(onecrl);
+
+    let ua =
+        Validator::new(store.clone(), ValidationMode::UserAgent).with_revocation(checker.clone());
+    let ham = Validator::new(store, ValidationMode::Hammurabi).with_revocation(checker);
+
+    for l in [&bad, &good] {
+        let a = ua
+            .validate(l, std::slice::from_ref(&int.cert), Usage::Tls, 1_000)
+            .unwrap();
+        let b = ham
+            .validate(l, std::slice::from_ref(&int.cert), Usage::Tls, 1_000)
+            .unwrap();
+        assert_eq!(a.accepted(), b.accepted());
+        assert_eq!(a.final_reason(), b.final_reason());
+    }
+}
+
+/// The 2011 Comodo incident (paper §2.1): nine fraudulent leaves,
+/// answered by revocation. All nine are blocked; Comodo's legitimate
+/// subscribers are untouched — no root removal needed.
+#[test]
+fn comodo_2011_fraudulent_leaves_revoked() {
+    use nrslb::incidents::catalog::comodo;
+    let scenario = comodo::scenario();
+    let mut onecrl = OneCrl::new();
+    for cert in &scenario.fraudulent {
+        onecrl.revoke_cert(cert, "fraudulently issued via compromised RA");
+    }
+    let validator = Validator::new(scenario.store.clone(), ValidationMode::UserAgent)
+        .with_revocation(Arc::new(onecrl));
+    for cert in &scenario.fraudulent {
+        let out = validator
+            .validate(
+                cert,
+                std::slice::from_ref(&scenario.intermediate),
+                Usage::Tls,
+                scenario.at,
+            )
+            .unwrap();
+        assert!(!out.accepted(), "fraudulent leaf accepted: {cert:?}");
+    }
+    for cert in &scenario.legitimate {
+        let out = validator
+            .validate(
+                cert,
+                std::slice::from_ref(&scenario.intermediate),
+                Usage::Tls,
+                scenario.at,
+            )
+            .unwrap();
+        assert!(out.accepted(), "legitimate leaf rejected: {cert:?}");
+    }
+
+    // Without the revocation list, every fraudulent leaf would pass —
+    // revocation is load-bearing here.
+    let naive = Validator::new(scenario.store, ValidationMode::UserAgent);
+    assert!(naive
+        .validate(
+            &scenario.fraudulent[0],
+            std::slice::from_ref(&scenario.intermediate),
+            Usage::Tls,
+            scenario.at
+        )
+        .unwrap()
+        .accepted());
+}
