@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, and the full test suite.
+# Run from the repo root. Fails on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> CI green"

@@ -1,11 +1,15 @@
 //! Ablation — design choices called out in DESIGN.md §5:
 //!
 //! * semi-naive vs naive Datalog evaluation (recursive workloads);
-//! * GCC evaluation cost as the chain's fact base grows.
+//! * GCC evaluation cost as the chain's fact base grows;
+//! * compile-once (pre-stratified program, shared fact base) vs the
+//!   naive execution model that re-checks the program and clones the
+//!   fact base on every run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nrslb_datalog::{Database, Engine, EvalMode, Program, Val};
+use nrslb_datalog::{CompiledProgram, Database, Engine, EvalMode, Program, Val};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn chain_db(n: usize) -> Database {
     let mut db = Database::new();
@@ -68,5 +72,50 @@ fn bench_gcc_shapes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_semi_naive_vs_naive, bench_gcc_shapes);
+fn bench_compile_once_vs_per_run(c: &mut Criterion) {
+    // What the CompiledProgram split buys: checking + stratification
+    // happen once, and evaluation layers over a shared Arc'd base
+    // instead of consuming a clone of it.
+    let program = Program::parse(
+        r#"
+        cutoff(1669784400).
+        valid(Chain, "TLS") :- leaf(Chain, C), \+EV(C), cutoff(T), notBefore(C, NB), NB < T.
+        "#,
+    )
+    .unwrap();
+    let mut db = Database::new();
+    db.add_fact("leaf", vec![Val::str("chain"), Val::str("cert0")]);
+    db.add_fact(
+        "notBefore",
+        vec![Val::str("cert0"), Val::int(1_600_000_000)],
+    );
+    for i in 0..500i64 {
+        db.add_fact(
+            "san",
+            vec![Val::str(format!("c{i}")), Val::str("x.example")],
+        );
+    }
+    let base = Arc::new(db);
+    let compiled = CompiledProgram::compile(&program).unwrap();
+
+    let mut group = c.benchmark_group("ablation_exec_model");
+    group.sample_size(40);
+    group.bench_function("compile_once_shared_base", |b| {
+        b.iter(|| black_box(compiled.evaluate(Arc::clone(&base)).unwrap()))
+    });
+    group.bench_function("recheck_and_clone_per_run", |b| {
+        b.iter(|| {
+            let engine = Engine::new(&program).unwrap();
+            black_box(engine.run((*base).clone()).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_semi_naive_vs_naive,
+    bench_gcc_shapes,
+    bench_compile_once_vs_per_run
+);
 criterion_main!(benches);

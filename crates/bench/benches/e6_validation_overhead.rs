@@ -4,11 +4,17 @@
 //! Axes:
 //! * number of GCCs attached to the candidate root (0, 1, 4, 8);
 //! * deployment mode: user-agent (in-process), platform (Unix-socket
-//!   trust daemon), Hammurabi (whole policy as one Datalog program).
+//!   trust daemon), Hammurabi (whole policy as one Datalog program);
+//! * execution model: shared frozen fact base (compile-once /
+//!   evaluate-many) vs the legacy clone-of-the-`Database`-per-GCC path,
+//!   with and without the verdict cache.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nrslb_core::daemon::{ephemeral_socket_path, TrustDaemon};
-use nrslb_core::{Usage, ValidationMode, Validator};
+use nrslb_core::gcc_eval::evaluate_gcc_on_db_cloning;
+use nrslb_core::{
+    chain_facts, chain_id, Usage, ValidationMode, ValidationSession, Validator, VerdictCache,
+};
 use nrslb_rootstore::{Gcc, GccMetadata, RootStore};
 use nrslb_x509::testutil::simple_chain;
 use std::hint::black_box;
@@ -85,6 +91,74 @@ fn bench_modes(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_shared_edb_vs_clone(c: &mut Criterion) {
+    // The compile-once / evaluate-many execution model against the
+    // legacy path: N GCCs over one 3-cert chain, sharing the frozen
+    // fact base vs cloning the full Database per GCC. Both variants
+    // include the one-time chain conversion, so the delta is purely the
+    // execution model.
+    let mut group = c.benchmark_group("e6_shared_edb_vs_clone");
+    group.sample_size(40);
+    let pki = simple_chain("sharededb.example");
+    let chain = vec![pki.leaf, pki.intermediate, pki.root];
+    for n_gccs in [1usize, 4, 8, 16] {
+        let gccs: Vec<Gcc> = (0..n_gccs)
+            .map(|i| {
+                let src = format!(
+                    r#"cutoff{i}(4000000000).
+valid(Chain, _) :- leaf(Chain, C), notBefore(C, NB), cutoff{i}(T), NB < T."#
+                );
+                Gcc::parse(
+                    &format!("shared-bench-{i}"),
+                    chain.last().unwrap().fingerprint(),
+                    &src,
+                    GccMetadata::default(),
+                )
+                .unwrap()
+            })
+            .collect();
+
+        group.bench_function(format!("shared_edb_{n_gccs}_gccs"), |b| {
+            b.iter(|| {
+                let session = ValidationSession::new(&chain);
+                let verdicts = session.evaluate_gccs(&gccs, Usage::Tls).unwrap();
+                assert!(verdicts.iter().all(|v| v.accepted));
+                black_box(verdicts)
+            })
+        });
+
+        group.bench_function(format!("clone_per_gcc_{n_gccs}_gccs"), |b| {
+            b.iter(|| {
+                let db = chain_facts(&chain);
+                let handle = chain_id(&chain);
+                let verdicts: Vec<bool> = gccs
+                    .iter()
+                    .map(|gcc| evaluate_gcc_on_db_cloning(gcc, &db, &handle, Usage::Tls).unwrap())
+                    .collect();
+                assert!(verdicts.iter().all(|&v| v));
+                black_box(verdicts)
+            })
+        });
+
+        // And the ceiling: a warm verdict cache turns re-validation of
+        // a known chain into 2N hash lookups plus the conversion.
+        let cache = VerdictCache::new(64);
+        ValidationSession::new(&chain)
+            .evaluate_gccs_cached(&gccs, Usage::Tls, Some(&cache))
+            .unwrap();
+        group.bench_function(format!("warm_verdict_cache_{n_gccs}_gccs"), |b| {
+            b.iter(|| {
+                let session = ValidationSession::new(&chain);
+                let verdicts = session
+                    .evaluate_gccs_cached(&gccs, Usage::Tls, Some(&cache))
+                    .unwrap();
+                black_box(verdicts)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_baseline_no_gcc_machinery(c: &mut Criterion) {
     // The floor: plain X.509 validation with an empty-GCC store, i.e.
     // what a validator without the paper's extension would cost.
@@ -102,6 +176,7 @@ criterion_group!(
     benches,
     bench_gcc_count,
     bench_modes,
+    bench_shared_edb_vs_clone,
     bench_baseline_no_gcc_machinery
 );
 criterion_main!(benches);

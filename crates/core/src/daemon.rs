@@ -9,6 +9,16 @@
 //! user-agent proceeds with chain construction, "building a new chain if
 //! the daemon responded false".
 //!
+//! ## Concurrency
+//!
+//! Connections are served by a fixed pool of worker threads fed from a
+//! bounded MPMC channel: the accept loop enqueues each connection, and
+//! whichever worker is free picks it up. The pool bounds both thread
+//! count and queued-connection memory no matter how many clients
+//! connect at once. All workers share one [`InProcessOracle`] — and
+//! thus one GCC [`crate::VerdictCache`] — so a verdict computed for one
+//! client is a cache hit for every other.
+//!
 //! ## Wire protocol
 //!
 //! Little-endian, length-prefixed:
@@ -84,22 +94,57 @@ fn usage_from_byte(b: u8) -> Option<Usage> {
     }
 }
 
+/// Default number of worker threads serving connections.
+pub const DEFAULT_WORKERS: usize = 8;
+
 /// A running trust daemon; dropping the handle shuts it down.
 pub struct TrustDaemon {
     path: PathBuf,
     stop: Arc<AtomicBool>,
+    oracle: Arc<InProcessOracle>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl TrustDaemon {
-    /// Bind `socket_path` and serve GCC evaluations for `store`.
+    /// Bind `socket_path` and serve GCC evaluations for `store` with
+    /// [`DEFAULT_WORKERS`] worker threads.
     pub fn spawn(store: RootStore, socket_path: impl AsRef<Path>) -> std::io::Result<TrustDaemon> {
+        TrustDaemon::spawn_with_workers(store, socket_path, DEFAULT_WORKERS)
+    }
+
+    /// Bind `socket_path` and serve with an explicit worker count
+    /// (at least 1).
+    pub fn spawn_with_workers(
+        store: RootStore,
+        socket_path: impl AsRef<Path>,
+        workers: usize,
+    ) -> std::io::Result<TrustDaemon> {
+        let workers = workers.max(1);
         let path = socket_path.as_ref().to_path_buf();
         // Remove a stale socket from a previous run.
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
         let stop = Arc::new(AtomicBool::new(false));
         let oracle = Arc::new(InProcessOracle::new(store));
+        // Bounded: with all workers busy, at most 2x`workers` accepted
+        // connections queue before the accept loop itself blocks (and
+        // the kernel listen backlog takes over).
+        let (conn_tx, conn_rx) = crossbeam::channel::bounded::<UnixStream>(workers * 2);
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let conn_rx = conn_rx.clone();
+                let oracle = Arc::clone(&oracle);
+                std::thread::spawn(move || {
+                    // recv fails once the accept thread (the only
+                    // sender) is gone and the queue has drained.
+                    while let Ok(stream) = conn_rx.recv() {
+                        let _ = serve_connection(stream, &*oracle);
+                    }
+                })
+            })
+            .collect();
+        drop(conn_rx);
         let stop2 = stop.clone();
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
@@ -107,22 +152,29 @@ impl TrustDaemon {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                let oracle = oracle.clone();
-                std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &*oracle);
-                });
+                if conn_tx.send(stream).is_err() {
+                    break;
+                }
             }
+            // conn_tx drops here; idle workers wake and exit.
         });
         Ok(TrustDaemon {
             path,
             stop,
+            oracle,
             accept_thread: Some(accept_thread),
+            workers: worker_handles,
         })
     }
 
     /// The socket path clients should connect to.
     pub fn socket_path(&self) -> &Path {
         &self.path
+    }
+
+    /// The shared oracle (exposes the verdict cache for metrics).
+    pub fn oracle(&self) -> &InProcessOracle {
+        &self.oracle
     }
 
     /// Create a client for this daemon.
@@ -137,6 +189,9 @@ impl Drop for TrustDaemon {
         // Wake the accept loop.
         let _ = UnixStream::connect(&self.path);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
             let _ = t.join();
         }
         let _ = std::fs::remove_file(&self.path);
@@ -346,6 +401,76 @@ mod tests {
         let chain = vec![pki.leaf, pki.intermediate, pki.root];
         let verdicts = daemon.client().evaluate(&chain, Usage::Tls).unwrap();
         assert!(verdicts.is_empty());
+    }
+
+    #[test]
+    fn concurrent_clients_get_complete_correct_verdicts() {
+        // 10 threads hammer one daemon (8 workers) with interleaved
+        // requests for two different chains and both usages; every
+        // response must be the complete, correct verdict set for that
+        // exact (chain, usage) — no cross-talk, no partial replies.
+        let pki_a = simple_chain("concurrent-a.example");
+        let pki_b = simple_chain("concurrent-b.example");
+        let mut store = RootStore::new("platform");
+        for pki in [&pki_a, &pki_b] {
+            store.add_trusted(pki.root.clone()).unwrap();
+            let tls_only = Gcc::parse(
+                "tls-only",
+                pki.root.fingerprint(),
+                r#"valid(Chain, "TLS") :- leaf(Chain, _)."#,
+                GccMetadata::default(),
+            )
+            .unwrap();
+            let any_usage = Gcc::parse(
+                "any-usage",
+                pki.root.fingerprint(),
+                "valid(Chain, _) :- leaf(Chain, _).",
+                GccMetadata::default(),
+            )
+            .unwrap();
+            store.attach_gcc(tls_only).unwrap();
+            store.attach_gcc(any_usage).unwrap();
+        }
+
+        let daemon =
+            TrustDaemon::spawn_with_workers(store, ephemeral_socket_path("concurrent"), 8).unwrap();
+        let chain_a = vec![pki_a.leaf, pki_a.intermediate, pki_a.root];
+        let chain_b = vec![pki_b.leaf, pki_b.intermediate, pki_b.root];
+
+        let check = |client: &DaemonClient, chain: &[Certificate], usage: Usage| {
+            let verdicts = client.evaluate(chain, usage).unwrap();
+            let by_name: Vec<(&str, bool)> = verdicts
+                .iter()
+                .map(|v| (v.gcc_name.as_str(), v.accepted))
+                .collect();
+            assert_eq!(
+                by_name,
+                [("tls-only", usage == Usage::Tls), ("any-usage", true)],
+                "usage {usage}"
+            );
+        };
+
+        std::thread::scope(|scope| {
+            for t in 0..10usize {
+                let client = daemon.client();
+                let chain_a = &chain_a;
+                let chain_b = &chain_b;
+                scope.spawn(move || {
+                    for i in 0..20usize {
+                        let chain = if (t + i) % 2 == 0 { chain_a } else { chain_b };
+                        let usage = if i % 2 == 0 { Usage::Tls } else { Usage::SMime };
+                        check(&client, chain, usage);
+                    }
+                });
+            }
+        });
+        // 2 chains x 2 usages x 2 GCCs = 8 distinct verdict keys. Misses
+        // beyond 8 only happen when workers race on a cold key, which is
+        // bounded by the worker count per key.
+        let cache = daemon.oracle().cache();
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.hits() + cache.misses(), 10 * 20 * 2);
+        assert!(cache.hits() >= 10 * 20 * 2 - 8 * 8, "{cache:?}");
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! GCC execution: pose `valid(Chain, Usage)?` against a chain's facts.
+//!
+//! Evaluation goes through a [`ValidationSession`]: the chain is
+//! converted to facts once, frozen, and every GCC reads the shared base
+//! through a layered database (derived tuples land in a per-run
+//! overlay). The pre-session path — cloning the full fact base per GCC
+//! — survives as [`evaluate_gcc_on_db_cloning`] for the E6 benchmark's
+//! before/after comparison.
 
 use crate::facts::{chain_facts, chain_id};
+use crate::session::ValidationSession;
 use crate::CoreError;
 use nrslb_datalog::{Database, Val};
 use nrslb_rootstore::{Gcc, Usage};
@@ -15,12 +23,13 @@ pub struct GccVerdict {
     pub accepted: bool,
 }
 
-/// Evaluate a single GCC against a pre-converted fact database.
+/// Evaluate a single GCC against a pre-converted fact database by
+/// **cloning** it — the legacy execution path.
 ///
-/// The paper's execution model (§3): the converted statements are fed,
-/// along with the GCC, into the Datalog interpreter, and the validator
-/// queries `valid(Chain, Usage)?`.
-pub fn evaluate_gcc_on_db(
+/// Every call pays a full copy of the fact base. It is kept only as the
+/// baseline for the E6 benchmark's shared-base comparison; use
+/// [`ValidationSession::evaluate_gcc`] everywhere else.
+pub fn evaluate_gcc_on_db_cloning(
     gcc: &Gcc,
     db: &Database,
     chain_handle: &str,
@@ -34,16 +43,20 @@ pub fn evaluate_gcc_on_db(
 }
 
 /// Convert `chain` and evaluate one GCC.
+///
+/// The paper's execution model (§3): the converted statements are fed,
+/// along with the GCC, into the Datalog interpreter, and the validator
+/// queries `valid(Chain, Usage)?`.
 pub fn evaluate_gcc(gcc: &Gcc, chain: &[Certificate], usage: Usage) -> Result<bool, CoreError> {
-    let db = chain_facts(chain);
-    evaluate_gcc_on_db(gcc, &db, &chain_id(chain), usage)
+    ValidationSession::new(chain).evaluate_gcc(gcc, usage)
 }
 
 /// Evaluate every GCC attached to the candidate root; the chain is
 /// acceptable iff **all** GCCs accept ("a constructed chain is valid if
 /// and only if all GCCs attached to the candidate root are valid", §3).
 ///
-/// Returns the per-GCC verdicts; conversion happens once.
+/// Returns the per-GCC verdicts. Conversion happens once, and the fact
+/// base is shared (not cloned) across the GCC evaluations.
 pub fn evaluate_gccs(
     gccs: &[Gcc],
     chain: &[Certificate],
@@ -52,17 +65,7 @@ pub fn evaluate_gccs(
     if gccs.is_empty() {
         return Ok(Vec::new());
     }
-    let db = chain_facts(chain);
-    let handle = chain_id(chain);
-    let mut verdicts = Vec::with_capacity(gccs.len());
-    for gcc in gccs {
-        let accepted = evaluate_gcc_on_db(gcc, &db, &handle, usage)?;
-        verdicts.push(GccVerdict {
-            gcc_name: gcc.name().to_string(),
-            accepted,
-        });
-    }
-    Ok(verdicts)
+    ValidationSession::new(chain).evaluate_gccs(gccs, usage)
 }
 
 /// Do all verdicts accept?

@@ -18,6 +18,11 @@
 //!   candidate chain, exactly as the paper prescribes.
 //! * [`gcc_eval`] — the GCC execution engine: facts + program →
 //!   `valid(Chain, Usage)?`.
+//! * [`session`] — compile-once / evaluate-many execution:
+//!   [`ValidationSession`] freezes a chain's facts behind an `Arc` so
+//!   every GCC (and usage) shares one fact base, and [`VerdictCache`]
+//!   memoizes `(chain, GCC, usage)` verdicts in a bounded LRU shared by
+//!   the validator and the trust daemon's workers.
 //! * [`daemon`] — the *platform execution* deployment mode (§3.1): a
 //!   Unix-domain-socket trust daemon evaluating GCCs out of process, with
 //!   a length-prefixed binary protocol.
@@ -37,12 +42,14 @@ pub mod daemon;
 pub mod facts;
 pub mod gcc_eval;
 pub mod hammurabi;
+pub mod session;
 pub mod validate;
 
 pub use chain::{ChainBuilder, ChainError};
 pub use facts::{cert_id, chain_facts, chain_facts_unoptimized, chain_id};
 pub use gcc_eval::{evaluate_gcc, evaluate_gccs, GccVerdict};
 pub use nrslb_rootstore::Usage;
+pub use session::{ValidationSession, VerdictCache, VerdictKey};
 pub use validate::{Outcome, RejectReason, ValidationMode, Validator};
 
 use std::fmt;

@@ -1,0 +1,374 @@
+//! Shared validation sessions: the fact side of compile-once /
+//! evaluate-many GCC execution.
+//!
+//! A [`ValidationSession`] converts a candidate chain into its Datalog
+//! fact representation exactly once and freezes it behind an
+//! `Arc<Database>`. Every GCC evaluated against the chain — and every
+//! usage it is evaluated for — reads through that shared base via a
+//! [`nrslb_datalog::LayeredDatabase`], so the per-GCC cost is one small
+//! overlay of derived tuples instead of a full clone of the fact base.
+//!
+//! On top of that sits the [`VerdictCache`], a bounded LRU keyed by
+//! `(chain, GCC source hash, usage)`. Because GCCs are pure logic
+//! programs over the chain's facts, a verdict is fully determined by
+//! that triple; the trust daemon shares one cache across all client
+//! connections, so repeated validations of the same chain (common when
+//! many processes talk to one platform daemon) skip evaluation
+//! entirely.
+
+use crate::facts::{chain_facts, chain_id};
+use crate::gcc_eval::GccVerdict;
+use crate::CoreError;
+use nrslb_crypto::sha256::{sha256, Digest};
+use nrslb_datalog::{Database, Val};
+use nrslb_rootstore::{Gcc, Usage};
+use nrslb_x509::Certificate;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A candidate chain converted to facts once, shared by every GCC (and
+/// usage) evaluated against it.
+#[derive(Clone, Debug)]
+pub struct ValidationSession {
+    facts: Arc<Database>,
+    handle: String,
+    chain_key: Digest,
+}
+
+impl ValidationSession {
+    /// Convert `chain` (leaf first) into a frozen, shareable fact base.
+    pub fn new(chain: &[Certificate]) -> ValidationSession {
+        let mut fingerprints = Vec::with_capacity(chain.len() * 32);
+        for cert in chain {
+            fingerprints.extend_from_slice(&cert.fingerprint().0);
+        }
+        ValidationSession {
+            facts: Arc::new(chain_facts(chain)),
+            handle: chain_id(chain),
+            chain_key: sha256(&fingerprints),
+        }
+    }
+
+    /// The frozen fact base (the EDB every evaluation layers over).
+    pub fn facts(&self) -> &Arc<Database> {
+        &self.facts
+    }
+
+    /// The chain's Datalog handle (first argument of `valid/2`).
+    pub fn chain_handle(&self) -> &str {
+        &self.handle
+    }
+
+    /// Content identity of the chain: SHA-256 over the certificate
+    /// fingerprints in order. This is the cache key component — unlike
+    /// [`chain_id`], which is only unique *within* one validation, it
+    /// distinguishes chains sharing a leaf.
+    pub fn chain_key(&self) -> Digest {
+        self.chain_key
+    }
+
+    /// Evaluate one GCC against the shared fact base. The base is not
+    /// cloned; the GCC's derived tuples live in a private overlay that
+    /// is discarded after the query.
+    pub fn evaluate_gcc(&self, gcc: &Gcc, usage: Usage) -> Result<bool, CoreError> {
+        let out = gcc.compiled().evaluate(Arc::clone(&self.facts))?;
+        Ok(out.contains(
+            "valid",
+            &[Val::str(&*self.handle), Val::str(usage.as_datalog())],
+        ))
+    }
+
+    /// Evaluate every GCC in order, consulting (and filling) `cache`.
+    pub fn evaluate_gccs_cached(
+        &self,
+        gccs: &[Gcc],
+        usage: Usage,
+        cache: Option<&VerdictCache>,
+    ) -> Result<Vec<GccVerdict>, CoreError> {
+        let mut verdicts = Vec::with_capacity(gccs.len());
+        for gcc in gccs {
+            let key = VerdictKey {
+                chain: self.chain_key,
+                gcc: gcc.source_hash(),
+                usage,
+            };
+            let accepted = match cache.and_then(|c| c.get(&key)) {
+                Some(cached) => cached,
+                None => {
+                    let computed = self.evaluate_gcc(gcc, usage)?;
+                    if let Some(c) = cache {
+                        c.insert(key, computed);
+                    }
+                    computed
+                }
+            };
+            verdicts.push(GccVerdict {
+                gcc_name: gcc.name().to_string(),
+                accepted,
+            });
+        }
+        Ok(verdicts)
+    }
+
+    /// Evaluate every GCC in order without a cache.
+    pub fn evaluate_gccs(&self, gccs: &[Gcc], usage: Usage) -> Result<Vec<GccVerdict>, CoreError> {
+        self.evaluate_gccs_cached(gccs, usage, None)
+    }
+}
+
+/// What determines a GCC verdict: the chain's content identity, the
+/// GCC's content identity, and the requested usage. GCCs are pure
+/// functions of these three.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VerdictKey {
+    /// [`ValidationSession::chain_key`] of the chain.
+    pub chain: Digest,
+    /// [`Gcc::source_hash`] of the constraint.
+    pub gcc: Digest,
+    /// The requested usage.
+    pub usage: Usage,
+}
+
+/// Default capacity of the trust daemon's verdict cache.
+pub const DEFAULT_VERDICT_CACHE_CAPACITY: usize = 4096;
+
+struct CacheInner {
+    map: HashMap<VerdictKey, (bool, u64)>,
+    /// Recency order: stamp -> key, oldest first.
+    order: BTreeMap<u64, VerdictKey>,
+    clock: u64,
+}
+
+/// A bounded, thread-safe LRU cache of GCC verdicts.
+///
+/// Shared (via `Arc`) between the validator, the in-process oracle and
+/// every trust-daemon worker; reads and writes take a short
+/// `parking_lot::RwLock` critical section, never blocking across an
+/// evaluation.
+pub struct VerdictCache {
+    inner: RwLock<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for VerdictCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "VerdictCache({}/{} entries, {} hits, {} misses)",
+            self.len(),
+            self.capacity,
+            self.hits(),
+            self.misses()
+        )
+    }
+}
+
+impl VerdictCache {
+    /// A cache evicting the least-recently-used verdict beyond
+    /// `capacity` entries (at least 1).
+    pub fn new(capacity: usize) -> VerdictCache {
+        VerdictCache {
+            inner: RwLock::new(CacheInner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                clock: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a verdict, marking the entry most-recently-used.
+    pub fn get(&self, key: &VerdictKey) -> Option<bool> {
+        let mut inner = self.inner.write();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let CacheInner { map, order, .. } = &mut *inner;
+        match map.get_mut(key) {
+            Some((value, stamp)) => {
+                order.remove(stamp);
+                *stamp = clock;
+                order.insert(clock, *key);
+                let value = *value;
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a verdict, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&self, key: VerdictKey, value: bool) {
+        let mut inner = self.inner.write();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let CacheInner { map, order, .. } = &mut *inner;
+        if let Some((stored, stamp)) = map.get_mut(&key) {
+            *stored = value;
+            order.remove(stamp);
+            *stamp = clock;
+            order.insert(clock, key);
+            return;
+        }
+        while map.len() >= self.capacity {
+            let Some((_, oldest)) = order.pop_first() else {
+                break;
+            };
+            map.remove(&oldest);
+        }
+        map.insert(key, (value, clock));
+        order.insert(clock, key);
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.inner.read().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrslb_rootstore::GccMetadata;
+    use nrslb_x509::testutil::simple_chain;
+
+    fn chain() -> Vec<Certificate> {
+        let pki = simple_chain("session.example");
+        vec![pki.leaf, pki.intermediate, pki.root]
+    }
+
+    fn gcc(name: &str, src: &str) -> Gcc {
+        Gcc::parse(name, Digest::ZERO, src, GccMetadata::default()).unwrap()
+    }
+
+    fn key(n: u8) -> VerdictKey {
+        VerdictKey {
+            chain: Digest([n; 32]),
+            gcc: Digest([n.wrapping_add(1); 32]),
+            usage: Usage::Tls,
+        }
+    }
+
+    #[test]
+    fn session_shares_one_fact_base_across_gccs() {
+        let chain = chain();
+        let session = ValidationSession::new(&chain);
+        let gccs = [
+            gcc("a", r#"valid(Chain, "TLS") :- leaf(Chain, _)."#),
+            gcc("b", r#"valid(Chain, "TLS") :- leaf(Chain, C), EV(C)."#),
+            gcc("c", r#"valid(Chain, U) :- chain(Chain), usage_never(U)."#),
+        ];
+        let before = Arc::strong_count(session.facts());
+        let verdicts = session.evaluate_gccs(&gccs, Usage::Tls).unwrap();
+        assert_eq!(
+            verdicts.iter().map(|v| v.accepted).collect::<Vec<_>>(),
+            [true, false, false]
+        );
+        // Nothing held onto the base: evaluation borrowed it per GCC.
+        assert_eq!(Arc::strong_count(session.facts()), before);
+    }
+
+    #[test]
+    fn chain_key_distinguishes_chains_with_same_leaf_count() {
+        let a = ValidationSession::new(&chain());
+        let pki = simple_chain("other-session.example");
+        let b = ValidationSession::new(&[pki.leaf, pki.intermediate, pki.root]);
+        assert_ne!(a.chain_key(), b.chain_key());
+    }
+
+    #[test]
+    fn cache_round_trip_and_stats() {
+        let cache = VerdictCache::new(8);
+        assert_eq!(cache.get(&key(1)), None);
+        cache.insert(key(1), true);
+        cache.insert(key(2), false);
+        assert_eq!(cache.get(&key(1)), Some(true));
+        assert_eq!(cache.get(&key(2)), Some(false));
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let cache = VerdictCache::new(2);
+        cache.insert(key(1), true);
+        cache.insert(key(2), true);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(cache.get(&key(1)), Some(true));
+        cache.insert(key(3), true);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key(2)), None, "LRU entry evicted");
+        assert_eq!(cache.get(&key(1)), Some(true));
+        assert_eq!(cache.get(&key(3)), Some(true));
+    }
+
+    #[test]
+    fn cached_evaluation_skips_the_engine() {
+        let chain = chain();
+        let session = ValidationSession::new(&chain);
+        let cache = VerdictCache::new(8);
+        let gccs = [gcc("tls", r#"valid(Chain, "TLS") :- leaf(Chain, _)."#)];
+        let first = session
+            .evaluate_gccs_cached(&gccs, Usage::Tls, Some(&cache))
+            .unwrap();
+        assert!(first[0].accepted);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let second = session
+            .evaluate_gccs_cached(&gccs, Usage::Tls, Some(&cache))
+            .unwrap();
+        assert_eq!(first[0], second[0]);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // A different usage is a different key.
+        session
+            .evaluate_gccs_cached(&gccs, Usage::SMime, Some(&cache))
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn cache_key_separates_gccs_on_one_chain() {
+        let chain = chain();
+        let session = ValidationSession::new(&chain);
+        let cache = VerdictCache::new(8);
+        let accept = gcc("accept", r#"valid(Chain, "TLS") :- leaf(Chain, _)."#);
+        let reject = gcc("reject", r#"valid(Chain, "TLS") :- leaf(Chain, C), EV(C)."#);
+        let verdicts = session
+            .evaluate_gccs_cached(&[accept, reject], Usage::Tls, Some(&cache))
+            .unwrap();
+        assert!(verdicts[0].accepted);
+        assert!(!verdicts[1].accepted);
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -7,7 +7,8 @@
 //! candidate chain rather than failing outright.
 
 use crate::chain::ChainBuilder;
-use crate::gcc_eval::{self, GccVerdict};
+use crate::gcc_eval::GccVerdict;
+use crate::session::{ValidationSession, VerdictCache, DEFAULT_VERDICT_CACHE_CAPACITY};
 use crate::{hammurabi, CoreError};
 use nrslb_revocation::RevocationChecker;
 use nrslb_rootstore::{RootStore, Usage};
@@ -212,6 +213,7 @@ pub struct Validator {
     mode: ValidationMode,
     config: ValidatorConfig,
     revocation: Option<Arc<dyn RevocationChecker>>,
+    verdict_cache: Option<Arc<VerdictCache>>,
 }
 
 impl Validator {
@@ -222,7 +224,15 @@ impl Validator {
             mode,
             config: ValidatorConfig::default(),
             revocation: None,
+            verdict_cache: None,
         }
+    }
+
+    /// Reuse GCC verdicts across validations through `cache` (in
+    /// `UserAgent` mode; `Platform` oracles carry their own cache).
+    pub fn with_verdict_cache(mut self, cache: Arc<VerdictCache>) -> Validator {
+        self.verdict_cache = Some(cache);
+        self
     }
 
     /// Consult `checker` during validation; revoked certificates reject
@@ -439,7 +449,14 @@ impl Validator {
         let verdicts = match &self.mode {
             ValidationMode::UserAgent => {
                 let gccs = self.store.gccs_for(&root_fp);
-                gcc_eval::evaluate_gccs(gccs, chain, usage)?
+                if gccs.is_empty() {
+                    Vec::new()
+                } else {
+                    // One conversion per candidate; every GCC shares the
+                    // frozen fact base.
+                    let session = ValidationSession::new(chain);
+                    session.evaluate_gccs_cached(gccs, usage, self.verdict_cache.as_deref())?
+                }
             }
             ValidationMode::Platform(oracle) => oracle.evaluate(chain, usage)?,
             ValidationMode::Hammurabi => unreachable!("handled above"),
@@ -455,16 +472,33 @@ impl Validator {
     }
 }
 
-/// The in-process oracle: evaluates GCCs from its own copy of the store.
-/// Wrapped by the trust daemon; also usable directly for tests.
+/// The in-process oracle: evaluates GCCs from its own copy of the store,
+/// memoizing verdicts in a bounded LRU cache. Wrapped by the trust
+/// daemon (all worker threads share one oracle, hence one cache); also
+/// usable directly for tests.
 pub struct InProcessOracle {
     store: RootStore,
+    cache: VerdictCache,
 }
 
 impl InProcessOracle {
-    /// Create an oracle over a store snapshot.
+    /// Create an oracle over a store snapshot with the default cache
+    /// capacity.
     pub fn new(store: RootStore) -> InProcessOracle {
-        InProcessOracle { store }
+        InProcessOracle::with_cache_capacity(store, DEFAULT_VERDICT_CACHE_CAPACITY)
+    }
+
+    /// Create an oracle with an explicit verdict-cache capacity.
+    pub fn with_cache_capacity(store: RootStore, capacity: usize) -> InProcessOracle {
+        InProcessOracle {
+            store,
+            cache: VerdictCache::new(capacity),
+        }
+    }
+
+    /// The oracle's verdict cache (for inspection / metrics).
+    pub fn cache(&self) -> &VerdictCache {
+        &self.cache
     }
 }
 
@@ -474,7 +508,10 @@ impl GccOracle for InProcessOracle {
             return Ok(Vec::new());
         };
         let gccs = self.store.gccs_for(&root.fingerprint());
-        gcc_eval::evaluate_gccs(gccs, chain, usage)
+        if gccs.is_empty() {
+            return Ok(Vec::new());
+        }
+        ValidationSession::new(chain).evaluate_gccs_cached(gccs, usage, Some(&self.cache))
     }
 }
 
@@ -894,6 +931,34 @@ mod tests {
             let b = platform.validate(&pki.leaf, &pool, usage, pki.now).unwrap();
             assert_eq!(a.accepted(), b.accepted(), "{usage}");
         }
+    }
+
+    #[test]
+    fn verdict_cache_reuses_gcc_results_across_validations() {
+        let pki = simple_chain("cache.example");
+        let mut store = store_for(&pki);
+        let gcc = Gcc::parse(
+            "tls-only",
+            pki.root.fingerprint(),
+            r#"valid(Chain, "TLS") :- leaf(Chain, _)."#,
+            GccMetadata::default(),
+        )
+        .unwrap();
+        store.attach_gcc(gcc).unwrap();
+        let cache = Arc::new(VerdictCache::new(64));
+        let v =
+            Validator::new(store, ValidationMode::UserAgent).with_verdict_cache(Arc::clone(&cache));
+        let pool = [pki.intermediate.clone()];
+        let first = v.validate(&pki.leaf, &pool, Usage::Tls, pki.now).unwrap();
+        assert!(first.accepted());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let second = v.validate(&pki.leaf, &pool, Usage::Tls, pki.now).unwrap();
+        assert!(second.accepted());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(
+            first.attempts[0].gcc_verdicts,
+            second.attempts[0].gcc_verdicts
+        );
     }
 
     #[test]

@@ -1,0 +1,536 @@
+//! Compile-once / evaluate-many execution of stratified programs.
+//!
+//! [`CompiledProgram`] is the immutable product of the safety and
+//! stratification checks: rules grouped into strata, plus the set of
+//! predicates derived in each stratum. Compiling happens once per GCC
+//! (at parse/load time); evaluation happens once per (chain, usage)
+//! query and reads the chain's facts through a [`LayeredDatabase`], so
+//! the shared fact base is never cloned per run.
+
+use crate::ast::{ArithOp, BodyItem, CmpOp, Expr, Literal, Program, Rule, Term, Val};
+use crate::eval::{EvalMode, EvalStats, Tuple, DEFAULT_BUDGET};
+use crate::layered::LayeredDatabase;
+use crate::{safety, stratify, DatalogError};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// A checked, pre-stratified program, ready to evaluate any number of
+/// times against different fact bases.
+///
+/// Construction runs the safety (range-restriction) and stratification
+/// checks; the result is immutable and cheap to share (`Arc`).
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    program: Program,
+    /// Rule indices grouped by stratum, in evaluation order.
+    strata: Vec<Vec<usize>>,
+    /// Predicates derived in each stratum (drives semi-naive deltas).
+    derived_by_stratum: Vec<HashSet<Arc<str>>>,
+}
+
+impl CompiledProgram {
+    /// Check `program` and pre-compute its strata.
+    pub fn compile(program: &Program) -> Result<CompiledProgram, DatalogError> {
+        safety::check_program(program)?;
+        let strat = stratify::stratify(program)?;
+        let mut strata: Vec<Vec<usize>> = vec![Vec::new(); strat.count];
+        let mut derived_by_stratum: Vec<HashSet<Arc<str>>> = vec![HashSet::new(); strat.count];
+        for (i, rule) in program.rules.iter().enumerate() {
+            let s = strat.of(&rule.head.pred);
+            strata[s].push(i);
+            derived_by_stratum[s].insert(rule.head.pred.clone());
+        }
+        Ok(CompiledProgram {
+            program: program.clone(),
+            strata,
+            derived_by_stratum,
+        })
+    }
+
+    /// The source program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of strata.
+    pub fn stratum_count(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Evaluate to fixpoint over the shared `base`, semi-naive, with the
+    /// default budget. Derived tuples land in the returned overlay.
+    pub fn evaluate(&self, base: Arc<crate::Database>) -> Result<LayeredDatabase, DatalogError> {
+        self.evaluate_with(base, EvalMode::SemiNaive, DEFAULT_BUDGET)
+            .map(|(db, _)| db)
+    }
+
+    /// Evaluate with an explicit mode and derived-tuple budget, also
+    /// returning run statistics.
+    pub fn evaluate_with(
+        &self,
+        base: Arc<crate::Database>,
+        mode: EvalMode,
+        budget: usize,
+    ) -> Result<(LayeredDatabase, EvalStats), DatalogError> {
+        let mut db = LayeredDatabase::new(base);
+        let stats = self.evaluate_layered(&mut db, mode, budget)?;
+        Ok((db, stats))
+    }
+
+    /// Evaluate in place over an existing layered view (the overlay may
+    /// already hold facts from an earlier program in a pipeline).
+    pub fn evaluate_layered(
+        &self,
+        db: &mut LayeredDatabase,
+        mode: EvalMode,
+        budget: usize,
+    ) -> Result<EvalStats, DatalogError> {
+        let mut stats = EvalStats::default();
+        // Program facts (ground heads, checked by safety) seed the run.
+        for rule in &self.program.rules {
+            if rule.is_fact() {
+                let tuple: Tuple = rule
+                    .head
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(v) => v.clone(),
+                        Term::Var(_) => unreachable!("safety rejects non-ground facts"),
+                    })
+                    .collect();
+                if db.add_fact(rule.head.pred.clone(), tuple) {
+                    stats.derived += 1;
+                }
+            }
+        }
+        for (stratum_idx, rule_indices) in self.strata.iter().enumerate() {
+            let rules: Vec<&Rule> = rule_indices
+                .iter()
+                .map(|&i| &self.program.rules[i])
+                .filter(|r| !r.is_fact())
+                .collect();
+            if rules.is_empty() {
+                continue;
+            }
+            match mode {
+                EvalMode::SemiNaive => self.run_stratum_semi_naive(
+                    &rules,
+                    &self.derived_by_stratum[stratum_idx],
+                    db,
+                    budget,
+                    &mut stats,
+                )?,
+                EvalMode::Naive => self.run_stratum_naive(&rules, db, budget, &mut stats)?,
+            }
+        }
+        Ok(stats)
+    }
+
+    fn run_stratum_naive(
+        &self,
+        rules: &[&Rule],
+        db: &mut LayeredDatabase,
+        budget: usize,
+        stats: &mut EvalStats,
+    ) -> Result<(), DatalogError> {
+        loop {
+            stats.rounds += 1;
+            let mut new_tuples: Vec<(Arc<str>, Tuple)> = Vec::new();
+            for rule in rules {
+                stats.rule_applications += 1;
+                evaluate_rule(rule, db, None, &mut |pred, tuple| {
+                    new_tuples.push((pred, tuple));
+                })?;
+            }
+            let mut changed = false;
+            for (pred, tuple) in new_tuples {
+                if db.add_fact(pred, tuple) {
+                    stats.derived += 1;
+                    changed = true;
+                    if stats.derived > budget {
+                        return Err(DatalogError::BudgetExceeded { budget });
+                    }
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn run_stratum_semi_naive(
+        &self,
+        rules: &[&Rule],
+        stratum_preds: &HashSet<Arc<str>>,
+        db: &mut LayeredDatabase,
+        budget: usize,
+        stats: &mut EvalStats,
+    ) -> Result<(), DatalogError> {
+        // Round 0: full evaluation; derived tuples seed the delta.
+        stats.rounds += 1;
+        let mut delta: HashMap<Arc<str>, HashSet<Tuple>> = HashMap::new();
+        let mut pending: Vec<(Arc<str>, Tuple)> = Vec::new();
+        for rule in rules {
+            stats.rule_applications += 1;
+            evaluate_rule(rule, db, None, &mut |pred, tuple| {
+                pending.push((pred, tuple));
+            })?;
+        }
+        for (pred, tuple) in pending.drain(..) {
+            if db.add_fact(pred.clone(), tuple.clone()) {
+                stats.derived += 1;
+                delta.entry(pred).or_default().insert(tuple);
+            }
+        }
+        check_budget(stats, budget)?;
+
+        // Subsequent rounds: only rule instantiations touching the delta.
+        while !delta.is_empty() {
+            stats.rounds += 1;
+            let mut next_delta: HashMap<Arc<str>, HashSet<Tuple>> = HashMap::new();
+            for rule in rules {
+                // For each positive literal over a predicate in this
+                // stratum, re-run with that literal restricted to delta.
+                for (idx, item) in rule.body.iter().enumerate() {
+                    let BodyItem::Pos(lit) = item else { continue };
+                    if !stratum_preds.contains(&lit.pred) {
+                        continue;
+                    }
+                    let Some(dset) = delta.get(&lit.pred) else {
+                        continue;
+                    };
+                    if dset.is_empty() {
+                        continue;
+                    }
+                    stats.rule_applications += 1;
+                    evaluate_rule(rule, db, Some((idx, dset)), &mut |p, t| {
+                        pending.push((p, t));
+                    })?;
+                }
+            }
+            for (pred, tuple) in pending.drain(..) {
+                if db.add_fact(pred.clone(), tuple.clone()) {
+                    stats.derived += 1;
+                    next_delta.entry(pred).or_default().insert(tuple);
+                }
+            }
+            check_budget(stats, budget)?;
+            delta = next_delta;
+        }
+        Ok(())
+    }
+}
+
+fn check_budget(stats: &EvalStats, budget: usize) -> Result<(), DatalogError> {
+    if stats.derived > budget {
+        Err(DatalogError::BudgetExceeded { budget })
+    } else {
+        Ok(())
+    }
+}
+
+type Env = HashMap<Arc<str>, Val>;
+
+/// Evaluate one rule against the layered view, calling `emit` for each
+/// derived head tuple. When `delta` is `Some((idx, tuples))`, body
+/// literal `idx` iterates over `tuples` instead of the full relation.
+fn evaluate_rule(
+    rule: &Rule,
+    db: &LayeredDatabase,
+    delta: Option<(usize, &HashSet<Tuple>)>,
+    emit: &mut dyn FnMut(Arc<str>, Tuple),
+) -> Result<(), DatalogError> {
+    let mut env: Env = HashMap::new();
+    solve(rule, 0, db, delta, &mut env, emit)
+}
+
+fn solve(
+    rule: &Rule,
+    idx: usize,
+    db: &LayeredDatabase,
+    delta: Option<(usize, &HashSet<Tuple>)>,
+    env: &mut Env,
+    emit: &mut dyn FnMut(Arc<str>, Tuple),
+) -> Result<(), DatalogError> {
+    let Some(item) = rule.body.get(idx) else {
+        // Body satisfied: instantiate the head (safety guarantees ground).
+        let tuple: Tuple = rule
+            .head
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(v) => v.clone(),
+                Term::Var(v) => env[v].clone(),
+            })
+            .collect();
+        emit(rule.head.pred.clone(), tuple);
+        return Ok(());
+    };
+    match item {
+        BodyItem::Pos(lit) => {
+            // Iterate either the delta set (for the designated literal)
+            // or the stored relation — in both layers, base first —
+            // using the first-arg index when possible.
+            if let Some((didx, dset)) = delta {
+                if didx == idx {
+                    for tuple in dset {
+                        try_tuple(rule, idx, db, delta, env, emit, lit, tuple)?;
+                    }
+                    return Ok(());
+                }
+            }
+            // Index lookup when the first argument is bound.
+            let first_bound: Option<Val> = lit.args.first().and_then(|t| match t {
+                Term::Const(v) => Some(v.clone()),
+                Term::Var(v) => env.get(v).cloned(),
+            });
+            for layer in db.layers() {
+                let Some(rel) = layer.relation(&lit.pred) else {
+                    continue;
+                };
+                if let Some(key) = &first_bound {
+                    if let Some(indices) = rel.first_arg.get(key) {
+                        for &i in indices {
+                            try_tuple(
+                                rule,
+                                idx,
+                                db,
+                                delta,
+                                env,
+                                emit,
+                                lit,
+                                &rel.tuples[i as usize],
+                            )?;
+                        }
+                    }
+                    continue;
+                }
+                for tuple in &rel.tuples {
+                    try_tuple(rule, idx, db, delta, env, emit, lit, tuple)?;
+                }
+            }
+            Ok(())
+        }
+        BodyItem::Neg(lit) => {
+            // Safety guarantees all vars bound; ground the literal.
+            let tuple: Tuple = lit
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Const(v) => v.clone(),
+                    Term::Var(v) => env[v].clone(),
+                })
+                .collect();
+            if !db.contains(&lit.pred, &tuple) {
+                solve(rule, idx + 1, db, delta, env, emit)?;
+            }
+            Ok(())
+        }
+        BodyItem::Cmp(lhs, op, rhs) => {
+            let l = eval_expr(lhs, env)?;
+            let r = eval_expr(rhs, env)?;
+            if compare(&l, *op, &r)? {
+                solve(rule, idx + 1, db, delta, env, emit)?;
+            }
+            Ok(())
+        }
+        BodyItem::Assign(var, expr) => {
+            let value = eval_expr(expr, env)?;
+            match env.get(var) {
+                Some(existing) => {
+                    // Re-assignment acts as an equality check.
+                    if *existing == value {
+                        solve(rule, idx + 1, db, delta, env, emit)?;
+                    }
+                    Ok(())
+                }
+                None => {
+                    env.insert(var.clone(), value);
+                    solve(rule, idx + 1, db, delta, env, emit)?;
+                    env.remove(var);
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_tuple(
+    rule: &Rule,
+    idx: usize,
+    db: &LayeredDatabase,
+    delta: Option<(usize, &HashSet<Tuple>)>,
+    env: &mut Env,
+    emit: &mut dyn FnMut(Arc<str>, Tuple),
+    lit: &Literal,
+    tuple: &[Val],
+) -> Result<(), DatalogError> {
+    if tuple.len() != lit.args.len() {
+        return Ok(());
+    }
+    let mut bound_here: Vec<Arc<str>> = Vec::new();
+    let mut ok = true;
+    for (arg, val) in lit.args.iter().zip(tuple) {
+        match arg {
+            Term::Const(c) => {
+                if c != val {
+                    ok = false;
+                    break;
+                }
+            }
+            Term::Var(v) => match env.get(v) {
+                Some(existing) => {
+                    if existing != val {
+                        ok = false;
+                        break;
+                    }
+                }
+                None => {
+                    env.insert(v.clone(), val.clone());
+                    bound_here.push(v.clone());
+                }
+            },
+        }
+    }
+    if ok {
+        solve(rule, idx + 1, db, delta, env, emit)?;
+    }
+    for v in bound_here {
+        env.remove(&v);
+    }
+    Ok(())
+}
+
+fn eval_expr(expr: &Expr, env: &Env) -> Result<Val, DatalogError> {
+    match expr {
+        Expr::Term(Term::Const(v)) => Ok(v.clone()),
+        Expr::Term(Term::Var(v)) => Ok(env[v].clone()),
+        Expr::Bin(l, op, r) => {
+            let l = eval_expr(l, env)?;
+            let r = eval_expr(r, env)?;
+            let (Val::Int(a), Val::Int(b)) = (&l, &r) else {
+                return Err(DatalogError::Eval {
+                    message: format!("arithmetic on non-integers: {l} {op} {r}"),
+                });
+            };
+            let out = match op {
+                ArithOp::Add => a.checked_add(*b),
+                ArithOp::Sub => a.checked_sub(*b),
+                ArithOp::Mul => a.checked_mul(*b),
+            };
+            out.map(Val::Int).ok_or_else(|| DatalogError::Eval {
+                message: format!("arithmetic overflow: {a} {op} {b}"),
+            })
+        }
+    }
+}
+
+fn compare(l: &Val, op: CmpOp, r: &Val) -> Result<bool, DatalogError> {
+    match op {
+        CmpOp::Eq => Ok(l == r),
+        CmpOp::Ne => Ok(l != r),
+        _ => {
+            let (Val::Int(a), Val::Int(b)) = (l, r) else {
+                return Err(DatalogError::Eval {
+                    message: format!("ordered comparison on non-integers: {l} {op} {r}"),
+                });
+            };
+            Ok(match op {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+                CmpOp::Eq | CmpOp::Ne => unreachable!(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Database;
+
+    fn compiled(src: &str) -> CompiledProgram {
+        CompiledProgram::compile(&Program::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn shared_base_evaluates_many_without_clone() {
+        let mut db = Database::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            db.add_fact("edge", vec![Val::str(a), Val::str(b)]);
+        }
+        let base = Arc::new(db);
+        let reach = compiled("reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).");
+        let inv = compiled("back(X,Y) :- edge(Y,X).");
+        // Two programs share one base; each gets its own overlay.
+        let r1 = reach.evaluate(Arc::clone(&base)).unwrap();
+        let r2 = inv.evaluate(Arc::clone(&base)).unwrap();
+        assert!(r1.contains("reach", &[Val::str("a"), Val::str("d")]));
+        assert!(r2.contains("back", &[Val::str("b"), Val::str("a")]));
+        // Overlays are independent and the base saw no writes.
+        assert!(!r1.contains("back", &[Val::str("b"), Val::str("a")]));
+        assert_eq!(base.len(), 3);
+        // Only the original strong count plus the two result layers.
+        assert_eq!(Arc::strong_count(&base), 3);
+    }
+
+    #[test]
+    fn program_facts_land_in_overlay() {
+        let out = compiled("p(1). q(X) :- p(X).")
+            .evaluate(Arc::new(Database::new()))
+            .unwrap();
+        assert!(out.base().is_empty());
+        assert!(out.overlay().contains("p", &[Val::int(1)]));
+        assert!(out.overlay().contains("q", &[Val::int(1)]));
+    }
+
+    #[test]
+    fn naive_mode_and_budget_respected() {
+        let mut db = Database::new();
+        for i in 0..40 {
+            for j in 0..40 {
+                db.add_fact("edge", vec![Val::int(i), Val::int(j)]);
+            }
+        }
+        let program = compiled("reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).");
+        let err = program
+            .evaluate_with(Arc::new(db), EvalMode::SemiNaive, 100)
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::BudgetExceeded { budget: 100 }));
+    }
+
+    #[test]
+    fn negation_sees_base_facts() {
+        let mut db = Database::new();
+        db.add_fact("cert", vec![Val::str("c1")]);
+        db.add_fact("cert", vec![Val::str("c2")]);
+        db.add_fact("revoked", vec![Val::str("c1")]);
+        let out = compiled(
+            "bad(X) :- cert(X), revoked(X).
+             good(X) :- cert(X), \\+bad(X).",
+        )
+        .evaluate(Arc::new(db))
+        .unwrap();
+        assert!(out.contains("good", &[Val::str("c2")]));
+        assert!(!out.contains("good", &[Val::str("c1")]));
+    }
+
+    #[test]
+    fn pipeline_evaluation_over_one_overlay() {
+        // Two compiled programs run into the same layered view: the
+        // second sees the first's derivations.
+        let mut db = Database::new();
+        db.add_fact("edge", vec![Val::str("a"), Val::str("b")]);
+        let mut layered = LayeredDatabase::new(Arc::new(db));
+        compiled("reach(X,Y) :- edge(X,Y).")
+            .evaluate_layered(&mut layered, EvalMode::SemiNaive, DEFAULT_BUDGET)
+            .unwrap();
+        compiled("seen(X) :- reach(X, _).")
+            .evaluate_layered(&mut layered, EvalMode::SemiNaive, DEFAULT_BUDGET)
+            .unwrap();
+        assert!(layered.contains("seen", &[Val::str("a")]));
+    }
+}

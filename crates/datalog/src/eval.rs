@@ -1,8 +1,16 @@
-//! Bottom-up evaluation: semi-naive (default) with a naive mode retained
-//! for the ablation benchmark (DESIGN.md §5).
+//! Fact storage and the classic single-database [`Engine`] entry point.
+//!
+//! The evaluator itself lives in [`crate::compile`]: an [`Engine`] is a
+//! thin wrapper pairing an `Arc<CompiledProgram>` with an evaluation
+//! mode and budget. `Engine::run` keeps the original take-a-database /
+//! return-a-database contract (used by the ablation benchmarks and the
+//! Hammurabi-style per-chain programs), while shared hot paths evaluate
+//! the compiled program directly over a layered view.
 
-use crate::ast::{ArithOp, BodyItem, CmpOp, Expr, Literal, Program, Rule, Term, Val};
-use crate::{safety, stratify, DatalogError};
+use crate::ast::Val;
+use crate::compile::CompiledProgram;
+use crate::DatalogError;
+use crate::Program;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -11,13 +19,13 @@ pub type Tuple = Vec<Val>;
 
 /// A single relation: deduplicated tuples plus a first-argument index.
 #[derive(Clone, Debug, Default)]
-struct Relation {
-    tuples: Vec<Tuple>,
-    seen: HashSet<Tuple>,
+pub(crate) struct Relation {
+    pub(crate) tuples: Vec<Tuple>,
+    pub(crate) seen: HashSet<Tuple>,
     /// Maps first argument -> indices into `tuples`, accelerating joins
     /// where the first argument is already bound (the common shape for
     /// certificate facts like `notBefore(Cert, NB)`).
-    first_arg: HashMap<Val, Vec<u32>>,
+    pub(crate) first_arg: HashMap<Val, Vec<u32>>,
 }
 
 impl Relation {
@@ -77,6 +85,11 @@ impl Database {
             .unwrap_or(&[])
     }
 
+    /// The relation named `pred`, if present (evaluator internals).
+    pub(crate) fn relation(&self, pred: &str) -> Option<&Relation> {
+        self.relations.get(pred)
+    }
+
     /// Tuples of `pred` matching a pattern (`None` = wildcard).
     pub fn query<'a>(&'a self, pred: &str, pattern: &[Option<Val>]) -> Vec<&'a Tuple> {
         self.tuples(pred)
@@ -106,6 +119,16 @@ impl Database {
             .iter()
             .filter(|(_, r)| !r.tuples.is_empty())
             .map(|(k, _)| &**k)
+    }
+
+    /// Move every fact of `other` into `self`, deduplicating.
+    pub fn merge(&mut self, other: Database) {
+        for (pred, rel) in other.relations {
+            let target = self.relations.entry(pred).or_default();
+            for tuple in rel.tuples {
+                target.insert(tuple);
+            }
+        }
     }
 
     /// Render the database as Datalog fact text (used by the paper-E1
@@ -158,12 +181,14 @@ pub const DEFAULT_BUDGET: usize = 1_000_000;
 
 /// A checked, ready-to-run Datalog program.
 ///
-/// Construction performs the safety and stratification checks; [`Engine::run`]
-/// evaluates against a fact database and returns the extended database.
+/// Construction performs the safety and stratification checks (via
+/// [`CompiledProgram::compile`]); [`Engine::run`] evaluates against a
+/// fact database and returns the extended database. The compiled
+/// program is shared — cloning an `Engine`, or building several from
+/// one `Arc<CompiledProgram>`, does not re-run the checks.
+#[derive(Clone)]
 pub struct Engine {
-    program: Program,
-    strata: Vec<Vec<usize>>, // rule indices grouped by stratum
-    derived_by_stratum: Vec<HashSet<Arc<str>>>,
+    compiled: Arc<CompiledProgram>,
     mode: EvalMode,
     budget: usize,
 }
@@ -171,22 +196,23 @@ pub struct Engine {
 impl Engine {
     /// Check `program` and build an engine.
     pub fn new(program: &Program) -> Result<Engine, DatalogError> {
-        safety::check_program(program)?;
-        let strat = stratify::stratify(program)?;
-        let mut strata: Vec<Vec<usize>> = vec![Vec::new(); strat.count];
-        let mut derived_by_stratum: Vec<HashSet<Arc<str>>> = vec![HashSet::new(); strat.count];
-        for (i, rule) in program.rules.iter().enumerate() {
-            let s = strat.of(&rule.head.pred);
-            strata[s].push(i);
-            derived_by_stratum[s].insert(rule.head.pred.clone());
-        }
-        Ok(Engine {
-            program: program.clone(),
-            strata,
-            derived_by_stratum,
+        Ok(Engine::from_compiled(Arc::new(CompiledProgram::compile(
+            program,
+        )?)))
+    }
+
+    /// Wrap an already-compiled program (no checks re-run).
+    pub fn from_compiled(compiled: Arc<CompiledProgram>) -> Engine {
+        Engine {
+            compiled,
             mode: EvalMode::SemiNaive,
             budget: DEFAULT_BUDGET,
-        })
+        }
+    }
+
+    /// The underlying compiled program.
+    pub fn compiled(&self) -> &Arc<CompiledProgram> {
+        &self.compiled
     }
 
     /// Select naive or semi-naive evaluation.
@@ -207,357 +233,14 @@ impl Engine {
     }
 
     /// Like [`Engine::run`] but also returns evaluation statistics.
-    pub fn run_with_stats(&self, mut db: Database) -> Result<(Database, EvalStats), DatalogError> {
-        let mut stats = EvalStats::default();
-        // Program facts (ground heads, checked by safety) seed the db.
-        for rule in &self.program.rules {
-            if rule.is_fact() {
-                let tuple: Tuple = rule
-                    .head
-                    .args
-                    .iter()
-                    .map(|t| match t {
-                        Term::Const(v) => v.clone(),
-                        Term::Var(_) => unreachable!("safety rejects non-ground facts"),
-                    })
-                    .collect();
-                if db.add_fact(rule.head.pred.clone(), tuple) {
-                    stats.derived += 1;
-                }
-            }
-        }
-        for (stratum_idx, rule_indices) in self.strata.iter().enumerate() {
-            let rules: Vec<&Rule> = rule_indices
-                .iter()
-                .map(|&i| &self.program.rules[i])
-                .filter(|r| !r.is_fact())
-                .collect();
-            if rules.is_empty() {
-                continue;
-            }
-            match self.mode {
-                EvalMode::SemiNaive => self.run_stratum_semi_naive(
-                    &rules,
-                    &self.derived_by_stratum[stratum_idx],
-                    &mut db,
-                    &mut stats,
-                )?,
-                EvalMode::Naive => self.run_stratum_naive(&rules, &mut db, &mut stats)?,
-            }
-        }
-        Ok((db, stats))
-    }
-
-    fn run_stratum_naive(
-        &self,
-        rules: &[&Rule],
-        db: &mut Database,
-        stats: &mut EvalStats,
-    ) -> Result<(), DatalogError> {
-        loop {
-            stats.rounds += 1;
-            let mut new_tuples: Vec<(Arc<str>, Tuple)> = Vec::new();
-            for rule in rules {
-                stats.rule_applications += 1;
-                evaluate_rule(rule, db, None, &HashSet::new(), &mut |pred, tuple| {
-                    new_tuples.push((pred, tuple));
-                })?;
-            }
-            let mut changed = false;
-            for (pred, tuple) in new_tuples {
-                if db.add_fact(pred, tuple) {
-                    stats.derived += 1;
-                    changed = true;
-                    if stats.derived > self.budget {
-                        return Err(DatalogError::BudgetExceeded {
-                            budget: self.budget,
-                        });
-                    }
-                }
-            }
-            if !changed {
-                return Ok(());
-            }
-        }
-    }
-
-    fn run_stratum_semi_naive(
-        &self,
-        rules: &[&Rule],
-        stratum_preds: &HashSet<Arc<str>>,
-        db: &mut Database,
-        stats: &mut EvalStats,
-    ) -> Result<(), DatalogError> {
-        // Round 0: full evaluation; derived tuples seed the delta.
-        stats.rounds += 1;
-        let mut delta: HashMap<Arc<str>, HashSet<Tuple>> = HashMap::new();
-        let mut pending: Vec<(Arc<str>, Tuple)> = Vec::new();
-        for rule in rules {
-            stats.rule_applications += 1;
-            evaluate_rule(rule, db, None, &HashSet::new(), &mut |pred, tuple| {
-                pending.push((pred, tuple));
-            })?;
-        }
-        for (pred, tuple) in pending.drain(..) {
-            if db.add_fact(pred.clone(), tuple.clone()) {
-                stats.derived += 1;
-                delta.entry(pred).or_default().insert(tuple);
-            }
-        }
-        self.check_budget(stats)?;
-
-        // Subsequent rounds: only rule instantiations touching the delta.
-        while !delta.is_empty() {
-            stats.rounds += 1;
-            let mut next_delta: HashMap<Arc<str>, HashSet<Tuple>> = HashMap::new();
-            for rule in rules {
-                // For each positive literal over a predicate in this
-                // stratum, re-run with that literal restricted to delta.
-                for (idx, item) in rule.body.iter().enumerate() {
-                    let BodyItem::Pos(lit) = item else { continue };
-                    if !stratum_preds.contains(&lit.pred) {
-                        continue;
-                    }
-                    let Some(dset) = delta.get(&lit.pred) else {
-                        continue;
-                    };
-                    if dset.is_empty() {
-                        continue;
-                    }
-                    stats.rule_applications += 1;
-                    evaluate_rule(rule, db, Some((idx, dset)), stratum_preds, &mut |p, t| {
-                        pending.push((p, t));
-                    })?;
-                }
-            }
-            for (pred, tuple) in pending.drain(..) {
-                if db.add_fact(pred.clone(), tuple.clone()) {
-                    stats.derived += 1;
-                    next_delta.entry(pred).or_default().insert(tuple);
-                }
-            }
-            self.check_budget(stats)?;
-            delta = next_delta;
-        }
-        Ok(())
-    }
-
-    fn check_budget(&self, stats: &EvalStats) -> Result<(), DatalogError> {
-        if stats.derived > self.budget {
-            Err(DatalogError::BudgetExceeded {
-                budget: self.budget,
-            })
-        } else {
-            Ok(())
-        }
-    }
-}
-
-type Env = HashMap<Arc<str>, Val>;
-
-/// Evaluate one rule against `db`, calling `emit` for each derived head
-/// tuple. When `delta` is `Some((idx, tuples))`, body literal `idx`
-/// iterates over `tuples` instead of the full relation.
-fn evaluate_rule(
-    rule: &Rule,
-    db: &Database,
-    delta: Option<(usize, &HashSet<Tuple>)>,
-    _stratum_preds: &HashSet<Arc<str>>,
-    emit: &mut dyn FnMut(Arc<str>, Tuple),
-) -> Result<(), DatalogError> {
-    let mut env: Env = HashMap::new();
-    solve(rule, 0, db, delta, &mut env, emit)
-}
-
-fn solve(
-    rule: &Rule,
-    idx: usize,
-    db: &Database,
-    delta: Option<(usize, &HashSet<Tuple>)>,
-    env: &mut Env,
-    emit: &mut dyn FnMut(Arc<str>, Tuple),
-) -> Result<(), DatalogError> {
-    let Some(item) = rule.body.get(idx) else {
-        // Body satisfied: instantiate the head (safety guarantees ground).
-        let tuple: Tuple = rule
-            .head
-            .args
-            .iter()
-            .map(|t| match t {
-                Term::Const(v) => v.clone(),
-                Term::Var(v) => env[v].clone(),
-            })
-            .collect();
-        emit(rule.head.pred.clone(), tuple);
-        return Ok(());
-    };
-    match item {
-        BodyItem::Pos(lit) => {
-            // Iterate either the delta set (for the designated literal) or
-            // the stored relation, using the first-arg index when possible.
-            if let Some((didx, dset)) = delta {
-                if didx == idx {
-                    for tuple in dset {
-                        try_tuple(rule, idx, db, delta, env, emit, lit, tuple)?;
-                    }
-                    return Ok(());
-                }
-            }
-            let rel = db.relations.get(&lit.pred);
-            let Some(rel) = rel else { return Ok(()) };
-            // Index lookup when the first argument is bound.
-            let first_bound: Option<Val> = lit.args.first().and_then(|t| match t {
-                Term::Const(v) => Some(v.clone()),
-                Term::Var(v) => env.get(v).cloned(),
-            });
-            if let Some(key) = first_bound {
-                if let Some(indices) = rel.first_arg.get(&key) {
-                    for &i in indices {
-                        let tuple = rel.tuples[i as usize].clone();
-                        try_tuple(rule, idx, db, delta, env, emit, lit, &tuple)?;
-                    }
-                }
-                return Ok(());
-            }
-            for i in 0..rel.tuples.len() {
-                let tuple = db.relations[&lit.pred].tuples[i].clone();
-                try_tuple(rule, idx, db, delta, env, emit, lit, &tuple)?;
-            }
-            Ok(())
-        }
-        BodyItem::Neg(lit) => {
-            // Safety guarantees all vars bound; ground the literal.
-            let tuple: Tuple = lit
-                .args
-                .iter()
-                .map(|t| match t {
-                    Term::Const(v) => v.clone(),
-                    Term::Var(v) => env[v].clone(),
-                })
-                .collect();
-            if !db.contains(&lit.pred, &tuple) {
-                solve(rule, idx + 1, db, delta, env, emit)?;
-            }
-            Ok(())
-        }
-        BodyItem::Cmp(lhs, op, rhs) => {
-            let l = eval_expr(lhs, env)?;
-            let r = eval_expr(rhs, env)?;
-            if compare(&l, *op, &r)? {
-                solve(rule, idx + 1, db, delta, env, emit)?;
-            }
-            Ok(())
-        }
-        BodyItem::Assign(var, expr) => {
-            let value = eval_expr(expr, env)?;
-            match env.get(var) {
-                Some(existing) => {
-                    // Re-assignment acts as an equality check.
-                    if *existing == value {
-                        solve(rule, idx + 1, db, delta, env, emit)?;
-                    }
-                    Ok(())
-                }
-                None => {
-                    env.insert(var.clone(), value);
-                    solve(rule, idx + 1, db, delta, env, emit)?;
-                    env.remove(var);
-                    Ok(())
-                }
-            }
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn try_tuple(
-    rule: &Rule,
-    idx: usize,
-    db: &Database,
-    delta: Option<(usize, &HashSet<Tuple>)>,
-    env: &mut Env,
-    emit: &mut dyn FnMut(Arc<str>, Tuple),
-    lit: &Literal,
-    tuple: &[Val],
-) -> Result<(), DatalogError> {
-    if tuple.len() != lit.args.len() {
-        return Ok(());
-    }
-    let mut bound_here: Vec<Arc<str>> = Vec::new();
-    let mut ok = true;
-    for (arg, val) in lit.args.iter().zip(tuple) {
-        match arg {
-            Term::Const(c) => {
-                if c != val {
-                    ok = false;
-                    break;
-                }
-            }
-            Term::Var(v) => match env.get(v) {
-                Some(existing) => {
-                    if existing != val {
-                        ok = false;
-                        break;
-                    }
-                }
-                None => {
-                    env.insert(v.clone(), val.clone());
-                    bound_here.push(v.clone());
-                }
-            },
-        }
-    }
-    if ok {
-        solve(rule, idx + 1, db, delta, env, emit)?;
-    }
-    for v in bound_here {
-        env.remove(&v);
-    }
-    Ok(())
-}
-
-fn eval_expr(expr: &Expr, env: &Env) -> Result<Val, DatalogError> {
-    match expr {
-        Expr::Term(Term::Const(v)) => Ok(v.clone()),
-        Expr::Term(Term::Var(v)) => Ok(env[v].clone()),
-        Expr::Bin(l, op, r) => {
-            let l = eval_expr(l, env)?;
-            let r = eval_expr(r, env)?;
-            let (Val::Int(a), Val::Int(b)) = (&l, &r) else {
-                return Err(DatalogError::Eval {
-                    message: format!("arithmetic on non-integers: {l} {op} {r}"),
-                });
-            };
-            let out = match op {
-                ArithOp::Add => a.checked_add(*b),
-                ArithOp::Sub => a.checked_sub(*b),
-                ArithOp::Mul => a.checked_mul(*b),
-            };
-            out.map(Val::Int).ok_or_else(|| DatalogError::Eval {
-                message: format!("arithmetic overflow: {a} {op} {b}"),
-            })
-        }
-    }
-}
-
-fn compare(l: &Val, op: CmpOp, r: &Val) -> Result<bool, DatalogError> {
-    match op {
-        CmpOp::Eq => Ok(l == r),
-        CmpOp::Ne => Ok(l != r),
-        _ => {
-            let (Val::Int(a), Val::Int(b)) = (l, r) else {
-                return Err(DatalogError::Eval {
-                    message: format!("ordered comparison on non-integers: {l} {op} {r}"),
-                });
-            };
-            Ok(match op {
-                CmpOp::Lt => a < b,
-                CmpOp::Le => a <= b,
-                CmpOp::Gt => a > b,
-                CmpOp::Ge => a >= b,
-                CmpOp::Eq | CmpOp::Ne => unreachable!(),
-            })
-        }
+    ///
+    /// `db` is taken by value and handed back extended; because this
+    /// wrapper holds the only reference, no relation is cloned.
+    pub fn run_with_stats(&self, db: Database) -> Result<(Database, EvalStats), DatalogError> {
+        let (layered, stats) = self
+            .compiled
+            .evaluate_with(Arc::new(db), self.mode, self.budget)?;
+        Ok((layered.flatten(), stats))
     }
 }
 
@@ -825,5 +508,32 @@ mod tests {
         assert!(db.add_fact("p", vec![Val::int(1)]));
         assert!(!db.add_fact("p", vec![Val::int(1)]));
         assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn merge_moves_and_dedupes() {
+        let mut a = Database::new();
+        a.add_fact("p", vec![Val::int(1)]);
+        let mut b = Database::new();
+        b.add_fact("p", vec![Val::int(1)]);
+        b.add_fact("p", vec![Val::int(2)]);
+        b.add_fact("q", vec![Val::int(3)]);
+        a.merge(b);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains("p", &[Val::int(2)]));
+        assert!(a.contains("q", &[Val::int(3)]));
+    }
+
+    #[test]
+    fn engines_share_one_compiled_program() {
+        let program = Program::parse("p(X) :- q(X).").unwrap();
+        let compiled = Arc::new(CompiledProgram::compile(&program).unwrap());
+        let a = Engine::from_compiled(Arc::clone(&compiled));
+        let b = Engine::from_compiled(Arc::clone(&compiled)).with_mode(EvalMode::Naive);
+        let mut db = Database::new();
+        db.add_fact("q", vec![Val::int(7)]);
+        assert!(a.run(db.clone()).unwrap().contains("p", &[Val::int(7)]));
+        assert!(b.run(db).unwrap().contains("p", &[Val::int(7)]));
+        assert_eq!(Arc::strong_count(&compiled), 3);
     }
 }

@@ -1,0 +1,192 @@
+//! A two-layer fact database: a frozen, shared base (the EDB — e.g. a
+//! chain's converted facts) plus a private overlay holding everything
+//! derived during one evaluation run.
+//!
+//! This is what makes GCC execution compile-once / evaluate-many: the
+//! base is an `Arc<Database>` shared by every GCC evaluated against the
+//! same chain, and each run allocates only its own (small) overlay
+//! instead of cloning the full fact database.
+
+use crate::eval::{Database, Tuple};
+use crate::Val;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A read-mostly base layer plus a mutable overlay of derived facts.
+///
+/// Reads see the union of both layers; writes go to the overlay and
+/// deduplicate against both. The base is never mutated.
+#[derive(Clone, Debug)]
+pub struct LayeredDatabase {
+    base: Arc<Database>,
+    overlay: Database,
+}
+
+impl LayeredDatabase {
+    /// Start a new layer over `base` with an empty overlay.
+    pub fn new(base: Arc<Database>) -> LayeredDatabase {
+        LayeredDatabase {
+            base,
+            overlay: Database::new(),
+        }
+    }
+
+    /// The frozen base layer.
+    pub fn base(&self) -> &Database {
+        &self.base
+    }
+
+    /// The overlay of facts added on top of the base.
+    pub fn overlay(&self) -> &Database {
+        &self.overlay
+    }
+
+    /// Both layers, base first (the order joins iterate them in).
+    pub(crate) fn layers(&self) -> [&Database; 2] {
+        [&self.base, &self.overlay]
+    }
+
+    /// Add a fact to the overlay; returns `true` if it was new to the
+    /// combined view.
+    pub fn add_fact(&mut self, pred: impl AsRef<str>, tuple: Tuple) -> bool {
+        if self.base.contains(pred.as_ref(), &tuple) {
+            return false;
+        }
+        self.overlay.add_fact(pred.as_ref(), tuple)
+    }
+
+    /// Is `tuple` present in relation `pred` in either layer?
+    pub fn contains(&self, pred: &str, tuple: &[Val]) -> bool {
+        self.overlay.contains(pred, tuple) || self.base.contains(pred, tuple)
+    }
+
+    /// All tuples of `pred` across both layers, base first.
+    pub fn tuples<'a>(&'a self, pred: &str) -> impl Iterator<Item = &'a Tuple> {
+        self.base
+            .tuples(pred)
+            .iter()
+            .chain(self.overlay.tuples(pred))
+    }
+
+    /// Tuples of `pred` matching a pattern (`None` = wildcard), across
+    /// both layers.
+    pub fn query<'a>(&'a self, pred: &str, pattern: &[Option<Val>]) -> Vec<&'a Tuple> {
+        let mut hits = self.base.query(pred, pattern);
+        hits.extend(self.overlay.query(pred, pattern));
+        hits
+    }
+
+    /// Total number of distinct tuples across both layers.
+    pub fn len(&self) -> usize {
+        self.base.len() + self.overlay.len()
+    }
+
+    /// True when both layers are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Names of all non-empty relations in either layer, deduplicated.
+    pub fn predicates(&self) -> impl Iterator<Item = &str> {
+        self.base
+            .predicates()
+            .chain(self.overlay.predicates())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+    }
+
+    /// Split into the shared base and the owned overlay.
+    pub fn into_parts(self) -> (Arc<Database>, Database) {
+        (self.base, self.overlay)
+    }
+
+    /// Collapse into a single flat [`Database`] containing both layers.
+    ///
+    /// When this layer holds the only reference to the base, the base is
+    /// reused in place — no relation is cloned. Otherwise (the base is
+    /// still shared, e.g. by a validation session) the base is cloned;
+    /// callers on hot paths should query the layered view instead.
+    pub fn flatten(self) -> Database {
+        let (base, overlay) = self.into_parts();
+        let mut db = Arc::try_unwrap(base).unwrap_or_else(|shared| (*shared).clone());
+        db.merge(overlay);
+        db
+    }
+}
+
+impl From<Database> for LayeredDatabase {
+    fn from(base: Database) -> LayeredDatabase {
+        LayeredDatabase::new(Arc::new(base))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Arc<Database> {
+        let mut db = Database::new();
+        db.add_fact("edge", vec![Val::str("a"), Val::str("b")]);
+        db.add_fact("edge", vec![Val::str("b"), Val::str("c")]);
+        Arc::new(db)
+    }
+
+    #[test]
+    fn reads_union_both_layers() {
+        let mut layered = LayeredDatabase::new(base());
+        assert!(layered.contains("edge", &[Val::str("a"), Val::str("b")]));
+        assert!(layered.add_fact("reach", vec![Val::str("a"), Val::str("c")]));
+        assert!(layered.contains("reach", &[Val::str("a"), Val::str("c")]));
+        assert_eq!(layered.len(), 3);
+        assert_eq!(layered.tuples("edge").count(), 2);
+        let preds: Vec<&str> = layered.predicates().collect();
+        assert_eq!(preds, ["edge", "reach"]);
+    }
+
+    #[test]
+    fn overlay_dedupes_against_base() {
+        let mut layered = LayeredDatabase::new(base());
+        assert!(!layered.add_fact("edge", vec![Val::str("a"), Val::str("b")]));
+        assert!(layered.overlay().is_empty());
+        assert!(layered.add_fact("edge", vec![Val::str("c"), Val::str("d")]));
+        assert!(!layered.add_fact("edge", vec![Val::str("c"), Val::str("d")]));
+        assert_eq!(layered.overlay().len(), 1);
+    }
+
+    #[test]
+    fn base_is_never_mutated() {
+        let shared = base();
+        let mut layered = LayeredDatabase::new(Arc::clone(&shared));
+        layered.add_fact("edge", vec![Val::str("x"), Val::str("y")]);
+        assert_eq!(shared.len(), 2);
+        assert!(!shared.contains("edge", &[Val::str("x"), Val::str("y")]));
+    }
+
+    #[test]
+    fn flatten_reuses_sole_reference() {
+        let mut layered = LayeredDatabase::new(base());
+        layered.add_fact("reach", vec![Val::str("a"), Val::str("c")]);
+        let flat = layered.flatten();
+        assert_eq!(flat.len(), 3);
+        assert!(flat.contains("edge", &[Val::str("a"), Val::str("b")]));
+        assert!(flat.contains("reach", &[Val::str("a"), Val::str("c")]));
+    }
+
+    #[test]
+    fn flatten_clones_when_base_is_shared() {
+        let shared = base();
+        let mut layered = LayeredDatabase::new(Arc::clone(&shared));
+        layered.add_fact("reach", vec![Val::str("a"), Val::str("c")]);
+        let flat = layered.flatten();
+        assert_eq!(flat.len(), 3);
+        assert_eq!(shared.len(), 2); // the shared base is untouched
+    }
+
+    #[test]
+    fn query_spans_layers() {
+        let mut layered = LayeredDatabase::new(base());
+        layered.add_fact("edge", vec![Val::str("a"), Val::str("z")]);
+        let hits = layered.query("edge", &[Some(Val::str("a")), None]);
+        assert_eq!(hits.len(), 2);
+    }
+}

@@ -16,9 +16,16 @@
 //!   (or arithmetic) inside a recursive cycle are rejected, which is what
 //!   makes termination a *property of the language* rather than a runtime
 //!   hope;
-//! * [`eval`] — bottom-up evaluation with semi-naive iteration (and a
-//!   naive mode kept for the ablation benchmark), plus a derived-tuple
-//!   budget as defense in depth;
+//! * [`compile`] — [`CompiledProgram`]: the immutable, pre-stratified
+//!   product of those checks, compiled once per GCC and evaluated any
+//!   number of times;
+//! * [`layered`] — [`LayeredDatabase`]: a frozen shared fact base plus a
+//!   per-run overlay of derived tuples, so evaluating many GCCs against
+//!   one chain never clones the chain's facts;
+//! * [`eval`] — fact storage and the classic [`Engine`] wrapper doing
+//!   bottom-up evaluation with semi-naive iteration (and a naive mode
+//!   kept for the ablation benchmark), plus a derived-tuple budget as
+//!   defense in depth;
 //! * [`explain`] — provenance: derivation trees showing *why* a derived
 //!   tuple holds, the audit trail for GCC decisions.
 //!
@@ -40,16 +47,20 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod compile;
 pub mod eval;
 pub mod explain;
+pub mod layered;
 pub mod lexer;
 pub mod parser;
 pub mod safety;
 pub mod stratify;
 
 pub use ast::{Program, Rule, Term, Val};
+pub use compile::CompiledProgram;
 pub use eval::{Database, Engine, EvalMode, EvalStats};
 pub use explain::{explain, Derivation};
+pub use layered::LayeredDatabase;
 
 use std::fmt;
 

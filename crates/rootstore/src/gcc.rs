@@ -2,7 +2,7 @@
 //! root certificates by SHA-256 fingerprint (paper §3).
 
 use nrslb_crypto::sha256::{sha256, Digest};
-use nrslb_datalog::{Engine, Program};
+use nrslb_datalog::{CompiledProgram, Engine, Program};
 use std::fmt;
 use std::sync::Arc;
 
@@ -36,7 +36,7 @@ struct GccInner {
     name: String,
     target: Digest,
     source: String,
-    program: Program,
+    compiled: Arc<CompiledProgram>,
     engine: Engine,
     source_hash: Digest,
     metadata: GccMetadata,
@@ -49,7 +49,7 @@ impl fmt::Debug for Gcc {
             "Gcc(\"{}\" on {}, {} rules)",
             self.inner.name,
             self.inner.target.short(),
-            self.inner.program.rules.len()
+            self.inner.compiled.program().rules.len()
         )
     }
 }
@@ -141,10 +141,11 @@ impl Gcc {
     ) -> Result<Gcc, nrslb_datalog::DatalogError> {
         let mut program = Program::parse(source)?;
         expand_usage_wildcards(&mut program);
-        // Engine construction runs the safety + stratification checks; the
-        // checked engine is kept so evaluation never re-checks (one GCC is
-        // evaluated once per candidate chain, §3.1).
-        let engine = Engine::new(&program)?;
+        // Compilation runs the safety + stratification checks once; the
+        // compiled program is kept (and shared by every clone/retarget of
+        // this GCC) so evaluation never re-checks or re-stratifies, no
+        // matter how many chains it is run against (§3.1).
+        let compiled = Arc::new(CompiledProgram::compile(&program)?);
         if !program
             .rules
             .iter()
@@ -161,8 +162,8 @@ impl Gcc {
                 target,
                 source_hash: sha256(source.as_bytes()),
                 source: source.to_string(),
-                program,
-                engine,
+                engine: Engine::from_compiled(Arc::clone(&compiled)),
+                compiled,
                 metadata,
             }),
         })
@@ -190,10 +191,17 @@ impl Gcc {
 
     /// The checked program.
     pub fn program(&self) -> &Program {
-        &self.inner.program
+        self.inner.compiled.program()
     }
 
-    /// The checked, ready-to-run engine (built once at parse time).
+    /// The pre-stratified compiled program (compiled once at parse time),
+    /// ready for shared-base evaluation against an `Arc<Database>`.
+    pub fn compiled(&self) -> &Arc<CompiledProgram> {
+        &self.inner.compiled
+    }
+
+    /// The checked, ready-to-run engine (a thin wrapper over
+    /// [`Gcc::compiled`]).
     pub fn engine(&self) -> &Engine {
         &self.inner.engine
     }
@@ -205,14 +213,17 @@ impl Gcc {
 
     /// Re-target the same program at a different root (common when one
     /// incident covers several roots, e.g. the four Symantec brands).
+    ///
+    /// The compiled program is shared, not recompiled: all retargets of
+    /// one GCC evaluate through the same [`CompiledProgram`].
     pub fn retarget(&self, target: Digest) -> Gcc {
         Gcc {
             inner: Arc::new(GccInner {
                 name: self.inner.name.clone(),
                 target,
                 source: self.inner.source.clone(),
-                program: self.inner.program.clone(),
-                engine: Engine::new(&self.inner.program).expect("program already checked"),
+                compiled: Arc::clone(&self.inner.compiled),
+                engine: self.inner.engine.clone(),
                 source_hash: self.inner.source_hash,
                 metadata: self.inner.metadata.clone(),
             }),
@@ -314,5 +325,13 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(c.target(), digest(6));
         assert_eq!(c.source(), a.source());
+    }
+
+    #[test]
+    fn retarget_shares_the_compiled_program() {
+        let a = Gcc::parse("a", digest(5), LISTING_1, GccMetadata::default()).unwrap();
+        let c = a.retarget(digest(6));
+        assert!(Arc::ptr_eq(a.compiled(), c.compiled()));
+        assert!(Arc::ptr_eq(a.engine().compiled(), c.engine().compiled()));
     }
 }

@@ -5,7 +5,7 @@ use crate::gcc::{Gcc, GccMetadata};
 use crate::{StoreError, Usage};
 use nrslb_crypto::sha256::Digest;
 use nrslb_x509::{Certificate, DistinguishedName};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Trust status of a certificate with respect to a store.
 ///
@@ -118,11 +118,19 @@ impl TrustRecord {
 ///
 /// Stores are value types: cloning yields an independent snapshot, which
 /// is how the feed layer (`nrslb-rsf`) captures store states.
+///
+/// Records (and with them the attached GCCs) are indexed by root
+/// fingerprint in a hash map, so the per-validation lookups
+/// ([`RootStore::record`], [`RootStore::gccs_for`],
+/// [`RootStore::usage_permitted`]) are O(1). A sorted fingerprint set is
+/// maintained alongside so iteration — which feed serialization depends
+/// on for byte-stable snapshots — stays deterministic.
 #[derive(Clone, Debug)]
 pub struct RootStore {
     name: String,
     version: u64,
-    trusted: BTreeMap<Digest, TrustRecord>,
+    trusted: HashMap<Digest, TrustRecord>,
+    order: BTreeSet<Digest>,              // sorted view of `trusted`'s keys
     distrusted: BTreeMap<Digest, String>, // fingerprint -> justification
 }
 
@@ -132,7 +140,8 @@ impl RootStore {
         RootStore {
             name: name.into(),
             version: 0,
-            trusted: BTreeMap::new(),
+            trusted: HashMap::new(),
+            order: BTreeSet::new(),
             distrusted: BTreeMap::new(),
         }
     }
@@ -171,6 +180,7 @@ impl RootStore {
             return Ok(false);
         }
         self.trusted.insert(fp, TrustRecord::new(cert));
+        self.order.insert(fp);
         self.version += 1;
         Ok(true)
     }
@@ -188,6 +198,7 @@ impl RootStore {
             return Ok(false);
         }
         self.trusted.insert(fp, TrustRecord::new(cert));
+        self.order.insert(fp);
         self.version += 1;
         Ok(true)
     }
@@ -197,6 +208,7 @@ impl RootStore {
     pub fn remove(&mut self, fp: &Digest) -> bool {
         let removed = self.trusted.remove(fp).is_some();
         if removed {
+            self.order.remove(fp);
             self.version += 1;
         }
         removed
@@ -206,6 +218,7 @@ impl RootStore {
     /// from the trusted set and records the distrust with a justification.
     pub fn distrust(&mut self, fp: Digest, justification: impl Into<String>) {
         self.trusted.remove(&fp);
+        self.order.remove(&fp);
         self.distrusted.insert(fp, justification.into());
         self.version += 1;
     }
@@ -264,7 +277,9 @@ impl RootStore {
         removed
     }
 
-    /// GCCs attached to a root (empty if none or unknown).
+    /// GCCs attached to a root (empty if none or unknown). O(1) in the
+    /// number of trusted roots; called once per candidate chain during
+    /// validation.
     pub fn gccs_for(&self, fp: &Digest) -> &[Gcc] {
         self.trusted
             .get(fp)
@@ -272,9 +287,10 @@ impl RootStore {
             .unwrap_or(&[])
     }
 
-    /// Iterate over trusted records.
+    /// Iterate over trusted records in fingerprint order (deterministic,
+    /// so snapshots serialize byte-identically).
     pub fn iter(&self) -> impl Iterator<Item = (&Digest, &TrustRecord)> {
-        self.trusted.iter()
+        self.order.iter().map(|fp| (fp, &self.trusted[fp]))
     }
 
     /// Iterate over explicitly distrusted fingerprints with justifications.
@@ -283,12 +299,12 @@ impl RootStore {
     }
 
     /// Trusted roots whose subject matches `name` (used during chain
-    /// building to find candidate trust anchors).
+    /// building to find candidate trust anchors). Returned in fingerprint
+    /// order so chain building is deterministic.
     pub fn roots_by_subject(&self, name: &DistinguishedName) -> Vec<&Certificate> {
-        self.trusted
-            .values()
-            .filter(|r| r.cert.subject() == name)
-            .map(|r| &r.cert)
+        self.iter()
+            .filter(|(_, r)| r.cert.subject() == name)
+            .map(|(_, r)| &r.cert)
             .collect()
     }
 
@@ -437,6 +453,31 @@ mod tests {
         let found = store.roots_by_subject(pki.root.subject());
         assert_eq!(found.len(), 1);
         assert!(store.roots_by_subject(pki.leaf.subject()).is_empty());
+    }
+
+    #[test]
+    fn iteration_is_fingerprint_ordered() {
+        // Insertion order must not leak into iteration order: feeds
+        // serialize snapshots byte-identically from it.
+        let a = simple_chain("iter-a.example");
+        let b = simple_chain("iter-b.example");
+        let c = simple_chain("iter-c.example");
+        let mut store = RootStore::new("test");
+        for pki in [&b, &c, &a] {
+            store.add_trusted(pki.root.clone()).unwrap();
+        }
+        let fps: Vec<Digest> = store.iter().map(|(fp, _)| *fp).collect();
+        let mut sorted = fps.clone();
+        sorted.sort();
+        assert_eq!(fps, sorted);
+        assert_eq!(fps.len(), 3);
+
+        // Removal keeps the sorted view in sync.
+        store.remove(&b.root.fingerprint());
+        assert_eq!(store.iter().count(), 2);
+        store.distrust(c.root.fingerprint(), "incident");
+        assert_eq!(store.iter().count(), 1);
+        assert_eq!(store.iter().next().unwrap().0, &a.root.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Shim for the `criterion` crate: the API subset the workspace's
+//! benches use (`benchmark_group`, `sample_size`, `bench_function`,
+//! `Bencher::iter` / `iter_batched`, the `criterion_group!` /
+//! `criterion_main!` macros), measured with `std::time::Instant` and
+//! reported on stdout as min / median / mean per iteration.
+//!
+//! Deliberate deviations from real criterion: no outlier analysis, no
+//! comparison against saved baselines, no plots, no HTML report — just
+//! enough statistics to compare two implementations in the same run.
+
+use std::time::Instant;
+
+/// Per-sample target duration; iteration counts are calibrated so one
+/// sample costs roughly this long, keeping timer overhead negligible.
+const TARGET_SAMPLE_NANOS: f64 = 2_000_000.0;
+
+/// Re-export shape: benches may use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped between setup calls.
+///
+/// The shim times each routine invocation individually, so the variants
+/// only exist for call-site compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&id.into(), sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full_id, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (stdout reporting happens per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    report(id, &mut bencher.samples);
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, whole-loop style.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let iters = calibrate(|| {
+            std::hint::black_box(routine());
+        });
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64;
+            self.samples.push(nanos / iters as f64);
+        }
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is
+    /// excluded by timing each invocation individually.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        // Calibrate to find how many timed invocations make up a sample.
+        let mut input = Some(setup());
+        let iters = calibrate(|| {
+            let v = input.take().unwrap();
+            std::hint::black_box(routine(v));
+            input = Some(setup());
+        });
+        for _ in 0..self.sample_size {
+            let mut total = 0u128;
+            for _ in 0..iters {
+                let v = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(v));
+                total += start.elapsed().as_nanos();
+            }
+            self.samples.push(total as f64 / iters as f64);
+        }
+    }
+}
+
+/// Pick an iteration count so one sample takes ~[`TARGET_SAMPLE_NANOS`].
+/// Doubles until the probe loop crosses 1ms, also serving as warmup.
+fn calibrate<F: FnMut()>(mut probe: F) -> u64 {
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            probe();
+        }
+        let nanos = start.elapsed().as_nanos() as f64;
+        if nanos >= 1_000_000.0 || iters >= 1 << 20 {
+            let per_iter = (nanos / iters as f64).max(1.0);
+            return ((TARGET_SAMPLE_NANOS / per_iter) as u64).clamp(1, 1 << 22);
+        }
+        iters *= 2;
+    }
+}
+
+fn report(id: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{id:<50} median {:>10}  mean {:>10}  min {:>10}  ({} samples)",
+        fmt_nanos(median),
+        fmt_nanos(mean),
+        fmt_nanos(min),
+        samples.len()
+    );
+}
+
+fn fmt_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring
+/// criterion's macro (both the simple and `name =`/`config =` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `fn main` running each group (benches set `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group.sample_size(2);
+        group.bench_function("rev", |b| {
+            b.iter_batched(
+                || (0..64u32).collect::<Vec<_>>(),
+                |mut v| {
+                    v.reverse();
+                    v
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn fmt_scales() {
+        assert!(fmt_nanos(12.0).ends_with("ns"));
+        assert!(fmt_nanos(12_000.0).ends_with("µs"));
+        assert!(fmt_nanos(12_000_000.0).ends_with("ms"));
+    }
+}

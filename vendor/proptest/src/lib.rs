@@ -1,0 +1,816 @@
+//! Shim for the `proptest` crate: the API subset the workspace's
+//! property tests use, generating values from a deterministic
+//! per-test RNG.
+//!
+//! Supported: `proptest!` (with optional `proptest_config`), `any`,
+//! integer ranges, regex-subset string strategies (sequences of
+//! character classes with `{m,n}` counts), `Just`, `prop_oneof!`,
+//! `prop_map`, `prop_recursive`, tuples, `collection::vec`,
+//! `option::of`, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Deliberate deviations from real proptest: no shrinking (a failing
+//! case reports the values' Debug form at full size) and a fixed seed
+//! derived from the test name, so runs are reproducible by default.
+
+use std::sync::Arc;
+
+pub use strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Deterministic RNG and case-loop driver behind `proptest!`.
+pub mod test_runner {
+    /// SplitMix64 stream; deterministic, seeded per test case.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Create an RNG from a 64-bit seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            // Multiply-shift with one widening step keeps bias below
+            // 2^-64, far under test-relevant thresholds.
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform value in `[lo, hi)` over i128 (covers every integer
+        /// range the workspace's strategies use).
+        pub fn range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+            assert!(lo < hi, "empty range in strategy");
+            let span = (hi - lo) as u128;
+            if span == 0 {
+                // Span overflowed u128::MAX + 1: the full i128 domain.
+                let raw = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+                return raw as i128;
+            }
+            let raw = if span <= u64::MAX as u128 {
+                self.below(span as u64) as u128
+            } else {
+                let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+                wide % span
+            };
+            lo + raw as i128
+        }
+    }
+
+    /// Runner configuration (`with_cases` is the only knob used).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure — aborts the test.
+        Fail(String),
+        /// `prop_assume!` rejection — the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A skipped case (unmet assumption).
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    fn fnv64(bytes: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drive one property: keep generating cases until `config.cases`
+    /// are accepted, panicking on the first failure.
+    pub fn run<F>(name: &str, config: ProptestConfig, f: F)
+    where
+        F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv64(name.as_bytes());
+        let max_attempts = config.cases.saturating_mul(20).max(200);
+        let mut accepted = 0u32;
+        let mut attempts = 0u32;
+        while accepted < config.cases {
+            assert!(
+                attempts < max_attempts,
+                "{name}: too many rejected cases ({accepted}/{} accepted in {attempts} attempts)",
+                config.cases
+            );
+            let mut rng =
+                TestRng::new(base ^ (u64::from(attempts)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            attempts += 1;
+            match f(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => continue,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest '{name}' failed at case #{attempts}:\n{msg}")
+                }
+            }
+        }
+    }
+}
+
+/// Core [`Strategy`] trait and combinators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use super::Arc;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Build a recursive strategy: `self` generates leaves and
+        /// `recurse` wraps an inner strategy into branch cases, nested
+        /// up to `depth` levels. The size-target parameters of real
+        /// proptest are accepted but unused — each level picks leaf or
+        /// branch with equal probability, which keeps values bounded.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let branch = recurse(current).boxed();
+                current = Union::new(vec![leaf.clone(), branch]).boxed();
+            }
+            current
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// Object-safe mirror of [`Strategy`] backing [`BoxedStrategy`].
+    trait ObjStrategy<V> {
+        fn new_value_obj(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> ObjStrategy<S::Value> for S {
+        fn new_value_obj(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V>(Arc<dyn ObjStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            self.0.new_value_obj(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// Uniform choice among alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Choose uniformly among `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].new_value(rng)
+        }
+    }
+
+    /// Types with a canonical whole-domain strategy ([`any`]).
+    pub trait Arbitrary {
+        /// Generate an arbitrary value of the type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+            let mut out = [0u8; N];
+            for b in &mut out {
+                *b = rng.next_u64() as u8;
+            }
+            out
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> String {
+            // Short strings mixing printable ASCII with arbitrary
+            // scalar values, so encoders meet multi-byte UTF-8.
+            let len = rng.below(17);
+            (0..len)
+                .map(|_| {
+                    if rng.below(4) < 3 {
+                        (0x20 + rng.below(0x5F) as u32 as u8) as char
+                    } else {
+                        loop {
+                            if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                                break c;
+                            }
+                        }
+                    }
+                })
+                .collect()
+        }
+    }
+
+    /// Strategy generating any value of `T` (see [`any`]).
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.range_i128(self.start as i128, self.end as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            super::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+),)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11),
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Vector of values from `element`, length uniform in `sizes`.
+    pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!sizes.is_empty(), "empty size range in collection::vec");
+        VecStrategy { element, sizes }
+    }
+
+    /// Strategy built by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.range_i128(self.sizes.start as i128, self.sizes.end as i128) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// `None` or `Some` of a value from `inner`, equally likely.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy built by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.new_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Regex-subset string generation backing `&str` strategies.
+///
+/// Grammar: a pattern is a sequence of character classes `[...]`, each
+/// optionally followed by `{n}` or `{m,n}`. Classes support literal
+/// characters, `a-z` ranges, and `\n` / `\r` / `\t` / `\\` / `\]` /
+/// `\-` escapes. This covers every pattern in the workspace's tests;
+/// anything else panics so an unsupported pattern fails loudly.
+pub mod string {
+    use super::test_runner::TestRng;
+
+    /// Generate one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse(pattern);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let n = rng.range_i128(*lo as i128, *hi as i128 + 1) as usize;
+            for _ in 0..n {
+                out.push(chars[rng.below(chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+
+    type Atom = (Vec<char>, usize, usize);
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            assert!(
+                c == '[',
+                "shim proptest supports only [class]{{m,n}} patterns, got {pattern:?}"
+            );
+            let set = parse_class(&mut chars, pattern);
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                parse_count(&mut chars, pattern)
+            } else {
+                (1, 1)
+            };
+            atoms.push((set, lo, hi));
+        }
+        atoms
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Vec<char> {
+        // Resolve escapes first, then expand `a-z` ranges.
+        let mut raw = Vec::new();
+        loop {
+            match chars.next() {
+                None => panic!("unterminated character class in {pattern:?}"),
+                Some(']') => break,
+                Some('\\') => {
+                    let c = match chars.next() {
+                        Some('n') => '\n',
+                        Some('r') => '\r',
+                        Some('t') => '\t',
+                        Some(c @ ('\\' | ']' | '-' | '[')) => c,
+                        other => panic!("unsupported escape {other:?} in {pattern:?}"),
+                    };
+                    raw.push((c, true));
+                }
+                Some(c) => raw.push((c, false)),
+            }
+        }
+        let mut set = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            // A bare `-` between two members denotes a range; escaped,
+            // leading, or trailing dashes are literal.
+            if i + 2 < raw.len() && raw[i + 1] == ('-', false) {
+                let (lo, hi) = (raw[i].0, raw[i + 2].0);
+                assert!(lo <= hi, "inverted range {lo}-{hi} in {pattern:?}");
+                for c in lo..=hi {
+                    set.push(c);
+                }
+                i += 3;
+            } else {
+                set.push(raw[i].0);
+                i += 1;
+            }
+        }
+        assert!(!set.is_empty(), "empty character class in {pattern:?}");
+        set
+    }
+
+    fn parse_count(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> (usize, usize) {
+        let mut body = String::new();
+        loop {
+            match chars.next() {
+                None => panic!("unterminated count in {pattern:?}"),
+                Some('}') => break,
+                Some(c) => body.push(c),
+            }
+        }
+        let parse_num = |s: &str| -> usize {
+            s.parse()
+                .unwrap_or_else(|_| panic!("bad repeat count {s:?} in {pattern:?}"))
+        };
+        match body.split_once(',') {
+            None => {
+                let n = parse_num(&body);
+                (n, n)
+            }
+            Some((lo, hi)) => (parse_num(lo), parse_num(hi)),
+        }
+    }
+}
+
+/// The names property tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "{}\n  left: {:?}\n right: {:?}",
+                        format!($($fmt)+),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Fail the current case unless the operands differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "{}\n  both: {:?}",
+                        format!($($fmt)+),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Define property tests: each `fn name(binding in strategy, ...)` body
+/// runs `cases` times over freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) $( #[test] fn $name:ident( $($pat:pat in $strategy:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::test_runner::run(stringify!($name), config, |rng| {
+                    $(let $pat = $crate::Strategy::new_value(&($strategy), rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        #[allow(unreachable_code)]
+                        {
+                            $body
+                            ::std::result::Result::Ok(())
+                        }
+                    })();
+                    outcome
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..200 {
+            let s = crate::string::generate("[a-z][a-z0-9-]{0,8}[a-z0-9]", &mut rng);
+            assert!(s.len() >= 2 && s.len() <= 10, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let s2 = crate::string::generate("[ -~\\n]{0,200}", &mut rng);
+            assert!(s2.len() <= 200);
+            assert!(s2.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(11);
+        for _ in 0..500 {
+            let v = Strategy::new_value(&(-60_000_000_000i64..250_000_000_000), &mut rng);
+            assert!((-60_000_000_000..250_000_000_000).contains(&v));
+            let u = Strategy::new_value(&(2usize..6), &mut rng);
+            assert!((2..6).contains(&u));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_wires_bindings(
+            v in crate::collection::vec(any::<u8>(), 0..8),
+            flag in any::<bool>(),
+            name in "[a-z]{1,5}",
+        ) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(!name.is_empty() && name.len() <= 5);
+            if flag {
+                return Ok(());
+            }
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(name.len(), 0, "name {} must be non-empty", name);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u8..10) {
+            prop_assume!(n < 5);
+            prop_assert!(n < 5);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Vec<Tree>),
+        }
+        let strat = any::<i64>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 64, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..100 {
+            let t = Strategy::new_value(&strat, &mut rng);
+            fn depth(t: &Tree) -> usize {
+                match t {
+                    Tree::Leaf(_) => 1,
+                    Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+                }
+            }
+            assert!(depth(&t) <= 4);
+        }
+    }
+
+    #[test]
+    fn oneof_and_tuples() {
+        let strat = prop_oneof![Just(0i64), (1i64..10, 1i64..10).prop_map(|(a, b)| a * b),];
+        let mut rng = crate::TestRng::new(5);
+        let mut saw_zero = false;
+        let mut saw_product = false;
+        for _ in 0..200 {
+            let v = Strategy::new_value(&strat, &mut rng);
+            if v == 0 {
+                saw_zero = true;
+            } else {
+                assert!((1..100).contains(&v));
+                saw_product = true;
+            }
+        }
+        assert!(saw_zero && saw_product);
+    }
+}

@@ -1,0 +1,176 @@
+//! Shim for the `serde` crate: serialization only, JSON only.
+//!
+//! [`Serialize`] converts a value into an owned [`Value`] tree which
+//! `serde_json` renders. `#[derive(Serialize)]` (from the sibling
+//! `serde_derive` shim) implements the trait for named-field structs —
+//! the only shape the workspace's report types use.
+
+// Let the derive's generated `::serde::` paths resolve inside this
+// crate's own tests too.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A JSON value tree (the shim's serialization target).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any integer (i128 covers every integer type serialized here).
+    Int(i128),
+    /// A float; non-finite values render as `null` like serde_json.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_on_named_struct() {
+        #[derive(Serialize)]
+        struct Row {
+            name: String,
+            count: usize,
+            ratio: f64,
+            ok: bool,
+        }
+        let v = Row {
+            name: "x".into(),
+            count: 3,
+            ratio: 0.5,
+            ok: true,
+        }
+        .to_value();
+        let Value::Object(fields) = v else {
+            panic!("expected object")
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["name", "count", "ratio", "ok"]);
+    }
+
+    #[test]
+    fn nested_vec_and_option() {
+        #[derive(Serialize)]
+        struct Inner {
+            v: u32,
+        }
+        #[derive(Serialize)]
+        struct Outer {
+            rows: Vec<Inner>,
+            maybe: Option<u8>,
+            tag: &'static str,
+        }
+        let v = Outer {
+            rows: vec![Inner { v: 1 }, Inner { v: 2 }],
+            maybe: None,
+            tag: "t",
+        }
+        .to_value();
+        let Value::Object(fields) = v else {
+            panic!("expected object")
+        };
+        assert!(matches!(&fields[0].1, Value::Array(a) if a.len() == 2));
+        assert_eq!(fields[1].1, Value::Null);
+        assert_eq!(fields[2].1, Value::Str("t".into()));
+    }
+}

@@ -1,0 +1,112 @@
+//! Shim for `serde_derive`: `#[derive(Serialize)]` for structs with
+//! named fields, built on the compiler's `proc_macro` API alone (no
+//! syn/quote — the registry is unreachable in this environment).
+//!
+//! The macro walks the raw token stream: it finds the `struct` keyword,
+//! takes the following identifier as the type name, skips ahead to the
+//! brace-delimited field block, and collects field names (skipping
+//! attributes, visibility modifiers, and each field's type tokens).
+//! Enums and tuple structs are rejected with a compile error — the
+//! workspace only derives on named-field report structs.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the shim's `to_value` form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Find `struct <Name>`; anything else (enum, union) is unsupported.
+    let name = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match tokens.get(i + 1) {
+                Some(TokenTree::Ident(name)) => break name.to_string(),
+                _ => return Err("expected a name after `struct`".into()),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err("shim serde_derive supports only named-field structs".into());
+            }
+            Some(_) => i += 1,
+            None => return Err("expected a struct definition".into()),
+        }
+    };
+
+    // The field block is the first brace group after the name (skipping
+    // any generics, which the workspace's report structs don't use, and
+    // which would also need lifetime plumbing this shim omits).
+    let fields_group = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or_else(|| "shim serde_derive supports only named-field structs".to_string())?;
+
+    let fields = field_names(fields_group)?;
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .map_err(|e| format!("generated impl failed to parse: {e:?}"))
+}
+
+/// Collect field names from the contents of a struct's brace block.
+fn field_names(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes: `#` followed by a bracket group.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next(); // the [...] group
+        }
+        // Skip visibility: `pub` optionally followed by `(...)`.
+        if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            tokens.next();
+            if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                tokens.next();
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(name)) => names.push(name.to_string()),
+            None => return Ok(names),
+            Some(other) => return Err(format!("unexpected token in struct body: {other}")),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err("shim serde_derive supports only named fields".into()),
+        }
+        // Skip the type: everything up to a top-level comma.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => return Ok(names),
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {}
+            }
+            tokens.next();
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Shim for `serde_json`: renders the `serde` shim's [`serde::Value`]
+//! tree as JSON text. Serialization only.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. The shim's rendering is total, so this is never
+/// produced — it exists so call sites written against real serde_json
+/// (`to_string_pretty(..)?` / `.expect(..)`) compile unchanged.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Match serde_json: floats always carry a decimal point
+                // or exponent so they reparse as floats.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => render_string(s, out),
+        Value::Array(items) => render_seq(items.iter(), items.len(), '[', ']', indent, depth, out),
+        Value::Object(fields) => {
+            render_seq(fields.iter(), fields.len(), '{', '}', indent, depth, out)
+        }
+    }
+}
+
+/// Render one array item or object entry.
+trait Entry {
+    fn render(&self, indent: Option<usize>, depth: usize, out: &mut String);
+}
+
+impl Entry for Value {
+    fn render(&self, indent: Option<usize>, depth: usize, out: &mut String) {
+        render(self, indent, depth, out);
+    }
+}
+
+impl Entry for (String, Value) {
+    fn render(&self, indent: Option<usize>, depth: usize, out: &mut String) {
+        render_string(&self.0, out);
+        out.push(':');
+        if indent.is_some() {
+            out.push(' ');
+        }
+        render(&self.1, indent, depth, out);
+    }
+}
+
+fn render_seq<'a, E: Entry + 'a>(
+    entries: impl Iterator<Item = &'a E>,
+    len: usize,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, entry) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        entry.render(indent, depth + 1, out);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(1)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".into(), Value::Str("x\"y\n".into())),
+            ("d".into(), Value::Float(1.0)),
+        ]);
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        assert_eq!(
+            to_string(&Raw(v)).unwrap(),
+            r#"{"a":1,"b":[true,null],"c":"x\"y\n","d":1.0}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        #[derive(serde::Serialize)]
+        struct R {
+            n: u8,
+        }
+        let s = to_string_pretty(&R { n: 5 }).unwrap();
+        assert_eq!(s, "{\n  \"n\": 5\n}");
+    }
+}
