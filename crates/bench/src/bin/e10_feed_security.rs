@@ -16,8 +16,7 @@ use nrslb_rootstore::RootStore;
 use nrslb_rsf::signing::MessageKind;
 use nrslb_rsf::translog::verify_extension;
 use nrslb_rsf::{
-    CoordinatorKey, FeedKey, FeedPublisher, FeedSubscriber, FeedTrust, SignedMessage,
-    TransparencyLog,
+    CoordinatorKey, FeedKey, FeedPublisher, FeedTrust, SignedMessage, Subscriber, TransparencyLog,
 };
 use nrslb_x509::testutil::simple_chain;
 use serde::Serialize;
@@ -46,8 +45,8 @@ fn main() {
     let mut store = RootStore::new("nss");
     store.add_trusted(pki.root.clone()).unwrap();
     let mut publisher = FeedPublisher::new("nss", key, &store, 0).unwrap();
-    let mut subscriber = FeedSubscriber::new("derivative", trust);
-    subscriber.sync(&mut publisher).unwrap();
+    let mut subscriber = Subscriber::builder("derivative", trust).build();
+    subscriber.sync(&mut publisher, 0).unwrap();
 
     // 1. Forgery.
     let rogue_coord = CoordinatorKey::from_seed([0xe3; 32], 4).unwrap();

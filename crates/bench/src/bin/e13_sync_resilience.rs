@@ -1,0 +1,80 @@
+//! E13 — sync resilience under channel faults (DESIGN.md §4 sync state
+//! machine; ROADMAP "production-scale" north-star).
+//!
+//! Sweeps the per-frame fault rate (each of drop / delay / duplicate /
+//! truncate / bit-flip applied independently) and measures whether an
+//! RSF subscriber driven by `Subscriber::sync_resilient` still
+//! converges byte-identically to the publisher's store, and how much
+//! retry effort the `SyncPolicy` spends getting there.
+
+use nrslb_bench::{header, maybe_write_json, scale};
+use nrslb_sim::{run_fault_simulation, FaultConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    fault_rate: f64,
+    rounds: usize,
+    converged: bool,
+    converged_rounds: usize,
+    attempts: u32,
+    retries: u64,
+    messages_rejected: u64,
+    snapshot_fallbacks: u64,
+    backoff_ms_total: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    points: Vec<Point>,
+}
+
+fn main() {
+    header(
+        "E13",
+        "subscriber convergence through a lossy channel",
+        "DESIGN.md §4 (resilient sync engine)",
+    );
+    let rounds = scale(20);
+    println!(
+        "{:>10} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10}",
+        "fault rate", "converged", "rounds ok", "attempts", "retries", "rejected", "backoff ms"
+    );
+    let mut points = Vec::new();
+    for &fault_rate in &[0.0, 0.1, 0.3, 0.5] {
+        let out = run_fault_simulation(&FaultConfig {
+            fault_rate,
+            rounds,
+            ..Default::default()
+        });
+        println!(
+            "{:>10.2} {:>10} {:>9}/{:<2} {:>7} {:>9} {:>10} {:>10}",
+            out.fault_rate,
+            out.converged,
+            out.converged_rounds,
+            out.rounds,
+            out.attempts,
+            out.counters.retries,
+            out.counters.messages_rejected,
+            out.backoff_ms_total,
+        );
+        assert!(
+            out.converged,
+            "subscriber must converge at fault rate {fault_rate}"
+        );
+        points.push(Point {
+            fault_rate: out.fault_rate,
+            rounds: out.rounds,
+            converged: out.converged,
+            converged_rounds: out.converged_rounds,
+            attempts: out.attempts,
+            retries: out.counters.retries,
+            messages_rejected: out.counters.messages_rejected,
+            snapshot_fallbacks: out.counters.snapshot_fallbacks,
+            backoff_ms_total: out.backoff_ms_total,
+        });
+    }
+    println!("\nretry + checkpoint verification turn a 50%-fault channel into");
+    println!("a slower feed, not a diverged one.");
+    maybe_write_json(&Report { points });
+}

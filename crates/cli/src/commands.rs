@@ -50,7 +50,7 @@ fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
 pub fn load_store(path: &str) -> Result<RootStore, CliError> {
     let bytes = read(path)?;
     let snap = Snapshot::decode(&bytes).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
-    snap.to_store(&snap.feed.clone())
+    snap.materialize(&snap.feed.clone())
         .map_err(|e| CliError::Invalid(format!("{path}: {e}")))
 }
 

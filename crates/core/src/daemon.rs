@@ -35,12 +35,13 @@ use crate::gcc_eval::GccVerdict;
 use crate::validate::{GccOracle, InProcessOracle};
 use crate::CoreError;
 use nrslb_rootstore::{RootStore, Usage};
+use nrslb_rsf::{Staleness, Subscriber, SyncCounters};
 use nrslb_x509::Certificate;
 use std::io::{Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 const OP_EVALUATE: u8 = 1;
@@ -104,6 +105,12 @@ pub struct TrustDaemon {
     oracle: Arc<InProcessOracle>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// The RSF subscriber keeping the platform store current, when the
+    /// operator wired one up ([`TrustDaemon::attach_feed`]). The daemon
+    /// surfaces its sync health ([`TrustDaemon::sync_counters`],
+    /// [`TrustDaemon::feed_staleness`]) the way it surfaces the verdict
+    /// cache.
+    feed: Option<Arc<Mutex<Subscriber>>>,
 }
 
 impl TrustDaemon {
@@ -164,6 +171,7 @@ impl TrustDaemon {
             oracle,
             accept_thread: Some(accept_thread),
             workers: worker_handles,
+            feed: None,
         })
     }
 
@@ -175,6 +183,28 @@ impl TrustDaemon {
     /// The shared oracle (exposes the verdict cache for metrics).
     pub fn oracle(&self) -> &InProcessOracle {
         &self.oracle
+    }
+
+    /// Wire up the RSF subscriber that keeps the platform store
+    /// current; the daemon then exposes its sync health as metrics.
+    pub fn attach_feed(&mut self, feed: Arc<Mutex<Subscriber>>) {
+        self.feed = Some(feed);
+    }
+
+    /// The attached subscriber's sync counters (attempts, retries,
+    /// fallbacks, quarantines, stale serves), if a feed is attached.
+    pub fn sync_counters(&self) -> Option<SyncCounters> {
+        self.feed
+            .as_ref()
+            .map(|f| f.lock().expect("feed mutex").counters())
+    }
+
+    /// The attached subscriber's freshness at `now`, if a feed is
+    /// attached.
+    pub fn feed_staleness(&self, now: i64) -> Option<Staleness> {
+        self.feed
+            .as_ref()
+            .map(|f| f.lock().expect("feed mutex").staleness(now))
     }
 
     /// Create a client for this daemon.
@@ -471,6 +501,41 @@ mod tests {
         assert_eq!(cache.len(), 8);
         assert_eq!(cache.hits() + cache.misses(), 10 * 20 * 2);
         assert!(cache.hits() >= 10 * 20 * 2 - 8 * 8, "{cache:?}");
+    }
+
+    #[test]
+    fn daemon_scrapes_feed_sync_counters() {
+        use nrslb_rsf::{CoordinatorKey, FeedKey, FeedPublisher, FeedTrust};
+        let pki = simple_chain("daemonfeed.example");
+        let mut store = RootStore::new("platform");
+        store.add_trusted(pki.root.clone()).unwrap();
+        let coordinator = CoordinatorKey::from_seed([21; 32], 4).unwrap();
+        let key = FeedKey::new([22; 32], 6, &coordinator).unwrap();
+        let mut publisher = FeedPublisher::new("platform", key, &store, 0).unwrap();
+        let trust = FeedTrust {
+            coordinator: coordinator.public(),
+        };
+        let feed = Arc::new(Mutex::new(Subscriber::builder("platform", trust).build()));
+
+        let mut daemon = TrustDaemon::spawn(store, ephemeral_socket_path("feed")).unwrap();
+        assert!(daemon.sync_counters().is_none(), "no feed attached yet");
+        daemon.attach_feed(feed.clone());
+        assert_eq!(daemon.sync_counters(), Some(SyncCounters::default()));
+        assert_eq!(daemon.feed_staleness(0), Some(Staleness::NeverSynced));
+
+        feed.lock().unwrap().sync(&mut publisher, 100).unwrap();
+        let counters = daemon.sync_counters().unwrap();
+        assert_eq!(counters.attempts, 1);
+        assert_eq!(counters.messages_ingested, 1);
+        assert_eq!(counters.quarantines, 0);
+        assert_eq!(
+            daemon.feed_staleness(150),
+            Some(Staleness::Fresh { age_secs: 50 })
+        );
+        assert!(matches!(
+            daemon.feed_staleness(100 + 90_000),
+            Some(Staleness::Exceeded { .. })
+        ));
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //!   bottom-up evaluation with semi-naive iteration (and a naive mode
 //!   kept for the ablation benchmark), plus a derived-tuple budget as
 //!   defense in depth;
-//! * [`explain`] — provenance: derivation trees showing *why* a derived
+//! * [`mod@explain`] — provenance: derivation trees showing *why* a derived
 //!   tuple holds, the audit trail for GCC decisions.
 //!
 //! ```

@@ -94,11 +94,11 @@ impl GccEntry {
 
     fn decode(r: &mut Reader<'_>) -> Result<GccEntry, RsfError> {
         Ok(GccEntry {
-            name: r.get_str()?.to_string(),
-            source: r.get_str()?.to_string(),
-            justification: r.get_str()?.to_string(),
-            discussion_url: r.get_str()?.to_string(),
-            created_at: r.get_i64()?,
+            name: r.field("gcc name").get_str()?.to_string(),
+            source: r.field("gcc source").get_str()?.to_string(),
+            justification: r.field("gcc justification").get_str()?.to_string(),
+            discussion_url: r.field("gcc discussion url").get_str()?.to_string(),
+            created_at: r.field("gcc created-at").get_i64()?,
         })
     }
 }
@@ -137,11 +137,11 @@ impl RootEntry {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<RootEntry, RsfError> {
-        let cert = Certificate::from_der(r.get_bytes()?)?;
-        let constraints = SystematicConstraints::decode(r)?;
-        let n = r.get_u32()?;
+        let cert = Certificate::from_der(r.field("root certificate").get_bytes()?)?;
+        let constraints = SystematicConstraints::decode(r.field("systematic constraints"))?;
+        let n = r.field("gcc count").get_u32()?;
         if n > 1024 {
-            return Err(RsfError::Wire("too many GCCs"));
+            return Err(r.error("too many GCCs"));
         }
         let mut gccs = Vec::with_capacity(n as usize);
         for _ in 0..n {
@@ -155,7 +155,7 @@ impl RootEntry {
     }
 
     /// Install this entry into a store (idempotent).
-    pub fn apply_to(&self, store: &mut RootStore) -> Result<(), RsfError> {
+    pub fn install(&self, store: &mut RootStore) -> Result<(), RsfError> {
         store.add_trusted_overriding(self.cert.clone())?;
         let fp = self.cert.fingerprint();
         {
@@ -170,6 +170,16 @@ impl RootEntry {
             store.attach_gcc(gcc).expect("root present");
         }
         Ok(())
+    }
+
+    /// Deprecated alias for [`RootEntry::install`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "ingestion goes through `sync::Subscriber::ingest`; for direct \
+                application use `RootEntry::install`"
+    )]
+    pub fn apply_to(&self, store: &mut RootStore) -> Result<(), RsfError> {
+        self.install(store)
     }
 }
 
@@ -211,15 +221,25 @@ impl Snapshot {
     }
 
     /// Materialize the snapshot as a fresh store named `store_name`.
-    pub fn to_store(&self, store_name: &str) -> Result<RootStore, RsfError> {
+    pub fn materialize(&self, store_name: &str) -> Result<RootStore, RsfError> {
         let mut store = RootStore::new(store_name);
         for (fp, justification) in &self.distrusted {
             store.distrust(*fp, justification.clone());
         }
         for entry in &self.trusted {
-            entry.apply_to(&mut store)?;
+            entry.install(&mut store)?;
         }
         Ok(store)
+    }
+
+    /// Deprecated alias for [`Snapshot::materialize`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "ingestion goes through `sync::Subscriber::ingest`; for direct \
+                materialization use `Snapshot::materialize`"
+    )]
+    pub fn to_store(&self, store_name: &str) -> Result<RootStore, RsfError> {
+        self.materialize(store_name)
     }
 
     /// Canonical encoding (what gets signed).
@@ -247,37 +267,37 @@ impl Snapshot {
 
     /// Decode a canonical snapshot.
     pub fn decode(bytes: &[u8]) -> Result<Snapshot, RsfError> {
-        let mut r = Reader::new(bytes);
-        if r.get_str()? != "RSF1-SNAP" {
-            return Err(RsfError::Wire("bad snapshot magic"));
+        let mut r = Reader::for_artifact(bytes, "snapshot");
+        if r.field("magic").get_str()? != "RSF1-SNAP" {
+            return Err(r.error("bad snapshot magic"));
         }
-        let feed = r.get_str()?.to_string();
-        let sequence = r.get_u64()?;
-        let published_at = r.get_i64()?;
-        let n = r.get_u32()?;
+        let feed = r.field("feed name").get_str()?.to_string();
+        let sequence = r.field("sequence").get_u64()?;
+        let published_at = r.field("published-at").get_i64()?;
+        let n = r.field("trusted count").get_u32()?;
         if n > 100_000 {
-            return Err(RsfError::Wire("too many roots"));
+            return Err(r.error("too many roots"));
         }
         let mut trusted = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            trusted.push(RootEntry::decode(&mut r)?);
+            trusted.push(RootEntry::decode(r.field("trusted entry"))?);
         }
-        let n = r.get_u32()?;
+        let n = r.field("distrusted count").get_u32()?;
         if n > 100_000 {
-            return Err(RsfError::Wire("too many distrusted roots"));
+            return Err(r.error("too many distrusted roots"));
         }
         let mut distrusted = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            let fp = digest_from(r.get_bytes()?)?;
-            distrusted.push((fp, r.get_str()?.to_string()));
+            let fp = digest_from(&mut r, "distrusted fingerprint")?;
+            distrusted.push((fp, r.field("distrust justification").get_str()?.to_string()));
         }
-        let n = r.get_u32()?;
+        let n = r.field("annotation count").get_u32()?;
         if n > 100_000 {
-            return Err(RsfError::Wire("too many annotations"));
+            return Err(r.error("too many annotations"));
         }
         let mut annotations = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            annotations.push(r.get_str()?.to_string());
+            annotations.push(r.field("annotation").get_str()?.to_string());
         }
         r.expect_end()?;
         Ok(Snapshot {
@@ -291,10 +311,9 @@ impl Snapshot {
     }
 }
 
-fn digest_from(bytes: &[u8]) -> Result<Digest, RsfError> {
-    let arr: [u8; 32] = bytes
-        .try_into()
-        .map_err(|_| RsfError::Wire("bad digest length"))?;
+fn digest_from(r: &mut Reader<'_>, field: &'static str) -> Result<Digest, RsfError> {
+    let bytes = r.field(field).get_bytes()?;
+    let arr: [u8; 32] = bytes.try_into().map_err(|_| r.error("bad digest length"))?;
     Ok(Digest(arr))
 }
 
@@ -372,7 +391,7 @@ impl Delta {
     }
 
     /// Apply to a store in place.
-    pub fn apply_to(&self, store: &mut RootStore) -> Result<(), RsfError> {
+    pub fn apply(&self, store: &mut RootStore) -> Result<(), RsfError> {
         for fp in &self.removed {
             store.remove(fp);
         }
@@ -380,9 +399,19 @@ impl Delta {
             store.distrust(*fp, justification.clone());
         }
         for entry in &self.upserted {
-            entry.apply_to(store)?;
+            entry.install(store)?;
         }
         Ok(())
+    }
+
+    /// Deprecated alias for [`Delta::apply`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "ingestion goes through `sync::Subscriber::ingest`; for direct \
+                application use `Delta::apply`"
+    )]
+    pub fn apply_to(&self, store: &mut RootStore) -> Result<(), RsfError> {
+        self.apply(store)
     }
 
     /// Canonical encoding (what gets signed).
@@ -410,37 +439,37 @@ impl Delta {
 
     /// Decode a canonical delta.
     pub fn decode(bytes: &[u8]) -> Result<Delta, RsfError> {
-        let mut r = Reader::new(bytes);
-        if r.get_str()? != "RSF1-DELTA" {
-            return Err(RsfError::Wire("bad delta magic"));
+        let mut r = Reader::for_artifact(bytes, "delta");
+        if r.field("magic").get_str()? != "RSF1-DELTA" {
+            return Err(r.error("bad delta magic"));
         }
-        let from_sequence = r.get_u64()?;
-        let to_sequence = r.get_u64()?;
-        let published_at = r.get_i64()?;
-        let n = r.get_u32()?;
+        let from_sequence = r.field("from-sequence").get_u64()?;
+        let to_sequence = r.field("to-sequence").get_u64()?;
+        let published_at = r.field("published-at").get_i64()?;
+        let n = r.field("upsert count").get_u32()?;
         if n > 100_000 {
-            return Err(RsfError::Wire("too many upserts"));
+            return Err(r.error("too many upserts"));
         }
         let mut upserted = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            upserted.push(RootEntry::decode(&mut r)?);
+            upserted.push(RootEntry::decode(r.field("upserted entry"))?);
         }
-        let n = r.get_u32()?;
+        let n = r.field("removal count").get_u32()?;
         if n > 100_000 {
-            return Err(RsfError::Wire("too many removals"));
+            return Err(r.error("too many removals"));
         }
         let mut removed = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            removed.push(digest_from(r.get_bytes()?)?);
+            removed.push(digest_from(&mut r, "removed fingerprint")?);
         }
-        let n = r.get_u32()?;
+        let n = r.field("distrust count").get_u32()?;
         if n > 100_000 {
-            return Err(RsfError::Wire("too many distrusts"));
+            return Err(r.error("too many distrusts"));
         }
         let mut distrusted = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            let fp = digest_from(r.get_bytes()?)?;
-            distrusted.push((fp, r.get_str()?.to_string()));
+            let fp = digest_from(&mut r, "distrusted fingerprint")?;
+            distrusted.push((fp, r.field("distrust justification").get_str()?.to_string()));
         }
         r.expect_end()?;
         Ok(Delta {
@@ -495,7 +524,7 @@ mod tests {
         assert_eq!(back, snap);
 
         // Materializing reproduces the policy.
-        let rebuilt = snap.to_store("derivative").unwrap();
+        let rebuilt = snap.materialize("derivative").unwrap();
         assert_eq!(rebuilt.len(), store.len());
         let fp = store.iter().next().unwrap().0;
         let rec = rebuilt.record(fp).unwrap();
@@ -535,7 +564,7 @@ mod tests {
 
         // Applying the delta to the old store yields the new state.
         let mut applied = old.clone();
-        delta.apply_to(&mut applied).unwrap();
+        delta.apply(&mut applied).unwrap();
         assert_eq!(
             applied.status(&old_fp),
             nrslb_rootstore::TrustStatus::Distrusted
@@ -555,7 +584,7 @@ mod tests {
         let delta = Delta::between(&old, &new, 1, 2, 100);
         assert_eq!(delta.upserted.len(), 1); // record re-sent
         let mut applied = old.clone();
-        delta.apply_to(&mut applied).unwrap();
+        delta.apply(&mut applied).unwrap();
         assert_eq!(applied.record(&fp).unwrap().smime_distrust_after, Some(123));
     }
 
@@ -596,7 +625,7 @@ mod tests {
             }],
         };
         let mut store = RootStore::new("victim");
-        assert!(matches!(entry.apply_to(&mut store), Err(RsfError::Gcc(_))));
+        assert!(matches!(entry.install(&mut store), Err(RsfError::Gcc(_))));
     }
 }
 
@@ -678,7 +707,7 @@ mod canonical_tests {
             )
             .unwrap();
         let snap = Snapshot::capture("nss", 3, 9, &store);
-        let rebuilt = snap.to_store("other-name").unwrap();
+        let rebuilt = snap.materialize("other-name").unwrap();
         let snap2 = Snapshot::capture("nss", 3, 9, &rebuilt);
         assert_eq!(snap.encode(), snap2.encode());
     }

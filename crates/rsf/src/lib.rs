@@ -32,6 +32,7 @@ pub mod feed;
 pub mod merge;
 pub mod signing;
 pub mod socket;
+pub mod sync;
 pub mod translog;
 pub mod transport;
 pub mod wire;
@@ -40,24 +41,63 @@ pub use feed::{Delta, GccEntry, RootEntry, Snapshot, SystematicConstraints};
 pub use merge::{merge_stores, Conflict, MergeReport};
 pub use signing::{CoordinatorKey, FeedKey, FeedTrust, SignedMessage};
 pub use socket::{FeedSocketServer, RemoteSubscriber};
+pub use sync::{
+    FeedUpdate, ResilientReport, Staleness, Subscriber, SubscriberBuilder, SyncCounters, SyncEvent,
+    SyncPolicy, SyncState,
+};
 pub use translog::{Checkpoint, TransparencyLog};
-pub use transport::{FeedPublisher, FeedSubscriber, SyncReport};
+#[allow(deprecated)]
+pub use transport::FeedSubscriber;
+pub use transport::{FaultInjector, FaultPlan, FeedPublisher, SyncReport};
 
 use std::fmt;
 
 /// Errors across the feed pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RsfError {
-    /// A wire-format decode failure.
+    /// A wire-format failure with no artifact context (socket framing,
+    /// key-parameter errors and other non-decode plumbing).
     Wire(&'static str),
+    /// A decode failure with full context: which artifact was being
+    /// decoded, which field, and at what byte offset (see
+    /// [`wire::Reader`]).
+    Decode {
+        /// The artifact being decoded (`"snapshot"`, `"delta"`,
+        /// `"checkpoint"`, `"signed-message"`, ...).
+        artifact: &'static str,
+        /// The field the reader was positioned at (`""` if unlabelled).
+        field: &'static str,
+        /// Byte offset into the input where the failure occurred.
+        offset: usize,
+        /// What went wrong (`"truncated"`, `"field too large"`, ...).
+        reason: &'static str,
+    },
     /// A signature or endorsement failed to verify.
     BadSignature(&'static str),
+    /// Split-view / history-rewrite evidence: the publisher presented a
+    /// *correctly signed* checkpoint that is inconsistent with the
+    /// subscriber's pinned history (rollback, fork at the same size, or
+    /// a consistency proof that does not verify). Unlike a transient
+    /// [`RsfError::BadSignature`], this is proof of publisher
+    /// misbehaviour and quarantines the feed.
+    SplitView(&'static str),
+    /// The feed is quarantined (prior split-view evidence); the
+    /// subscriber refuses to apply updates and keeps serving its
+    /// last-good store.
+    Quarantined(&'static str),
     /// A message arrived out of order (sequence gap or replay).
     Sequence {
         /// The expected next sequence number.
         expected: u64,
         /// The sequence number that arrived.
         got: u64,
+    },
+    /// A resilient sync gave up after exhausting its retry budget.
+    Exhausted {
+        /// Attempts made (== the policy's `max_attempts`).
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<RsfError>,
     },
     /// A certificate inside the feed failed to parse.
     X509(nrslb_x509::X509Error),
@@ -71,9 +111,28 @@ impl fmt::Display for RsfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RsfError::Wire(what) => write!(f, "malformed feed message: {what}"),
+            RsfError::Decode {
+                artifact,
+                field,
+                offset,
+                reason,
+            } => {
+                write!(f, "malformed {artifact}: {reason}")?;
+                if !field.is_empty() {
+                    write!(f, " in field `{field}`")?;
+                }
+                write!(f, " at byte {offset}")
+            }
             RsfError::BadSignature(what) => write!(f, "feed signature failure: {what}"),
+            RsfError::SplitView(what) => {
+                write!(f, "split-view evidence from publisher: {what}")
+            }
+            RsfError::Quarantined(why) => write!(f, "feed quarantined: {why}"),
             RsfError::Sequence { expected, got } => {
                 write!(f, "feed sequence error: expected {expected}, got {got}")
+            }
+            RsfError::Exhausted { attempts, last } => {
+                write!(f, "sync gave up after {attempts} attempts: {last}")
             }
             RsfError::X509(e) => write!(f, "certificate in feed: {e}"),
             RsfError::Gcc(e) => write!(f, "GCC in feed: {e}"),

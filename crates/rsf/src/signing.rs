@@ -195,18 +195,19 @@ impl SignedMessage {
 
     /// Parse a signed message (verification is separate).
     pub fn decode(bytes: &[u8]) -> Result<SignedMessage, RsfError> {
-        let mut r = Reader::new(bytes);
-        if r.get_str()? != "RSF1-SIGNED" {
-            return Err(RsfError::Wire("bad signed-message magic"));
+        let mut r = Reader::for_artifact(bytes, "signed-message");
+        if r.field("magic").get_str()? != "RSF1-SIGNED" {
+            return Err(r.error("bad signed-message magic"));
         }
-        let kind = MessageKind::from_u8(r.get_u8()?).ok_or(RsfError::Wire("bad message kind"))?;
-        let payload = r.get_bytes()?.to_vec();
-        let feed_key =
-            PublicKey::from_bytes(r.get_bytes()?).map_err(|_| RsfError::Wire("bad feed key"))?;
-        let endorsement =
-            Signature::from_bytes(r.get_bytes()?).map_err(|_| RsfError::Wire("bad endorsement"))?;
-        let signature =
-            Signature::from_bytes(r.get_bytes()?).map_err(|_| RsfError::Wire("bad signature"))?;
+        let kind = MessageKind::from_u8(r.field("kind").get_u8()?)
+            .ok_or_else(|| r.error("bad message kind"))?;
+        let payload = r.field("payload").get_bytes()?.to_vec();
+        let feed_key = PublicKey::from_bytes(r.field("feed key").get_bytes()?)
+            .map_err(|_| r.error("bad feed key"))?;
+        let endorsement = Signature::from_bytes(r.field("endorsement").get_bytes()?)
+            .map_err(|_| r.error("bad endorsement"))?;
+        let signature = Signature::from_bytes(r.field("signature").get_bytes()?)
+            .map_err(|_| r.error("bad signature"))?;
         r.expect_end()?;
         Ok(SignedMessage {
             kind,

@@ -20,8 +20,9 @@
 //! the socket is untrusted, exactly like the HTTPS CDN would be.
 
 use crate::signing::{FeedTrust, SignedMessage};
+use crate::sync::{ResilientReport, Staleness, Subscriber, SubscriberBuilder, SyncCounters};
 use crate::translog::Checkpoint;
-use crate::transport::{FeedPublisher, FeedSubscriber, SyncReport};
+use crate::transport::{FeedPublisher, SyncReport};
 use crate::wire::{Reader, Writer};
 use crate::RsfError;
 use nrslb_crypto::merkle::ConsistencyProof;
@@ -195,23 +196,39 @@ fn serve_once(stream: &mut UnixStream, publisher: &Mutex<FeedPublisher>) -> Resu
     write_frame(stream, b"RSFR", &w.finish())
 }
 
+impl SubscriberBuilder {
+    /// Finish as a socket-backed subscriber polling the feed served at
+    /// `socket` — the remote counterpart of
+    /// [`SubscriberBuilder::build`].
+    pub fn connect(self, socket: impl AsRef<Path>) -> RemoteSubscriber {
+        RemoteSubscriber {
+            inner: self.build(),
+            socket: socket.as_ref().to_path_buf(),
+        }
+    }
+}
+
 /// A subscriber that polls a [`FeedSocketServer`] over the socket.
 ///
-/// Wraps the sans-IO [`FeedSubscriber`]'s *state* but performs its own
+/// Wraps the sans-IO [`Subscriber`]'s *state* but performs its own
 /// verification of the transported artifacts, since it cannot hold a
-/// reference to the remote publisher.
+/// reference to the remote publisher. The engine's [`crate::sync::SyncPolicy`]
+/// governs the socket too: `attempt_timeout_ms` becomes the stream's
+/// read/write timeout and [`RemoteSubscriber::sync`] retries transient
+/// failures with the policy's (real, slept) backoff.
 pub struct RemoteSubscriber {
-    inner: FeedSubscriber,
+    inner: Subscriber,
     socket: PathBuf,
 }
 
 impl RemoteSubscriber {
     /// A subscriber for the feed served at `socket`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Subscriber::builder(name, trust).connect(socket)"
+    )]
     pub fn new(name: &str, trust: FeedTrust, socket: impl AsRef<Path>) -> RemoteSubscriber {
-        RemoteSubscriber {
-            inner: FeedSubscriber::new(name, trust),
-            socket: socket.as_ref().to_path_buf(),
-        }
+        Subscriber::builder(name, trust).connect(socket)
     }
 
     /// The local store replica.
@@ -224,32 +241,86 @@ impl RemoteSubscriber {
         self.inner.sequence()
     }
 
-    /// Poll the server once.
-    pub fn sync(&mut self) -> Result<SyncReport, RsfError> {
+    /// The wrapped sync engine (state, staleness, quarantine).
+    pub fn subscriber(&self) -> &Subscriber {
+        &self.inner
+    }
+
+    /// Scrapeable sync counters.
+    pub fn counters(&self) -> SyncCounters {
+        self.inner.counters()
+    }
+
+    /// Serve the last-good store with a freshness verdict.
+    pub fn serve(&mut self, now: i64) -> (&nrslb_rootstore::RootStore, Staleness) {
+        self.inner.serve(now)
+    }
+
+    /// Poll the server once (no retries).
+    pub fn sync_once(&mut self, now: i64) -> Result<SyncReport, RsfError> {
+        let timeout = std::time::Duration::from_millis(self.inner.policy().attempt_timeout_ms);
         let mut stream = UnixStream::connect(&self.socket).map_err(io_err)?;
+        stream.set_read_timeout(Some(timeout)).map_err(io_err)?;
+        stream.set_write_timeout(Some(timeout)).map_err(io_err)?;
         let mut req = Writer::new();
         req.put_u64(self.inner.sequence());
         req.put_u64(self.inner.pinned_checkpoint().map(|c| c.size).unwrap_or(0));
         write_frame(&mut stream, b"RSFQ", &req.finish())?;
 
         let body = read_frame(&mut stream, b"RSFR")?;
-        let mut r = Reader::new(&body);
-        let n = r.get_u32()?;
+        let mut r = Reader::for_artifact(&body, "feed response");
+        let n = r.field("message count").get_u32()?;
         if n > 100_000 {
-            return Err(RsfError::Wire("too many messages"));
+            return Err(r.error("too many messages"));
         }
         let mut messages = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            messages.push(SignedMessage::decode(r.get_bytes()?)?);
+            messages.push(SignedMessage::decode(r.field("message").get_bytes()?)?);
         }
-        let checkpoint = Checkpoint::decode(r.get_bytes()?)?;
-        let proof = match r.get_u8()? {
+        let checkpoint = Checkpoint::decode(r.field("checkpoint").get_bytes()?)?;
+        let proof = match r.field("proof tag").get_u8()? {
             0 => None,
             1 => Some(decode_proof(&mut r)?),
-            _ => return Err(RsfError::Wire("bad proof tag")),
+            _ => return Err(r.error("bad proof tag")),
         };
         r.expect_end()?;
-        self.inner.apply_remote(messages, checkpoint, proof)
+        self.inner.poll(messages, checkpoint, proof, now)
+    }
+
+    /// Poll the server, retrying transient failures (connection
+    /// refused, timeouts, damaged frames) with the policy's
+    /// exponential backoff — actually slept, since this transport owns
+    /// real I/O. Split-view evidence aborts immediately.
+    pub fn sync(&mut self, now: i64) -> Result<ResilientReport, RsfError> {
+        let max_attempts = self.inner.policy().max_attempts;
+        let mut backoff_ms_total = 0u64;
+        let mut attempts = 0u32;
+        let mut last_err = RsfError::Wire("no attempts made");
+        while attempts < max_attempts {
+            let attempt = attempts;
+            attempts += 1;
+            match self.sync_once(now) {
+                Ok(report) => {
+                    return Ok(ResilientReport {
+                        report,
+                        attempts,
+                        backoff_ms_total,
+                    })
+                }
+                Err(e @ (RsfError::SplitView(_) | RsfError::Quarantined(_))) => return Err(e),
+                Err(e) => last_err = e,
+            }
+            if attempts < max_attempts {
+                self.inner.note_retry();
+                let backoff = self.inner.backoff_ms(attempt);
+                backoff_ms_total += backoff;
+                std::thread::sleep(std::time::Duration::from_millis(backoff));
+            }
+        }
+        Err(RsfError::Exhausted {
+            attempts,
+            last: Box::new(last_err),
+        })
     }
 }
 
@@ -276,15 +347,15 @@ mod tests {
         let publisher = FeedPublisher::new("nss", key, &store, 0).unwrap();
         let server =
             FeedSocketServer::spawn(Arc::new(Mutex::new(publisher)), socket_path(tag)).unwrap();
-        let subscriber = RemoteSubscriber::new("remote", trust, server.socket_path());
+        let subscriber = Subscriber::builder("remote", trust).connect(server.socket_path());
         (server, subscriber, store)
     }
 
     #[test]
     fn remote_bootstrap_and_incremental_sync() {
         let (server, mut subscriber, mut store) = setup("inc");
-        let report = subscriber.sync().unwrap();
-        assert!(report.snapshot_applied);
+        let report = subscriber.sync(0).unwrap();
+        assert!(report.report.snapshot_applied);
         assert_eq!(subscriber.store().len(), 1);
 
         // Publish a distrust; remote pickup on next poll.
@@ -296,29 +367,35 @@ mod tests {
             .unwrap()
             .publish(&store, 100)
             .unwrap();
-        let report = subscriber.sync().unwrap();
-        assert_eq!(report.deltas_applied, 1);
+        let report = subscriber.sync(10).unwrap();
+        assert_eq!(report.report.deltas_applied, 1);
         assert_eq!(subscriber.store().status(&fp), TrustStatus::Distrusted);
 
         // Idle poll: nothing to apply, checkpoint still verifies.
-        let report = subscriber.sync().unwrap();
-        assert_eq!(report.deltas_applied, 0);
-        assert!(!report.snapshot_applied);
+        let report = subscriber.sync(20).unwrap();
+        assert_eq!(report.report.deltas_applied, 0);
+        assert!(!report.report.snapshot_applied);
     }
 
     #[test]
     fn wrong_coordinator_rejected_over_socket() {
         let (server, _subscriber, _store) = setup("forge");
         let other = CoordinatorKey::from_seed([9; 32], 4).unwrap();
-        let mut victim = RemoteSubscriber::new(
+        let mut victim = Subscriber::builder(
             "victim",
             FeedTrust {
                 coordinator: other.public(),
             },
-            server.socket_path(),
-        );
-        let err = victim.sync();
-        assert!(matches!(err, Err(RsfError::BadSignature(_))));
+        )
+        .policy(crate::sync::SyncPolicy {
+            base_backoff_ms: 1,
+            max_backoff_ms: 2,
+            max_attempts: 2,
+            ..Default::default()
+        })
+        .connect(server.socket_path());
+        let err = victim.sync(0);
+        assert!(matches!(err, Err(RsfError::Exhausted { .. })));
         assert!(victim.store().is_empty());
     }
 

@@ -1,0 +1,677 @@
+//! The resilient subscriber sync engine.
+//!
+//! `transport` gives a clean-channel state machine; real derivative
+//! stores sit behind lossy links, stale publishers and — in the worst
+//! case — feeds that rewrite their own history. This module wraps the
+//! same verification core in a fault-tolerant engine:
+//!
+//! * a [`SyncPolicy`] bounds each attempt (timeout, retry budget,
+//!   exponential backoff with deterministic jitter, staleness bound);
+//! * a state-machine [`Subscriber`] resumes catch-up from its last
+//!   applied sequence via `Delta`s, falls back to a full `Snapshot`
+//!   only when the delta window is gone, verifies a transparency-log
+//!   checkpoint + consistency proof on every reconnect, and
+//!   **quarantines** the feed on split-view evidence instead of
+//!   applying it;
+//! * once quarantined — or once the staleness bound is exceeded — the
+//!   subscriber keeps serving its last-good `RootStore`, with an
+//!   explicit [`Staleness`] verdict attached ([`Subscriber::serve`]);
+//! * plain [`SyncCounters`] record attempts, retries, fallbacks,
+//!   quarantines and stale serves for the daemon and benches to scrape.
+//!
+//! The three historical ingestion paths (`Snapshot::decode`+`apply_to`,
+//! `Delta::decode`+`apply_to`, raw `SignedMessage::verify`) collapse
+//! into one entry point: [`Subscriber::ingest`], which verifies,
+//! decodes ([`FeedUpdate`]) and applies a message in one step and
+//! reports what happened as a [`SyncEvent`].
+
+use crate::feed::{Delta, Snapshot};
+use crate::signing::{FeedTrust, MessageKind, SignedMessage};
+use crate::translog::{verify_extension, Checkpoint};
+use crate::transport::{FaultInjector, FeedPublisher, SyncReport};
+use crate::RsfError;
+use nrslb_crypto::hbs::PublicKey;
+use nrslb_crypto::merkle::ConsistencyProof;
+use nrslb_rootstore::RootStore;
+use rand::prelude::*;
+
+/// Retry/backoff/staleness knobs for a [`Subscriber`].
+///
+/// All timing is caller-driven (the engine is sans-IO); the policy is
+/// the single place transports read their budgets from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncPolicy {
+    /// Per-attempt I/O budget in milliseconds (socket transports use it
+    /// for read/write timeouts; the sans-IO core carries it through).
+    pub attempt_timeout_ms: u64,
+    /// First retry delay; attempt `n` waits `base * 2^n`, capped below.
+    pub base_backoff_ms: u64,
+    /// Upper bound on a single backoff delay.
+    pub max_backoff_ms: u64,
+    /// Give up (with [`RsfError::Exhausted`]) after this many attempts.
+    pub max_attempts: u32,
+    /// Past this many seconds since the last successful sync, served
+    /// stores carry a [`Staleness::Exceeded`] verdict.
+    pub staleness_bound_secs: i64,
+    /// Seed for the deterministic backoff jitter (same seed ⇒ same
+    /// delays, so simulations and tests reproduce exactly).
+    pub jitter_seed: u64,
+}
+
+impl Default for SyncPolicy {
+    fn default() -> SyncPolicy {
+        SyncPolicy {
+            attempt_timeout_ms: 2_000,
+            base_backoff_ms: 100,
+            max_backoff_ms: 30_000,
+            max_attempts: 5,
+            staleness_bound_secs: 86_400,
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+/// Plain counters a daemon or bench can scrape ([`Subscriber::counters`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncCounters {
+    /// Sync attempts started (each [`Subscriber::poll`] is one).
+    pub attempts: u64,
+    /// Attempts that failed and were retried by the resilient loop.
+    pub retries: u64,
+    /// Messages verified and applied (snapshots + deltas).
+    pub messages_ingested: u64,
+    /// Messages rejected (bad signature, undecodable, replayed).
+    pub messages_rejected: u64,
+    /// Full-snapshot applications after the delta window was gone.
+    pub snapshot_fallbacks: u64,
+    /// Split-view quarantines entered.
+    pub quarantines: u64,
+    /// Serves performed while past the staleness bound.
+    pub stale_serves: u64,
+}
+
+/// Where a [`Subscriber`] is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncState {
+    /// Never completed a sync; the store is empty.
+    Bootstrapping,
+    /// At least one sync succeeded; the store tracks the feed.
+    Live,
+    /// Split-view / history-rewrite evidence was observed; no further
+    /// updates are applied and the last-good store is served as-is.
+    Quarantined {
+        /// What evidence triggered the quarantine.
+        reason: &'static str,
+    },
+}
+
+/// Freshness verdict attached to a served store ([`Subscriber::serve`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Staleness {
+    /// No sync has ever succeeded; the store is empty.
+    NeverSynced,
+    /// Inside the policy's staleness bound.
+    Fresh {
+        /// Seconds since the last successful sync.
+        age_secs: i64,
+    },
+    /// Past the policy's staleness bound: the store is still served
+    /// (availability over freshness) but callers are told.
+    Exceeded {
+        /// Seconds since the last successful sync.
+        age_secs: i64,
+        /// The policy bound that was exceeded.
+        bound_secs: i64,
+    },
+}
+
+impl Staleness {
+    /// True when the staleness bound is exceeded (or never synced).
+    pub fn is_exceeded(&self) -> bool {
+        !matches!(self, Staleness::Fresh { .. })
+    }
+}
+
+/// A decoded feed payload: the one shape every ingestion path funnels
+/// through. Sealed (`#[non_exhaustive]`) so new message kinds don't
+/// break downstream matches.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum FeedUpdate {
+    /// A full root-store snapshot.
+    Snapshot(Snapshot),
+    /// An incremental delta between two sequences.
+    Delta(Delta),
+}
+
+impl FeedUpdate {
+    /// Decode the payload of a signed message into its typed form.
+    /// Does **not** verify signatures — [`Subscriber::ingest`] does.
+    pub fn decode(message: &SignedMessage) -> Result<FeedUpdate, RsfError> {
+        match message.kind {
+            MessageKind::Snapshot => Ok(FeedUpdate::Snapshot(Snapshot::decode(&message.payload)?)),
+            MessageKind::Delta => Ok(FeedUpdate::Delta(Delta::decode(&message.payload)?)),
+        }
+    }
+
+    /// The sequence this update brings a subscriber to.
+    pub fn sequence(&self) -> u64 {
+        match self {
+            FeedUpdate::Snapshot(s) => s.sequence,
+            FeedUpdate::Delta(d) => d.to_sequence,
+        }
+    }
+
+    /// When the update was published.
+    pub fn published_at(&self) -> i64 {
+        match self {
+            FeedUpdate::Snapshot(s) => s.published_at,
+            FeedUpdate::Delta(d) => d.published_at,
+        }
+    }
+}
+
+/// What [`Subscriber::ingest`] did with a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncEvent {
+    /// A full snapshot replaced the store.
+    SnapshotApplied {
+        /// Sequence after application.
+        sequence: u64,
+    },
+    /// An incremental delta was applied.
+    DeltaApplied {
+        /// Sequence after application.
+        sequence: u64,
+    },
+    /// The message was a duplicate of already-applied state (benign —
+    /// lossy transports re-deliver).
+    AlreadyCurrent {
+        /// The subscriber's unchanged sequence.
+        sequence: u64,
+    },
+}
+
+/// Outcome of a [`Subscriber::sync_resilient`] run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResilientReport {
+    /// Aggregate of what was applied across all attempts.
+    pub report: SyncReport,
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Total backoff the policy would have slept, in milliseconds
+    /// (sans-IO: the caller decides whether to actually sleep).
+    pub backoff_ms_total: u64,
+}
+
+/// Builder for [`Subscriber`] (and, via [`connect`], the socket-backed
+/// `RemoteSubscriber`) — new knobs get a defaulted setter here instead
+/// of breaking every positional caller again.
+///
+/// [`connect`]: SubscriberBuilder::connect
+#[derive(Clone, Debug)]
+pub struct SubscriberBuilder {
+    name: String,
+    trust: FeedTrust,
+    policy: SyncPolicy,
+}
+
+impl SubscriberBuilder {
+    /// Start a builder with the two essentials: the subscriber's store
+    /// name and the pinned coordinator trust.
+    pub fn new(name: &str, trust: FeedTrust) -> SubscriberBuilder {
+        SubscriberBuilder {
+            name: name.to_string(),
+            trust,
+            policy: SyncPolicy::default(),
+        }
+    }
+
+    /// Replace the whole sync policy.
+    pub fn policy(mut self, policy: SyncPolicy) -> SubscriberBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Override just the staleness bound (seconds).
+    pub fn staleness_bound_secs(mut self, bound: i64) -> SubscriberBuilder {
+        self.policy.staleness_bound_secs = bound;
+        self
+    }
+
+    /// Override just the retry budget.
+    pub fn max_attempts(mut self, attempts: u32) -> SubscriberBuilder {
+        self.policy.max_attempts = attempts;
+        self
+    }
+
+    /// Finish: a fresh subscriber that has never synced.
+    pub fn build(self) -> Subscriber {
+        let rng = StdRng::seed_from_u64(self.policy.jitter_seed);
+        Subscriber {
+            store: RootStore::new(&self.name),
+            name: self.name,
+            trust: self.trust,
+            sequence: 0,
+            pinned: None,
+            policy: self.policy,
+            state: SyncState::Bootstrapping,
+            counters: SyncCounters::default(),
+            last_synced_at: None,
+            rng,
+        }
+    }
+}
+
+/// A fault-tolerant feed subscriber: the unified ingestion state
+/// machine behind every transport.
+pub struct Subscriber {
+    name: String,
+    trust: FeedTrust,
+    store: RootStore,
+    sequence: u64,
+    /// Pinned transparency-log checkpoint + the feed key it verified
+    /// under (set after the first successful poll).
+    pinned: Option<(Checkpoint, PublicKey)>,
+    policy: SyncPolicy,
+    state: SyncState,
+    counters: SyncCounters,
+    last_synced_at: Option<i64>,
+    rng: StdRng,
+}
+
+impl Subscriber {
+    /// Start building a subscriber ([`SubscriberBuilder`]).
+    pub fn builder(name: &str, trust: FeedTrust) -> SubscriberBuilder {
+        SubscriberBuilder::new(name, trust)
+    }
+
+    /// The subscriber's store name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current (last-good) store. Prefer [`Subscriber::serve`],
+    /// which also reports freshness.
+    pub fn store(&self) -> &RootStore {
+        &self.store
+    }
+
+    /// The last applied sequence (0 = never synced).
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Lifecycle state.
+    pub fn state(&self) -> SyncState {
+        self.state
+    }
+
+    /// Scrapeable counters.
+    pub fn counters(&self) -> SyncCounters {
+        self.counters
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &SyncPolicy {
+        &self.policy
+    }
+
+    /// The pinned transparency-log checkpoint, if any poll completed.
+    pub fn pinned_checkpoint(&self) -> Option<&Checkpoint> {
+        self.pinned.as_ref().map(|(c, _)| c)
+    }
+
+    /// Freshness at `now` (unix seconds), without counting a serve.
+    pub fn staleness(&self, now: i64) -> Staleness {
+        match self.last_synced_at {
+            None => Staleness::NeverSynced,
+            Some(at) => {
+                let age_secs = now.saturating_sub(at);
+                if age_secs > self.policy.staleness_bound_secs {
+                    Staleness::Exceeded {
+                        age_secs,
+                        bound_secs: self.policy.staleness_bound_secs,
+                    }
+                } else {
+                    Staleness::Fresh { age_secs }
+                }
+            }
+        }
+    }
+
+    /// Serve the last-good store with an explicit freshness verdict.
+    ///
+    /// Availability over freshness: a quarantined or stale subscriber
+    /// still answers — the verdict (and the `stale_serves` counter)
+    /// tell the caller it is doing so on old data.
+    pub fn serve(&mut self, now: i64) -> (&RootStore, Staleness) {
+        let staleness = self.staleness(now);
+        if staleness.is_exceeded() {
+            self.counters.stale_serves += 1;
+        }
+        (&self.store, staleness)
+    }
+
+    /// Verify that `checkpoint` extends the pinned history, updating
+    /// the quarantine state on split-view evidence.
+    ///
+    /// [`RsfError::BadSignature`] is transient (retryable transport
+    /// damage); [`RsfError::SplitView`] is publisher misbehaviour and
+    /// quarantines the feed permanently.
+    pub fn verify_checkpoint(
+        &mut self,
+        checkpoint: &Checkpoint,
+        proof: Option<&ConsistencyProof>,
+    ) -> Result<(), RsfError> {
+        let Some((pinned, key)) = self.pinned.clone() else {
+            return Err(RsfError::BadSignature("no pinned feed key"));
+        };
+        self.check_extension(Some(&pinned), checkpoint, proof, &key)
+    }
+
+    fn check_extension(
+        &mut self,
+        old: Option<&Checkpoint>,
+        new: &Checkpoint,
+        proof: Option<&ConsistencyProof>,
+        key: &PublicKey,
+    ) -> Result<(), RsfError> {
+        match verify_extension(old, new, proof, key) {
+            Err(RsfError::SplitView(reason)) => {
+                self.quarantine(reason);
+                Err(RsfError::SplitView(reason))
+            }
+            other => other,
+        }
+    }
+
+    /// Count a retry decision made by an outer transport loop (the
+    /// socket transport keeps its retry loop outside the sans-IO core).
+    pub(crate) fn note_retry(&mut self) {
+        self.counters.retries += 1;
+    }
+
+    fn quarantine(&mut self, reason: &'static str) {
+        if !matches!(self.state, SyncState::Quarantined { .. }) {
+            self.counters.quarantines += 1;
+            self.state = SyncState::Quarantined { reason };
+        }
+    }
+
+    fn quarantined_err(&self) -> Option<RsfError> {
+        match self.state {
+            SyncState::Quarantined { reason } => Some(RsfError::Quarantined(reason)),
+            _ => None,
+        }
+    }
+
+    /// Verify and apply one signed message: the single ingestion entry
+    /// point replacing `Snapshot::decode`+`apply_to`,
+    /// `Delta::decode`+`apply_to` and raw `SignedMessage::verify`.
+    ///
+    /// Duplicates are benign ([`SyncEvent::AlreadyCurrent`]); replays
+    /// to an *older* snapshot and sequence gaps are errors; nothing is
+    /// applied while quarantined.
+    pub fn ingest(&mut self, message: &SignedMessage) -> Result<SyncEvent, RsfError> {
+        if let Some(err) = self.quarantined_err() {
+            return Err(err);
+        }
+        if let Err(e) = message.verify(&self.trust) {
+            self.counters.messages_rejected += 1;
+            return Err(e);
+        }
+        if let Some((_, key)) = &self.pinned {
+            if message.feed_key != *key {
+                self.counters.messages_rejected += 1;
+                return Err(RsfError::BadSignature("feed key changed mid-stream"));
+            }
+        }
+        let update = match FeedUpdate::decode(message) {
+            Ok(u) => u,
+            Err(e) => {
+                self.counters.messages_rejected += 1;
+                return Err(e);
+            }
+        };
+        self.apply_update(update)
+    }
+
+    /// Apply an already-verified update (shared by [`Subscriber::ingest`]
+    /// and [`Subscriber::poll`], which batch-verifies first).
+    fn apply_update(&mut self, update: FeedUpdate) -> Result<SyncEvent, RsfError> {
+        match update {
+            FeedUpdate::Snapshot(snap) => {
+                if snap.sequence < self.sequence {
+                    self.counters.messages_rejected += 1;
+                    return Err(RsfError::Sequence {
+                        expected: self.sequence,
+                        got: snap.sequence,
+                    });
+                }
+                if snap.sequence == self.sequence {
+                    return Ok(SyncEvent::AlreadyCurrent {
+                        sequence: self.sequence,
+                    });
+                }
+                // Catching up via a full snapshot after having state
+                // means the delta window was gone: a fallback.
+                if self.sequence > 0 {
+                    self.counters.snapshot_fallbacks += 1;
+                }
+                self.store = snap.materialize(&self.name)?;
+                self.sequence = snap.sequence;
+                self.counters.messages_ingested += 1;
+                Ok(SyncEvent::SnapshotApplied {
+                    sequence: self.sequence,
+                })
+            }
+            FeedUpdate::Delta(delta) => {
+                if delta.to_sequence <= self.sequence {
+                    return Ok(SyncEvent::AlreadyCurrent {
+                        sequence: self.sequence,
+                    });
+                }
+                if delta.from_sequence != self.sequence {
+                    return Err(RsfError::Sequence {
+                        expected: self.sequence,
+                        got: delta.from_sequence,
+                    });
+                }
+                delta.apply(&mut self.store)?;
+                self.sequence = delta.to_sequence;
+                self.counters.messages_ingested += 1;
+                Ok(SyncEvent::DeltaApplied {
+                    sequence: self.sequence,
+                })
+            }
+        }
+    }
+
+    /// One sync attempt over transported artifacts: verify the
+    /// checkpoint against pinned history, verify every message
+    /// signature, then apply in order.
+    ///
+    /// Signature verification happens for the whole batch *before* any
+    /// state change — a compromised transport cannot poison the store.
+    /// A sequence gap mid-batch aborts the remaining messages but keeps
+    /// the progress already applied (the next attempt refetches from
+    /// the advanced sequence, so retries converge).
+    pub fn poll(
+        &mut self,
+        messages: Vec<SignedMessage>,
+        checkpoint: Checkpoint,
+        proof: Option<ConsistencyProof>,
+        now: i64,
+    ) -> Result<SyncReport, RsfError> {
+        self.counters.attempts += 1;
+        if let Some(err) = self.quarantined_err() {
+            return Err(err);
+        }
+        // Verify everything (coordinator endorsement + message
+        // signatures) before any state change.
+        for message in &messages {
+            if let Err(e) = message.verify(&self.trust) {
+                self.counters.messages_rejected += 1;
+                return Err(e);
+            }
+        }
+        // The feed key is pinned from the first *verified* message; the
+        // checkpoint must verify under it.
+        let feed_key = match (&self.pinned, messages.first()) {
+            (Some((_, key)), _) => *key,
+            (None, Some(first)) => first.feed_key,
+            (None, None) => return Err(RsfError::BadSignature("empty first sync")),
+        };
+        // Transparency-log step next: a publisher that rewrote history
+        // is quarantined before any message is applied.
+        let pinned = self.pinned.clone();
+        self.check_extension(
+            pinned.as_ref().map(|(c, _)| c),
+            &checkpoint,
+            proof.as_ref(),
+            &feed_key,
+        )?;
+        let mut report = SyncReport {
+            sequence: self.sequence,
+            ..Default::default()
+        };
+        for message in &messages {
+            report.bytes_transferred += message.encode().len();
+            let update = FeedUpdate::decode(message)?;
+            match self.apply_update(update)? {
+                SyncEvent::SnapshotApplied { .. } => report.snapshot_applied = true,
+                SyncEvent::DeltaApplied { .. } => report.deltas_applied += 1,
+                SyncEvent::AlreadyCurrent { .. } => {}
+            }
+        }
+        report.sequence = self.sequence;
+        self.pinned = Some((checkpoint, feed_key));
+        self.last_synced_at = Some(now);
+        self.state = SyncState::Live;
+        Ok(report)
+    }
+
+    /// Poll a publisher over a clean in-process channel.
+    pub fn sync(
+        &mut self,
+        publisher: &mut FeedPublisher,
+        now: i64,
+    ) -> Result<SyncReport, RsfError> {
+        if self.pinned.is_some() && self.sequence == publisher.sequence() {
+            // Nothing new; re-verify the checkpoint and refresh age.
+            let checkpoint = publisher.checkpoint()?;
+            let proof = self
+                .pinned
+                .as_ref()
+                .and_then(|(old, _)| publisher.prove_extension(old.size));
+            return self.poll(Vec::new(), checkpoint, proof, now);
+        }
+        let checkpoint = publisher.checkpoint()?;
+        let proof = self
+            .pinned
+            .as_ref()
+            .and_then(|(old, _)| publisher.prove_extension(old.size));
+        let messages: Vec<SignedMessage> = publisher
+            .fetch(self.sequence)
+            .into_iter()
+            .cloned()
+            .collect();
+        self.poll(messages, checkpoint, proof, now)
+    }
+
+    /// The backoff delay before retry number `attempt` (0-based), in
+    /// milliseconds: exponential with deterministic jitter drawn from
+    /// the policy's seeded generator (uniform in `[exp/2, exp]`).
+    pub fn backoff_ms(&mut self, attempt: u32) -> u64 {
+        let exp = self
+            .policy
+            .base_backoff_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.policy.max_backoff_ms);
+        if exp == 0 {
+            return 0;
+        }
+        self.rng.gen_range(exp / 2..exp + 1)
+    }
+
+    /// Sync through a faulty channel, retrying with backoff until the
+    /// subscriber has converged to the publisher's sequence or the
+    /// policy's retry budget is exhausted.
+    ///
+    /// Frames the [`FaultInjector`] corrupted beyond decoding are
+    /// counted as rejected and skipped; dropped frames surface as a
+    /// sequence shortfall that the next attempt repairs. Split-view
+    /// evidence aborts immediately (no retry un-quarantines a feed).
+    pub fn sync_resilient(
+        &mut self,
+        publisher: &mut FeedPublisher,
+        injector: &mut FaultInjector,
+        now: i64,
+    ) -> Result<ResilientReport, RsfError> {
+        let mut total = SyncReport {
+            sequence: self.sequence,
+            ..Default::default()
+        };
+        let mut backoff_ms_total = 0u64;
+        let mut attempts = 0u32;
+        let mut last_err = RsfError::Wire("no attempts made");
+        while attempts < self.policy.max_attempts {
+            let attempt = attempts;
+            attempts += 1;
+            let checkpoint = publisher.checkpoint()?;
+            let proof = self
+                .pinned
+                .as_ref()
+                .and_then(|(old, _)| publisher.prove_extension(old.size));
+            let frames: Vec<Vec<u8>> = publisher
+                .fetch(self.sequence)
+                .into_iter()
+                .map(|m| m.encode())
+                .collect();
+            let mut messages = Vec::new();
+            for frame in injector.transmit(frames) {
+                match SignedMessage::decode(&frame) {
+                    Ok(m) => messages.push(m),
+                    Err(_) => self.counters.messages_rejected += 1,
+                }
+            }
+            let outcome = if messages.is_empty() && self.pinned.is_none() {
+                // Everything dropped before the first pin: retry.
+                self.counters.attempts += 1;
+                Err(RsfError::BadSignature("empty first sync"))
+            } else {
+                self.poll(messages, checkpoint, proof, now)
+            };
+            match outcome {
+                Ok(report) => {
+                    total.deltas_applied += report.deltas_applied;
+                    total.snapshot_applied |= report.snapshot_applied;
+                    total.bytes_transferred += report.bytes_transferred;
+                    total.sequence = report.sequence;
+                    if self.sequence == publisher.sequence() {
+                        return Ok(ResilientReport {
+                            report: total,
+                            attempts,
+                            backoff_ms_total,
+                        });
+                    }
+                    last_err = RsfError::Sequence {
+                        expected: publisher.sequence(),
+                        got: self.sequence,
+                    };
+                }
+                Err(e @ (RsfError::SplitView(_) | RsfError::Quarantined(_))) => return Err(e),
+                Err(e) => last_err = e,
+            }
+            if attempts < self.policy.max_attempts {
+                self.counters.retries += 1;
+                backoff_ms_total += self.backoff_ms(attempt);
+            }
+        }
+        Err(RsfError::Exhausted {
+            attempts,
+            last: Box::new(last_err),
+        })
+    }
+}

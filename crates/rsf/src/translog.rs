@@ -60,17 +60,18 @@ impl Checkpoint {
 
     /// Parse a serialized checkpoint.
     pub fn decode(bytes: &[u8]) -> Result<Checkpoint, RsfError> {
-        let mut r = Reader::new(bytes);
-        if r.get_str()? != "RSF1-CKPT" {
-            return Err(RsfError::Wire("bad checkpoint magic"));
+        let mut r = Reader::for_artifact(bytes, "checkpoint");
+        if r.field("magic").get_str()? != "RSF1-CKPT" {
+            return Err(r.error("bad checkpoint magic"));
         }
-        let size = r.get_u64()?;
+        let size = r.field("size").get_u64()?;
         let root_bytes: [u8; 32] = r
+            .field("root")
             .get_bytes()?
             .try_into()
-            .map_err(|_| RsfError::Wire("bad checkpoint root"))?;
-        let signature = Signature::from_bytes(r.get_bytes()?)
-            .map_err(|_| RsfError::Wire("bad checkpoint signature"))?;
+            .map_err(|_| r.error("bad checkpoint root"))?;
+        let signature = Signature::from_bytes(r.field("signature").get_bytes()?)
+            .map_err(|_| r.error("bad checkpoint signature"))?;
         r.expect_end()?;
         Ok(Checkpoint {
             size,
@@ -129,6 +130,15 @@ impl TransparencyLog {
 ///
 /// `old` of `None` means this is the subscriber's first poll; only the
 /// signature is checked and the checkpoint is pinned.
+///
+/// Failures split into two classes: [`RsfError::BadSignature`] (the
+/// checkpoint is not even validly signed — possibly transport
+/// corruption, worth a retry) and [`RsfError::SplitView`] (the
+/// checkpoint is *correctly signed* but inconsistent with the pinned
+/// history — rollback, fork at the same size, or an unprovable
+/// extension). Split-view evidence is proof of publisher misbehaviour
+/// and should quarantine the feed, which is exactly what
+/// [`crate::sync::Subscriber`] does.
 pub fn verify_extension(
     old: Option<&Checkpoint>,
     new: &Checkpoint,
@@ -138,24 +148,24 @@ pub fn verify_extension(
     new.verify(feed_key)?;
     let Some(old) = old else { return Ok(()) };
     if new.size < old.size {
-        return Err(RsfError::BadSignature("checkpoint rollback"));
+        return Err(RsfError::SplitView("checkpoint rollback"));
     }
     if new.size == old.size {
         return if new.root == old.root {
             Ok(())
         } else {
-            Err(RsfError::BadSignature("checkpoint fork at same size"))
+            Err(RsfError::SplitView("checkpoint fork at same size"))
         };
     }
     if old.size == 0 {
         return Ok(()); // nothing to be consistent with
     }
-    let proof = proof.ok_or(RsfError::BadSignature("missing consistency proof"))?;
+    let proof = proof.ok_or(RsfError::SplitView("missing consistency proof"))?;
     if proof.old_size != old.size || proof.new_size != new.size {
-        return Err(RsfError::BadSignature("consistency proof size mismatch"));
+        return Err(RsfError::SplitView("consistency proof size mismatch"));
     }
     verify_consistency(proof, &old.root, &new.root)
-        .map_err(|_| RsfError::BadSignature("feed history rewritten"))
+        .map_err(|_| RsfError::SplitView("feed history rewritten"))
 }
 
 #[cfg(test)]
@@ -206,7 +216,7 @@ mod tests {
         let err = verify_extension(Some(&ckpt1), &ckpt2, Some(&proof), &key.public());
         assert!(matches!(
             err,
-            Err(RsfError::BadSignature("feed history rewritten"))
+            Err(RsfError::SplitView("feed history rewritten"))
         ));
     }
 
@@ -223,7 +233,7 @@ mod tests {
         let err = verify_extension(Some(&ckpt_big), &ckpt_small, None, &key.public());
         assert!(matches!(
             err,
-            Err(RsfError::BadSignature("checkpoint rollback"))
+            Err(RsfError::SplitView("checkpoint rollback"))
         ));
     }
 
@@ -239,7 +249,7 @@ mod tests {
         let err = verify_extension(Some(&ca), &cb, None, &key.public());
         assert!(matches!(
             err,
-            Err(RsfError::BadSignature("checkpoint fork at same size"))
+            Err(RsfError::SplitView("checkpoint fork at same size"))
         ));
     }
 

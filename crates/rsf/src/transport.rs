@@ -9,11 +9,12 @@
 
 use crate::feed::{Delta, Snapshot};
 use crate::signing::{FeedKey, FeedTrust, MessageKind, SignedMessage};
-use crate::translog::{verify_extension, Checkpoint, TransparencyLog};
+use crate::sync::Subscriber;
+use crate::translog::{Checkpoint, TransparencyLog};
 use crate::RsfError;
-use nrslb_crypto::hbs::PublicKey;
 use nrslb_crypto::merkle::ConsistencyProof;
 use nrslb_rootstore::RootStore;
+use rand::prelude::*;
 
 /// A primary operator's feed: the current store state plus a log of
 /// signed messages subscribers can fetch.
@@ -178,123 +179,168 @@ pub struct SyncReport {
     pub bytes_transferred: usize,
 }
 
-/// A derivative store (or browser) subscribed to a feed.
-pub struct FeedSubscriber {
-    name: String,
-    trust: FeedTrust,
-    store: RootStore,
-    sequence: u64,
-    /// Pinned transparency-log checkpoint + the feed key it verified
-    /// under (set after the first successful sync).
-    pinned: Option<(Checkpoint, PublicKey)>,
+/// Per-frame fault probabilities for a simulated lossy channel.
+///
+/// Each probability is applied independently per frame in
+/// [`FaultInjector::transmit`]; all draws come from a deterministic
+/// seeded generator, so a `(plan, seed)` pair replays exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a frame is silently dropped.
+    pub drop: f64,
+    /// Probability a frame is delayed to the *next* transmit call.
+    pub delay: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a delivered frame is truncated at a random point.
+    pub truncate: f64,
+    /// Probability a delivered frame has one random bit flipped.
+    pub bit_flip: f64,
+    /// Seed for the injector's deterministic generator.
+    pub seed: u64,
 }
 
+impl FaultPlan {
+    /// A perfectly clean channel.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            drop: 0.0,
+            delay: 0.0,
+            duplicate: 0.0,
+            truncate: 0.0,
+            bit_flip: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A uniformly lossy channel: every fault mode at probability
+    /// `rate` (the "30% of messages are damaged somehow" scenario).
+    pub fn lossy(rate: f64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            drop: rate,
+            delay: rate,
+            duplicate: rate,
+            truncate: rate,
+            bit_flip: rate,
+            seed,
+        }
+    }
+}
+
+/// Applies a [`FaultPlan`] to frames in flight. Delayed frames are
+/// buffered and delivered (ahead of new traffic, i.e. reordered) on
+/// the next [`FaultInjector::transmit`] call.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    delayed: Vec<Vec<u8>>,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan` with its embedded seed.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            rng: StdRng::seed_from_u64(plan.seed),
+            delayed: Vec::new(),
+        }
+    }
+
+    /// Frames delayed out of past transmits and not yet delivered.
+    pub fn in_flight(&self) -> usize {
+        self.delayed.len()
+    }
+
+    fn damage(&mut self, frame: &mut Vec<u8>) {
+        if !frame.is_empty() && self.rng.gen_bool(self.plan.truncate) {
+            let cut = self.rng.gen_range(0..frame.len());
+            frame.truncate(cut);
+        }
+        if !frame.is_empty() && self.rng.gen_bool(self.plan.bit_flip) {
+            let byte = self.rng.gen_range(0..frame.len());
+            let bit = self.rng.gen_range(0u8..8);
+            frame[byte] ^= 1 << bit;
+        }
+    }
+
+    /// Push `frames` through the faulty channel, returning what the
+    /// receiver actually sees (in order: previously delayed traffic,
+    /// then the survivors of this batch).
+    pub fn transmit(&mut self, frames: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let mut out: Vec<Vec<u8>> = std::mem::take(&mut self.delayed);
+        for frame in frames {
+            if self.rng.gen_bool(self.plan.drop) {
+                continue;
+            }
+            let duplicate = self.rng.gen_bool(self.plan.duplicate);
+            let delay = self.rng.gen_bool(self.plan.delay);
+            let mut delivered = frame.clone();
+            self.damage(&mut delivered);
+            if delay {
+                self.delayed.push(delivered);
+            } else {
+                out.push(delivered);
+            }
+            if duplicate {
+                let mut copy = frame;
+                self.damage(&mut copy);
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+/// A derivative store (or browser) subscribed to a feed.
+///
+/// Deprecated shim: the sync engine moved to [`crate::sync::Subscriber`],
+/// which adds retry/backoff, quarantine and staleness tracking. Build
+/// one with [`Subscriber::builder`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use sync::Subscriber via Subscriber::builder(name, trust).build()"
+)]
+pub struct FeedSubscriber {
+    inner: Subscriber,
+}
+
+#[allow(deprecated)]
 impl FeedSubscriber {
     /// A fresh subscriber that has never synced.
     pub fn new(name: &str, trust: FeedTrust) -> FeedSubscriber {
         FeedSubscriber {
-            name: name.to_string(),
-            trust,
-            store: RootStore::new(name),
-            sequence: 0,
-            pinned: None,
+            inner: Subscriber::builder(name, trust).build(),
         }
     }
 
     /// The pinned transparency-log checkpoint, if any sync completed.
     pub fn pinned_checkpoint(&self) -> Option<&Checkpoint> {
-        self.pinned.as_ref().map(|(c, _)| c)
+        self.inner.pinned_checkpoint()
     }
 
     /// The subscriber's current store (what its TLS clients use).
     pub fn store(&self) -> &RootStore {
-        &self.store
+        self.inner.store()
     }
 
     /// The last applied sequence (0 = never synced).
     pub fn sequence(&self) -> u64 {
-        self.sequence
+        self.inner.sequence()
     }
 
     /// Poll the publisher: fetch, verify and apply pending messages.
-    ///
-    /// Verification failures abort the sync *before* any state change —
-    /// a compromised transport cannot poison the store.
     pub fn sync(&mut self, publisher: &mut FeedPublisher) -> Result<SyncReport, RsfError> {
-        let checkpoint = publisher.checkpoint()?;
-        let proof = self
-            .pinned
-            .as_ref()
-            .and_then(|(old, _)| publisher.prove_extension(old.size));
-        let messages: Vec<SignedMessage> = publisher
-            .fetch(self.sequence)
-            .into_iter()
-            .cloned()
-            .collect();
-        self.apply_remote(messages, checkpoint, proof)
+        self.inner.sync(publisher, 0)
     }
 
-    /// Verify and apply transported feed artifacts (the shared core of
-    /// [`FeedSubscriber::sync`] and the socket transport's
-    /// [`crate::socket::RemoteSubscriber`]). Verification failures abort
-    /// *before* any state change.
+    /// Verify and apply transported feed artifacts.
     pub fn apply_remote(
         &mut self,
         messages: Vec<SignedMessage>,
         checkpoint: Checkpoint,
-        proof: Option<nrslb_crypto::merkle::ConsistencyProof>,
+        proof: Option<ConsistencyProof>,
     ) -> Result<SyncReport, RsfError> {
-        // Transparency-log step first: a publisher that rewrote history
-        // is rejected before any message is applied.
-        if let Some((old, key)) = &self.pinned {
-            verify_extension(Some(old), &checkpoint, proof.as_ref(), key)?;
-        }
-        let mut report = SyncReport {
-            sequence: self.sequence,
-            ..Default::default()
-        };
-        // Verify everything (coordinator endorsement + message
-        // signatures) before any state change.
-        for message in &messages {
-            message.verify(&self.trust)?;
-        }
-        // The feed key is pinned from the first *verified* message; the
-        // checkpoint must verify under it.
-        let feed_key = match (&self.pinned, messages.first()) {
-            (Some((_, key)), _) => *key,
-            (None, Some(first)) => first.feed_key,
-            (None, None) => return Err(RsfError::BadSignature("empty first sync")),
-        };
-        verify_extension(None, &checkpoint, None, &feed_key)?;
-        for message in messages {
-            report.bytes_transferred += message.encode().len();
-            match message.kind {
-                MessageKind::Snapshot => {
-                    let snap = Snapshot::decode(&message.payload)?;
-                    self.store = snap.to_store(&self.name)?;
-                    self.sequence = snap.sequence;
-                    report.snapshot_applied = true;
-                }
-                MessageKind::Delta => {
-                    let delta = Delta::decode(&message.payload)?;
-                    if delta.from_sequence != self.sequence {
-                        if delta.to_sequence <= self.sequence {
-                            continue; // already have it
-                        }
-                        return Err(RsfError::Sequence {
-                            expected: self.sequence,
-                            got: delta.from_sequence,
-                        });
-                    }
-                    delta.apply_to(&mut self.store)?;
-                    self.sequence = delta.to_sequence;
-                    report.deltas_applied += 1;
-                }
-            }
-        }
-        report.sequence = self.sequence;
-        self.pinned = Some((checkpoint, feed_key));
-        Ok(report)
+        self.inner.poll(messages, checkpoint, proof, 0)
     }
 }
 
@@ -305,14 +351,14 @@ mod tests {
     use nrslb_rootstore::TrustStatus;
     use nrslb_x509::testutil::simple_chain;
 
-    fn setup(initial: &RootStore) -> (FeedPublisher, FeedSubscriber) {
+    fn setup(initial: &RootStore) -> (FeedPublisher, Subscriber) {
         let coordinator = CoordinatorKey::from_seed([1; 32], 4).unwrap();
         let key = FeedKey::new([2; 32], 8, &coordinator).unwrap();
         let trust = FeedTrust {
             coordinator: coordinator.public(),
         };
         let publisher = FeedPublisher::new("nss", key, initial, 0).unwrap();
-        let subscriber = FeedSubscriber::new("debian", trust);
+        let subscriber = Subscriber::builder("debian", trust).build();
         (publisher, subscriber)
     }
 
@@ -323,7 +369,7 @@ mod tests {
         store.add_trusted(a.root.clone()).unwrap();
         let (mut publisher, mut subscriber) = setup(&store);
 
-        let report = subscriber.sync(&mut publisher).unwrap();
+        let report = subscriber.sync(&mut publisher, 0).unwrap();
         assert!(report.snapshot_applied);
         assert_eq!(report.sequence, 1);
         assert_eq!(
@@ -331,7 +377,7 @@ mod tests {
             TrustStatus::Trusted
         );
         // A second poll is a no-op.
-        let report = subscriber.sync(&mut publisher).unwrap();
+        let report = subscriber.sync(&mut publisher, 0).unwrap();
         assert_eq!(report.deltas_applied, 0);
         assert!(!report.snapshot_applied);
     }
@@ -343,7 +389,7 @@ mod tests {
         let mut store = RootStore::new("nss");
         store.add_trusted(a.root.clone()).unwrap();
         let (mut publisher, mut subscriber) = setup(&store);
-        subscriber.sync(&mut publisher).unwrap();
+        subscriber.sync(&mut publisher, 0).unwrap();
 
         // Change 1: add a root.
         store.add_trusted(b.root.clone()).unwrap();
@@ -354,7 +400,7 @@ mod tests {
         // No change: nothing published.
         assert!(!publisher.publish(&store, 30).unwrap());
 
-        let report = subscriber.sync(&mut publisher).unwrap();
+        let report = subscriber.sync(&mut publisher, 0).unwrap();
         assert_eq!(report.deltas_applied, 2);
         assert!(!report.snapshot_applied);
         assert_eq!(report.sequence, 3);
@@ -375,7 +421,7 @@ mod tests {
         let mut store = RootStore::new("nss");
         store.add_trusted(a.root.clone()).unwrap();
         let (mut publisher, mut subscriber) = setup(&store);
-        subscriber.sync(&mut publisher).unwrap();
+        subscriber.sync(&mut publisher, 0).unwrap();
 
         let gcc = Gcc::parse(
             "partial-distrust",
@@ -390,7 +436,7 @@ mod tests {
         store.attach_gcc(gcc).unwrap();
         publisher.publish(&store, 50).unwrap();
 
-        subscriber.sync(&mut publisher).unwrap();
+        subscriber.sync(&mut publisher, 0).unwrap();
         let gccs = subscriber.store().gccs_for(&a.root.fingerprint());
         assert_eq!(gccs.len(), 1);
         assert_eq!(gccs[0].name(), "partial-distrust");
@@ -414,7 +460,7 @@ mod tests {
 
         // Subscriber at 0 must bootstrap from the snapshot then apply the
         // newer delta.
-        let report = subscriber.sync(&mut publisher).unwrap();
+        let report = subscriber.sync(&mut publisher, 0).unwrap();
         assert!(report.snapshot_applied);
         assert_eq!(report.deltas_applied, 1);
         assert_eq!(report.sequence, 3);
@@ -433,13 +479,14 @@ mod tests {
 
         // Subscriber trusting a different coordinator.
         let other_coord = CoordinatorKey::from_seed([7; 32], 4).unwrap();
-        let mut victim = FeedSubscriber::new(
+        let mut victim = Subscriber::builder(
             "victim",
             FeedTrust {
                 coordinator: other_coord.public(),
             },
-        );
-        let err = victim.sync(&mut publisher);
+        )
+        .build();
+        let err = victim.sync(&mut publisher, 0);
         assert!(matches!(err, Err(RsfError::BadSignature(_))));
         assert_eq!(victim.sequence(), 0);
         assert!(victim.store().is_empty());
@@ -451,7 +498,7 @@ mod tests {
         let mut store = RootStore::new("nss");
         store.add_trusted(a.root.clone()).unwrap();
         let (mut publisher, mut subscriber) = setup(&store);
-        let report = subscriber.sync(&mut publisher).unwrap();
+        let report = subscriber.sync(&mut publisher, 0).unwrap();
         assert!(report.bytes_transferred > 1000); // snapshot with one root + sigs
     }
 }

@@ -74,9 +74,18 @@ impl Writer {
 }
 
 /// A bounds-checked reader over a byte slice.
+///
+/// Decode failures carry context: the *artifact* being decoded (set
+/// with [`Reader::for_artifact`]), the *field* the reader was
+/// positioned at (set with [`Reader::field`], sticky until the next
+/// call) and the byte *offset* of the failure — surfaced as
+/// [`RsfError::Decode`] so a malformed feed message names exactly
+/// where it broke instead of a bare `"truncated"`.
 pub struct Reader<'a> {
     data: &'a [u8],
     pos: usize,
+    artifact: &'static str,
+    field: &'static str,
 }
 
 /// Upper bound on any single length field (defense against hostile
@@ -84,9 +93,39 @@ pub struct Reader<'a> {
 pub const MAX_FIELD: u32 = 64 * 1024 * 1024;
 
 impl<'a> Reader<'a> {
-    /// Read from `data`.
+    /// Read from `data` (no artifact context; errors report
+    /// `"message"`).
     pub fn new(data: &'a [u8]) -> Reader<'a> {
-        Reader { data, pos: 0 }
+        Reader::for_artifact(data, "message")
+    }
+
+    /// Read from `data`, labelling decode errors with the artifact
+    /// being decoded (`"snapshot"`, `"delta"`, ...).
+    pub fn for_artifact(data: &'a [u8], artifact: &'static str) -> Reader<'a> {
+        Reader {
+            data,
+            pos: 0,
+            artifact,
+            field: "",
+        }
+    }
+
+    /// Label the field about to be read; the label sticks until the
+    /// next `field` call and appears in any subsequent decode error.
+    pub fn field(&mut self, name: &'static str) -> &mut Self {
+        self.field = name;
+        self
+    }
+
+    /// A decode error at the current position, with full context
+    /// (artifact, current field label, byte offset).
+    pub fn error(&self, reason: &'static str) -> RsfError {
+        RsfError::Decode {
+            artifact: self.artifact,
+            field: self.field,
+            offset: self.pos,
+            reason,
+        }
     }
 
     /// Bytes remaining.
@@ -99,13 +138,13 @@ impl<'a> Reader<'a> {
         if self.remaining() == 0 {
             Ok(())
         } else {
-            Err(RsfError::Wire("trailing bytes"))
+            Err(self.error("trailing bytes"))
         }
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], RsfError> {
         if self.remaining() < n {
-            return Err(RsfError::Wire("truncated"));
+            return Err(self.error("truncated"));
         }
         let out = &self.data[self.pos..self.pos + n];
         self.pos += n;
@@ -139,14 +178,15 @@ impl<'a> Reader<'a> {
     pub fn get_bytes(&mut self) -> Result<&'a [u8], RsfError> {
         let len = self.get_u32()?;
         if len > MAX_FIELD {
-            return Err(RsfError::Wire("field too large"));
+            return Err(self.error("field too large"));
         }
         self.take(len as usize)
     }
 
     /// Read a length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> Result<&'a str, RsfError> {
-        std::str::from_utf8(self.get_bytes()?).map_err(|_| RsfError::Wire("invalid utf-8"))
+        let bytes = self.get_bytes()?;
+        std::str::from_utf8(bytes).map_err(|_| self.error("invalid utf-8"))
     }
 
     /// Read an `Option<i64>`.
@@ -154,7 +194,7 @@ impl<'a> Reader<'a> {
         match self.get_u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.get_i64()?)),
-            _ => Err(RsfError::Wire("bad option tag")),
+            _ => Err(self.error("bad option tag")),
         }
     }
 }
@@ -218,8 +258,35 @@ mod tests {
         let mut r = Reader::new(&bytes);
         assert!(matches!(
             r.get_bytes(),
-            Err(RsfError::Wire("field too large"))
+            Err(RsfError::Decode {
+                reason: "field too large",
+                ..
+            })
         ));
+    }
+
+    #[test]
+    fn decode_errors_carry_context() {
+        let mut w = Writer::new();
+        w.put_u64(7).put_bytes(b"abc");
+        let bytes = w.finish();
+        // Truncate inside the byte field.
+        let mut r = Reader::for_artifact(&bytes[..bytes.len() - 2], "snapshot");
+        r.field("sequence").get_u64().unwrap();
+        let err = r.field("payload").get_bytes().unwrap_err();
+        assert_eq!(
+            err,
+            RsfError::Decode {
+                artifact: "snapshot",
+                field: "payload",
+                offset: 12,
+                reason: "truncated",
+            }
+        );
+        let shown = err.to_string();
+        assert!(shown.contains("snapshot"), "{shown}");
+        assert!(shown.contains("payload"), "{shown}");
+        assert!(shown.contains("byte 12"), "{shown}");
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Acceptance tests for the resilient sync engine (ISSUE 2): a
+//! subscriber behind a faulty channel converges byte-identically; a
+//! subscriber shown a rewritten feed history quarantines, never applies
+//! the forged update, and keeps serving the last-good store with an
+//! explicit staleness verdict.
+
+use nrslb_crypto::sha256::sha256;
+use nrslb_rootstore::RootStore;
+use nrslb_rsf::signing::MessageKind;
+use nrslb_rsf::{
+    CoordinatorKey, Delta, FaultInjector, FaultPlan, FeedKey, FeedPublisher, FeedTrust, RsfError,
+    Snapshot, Staleness, Subscriber, SyncPolicy, SyncState, TransparencyLog,
+};
+use nrslb_x509::testutil::simple_chain;
+
+fn coordinator() -> CoordinatorKey {
+    CoordinatorKey::from_seed([0x71; 32], 4).expect("coordinator key")
+}
+
+fn trust() -> FeedTrust {
+    FeedTrust {
+        coordinator: coordinator().public(),
+    }
+}
+
+/// Canonical bytes of a store's *content* (name/sequence/time pinned).
+fn canonical(store: &RootStore) -> Vec<u8> {
+    Snapshot::capture("compare", 0, 0, store).encode()
+}
+
+#[test]
+fn lossy_channel_converges_byte_identically() {
+    let key = FeedKey::new([0x72; 32], 12, &coordinator()).expect("feed key");
+    let mut truth = RootStore::new("primary");
+    truth
+        .add_trusted(simple_chain("resilience-seed.example").root)
+        .unwrap();
+    let mut publisher = FeedPublisher::new("primary", key, &truth, 0).expect("publisher");
+    let mut subscriber = Subscriber::builder("derivative", trust())
+        .policy(SyncPolicy {
+            max_attempts: 10,
+            base_backoff_ms: 1,
+            max_backoff_ms: 32,
+            ..SyncPolicy::default()
+        })
+        .build();
+    // Each of drop/delay/duplicate/truncate/bit-flip fires on 30% of
+    // frames, independently.
+    let mut injector = FaultInjector::new(FaultPlan::lossy(0.3, 0x7e57));
+
+    for round in 0..8i64 {
+        let t = round * 3_600;
+        truth.distrust(
+            sha256(format!("resilience-incident-{round}").as_bytes()),
+            format!("incident {round}"),
+        );
+        publisher.publish(&truth, t).expect("publish");
+        // A single round may exhaust its retry budget; later polls
+        // repair it, exactly like a real polling schedule.
+        let _ = subscriber.sync_resilient(&mut publisher, &mut injector, t);
+    }
+    let mut extra = 0i64;
+    while subscriber.sequence() != publisher.sequence() && extra < 8 {
+        extra += 1;
+        let _ = subscriber.sync_resilient(&mut publisher, &mut injector, (8 + extra) * 3_600);
+    }
+
+    assert_eq!(subscriber.sequence(), publisher.sequence());
+    assert_eq!(
+        canonical(&truth),
+        canonical(subscriber.store()),
+        "replica must be byte-identical to the truth store"
+    );
+    assert_eq!(subscriber.state(), SyncState::Live);
+    let counters = subscriber.counters();
+    assert!(counters.retries > 0, "30% faults should force retries");
+    assert!(
+        counters.messages_rejected > 0,
+        "truncation/bit-flip faults should produce rejected frames"
+    );
+    assert_eq!(counters.quarantines, 0);
+}
+
+#[test]
+fn rewritten_history_quarantines_and_keeps_serving_last_good_store() {
+    let key = FeedKey::new([0x73; 32], 10, &coordinator()).expect("feed key");
+    let mut truth = RootStore::new("primary");
+    truth
+        .add_trusted(simple_chain("honest-root.example").root)
+        .unwrap();
+    let mut publisher = FeedPublisher::new("primary", key, &truth, 0).expect("publisher");
+    let mut subscriber = Subscriber::builder("derivative", trust())
+        .staleness_bound_secs(3_600)
+        .build();
+    truth.distrust(sha256(b"honest-incident"), "honest incident");
+    publisher.publish(&truth, 50).expect("publish");
+    subscriber.sync(&mut publisher, 100).expect("honest sync");
+    let good = canonical(subscriber.store());
+    let pinned_size = subscriber.pinned_checkpoint().expect("pinned").size;
+
+    // The publisher key is compromised: the attacker rebuilds the
+    // transparency log from scratch with a different history, grows it
+    // past the pinned size, and offers a forged delta plus a
+    // checkpoint/"consistency proof" over the rewritten log.
+    let fork_key = FeedKey::new([0x73; 32], 10, &coordinator()).expect("fork key");
+    let mut forked_log = TransparencyLog::new();
+    let mut evil = RootStore::new("primary");
+    let evil_delta = Delta::between(&evil, &truth, 0, 1, 50);
+    let forged = fork_key
+        .sign(MessageKind::Delta, &evil_delta.encode())
+        .expect("sign forged delta");
+    for _ in 0..=pinned_size {
+        forked_log.append(&forged);
+    }
+    let forged_next = {
+        evil.distrust(sha256(b"attacker rewrite"), "attacker");
+        let d = Delta::between(subscriber.store(), &evil, subscriber.sequence(), 2, 200);
+        fork_key
+            .sign(MessageKind::Delta, &d.encode())
+            .expect("sign next forged delta")
+    };
+    forked_log.append(&forged_next);
+    let forged_ckpt = forked_log.checkpoint(&fork_key).expect("forged checkpoint");
+    let forged_proof = forked_log.prove_consistency(pinned_size, forked_log.len());
+
+    let err = subscriber
+        .poll(vec![forged_next.clone()], forged_ckpt, forged_proof, 200)
+        .expect_err("rewritten history must be refused");
+    assert!(
+        matches!(err, RsfError::SplitView(_)),
+        "expected SplitView, got {err}"
+    );
+    assert!(matches!(subscriber.state(), SyncState::Quarantined { .. }));
+    // Nothing from the forged feed was applied.
+    assert_eq!(canonical(subscriber.store()), good);
+
+    // Once quarantined, every ingestion path is closed.
+    let err = subscriber
+        .ingest(&forged_next)
+        .expect_err("quarantined subscriber must refuse updates");
+    assert!(matches!(err, RsfError::Quarantined(_)));
+    let err = subscriber
+        .sync(&mut publisher, 300)
+        .expect_err("quarantined subscriber must refuse to sync");
+    assert!(matches!(err, RsfError::Quarantined(_)));
+
+    // Past the staleness bound it still serves the last-good store,
+    // with an explicit verdict and a counted stale serve.
+    let (store, staleness) = subscriber.serve(100 + 4_000);
+    assert_eq!(canonical(store), good);
+    assert!(
+        matches!(
+            staleness,
+            Staleness::Exceeded {
+                age_secs: 4_000,
+                bound_secs: 3_600
+            }
+        ),
+        "expected Exceeded, got {staleness:?}"
+    );
+    let counters = subscriber.counters();
+    assert_eq!(counters.quarantines, 1, "quarantine is counted once");
+    assert_eq!(counters.stale_serves, 1);
+}
+
+#[test]
+fn dead_channel_exhausts_retry_budget() {
+    let key = FeedKey::new([0x74; 32], 8, &coordinator()).expect("feed key");
+    let mut truth = RootStore::new("primary");
+    let mut publisher = FeedPublisher::new("primary", key, &truth, 0).expect("publisher");
+    truth.distrust(sha256(b"unreachable-incident"), "incident");
+    publisher.publish(&truth, 0).expect("publish");
+    let mut subscriber = Subscriber::builder("derivative", trust())
+        .policy(SyncPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 1,
+            max_backoff_ms: 4,
+            ..SyncPolicy::default()
+        })
+        .build();
+    let mut injector = FaultInjector::new(FaultPlan {
+        drop: 1.0,
+        ..FaultPlan::none()
+    });
+
+    let err = subscriber
+        .sync_resilient(&mut publisher, &mut injector, 0)
+        .expect_err("a channel that drops everything cannot converge");
+    match err {
+        RsfError::Exhausted { attempts, .. } => assert_eq!(attempts, 3),
+        other => panic!("expected Exhausted, got {other}"),
+    }
+    // Exhaustion is transient, not publisher misbehaviour: no quarantine.
+    assert_eq!(subscriber.counters().quarantines, 0);
+    assert_eq!(subscriber.counters().attempts, 3);
+    assert_eq!(subscriber.counters().retries, 2);
+}

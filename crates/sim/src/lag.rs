@@ -2,7 +2,7 @@
 
 use nrslb_core::{Usage, ValidationMode, Validator};
 use nrslb_rootstore::{Gcc, GccMetadata, RootStore};
-use nrslb_rsf::{CoordinatorKey, FeedKey, FeedPublisher, FeedSubscriber, FeedTrust};
+use nrslb_rsf::{CoordinatorKey, FeedKey, FeedPublisher, FeedTrust, Subscriber};
 use nrslb_x509::builder::{CaKey, CertificateBuilder};
 use nrslb_x509::{Certificate, DistinguishedName};
 
@@ -277,7 +277,7 @@ pub fn run_lag_simulation(config: &LagConfig) -> LagOutcome {
                 // inter-poll intervals. Polls are phase-offset from the
                 // publisher's (day-aligned) events, as real schedules
                 // would be.
-                let mut subscriber = FeedSubscriber::new(&profile.name, trust);
+                let mut subscriber = Subscriber::builder(&profile.name, trust).build();
                 let poll_interval = poll_interval_hours as i64 * 3600;
                 let phase = poll_interval / 3;
                 let distrust_t = config.distrust_day as i64 * DAY;
@@ -305,7 +305,7 @@ pub fn run_lag_simulation(config: &LagConfig) -> LagOutcome {
                             )
                             .expect("publish");
                     }
-                    let report = subscriber.sync(&mut publisher).expect("sync");
+                    let report = subscriber.sync(&mut publisher, t).expect("sync");
                     feed_bytes += report.bytes_transferred;
                     if report.deltas_applied > 0 || report.snapshot_applied || t == 0 {
                         attack_ok = accepts(

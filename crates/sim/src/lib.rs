@@ -14,6 +14,10 @@
 //! * [`exposure`] — population-weighted **ecosystem exposure**: how many
 //!   clients remain attackable N days after an incident, under today's
 //!   mix vs the all-RSF counterfactual (E11).
+//! * [`faults`] — the **sync-resilience** experiment (E13): a subscriber
+//!   syncing through a channel that drops, delays, duplicates, truncates
+//!   and bit-flips frames must still converge byte-identically to the
+//!   publisher's store, with the retry effort reported.
 //! * [`fidelity`] — the **partial-distrust fidelity** experiment (E4,
 //!   paper §2.3): over a sized Symantec population, compare the three
 //!   derivative strategies (keep / remove / GCC) and report mis-accepted
@@ -22,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod exposure;
+pub mod faults;
 pub mod fidelity;
 pub mod lag;
 
@@ -29,6 +34,7 @@ pub use exposure::{
     counterfactual_all_rsf, default_population, exposure_curve, mean_window, ExposurePoint,
     PopulationMix,
 };
+pub use faults::{run_fault_simulation, FaultConfig, FaultOutcome};
 pub use fidelity::{run_fidelity, FidelityConfig, FidelityOutcome, StrategyOutcome};
 pub use lag::{
     ma_et_al_profiles, run_lag_simulation, DerivativeOutcome, DerivativeProfile, LagConfig,

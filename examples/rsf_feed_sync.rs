@@ -9,7 +9,7 @@
 
 use nrslb::rootstore::{Gcc, GccMetadata, RootStore, TrustStatus};
 use nrslb::rsf::merge::MergePolicy;
-use nrslb::rsf::{merge_stores, CoordinatorKey, FeedKey, FeedPublisher, FeedSubscriber, FeedTrust};
+use nrslb::rsf::{merge_stores, CoordinatorKey, FeedKey, FeedPublisher, FeedTrust, Subscriber};
 use nrslb::x509::testutil::simple_chain;
 
 fn main() {
@@ -29,10 +29,10 @@ fn main() {
     primary.add_trusted(pki_b.root.clone()).unwrap();
 
     let mut publisher = FeedPublisher::new("nss", feed_key, &primary, 0).unwrap();
-    let mut debian = FeedSubscriber::new("debian", trust);
+    let mut debian = Subscriber::builder("debian", trust).build();
 
     // Bootstrap sync: the derivative fetches the signed snapshot.
-    let report = debian.sync(&mut publisher).unwrap();
+    let report = debian.sync(&mut publisher, 0).unwrap();
     println!(
         "bootstrap: snapshot applied = {}, sequence = {}, {} bytes",
         report.snapshot_applied, report.sequence, report.bytes_transferred
@@ -55,7 +55,7 @@ fn main() {
     primary.attach_gcc(gcc).unwrap();
     publisher.publish(&primary, 3_600).unwrap();
 
-    let report = debian.sync(&mut publisher).unwrap();
+    let report = debian.sync(&mut publisher, 0).unwrap();
     println!(
         "hourly poll: {} delta(s) applied, sequence = {}",
         report.deltas_applied, report.sequence
@@ -70,7 +70,7 @@ fn main() {
     // Later: the primary removes root B outright (negative inclusion).
     primary.distrust(pki_b.root.fingerprint(), "key compromise");
     publisher.publish(&primary, 7_200).unwrap();
-    debian.sync(&mut publisher).unwrap();
+    debian.sync(&mut publisher, 0).unwrap();
     println!(
         "after distrust delta, root B status at derivative: {:?}",
         debian.store().status(&pki_b.root.fingerprint())

@@ -7,7 +7,7 @@ use nrslb::core::{Usage, ValidationMode, Validator};
 use nrslb::incidents::catalog::{symantec, JUNE_1ST_2016};
 use nrslb::incidents::pki::{intermediate_ca, leaf, root_ca, NOW_2017};
 use nrslb::rootstore::{Gcc, GccMetadata, RootStore};
-use nrslb::rsf::{CoordinatorKey, FeedKey, FeedPublisher, FeedSubscriber, FeedTrust};
+use nrslb::rsf::{CoordinatorKey, FeedKey, FeedPublisher, FeedTrust, Subscriber};
 use std::sync::Arc;
 
 /// The headline flow: a primary expresses partial distrust as a GCC,
@@ -39,13 +39,14 @@ fn partial_distrust_travels_from_primary_to_derivative_clients() {
     let coordinator = CoordinatorKey::from_seed([0x73; 32], 4).unwrap();
     let feed_key = FeedKey::new([0x74; 32], 6, &coordinator).unwrap();
     let mut publisher = FeedPublisher::new("nss", feed_key, &primary, 0).unwrap();
-    let mut derivative = FeedSubscriber::new(
+    let mut derivative = Subscriber::builder(
         "debian",
         FeedTrust {
             coordinator: coordinator.public(),
         },
-    );
-    let report = derivative.sync(&mut publisher).unwrap();
+    )
+    .build();
+    let report = derivative.sync(&mut publisher, 0).unwrap();
     assert!(report.snapshot_applied);
 
     // The GCC arrived intact.
@@ -204,13 +205,14 @@ fn feed_roundtrip_preserves_fingerprints() {
     let coordinator = CoordinatorKey::from_seed([0x78; 32], 4).unwrap();
     let feed_key = FeedKey::new([0x79; 32], 4, &coordinator).unwrap();
     let mut publisher = FeedPublisher::new("nss", feed_key, &primary, 0).unwrap();
-    let mut sub = FeedSubscriber::new(
+    let mut sub = Subscriber::builder(
         "sub",
         FeedTrust {
             coordinator: coordinator.public(),
         },
-    );
-    sub.sync(&mut publisher).unwrap();
+    )
+    .build();
+    sub.sync(&mut publisher, 0).unwrap();
     let rec = sub.store().record(&pki.root.fingerprint()).unwrap();
     assert_eq!(rec.cert.to_der(), pki.root.to_der());
 }

@@ -168,7 +168,7 @@ fn daemon_serves_concurrent_clients() {
 
 #[test]
 fn feed_retracts_gcc_and_derivative_follows() {
-    use nrslb::rsf::{CoordinatorKey, FeedKey, FeedPublisher, FeedSubscriber, FeedTrust};
+    use nrslb::rsf::{CoordinatorKey, FeedKey, FeedPublisher, FeedTrust, Subscriber};
     let pki = nrslb::x509::testutil::simple_chain("retract.example");
     let mut primary = RootStore::new("nss");
     primary.add_trusted(pki.root.clone()).unwrap();
@@ -184,13 +184,14 @@ fn feed_retracts_gcc_and_derivative_follows() {
     let coordinator = CoordinatorKey::from_seed([0xb4; 32], 4).unwrap();
     let key = FeedKey::new([0xb5; 32], 8, &coordinator).unwrap();
     let mut publisher = FeedPublisher::new("nss", key, &primary, 0).unwrap();
-    let mut derivative = FeedSubscriber::new(
+    let mut derivative = Subscriber::builder(
         "derivative",
         FeedTrust {
             coordinator: coordinator.public(),
         },
-    );
-    derivative.sync(&mut publisher).unwrap();
+    )
+    .build();
+    derivative.sync(&mut publisher, 0).unwrap();
     // Derivative clients reject everything under the root.
     let check = |store: &RootStore| {
         Validator::new(store.clone(), ValidationMode::UserAgent)
@@ -209,7 +210,7 @@ fn feed_retracts_gcc_and_derivative_follows() {
     // picks it up on the next poll and clients recover.
     primary.detach_gcc(&pki.root.fingerprint(), &gcc.source_hash());
     publisher.publish(&primary, 100).unwrap();
-    let report = derivative.sync(&mut publisher).unwrap();
+    let report = derivative.sync(&mut publisher, 0).unwrap();
     assert_eq!(report.deltas_applied, 1);
     assert!(derivative
         .store()
@@ -220,7 +221,7 @@ fn feed_retracts_gcc_and_derivative_follows() {
 
 #[test]
 fn systematic_constraint_change_propagates() {
-    use nrslb::rsf::{CoordinatorKey, FeedKey, FeedPublisher, FeedSubscriber, FeedTrust};
+    use nrslb::rsf::{CoordinatorKey, FeedKey, FeedPublisher, FeedTrust, Subscriber};
     let pki = nrslb::x509::testutil::simple_chain("sysprop.example");
     let mut primary = RootStore::new("nss");
     primary.add_trusted(pki.root.clone()).unwrap();
@@ -228,13 +229,14 @@ fn systematic_constraint_change_propagates() {
     let coordinator = CoordinatorKey::from_seed([0xb6; 32], 4).unwrap();
     let key = FeedKey::new([0xb7; 32], 8, &coordinator).unwrap();
     let mut publisher = FeedPublisher::new("nss", key, &primary, 0).unwrap();
-    let mut derivative = FeedSubscriber::new(
+    let mut derivative = Subscriber::builder(
         "derivative",
         FeedTrust {
             coordinator: coordinator.public(),
         },
-    );
-    derivative.sync(&mut publisher).unwrap();
+    )
+    .build();
+    derivative.sync(&mut publisher, 0).unwrap();
     assert!(
         derivative
             .store()
@@ -250,7 +252,7 @@ fn systematic_constraint_change_propagates() {
         rec.tls_distrust_after = Some(42);
     }
     publisher.publish(&primary, 100).unwrap();
-    derivative.sync(&mut publisher).unwrap();
+    derivative.sync(&mut publisher, 0).unwrap();
     let rec = derivative.store().record(&pki.root.fingerprint()).unwrap();
     assert!(!rec.ev_allowed);
     assert_eq!(rec.tls_distrust_after, Some(42));

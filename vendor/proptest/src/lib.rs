@@ -417,7 +417,7 @@ pub mod collection {
         VecStrategy { element, sizes }
     }
 
-    /// Strategy built by [`vec`].
+    /// Strategy built by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         sizes: std::ops::Range<usize>,
