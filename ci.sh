@@ -16,4 +16,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> differential oracle smoke (fixed seed)"
+# Bounded run: >=1,000 cross-path (chain, GCC, usage) checks; exits
+# non-zero and prints the failing NRSLB_SIM_SEED on any disagreement.
+NRSLB_SIM_SEED=0xd1ff NRSLB_SCALE=120 \
+    cargo run --release -q -p nrslb-bench --bin e14_differential
+
 echo "==> CI green"

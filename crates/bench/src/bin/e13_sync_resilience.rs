@@ -14,6 +14,8 @@ use serde::Serialize;
 #[derive(Serialize)]
 struct Point {
     fault_rate: f64,
+    seed: u64,
+    plan_seed: u64,
     rounds: usize,
     converged: bool,
     converged_rounds: usize,
@@ -64,6 +66,8 @@ fn main() {
         );
         points.push(Point {
             fault_rate: out.fault_rate,
+            seed: out.seed,
+            plan_seed: out.plan_seed,
             rounds: out.rounds,
             converged: out.converged,
             converged_rounds: out.converged_rounds,

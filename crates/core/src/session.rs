@@ -20,7 +20,7 @@ use crate::facts::{chain_facts, chain_id};
 use crate::gcc_eval::GccVerdict;
 use crate::CoreError;
 use nrslb_crypto::sha256::{sha256, Digest};
-use nrslb_datalog::{Database, Val};
+use nrslb_datalog::{Database, Engine, EvalMode, Val};
 use nrslb_rootstore::{Gcc, Usage};
 use nrslb_x509::Certificate;
 use parking_lot::RwLock;
@@ -74,6 +74,24 @@ impl ValidationSession {
     /// is discarded after the query.
     pub fn evaluate_gcc(&self, gcc: &Gcc, usage: Usage) -> Result<bool, CoreError> {
         let out = gcc.compiled().evaluate(Arc::clone(&self.facts))?;
+        Ok(out.contains(
+            "valid",
+            &[Val::str(&*self.handle), Val::str(usage.as_datalog())],
+        ))
+    }
+
+    /// Evaluate one GCC with the reference naive-iteration engine
+    /// instead of the compiled stratified pipeline.
+    ///
+    /// This is the differential-testing hook: the naive evaluator
+    /// shares no execution machinery with
+    /// [`ValidationSession::evaluate_gcc`] beyond the parsed rules, so
+    /// agreement between the two is strong evidence the compiled path
+    /// computes the right fixpoint. It clones the fact base per call —
+    /// strictly a test/oracle path, never the serving path.
+    pub fn evaluate_gcc_naive(&self, gcc: &Gcc, usage: Usage) -> Result<bool, CoreError> {
+        let engine = Engine::from_compiled(Arc::clone(gcc.compiled())).with_mode(EvalMode::Naive);
+        let out = engine.run((*self.facts).clone())?;
         Ok(out.contains(
             "valid",
             &[Val::str(&*self.handle), Val::str(usage.as_datalog())],

@@ -253,6 +253,18 @@ impl Validator {
         &self.store
     }
 
+    /// Swap in a different root store, keeping mode, cache and config.
+    ///
+    /// This is the differential-testing hook: the same validator
+    /// revalidates one chain against many stores (a primary and each
+    /// subscriber replica) without rebuilding the oracle plumbing. The
+    /// verdict cache can stay — verdict keys are content-addressed by
+    /// (chain, GCC source, usage), so a replica whose GCCs differ from
+    /// the primary's misses instead of aliasing.
+    pub fn set_store(&mut self, store: RootStore) {
+        self.store = store;
+    }
+
     /// Validate `leaf` (with an intermediate pool) for `usage` at time
     /// `now`, without a hostname check.
     pub fn validate(

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod feed;
 pub mod merge;
 pub mod signing;
@@ -37,6 +38,7 @@ pub mod translog;
 pub mod transport;
 pub mod wire;
 
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use feed::{Delta, GccEntry, RootEntry, Snapshot, SystematicConstraints};
 pub use merge::{merge_stores, Conflict, MergeReport};
 pub use signing::{CoordinatorKey, FeedKey, FeedTrust, SignedMessage};

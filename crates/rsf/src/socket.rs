@@ -287,10 +287,24 @@ impl RemoteSubscriber {
         self.inner.poll(messages, checkpoint, proof, now)
     }
 
+    /// Poll the server once at the injected clock's current time.
+    pub fn sync_once_now(&mut self) -> Result<SyncReport, RsfError> {
+        let now = self.inner.clock().now_secs();
+        self.sync_once(now)
+    }
+
+    /// [`RemoteSubscriber::sync`] at the injected clock's current time.
+    pub fn sync_now(&mut self) -> Result<ResilientReport, RsfError> {
+        let now = self.inner.clock().now_secs();
+        self.sync(now)
+    }
+
     /// Poll the server, retrying transient failures (connection
     /// refused, timeouts, damaged frames) with the policy's
-    /// exponential backoff — actually slept, since this transport owns
-    /// real I/O. Split-view evidence aborts immediately.
+    /// exponential backoff — slept on the subscriber's injected clock,
+    /// so tests with a [`crate::clock::VirtualClock`] retry instantly
+    /// while production wall clocks really wait. Split-view evidence
+    /// aborts immediately.
     pub fn sync(&mut self, now: i64) -> Result<ResilientReport, RsfError> {
         let max_attempts = self.inner.policy().max_attempts;
         let mut backoff_ms_total = 0u64;
@@ -314,7 +328,8 @@ impl RemoteSubscriber {
                 self.inner.note_retry();
                 let backoff = self.inner.backoff_ms(attempt);
                 backoff_ms_total += backoff;
-                std::thread::sleep(std::time::Duration::from_millis(backoff));
+                let clock = Arc::clone(self.inner.clock());
+                clock.sleep_ms(backoff);
             }
         }
         Err(RsfError::Exhausted {
@@ -327,6 +342,7 @@ impl RemoteSubscriber {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::Clock;
     use crate::signing::{CoordinatorKey, FeedKey};
     use nrslb_rootstore::{RootStore, TrustStatus};
     use nrslb_x509::testutil::simple_chain;
@@ -381,6 +397,9 @@ mod tests {
     fn wrong_coordinator_rejected_over_socket() {
         let (server, _subscriber, _store) = setup("forge");
         let other = CoordinatorKey::from_seed([9; 32], 4).unwrap();
+        // A virtual clock turns the retry backoff into instant,
+        // deterministic time-advancement: no real sleeping in the test.
+        let clock = crate::clock::VirtualClock::shared(0);
         let mut victim = Subscriber::builder(
             "victim",
             FeedTrust {
@@ -388,15 +407,20 @@ mod tests {
             },
         )
         .policy(crate::sync::SyncPolicy {
-            base_backoff_ms: 1,
-            max_backoff_ms: 2,
-            max_attempts: 2,
+            base_backoff_ms: 1_000,
+            max_backoff_ms: 2_000,
+            max_attempts: 3,
             ..Default::default()
         })
+        .clock(clock.clone())
         .connect(server.socket_path());
-        let err = victim.sync(0);
+        let err = victim.sync_now();
         assert!(matches!(err, Err(RsfError::Exhausted { .. })));
         assert!(victim.store().is_empty());
+        assert!(
+            clock.now_millis() >= 1_000,
+            "backoff must have been slept on the virtual clock"
+        );
     }
 
     #[test]

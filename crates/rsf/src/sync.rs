@@ -25,6 +25,7 @@
 //! decodes ([`FeedUpdate`]) and applies a message in one step and
 //! reports what happened as a [`SyncEvent`].
 
+use crate::clock::{Clock, WallClock};
 use crate::feed::{Delta, Snapshot};
 use crate::signing::{FeedTrust, MessageKind, SignedMessage};
 use crate::translog::{verify_extension, Checkpoint};
@@ -34,6 +35,7 @@ use nrslb_crypto::hbs::PublicKey;
 use nrslb_crypto::merkle::ConsistencyProof;
 use nrslb_rootstore::RootStore;
 use rand::prelude::*;
+use std::sync::Arc;
 
 /// Retry/backoff/staleness knobs for a [`Subscriber`].
 ///
@@ -214,6 +216,7 @@ pub struct SubscriberBuilder {
     name: String,
     trust: FeedTrust,
     policy: SyncPolicy,
+    clock: Arc<dyn Clock>,
 }
 
 impl SubscriberBuilder {
@@ -224,6 +227,7 @@ impl SubscriberBuilder {
             name: name.to_string(),
             trust,
             policy: SyncPolicy::default(),
+            clock: Arc::new(WallClock),
         }
     }
 
@@ -245,6 +249,15 @@ impl SubscriberBuilder {
         self
     }
 
+    /// Inject a clock. Defaults to [`WallClock`]; tests and the
+    /// deterministic simulator pass a
+    /// [`VirtualClock`](crate::clock::VirtualClock) so staleness checks
+    /// and backoff sleeping run on virtual time.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> SubscriberBuilder {
+        self.clock = clock;
+        self
+    }
+
     /// Finish: a fresh subscriber that has never synced.
     pub fn build(self) -> Subscriber {
         let rng = StdRng::seed_from_u64(self.policy.jitter_seed);
@@ -259,6 +272,7 @@ impl SubscriberBuilder {
             counters: SyncCounters::default(),
             last_synced_at: None,
             rng,
+            clock: self.clock,
         }
     }
 }
@@ -278,6 +292,7 @@ pub struct Subscriber {
     counters: SyncCounters,
     last_synced_at: Option<i64>,
     rng: StdRng,
+    clock: Arc<dyn Clock>,
 }
 
 impl Subscriber {
@@ -320,6 +335,42 @@ impl Subscriber {
     /// The pinned transparency-log checkpoint, if any poll completed.
     pub fn pinned_checkpoint(&self) -> Option<&Checkpoint> {
         self.pinned.as_ref().map(|(c, _)| c)
+    }
+
+    /// The injected clock (wall time unless the builder overrode it).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// [`Subscriber::staleness`] at the injected clock's current time.
+    pub fn staleness_now(&self) -> Staleness {
+        self.staleness(self.clock.now_secs())
+    }
+
+    /// [`Subscriber::serve`] at the injected clock's current time.
+    pub fn serve_now(&mut self) -> (&RootStore, Staleness) {
+        let now = self.clock.now_secs();
+        self.serve(now)
+    }
+
+    /// [`Subscriber::sync`] at the injected clock's current time.
+    pub fn sync_now(&mut self, publisher: &mut FeedPublisher) -> Result<SyncReport, RsfError> {
+        let now = self.clock.now_secs();
+        self.sync(publisher, now)
+    }
+
+    /// [`Subscriber::sync_resilient`] driven by the injected clock:
+    /// `now` is read from the clock and every backoff delay is *slept*
+    /// on it (a [`VirtualClock`](crate::clock::VirtualClock) advances
+    /// instantly instead of blocking), so retries consume simulated
+    /// time exactly like a real polling loop consumes wall time.
+    pub fn sync_resilient_now(
+        &mut self,
+        publisher: &mut FeedPublisher,
+        injector: &mut FaultInjector,
+    ) -> Result<ResilientReport, RsfError> {
+        let now = self.clock.now_secs();
+        self.sync_resilient_with(publisher, injector, now, true)
     }
 
     /// Freshness at `now` (unix seconds), without counting a serve.
@@ -609,6 +660,16 @@ impl Subscriber {
         injector: &mut FaultInjector,
         now: i64,
     ) -> Result<ResilientReport, RsfError> {
+        self.sync_resilient_with(publisher, injector, now, false)
+    }
+
+    fn sync_resilient_with(
+        &mut self,
+        publisher: &mut FeedPublisher,
+        injector: &mut FaultInjector,
+        now: i64,
+        sleep_on_clock: bool,
+    ) -> Result<ResilientReport, RsfError> {
         let mut total = SyncReport {
             sequence: self.sequence,
             ..Default::default()
@@ -636,12 +697,19 @@ impl Subscriber {
                     Err(_) => self.counters.messages_rejected += 1,
                 }
             }
+            // Clock-driven runs stamp each attempt at the (possibly
+            // advanced-by-backoff) current instant.
+            let attempt_now = if sleep_on_clock {
+                self.clock.now_secs()
+            } else {
+                now
+            };
             let outcome = if messages.is_empty() && self.pinned.is_none() {
                 // Everything dropped before the first pin: retry.
                 self.counters.attempts += 1;
                 Err(RsfError::BadSignature("empty first sync"))
             } else {
-                self.poll(messages, checkpoint, proof, now)
+                self.poll(messages, checkpoint, proof, attempt_now)
             };
             match outcome {
                 Ok(report) => {
@@ -666,7 +734,11 @@ impl Subscriber {
             }
             if attempts < self.policy.max_attempts {
                 self.counters.retries += 1;
-                backoff_ms_total += self.backoff_ms(attempt);
+                let delay = self.backoff_ms(attempt);
+                backoff_ms_total += delay;
+                if sleep_on_clock {
+                    self.clock.sleep_ms(delay);
+                }
             }
         }
         Err(RsfError::Exhausted {

@@ -246,6 +246,12 @@ impl FaultInjector {
         }
     }
 
+    /// The plan this injector executes (its `seed` is what a bench
+    /// must record for an exact replay).
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
     /// Frames delayed out of past transmits and not yet delivered.
     pub fn in_flight(&self) -> usize {
         self.delayed.len()

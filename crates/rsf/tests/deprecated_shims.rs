@@ -1,0 +1,96 @@
+//! The deprecated constructor shims must remain behavioural aliases of
+//! the builder path: same messages applied, byte-identical stores.
+//!
+//! `FeedSubscriber` and `RemoteSubscriber::new` survive for older
+//! callers; these tests pin their contract so a future refactor of the
+//! builder cannot silently fork their behaviour before the shims are
+//! finally removed.
+
+#![allow(deprecated)]
+
+use nrslb_crypto::sha256::sha256;
+use nrslb_rootstore::RootStore;
+use nrslb_rsf::{
+    CoordinatorKey, FeedKey, FeedPublisher, FeedSocketServer, FeedSubscriber, FeedTrust,
+    RemoteSubscriber, Snapshot, Subscriber,
+};
+use nrslb_x509::testutil::simple_chain;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+fn coordinator() -> CoordinatorKey {
+    CoordinatorKey::from_seed([0x31; 32], 4).unwrap()
+}
+
+fn trust() -> FeedTrust {
+    FeedTrust {
+        coordinator: coordinator().public(),
+    }
+}
+
+/// Canonical content bytes of a store (name/sequence/timestamp pinned).
+fn canonical(store: &RootStore) -> Vec<u8> {
+    Snapshot::capture("compare", 0, 0, store).encode()
+}
+
+/// An evolving publisher: initial root, then a distrust and an
+/// addition across two more publishes.
+fn evolving_publisher(tag: &str) -> (FeedPublisher, RootStore) {
+    let key = FeedKey::new([0x32; 32], 10, &coordinator()).unwrap();
+    let pki = simple_chain(&format!("{tag}.example"));
+    let mut store = RootStore::new("nss");
+    store.add_trusted(pki.root.clone()).unwrap();
+    let mut publisher = FeedPublisher::new("nss", key, &store, 0).unwrap();
+    store.distrust(sha256(b"shim incident"), "incident");
+    publisher.publish(&store, 100).unwrap();
+    let other = simple_chain(&format!("{tag}-other.example"));
+    store.add_trusted(other.root.clone()).unwrap();
+    publisher.publish(&store, 200).unwrap();
+    (publisher, store)
+}
+
+#[test]
+fn feed_subscriber_shim_matches_builder_byte_for_byte() {
+    let (mut publisher, truth) = evolving_publisher("shim-local");
+
+    let mut via_shim = FeedSubscriber::new("derivative", trust());
+    via_shim.sync(&mut publisher).unwrap();
+
+    let mut via_builder = Subscriber::builder("derivative", trust()).build();
+    via_builder.sync(&mut publisher, 0).unwrap();
+
+    assert_eq!(via_shim.sequence(), via_builder.sequence());
+    assert_eq!(canonical(via_shim.store()), canonical(via_builder.store()));
+    assert_eq!(canonical(via_shim.store()), canonical(&truth));
+
+    // A later incremental sync stays in lockstep too.
+    let mut truth = truth;
+    truth.distrust(sha256(b"later incident"), "later");
+    publisher.publish(&truth, 300).unwrap();
+    via_shim.sync(&mut publisher).unwrap();
+    via_builder.sync(&mut publisher, 300).unwrap();
+    assert_eq!(canonical(via_shim.store()), canonical(via_builder.store()));
+    assert_eq!(canonical(via_shim.store()), canonical(&truth));
+}
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nrslb-shims-{tag}-{}.sock", std::process::id()))
+}
+
+#[test]
+fn remote_subscriber_shim_matches_builder_connect() {
+    let (publisher, truth) = evolving_publisher("shim-socket");
+    let server =
+        FeedSocketServer::spawn(Arc::new(Mutex::new(publisher)), socket_path("a")).unwrap();
+
+    let mut via_shim: RemoteSubscriber =
+        RemoteSubscriber::new("remote", trust(), server.socket_path());
+    let mut via_builder = Subscriber::builder("remote", trust()).connect(server.socket_path());
+
+    via_shim.sync(0).unwrap();
+    via_builder.sync(0).unwrap();
+
+    assert_eq!(via_shim.sequence(), via_builder.sequence());
+    assert_eq!(canonical(via_shim.store()), canonical(via_builder.store()));
+    assert_eq!(canonical(via_shim.store()), canonical(&truth));
+}

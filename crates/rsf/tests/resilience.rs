@@ -8,8 +8,9 @@ use nrslb_crypto::sha256::sha256;
 use nrslb_rootstore::RootStore;
 use nrslb_rsf::signing::MessageKind;
 use nrslb_rsf::{
-    CoordinatorKey, Delta, FaultInjector, FaultPlan, FeedKey, FeedPublisher, FeedTrust, RsfError,
-    Snapshot, Staleness, Subscriber, SyncPolicy, SyncState, TransparencyLog,
+    Clock, CoordinatorKey, Delta, FaultInjector, FaultPlan, FeedKey, FeedPublisher, FeedTrust,
+    RsfError, Snapshot, Staleness, Subscriber, SyncPolicy, SyncState, TransparencyLog,
+    VirtualClock,
 };
 use nrslb_x509::testutil::simple_chain;
 
@@ -194,4 +195,60 @@ fn dead_channel_exhausts_retry_budget() {
     assert_eq!(subscriber.counters().quarantines, 0);
     assert_eq!(subscriber.counters().attempts, 3);
     assert_eq!(subscriber.counters().retries, 2);
+}
+
+#[test]
+fn backoff_and_staleness_run_on_virtual_time() {
+    let key = FeedKey::new([0x75; 32], 8, &coordinator()).expect("feed key");
+    let mut truth = RootStore::new("primary");
+    truth
+        .add_trusted(simple_chain("virtual-time.example").root)
+        .unwrap();
+    let mut publisher = FeedPublisher::new("primary", key, &truth, 0).expect("publisher");
+    let clock = VirtualClock::shared(1_000);
+    let mut subscriber = Subscriber::builder("derivative", trust())
+        .policy(SyncPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 10_000,
+            max_backoff_ms: 60_000,
+            staleness_bound_secs: 3_600,
+            ..SyncPolicy::default()
+        })
+        .clock(clock.clone())
+        .build();
+
+    // A dead channel: every retry's backoff is "slept" on the virtual
+    // clock. Wall-clock sleeping here would take tens of seconds; the
+    // test finishing instantly *is* the assertion that it does not.
+    let mut dead = FaultInjector::new(FaultPlan {
+        drop: 1.0,
+        ..FaultPlan::none()
+    });
+    let before_ms = clock.now_millis();
+    let err = subscriber
+        .sync_resilient_now(&mut publisher, &mut dead)
+        .expect_err("dead channel cannot converge");
+    assert!(matches!(err, RsfError::Exhausted { attempts: 4, .. }));
+    let slept_ms = clock.now_millis() - before_ms;
+    assert!(
+        slept_ms >= 3 * 10_000,
+        "three retries must advance the virtual clock by their backoff, got {slept_ms}ms"
+    );
+
+    // A healthy sync at virtual-now, then staleness tracked purely by
+    // advancing the clock — no real waiting on the assertion path.
+    let mut clean = FaultInjector::new(FaultPlan::none());
+    subscriber
+        .sync_resilient_now(&mut publisher, &mut clean)
+        .expect("clean channel syncs");
+    assert!(matches!(
+        subscriber.staleness_now(),
+        Staleness::Fresh { .. }
+    ));
+    clock.advance_secs(3_601);
+    match subscriber.staleness_now() {
+        Staleness::Exceeded { bound_secs, .. } => assert_eq!(bound_secs, 3_600),
+        other => panic!("expected Exceeded after advancing the clock, got {other:?}"),
+    }
+    assert_eq!(subscriber.state(), SyncState::Live);
 }

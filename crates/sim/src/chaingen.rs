@@ -1,0 +1,436 @@
+//! Seeded generation and mutation of X.509 chains — the input stream
+//! of the differential harness.
+//!
+//! A [`ChainGenerator`] mints a small deterministic PKI (a few roots,
+//! each with an unconstrained and a name-constrained intermediate, plus
+//! one *rogue* root no store trusts) and then produces an endless,
+//! seed-reproducible stream of [`SampleChain`]s: mostly well-formed
+//! chains, interleaved with every mutation the validator is supposed to
+//! reject — expired and not-yet-valid leaves, wrong EKUs, SANs outside
+//! a name-constraint scope, flipped DER bits, dropped or foreign
+//! intermediates, and chains anchored at the untrusted rogue root.
+//!
+//! Every serial number is drawn from the generator's own counter (the
+//! builder's process-global default would make output depend on test
+//! ordering), and every CA seed is derived from the run seed, so the
+//! same seed reproduces the same certificates byte for byte.
+
+use nrslb_x509::extensions::{ExtendedKeyUsage, NameConstraints};
+use nrslb_x509::name::DistinguishedName;
+use nrslb_x509::{oids, CaKey, Certificate, CertificateBuilder};
+use rand::prelude::*;
+use std::sync::Arc;
+
+/// How the deterministic PKI is sized.
+#[derive(Clone, Copy, Debug)]
+pub struct ChainGenConfig {
+    /// Seed for every random decision (and, derived, every CA key).
+    pub seed: u64,
+    /// Trusted roots to mint.
+    pub roots: usize,
+    /// Intermediates per root (the second one, when present, is
+    /// name-constrained to the root's DNS scope).
+    pub intermediates_per_root: usize,
+}
+
+impl Default for ChainGenConfig {
+    fn default() -> ChainGenConfig {
+        ChainGenConfig {
+            seed: 0xc4a1,
+            roots: 3,
+            intermediates_per_root: 2,
+        }
+    }
+}
+
+/// The ways a sample chain can deviate from a well-formed one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChainMutation {
+    /// Well-formed: in-validity leaf with serverAuth EKU.
+    Pristine,
+    /// Leaf validity window ended before `now`.
+    ExpiredLeaf,
+    /// Leaf validity window starts after `now`.
+    NotYetValidLeaf,
+    /// Leaf EKU asserts only emailProtection (wrong for TLS).
+    WrongEku,
+    /// Well-formed leaf additionally asserting the CA/B EV policy.
+    EvLeaf,
+    /// Leaf under the name-constrained intermediate with a SAN outside
+    /// the permitted subtree.
+    OutOfScopeSan,
+    /// One random bit of the leaf's DER flipped (usually a signature or
+    /// field corruption; falls back to pristine when no flip re-parses).
+    BitFlippedLeaf,
+    /// The intermediate is missing from the presented chain.
+    DroppedIntermediate,
+    /// The presented intermediate belongs to a different root.
+    ForeignIntermediate,
+    /// The chain anchors at the rogue root no store trusts.
+    UntrustedRoot,
+}
+
+impl ChainMutation {
+    /// Short label for traces and repro dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChainMutation::Pristine => "pristine",
+            ChainMutation::ExpiredLeaf => "expired-leaf",
+            ChainMutation::NotYetValidLeaf => "not-yet-valid-leaf",
+            ChainMutation::WrongEku => "wrong-eku",
+            ChainMutation::EvLeaf => "ev-leaf",
+            ChainMutation::OutOfScopeSan => "out-of-scope-san",
+            ChainMutation::BitFlippedLeaf => "bit-flipped-leaf",
+            ChainMutation::DroppedIntermediate => "dropped-intermediate",
+            ChainMutation::ForeignIntermediate => "foreign-intermediate",
+            ChainMutation::UntrustedRoot => "untrusted-root",
+        }
+    }
+}
+
+struct IntermediateAuthority {
+    cert: Certificate,
+    key: Arc<CaKey>,
+    /// DNS subtree this intermediate is name-constrained to, if any.
+    scope: Option<String>,
+}
+
+struct RootAuthority {
+    cert: Certificate,
+    intermediates: Vec<IntermediateAuthority>,
+}
+
+/// One generated-and-possibly-mutated chain, ready for validation.
+#[derive(Clone, Debug)]
+pub struct SampleChain {
+    /// The presented chain, leaf first, anchor last.
+    pub chain: Vec<Certificate>,
+    /// The hostname the leaf was minted for (pre-mutation).
+    pub hostname: String,
+    /// Which mutation was applied.
+    pub mutation: ChainMutation,
+    /// Index of the anchoring root in the generator's trusted pool
+    /// (`None` for the rogue root).
+    pub root_index: Option<usize>,
+}
+
+impl SampleChain {
+    /// The intermediate pool to hand the validator (everything between
+    /// leaf and anchor, plus the anchor itself — harmless, since
+    /// anchors are matched against the store).
+    pub fn intermediates(&self) -> &[Certificate] {
+        &self.chain[1..]
+    }
+
+    /// The leaf under test.
+    pub fn leaf(&self) -> &Certificate {
+        &self.chain[0]
+    }
+}
+
+/// The seeded chain fuzzer.
+pub struct ChainGenerator {
+    rng: StdRng,
+    roots: Vec<RootAuthority>,
+    rogue: RootAuthority,
+    serial: i128,
+    minted: u64,
+}
+
+impl ChainGenerator {
+    /// Mint the PKI for `config` (a few hundred milliseconds of
+    /// hash-based keygen) and prime the sample stream.
+    ///
+    /// `epoch` anchors every CA validity window: CAs are valid from
+    /// `epoch - 1y` to `epoch + 30y`, so any simulation instant within
+    /// a few simulated years of `epoch` sees live CAs.
+    pub fn new(config: &ChainGenConfig, epoch: i64) -> ChainGenerator {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut serial = 1i128;
+        let mut roots = Vec::with_capacity(config.roots);
+        for r in 0..config.roots.max(1) {
+            roots.push(Self::mint_root(
+                &mut rng,
+                &mut serial,
+                r,
+                false,
+                config,
+                epoch,
+            ));
+        }
+        let rogue = Self::mint_root(&mut rng, &mut serial, usize::MAX, true, config, epoch);
+        ChainGenerator {
+            rng,
+            roots,
+            rogue,
+            serial,
+            minted: 0,
+        }
+    }
+
+    fn mint_root(
+        rng: &mut StdRng,
+        serial: &mut i128,
+        index: usize,
+        rogue: bool,
+        config: &ChainGenConfig,
+        epoch: i64,
+    ) -> RootAuthority {
+        let label = if rogue {
+            "Rogue Root".to_string()
+        } else {
+            format!("Sim Root {index}")
+        };
+        let mut seed = [0u8; 32];
+        rng.fill(&mut seed);
+        let key = CaKey::from_seed(DistinguishedName::ca(&label, "NRSLB Sim", "US"), seed, 5)
+            .expect("root key");
+        let not_before = epoch - 365 * 86_400;
+        let not_after = epoch + 30 * 365 * 86_400;
+        let cert = CertificateBuilder::new()
+            .serial(next_serial(serial))
+            .subject(key.name().clone())
+            .subject_key(key.public())
+            .validity_window(not_before, not_after)
+            .ca(None)
+            .build_self_signed(&key)
+            .expect("root cert");
+        let n_ints = if rogue {
+            1
+        } else {
+            config.intermediates_per_root.max(1)
+        };
+        let mut intermediates = Vec::with_capacity(n_ints);
+        for i in 0..n_ints {
+            // The second intermediate of each trusted root is
+            // name-constrained, so NC rejection paths get exercised.
+            let scope = (!rogue && i == 1).then(|| format!("r{index}.example"));
+            let mut int_seed = [0u8; 32];
+            rng.fill(&mut int_seed);
+            let int_label = if rogue {
+                "Rogue Intermediate".to_string()
+            } else {
+                format!("Sim Intermediate {index}-{i}")
+            };
+            let int_key = CaKey::from_seed(
+                DistinguishedName::ca(&int_label, "NRSLB Sim", "US"),
+                int_seed,
+                10,
+            )
+            .expect("intermediate key");
+            let mut builder = CertificateBuilder::new()
+                .serial(next_serial(serial))
+                .subject(int_key.name().clone())
+                .subject_key(int_key.public())
+                .validity_window(not_before, not_after)
+                .ca(Some(0));
+            if let Some(s) = &scope {
+                builder = builder.name_constraints(NameConstraints::permit(&[s]));
+            }
+            let int_cert = builder.build_signed_by(&key).expect("intermediate cert");
+            intermediates.push(IntermediateAuthority {
+                cert: int_cert,
+                key: Arc::new(int_key),
+                scope,
+            });
+        }
+        RootAuthority {
+            cert,
+            intermediates,
+        }
+    }
+
+    /// The trusted root pool (what a primary store should contain).
+    /// Excludes the rogue root by construction.
+    pub fn trusted_roots(&self) -> Vec<Certificate> {
+        self.roots.iter().map(|r| r.cert.clone()).collect()
+    }
+
+    /// Leaves minted so far (each costs one intermediate signature).
+    pub fn minted(&self) -> u64 {
+        self.minted
+    }
+
+    /// Draw the next sample: a seeded choice of root, intermediate and
+    /// mutation, with a freshly minted leaf valid (or deliberately
+    /// invalid) at `now`.
+    pub fn next_sample(&mut self, now: i64) -> SampleChain {
+        let mutation = match self.rng.gen_range(0u32..100) {
+            0..=39 => ChainMutation::Pristine,
+            40..=46 => ChainMutation::ExpiredLeaf,
+            47..=53 => ChainMutation::NotYetValidLeaf,
+            54..=60 => ChainMutation::WrongEku,
+            61..=67 => ChainMutation::EvLeaf,
+            68..=74 => ChainMutation::OutOfScopeSan,
+            75..=81 => ChainMutation::BitFlippedLeaf,
+            82..=87 => ChainMutation::DroppedIntermediate,
+            88..=93 => ChainMutation::ForeignIntermediate,
+            _ => ChainMutation::UntrustedRoot,
+        };
+        self.sample_with(mutation, now)
+    }
+
+    /// Draw a sample with a forced mutation (targeted tests).
+    pub fn sample_with(&mut self, mutation: ChainMutation, now: i64) -> SampleChain {
+        let root_idx = self.rng.gen_range(0usize..self.roots.len());
+        let (root_index, root_is_rogue) = match mutation {
+            ChainMutation::UntrustedRoot => (None, true),
+            _ => (Some(root_idx), false),
+        };
+        let n_ints = if root_is_rogue {
+            self.rogue.intermediates.len()
+        } else {
+            self.roots[root_idx].intermediates.len()
+        };
+        let mut int_idx = self.rng.gen_range(0usize..n_ints);
+        if mutation == ChainMutation::OutOfScopeSan && !root_is_rogue {
+            // Must go through the constrained intermediate to violate
+            // its scope (index 1 when present, else fall back).
+            int_idx = 1.min(n_ints - 1);
+        }
+        let authority = if root_is_rogue {
+            &self.rogue
+        } else {
+            &self.roots[root_idx]
+        };
+        let intermediate = &authority.intermediates[int_idx];
+
+        let host_n = self.minted;
+        let hostname = match (&intermediate.scope, mutation) {
+            (Some(_), ChainMutation::OutOfScopeSan) => format!("h{host_n}.outside.test"),
+            (Some(scope), _) => format!("h{host_n}.{scope}"),
+            (None, _) => format!("h{host_n}.site{root_idx}.test"),
+        };
+
+        let (not_before, not_after) = match mutation {
+            ChainMutation::ExpiredLeaf => (now - 2 * 365 * 86_400, now - 86_400),
+            ChainMutation::NotYetValidLeaf => (now + 86_400, now + 365 * 86_400),
+            _ => (now - 30 * 86_400, now + 90 * 86_400),
+        };
+        let eku = match mutation {
+            ChainMutation::WrongEku => ExtendedKeyUsage(vec![oids::kp_email_protection()]),
+            _ => ExtendedKeyUsage(vec![oids::kp_server_auth(), oids::kp_email_protection()]),
+        };
+        let mut builder = CertificateBuilder::new()
+            .serial(next_serial(&mut self.serial))
+            .subject(DistinguishedName::common_name(&hostname))
+            .dns_names(&[&hostname])
+            .validity_window(not_before, not_after)
+            .extended_key_usage(eku);
+        if mutation == ChainMutation::EvLeaf {
+            builder = builder.ev();
+        }
+        let mut leaf = builder
+            .build_signed_by(&intermediate.key)
+            .expect("leaf cert");
+        // End the borrows of the authority pool before mutating self
+        // again (flip_bit drives the shared rng).
+        let intermediate_cert = intermediate.cert.clone();
+        let authority_cert = authority.cert.clone();
+        self.minted += 1;
+
+        let mut applied = mutation;
+        if mutation == ChainMutation::BitFlippedLeaf {
+            match self.flip_bit(&leaf) {
+                Some(flipped) => leaf = flipped,
+                // No flip re-parsed: keep the intact leaf and record it.
+                None => applied = ChainMutation::Pristine,
+            }
+        }
+
+        let chain = match mutation {
+            ChainMutation::DroppedIntermediate => vec![leaf, authority_cert],
+            ChainMutation::ForeignIntermediate => {
+                let other_idx = (root_idx + 1) % self.roots.len();
+                let other = &self.roots[other_idx];
+                let foreign = other.intermediates[0].cert.clone();
+                vec![leaf, foreign, other.cert.clone()]
+            }
+            _ => vec![leaf, intermediate_cert, authority_cert],
+        };
+        SampleChain {
+            chain,
+            hostname,
+            mutation: applied,
+            root_index,
+        }
+    }
+
+    /// Flip one random bit of `leaf`'s DER and re-parse; up to 16
+    /// seeded attempts before giving up.
+    fn flip_bit(&mut self, leaf: &Certificate) -> Option<Certificate> {
+        let der = leaf.to_der();
+        for _ in 0..16 {
+            let byte = self.rng.gen_range(0usize..der.len());
+            let bit = self.rng.gen_range(0u32..8);
+            let mut mutated = der.to_vec();
+            mutated[byte] ^= 1 << bit;
+            if let Ok(cert) = Certificate::from_der(&mutated) {
+                return Some(cert);
+            }
+        }
+        None
+    }
+}
+
+fn next_serial(serial: &mut i128) -> i128 {
+    let s = *serial;
+    *serial += 1;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrslb_x509::testutil::T0;
+
+    #[test]
+    fn same_seed_same_chains() {
+        let config = ChainGenConfig {
+            roots: 2,
+            intermediates_per_root: 2,
+            ..Default::default()
+        };
+        let mut a = ChainGenerator::new(&config, T0);
+        let mut b = ChainGenerator::new(&config, T0);
+        for _ in 0..20 {
+            let sa = a.next_sample(T0);
+            let sb = b.next_sample(T0);
+            assert_eq!(sa.mutation, sb.mutation);
+            assert_eq!(sa.chain.len(), sb.chain.len());
+            for (ca, cb) in sa.chain.iter().zip(&sb.chain) {
+                assert_eq!(ca.to_der(), cb.to_der());
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_shape_the_chain_as_advertised() {
+        let config = ChainGenConfig::default();
+        let mut g = ChainGenerator::new(&config, T0);
+        let dropped = g.sample_with(ChainMutation::DroppedIntermediate, T0);
+        assert_eq!(dropped.chain.len(), 2);
+        let expired = g.sample_with(ChainMutation::ExpiredLeaf, T0);
+        assert!(expired.leaf().validity().not_after < T0);
+        let rogue = g.sample_with(ChainMutation::UntrustedRoot, T0);
+        assert_eq!(rogue.root_index, None);
+        let trusted = g.trusted_roots();
+        assert!(!trusted
+            .iter()
+            .any(|r| r.fingerprint() == rogue.chain.last().unwrap().fingerprint()));
+    }
+
+    #[test]
+    fn out_of_scope_san_violates_the_constrained_intermediate() {
+        let config = ChainGenConfig::default();
+        let mut g = ChainGenerator::new(&config, T0);
+        let s = g.sample_with(ChainMutation::OutOfScopeSan, T0);
+        assert!(s.hostname.ends_with(".outside.test"));
+        let nc = s.chain[1]
+            .extensions()
+            .name_constraints
+            .clone()
+            .expect("constrained intermediate");
+        assert!(!nc.allows(&s.hostname, nrslb_x509::name::DotSemantics::Rfc5280));
+    }
+}

@@ -1,0 +1,458 @@
+//! The differential validation oracle.
+//!
+//! Drives an [`Ecosystem`] and, between events, draws
+//! generated-and-mutated chains and validates each `(chain, GCC,
+//! usage)` sample along every independent path the codebase offers:
+//!
+//! 1. **Compiled vs naive Datalog** — the semi-naive compiled plan
+//!    against the reference naive-iteration engine, per GCC per usage.
+//! 2. **Cached vs cold sessions** — [`ValidationSession`] verdicts via
+//!    a shared [`VerdictCache`] (including a guaranteed hit on the
+//!    second pass) against cache-free evaluation.
+//! 3. **Primary vs every subscriber store** — the full [`Validator`]
+//!    outcome against the ground-truth store versus each replica,
+//!    divergence excused only when the replica is visibly not in sync
+//!    (behind, quarantined, or stale at the virtual instant).
+//!
+//! Any disagreement is recorded with a minimized repro — the seed, the
+//! recent event trace and the DER chain, serialized to
+//! `reports/differential-seed<seed>-sample<i>.json` — and
+//! [`DifferentialOutcome::assert_agreement`] panics with a
+//! `NRSLB_SIM_SEED=<seed>` line so the exact run replays locally.
+//!
+//! Setting [`DifferentialConfig::ignore_quarantine`] disables the
+//! quarantine/staleness excuse; the negative test uses it to prove the
+//! oracle actually catches a replica that silently serves a stale view.
+
+use crate::chaingen::SampleChain;
+use crate::ecosystem::{Ecosystem, EcosystemConfig};
+use nrslb_core::{ValidationMode, ValidationSession, Validator, VerdictCache};
+use nrslb_rootstore::{RootStore, Usage};
+use nrslb_rsf::{Staleness, SyncState};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Oracle run configuration.
+#[derive(Clone, Debug)]
+pub struct DifferentialConfig {
+    /// Master seed (also the ecosystem seed). Override from the
+    /// environment with [`seed_from_env`].
+    pub seed: u64,
+    /// Keep stepping until at least this many `(chain, GCC, usage)`
+    /// compiled-vs-naive checks have run.
+    pub min_gcc_checks: u64,
+    /// Ecosystem events to execute (more run if `min_gcc_checks` has
+    /// not been reached when they are spent).
+    pub max_events: u64,
+    /// Chains drawn and cross-checked after each event.
+    pub samples_per_event: u32,
+    /// GCC templates pre-attached to every pool root before the first
+    /// publish, so compiled-vs-naive checks accumulate from the first
+    /// sample instead of waiting for evolution to attach coverage.
+    pub initial_gccs_per_root: usize,
+    /// Deliberate oracle fault: treat quarantined/stale replicas as if
+    /// they were in sync, so their divergence becomes a disagreement.
+    pub ignore_quarantine: bool,
+    /// Where disagreement repros are dumped; `None` disables dumping.
+    pub report_dir: Option<PathBuf>,
+}
+
+impl Default for DifferentialConfig {
+    fn default() -> DifferentialConfig {
+        DifferentialConfig {
+            seed: 0xd1ff,
+            min_gcc_checks: 1_000,
+            max_events: 260,
+            samples_per_event: 2,
+            initial_gccs_per_root: 2,
+            ignore_quarantine: false,
+            report_dir: Some(PathBuf::from("reports")),
+        }
+    }
+}
+
+/// Read the run seed from `NRSLB_SIM_SEED` (decimal or `0x…` hex),
+/// falling back to `default`.
+pub fn seed_from_env(default: u64) -> u64 {
+    match std::env::var("NRSLB_SIM_SEED") {
+        Ok(raw) => {
+            let raw = raw.trim();
+            let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                raw.parse().ok()
+            };
+            parsed.unwrap_or(default)
+        }
+        Err(_) => default,
+    }
+}
+
+/// One recorded oracle disagreement, with everything needed to replay
+/// it: the seed, the sample index (the generator is deterministic, so
+/// `(seed, sample_index)` regenerates the exact chain), the DER chain
+/// itself, and the recent event trace.
+#[derive(Clone, Debug, Serialize)]
+pub struct Disagreement {
+    /// Which two paths disagreed (e.g. `compiled-vs-naive`).
+    pub kind: String,
+    /// Human-oriented detail (verdicts on each side).
+    pub detail: String,
+    /// The usage under test (`TLS` / `S/MIME`).
+    pub usage: String,
+    /// The mutation the chain generator applied.
+    pub mutation: String,
+    /// The presented chain, leaf first, hex-encoded DER per cert.
+    pub chain_der_hex: Vec<String>,
+    /// GCC name, when a specific GCC was implicated.
+    pub gcc_name: Option<String>,
+    /// GCC source, when a specific GCC was implicated.
+    pub gcc_source: Option<String>,
+    /// The run seed (replay with `NRSLB_SIM_SEED=<seed>`).
+    pub seed: u64,
+    /// Index of the offending sample in draw order.
+    pub sample_index: u64,
+    /// The last few ecosystem events before the disagreement.
+    pub recent_trace: Vec<String>,
+}
+
+/// Aggregate result of a differential run.
+#[derive(Clone, Debug, Serialize)]
+pub struct DifferentialOutcome {
+    /// The seed the run used.
+    pub seed: u64,
+    /// Ecosystem events executed.
+    pub events: u64,
+    /// Chains drawn and cross-checked.
+    pub samples: u64,
+    /// Compiled-vs-naive `(chain, GCC, usage)` checks.
+    pub gcc_checks: u64,
+    /// Cached-vs-cold session comparisons.
+    pub cache_checks: u64,
+    /// Primary-vs-replica store comparisons.
+    pub store_checks: u64,
+    /// Replica divergences excused by visible staleness/quarantine.
+    pub excused_divergences: u64,
+    /// Oracle disagreements (must be empty on a healthy build).
+    pub disagreements: Vec<Disagreement>,
+    /// Repro files written for the disagreements.
+    pub report_paths: Vec<String>,
+}
+
+impl DifferentialOutcome {
+    /// Panic with a replayable message unless every path agreed.
+    pub fn assert_agreement(&self) {
+        if self.disagreements.is_empty() {
+            return;
+        }
+        let first = &self.disagreements[0];
+        panic!(
+            "oracle disagreement: {} of {} checks diverged; first: [{}] {} \
+             (mutation={}, usage={}); replay with NRSLB_SIM_SEED={} ; repros: {:?}",
+            self.disagreements.len(),
+            self.gcc_checks + self.cache_checks + self.store_checks,
+            first.kind,
+            first.detail,
+            first.mutation,
+            first.usage,
+            self.seed,
+            self.report_paths,
+        );
+    }
+}
+
+struct Oracle<'a> {
+    config: &'a DifferentialConfig,
+    cache: VerdictCache,
+    /// Cached clone of the truth store, refreshed on version change.
+    truth: RootStore,
+    truth_version: u64,
+    outcome: DifferentialOutcome,
+}
+
+impl<'a> Oracle<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        eco: &Ecosystem,
+        sample: &SampleChain,
+        usage: Usage,
+        sample_index: u64,
+        kind: &str,
+        detail: String,
+        gcc: Option<(&str, &str)>,
+    ) {
+        let disagreement = Disagreement {
+            kind: kind.to_string(),
+            detail,
+            usage: usage.as_datalog().to_string(),
+            mutation: sample.mutation.label().to_string(),
+            chain_der_hex: sample
+                .chain
+                .iter()
+                .map(|c| nrslb_crypto::hex::encode(c.to_der()))
+                .collect(),
+            gcc_name: gcc.map(|(n, _)| n.to_string()),
+            gcc_source: gcc.map(|(_, s)| s.to_string()),
+            seed: self.config.seed,
+            sample_index,
+            recent_trace: eco.recent_trace(8),
+        };
+        if let Some(dir) = &self.config.report_dir {
+            if std::fs::create_dir_all(dir).is_ok() {
+                let path = dir.join(format!(
+                    "differential-seed{}-sample{}.json",
+                    self.config.seed, sample_index
+                ));
+                if let Ok(json) = serde_json::to_string_pretty(&disagreement) {
+                    if std::fs::write(&path, json).is_ok() {
+                        self.outcome.report_paths.push(path.display().to_string());
+                    }
+                }
+            }
+        }
+        self.outcome.disagreements.push(disagreement);
+    }
+
+    fn check_sample(&mut self, eco: &Ecosystem, sample: &SampleChain, sample_index: u64) {
+        let now = eco.now_secs();
+        if eco.truth().version() != self.truth_version {
+            self.truth = eco.truth().clone();
+            self.truth_version = self.truth.version();
+        }
+        let session = ValidationSession::new(&sample.chain);
+        let anchor_fp = sample.chain.last().expect("non-empty chain").fingerprint();
+        let gccs = self.truth.gccs_for(&anchor_fp).to_vec();
+
+        for usage in Usage::ALL {
+            // Path 1: compiled vs naive Datalog, per GCC.
+            for gcc in &gccs {
+                let compiled = session.evaluate_gcc(gcc, usage);
+                let naive = session.evaluate_gcc_naive(gcc, usage);
+                self.outcome.gcc_checks += 1;
+                match (&compiled, &naive) {
+                    (Ok(c), Ok(n)) if c == n => {}
+                    _ => self.record(
+                        eco,
+                        sample,
+                        usage,
+                        sample_index,
+                        "compiled-vs-naive",
+                        format!("compiled={compiled:?} naive={naive:?}"),
+                        Some((gcc.name(), gcc.source())),
+                    ),
+                }
+            }
+
+            // Path 2: cached vs cold sessions. Two cached passes so the
+            // second is guaranteed to serve from the cache.
+            if !gccs.is_empty() {
+                let warm = session.evaluate_gccs_cached(&gccs, usage, Some(&self.cache));
+                let hit = session.evaluate_gccs_cached(&gccs, usage, Some(&self.cache));
+                let cold = session.evaluate_gccs(&gccs, usage);
+                self.outcome.cache_checks += 1;
+                let verdicts = |r: &Result<Vec<nrslb_core::GccVerdict>, _>| -> Option<Vec<bool>> {
+                    r.as_ref()
+                        .ok()
+                        .map(|v| v.iter().map(|g| g.accepted).collect())
+                };
+                if verdicts(&warm) != verdicts(&cold) || verdicts(&hit) != verdicts(&cold) {
+                    self.record(
+                        eco,
+                        sample,
+                        usage,
+                        sample_index,
+                        "cached-vs-cold",
+                        format!("warm={warm:?} hit={hit:?} cold={cold:?}"),
+                        None,
+                    );
+                }
+            }
+
+            // Path 3: the full validator against the primary store —
+            // with and without a verdict cache — and against every
+            // replica store.
+            let primary = Validator::new(self.truth.clone(), ValidationMode::UserAgent);
+            let accepted = primary
+                .validate(sample.leaf(), sample.intermediates(), usage, now)
+                .map(|o| o.accepted())
+                .unwrap_or(false);
+            let cached_validator = Validator::new(self.truth.clone(), ValidationMode::UserAgent)
+                .with_verdict_cache(Arc::new(VerdictCache::new(64)));
+            let accepted_cached = cached_validator
+                .validate(sample.leaf(), sample.intermediates(), usage, now)
+                .map(|o| o.accepted())
+                .unwrap_or(false);
+            self.outcome.store_checks += 1;
+            if accepted != accepted_cached {
+                self.record(
+                    eco,
+                    sample,
+                    usage,
+                    sample_index,
+                    "validator-cache",
+                    format!("uncached={accepted} cached={accepted_cached}"),
+                    None,
+                );
+            }
+
+            for i in 0..eco.subscriber_count() {
+                let sub = eco.subscriber(i);
+                let in_sync = matches!(sub.state(), SyncState::Live)
+                    && sub.sequence() == eco.publisher_sequence()
+                    && matches!(sub.staleness(now), Staleness::Fresh { .. });
+                let replica = Validator::new(sub.store().clone(), ValidationMode::UserAgent);
+                let replica_accepted = replica
+                    .validate(sample.leaf(), sample.intermediates(), usage, now)
+                    .map(|o| o.accepted())
+                    .unwrap_or(false);
+                self.outcome.store_checks += 1;
+                if replica_accepted == accepted {
+                    continue;
+                }
+                if in_sync {
+                    self.record(
+                        eco,
+                        sample,
+                        usage,
+                        sample_index,
+                        "primary-vs-replica",
+                        format!(
+                            "replica {} accepted={replica_accepted} primary={accepted}",
+                            eco.subscriber_spec(i).name
+                        ),
+                        None,
+                    );
+                } else if self.config.ignore_quarantine {
+                    // The deliberate fault: the excuse is disabled, so
+                    // the stale replica's divergence surfaces.
+                    self.record(
+                        eco,
+                        sample,
+                        usage,
+                        sample_index,
+                        "quarantined-replica",
+                        format!(
+                            "replica {} ({:?}, {:?}) accepted={replica_accepted} \
+                             primary={accepted}",
+                            eco.subscriber_spec(i).name,
+                            sub.state(),
+                            sub.staleness(now)
+                        ),
+                        None,
+                    );
+                } else {
+                    // Visibly behind/quarantined/stale: the divergence
+                    // is the *announced* kind, excused by the engine's
+                    // own verdict.
+                    self.outcome.excused_divergences += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Run the differential oracle (see module docs) and return the
+/// aggregate outcome. Deterministic: same config, same outcome.
+pub fn run_differential(config: &DifferentialConfig) -> DifferentialOutcome {
+    let mut eco_config = EcosystemConfig::default();
+    eco_config.seed = config.seed;
+    eco_config.initial_gccs_per_root = config.initial_gccs_per_root;
+    // Always stage the split-view attack: the quarantine-excuse logic
+    // must be exercised (or, with `ignore_quarantine`, violated) in
+    // every run.
+    eco_config.split_view_attack_at_secs = Some(eco_config.epoch_secs + 6 * 3_600);
+    let mut eco = Ecosystem::new(&eco_config);
+
+    let mut oracle = Oracle {
+        config,
+        cache: VerdictCache::new(8_192),
+        truth: eco.truth().clone(),
+        truth_version: eco.truth().version(),
+        outcome: DifferentialOutcome {
+            seed: config.seed,
+            events: 0,
+            samples: 0,
+            gcc_checks: 0,
+            cache_checks: 0,
+            store_checks: 0,
+            excused_divergences: 0,
+            disagreements: Vec::new(),
+            report_paths: Vec::new(),
+        },
+    };
+
+    // Hard ceiling so a mis-sized config terminates regardless of the
+    // min_gcc_checks target.
+    let ceiling = config.max_events.saturating_mul(4).max(config.max_events);
+    while oracle.outcome.events < config.max_events
+        || (oracle.outcome.gcc_checks < config.min_gcc_checks && oracle.outcome.events < ceiling)
+    {
+        if eco.step().is_none() {
+            break;
+        }
+        oracle.outcome.events += 1;
+        for _ in 0..config.samples_per_event {
+            let sample = eco.next_sample();
+            let index = oracle.outcome.samples;
+            oracle.outcome.samples += 1;
+            oracle.check_sample(&eco, &sample, index);
+        }
+    }
+    oracle.outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> DifferentialConfig {
+        DifferentialConfig {
+            min_gcc_checks: 120,
+            max_events: 60,
+            report_dir: None,
+            ..DifferentialConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthy_build_has_no_disagreements() {
+        let outcome = run_differential(&quick_config());
+        assert!(
+            outcome.gcc_checks >= 120,
+            "got {} checks",
+            outcome.gcc_checks
+        );
+        assert!(outcome.samples > 0);
+        outcome.assert_agreement();
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_differential(&quick_config());
+        let b = run_differential(&quick_config());
+        assert_eq!(a.gcc_checks, b.gcc_checks);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.store_checks, b.store_checks);
+        assert_eq!(a.excused_divergences, b.excused_divergences);
+        assert_eq!(a.disagreements.len(), b.disagreements.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle disagreement")]
+    fn ignoring_quarantine_evidence_is_caught() {
+        let config = DifferentialConfig {
+            ignore_quarantine: true,
+            min_gcc_checks: 400,
+            max_events: 320,
+            report_dir: None,
+            ..DifferentialConfig::default()
+        };
+        let outcome = run_differential(&config);
+        // The quarantined victim keeps serving its pre-attack view
+        // while the primary evolves; with the excuse disabled the
+        // divergence must surface.
+        outcome.assert_agreement();
+    }
+}

@@ -52,6 +52,12 @@ impl Default for FaultConfig {
 pub struct FaultOutcome {
     /// The configured per-mode fault probability.
     pub fault_rate: f64,
+    /// The seed the run used (jitter; the injector derives from it) —
+    /// recorded so a benchmark report is replayable.
+    pub seed: u64,
+    /// The fault injector's exact plan seed, as reported by the
+    /// injector itself.
+    pub plan_seed: u64,
     /// Rounds simulated.
     pub rounds: usize,
     /// Rounds where the subscriber reached the publisher's sequence
@@ -131,6 +137,8 @@ pub fn run_fault_simulation(config: &FaultConfig) -> FaultOutcome {
     }
     FaultOutcome {
         fault_rate: config.fault_rate,
+        seed: config.seed,
+        plan_seed: injector.plan().seed,
         rounds: config.rounds,
         converged_rounds,
         converged: canonical(&truth) == canonical(subscriber.store()),

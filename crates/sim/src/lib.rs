@@ -22,14 +22,42 @@
 //!   paper §2.3): over a sized Symantec population, compare the three
 //!   derivative strategies (keep / remove / GCC) and report mis-accepted
 //!   and wrongly-rejected fractions — the Debian dilemma, quantified.
+//!
+//! A second family of modules forms the **deterministic simulation
+//! harness** (E14): a seed-reproducible miniature ecosystem whose every
+//! validation is cross-checked along independent code paths.
+//!
+//! * [`schedule`] — the virtual clock ([`SimClock`]) and the seeded
+//!   discrete-event [`Scheduler`]; ties break by insertion order so a
+//!   run is a pure function of its seed.
+//! * [`chaingen`] — a deterministic X.509 chain fuzzer: a small PKI
+//!   minted from the seed, plus a catalogue of
+//!   [`ChainMutation`]s (expiry, wrong EKU, bit flips, dropped or
+//!   foreign intermediates, untrusted anchors).
+//! * [`ecosystem`] — one primary publishing RSF snapshots/deltas
+//!   through per-subscriber `FaultInjector`s to a fleet of heterogeneous
+//!   [`Subscriber`](nrslb_rsf::Subscriber)s, with optional split-view
+//!   attack injection.
+//! * [`differential`] — the oracle: compiled-vs-naive Datalog,
+//!   cached-vs-cold sessions, primary-vs-replica stores; disagreements
+//!   dump seed + trace + DER repros and fail the run.
 
 #![warn(missing_docs)]
 
+pub mod chaingen;
+pub mod differential;
+pub mod ecosystem;
 pub mod exposure;
 pub mod faults;
 pub mod fidelity;
 pub mod lag;
+pub mod schedule;
 
+pub use chaingen::{ChainGenConfig, ChainGenerator, ChainMutation, SampleChain};
+pub use differential::{
+    run_differential, seed_from_env, DifferentialConfig, DifferentialOutcome, Disagreement,
+};
+pub use ecosystem::{EcoEvent, Ecosystem, EcosystemConfig, SubscriberSpec};
 pub use exposure::{
     counterfactual_all_rsf, default_population, exposure_curve, mean_window, ExposurePoint,
     PopulationMix,
@@ -40,3 +68,4 @@ pub use lag::{
     ma_et_al_profiles, run_lag_simulation, DerivativeOutcome, DerivativeProfile, LagConfig,
     LagOutcome, UpdatePolicy,
 };
+pub use schedule::{Scheduler, SimClock};

@@ -1,0 +1,140 @@
+//! Property-based tests: the extension set round-trips through real DER
+//! bytes (not just the `Value` tree) for adversarially shaped inputs —
+//! empty sequences, maximum-length OID arcs, arbitrary KeyUsage bit
+//! patterns and critical-bit flips on unknown extensions.
+
+use nrslb_der::{decode, encode, Oid};
+use nrslb_x509::extensions::{
+    CertificatePolicies, ExtendedKeyUsage, Extensions, KeyUsage, NameConstraints, SubjectAltName,
+};
+use proptest::prelude::*;
+
+/// Full-fidelity round-trip through encoded bytes.
+fn roundtrip(e: &Extensions) {
+    let bytes = encode(&e.to_der_value());
+    let value = decode(&bytes).expect("own encoding decodes");
+    let back = Extensions::from_der_value(&value).expect("own encoding parses");
+    assert_eq!(&back, e);
+}
+
+fn dns_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z][a-z0-9-]{0,8}[a-z0-9]", 1..4)
+        .prop_map(|labels| labels.join("."))
+}
+
+/// OIDs under the private-enterprise arc, with tails up to `u64::MAX`
+/// per arc — the worst case for base-128 arc encoding (10 bytes/arc).
+fn private_oid() -> impl Strategy<Value = Oid> {
+    proptest::collection::vec(any::<u64>(), 0..6).prop_map(|tail| {
+        let mut arcs = vec![1u64, 3, 6, 1, 4, 1];
+        arcs.extend(tail);
+        Oid::new(&arcs)
+    })
+}
+
+/// A well-formed DER body for an unknown extension (the decoder insists
+/// the octet-string payload parses as DER before preserving it raw).
+fn unknown_body() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        Just(vec![0x05, 0x00]), // NULL
+        proptest::collection::vec(any::<u8>(), 0..16)
+            .prop_map(|bytes| { encode(&nrslb_der::Value::OctetString(bytes)) }),
+        any::<i64>().prop_map(|n| encode(&nrslb_der::Value::Integer(n as i128))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn key_usage_bits_roundtrip(bits in any::<u16>()) {
+        roundtrip(&Extensions {
+            key_usage: Some(KeyUsage(bits)),
+            ..Extensions::default()
+        });
+    }
+
+    #[test]
+    fn san_roundtrips_including_empty(names in proptest::collection::vec(dns_name(), 0..5)) {
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        roundtrip(&Extensions {
+            subject_alt_name: Some(SubjectAltName::dns(&refs)),
+            ..Extensions::default()
+        });
+    }
+
+    #[test]
+    fn name_constraints_roundtrip(
+        permitted in proptest::collection::vec(dns_name(), 0..4),
+        excluded in proptest::collection::vec(dns_name(), 0..4),
+    ) {
+        roundtrip(&Extensions {
+            name_constraints: Some(NameConstraints { permitted, excluded }),
+            ..Extensions::default()
+        });
+    }
+
+    #[test]
+    fn policies_with_extreme_oids_roundtrip(
+        oids in proptest::collection::vec(private_oid(), 0..5)
+    ) {
+        roundtrip(&Extensions {
+            policies: Some(CertificatePolicies(oids)),
+            ..Extensions::default()
+        });
+    }
+
+    #[test]
+    fn eku_with_extreme_oids_roundtrip(
+        oids in proptest::collection::vec(private_oid(), 0..5)
+    ) {
+        roundtrip(&Extensions {
+            extended_key_usage: Some(ExtendedKeyUsage(oids)),
+            ..Extensions::default()
+        });
+    }
+
+    #[test]
+    fn unknown_extensions_preserve_critical_bit(
+        specs in proptest::collection::vec(
+            (private_oid(), any::<bool>(), unknown_body()),
+            1..4,
+        )
+    ) {
+        let e = Extensions {
+            unknown: specs,
+            ..Extensions::default()
+        };
+        roundtrip(&e);
+        // Flipping a critical bit must change the encoding: criticality
+        // is carried on the wire, never inferred.
+        let mut flipped = e.clone();
+        flipped.unknown[0].1 = !flipped.unknown[0].1;
+        prop_assert_ne!(encode(&e.to_der_value()), encode(&flipped.to_der_value()));
+    }
+
+    #[test]
+    fn combined_extension_sets_roundtrip(
+        bits in any::<u16>(),
+        sans in proptest::collection::vec(dns_name(), 0..3),
+        permitted in proptest::collection::vec(dns_name(), 0..3),
+        policy_oids in proptest::collection::vec(private_oid(), 0..3),
+        unknown in proptest::collection::vec(
+            (private_oid(), any::<bool>(), unknown_body()),
+            0..3,
+        ),
+    ) {
+        let refs: Vec<&str> = sans.iter().map(String::as_str).collect();
+        roundtrip(&Extensions {
+            key_usage: Some(KeyUsage(bits)),
+            subject_alt_name: Some(SubjectAltName::dns(&refs)),
+            name_constraints: Some(NameConstraints {
+                permitted,
+                excluded: Vec::new(),
+            }),
+            policies: Some(CertificatePolicies(policy_oids)),
+            unknown,
+            ..Extensions::default()
+        });
+    }
+}
