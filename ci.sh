@@ -16,6 +16,16 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> observability crate tests"
+cargo test -p nrslb-obs -q
+
+echo "==> text-exposition smoke (registry render + daemon scrape)"
+# e15 hard-asserts the required metric families are present in a live
+# daemon scrape and that every exposition line parses; the small scale
+# keeps the overhead measurement short (its numbers are recorded from
+# full-scale runs in EXPERIMENTS.md, not here).
+NRSLB_SCALE=30 cargo run --release -q -p nrslb-bench --bin e15_observability
+
 echo "==> differential oracle smoke (fixed seed)"
 # Bounded run: >=1,000 cross-path (chain, GCC, usage) checks; exits
 # non-zero and prints the failing NRSLB_SIM_SEED on any disagreement.

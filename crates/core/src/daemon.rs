@@ -26,14 +26,27 @@
 //! ```text
 //! request  := u8 opcode(1=evaluate) u8 usage(0=TLS,1=S/MIME)
 //!             u32 n_certs  (u32 len, bytes der)*
+//!           | u8 opcode(2=metrics)
 //! response := u8 status(0=ok,1=error)
-//!             ok:    u32 n_verdicts (u8 accepted, u32 len, bytes name)*
-//!             error: u32 len, bytes message
+//!             ok(evaluate): u32 n_verdicts (u8 accepted, u32 len, bytes name)*
+//!             ok(metrics):  u32 len, bytes exposition-text
+//!             error:        u32 len, bytes message
 //! ```
+//!
+//! ## Observability
+//!
+//! Every daemon owns (or is handed, [`TrustDaemon::spawn_observed`]) an
+//! [`nrslb_obs::Registry`]. The shared oracle's verdict cache mirrors
+//! its hit/miss/eviction statistics into it, each request is timed into
+//! `nrslb_daemon_request_latency_us`, and the connection queue depth is
+//! tracked as a gauge. The `metrics` opcode returns
+//! [`Registry::render_text`] — Prometheus text exposition over the same
+//! socket, so operators scrape the daemon without a second listener.
 
 use crate::gcc_eval::GccVerdict;
 use crate::validate::{GccOracle, InProcessOracle};
 use crate::CoreError;
+use nrslb_obs::{Counter, Gauge, Histogram, Registry, Span};
 use nrslb_rootstore::{RootStore, Usage};
 use nrslb_rsf::{Staleness, Subscriber, SyncCounters};
 use nrslb_x509::Certificate;
@@ -45,6 +58,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 const OP_EVALUATE: u8 = 1;
+const OP_METRICS: u8 = 2;
 const STATUS_OK: u8 = 0;
 const STATUS_ERR: u8 = 1;
 /// Upper bound on any length field, to bound allocations from hostile
@@ -98,11 +112,53 @@ fn usage_from_byte(b: u8) -> Option<Usage> {
 /// Default number of worker threads serving connections.
 pub const DEFAULT_WORKERS: usize = 8;
 
+/// Per-daemon instrument handles, shared by the accept loop and every
+/// worker. The registry rides along so the `metrics` opcode can render
+/// it from any worker thread.
+#[derive(Clone)]
+struct DaemonInstruments {
+    registry: Arc<Registry>,
+    /// Connections accepted but not yet picked up by a worker.
+    queue_depth: Gauge,
+    /// Requests served, by opcode outcome.
+    requests: Counter,
+    /// Requests answered with an error status.
+    request_errors: Counter,
+    /// Per-request service time in microseconds.
+    latency_us: Histogram,
+}
+
+impl DaemonInstruments {
+    fn new(registry: Arc<Registry>) -> DaemonInstruments {
+        DaemonInstruments {
+            queue_depth: registry.gauge(
+                "nrslb_daemon_queue_depth",
+                "connections accepted but not yet picked up by a worker",
+            ),
+            requests: registry.counter("nrslb_daemon_requests_total", "requests served"),
+            request_errors: registry.counter(
+                "nrslb_daemon_request_errors_total",
+                "requests answered with an error status",
+            ),
+            latency_us: registry.histogram(
+                "nrslb_daemon_request_latency_us",
+                "per-request service time in microseconds",
+            ),
+            registry,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::enter(self.latency_us.clone(), Arc::clone(self.registry.clock()))
+    }
+}
+
 /// A running trust daemon; dropping the handle shuts it down.
 pub struct TrustDaemon {
     path: PathBuf,
     stop: Arc<AtomicBool>,
     oracle: Arc<InProcessOracle>,
+    instruments: DaemonInstruments,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     /// The RSF subscriber keeping the platform store current, when the
@@ -121,11 +177,23 @@ impl TrustDaemon {
     }
 
     /// Bind `socket_path` and serve with an explicit worker count
-    /// (at least 1).
+    /// (at least 1), reporting into a private registry.
     pub fn spawn_with_workers(
         store: RootStore,
         socket_path: impl AsRef<Path>,
         workers: usize,
+    ) -> std::io::Result<TrustDaemon> {
+        TrustDaemon::spawn_observed(store, socket_path, workers, Arc::new(Registry::new()))
+    }
+
+    /// Bind `socket_path` and serve, reporting into a caller-provided
+    /// registry — so the daemon's metrics share one exposition with a
+    /// co-resident validator's or subscriber's.
+    pub fn spawn_observed(
+        store: RootStore,
+        socket_path: impl AsRef<Path>,
+        workers: usize,
+        registry: Arc<Registry>,
     ) -> std::io::Result<TrustDaemon> {
         let workers = workers.max(1);
         let path = socket_path.as_ref().to_path_buf();
@@ -133,7 +201,8 @@ impl TrustDaemon {
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let oracle = Arc::new(InProcessOracle::new(store));
+        let oracle = Arc::new(InProcessOracle::with_registry(store, &registry));
+        let instruments = DaemonInstruments::new(registry);
         // Bounded: with all workers busy, at most 2x`workers` accepted
         // connections queue before the accept loop itself blocks (and
         // the kernel listen backlog takes over).
@@ -142,23 +211,27 @@ impl TrustDaemon {
             .map(|_| {
                 let conn_rx = conn_rx.clone();
                 let oracle = Arc::clone(&oracle);
+                let instruments = instruments.clone();
                 std::thread::spawn(move || {
                     // recv fails once the accept thread (the only
                     // sender) is gone and the queue has drained.
                     while let Ok(stream) = conn_rx.recv() {
-                        let _ = serve_connection(stream, &*oracle);
+                        instruments.queue_depth.sub(1);
+                        let _ = serve_connection(stream, &*oracle, &instruments);
                     }
                 })
             })
             .collect();
         drop(conn_rx);
         let stop2 = stop.clone();
+        let accept_instruments = instruments.clone();
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
                 if stop2.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
+                accept_instruments.queue_depth.add(1);
                 if conn_tx.send(stream).is_err() {
                     break;
                 }
@@ -169,6 +242,7 @@ impl TrustDaemon {
             path,
             stop,
             oracle,
+            instruments,
             accept_thread: Some(accept_thread),
             workers: worker_handles,
             feed: None,
@@ -183,6 +257,17 @@ impl TrustDaemon {
     /// The shared oracle (exposes the verdict cache for metrics).
     pub fn oracle(&self) -> &InProcessOracle {
         &self.oracle
+    }
+
+    /// The daemon's metric registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.instruments.registry
+    }
+
+    /// The registry rendered as Prometheus text exposition — the same
+    /// payload the `metrics` opcode returns over the socket.
+    pub fn render_metrics(&self) -> String {
+        self.instruments.registry.render_text()
     }
 
     /// Wire up the RSF subscriber that keeps the platform store
@@ -228,16 +313,31 @@ impl Drop for TrustDaemon {
     }
 }
 
-fn serve_connection(mut stream: UnixStream, oracle: &dyn GccOracle) -> std::io::Result<()> {
+/// What a successful request answers with (the two opcodes have
+/// different ok-payload shapes).
+enum Reply {
+    Verdicts(Vec<GccVerdict>),
+    Text(String),
+}
+
+fn serve_connection(
+    mut stream: UnixStream,
+    oracle: &dyn GccOracle,
+    instruments: &DaemonInstruments,
+) -> std::io::Result<()> {
     // Serve requests until the peer closes the connection.
     loop {
         let opcode = match read_u8(&mut stream) {
             Ok(op) => op,
             Err(_) => return Ok(()), // peer hung up
         };
-        let reply = handle_request(opcode, &mut stream, oracle);
+        // The span covers decode + evaluation + response write; it
+        // records on drop, so error paths are timed too.
+        let span = instruments.span();
+        instruments.requests.inc();
+        let reply = handle_request(opcode, &mut stream, oracle, instruments);
         match reply {
-            Ok(verdicts) => {
+            Ok(Reply::Verdicts(verdicts)) => {
                 stream.write_all(&[STATUS_OK])?;
                 write_u32(&mut stream, verdicts.len() as u32)?;
                 for v in verdicts {
@@ -246,13 +346,20 @@ fn serve_connection(mut stream: UnixStream, oracle: &dyn GccOracle) -> std::io::
                     stream.write_all(v.gcc_name.as_bytes())?;
                 }
             }
+            Ok(Reply::Text(text)) => {
+                stream.write_all(&[STATUS_OK])?;
+                write_u32(&mut stream, text.len() as u32)?;
+                stream.write_all(text.as_bytes())?;
+            }
             Err(message) => {
+                instruments.request_errors.inc();
                 stream.write_all(&[STATUS_ERR])?;
                 write_u32(&mut stream, message.len() as u32)?;
                 stream.write_all(message.as_bytes())?;
             }
         }
         stream.flush()?;
+        drop(span);
     }
 }
 
@@ -260,7 +367,11 @@ fn handle_request(
     opcode: u8,
     stream: &mut UnixStream,
     oracle: &dyn GccOracle,
-) -> Result<Vec<GccVerdict>, String> {
+    instruments: &DaemonInstruments,
+) -> Result<Reply, String> {
+    if opcode == OP_METRICS {
+        return Ok(Reply::Text(instruments.registry.render_text()));
+    }
     if opcode != OP_EVALUATE {
         return Err(format!("unknown opcode {opcode}"));
     }
@@ -278,7 +389,10 @@ fn handle_request(
         let cert = Certificate::from_der(&der).map_err(|e| e.to_string())?;
         chain.push(cert);
     }
-    oracle.evaluate(&chain, usage).map_err(|e| e.to_string())
+    oracle
+        .evaluate(&chain, usage)
+        .map(Reply::Verdicts)
+        .map_err(|e| e.to_string())
 }
 
 /// Client side of the trust-daemon protocol. Implements [`GccOracle`],
@@ -298,6 +412,25 @@ impl DaemonClient {
     pub fn new(socket_path: impl AsRef<Path>) -> DaemonClient {
         DaemonClient {
             path: socket_path.as_ref().to_path_buf(),
+        }
+    }
+
+    /// Scrape the daemon: fetch its registry rendered as Prometheus
+    /// text exposition (the `metrics` opcode).
+    pub fn metrics_text(&self) -> Result<String, CoreError> {
+        let io_err = |e: std::io::Error| CoreError::Daemon(e.to_string());
+        let mut stream = UnixStream::connect(&self.path).map_err(io_err)?;
+        stream.write_all(&[OP_METRICS]).map_err(io_err)?;
+        stream.flush().map_err(io_err)?;
+        let status = read_u8(&mut stream).map_err(io_err)?;
+        let body = read_block(&mut stream).map_err(io_err)?;
+        match status {
+            STATUS_OK => String::from_utf8(body)
+                .map_err(|_| CoreError::Daemon("non-utf8 metrics payload".into())),
+            STATUS_ERR => Err(CoreError::Daemon(
+                String::from_utf8_lossy(&body).into_owned(),
+            )),
+            other => Err(CoreError::Daemon(format!("bad status byte {other}"))),
         }
     }
 }
@@ -536,6 +669,110 @@ mod tests {
             daemon.feed_staleness(100 + 90_000),
             Some(Staleness::Exceeded { .. })
         ));
+    }
+
+    #[test]
+    fn scraped_metrics_cover_cache_validation_and_feed() {
+        use crate::validate::{ValidationMode, Validator};
+        use nrslb_rsf::{CoordinatorKey, FeedKey, FeedPublisher, FeedTrust};
+
+        let pki = simple_chain("scrape.example");
+        let mut store = RootStore::new("platform");
+        store.add_trusted(pki.root.clone()).unwrap();
+        let gcc = Gcc::parse(
+            "tls-only",
+            pki.root.fingerprint(),
+            r#"valid(Chain, "TLS") :- leaf(Chain, _)."#,
+            GccMetadata::default(),
+        )
+        .unwrap();
+        store.attach_gcc(gcc).unwrap();
+
+        // One registry shared by the daemon (cache + request metrics),
+        // a Platform-mode validator (outcome + latency metrics), and
+        // the RSF subscriber (sync + state metrics) — the acceptance
+        // shape for the observability PR.
+        let registry = Arc::new(Registry::new());
+        let daemon = TrustDaemon::spawn_observed(
+            store.clone(),
+            ephemeral_socket_path("scrape"),
+            4,
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let coordinator = CoordinatorKey::from_seed([31; 32], 4).unwrap();
+        let key = FeedKey::new([32; 32], 6, &coordinator).unwrap();
+        let mut publisher = FeedPublisher::new("platform", key, &store, 0).unwrap();
+        let trust = FeedTrust {
+            coordinator: coordinator.public(),
+        };
+        let feed = Arc::new(Mutex::new(
+            Subscriber::builder("platform", trust)
+                .registry(Arc::clone(&registry))
+                .build(),
+        ));
+        feed.lock().unwrap().sync(&mut publisher, 100).unwrap();
+
+        let validator = Validator::new(store, ValidationMode::Platform(Arc::new(daemon.client())))
+            .with_registry(&registry);
+        for _ in 0..2 {
+            let out = validator
+                .validate(
+                    &pki.leaf,
+                    std::slice::from_ref(&pki.intermediate),
+                    Usage::Tls,
+                    pki.now,
+                )
+                .unwrap();
+            assert!(out.accepted());
+        }
+
+        let text = daemon.client().metrics_text().unwrap();
+        // The scrape request is itself timed, so the scraped text and a
+        // later local render differ only in the request-latency series.
+        assert!(daemon
+            .render_metrics()
+            .contains("nrslb_daemon_requests_total 3"));
+        // Cache hit/miss: two identical validations = one miss, one hit.
+        assert!(
+            text.contains("nrslb_verdict_cache_misses_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("nrslb_verdict_cache_hits_total 1"), "{text}");
+        // Validation outcomes and latency quantiles.
+        assert!(
+            text.contains("nrslb_validations_total{outcome=\"accepted\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("nrslb_validation_latency_us{quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("nrslb_validation_latency_us_count 2"),
+            "{text}"
+        );
+        // Daemon request metrics (2 evaluate calls; the metrics scrape
+        // itself raced this render, so only a lower bound is stable).
+        assert!(text.contains("nrslb_daemon_requests_total"), "{text}");
+        assert!(
+            text.contains("nrslb_daemon_request_latency_us{quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(text.contains("nrslb_daemon_queue_depth"), "{text}");
+        // Subscriber state: 1 = live after the successful sync.
+        assert!(
+            text.contains("nrslb_rsf_subscriber_state{subscriber=\"platform\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("nrslb_rsf_sync_attempts_total{subscriber=\"platform\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("nrslb_rsf_last_synced_timestamp_secs{subscriber=\"platform\"} 100"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -42,12 +42,14 @@ pub mod daemon;
 pub mod facts;
 pub mod gcc_eval;
 pub mod hammurabi;
+pub mod metrics;
 pub mod session;
 pub mod validate;
 
 pub use chain::{ChainBuilder, ChainError};
 pub use facts::{cert_id, chain_facts, chain_facts_unoptimized, chain_id};
 pub use gcc_eval::{evaluate_gcc, evaluate_gccs, GccVerdict};
+pub use metrics::CoreMetrics;
 pub use nrslb_rootstore::Usage;
 pub use session::{ValidationSession, VerdictCache, VerdictKey};
 pub use validate::{Outcome, RejectReason, ValidationMode, Validator};

@@ -1,0 +1,167 @@
+//! Registry-backed instruments for the validator and verdict cache.
+//!
+//! [`CoreMetrics`] pre-creates one counter per validation outcome class
+//! (acceptance plus every [`RejectReason`] variant), so the hot path
+//! never touches the registry lock — recording an outcome is one atomic
+//! increment on a pre-fetched handle. A latency histogram timed by the
+//! registry's injected clock covers each `validate` call end to end.
+
+use crate::validate::{Outcome, RejectReason};
+use nrslb_obs::{Clock, Counter, Histogram, Registry, Span};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Every outcome class a validation can end in: `"accepted"` plus the
+/// [`RejectReason::class`] of each rejection variant.
+pub const OUTCOME_CLASSES: [&str; 14] = [
+    "accepted",
+    "no_candidate_chains",
+    "expired",
+    "not_yet_valid",
+    "bad_signature",
+    "not_ca",
+    "path_len_exceeded",
+    "name_constraint_violation",
+    "wrong_eku",
+    "usage_date_constraint",
+    "hostname_mismatch",
+    "revoked",
+    "gcc_rejected",
+    "policy_rejected",
+];
+
+/// Instrument handles for a [`Validator`](crate::Validator).
+#[derive(Clone, Debug)]
+pub struct CoreMetrics {
+    /// `nrslb_validations_total{outcome=...}`, one handle per class.
+    outcomes: HashMap<&'static str, Counter>,
+    /// Validations that returned an engine error (not a rejection).
+    pub errors: Counter,
+    /// End-to-end `validate` latency in microseconds.
+    pub latency_us: Histogram,
+    clock: Arc<dyn Clock>,
+}
+
+impl CoreMetrics {
+    /// Create (or re-attach to) the validator's metric series in
+    /// `registry`, pre-fetching a counter handle per outcome class.
+    pub fn new(registry: &Registry) -> CoreMetrics {
+        let outcomes = OUTCOME_CLASSES
+            .iter()
+            .map(|class| {
+                let counter = registry.counter_with(
+                    "nrslb_validations_total",
+                    &[("outcome", class)],
+                    "validations by outcome class",
+                );
+                (*class, counter)
+            })
+            .collect();
+        CoreMetrics {
+            outcomes,
+            errors: registry.counter(
+                "nrslb_validation_errors_total",
+                "validations aborted by an engine error",
+            ),
+            latency_us: registry.histogram(
+                "nrslb_validation_latency_us",
+                "end-to-end validation latency in microseconds",
+            ),
+            clock: Arc::clone(registry.clock()),
+        }
+    }
+
+    /// A span timing one validation into `latency_us`.
+    pub fn span(&self) -> Span {
+        Span::enter(self.latency_us.clone(), Arc::clone(&self.clock))
+    }
+
+    /// The counter for one outcome class (all classes are pre-created).
+    pub fn outcome(&self, class: &str) -> Option<&Counter> {
+        self.outcomes.get(class)
+    }
+
+    /// Record a finished validation's outcome class.
+    pub fn record(&self, outcome: &Outcome) {
+        let class = match outcome.final_reason() {
+            None => "accepted",
+            Some(reason) => reason.class(),
+        };
+        self.outcomes[class].inc();
+    }
+}
+
+impl RejectReason {
+    /// The outcome-class label of this rejection (one of
+    /// [`OUTCOME_CLASSES`]), independent of per-instance detail like
+    /// chain indices or names.
+    pub fn class(&self) -> &'static str {
+        match self {
+            RejectReason::NoCandidateChains => "no_candidate_chains",
+            RejectReason::Expired { .. } => "expired",
+            RejectReason::NotYetValid { .. } => "not_yet_valid",
+            RejectReason::BadSignature { .. } => "bad_signature",
+            RejectReason::NotCa { .. } => "not_ca",
+            RejectReason::PathLenExceeded { .. } => "path_len_exceeded",
+            RejectReason::NameConstraintViolation { .. } => "name_constraint_violation",
+            RejectReason::WrongEku => "wrong_eku",
+            RejectReason::UsageDateConstraint => "usage_date_constraint",
+            RejectReason::HostnameMismatch => "hostname_mismatch",
+            RejectReason::Revoked { .. } => "revoked",
+            RejectReason::GccRejected { .. } => "gcc_rejected",
+            RejectReason::PolicyRejected => "policy_rejected",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrslb_obs::VirtualClock;
+
+    #[test]
+    fn every_reject_class_is_precreated() {
+        let registry = Registry::with_clock(VirtualClock::shared(0));
+        let metrics = CoreMetrics::new(&registry);
+        for class in OUTCOME_CLASSES {
+            assert!(metrics.outcome(class).is_some(), "missing class {class}");
+        }
+        let text = registry.render_text();
+        for class in OUTCOME_CLASSES {
+            assert!(
+                text.contains(&format!("nrslb_validations_total{{outcome=\"{class}\"}} 0")),
+                "class {class} not rendered in:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn reject_reason_classes_match_the_class_list() {
+        let reasons = [
+            RejectReason::NoCandidateChains,
+            RejectReason::Expired { index: 0 },
+            RejectReason::NotYetValid { index: 0 },
+            RejectReason::BadSignature { index: 0 },
+            RejectReason::NotCa { index: 0 },
+            RejectReason::PathLenExceeded { index: 0 },
+            RejectReason::NameConstraintViolation {
+                index: 0,
+                name: "x".into(),
+            },
+            RejectReason::WrongEku,
+            RejectReason::UsageDateConstraint,
+            RejectReason::HostnameMismatch,
+            RejectReason::Revoked { index: 0 },
+            RejectReason::GccRejected {
+                gcc_name: "x".into(),
+            },
+            RejectReason::PolicyRejected,
+        ];
+        for reason in reasons {
+            assert!(
+                OUTCOME_CLASSES.contains(&reason.class()),
+                "{reason:?} class missing from OUTCOME_CLASSES"
+            );
+        }
+    }
+}

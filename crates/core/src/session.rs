@@ -80,6 +80,26 @@ impl ValidationSession {
         ))
     }
 
+    /// [`ValidationSession::evaluate_gcc`] with the engine reporting
+    /// into `metrics` (evaluation count, derivations, rounds, latency).
+    pub fn evaluate_gcc_metered(
+        &self,
+        gcc: &Gcc,
+        usage: Usage,
+        metrics: &nrslb_datalog::EvalMetrics,
+    ) -> Result<bool, CoreError> {
+        let (out, _stats) = gcc.compiled().evaluate_metered(
+            Arc::clone(&self.facts),
+            EvalMode::SemiNaive,
+            nrslb_datalog::eval::DEFAULT_BUDGET,
+            metrics,
+        )?;
+        Ok(out.contains(
+            "valid",
+            &[Val::str(&*self.handle), Val::str(usage.as_datalog())],
+        ))
+    }
+
     /// Evaluate one GCC with the reference naive-iteration engine
     /// instead of the compiled stratified pipeline.
     ///
@@ -105,6 +125,20 @@ impl ValidationSession {
         usage: Usage,
         cache: Option<&VerdictCache>,
     ) -> Result<Vec<GccVerdict>, CoreError> {
+        self.evaluate_gccs_observed(gccs, usage, cache, None)
+    }
+
+    /// [`ValidationSession::evaluate_gccs_cached`] with the Datalog
+    /// engine optionally reporting into `metrics`. Cache hits skip
+    /// evaluation entirely, so they record nothing there — the cache's
+    /// own instruments count them.
+    pub fn evaluate_gccs_observed(
+        &self,
+        gccs: &[Gcc],
+        usage: Usage,
+        cache: Option<&VerdictCache>,
+        metrics: Option<&nrslb_datalog::EvalMetrics>,
+    ) -> Result<Vec<GccVerdict>, CoreError> {
         let mut verdicts = Vec::with_capacity(gccs.len());
         for gcc in gccs {
             let key = VerdictKey {
@@ -115,7 +149,10 @@ impl ValidationSession {
             let accepted = match cache.and_then(|c| c.get(&key)) {
                 Some(cached) => cached,
                 None => {
-                    let computed = self.evaluate_gcc(gcc, usage)?;
+                    let computed = match metrics {
+                        Some(m) => self.evaluate_gcc_metered(gcc, usage, m)?,
+                        None => self.evaluate_gcc(gcc, usage)?,
+                    };
                     if let Some(c) = cache {
                         c.insert(key, computed);
                     }
@@ -170,6 +207,18 @@ pub struct VerdictCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    instruments: Option<CacheInstruments>,
+}
+
+/// Registry handles mirroring the cache's statistics, present when the
+/// cache was built via [`VerdictCache::with_registry`].
+#[derive(Clone, Debug)]
+struct CacheInstruments {
+    hits: nrslb_obs::Counter,
+    misses: nrslb_obs::Counter,
+    evictions: nrslb_obs::Counter,
+    entries: nrslb_obs::Gauge,
 }
 
 impl std::fmt::Debug for VerdictCache {
@@ -198,7 +247,32 @@ impl VerdictCache {
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            instruments: None,
         }
+    }
+
+    /// A cache that also mirrors its statistics into `registry` as
+    /// `nrslb_verdict_cache_{hits,misses,evictions}_total` counters and
+    /// an `nrslb_verdict_cache_entries` gauge.
+    pub fn with_registry(capacity: usize, registry: &nrslb_obs::Registry) -> VerdictCache {
+        let mut cache = VerdictCache::new(capacity);
+        cache.instruments = Some(CacheInstruments {
+            hits: registry.counter(
+                "nrslb_verdict_cache_hits_total",
+                "verdict-cache lookups answered from the cache",
+            ),
+            misses: registry.counter(
+                "nrslb_verdict_cache_misses_total",
+                "verdict-cache lookups that missed",
+            ),
+            evictions: registry.counter(
+                "nrslb_verdict_cache_evictions_total",
+                "verdicts evicted by the LRU policy",
+            ),
+            entries: registry.gauge("nrslb_verdict_cache_entries", "verdicts currently cached"),
+        });
+        cache
     }
 
     /// Look up a verdict, marking the entry most-recently-used.
@@ -215,11 +289,17 @@ impl VerdictCache {
                 let value = *value;
                 drop(inner);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(i) = &self.instruments {
+                    i.hits.inc();
+                }
                 Some(value)
             }
             None => {
                 drop(inner);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(i) = &self.instruments {
+                    i.misses.inc();
+                }
                 None
             }
         }
@@ -239,14 +319,27 @@ impl VerdictCache {
             order.insert(clock, key);
             return;
         }
+        let mut evicted = 0u64;
         while map.len() >= self.capacity {
             let Some((_, oldest)) = order.pop_first() else {
                 break;
             };
             map.remove(&oldest);
+            evicted += 1;
         }
         map.insert(key, (value, clock));
         order.insert(clock, key);
+        let entries = map.len();
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        if let Some(i) = &self.instruments {
+            if evicted > 0 {
+                i.evictions.add(evicted);
+            }
+            i.entries.set(entries as i64);
+        }
     }
 
     /// Number of cached verdicts.
@@ -272,6 +365,11 @@ impl VerdictCache {
     /// Lookups that missed so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Verdicts evicted by the LRU policy so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -350,6 +448,30 @@ mod tests {
         assert_eq!(cache.get(&key(2)), None, "LRU entry evicted");
         assert_eq!(cache.get(&key(1)), Some(true));
         assert_eq!(cache.get(&key(3)), Some(true));
+    }
+
+    #[test]
+    fn evictions_are_counted_and_mirrored_into_a_registry() {
+        let registry = nrslb_obs::Registry::new();
+        let cache = VerdictCache::with_registry(2, &registry);
+        cache.insert(key(1), true);
+        cache.insert(key(2), true);
+        assert_eq!(cache.evictions(), 0);
+        cache.insert(key(3), true);
+        assert_eq!(cache.evictions(), 1, "third insert evicts the LRU entry");
+        assert_eq!(cache.get(&key(3)), Some(true));
+        assert_eq!(cache.get(&key(1)), None);
+        let text = registry.render_text();
+        assert!(text.contains("nrslb_verdict_cache_hits_total 1"), "{text}");
+        assert!(
+            text.contains("nrslb_verdict_cache_misses_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("nrslb_verdict_cache_evictions_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("nrslb_verdict_cache_entries 2"), "{text}");
     }
 
     #[test]

@@ -214,6 +214,8 @@ pub struct Validator {
     config: ValidatorConfig,
     revocation: Option<Arc<dyn RevocationChecker>>,
     verdict_cache: Option<Arc<VerdictCache>>,
+    metrics: Option<crate::metrics::CoreMetrics>,
+    eval_metrics: Option<nrslb_datalog::EvalMetrics>,
 }
 
 impl Validator {
@@ -225,7 +227,19 @@ impl Validator {
             config: ValidatorConfig::default(),
             revocation: None,
             verdict_cache: None,
+            metrics: None,
+            eval_metrics: None,
         }
+    }
+
+    /// Report outcome counts (`nrslb_validations_total{outcome=...}`),
+    /// end-to-end latency (`nrslb_validation_latency_us`) and — in
+    /// `UserAgent` mode — per-GCC Datalog engine statistics into
+    /// `registry`.
+    pub fn with_registry(mut self, registry: &nrslb_obs::Registry) -> Validator {
+        self.metrics = Some(crate::metrics::CoreMetrics::new(registry));
+        self.eval_metrics = Some(nrslb_datalog::EvalMetrics::new(registry));
+        self
     }
 
     /// Reuse GCC verdicts across validations through `cache` (in
@@ -289,6 +303,25 @@ impl Validator {
     }
 
     fn validate_inner(
+        &self,
+        leaf: &Certificate,
+        intermediates: &[Certificate],
+        usage: Usage,
+        now: i64,
+        hostname: Option<&str>,
+    ) -> Result<Outcome, CoreError> {
+        let _span = self.metrics.as_ref().map(|m| m.span());
+        let outcome = self.validate_uninstrumented(leaf, intermediates, usage, now, hostname);
+        if let Some(metrics) = &self.metrics {
+            match &outcome {
+                Ok(out) => metrics.record(out),
+                Err(_) => metrics.errors.inc(),
+            }
+        }
+        outcome
+    }
+
+    fn validate_uninstrumented(
         &self,
         leaf: &Certificate,
         intermediates: &[Certificate],
@@ -467,7 +500,12 @@ impl Validator {
                     // One conversion per candidate; every GCC shares the
                     // frozen fact base.
                     let session = ValidationSession::new(chain);
-                    session.evaluate_gccs_cached(gccs, usage, self.verdict_cache.as_deref())?
+                    session.evaluate_gccs_observed(
+                        gccs,
+                        usage,
+                        self.verdict_cache.as_deref(),
+                        self.eval_metrics.as_ref(),
+                    )?
                 }
             }
             ValidationMode::Platform(oracle) => oracle.evaluate(chain, usage)?,
@@ -491,6 +529,7 @@ impl Validator {
 pub struct InProcessOracle {
     store: RootStore,
     cache: VerdictCache,
+    eval_metrics: Option<nrslb_datalog::EvalMetrics>,
 }
 
 impl InProcessOracle {
@@ -505,6 +544,19 @@ impl InProcessOracle {
         InProcessOracle {
             store,
             cache: VerdictCache::new(capacity),
+            eval_metrics: None,
+        }
+    }
+
+    /// Create an oracle reporting into `registry`: the verdict cache
+    /// mirrors its statistics there, and every cache-missing GCC
+    /// evaluation records into the `nrslb_datalog_*` families (the
+    /// trust daemon builds its shared oracle this way).
+    pub fn with_registry(store: RootStore, registry: &nrslb_obs::Registry) -> InProcessOracle {
+        InProcessOracle {
+            store,
+            cache: VerdictCache::with_registry(DEFAULT_VERDICT_CACHE_CAPACITY, registry),
+            eval_metrics: Some(nrslb_datalog::EvalMetrics::new(registry)),
         }
     }
 
@@ -523,7 +575,12 @@ impl GccOracle for InProcessOracle {
         if gccs.is_empty() {
             return Ok(Vec::new());
         }
-        ValidationSession::new(chain).evaluate_gccs_cached(gccs, usage, Some(&self.cache))
+        ValidationSession::new(chain).evaluate_gccs_observed(
+            gccs,
+            usage,
+            Some(&self.cache),
+            self.eval_metrics.as_ref(),
+        )
     }
 }
 

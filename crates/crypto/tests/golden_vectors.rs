@@ -1,0 +1,154 @@
+//! Golden test vectors for the from-scratch hash primitives: SHA-256
+//! against NIST FIPS 180-4 (the ones every implementation publishes),
+//! HMAC-SHA256 against RFC 4231 test cases 1–7. The rest of the
+//! workspace — Merkle trees, hash-based signatures, content addressing
+//! — is only as correct as these two functions.
+
+use nrslb_crypto::hmac::hmac_sha256;
+use nrslb_crypto::sha256::{sha256, Digest, Sha256};
+
+fn digest(hex: &str) -> Digest {
+    Digest::from_hex(hex).expect("valid hex digest")
+}
+
+#[test]
+fn sha256_fips_180_4_one_block() {
+    // "abc" — FIPS 180-4 / SHA256ShortMsg.
+    assert_eq!(
+        sha256(b"abc"),
+        digest("ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad")
+    );
+}
+
+#[test]
+fn sha256_empty_message() {
+    assert_eq!(
+        sha256(b""),
+        digest("e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855")
+    );
+}
+
+#[test]
+fn sha256_fips_180_4_two_block() {
+    // 448-bit message spanning the one-block padding boundary.
+    assert_eq!(
+        sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+        digest("248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1")
+    );
+}
+
+#[test]
+fn sha256_fips_180_4_four_block() {
+    // 896-bit message (the "abcdefgh..." cascade from FIPS 180-4).
+    let msg = b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn\
+hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+    assert_eq!(
+        sha256(&msg[..]),
+        digest("cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1")
+    );
+}
+
+#[test]
+fn sha256_one_million_a() {
+    // 1,000,000 x 'a', fed through the streaming interface in uneven
+    // chunks so the buffer-boundary logic is exercised too.
+    let mut hasher = Sha256::new();
+    let chunk = [b'a'; 997];
+    let mut remaining = 1_000_000usize;
+    while remaining > 0 {
+        let n = remaining.min(chunk.len());
+        hasher.update(&chunk[..n]);
+        remaining -= n;
+    }
+    assert_eq!(
+        hasher.finalize(),
+        digest("cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0")
+    );
+}
+
+#[test]
+fn sha256_streaming_matches_one_shot() {
+    let msg = b"The quick brown fox jumps over the lazy dog";
+    for split in 0..msg.len() {
+        let mut hasher = Sha256::new();
+        hasher.update(&msg[..split]);
+        hasher.update(&msg[split..]);
+        assert_eq!(hasher.finalize(), sha256(&msg[..]), "split at {split}");
+    }
+}
+
+#[test]
+fn hmac_rfc4231_case_1() {
+    let key = [0x0b; 20];
+    assert_eq!(
+        hmac_sha256(&key, b"Hi There"),
+        digest("b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7")
+    );
+}
+
+#[test]
+fn hmac_rfc4231_case_2() {
+    // A key shorter than the hash output.
+    assert_eq!(
+        hmac_sha256(b"Jefe", b"what do ya want for nothing?"),
+        digest("5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843")
+    );
+}
+
+#[test]
+fn hmac_rfc4231_case_3() {
+    let key = [0xaa; 20];
+    let msg = [0xdd; 50];
+    assert_eq!(
+        hmac_sha256(&key, &msg),
+        digest("773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe")
+    );
+}
+
+#[test]
+fn hmac_rfc4231_case_4() {
+    let key: Vec<u8> = (0x01..=0x19).collect();
+    let msg = [0xcd; 50];
+    assert_eq!(
+        hmac_sha256(&key, &msg),
+        digest("82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b")
+    );
+}
+
+#[test]
+fn hmac_rfc4231_case_5() {
+    // Truncated-output case: compare the first 128 bits.
+    let key = [0x0c; 20];
+    let mac = hmac_sha256(&key, b"Test With Truncation");
+    assert_eq!(
+        mac.as_bytes()[..16],
+        Digest::from_hex("a3b6167473100ee06e0c796c2955552b00000000000000000000000000000000")
+            .unwrap()
+            .as_bytes()[..16]
+    );
+}
+
+#[test]
+fn hmac_rfc4231_case_6() {
+    // A key larger than one SHA-256 block: hashed before use.
+    let key = [0xaa; 131];
+    assert_eq!(
+        hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First"
+        ),
+        digest("60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54")
+    );
+}
+
+#[test]
+fn hmac_rfc4231_case_7() {
+    let key = [0xaa; 131];
+    let msg = b"This is a test using a larger than block-size key and a larger \
+than block-size data. The key needs to be hashed before being used by the HMAC \
+algorithm.";
+    assert_eq!(
+        hmac_sha256(&key, &msg[..]),
+        digest("9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2")
+    );
+}

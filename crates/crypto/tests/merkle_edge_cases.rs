@@ -1,0 +1,120 @@
+//! Merkle proof edge cases (RFC 6962 / RFC 9162 boundaries): identical
+//! sizes, size zero, single-leaf trees, non-power-of-two sizes, and
+//! out-of-range inclusion indices. These are exactly the inputs a
+//! transparency-log verifier meets on its first and last syncs.
+
+use nrslb_crypto::merkle::{
+    leaf_hash, verify_consistency, verify_inclusion, ConsistencyProof, MerkleTree,
+};
+
+fn tree_of(n: u64) -> MerkleTree {
+    let mut tree = MerkleTree::new();
+    for i in 0..n {
+        tree.push(format!("leaf-{i}").as_bytes());
+    }
+    tree
+}
+
+#[test]
+fn consistency_old_equals_new_is_the_empty_proof() {
+    for n in [1u64, 2, 3, 7, 8] {
+        let tree = tree_of(n);
+        let proof = tree.prove_consistency(n, n).expect("same-size proof");
+        assert!(proof.path.is_empty(), "old == new needs no path (n={n})");
+        let root = tree.root();
+        verify_consistency(&proof, &root, &root).expect("same root verifies");
+        // The same-size proof must not accept a different root pair.
+        let other = tree_of(n + 1).root();
+        assert!(verify_consistency(&proof, &root, &other).is_err());
+    }
+}
+
+#[test]
+fn consistency_from_size_zero_is_refused() {
+    let tree = tree_of(4);
+    assert!(
+        tree.prove_consistency(0, 4).is_none(),
+        "RFC 6962 defines no proof from the empty tree"
+    );
+    // A hand-built zero-size proof must be rejected by the verifier too.
+    let forged = ConsistencyProof {
+        old_size: 0,
+        new_size: 4,
+        path: Vec::new(),
+    };
+    let root = tree.root();
+    assert!(verify_consistency(&forged, &root, &root).is_err());
+}
+
+#[test]
+fn consistency_beyond_the_tree_is_refused() {
+    let tree = tree_of(4);
+    assert!(tree.prove_consistency(3, 5).is_none(), "new_size > len");
+    assert!(tree.prove_consistency(4, 3).is_none(), "old > new");
+}
+
+#[test]
+fn single_leaf_tree_proofs() {
+    let tree = tree_of(1);
+    // Inclusion of the only leaf: empty path, root == leaf hash.
+    let proof = tree.prove_inclusion(0, 1).expect("inclusion in size 1");
+    assert!(proof.path.is_empty());
+    let leaf = leaf_hash(b"leaf-0");
+    assert_eq!(tree.root(), leaf);
+    verify_inclusion(&leaf, &proof, &tree.root()).expect("single leaf verifies");
+    // Consistency 1 -> n for every later size.
+    let grown = tree_of(5);
+    let proof = grown.prove_consistency(1, 5).expect("1 -> 5");
+    verify_consistency(&proof, &tree.root(), &grown.root()).expect("grown from one leaf");
+}
+
+#[test]
+fn non_power_of_two_sizes_round_trip() {
+    // Every (old, new) pair up to 11 leaves — covers unbalanced right
+    // spines, e.g. 6 -> 11 where neither side is a complete tree.
+    let tree = tree_of(11);
+    for new in 1..=11u64 {
+        let new_root = tree.root_at(new).expect("root_at new");
+        for old in 1..=new {
+            let old_root = tree.root_at(old).expect("root_at old");
+            let proof = tree
+                .prove_consistency(old, new)
+                .unwrap_or_else(|| panic!("proof {old} -> {new}"));
+            verify_consistency(&proof, &old_root, &new_root)
+                .unwrap_or_else(|e| panic!("verify {old} -> {new}: {e:?}"));
+        }
+        for index in 0..new {
+            let proof = tree
+                .prove_inclusion(index, new)
+                .unwrap_or_else(|| panic!("inclusion {index} in {new}"));
+            let leaf = leaf_hash(format!("leaf-{index}").as_bytes());
+            verify_inclusion(&leaf, &proof, &new_root)
+                .unwrap_or_else(|e| panic!("verify leaf {index} in {new}: {e:?}"));
+        }
+    }
+}
+
+#[test]
+fn inclusion_index_out_of_range_is_refused() {
+    let tree = tree_of(5);
+    assert!(tree.prove_inclusion(5, 5).is_none(), "index == size");
+    assert!(tree.prove_inclusion(7, 5).is_none(), "index > size");
+    assert!(tree.prove_inclusion(0, 6).is_none(), "tree_size > len");
+    // A proof whose index was tampered past the size must not verify.
+    let mut proof = tree.prove_inclusion(2, 5).expect("valid proof");
+    proof.leaf_index = 5;
+    let leaf = leaf_hash(b"leaf-2");
+    assert!(verify_inclusion(&leaf, &proof, &tree.root()).is_err());
+}
+
+#[test]
+fn inclusion_proof_rejects_wrong_leaf_and_wrong_root() {
+    let tree = tree_of(6);
+    let proof = tree.prove_inclusion(3, 6).expect("valid proof");
+    let right = leaf_hash(b"leaf-3");
+    verify_inclusion(&right, &proof, &tree.root()).expect("correct leaf verifies");
+    let wrong = leaf_hash(b"leaf-4");
+    assert!(verify_inclusion(&wrong, &proof, &tree.root()).is_err());
+    let wrong_root = tree_of(7).root();
+    assert!(verify_inclusion(&right, &proof, &wrong_root).is_err());
+}

@@ -77,6 +77,31 @@ impl CompiledProgram {
         Ok((db, stats))
     }
 
+    /// [`CompiledProgram::evaluate_with`], reporting into `metrics`: a
+    /// span times the run (latency histogram), success records the
+    /// [`EvalStats`] counters/rounds, and
+    /// errors count into `eval_errors` — with the span still recording
+    /// the aborted run's duration.
+    pub fn evaluate_metered(
+        &self,
+        base: Arc<crate::Database>,
+        mode: EvalMode,
+        budget: usize,
+        metrics: &crate::metrics::EvalMetrics,
+    ) -> Result<(LayeredDatabase, EvalStats), DatalogError> {
+        let _span = metrics.span();
+        match self.evaluate_with(base, mode, budget) {
+            Ok((db, stats)) => {
+                metrics.record(&stats);
+                Ok((db, stats))
+            }
+            Err(e) => {
+                metrics.eval_errors.inc();
+                Err(e)
+            }
+        }
+    }
+
     /// Evaluate in place over an existing layered view (the overlay may
     /// already hold facts from an earlier program in a pipeline).
     pub fn evaluate_layered(
@@ -500,6 +525,51 @@ mod tests {
             .evaluate_with(Arc::new(db), EvalMode::SemiNaive, 100)
             .unwrap_err();
         assert!(matches!(err, DatalogError::BudgetExceeded { budget: 100 }));
+    }
+
+    #[test]
+    fn metered_evaluation_reports_into_registry() {
+        use crate::metrics::EvalMetrics;
+        use nrslb_obs::{Registry, VirtualClock};
+
+        let registry = Registry::with_clock(VirtualClock::shared(0));
+        let metrics = EvalMetrics::new(&registry);
+        let mut db = Database::new();
+        for (a, b) in [("a", "b"), ("b", "c")] {
+            db.add_fact("edge", vec![Val::str(a), Val::str(b)]);
+        }
+        let base = Arc::new(db);
+        let program = compiled("reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).");
+        let (out, stats) = program
+            .evaluate_metered(
+                Arc::clone(&base),
+                EvalMode::SemiNaive,
+                DEFAULT_BUDGET,
+                &metrics,
+            )
+            .unwrap();
+        assert!(out.contains("reach", &[Val::str("a"), Val::str("c")]));
+        assert_eq!(metrics.evaluations.get(), 1);
+        assert_eq!(metrics.tuples_derived.get(), stats.derived as u64);
+        assert_eq!(
+            metrics.rule_applications.get(),
+            stats.rule_applications as u64
+        );
+        assert_eq!(metrics.rounds.count(), 1);
+        assert_eq!(metrics.latency_us.count(), 1, "span records the run");
+
+        // A budget abort counts as an error and still times the run.
+        let err = program
+            .evaluate_metered(base, EvalMode::SemiNaive, 1, &metrics)
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::BudgetExceeded { .. }));
+        assert_eq!(
+            metrics.evaluations.get(),
+            1,
+            "failed run not counted as success"
+        );
+        assert_eq!(metrics.eval_errors.get(), 1);
+        assert_eq!(metrics.latency_us.count(), 2, "error path still recorded");
     }
 
     #[test]

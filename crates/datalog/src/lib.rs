@@ -52,6 +52,7 @@ pub mod eval;
 pub mod explain;
 pub mod layered;
 pub mod lexer;
+pub mod metrics;
 pub mod parser;
 pub mod safety;
 pub mod stratify;
@@ -61,6 +62,7 @@ pub use compile::CompiledProgram;
 pub use eval::{Database, Engine, EvalMode, EvalStats};
 pub use explain::{explain, Derivation};
 pub use layered::LayeredDatabase;
+pub use metrics::EvalMetrics;
 
 use std::fmt;
 

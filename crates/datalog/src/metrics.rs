@@ -1,0 +1,78 @@
+//! Registry-backed instruments for the Datalog engine.
+//!
+//! [`EvalMetrics`] bundles the handles one evaluation site needs:
+//! counters for evaluations/derivations/rule applications, a rounds
+//! histogram, and a latency histogram timed by the registry's injected
+//! clock (so virtual-time tests see exact durations). Construction is
+//! get-or-create — many `EvalMetrics` against one registry share the
+//! same underlying series.
+
+use crate::eval::EvalStats;
+use nrslb_obs::{Clock, Counter, Histogram, Registry, Span};
+use std::sync::Arc;
+
+/// Instrument handles for [`CompiledProgram`](crate::CompiledProgram)
+/// evaluation, created against an [`nrslb_obs::Registry`].
+#[derive(Clone, Debug)]
+pub struct EvalMetrics {
+    /// Evaluations completed successfully.
+    pub evaluations: Counter,
+    /// Evaluations that returned an error (budget, arithmetic, …).
+    pub eval_errors: Counter,
+    /// Tuples derived across all evaluations.
+    pub tuples_derived: Counter,
+    /// Rule applications (body re-evaluations) across all evaluations.
+    pub rule_applications: Counter,
+    /// Fixpoint rounds per evaluation.
+    pub rounds: Histogram,
+    /// Evaluation wall (or virtual) time in microseconds.
+    pub latency_us: Histogram,
+    clock: Arc<dyn Clock>,
+}
+
+impl EvalMetrics {
+    /// Create (or re-attach to) the engine's metric series in `registry`.
+    pub fn new(registry: &Registry) -> EvalMetrics {
+        EvalMetrics {
+            evaluations: registry.counter(
+                "nrslb_datalog_evaluations_total",
+                "datalog evaluations completed",
+            ),
+            eval_errors: registry.counter(
+                "nrslb_datalog_eval_errors_total",
+                "datalog evaluations that returned an error",
+            ),
+            tuples_derived: registry.counter(
+                "nrslb_datalog_tuples_derived_total",
+                "tuples derived across all evaluations",
+            ),
+            rule_applications: registry.counter(
+                "nrslb_datalog_rule_applications_total",
+                "rule applications across all evaluations",
+            ),
+            rounds: registry.histogram(
+                "nrslb_datalog_eval_rounds",
+                "fixpoint rounds per evaluation",
+            ),
+            latency_us: registry.histogram(
+                "nrslb_datalog_eval_latency_us",
+                "evaluation latency in microseconds",
+            ),
+            clock: Arc::clone(registry.clock()),
+        }
+    }
+
+    /// A span timing one evaluation into `latency_us`.
+    pub fn span(&self) -> Span {
+        Span::enter(self.latency_us.clone(), Arc::clone(&self.clock))
+    }
+
+    /// Record a finished evaluation's statistics (the span records the
+    /// latency on drop; this records everything else).
+    pub fn record(&self, stats: &EvalStats) {
+        self.evaluations.inc();
+        self.tuples_derived.add(stats.derived as u64);
+        self.rule_applications.add(stats.rule_applications as u64);
+        self.rounds.observe(stats.rounds as u64);
+    }
+}

@@ -1,0 +1,28 @@
+//! # `nrslb-obs` — the observability substrate
+//!
+//! A from-scratch, zero-dependency metrics/tracing layer for the nrslb
+//! workspace (DESIGN.md §6):
+//!
+//! * [`registry`] — a global-free [`Registry`] of named metric families:
+//!   atomic [`Counter`]s and [`Gauge`]s, log-bucketed [`Histogram`]s
+//!   with p50/p90/p99 extraction, and [`Span`] RAII guards that record
+//!   durations into histograms. [`Registry::render_text`] emits the
+//!   Prometheus text exposition format, served by the trust daemon and
+//!   dumped by the benches.
+//! * [`clock`] — the injectable [`Clock`] (moved here from `nrslb-rsf`,
+//!   which re-exports it): [`WallClock`] in production, [`VirtualClock`]
+//!   in tests and the deterministic simulator, so span durations under
+//!   virtual time are exact, assertable numbers.
+//!
+//! The crate sits below every other nrslb crate (it depends on nothing,
+//! not even the vendored shims), so the Datalog engine, the validator,
+//! the sync engine and the daemon can all report into one registry
+//! without dependency cycles.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod registry;
+
+pub use clock::{Clock, VirtualClock, WallClock};
+pub use registry::{Counter, Gauge, Histogram, Registry, Span};

@@ -1,0 +1,542 @@
+//! The metric registry: named families of counters, gauges and
+//! latency histograms, with a Prometheus-style text exposition.
+//!
+//! Design constraints (see DESIGN.md §6):
+//!
+//! * **Global-free.** There is no process-wide default registry; every
+//!   component takes an `Arc<Registry>` (or builds a private one), so
+//!   tests and the deterministic simulator get isolated, assertable
+//!   metric state.
+//! * **Lock-free hot path.** Handles ([`Counter`], [`Gauge`],
+//!   [`Histogram`]) are cheap clones around atomics; registration is the
+//!   only operation that takes the registry lock. Instrumented code
+//!   creates its handles once and then only touches atomics.
+//! * **Deterministic exposition.** Families and series render in sorted
+//!   order, so two runs with the same metric state produce byte-equal
+//!   text.
+
+use crate::clock::{Clock, WallClock};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A monotonically increasing counter handle. Clones share the value.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can go up and down. Clones share it.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log-2 buckets. Bucket `i` holds values whose highest set
+/// bit is `i - 1` (upper bound `2^i - 1`); bucket 0 holds exact zeros.
+/// 41 buckets cover one microsecond to ~12.7 days of latency.
+const BUCKETS: usize = 41;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A log-bucketed histogram handle (power-of-two buckets), intended for
+/// microsecond latencies. Recording is two atomic adds and an atomic
+/// increment; quantiles are extracted on demand from the bucket counts.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram(Arc::new(HistogramInner {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i.min(63)) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), as the upper bound of the
+    /// log-2 bucket containing that rank — an overestimate by at most
+    /// 2x, which is the precision log bucketing buys its O(1) cost.
+    /// Returns 0 when nothing was observed.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.0.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(BUCKETS - 1)
+    }
+
+    /// The standard reporting triple: p50, p90, p99.
+    pub fn quantiles(&self) -> (u64, u64, u64) {
+        (self.quantile(0.5), self.quantile(0.9), self.quantile(0.99))
+    }
+}
+
+/// An RAII timing guard: created at the top of an operation, it records
+/// the elapsed microseconds (per the registry's [`Clock`]) into its
+/// histogram when dropped — on the error path too.
+#[derive(Debug)]
+pub struct Span {
+    histogram: Histogram,
+    clock: Arc<dyn Clock>,
+    start_micros: i64,
+}
+
+impl Span {
+    /// Start timing against `histogram`, reading `clock`.
+    pub fn enter(histogram: Histogram, clock: Arc<dyn Clock>) -> Span {
+        let start_micros = clock.now_micros();
+        Span {
+            histogram,
+            clock,
+            start_micros,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.clock.now_micros().saturating_sub(self.start_micros);
+        self.histogram.observe(elapsed.max(0) as u64);
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            // Histograms render quantile series, which is the summary
+            // exposition type.
+            Metric::Histogram(_) => "summary",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    /// Rendered label pairs (`key="value"`, comma-joined) → series.
+    /// Empty string = the unlabelled series.
+    series: BTreeMap<String, Metric>,
+}
+
+/// A global-free registry of metric families.
+///
+/// Handles returned by [`Registry::counter`] and friends are
+/// get-or-create: asking twice for the same (name, labels) returns
+/// handles sharing one value, so independent components can contribute
+/// to one family without coordination.
+#[derive(Debug)]
+pub struct Registry {
+    clock: Arc<dyn Clock>,
+    families: RwLock<BTreeMap<String, Family>>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A registry whose spans read the wall clock.
+    pub fn new() -> Registry {
+        Registry::with_clock(Arc::new(WallClock))
+    }
+
+    /// A registry whose spans read `clock` — tests and the simulator
+    /// pass a [`crate::VirtualClock`] so recorded durations are exact.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Registry {
+        Registry {
+            clock,
+            families: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// A fresh shared registry on the wall clock.
+    pub fn shared() -> Arc<Registry> {
+        Arc::new(Registry::new())
+    }
+
+    /// The clock spans read.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Start a [`Span`] recording into `histogram` on drop.
+    pub fn span(&self, histogram: &Histogram) -> Span {
+        Span::enter(histogram.clone(), Arc::clone(&self.clock))
+    }
+
+    /// Get-or-create an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Get-or-create a counter with label pairs.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        match self.get_or_insert(name, labels, help, || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Get-or-create an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Get-or-create a gauge with label pairs.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        match self.get_or_insert(name, labels, help, || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Get-or-create an unlabelled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, &[], help)
+    }
+
+    /// Get-or-create a histogram with label pairs.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Histogram {
+        match self.get_or_insert(name, labels, help, || {
+            Metric::Histogram(Histogram::default())
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        let series_key = render_labels(labels);
+        if let Some(family) = self.families.read().expect("registry lock").get(name) {
+            if let Some(metric) = family.series.get(&series_key) {
+                return metric.clone();
+            }
+        }
+        let mut families = self.families.write().expect("registry lock");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        family.series.entry(series_key).or_insert_with(make).clone()
+    }
+
+    /// Render every family in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` headers, one line per series; histograms as
+    /// summaries with `quantile` labels plus `_sum` / `_count`).
+    pub fn render_text(&self) -> String {
+        let families = self.families.read().expect("registry lock");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let kind = family
+                .series
+                .values()
+                .next()
+                .map(Metric::kind)
+                .unwrap_or("untyped");
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (labels, metric) in family.series.iter() {
+                match metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(out, "{}{} {}", name, braced(labels), c.get());
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(out, "{}{} {}", name, braced(labels), g.get());
+                    }
+                    Metric::Histogram(h) => {
+                        for (q, v) in [
+                            ("0.5", h.quantile(0.5)),
+                            ("0.9", h.quantile(0.9)),
+                            ("0.99", h.quantile(0.99)),
+                        ] {
+                            let quantile = join_labels(labels, &format!("quantile=\"{q}\""));
+                            let _ = writeln!(out, "{}{} {}", name, braced(&quantile), v);
+                        }
+                        let _ = writeln!(out, "{}_sum{} {}", name, braced(labels), h.sum());
+                        let _ = writeln!(out, "{}_count{} {}", name, braced(labels), h.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    pairs.sort();
+    pairs.join(",")
+}
+
+fn join_labels(a: &str, b: &str) -> String {
+    if a.is_empty() {
+        b.to_string()
+    } else {
+        format!("{a},{b}")
+    }
+}
+
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    #[test]
+    fn handles_share_values_across_get_or_create() {
+        let registry = Registry::new();
+        let a = registry.counter("nrslb_test_total", "a test counter");
+        let b = registry.counter("nrslb_test_total", "a test counter");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(b.get(), 4);
+    }
+
+    #[test]
+    fn labelled_series_are_distinct() {
+        let registry = Registry::new();
+        let ok = registry.counter_with("nrslb_requests_total", &[("status", "ok")], "requests");
+        let err = registry.counter_with("nrslb_requests_total", &[("status", "err")], "requests");
+        ok.add(2);
+        err.inc();
+        assert_eq!(ok.get(), 2);
+        assert_eq!(err.get(), 1);
+        let text = registry.render_text();
+        assert!(text.contains("nrslb_requests_total{status=\"ok\"} 2"));
+        assert!(text.contains("nrslb_requests_total{status=\"err\"} 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_panic() {
+        let registry = Registry::new();
+        registry.counter("nrslb_conflict", "as counter");
+        registry.gauge("nrslb_conflict", "as gauge");
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let registry = Registry::new();
+        let g = registry.gauge("nrslb_queue_depth", "queued items");
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        g.set(-1);
+        assert_eq!(g.get(), -1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        // 90 fast observations, 10 slow ones.
+        for _ in 0..90 {
+            h.observe(100); // bucket bound 127
+        }
+        for _ in 0..10 {
+            h.observe(10_000); // bucket bound 16383
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 90 * 100 + 10 * 10_000);
+        assert_eq!(h.quantile(0.5), 127);
+        assert_eq!(h.quantile(0.9), 127);
+        assert_eq!(h.quantile(0.99), 16_383);
+        assert_eq!(h.quantiles(), (127, 127, 16_383));
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn span_records_virtual_duration_exactly() {
+        let clock = VirtualClock::shared(0);
+        let registry = Registry::with_clock(clock.clone());
+        let h = registry.histogram("nrslb_op_latency_us", "operation latency");
+        {
+            let _span = registry.span(&h);
+            clock.sleep_ms(7);
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 7_000, "exactly 7ms of virtual time");
+    }
+
+    #[test]
+    fn span_records_on_error_paths_too() {
+        let clock = VirtualClock::shared(0);
+        let registry = Registry::with_clock(clock.clone());
+        let h = registry.histogram("nrslb_op_latency_us", "operation latency");
+        fn failing_op(registry: &Registry, h: &Histogram, clock: &VirtualClock) -> Result<(), ()> {
+            let _span = registry.span(h);
+            clock.sleep_ms(3);
+            Err(())
+        }
+        let result = failing_op(&registry, &h, &clock);
+        assert!(result.is_err());
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 3_000);
+    }
+
+    #[test]
+    fn render_text_is_deterministic_and_parseable() {
+        let registry = Registry::new();
+        registry.counter("nrslb_b_total", "second family").inc();
+        registry.gauge("nrslb_a_depth", "first family").set(4);
+        let h = registry.histogram("nrslb_c_latency_us", "latency");
+        h.observe(10);
+        let text = registry.render_text();
+        assert_eq!(text, registry.render_text(), "stable across renders");
+        // Families in sorted order.
+        let a = text.find("nrslb_a_depth").unwrap();
+        let b = text.find("nrslb_b_total").unwrap();
+        let c = text.find("nrslb_c_latency_us").unwrap();
+        assert!(a < b && b < c);
+        // Every non-comment line is `name{labels}? value` with a numeric
+        // value — the shape a Prometheus scraper requires.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("metric line has value");
+            value.parse::<f64>().expect("numeric value");
+        }
+        assert!(text.contains("# TYPE nrslb_c_latency_us summary"));
+        assert!(text.contains("nrslb_c_latency_us{quantile=\"0.99\"}"));
+        assert!(text.contains("nrslb_c_latency_us_count 1"));
+    }
+}

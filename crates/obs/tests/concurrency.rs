@@ -1,0 +1,97 @@
+//! Concurrency guarantees of the registry: handles are shared atomics,
+//! so hammering one counter/histogram from many threads must lose no
+//! updates — mirroring the trust daemon's 10-client concurrency test,
+//! scaled up to 16 writer threads.
+
+use nrslb_obs::Registry;
+use std::sync::Arc;
+
+const THREADS: usize = 16;
+const OPS_PER_THREAD: u64 = 10_000;
+
+#[test]
+fn sixteen_threads_one_counter_exact_total() {
+    let registry = Arc::new(Registry::new());
+    let counter = registry.counter("nrslb_hammer_total", "contended counter");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = Arc::clone(&registry);
+            scope.spawn(move || {
+                // Half the threads go through get-or-create each time
+                // (the registration path), half reuse a local handle
+                // (the hot path) — totals must be exact either way.
+                if t % 2 == 0 {
+                    for _ in 0..OPS_PER_THREAD {
+                        registry
+                            .counter("nrslb_hammer_total", "contended counter")
+                            .inc();
+                    }
+                } else {
+                    let local = registry.counter("nrslb_hammer_total", "contended counter");
+                    for _ in 0..OPS_PER_THREAD {
+                        local.inc();
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * OPS_PER_THREAD);
+    let text = registry.render_text();
+    assert!(text.contains(&format!(
+        "nrslb_hammer_total {}",
+        THREADS as u64 * OPS_PER_THREAD
+    )));
+}
+
+#[test]
+fn sixteen_threads_one_histogram_exact_count_and_sum() {
+    let registry = Arc::new(Registry::new());
+    let histogram = registry.histogram("nrslb_hammer_latency_us", "contended histogram");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let histogram = histogram.clone();
+            scope.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    // Deterministic per-thread values so the expected
+                    // sum is computable exactly.
+                    histogram.observe(t as u64 + i % 7);
+                }
+            });
+        }
+    });
+    let expected_count = THREADS as u64 * OPS_PER_THREAD;
+    let expected_sum: u64 = (0..THREADS as u64)
+        .map(|t| (0..OPS_PER_THREAD).map(|i| t + i % 7).sum::<u64>())
+        .sum();
+    assert_eq!(histogram.count(), expected_count, "no lost count updates");
+    assert_eq!(histogram.sum(), expected_sum, "no lost sum updates");
+}
+
+#[test]
+fn concurrent_registration_of_distinct_series_is_complete() {
+    let registry = Arc::new(Registry::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = Arc::clone(&registry);
+            scope.spawn(move || {
+                let shard = format!("shard-{t}");
+                let counter = registry.counter_with(
+                    "nrslb_sharded_total",
+                    &[("shard", &shard)],
+                    "per-shard counter",
+                );
+                counter.add(t as u64 + 1);
+            });
+        }
+    });
+    let text = registry.render_text();
+    for t in 0..THREADS {
+        assert!(
+            text.contains(&format!(
+                "nrslb_sharded_total{{shard=\"shard-{t}\"}} {}",
+                t + 1
+            )),
+            "missing series for shard {t} in:\n{text}"
+        );
+    }
+}

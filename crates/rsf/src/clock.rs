@@ -1,4 +1,5 @@
-//! Injectable time for the sync engine.
+//! Injectable time for the sync engine — re-exported from
+//! [`nrslb_obs::clock`], where the types now live.
 //!
 //! The sans-IO core already takes `now` as a parameter everywhere, but
 //! two things still touched real time: the socket transport slept its
@@ -8,117 +9,28 @@
 //! deterministic simulator inject a [`VirtualClock`] whose `sleep_ms`
 //! advances virtual time instantly, so resilience suites run in
 //! microseconds and reproduce exactly from a seed.
+//!
+//! The observability layer's spans time themselves on the same trait,
+//! so the definitions moved down into the dependency-free `nrslb-obs`
+//! crate; these re-exports keep `nrslb_rsf::clock::*` (and the crate
+//! root re-exports) source-compatible.
 
-use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
-
-/// A source of time plus the ability to wait, injectable wherever the
-/// engine would otherwise reach for `SystemTime::now` or
-/// `thread::sleep`.
-pub trait Clock: Send + Sync + std::fmt::Debug {
-    /// Milliseconds since the clock's epoch.
-    fn now_millis(&self) -> i64;
-
-    /// Seconds since the clock's epoch (what feed timestamps use).
-    fn now_secs(&self) -> i64 {
-        self.now_millis() / 1_000
-    }
-
-    /// Wait for `ms` milliseconds. A wall clock blocks the thread; a
-    /// virtual clock advances itself and returns immediately.
-    fn sleep_ms(&self, ms: u64);
-}
-
-/// The real clock: unix time, real sleeping.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct WallClock;
-
-impl Clock for WallClock {
-    fn now_millis(&self) -> i64 {
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_millis() as i64)
-            .unwrap_or(0)
-    }
-
-    fn sleep_ms(&self, ms: u64) {
-        std::thread::sleep(std::time::Duration::from_millis(ms));
-    }
-}
-
-/// A deterministic clock that only moves when told to (or when someone
-/// "sleeps" on it). Shared by `Arc`, so a simulator and the subscribers
-/// it drives all observe the same instant.
-#[derive(Debug, Default)]
-pub struct VirtualClock {
-    millis: AtomicI64,
-}
-
-impl VirtualClock {
-    /// A virtual clock starting at `start_secs` (unix-like seconds).
-    pub fn new(start_secs: i64) -> VirtualClock {
-        VirtualClock {
-            millis: AtomicI64::new(start_secs.saturating_mul(1_000)),
-        }
-    }
-
-    /// A shared handle to a fresh virtual clock.
-    pub fn shared(start_secs: i64) -> Arc<VirtualClock> {
-        Arc::new(VirtualClock::new(start_secs))
-    }
-
-    /// Move time forward by `ms` milliseconds.
-    pub fn advance_ms(&self, ms: i64) {
-        self.millis.fetch_add(ms.max(0), Ordering::SeqCst);
-    }
-
-    /// Move time forward by `secs` seconds.
-    pub fn advance_secs(&self, secs: i64) {
-        self.advance_ms(secs.saturating_mul(1_000));
-    }
-
-    /// Jump to an absolute time in milliseconds. Never moves backwards
-    /// (a scheduler popping same-instant events may "jump" to now).
-    pub fn set_millis(&self, millis: i64) {
-        self.millis.fetch_max(millis, Ordering::SeqCst);
-    }
-}
-
-impl Clock for VirtualClock {
-    fn now_millis(&self) -> i64 {
-        self.millis.load(Ordering::SeqCst)
-    }
-
-    fn sleep_ms(&self, ms: u64) {
-        self.advance_ms(ms as i64);
-    }
-}
+pub use nrslb_obs::clock::{Clock, VirtualClock, WallClock};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
-    fn virtual_clock_sleep_advances_instead_of_blocking() {
-        let clock = VirtualClock::shared(100);
-        assert_eq!(clock.now_secs(), 100);
-        let started = std::time::Instant::now();
-        clock.sleep_ms(5_000);
-        assert!(started.elapsed().as_millis() < 1_000, "must not block");
-        assert_eq!(clock.now_secs(), 105);
-    }
-
-    #[test]
-    fn virtual_clock_never_rewinds() {
-        let clock = VirtualClock::new(10);
-        clock.set_millis(50_000);
-        clock.set_millis(20_000);
-        assert_eq!(clock.now_millis(), 50_000);
-    }
-
-    #[test]
-    fn wall_clock_reads_unix_time() {
-        let now = WallClock.now_secs();
-        assert!(now > 1_600_000_000, "wall clock should be past 2020");
+    fn reexported_clock_is_the_obs_clock() {
+        // One VirtualClock drives both an rsf-typed and an obs-typed
+        // trait object: the trait is literally the same.
+        let clock = VirtualClock::shared(50);
+        let as_rsf: Arc<dyn Clock> = clock.clone();
+        let as_obs: Arc<dyn nrslb_obs::Clock> = clock.clone();
+        clock.advance_secs(5);
+        assert_eq!(as_rsf.now_secs(), 55);
+        assert_eq!(as_obs.now_secs(), 55);
     }
 }

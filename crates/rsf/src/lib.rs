@@ -45,7 +45,7 @@ pub use signing::{CoordinatorKey, FeedKey, FeedTrust, SignedMessage};
 pub use socket::{FeedSocketServer, RemoteSubscriber};
 pub use sync::{
     FeedUpdate, ResilientReport, Staleness, Subscriber, SubscriberBuilder, SyncCounters, SyncEvent,
-    SyncPolicy, SyncState,
+    SyncInstruments, SyncPolicy, SyncState,
 };
 pub use translog::{Checkpoint, TransparencyLog};
 #[allow(deprecated)]

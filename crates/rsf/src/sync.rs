@@ -33,6 +33,7 @@ use crate::transport::{FaultInjector, FeedPublisher, SyncReport};
 use crate::RsfError;
 use nrslb_crypto::hbs::PublicKey;
 use nrslb_crypto::merkle::ConsistencyProof;
+use nrslb_obs::{Counter, Gauge, Registry};
 use nrslb_rootstore::RootStore;
 use rand::prelude::*;
 use std::sync::Arc;
@@ -74,6 +75,11 @@ impl Default for SyncPolicy {
 }
 
 /// Plain counters a daemon or bench can scrape ([`Subscriber::counters`]).
+///
+/// Since the observability layer landed this is a *snapshot* type: the
+/// live values are `nrslb-obs` registry counters
+/// ([`Subscriber::instruments`]), and [`Subscriber::counters`] is the
+/// compatibility shim that reads them back into this plain struct.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SyncCounters {
     /// Sync attempts started (each [`Subscriber::poll`] is one).
@@ -92,6 +98,101 @@ pub struct SyncCounters {
     pub stale_serves: u64,
 }
 
+/// Registry-backed instruments for one subscriber: the live metric
+/// handles behind [`SyncCounters`], labelled with the subscriber's
+/// store name so a daemon serving several feeds gets distinct series.
+#[derive(Clone, Debug)]
+pub struct SyncInstruments {
+    /// Sync attempts started ([`SyncCounters::attempts`]).
+    pub attempts: Counter,
+    /// Retry decisions ([`SyncCounters::retries`]).
+    pub retries: Counter,
+    /// Messages verified and applied ([`SyncCounters::messages_ingested`]).
+    pub messages_ingested: Counter,
+    /// Messages rejected ([`SyncCounters::messages_rejected`]).
+    pub messages_rejected: Counter,
+    /// Full-snapshot fallbacks ([`SyncCounters::snapshot_fallbacks`]).
+    pub snapshot_fallbacks: Counter,
+    /// Quarantines entered ([`SyncCounters::quarantines`]).
+    pub quarantines: Counter,
+    /// Serves past the staleness bound ([`SyncCounters::stale_serves`]).
+    pub stale_serves: Counter,
+    /// Lifecycle state as a gauge: 0 bootstrapping, 1 live, 2 quarantined.
+    pub state: Gauge,
+    /// Unix seconds of the last successful sync (-1 = never synced).
+    pub last_synced_timestamp_secs: Gauge,
+    /// Seconds since the last successful sync, refreshed on every
+    /// staleness check (-1 = never synced).
+    pub staleness_age_secs: Gauge,
+}
+
+impl SyncInstruments {
+    /// Create (or re-attach to) the subscriber's metric series in
+    /// `registry`, labelled `subscriber=name`.
+    pub fn new(registry: &Registry, name: &str) -> SyncInstruments {
+        let labels: &[(&str, &str)] = &[("subscriber", name)];
+        let counter = |metric: &str, help: &str| registry.counter_with(metric, labels, help);
+        let instruments = SyncInstruments {
+            attempts: counter("nrslb_rsf_sync_attempts_total", "sync attempts started"),
+            retries: counter(
+                "nrslb_rsf_sync_retries_total",
+                "failed attempts retried by the resilient loop",
+            ),
+            messages_ingested: counter(
+                "nrslb_rsf_messages_ingested_total",
+                "feed messages verified and applied",
+            ),
+            messages_rejected: counter(
+                "nrslb_rsf_messages_rejected_total",
+                "feed messages rejected (bad signature, undecodable, replayed)",
+            ),
+            snapshot_fallbacks: counter(
+                "nrslb_rsf_snapshot_fallbacks_total",
+                "full-snapshot applications after the delta window was gone",
+            ),
+            quarantines: counter(
+                "nrslb_rsf_quarantines_total",
+                "split-view quarantines entered",
+            ),
+            stale_serves: counter(
+                "nrslb_rsf_stale_serves_total",
+                "serves performed past the staleness bound",
+            ),
+            state: registry.gauge_with(
+                "nrslb_rsf_subscriber_state",
+                labels,
+                "subscriber lifecycle: 0 bootstrapping, 1 live, 2 quarantined",
+            ),
+            last_synced_timestamp_secs: registry.gauge_with(
+                "nrslb_rsf_last_synced_timestamp_secs",
+                labels,
+                "unix seconds of the last successful sync (-1 never)",
+            ),
+            staleness_age_secs: registry.gauge_with(
+                "nrslb_rsf_staleness_age_secs",
+                labels,
+                "seconds since the last successful sync at the latest check (-1 never)",
+            ),
+        };
+        instruments.last_synced_timestamp_secs.set(-1);
+        instruments.staleness_age_secs.set(-1);
+        instruments
+    }
+
+    /// Read the counters back into the plain [`SyncCounters`] shape.
+    pub fn snapshot(&self) -> SyncCounters {
+        SyncCounters {
+            attempts: self.attempts.get(),
+            retries: self.retries.get(),
+            messages_ingested: self.messages_ingested.get(),
+            messages_rejected: self.messages_rejected.get(),
+            snapshot_fallbacks: self.snapshot_fallbacks.get(),
+            quarantines: self.quarantines.get(),
+            stale_serves: self.stale_serves.get(),
+        }
+    }
+}
+
 /// Where a [`Subscriber`] is in its lifecycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SyncState {
@@ -105,6 +206,17 @@ pub enum SyncState {
         /// What evidence triggered the quarantine.
         reason: &'static str,
     },
+}
+
+impl SyncState {
+    /// The state encoded for the `nrslb_rsf_subscriber_state` gauge.
+    fn gauge_value(&self) -> i64 {
+        match self {
+            SyncState::Bootstrapping => 0,
+            SyncState::Live => 1,
+            SyncState::Quarantined { .. } => 2,
+        }
+    }
 }
 
 /// Freshness verdict attached to a served store ([`Subscriber::serve`]).
@@ -217,6 +329,7 @@ pub struct SubscriberBuilder {
     trust: FeedTrust,
     policy: SyncPolicy,
     clock: Arc<dyn Clock>,
+    registry: Option<Arc<Registry>>,
 }
 
 impl SubscriberBuilder {
@@ -228,6 +341,7 @@ impl SubscriberBuilder {
             trust,
             policy: SyncPolicy::default(),
             clock: Arc::new(WallClock),
+            registry: None,
         }
     }
 
@@ -258,9 +372,22 @@ impl SubscriberBuilder {
         self
     }
 
+    /// Report sync metrics into a shared observability registry (e.g.
+    /// the trust daemon's), labelled with this subscriber's name.
+    /// Without one, the subscriber keeps a private registry so
+    /// [`Subscriber::counters`] always works.
+    pub fn registry(mut self, registry: Arc<Registry>) -> SubscriberBuilder {
+        self.registry = Some(registry);
+        self
+    }
+
     /// Finish: a fresh subscriber that has never synced.
     pub fn build(self) -> Subscriber {
         let rng = StdRng::seed_from_u64(self.policy.jitter_seed);
+        let registry = self
+            .registry
+            .unwrap_or_else(|| Arc::new(Registry::with_clock(Arc::clone(&self.clock))));
+        let instruments = SyncInstruments::new(&registry, &self.name);
         Subscriber {
             store: RootStore::new(&self.name),
             name: self.name,
@@ -269,7 +396,8 @@ impl SubscriberBuilder {
             pinned: None,
             policy: self.policy,
             state: SyncState::Bootstrapping,
-            counters: SyncCounters::default(),
+            instruments,
+            registry,
             last_synced_at: None,
             rng,
             clock: self.clock,
@@ -289,7 +417,8 @@ pub struct Subscriber {
     pinned: Option<(Checkpoint, PublicKey)>,
     policy: SyncPolicy,
     state: SyncState,
-    counters: SyncCounters,
+    instruments: SyncInstruments,
+    registry: Arc<Registry>,
     last_synced_at: Option<i64>,
     rng: StdRng,
     clock: Arc<dyn Clock>,
@@ -322,9 +451,21 @@ impl Subscriber {
         self.state
     }
 
-    /// Scrapeable counters.
+    /// Scrapeable counters — the compatibility shim over the registry
+    /// handles: a point-in-time snapshot of [`Subscriber::instruments`].
     pub fn counters(&self) -> SyncCounters {
-        self.counters
+        self.instruments.snapshot()
+    }
+
+    /// The live registry-backed metric handles.
+    pub fn instruments(&self) -> &SyncInstruments {
+        &self.instruments
+    }
+
+    /// The observability registry this subscriber reports into (shared
+    /// if the builder was given one, private otherwise).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The active policy.
@@ -374,11 +515,13 @@ impl Subscriber {
     }
 
     /// Freshness at `now` (unix seconds), without counting a serve.
+    /// Refreshes the `staleness_age_secs` gauge as a side effect.
     pub fn staleness(&self, now: i64) -> Staleness {
         match self.last_synced_at {
             None => Staleness::NeverSynced,
             Some(at) => {
                 let age_secs = now.saturating_sub(at);
+                self.instruments.staleness_age_secs.set(age_secs);
                 if age_secs > self.policy.staleness_bound_secs {
                     Staleness::Exceeded {
                         age_secs,
@@ -399,7 +542,7 @@ impl Subscriber {
     pub fn serve(&mut self, now: i64) -> (&RootStore, Staleness) {
         let staleness = self.staleness(now);
         if staleness.is_exceeded() {
-            self.counters.stale_serves += 1;
+            self.instruments.stale_serves.inc();
         }
         (&self.store, staleness)
     }
@@ -440,13 +583,14 @@ impl Subscriber {
     /// Count a retry decision made by an outer transport loop (the
     /// socket transport keeps its retry loop outside the sans-IO core).
     pub(crate) fn note_retry(&mut self) {
-        self.counters.retries += 1;
+        self.instruments.retries.inc();
     }
 
     fn quarantine(&mut self, reason: &'static str) {
         if !matches!(self.state, SyncState::Quarantined { .. }) {
-            self.counters.quarantines += 1;
+            self.instruments.quarantines.inc();
             self.state = SyncState::Quarantined { reason };
+            self.instruments.state.set(self.state.gauge_value());
         }
     }
 
@@ -469,19 +613,19 @@ impl Subscriber {
             return Err(err);
         }
         if let Err(e) = message.verify(&self.trust) {
-            self.counters.messages_rejected += 1;
+            self.instruments.messages_rejected.inc();
             return Err(e);
         }
         if let Some((_, key)) = &self.pinned {
             if message.feed_key != *key {
-                self.counters.messages_rejected += 1;
+                self.instruments.messages_rejected.inc();
                 return Err(RsfError::BadSignature("feed key changed mid-stream"));
             }
         }
         let update = match FeedUpdate::decode(message) {
             Ok(u) => u,
             Err(e) => {
-                self.counters.messages_rejected += 1;
+                self.instruments.messages_rejected.inc();
                 return Err(e);
             }
         };
@@ -494,7 +638,7 @@ impl Subscriber {
         match update {
             FeedUpdate::Snapshot(snap) => {
                 if snap.sequence < self.sequence {
-                    self.counters.messages_rejected += 1;
+                    self.instruments.messages_rejected.inc();
                     return Err(RsfError::Sequence {
                         expected: self.sequence,
                         got: snap.sequence,
@@ -508,11 +652,11 @@ impl Subscriber {
                 // Catching up via a full snapshot after having state
                 // means the delta window was gone: a fallback.
                 if self.sequence > 0 {
-                    self.counters.snapshot_fallbacks += 1;
+                    self.instruments.snapshot_fallbacks.inc();
                 }
                 self.store = snap.materialize(&self.name)?;
                 self.sequence = snap.sequence;
-                self.counters.messages_ingested += 1;
+                self.instruments.messages_ingested.inc();
                 Ok(SyncEvent::SnapshotApplied {
                     sequence: self.sequence,
                 })
@@ -531,7 +675,7 @@ impl Subscriber {
                 }
                 delta.apply(&mut self.store)?;
                 self.sequence = delta.to_sequence;
-                self.counters.messages_ingested += 1;
+                self.instruments.messages_ingested.inc();
                 Ok(SyncEvent::DeltaApplied {
                     sequence: self.sequence,
                 })
@@ -555,7 +699,7 @@ impl Subscriber {
         proof: Option<ConsistencyProof>,
         now: i64,
     ) -> Result<SyncReport, RsfError> {
-        self.counters.attempts += 1;
+        self.instruments.attempts.inc();
         if let Some(err) = self.quarantined_err() {
             return Err(err);
         }
@@ -563,7 +707,7 @@ impl Subscriber {
         // signatures) before any state change.
         for message in &messages {
             if let Err(e) = message.verify(&self.trust) {
-                self.counters.messages_rejected += 1;
+                self.instruments.messages_rejected.inc();
                 return Err(e);
             }
         }
@@ -600,6 +744,8 @@ impl Subscriber {
         self.pinned = Some((checkpoint, feed_key));
         self.last_synced_at = Some(now);
         self.state = SyncState::Live;
+        self.instruments.state.set(self.state.gauge_value());
+        self.instruments.last_synced_timestamp_secs.set(now);
         Ok(report)
     }
 
@@ -694,7 +840,7 @@ impl Subscriber {
             for frame in injector.transmit(frames) {
                 match SignedMessage::decode(&frame) {
                     Ok(m) => messages.push(m),
-                    Err(_) => self.counters.messages_rejected += 1,
+                    Err(_) => self.instruments.messages_rejected.inc(),
                 }
             }
             // Clock-driven runs stamp each attempt at the (possibly
@@ -706,7 +852,7 @@ impl Subscriber {
             };
             let outcome = if messages.is_empty() && self.pinned.is_none() {
                 // Everything dropped before the first pin: retry.
-                self.counters.attempts += 1;
+                self.instruments.attempts.inc();
                 Err(RsfError::BadSignature("empty first sync"))
             } else {
                 self.poll(messages, checkpoint, proof, attempt_now)
@@ -733,7 +879,7 @@ impl Subscriber {
                 Err(e) => last_err = e,
             }
             if attempts < self.policy.max_attempts {
-                self.counters.retries += 1;
+                self.instruments.retries.inc();
                 let delay = self.backoff_ms(attempt);
                 backoff_ms_total += delay;
                 if sleep_on_clock {

@@ -252,3 +252,59 @@ fn backoff_and_staleness_run_on_virtual_time() {
     }
     assert_eq!(subscriber.state(), SyncState::Live);
 }
+
+#[test]
+fn staleness_verdict_flips_exactly_one_second_past_the_bound() {
+    // Regression: the bound is inclusive. A store whose age *equals*
+    // the staleness bound is still Fresh; one second later it is
+    // Exceeded. Driven entirely on virtual time so the boundary
+    // instants are exact, assertable numbers.
+    let key = FeedKey::new([0x76; 32], 8, &coordinator()).expect("feed key");
+    let mut truth = RootStore::new("primary");
+    truth
+        .add_trusted(simple_chain("boundary.example").root)
+        .unwrap();
+    let mut publisher = FeedPublisher::new("primary", key, &truth, 0).expect("publisher");
+    const BOUND: i64 = 3_600;
+    let sync_at = 10_000i64;
+    let clock = VirtualClock::shared(sync_at);
+    let mut subscriber = Subscriber::builder("derivative", trust())
+        .staleness_bound_secs(BOUND)
+        .clock(clock.clone())
+        .build();
+    subscriber.sync_now(&mut publisher).expect("clean sync");
+
+    // Exactly at the threshold instant (age == bound): still Fresh.
+    clock.set_millis((sync_at + BOUND) * 1_000);
+    assert_eq!(
+        subscriber.staleness_now(),
+        Staleness::Fresh { age_secs: BOUND },
+        "age == bound must still be Fresh"
+    );
+    let (_, verdict) = subscriber.serve_now();
+    assert_eq!(verdict, Staleness::Fresh { age_secs: BOUND });
+    assert_eq!(
+        subscriber.counters().stale_serves,
+        0,
+        "a serve exactly at the bound is not a stale serve"
+    );
+
+    // One second later: Exceeded, and the serve counts as stale.
+    clock.advance_secs(1);
+    assert_eq!(
+        subscriber.staleness_now(),
+        Staleness::Exceeded {
+            age_secs: BOUND + 1,
+            bound_secs: BOUND
+        }
+    );
+    let (_, verdict) = subscriber.serve_now();
+    assert_eq!(
+        verdict,
+        Staleness::Exceeded {
+            age_secs: BOUND + 1,
+            bound_secs: BOUND
+        }
+    );
+    assert_eq!(subscriber.counters().stale_serves, 1);
+}
