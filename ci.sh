@@ -26,6 +26,18 @@ echo "==> text-exposition smoke (registry render + daemon scrape)"
 # full-scale runs in EXPERIMENTS.md, not here).
 NRSLB_SCALE=30 cargo run --release -q -p nrslb-bench --bin e15_observability
 
+echo "==> verdict-cache equivalence + 16-thread stress tests"
+cargo test -p nrslb-core --test verdict_cache -q
+
+echo "==> daemon throughput smoke (release, bounded, asserted)"
+# Bounded e16 run: hard-asserts the sharded cache does not lose to the
+# single-lock ablation at 8 clients, the warm signature-memo path is
+# >= 2x cold, and batching is not slower than single requests. The
+# committed BENCH_e16.json records full-scale numbers; the smoke writes
+# its report to a scratch path so CI never clobbers them.
+NRSLB_E16_ASSERT=1 NRSLB_SCALE=12 NRSLB_JSON="$(mktemp)" \
+    cargo run --release -q -p nrslb-bench --bin e16_throughput
+
 echo "==> differential oracle smoke (fixed seed)"
 # Bounded run: >=1,000 cross-path (chain, GCC, usage) checks; exits
 # non-zero and prints the failing NRSLB_SIM_SEED on any disagreement.

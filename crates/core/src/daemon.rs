@@ -21,16 +21,24 @@
 //!
 //! ## Wire protocol
 //!
-//! Little-endian, length-prefixed:
+//! Little-endian, length-prefixed. Connections are **keep-alive**: a
+//! client sends any number of requests on one connection and the daemon
+//! answers each in order, so user-agents amortize socket setup across a
+//! page load ([`DaemonConnection`]). `OP_EVALUATE_BATCH` goes further
+//! and packs many chains into one round-trip with a single response
+//! frame:
 //!
 //! ```text
-//! request  := u8 opcode(1=evaluate) u8 usage(0=TLS,1=S/MIME)
-//!             u32 n_certs  (u32 len, bytes der)*
+//! evaluate := u8 usage(0=TLS,1=S/MIME) u32 n_certs (u32 len, bytes der)*
+//! request  := u8 opcode(1=evaluate)  evaluate
 //!           | u8 opcode(2=metrics)
+//!           | u8 opcode(3=evaluate-batch) u32 n_items  evaluate*
+//! verdicts := u32 n_verdicts (u8 accepted, u32 len, bytes name)*
 //! response := u8 status(0=ok,1=error)
-//!             ok(evaluate): u32 n_verdicts (u8 accepted, u32 len, bytes name)*
-//!             ok(metrics):  u32 len, bytes exposition-text
-//!             error:        u32 len, bytes message
+//!             ok(evaluate):       verdicts
+//!             ok(metrics):        u32 len, bytes exposition-text
+//!             ok(evaluate-batch): u32 n_items  verdicts*
+//!             error:              u32 len, bytes message
 //! ```
 //!
 //! ## Observability
@@ -59,11 +67,14 @@ use std::thread::JoinHandle;
 
 const OP_EVALUATE: u8 = 1;
 const OP_METRICS: u8 = 2;
+const OP_EVALUATE_BATCH: u8 = 3;
 const STATUS_OK: u8 = 0;
 const STATUS_ERR: u8 = 1;
 /// Upper bound on any length field, to bound allocations from hostile
 /// peers (a trust daemon is security-critical infrastructure).
 const MAX_LEN: u32 = 16 * 1024 * 1024;
+/// Upper bound on chains per `OP_EVALUATE_BATCH` request.
+const MAX_BATCH: u32 = 256;
 
 fn write_u32(w: &mut impl Write, v: u32) -> std::io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -126,6 +137,8 @@ struct DaemonInstruments {
     request_errors: Counter,
     /// Per-request service time in microseconds.
     latency_us: Histogram,
+    /// Chains per `OP_EVALUATE_BATCH` request.
+    batch_size: Histogram,
 }
 
 impl DaemonInstruments {
@@ -144,12 +157,73 @@ impl DaemonInstruments {
                 "nrslb_daemon_request_latency_us",
                 "per-request service time in microseconds",
             ),
+            batch_size: registry.histogram(
+                "nrslb_daemon_batch_size",
+                "chains per evaluate-batch request",
+            ),
             registry,
         }
     }
 
     fn span(&self) -> Span {
         Span::enter(self.latency_us.clone(), Arc::clone(self.registry.clock()))
+    }
+}
+
+/// An accepted connection waiting in the worker queue, keeping the
+/// queue-depth gauge honest by construction: the increment happens when
+/// the guard is created in the accept loop and the matching decrement
+/// in `Drop` — so the gauge comes back down whether a worker picks the
+/// connection up, the channel send fails, the queue is dropped with
+/// connections still queued at shutdown, or a worker panics before
+/// serving. (The pre-guard code decremented on the happy path only and
+/// leaked an increment on every other exit.)
+struct QueuedConn {
+    stream: Option<UnixStream>,
+    depth: Gauge,
+}
+
+impl QueuedConn {
+    fn new(stream: UnixStream, depth: Gauge) -> QueuedConn {
+        depth.add(1);
+        QueuedConn {
+            stream: Some(stream),
+            depth,
+        }
+    }
+
+    /// Dequeue the connection; the guard drops here, so queue time ends
+    /// when a worker takes the stream, not when serving finishes.
+    fn take(mut self) -> UnixStream {
+        self.stream.take().expect("stream taken once")
+    }
+}
+
+impl Drop for QueuedConn {
+    fn drop(&mut self) {
+        self.depth.sub(1);
+    }
+}
+
+/// Configuration for spawning a [`TrustDaemon`].
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonConfig {
+    /// Worker threads serving connections (at least 1).
+    pub workers: usize,
+    /// Capacity of the verdict cache shared by all workers.
+    pub cache_capacity: usize,
+    /// Shard count of the verdict cache; `1` reproduces the old
+    /// single-lock cache (the throughput benchmark's ablation arm).
+    pub cache_shards: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            workers: DEFAULT_WORKERS,
+            cache_capacity: crate::cache::DEFAULT_VERDICT_CACHE_CAPACITY,
+            cache_shards: crate::cache::DEFAULT_CACHE_SHARDS,
+        }
     }
 }
 
@@ -195,29 +269,56 @@ impl TrustDaemon {
         workers: usize,
         registry: Arc<Registry>,
     ) -> std::io::Result<TrustDaemon> {
-        let workers = workers.max(1);
+        TrustDaemon::spawn_configured(
+            store,
+            socket_path,
+            DaemonConfig {
+                workers,
+                ..DaemonConfig::default()
+            },
+            registry,
+        )
+    }
+
+    /// Bind `socket_path` and serve with full control over worker count
+    /// and verdict-cache geometry, reporting into a caller-provided
+    /// registry. The throughput benchmark uses this to run the
+    /// single-lock (`cache_shards = 1`) ablation against the sharded
+    /// default.
+    pub fn spawn_configured(
+        store: RootStore,
+        socket_path: impl AsRef<Path>,
+        config: DaemonConfig,
+        registry: Arc<Registry>,
+    ) -> std::io::Result<TrustDaemon> {
+        let workers = config.workers.max(1);
         let path = socket_path.as_ref().to_path_buf();
         // Remove a stale socket from a previous run.
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let oracle = Arc::new(InProcessOracle::with_registry(store, &registry));
+        let oracle = Arc::new(InProcessOracle::configured(
+            store,
+            config.cache_capacity,
+            config.cache_shards,
+            Some(&registry),
+        ));
         let instruments = DaemonInstruments::new(registry);
         // Bounded: with all workers busy, at most 2x`workers` accepted
         // connections queue before the accept loop itself blocks (and
         // the kernel listen backlog takes over).
-        let (conn_tx, conn_rx) = crossbeam::channel::bounded::<UnixStream>(workers * 2);
+        let (conn_tx, conn_rx) = crossbeam::channel::bounded::<QueuedConn>(workers * 2);
         let worker_handles = (0..workers)
             .map(|_| {
                 let conn_rx = conn_rx.clone();
                 let oracle = Arc::clone(&oracle);
                 let instruments = instruments.clone();
+                let stop = Arc::clone(&stop);
                 std::thread::spawn(move || {
                     // recv fails once the accept thread (the only
                     // sender) is gone and the queue has drained.
-                    while let Ok(stream) = conn_rx.recv() {
-                        instruments.queue_depth.sub(1);
-                        let _ = serve_connection(stream, &*oracle, &instruments);
+                    while let Ok(queued) = conn_rx.recv() {
+                        let _ = serve_connection(queued.take(), &*oracle, &instruments, &stop);
                     }
                 })
             })
@@ -231,8 +332,8 @@ impl TrustDaemon {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                accept_instruments.queue_depth.add(1);
-                if conn_tx.send(stream).is_err() {
+                let queued = QueuedConn::new(stream, accept_instruments.queue_depth.clone());
+                if conn_tx.send(queued).is_err() {
                     break;
                 }
             }
@@ -292,9 +393,15 @@ impl TrustDaemon {
             .map(|f| f.lock().expect("feed mutex").staleness(now))
     }
 
-    /// Create a client for this daemon.
+    /// Create a connect-per-request client for this daemon.
     pub fn client(&self) -> DaemonClient {
         DaemonClient::new(&self.path)
+    }
+
+    /// Create a keep-alive client for this daemon (one connection,
+    /// many requests, batch support).
+    pub fn connection(&self) -> DaemonConnection {
+        DaemonConnection::new(&self.path)
     }
 }
 
@@ -313,24 +420,59 @@ impl Drop for TrustDaemon {
     }
 }
 
-/// What a successful request answers with (the two opcodes have
-/// different ok-payload shapes).
+/// What a successful request answers with (the opcodes have different
+/// ok-payload shapes).
 enum Reply {
     Verdicts(Vec<GccVerdict>),
+    Batch(Vec<Vec<GccVerdict>>),
     Text(String),
 }
+
+fn write_verdict_list(stream: &mut UnixStream, verdicts: &[GccVerdict]) -> std::io::Result<()> {
+    write_u32(stream, verdicts.len() as u32)?;
+    for v in verdicts {
+        stream.write_all(&[u8::from(v.accepted)])?;
+        write_u32(stream, v.gcc_name.len() as u32)?;
+        stream.write_all(v.gcc_name.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// How often an idle worker wakes to re-check the shutdown flag while
+/// waiting for the next request on a keep-alive connection.
+const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(25);
 
 fn serve_connection(
     mut stream: UnixStream,
     oracle: &dyn GccOracle,
     instruments: &DaemonInstruments,
+    stop: &AtomicBool,
 ) -> std::io::Result<()> {
     // Serve requests until the peer closes the connection.
     loop {
-        let opcode = match read_u8(&mut stream) {
-            Ok(op) => op,
-            Err(_) => return Ok(()), // peer hung up
+        // Keep-alive clients may hold the connection open indefinitely
+        // between requests, so the idle opcode wait polls with a short
+        // read timeout and re-checks the shutdown flag between polls —
+        // a quiet connection must never block daemon shutdown.
+        stream.set_read_timeout(Some(IDLE_POLL))?;
+        let opcode = loop {
+            match read_u8(&mut stream) {
+                Ok(op) => break op,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                }
+                Err(_) => return Ok(()), // peer hung up
+            }
         };
+        // A frame is in flight: mid-request reads block normally.
+        stream.set_read_timeout(None)?;
         // The span covers decode + evaluation + response write; it
         // records on drop, so error paths are timed too.
         let span = instruments.span();
@@ -339,11 +481,13 @@ fn serve_connection(
         match reply {
             Ok(Reply::Verdicts(verdicts)) => {
                 stream.write_all(&[STATUS_OK])?;
-                write_u32(&mut stream, verdicts.len() as u32)?;
-                for v in verdicts {
-                    stream.write_all(&[u8::from(v.accepted)])?;
-                    write_u32(&mut stream, v.gcc_name.len() as u32)?;
-                    stream.write_all(v.gcc_name.as_bytes())?;
+                write_verdict_list(&mut stream, &verdicts)?;
+            }
+            Ok(Reply::Batch(batches)) => {
+                stream.write_all(&[STATUS_OK])?;
+                write_u32(&mut stream, batches.len() as u32)?;
+                for verdicts in &batches {
+                    write_verdict_list(&mut stream, verdicts)?;
                 }
             }
             Ok(Reply::Text(text)) => {
@@ -363,18 +507,8 @@ fn serve_connection(
     }
 }
 
-fn handle_request(
-    opcode: u8,
-    stream: &mut UnixStream,
-    oracle: &dyn GccOracle,
-    instruments: &DaemonInstruments,
-) -> Result<Reply, String> {
-    if opcode == OP_METRICS {
-        return Ok(Reply::Text(instruments.registry.render_text()));
-    }
-    if opcode != OP_EVALUATE {
-        return Err(format!("unknown opcode {opcode}"));
-    }
+/// Read one `evaluate` body (usage byte + chain) off the wire.
+fn read_evaluate_body(stream: &mut UnixStream) -> Result<(Usage, Vec<Certificate>), String> {
     let usage = read_u8(stream)
         .ok()
         .and_then(usage_from_byte)
@@ -389,10 +523,45 @@ fn handle_request(
         let cert = Certificate::from_der(&der).map_err(|e| e.to_string())?;
         chain.push(cert);
     }
-    oracle
-        .evaluate(&chain, usage)
-        .map(Reply::Verdicts)
-        .map_err(|e| e.to_string())
+    Ok((usage, chain))
+}
+
+fn handle_request(
+    opcode: u8,
+    stream: &mut UnixStream,
+    oracle: &dyn GccOracle,
+    instruments: &DaemonInstruments,
+) -> Result<Reply, String> {
+    match opcode {
+        OP_METRICS => Ok(Reply::Text(instruments.registry.render_text())),
+        OP_EVALUATE => {
+            let (usage, chain) = read_evaluate_body(stream)?;
+            oracle
+                .evaluate(&chain, usage)
+                .map(Reply::Verdicts)
+                .map_err(|e| e.to_string())
+        }
+        OP_EVALUATE_BATCH => {
+            let n = read_u32(stream).map_err(|e| e.to_string())?;
+            if n > MAX_BATCH {
+                return Err("batch too large".to_string());
+            }
+            // Drain the whole batch off the wire before evaluating, so
+            // the client can write its request in one shot and block on
+            // the single response frame.
+            let mut items = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                items.push(read_evaluate_body(stream)?);
+            }
+            instruments.batch_size.observe(items.len() as u64);
+            let mut batches = Vec::with_capacity(items.len());
+            for (usage, chain) in &items {
+                batches.push(oracle.evaluate(chain, *usage).map_err(|e| e.to_string())?);
+            }
+            Ok(Reply::Batch(batches))
+        }
+        other => Err(format!("unknown opcode {other}")),
+    }
 }
 
 /// Client side of the trust-daemon protocol. Implements [`GccOracle`],
@@ -435,48 +604,210 @@ impl DaemonClient {
     }
 }
 
+/// Append one `evaluate` body (usage byte, cert count, DER blocks) to a
+/// request buffer. Shared by the single-shot and batch encoders.
+fn encode_evaluate_body(req: &mut Vec<u8>, chain: &[Certificate], usage: Usage) {
+    req.push(usage_to_byte(usage));
+    req.extend_from_slice(&(chain.len() as u32).to_le_bytes());
+    for cert in chain {
+        let der = cert.to_der();
+        req.extend_from_slice(&(der.len() as u32).to_le_bytes());
+        req.extend_from_slice(der);
+    }
+}
+
+/// Read one verdict list off the wire.
+///
+/// The outer `io::Result` is a *transport* failure (short read, broken
+/// pipe) — the connection state is unknown and a keep-alive client must
+/// drop the stream. The inner `Result` is a *protocol* failure (the
+/// daemon reported an error, or sent malformed-but-framed data); the
+/// response frame was fully consumed, so the connection stays usable.
+fn read_verdict_list(
+    stream: &mut UnixStream,
+) -> std::io::Result<Result<Vec<GccVerdict>, CoreError>> {
+    let n = read_u32(stream)?;
+    if n > 1024 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "verdict count exceeds limit",
+        ));
+    }
+    let mut verdicts = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let accepted = read_u8(stream)? != 0;
+        let name = read_block(stream)?;
+        let gcc_name = match String::from_utf8(name) {
+            Ok(name) => name,
+            Err(_) => return Ok(Err(CoreError::Daemon("non-utf8 GCC name".into()))),
+        };
+        verdicts.push(GccVerdict { gcc_name, accepted });
+    }
+    Ok(Ok(verdicts))
+}
+
+/// Read a `STATUS_ERR` payload (the frame is fully drained, so a
+/// keep-alive connection remains usable afterwards).
+fn read_error_reply(stream: &mut UnixStream) -> std::io::Result<CoreError> {
+    let msg = read_block(stream)?;
+    Ok(CoreError::Daemon(
+        String::from_utf8_lossy(&msg).into_owned(),
+    ))
+}
+
 impl GccOracle for DaemonClient {
     fn evaluate(&self, chain: &[Certificate], usage: Usage) -> Result<Vec<GccVerdict>, CoreError> {
         let io_err = |e: std::io::Error| CoreError::Daemon(e.to_string());
         let mut stream = UnixStream::connect(&self.path).map_err(io_err)?;
         // Request.
-        let mut req = Vec::new();
-        req.push(OP_EVALUATE);
-        req.push(usage_to_byte(usage));
-        req.extend_from_slice(&(chain.len() as u32).to_le_bytes());
-        for cert in chain {
-            let der = cert.to_der();
-            req.extend_from_slice(&(der.len() as u32).to_le_bytes());
-            req.extend_from_slice(der);
-        }
+        let mut req = vec![OP_EVALUATE];
+        encode_evaluate_body(&mut req, chain, usage);
         stream.write_all(&req).map_err(io_err)?;
         stream.flush().map_err(io_err)?;
         // Response.
         let status = read_u8(&mut stream).map_err(io_err)?;
         match status {
-            STATUS_OK => {
-                let n = read_u32(&mut stream).map_err(io_err)?;
-                if n > 1024 {
-                    return Err(CoreError::Daemon("verdict count exceeds limit".into()));
-                }
-                let mut verdicts = Vec::with_capacity(n as usize);
-                for _ in 0..n {
-                    let accepted = read_u8(&mut stream).map_err(io_err)? != 0;
-                    let name = read_block(&mut stream).map_err(io_err)?;
-                    let gcc_name = String::from_utf8(name)
-                        .map_err(|_| CoreError::Daemon("non-utf8 GCC name".into()))?;
-                    verdicts.push(GccVerdict { gcc_name, accepted });
-                }
-                Ok(verdicts)
-            }
-            STATUS_ERR => {
-                let msg = read_block(&mut stream).map_err(io_err)?;
-                Err(CoreError::Daemon(
-                    String::from_utf8_lossy(&msg).into_owned(),
-                ))
-            }
+            STATUS_OK => read_verdict_list(&mut stream).map_err(io_err)?,
+            STATUS_ERR => Err(read_error_reply(&mut stream).map_err(io_err)?),
             other => Err(CoreError::Daemon(format!("bad status byte {other}"))),
         }
+    }
+}
+
+/// Keep-alive client: one Unix socket reused across requests, with
+/// batch submission. This is the throughput-oriented counterpart of
+/// [`DaemonClient`] — it avoids the per-request `connect(2)` +
+/// worker-dispatch round trip, which dominates daemon latency for warm
+/// cache hits.
+///
+/// Transport errors (broken pipe after a daemon restart, short reads)
+/// drop the cached stream and retry once on a fresh connection;
+/// evaluation requests are idempotent, so the retry is safe. Protocol
+/// errors (the daemon answered `STATUS_ERR`) are final and keep the
+/// connection open, since the response frame was fully consumed.
+#[derive(Debug)]
+pub struct DaemonConnection {
+    path: PathBuf,
+    stream: Mutex<Option<UnixStream>>,
+}
+
+impl DaemonConnection {
+    /// Keep-alive client for the daemon at `socket_path`. No connection
+    /// is opened until the first request.
+    pub fn new(socket_path: impl AsRef<Path>) -> DaemonConnection {
+        DaemonConnection {
+            path: socket_path.as_ref().to_path_buf(),
+            stream: Mutex::new(None),
+        }
+    }
+
+    /// Run one request/response exchange on the cached stream,
+    /// reconnecting once if the transport fails (stale connection from a
+    /// daemon restart). `parse` layers transport errors (outer, retry)
+    /// over protocol errors (inner, final).
+    fn exchange<T>(
+        &self,
+        request: &[u8],
+        parse: impl Fn(&mut UnixStream) -> std::io::Result<Result<T, CoreError>>,
+    ) -> Result<T, CoreError> {
+        let io_err = |e: std::io::Error| CoreError::Daemon(e.to_string());
+        let mut guard = self.stream.lock().expect("daemon connection poisoned");
+        let mut reconnected = guard.is_none();
+        loop {
+            if guard.is_none() {
+                *guard = Some(UnixStream::connect(&self.path).map_err(io_err)?);
+            }
+            let stream = guard.as_mut().expect("stream just ensured");
+            let attempt = (|| {
+                stream.write_all(request)?;
+                stream.flush()?;
+                parse(stream)
+            })();
+            match attempt {
+                Ok(result) => return result,
+                Err(e) => {
+                    // Transport failure: the stream is in an unknown
+                    // state. Drop it; retry once on a fresh connection.
+                    *guard = None;
+                    if reconnected {
+                        return Err(io_err(e));
+                    }
+                    reconnected = true;
+                }
+            }
+        }
+    }
+
+    /// Evaluate one chain (same semantics as [`DaemonClient::evaluate`],
+    /// over the persistent connection).
+    pub fn evaluate(
+        &self,
+        chain: &[Certificate],
+        usage: Usage,
+    ) -> Result<Vec<GccVerdict>, CoreError> {
+        let mut req = vec![OP_EVALUATE];
+        encode_evaluate_body(&mut req, chain, usage);
+        self.exchange(&req, |stream| match read_u8(stream)? {
+            STATUS_OK => read_verdict_list(stream),
+            STATUS_ERR => Ok(Err(read_error_reply(stream)?)),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status byte {other}"),
+            )),
+        })
+    }
+
+    /// Evaluate many chains in one request frame (`OP_EVALUATE_BATCH`):
+    /// a single write, a single response read, one round trip. Verdict
+    /// lists come back in submission order. The whole batch shares one
+    /// daemon worker, so failures are all-or-nothing: any chain that
+    /// fails to evaluate fails the batch.
+    pub fn evaluate_batch(
+        &self,
+        items: &[(&[Certificate], Usage)],
+    ) -> Result<Vec<Vec<GccVerdict>>, CoreError> {
+        if items.len() as u32 > MAX_BATCH {
+            return Err(CoreError::Daemon(format!(
+                "batch of {} exceeds limit {MAX_BATCH}",
+                items.len()
+            )));
+        }
+        let mut req = vec![OP_EVALUATE_BATCH];
+        req.extend_from_slice(&(items.len() as u32).to_le_bytes());
+        for (chain, usage) in items {
+            encode_evaluate_body(&mut req, chain, *usage);
+        }
+        let expected = items.len();
+        self.exchange(&req, move |stream| match read_u8(stream)? {
+            STATUS_OK => {
+                let n = read_u32(stream)? as usize;
+                if n != expected {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("batch answered {n} items, expected {expected}"),
+                    ));
+                }
+                let mut batches = Vec::with_capacity(n);
+                for _ in 0..n {
+                    match read_verdict_list(stream)? {
+                        Ok(verdicts) => batches.push(verdicts),
+                        Err(e) => return Ok(Err(e)),
+                    }
+                }
+                Ok(Ok(batches))
+            }
+            STATUS_ERR => Ok(Err(read_error_reply(stream)?)),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status byte {other}"),
+            )),
+        })
+    }
+}
+
+impl GccOracle for DaemonConnection {
+    fn evaluate(&self, chain: &[Certificate], usage: Usage) -> Result<Vec<GccVerdict>, CoreError> {
+        DaemonConnection::evaluate(self, chain, usage)
     }
 }
 
@@ -794,5 +1125,139 @@ mod tests {
             assert!(path.exists());
         }
         assert!(!path.exists(), "socket removed on drop");
+    }
+
+    /// Store fixture with one TLS-gated GCC attached to the chain root.
+    fn tls_gated_store(pki: &nrslb_x509::testutil::SimplePki) -> RootStore {
+        let mut store = RootStore::new("platform");
+        store.add_trusted(pki.root.clone()).unwrap();
+        let gcc = Gcc::parse(
+            "tls-only",
+            pki.root.fingerprint(),
+            r#"valid(Chain, "TLS") :- leaf(Chain, _)."#,
+            GccMetadata::default(),
+        )
+        .unwrap();
+        store.attach_gcc(gcc).unwrap();
+        store
+    }
+
+    #[test]
+    fn batch_evaluates_many_chains_in_one_round_trip() {
+        let pki = simple_chain("batch.example");
+        let store = tls_gated_store(&pki);
+        let registry = Arc::new(Registry::new());
+        let daemon = TrustDaemon::spawn_observed(
+            store,
+            ephemeral_socket_path("batch"),
+            2,
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let chain = vec![pki.leaf, pki.intermediate, pki.root];
+        let conn = daemon.connection();
+
+        // Mixed usages in one frame; verdicts must come back in
+        // submission order with per-item correctness.
+        let items: Vec<(&[Certificate], Usage)> = vec![
+            (&chain, Usage::Tls),
+            (&chain, Usage::SMime),
+            (&chain, Usage::Tls),
+        ];
+        let batches = conn.evaluate_batch(&items).unwrap();
+        assert_eq!(batches.len(), 3);
+        for (i, (_, usage)) in items.iter().enumerate() {
+            assert_eq!(batches[i].len(), 1, "item {i}");
+            assert_eq!(batches[i][0].gcc_name, "tls-only");
+            assert_eq!(batches[i][0].accepted, *usage == Usage::Tls, "item {i}");
+        }
+
+        // An empty batch is a valid (if pointless) request.
+        assert!(conn.evaluate_batch(&[]).unwrap().is_empty());
+
+        // The client rejects oversized batches before touching the wire.
+        let oversized: Vec<(&[Certificate], Usage)> = (0..=MAX_BATCH as usize)
+            .map(|_| (&chain[..], Usage::Tls))
+            .collect();
+        assert!(matches!(
+            conn.evaluate_batch(&oversized),
+            Err(CoreError::Daemon(_))
+        ));
+
+        // Batch sizes were observed: two batch requests (3 chains, 0).
+        let text = daemon.render_metrics();
+        assert!(text.contains("nrslb_daemon_batch_size_count 2"), "{text}");
+    }
+
+    #[test]
+    fn keep_alive_connection_reuses_socket_and_reconnects_after_restart() {
+        let pki = simple_chain("keepalive.example");
+        let store = tls_gated_store(&pki);
+        let path = ephemeral_socket_path("keepalive");
+        let chain = vec![pki.leaf, pki.intermediate, pki.root];
+
+        let daemon = TrustDaemon::spawn(store.clone(), &path).unwrap();
+        let conn = daemon.connection();
+        // Two sequential evaluations ride the same connection: the
+        // daemon's request counter advances but only one connection was
+        // ever queued (queue depth gauge saw a single accept).
+        for _ in 0..2 {
+            let verdicts = conn.evaluate(&chain, Usage::Tls).unwrap();
+            assert!(verdicts[0].accepted);
+        }
+        assert!(daemon
+            .render_metrics()
+            .contains("nrslb_daemon_requests_total 2"));
+
+        // Restart the daemon at the same path: the cached stream is now
+        // stale, and the next request must transparently reconnect.
+        drop(daemon);
+        let daemon = TrustDaemon::spawn(store, &path).unwrap();
+        let verdicts = conn.evaluate(&chain, Usage::SMime).unwrap();
+        assert!(!verdicts[0].accepted);
+        drop(daemon);
+
+        // With no daemon at all, the reconnect attempt surfaces a final
+        // error rather than hanging.
+        assert!(matches!(
+            conn.evaluate(&chain, Usage::Tls),
+            Err(CoreError::Daemon(_))
+        ));
+    }
+
+    #[test]
+    fn queue_depth_returns_to_zero_after_connections_close() {
+        let pki = simple_chain("queuedepth.example");
+        let store = tls_gated_store(&pki);
+        let registry = Arc::new(Registry::new());
+        let daemon = TrustDaemon::spawn_observed(
+            store,
+            ephemeral_socket_path("queuedepth"),
+            2,
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let chain = vec![pki.leaf, pki.intermediate, pki.root];
+
+        // Hammer the daemon from several short-lived clients so the
+        // bounded queue actually fills and drains.
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                let client = daemon.client();
+                let chain = &chain;
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        client.evaluate(chain, Usage::Tls).unwrap();
+                    }
+                });
+            }
+        });
+
+        // Every QueuedConn was dropped (worker finished or queue torn
+        // down), so the gauge must read exactly zero — the RAII guard
+        // decrements on every exit path.
+        let text = daemon.render_metrics();
+        assert!(text.contains("nrslb_daemon_queue_depth 0"), "{text}");
+        assert!(text.contains("nrslb_daemon_requests_total 30"), "{text}");
     }
 }

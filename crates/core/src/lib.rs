@@ -23,9 +23,13 @@
 //!   every GCC (and usage) shares one fact base, and [`VerdictCache`]
 //!   memoizes `(chain, GCC, usage)` verdicts in a bounded LRU shared by
 //!   the validator and the trust daemon's workers.
+//! * [`cache`] — the contention-free hot-path caches: the N-way sharded
+//!   [`VerdictCache`] and the [`SigMemo`] that memoizes hash-based
+//!   signature verifications per `(cert, issuer)` edge.
 //! * [`daemon`] — the *platform execution* deployment mode (§3.1): a
 //!   Unix-domain-socket trust daemon evaluating GCCs out of process, with
-//!   a length-prefixed binary protocol.
+//!   a length-prefixed binary protocol, batch evaluation
+//!   (`OP_EVALUATE_BATCH`) and keep-alive client connections.
 //! * [`hammurabi`] — the *complete validation redesign* mode (§3.1): the
 //!   entire chain-validation policy expressed as one Datalog program, in
 //!   the style of Hammurabi (CCS '22); GCCs are folded into the same
@@ -37,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod chain;
 pub mod daemon;
 pub mod facts;
@@ -46,6 +51,7 @@ pub mod metrics;
 pub mod session;
 pub mod validate;
 
+pub use cache::{ShardedLru, SigMemo, SigMemoKey, DEFAULT_CACHE_SHARDS, DEFAULT_SIG_MEMO_CAPACITY};
 pub use chain::{ChainBuilder, ChainError};
 pub use facts::{cert_id, chain_facts, chain_facts_unoptimized, chain_id};
 pub use gcc_eval::{evaluate_gcc, evaluate_gccs, GccVerdict};

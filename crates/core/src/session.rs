@@ -8,13 +8,16 @@
 //! [`nrslb_datalog::LayeredDatabase`], so the per-GCC cost is one small
 //! overlay of derived tuples instead of a full clone of the fact base.
 //!
-//! On top of that sits the [`VerdictCache`], a bounded LRU keyed by
-//! `(chain, GCC source hash, usage)`. Because GCCs are pure logic
-//! programs over the chain's facts, a verdict is fully determined by
-//! that triple; the trust daemon shares one cache across all client
-//! connections, so repeated validations of the same chain (common when
-//! many processes talk to one platform daemon) skip evaluation
-//! entirely.
+//! On top of that sits the [`VerdictCache`] (see [`crate::cache`]), a
+//! bounded sharded LRU keyed by `(chain, GCC source hash, usage)`.
+//! Because GCCs are pure logic programs over the chain's facts, a
+//! verdict is fully determined by that triple; the trust daemon shares
+//! one cache across all client connections, so repeated validations of
+//! the same chain (common when many processes talk to one platform
+//! daemon) skip evaluation entirely. [`evaluate_gccs_lazy`] goes one
+//! step further: it computes only the chain's content key up front and
+//! defers fact conversion until the first cache miss, so a fully warm
+//! chain costs a few hashes and cache probes — no Datalog at all.
 
 use crate::facts::{chain_facts, chain_id};
 use crate::gcc_eval::GccVerdict;
@@ -23,10 +26,22 @@ use nrslb_crypto::sha256::{sha256, Digest};
 use nrslb_datalog::{Database, Engine, EvalMode, Val};
 use nrslb_rootstore::{Gcc, Usage};
 use nrslb_x509::Certificate;
-use parking_lot::RwLock;
-use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+pub use crate::cache::{VerdictCache, VerdictKey, DEFAULT_VERDICT_CACHE_CAPACITY};
+
+/// Content identity of a chain: SHA-256 over the certificate
+/// fingerprints in order. This is the verdict-cache key component —
+/// unlike [`chain_id`], which is only unique *within* one validation,
+/// it distinguishes chains sharing a leaf. Computable without building
+/// any facts, which is what makes the lazy fast path possible.
+pub fn chain_content_key(chain: &[Certificate]) -> Digest {
+    let mut fingerprints = Vec::with_capacity(chain.len() * 32);
+    for cert in chain {
+        fingerprints.extend_from_slice(&cert.fingerprint().0);
+    }
+    sha256(&fingerprints)
+}
 
 /// A candidate chain converted to facts once, shared by every GCC (and
 /// usage) evaluated against it.
@@ -40,14 +55,10 @@ pub struct ValidationSession {
 impl ValidationSession {
     /// Convert `chain` (leaf first) into a frozen, shareable fact base.
     pub fn new(chain: &[Certificate]) -> ValidationSession {
-        let mut fingerprints = Vec::with_capacity(chain.len() * 32);
-        for cert in chain {
-            fingerprints.extend_from_slice(&cert.fingerprint().0);
-        }
         ValidationSession {
             facts: Arc::new(chain_facts(chain)),
             handle: chain_id(chain),
-            chain_key: sha256(&fingerprints),
+            chain_key: chain_content_key(chain),
         }
     }
 
@@ -61,10 +72,7 @@ impl ValidationSession {
         &self.handle
     }
 
-    /// Content identity of the chain: SHA-256 over the certificate
-    /// fingerprints in order. This is the cache key component — unlike
-    /// [`chain_id`], which is only unique *within* one validation, it
-    /// distinguishes chains sharing a leaf.
+    /// The chain's content identity ([`chain_content_key`]).
     pub fn chain_key(&self) -> Digest {
         self.chain_key
     }
@@ -173,204 +181,50 @@ impl ValidationSession {
     }
 }
 
-/// What determines a GCC verdict: the chain's content identity, the
-/// GCC's content identity, and the requested usage. GCCs are pure
-/// functions of these three.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct VerdictKey {
-    /// [`ValidationSession::chain_key`] of the chain.
-    pub chain: Digest,
-    /// [`Gcc::source_hash`] of the constraint.
-    pub gcc: Digest,
-    /// The requested usage.
-    pub usage: Usage,
-}
-
-/// Default capacity of the trust daemon's verdict cache.
-pub const DEFAULT_VERDICT_CACHE_CAPACITY: usize = 4096;
-
-struct CacheInner {
-    map: HashMap<VerdictKey, (bool, u64)>,
-    /// Recency order: stamp -> key, oldest first.
-    order: BTreeMap<u64, VerdictKey>,
-    clock: u64,
-}
-
-/// A bounded, thread-safe LRU cache of GCC verdicts.
+/// Evaluate every GCC against `chain`, building the
+/// [`ValidationSession`] (the Datalog fact conversion) only if some
+/// verdict actually misses the cache.
 ///
-/// Shared (via `Arc`) between the validator, the in-process oracle and
-/// every trust-daemon worker; reads and writes take a short
-/// `parking_lot::RwLock` critical section, never blocking across an
-/// evaluation.
-pub struct VerdictCache {
-    inner: RwLock<CacheInner>,
-    capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    instruments: Option<CacheInstruments>,
-}
-
-/// Registry handles mirroring the cache's statistics, present when the
-/// cache was built via [`VerdictCache::with_registry`].
-#[derive(Clone, Debug)]
-struct CacheInstruments {
-    hits: nrslb_obs::Counter,
-    misses: nrslb_obs::Counter,
-    evictions: nrslb_obs::Counter,
-    entries: nrslb_obs::Gauge,
-}
-
-impl std::fmt::Debug for VerdictCache {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "VerdictCache({}/{} entries, {} hits, {} misses)",
-            self.len(),
-            self.capacity,
-            self.hits(),
-            self.misses()
-        )
-    }
-}
-
-impl VerdictCache {
-    /// A cache evicting the least-recently-used verdict beyond
-    /// `capacity` entries (at least 1).
-    pub fn new(capacity: usize) -> VerdictCache {
-        VerdictCache {
-            inner: RwLock::new(CacheInner {
-                map: HashMap::new(),
-                order: BTreeMap::new(),
-                clock: 0,
-            }),
-            capacity: capacity.max(1),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            instruments: None,
-        }
-    }
-
-    /// A cache that also mirrors its statistics into `registry` as
-    /// `nrslb_verdict_cache_{hits,misses,evictions}_total` counters and
-    /// an `nrslb_verdict_cache_entries` gauge.
-    pub fn with_registry(capacity: usize, registry: &nrslb_obs::Registry) -> VerdictCache {
-        let mut cache = VerdictCache::new(capacity);
-        cache.instruments = Some(CacheInstruments {
-            hits: registry.counter(
-                "nrslb_verdict_cache_hits_total",
-                "verdict-cache lookups answered from the cache",
-            ),
-            misses: registry.counter(
-                "nrslb_verdict_cache_misses_total",
-                "verdict-cache lookups that missed",
-            ),
-            evictions: registry.counter(
-                "nrslb_verdict_cache_evictions_total",
-                "verdicts evicted by the LRU policy",
-            ),
-            entries: registry.gauge("nrslb_verdict_cache_entries", "verdicts currently cached"),
-        });
-        cache
-    }
-
-    /// Look up a verdict, marking the entry most-recently-used.
-    pub fn get(&self, key: &VerdictKey) -> Option<bool> {
-        let mut inner = self.inner.write();
-        inner.clock += 1;
-        let clock = inner.clock;
-        let CacheInner { map, order, .. } = &mut *inner;
-        match map.get_mut(key) {
-            Some((value, stamp)) => {
-                order.remove(stamp);
-                *stamp = clock;
-                order.insert(clock, *key);
-                let value = *value;
-                drop(inner);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                if let Some(i) = &self.instruments {
-                    i.hits.inc();
-                }
-                Some(value)
-            }
+/// This is the serving fast path: for a fully warm chain the cost is
+/// one [`chain_content_key`] (a few SHA-256 blocks over already-cached
+/// fingerprints) plus one sharded cache probe per GCC. Verdicts and
+/// hit/miss accounting are identical to building a session eagerly and
+/// calling [`ValidationSession::evaluate_gccs_observed`] — each key is
+/// probed exactly once either way.
+pub fn evaluate_gccs_lazy(
+    chain: &[Certificate],
+    gccs: &[Gcc],
+    usage: Usage,
+    cache: &VerdictCache,
+    metrics: Option<&nrslb_datalog::EvalMetrics>,
+) -> Result<Vec<GccVerdict>, CoreError> {
+    let chain_key = chain_content_key(chain);
+    let mut session: Option<ValidationSession> = None;
+    let mut verdicts = Vec::with_capacity(gccs.len());
+    for gcc in gccs {
+        let key = VerdictKey {
+            chain: chain_key,
+            gcc: gcc.source_hash(),
+            usage,
+        };
+        let accepted = match cache.get(&key) {
+            Some(cached) => cached,
             None => {
-                drop(inner);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                if let Some(i) = &self.instruments {
-                    i.misses.inc();
-                }
-                None
+                let session = session.get_or_insert_with(|| ValidationSession::new(chain));
+                let computed = match metrics {
+                    Some(m) => session.evaluate_gcc_metered(gcc, usage, m)?,
+                    None => session.evaluate_gcc(gcc, usage)?,
+                };
+                cache.insert(key, computed);
+                computed
             }
-        }
+        };
+        verdicts.push(GccVerdict {
+            gcc_name: gcc.name().to_string(),
+            accepted,
+        });
     }
-
-    /// Insert (or refresh) a verdict, evicting the least-recently-used
-    /// entry when full.
-    pub fn insert(&self, key: VerdictKey, value: bool) {
-        let mut inner = self.inner.write();
-        inner.clock += 1;
-        let clock = inner.clock;
-        let CacheInner { map, order, .. } = &mut *inner;
-        if let Some((stored, stamp)) = map.get_mut(&key) {
-            *stored = value;
-            order.remove(stamp);
-            *stamp = clock;
-            order.insert(clock, key);
-            return;
-        }
-        let mut evicted = 0u64;
-        while map.len() >= self.capacity {
-            let Some((_, oldest)) = order.pop_first() else {
-                break;
-            };
-            map.remove(&oldest);
-            evicted += 1;
-        }
-        map.insert(key, (value, clock));
-        order.insert(clock, key);
-        let entries = map.len();
-        drop(inner);
-        if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
-        }
-        if let Some(i) = &self.instruments {
-            if evicted > 0 {
-                i.evictions.add(evicted);
-            }
-            i.entries.set(entries as i64);
-        }
-    }
-
-    /// Number of cached verdicts.
-    pub fn len(&self) -> usize {
-        self.inner.read().map.len()
-    }
-
-    /// True when nothing is cached.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Maximum number of entries.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Lookups answered from the cache so far.
-    pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    /// Lookups that missed so far.
-    pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
-    }
-
-    /// Verdicts evicted by the LRU policy so far.
-    pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
-    }
+    Ok(verdicts)
 }
 
 #[cfg(test)]
@@ -386,14 +240,6 @@ mod tests {
 
     fn gcc(name: &str, src: &str) -> Gcc {
         Gcc::parse(name, Digest::ZERO, src, GccMetadata::default()).unwrap()
-    }
-
-    fn key(n: u8) -> VerdictKey {
-        VerdictKey {
-            chain: Digest([n; 32]),
-            gcc: Digest([n.wrapping_add(1); 32]),
-            usage: Usage::Tls,
-        }
     }
 
     #[test]
@@ -421,57 +267,6 @@ mod tests {
         let pki = simple_chain("other-session.example");
         let b = ValidationSession::new(&[pki.leaf, pki.intermediate, pki.root]);
         assert_ne!(a.chain_key(), b.chain_key());
-    }
-
-    #[test]
-    fn cache_round_trip_and_stats() {
-        let cache = VerdictCache::new(8);
-        assert_eq!(cache.get(&key(1)), None);
-        cache.insert(key(1), true);
-        cache.insert(key(2), false);
-        assert_eq!(cache.get(&key(1)), Some(true));
-        assert_eq!(cache.get(&key(2)), Some(false));
-        assert_eq!(cache.hits(), 2);
-        assert_eq!(cache.misses(), 1);
-        assert_eq!(cache.len(), 2);
-    }
-
-    #[test]
-    fn cache_evicts_least_recently_used() {
-        let cache = VerdictCache::new(2);
-        cache.insert(key(1), true);
-        cache.insert(key(2), true);
-        // Touch 1 so 2 becomes the LRU entry.
-        assert_eq!(cache.get(&key(1)), Some(true));
-        cache.insert(key(3), true);
-        assert_eq!(cache.len(), 2);
-        assert_eq!(cache.get(&key(2)), None, "LRU entry evicted");
-        assert_eq!(cache.get(&key(1)), Some(true));
-        assert_eq!(cache.get(&key(3)), Some(true));
-    }
-
-    #[test]
-    fn evictions_are_counted_and_mirrored_into_a_registry() {
-        let registry = nrslb_obs::Registry::new();
-        let cache = VerdictCache::with_registry(2, &registry);
-        cache.insert(key(1), true);
-        cache.insert(key(2), true);
-        assert_eq!(cache.evictions(), 0);
-        cache.insert(key(3), true);
-        assert_eq!(cache.evictions(), 1, "third insert evicts the LRU entry");
-        assert_eq!(cache.get(&key(3)), Some(true));
-        assert_eq!(cache.get(&key(1)), None);
-        let text = registry.render_text();
-        assert!(text.contains("nrslb_verdict_cache_hits_total 1"), "{text}");
-        assert!(
-            text.contains("nrslb_verdict_cache_misses_total 1"),
-            "{text}"
-        );
-        assert!(
-            text.contains("nrslb_verdict_cache_evictions_total 1"),
-            "{text}"
-        );
-        assert!(text.contains("nrslb_verdict_cache_entries 2"), "{text}");
     }
 
     #[test]
@@ -510,5 +305,30 @@ mod tests {
         assert!(verdicts[0].accepted);
         assert!(!verdicts[1].accepted);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lazy_evaluation_matches_eager_and_skips_fact_conversion_when_warm() {
+        let chain = chain();
+        let cache = VerdictCache::new(8);
+        let gccs = [
+            gcc("accept", r#"valid(Chain, "TLS") :- leaf(Chain, _)."#),
+            gcc("reject", r#"valid(Chain, "TLS") :- leaf(Chain, C), EV(C)."#),
+        ];
+        let cold = evaluate_gccs_lazy(&chain, &gccs, Usage::Tls, &cache, None).unwrap();
+        assert_eq!(
+            cold.iter().map(|v| v.accepted).collect::<Vec<_>>(),
+            [true, false]
+        );
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        // Warm pass: every verdict answered from the cache; the eager
+        // path agrees verdict-for-verdict.
+        let warm = evaluate_gccs_lazy(&chain, &gccs, Usage::Tls, &cache, None).unwrap();
+        assert_eq!(warm, cold);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        let eager = ValidationSession::new(&chain)
+            .evaluate_gccs_cached(&gccs, Usage::Tls, Some(&cache))
+            .unwrap();
+        assert_eq!(eager, cold);
     }
 }

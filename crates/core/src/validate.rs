@@ -6,9 +6,12 @@
 //! rejects *that candidate* — the validator then continues with the next
 //! candidate chain rather than failing outright.
 
+use crate::cache::{SigMemo, DEFAULT_CACHE_SHARDS, DEFAULT_SIG_MEMO_CAPACITY};
 use crate::chain::ChainBuilder;
 use crate::gcc_eval::GccVerdict;
-use crate::session::{ValidationSession, VerdictCache, DEFAULT_VERDICT_CACHE_CAPACITY};
+use crate::session::{
+    evaluate_gccs_lazy, ValidationSession, VerdictCache, DEFAULT_VERDICT_CACHE_CAPACITY,
+};
 use crate::{hammurabi, CoreError};
 use nrslb_revocation::RevocationChecker;
 use nrslb_rootstore::{RootStore, Usage};
@@ -214,6 +217,7 @@ pub struct Validator {
     config: ValidatorConfig,
     revocation: Option<Arc<dyn RevocationChecker>>,
     verdict_cache: Option<Arc<VerdictCache>>,
+    sig_memo: Arc<SigMemo>,
     metrics: Option<crate::metrics::CoreMetrics>,
     eval_metrics: Option<nrslb_datalog::EvalMetrics>,
 }
@@ -227,18 +231,24 @@ impl Validator {
             config: ValidatorConfig::default(),
             revocation: None,
             verdict_cache: None,
+            sig_memo: Arc::new(SigMemo::default()),
             metrics: None,
             eval_metrics: None,
         }
     }
 
     /// Report outcome counts (`nrslb_validations_total{outcome=...}`),
-    /// end-to-end latency (`nrslb_validation_latency_us`) and — in
-    /// `UserAgent` mode — per-GCC Datalog engine statistics into
-    /// `registry`.
+    /// end-to-end latency (`nrslb_validation_latency_us`), the
+    /// signature memo's hit/miss counters and — in `UserAgent` mode —
+    /// per-GCC Datalog engine statistics into `registry`.
+    ///
+    /// Replaces the validator's signature memo with a
+    /// registry-instrumented one, so apply [`Validator::with_sig_memo`]
+    /// *after* this to share a caller-owned memo instead.
     pub fn with_registry(mut self, registry: &nrslb_obs::Registry) -> Validator {
         self.metrics = Some(crate::metrics::CoreMetrics::new(registry));
         self.eval_metrics = Some(nrslb_datalog::EvalMetrics::new(registry));
+        self.sig_memo = Arc::new(SigMemo::with_registry(DEFAULT_SIG_MEMO_CAPACITY, registry));
         self
     }
 
@@ -247,6 +257,21 @@ impl Validator {
     pub fn with_verdict_cache(mut self, cache: Arc<VerdictCache>) -> Validator {
         self.verdict_cache = Some(cache);
         self
+    }
+
+    /// Share a signature-verification memo with other validators.
+    /// Every validator owns a private memo by default; sharing one
+    /// means a `(cert, issuer)` edge verified by any of them is a memo
+    /// hit for all.
+    pub fn with_sig_memo(mut self, memo: Arc<SigMemo>) -> Validator {
+        self.sig_memo = memo;
+        self
+    }
+
+    /// The validator's signature-verification memo (for inspection /
+    /// sharing).
+    pub fn sig_memo(&self) -> &Arc<SigMemo> {
+        &self.sig_memo
     }
 
     /// Consult `checker` during validation; revoked certificates reject
@@ -382,7 +407,7 @@ impl Validator {
                 // GCCs, runs in one Datalog evaluation.
                 for (i, cert) in chain.iter().enumerate() {
                     let issuer = chain.get(i + 1).unwrap_or(cert);
-                    if cert.verify_signed_by(issuer).is_err() {
+                    if !self.sig_memo.verify_signed_by(cert, issuer) {
                         reject(&mut attempt, RejectReason::BadSignature { index: i });
                         return Ok(attempt);
                     }
@@ -418,7 +443,11 @@ impl Validator {
         }
         for (i, cert) in chain.iter().enumerate() {
             let issuer = chain.get(i + 1).unwrap_or(cert); // root self-signed
-            if cert.verify_signed_by(issuer).is_err() {
+                                                           // The memo answers repeated (cert, issuer) edges — the
+                                                           // common case when one intermediate signs many leaves, or
+                                                           // one chain is re-validated — without re-running the
+                                                           // hash-based verification.
+            if !self.sig_memo.verify_signed_by(cert, issuer) {
                 reject(&mut attempt, RejectReason::BadSignature { index: i });
                 return Ok(attempt);
             }
@@ -496,16 +525,16 @@ impl Validator {
                 let gccs = self.store.gccs_for(&root_fp);
                 if gccs.is_empty() {
                     Vec::new()
+                } else if let Some(cache) = self.verdict_cache.as_deref() {
+                    // Lazy fast path: the fact conversion only happens
+                    // if some verdict misses the cache — a fully warm
+                    // chain touches no Datalog at all.
+                    evaluate_gccs_lazy(chain, gccs, usage, cache, self.eval_metrics.as_ref())?
                 } else {
                     // One conversion per candidate; every GCC shares the
                     // frozen fact base.
                     let session = ValidationSession::new(chain);
-                    session.evaluate_gccs_observed(
-                        gccs,
-                        usage,
-                        self.verdict_cache.as_deref(),
-                        self.eval_metrics.as_ref(),
-                    )?
+                    session.evaluate_gccs_observed(gccs, usage, None, self.eval_metrics.as_ref())?
                 }
             }
             ValidationMode::Platform(oracle) => oracle.evaluate(chain, usage)?,
@@ -553,10 +582,34 @@ impl InProcessOracle {
     /// evaluation records into the `nrslb_datalog_*` families (the
     /// trust daemon builds its shared oracle this way).
     pub fn with_registry(store: RootStore, registry: &nrslb_obs::Registry) -> InProcessOracle {
+        InProcessOracle::configured(
+            store,
+            DEFAULT_VERDICT_CACHE_CAPACITY,
+            DEFAULT_CACHE_SHARDS,
+            Some(registry),
+        )
+    }
+
+    /// Create an oracle with explicit cache capacity and shard count
+    /// (`shards = 1` is the single-lock ablation the throughput bench
+    /// compares against), optionally reporting into a registry.
+    pub fn configured(
+        store: RootStore,
+        capacity: usize,
+        shards: usize,
+        registry: Option<&nrslb_obs::Registry>,
+    ) -> InProcessOracle {
+        let (cache, eval_metrics) = match registry {
+            Some(r) => (
+                VerdictCache::with_shards_and_registry(capacity, shards, r),
+                Some(nrslb_datalog::EvalMetrics::new(r)),
+            ),
+            None => (VerdictCache::with_shards(capacity, shards), None),
+        };
         InProcessOracle {
             store,
-            cache: VerdictCache::with_registry(DEFAULT_VERDICT_CACHE_CAPACITY, registry),
-            eval_metrics: Some(nrslb_datalog::EvalMetrics::new(registry)),
+            cache,
+            eval_metrics,
         }
     }
 
@@ -575,12 +628,10 @@ impl GccOracle for InProcessOracle {
         if gccs.is_empty() {
             return Ok(Vec::new());
         }
-        ValidationSession::new(chain).evaluate_gccs_observed(
-            gccs,
-            usage,
-            Some(&self.cache),
-            self.eval_metrics.as_ref(),
-        )
+        // Lazy fast path: warm chains never build a fact base, so
+        // concurrent daemon workers serving a hot chain only touch the
+        // sharded cache.
+        evaluate_gccs_lazy(chain, gccs, usage, &self.cache, self.eval_metrics.as_ref())
     }
 }
 
@@ -615,6 +666,35 @@ mod tests {
         let acc = out.accepted_chain.unwrap();
         assert_eq!(acc.chain.len(), 3);
         assert!(!acc.ev_granted); // leaf is not EV
+    }
+
+    #[test]
+    fn repeated_validations_hit_the_signature_memo() {
+        let pki = simple_chain("memo.example");
+        let v = Validator::new(store_for(&pki), ValidationMode::UserAgent);
+        let validate = || {
+            let out = v
+                .validate(
+                    &pki.leaf,
+                    std::slice::from_ref(&pki.intermediate),
+                    Usage::Tls,
+                    pki.now,
+                )
+                .unwrap();
+            assert!(out.accepted());
+        };
+        validate();
+        // First validation pays for each chain edge once: leaf <-
+        // intermediate, intermediate <- root, root self-signature.
+        let cold_misses = v.sig_memo().misses();
+        assert!(cold_misses >= 3, "{cold_misses}");
+        // Every subsequent validation of the same chain is all memo
+        // hits — zero new hash-based signature verifications.
+        for _ in 0..3 {
+            validate();
+        }
+        assert_eq!(v.sig_memo().misses(), cold_misses);
+        assert!(v.sig_memo().hits() >= 3 * 3);
     }
 
     #[test]

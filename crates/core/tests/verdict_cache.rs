@@ -1,0 +1,232 @@
+//! The sharded verdict cache must be observably equivalent to the
+//! single-lock LRU it replaced — exactly when `shards = 1`, and modulo
+//! the documented per-shard LRU granularity otherwise (a cache of S
+//! shards behaves as S independent single-lock LRUs of the per-shard
+//! capacity, with keys routed by hash). Both statements are checked
+//! against an executable reference model over arbitrary operation
+//! sequences, and a 16-thread stress test pins the exact-total counter
+//! guarantees the observability layer depends on.
+
+use nrslb_core::{ShardedLru, VerdictCache, VerdictKey};
+use nrslb_crypto::sha256::sha256;
+use nrslb_obs::Registry;
+use nrslb_rootstore::Usage;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Executable reference: the single-lock exact LRU that `ShardedLru`
+/// replaced. Front of `entries` is least-recently-used.
+struct ModelLru {
+    capacity: usize,
+    entries: Vec<(u64, u32)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> ModelLru {
+        ModelLru {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<u32> {
+        match self.entries.iter().position(|(k, _)| *k == key) {
+            Some(pos) => {
+                let entry = self.entries.remove(pos);
+                self.entries.push(entry);
+                self.hits += 1;
+                Some(entry.1)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u64, value: u32) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+            self.entries.push((key, value));
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+            self.evictions += 1;
+        }
+        self.entries.push((key, value));
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// One scripted cache operation: `get` when `is_get`, `insert`
+/// otherwise.
+type Op = (bool, u64, u32);
+
+fn ops_strategy(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    vec((any::<bool>(), 0u64..24, 0u32..100), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // With one shard the sharded cache IS the old single-lock cache:
+    // every lookup result and every counter agrees with the reference
+    // model on arbitrary operation sequences.
+    #[test]
+    fn single_shard_matches_single_lock_model(
+        capacity in 1usize..12,
+        ops in ops_strategy(300),
+    ) {
+        let cache: ShardedLru<u64, u32> = ShardedLru::new(capacity, 1);
+        let mut model = ModelLru::new(capacity);
+        for (step, (is_get, key, value)) in ops.iter().enumerate() {
+            if *is_get {
+                prop_assert_eq!(cache.get(key), model.get(*key), "step {}", step);
+            } else {
+                cache.insert(*key, *value);
+                model.insert(*key, *value);
+            }
+        }
+        prop_assert_eq!(cache.len(), model.len());
+        prop_assert_eq!(cache.hits(), model.hits);
+        prop_assert_eq!(cache.misses(), model.misses);
+        prop_assert_eq!(cache.evictions(), model.evictions);
+    }
+
+    // With S shards the cache behaves as S independent single-lock
+    // LRUs of the per-shard capacity, keys routed by hash — the
+    // documented granularity difference, and the ONLY difference:
+    // routing each operation to a per-shard reference model reproduces
+    // every lookup result and every aggregate counter.
+    #[test]
+    fn sharded_cache_equals_per_shard_single_lock_models(
+        capacity in 1usize..48,
+        shards in 2usize..9,
+        ops in ops_strategy(400),
+    ) {
+        let cache: ShardedLru<u64, u32> = ShardedLru::new(capacity, shards);
+        let shard_capacity = capacity.div_ceil(shards).max(1);
+        let mut models: Vec<ModelLru> =
+            (0..shards).map(|_| ModelLru::new(shard_capacity)).collect();
+        for (step, (is_get, key, value)) in ops.iter().enumerate() {
+            let model = &mut models[cache.shard_of(key)];
+            if *is_get {
+                prop_assert_eq!(cache.get(key), model.get(*key), "step {}", step);
+            } else {
+                cache.insert(*key, *value);
+                model.insert(*key, *value);
+            }
+        }
+        prop_assert_eq!(cache.len(), models.iter().map(ModelLru::len).sum::<usize>());
+        prop_assert_eq!(cache.hits(), models.iter().map(|m| m.hits).sum::<u64>());
+        prop_assert_eq!(cache.misses(), models.iter().map(|m| m.misses).sum::<u64>());
+        prop_assert_eq!(
+            cache.evictions(),
+            models.iter().map(|m| m.evictions).sum::<u64>()
+        );
+    }
+}
+
+/// Parse `name{...} value` / `name value` lines and sum every sample of
+/// `name` in a rendered exposition.
+fn sum_metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .filter(|l| {
+            l.strip_prefix(name)
+                .is_some_and(|rest| rest.starts_with(' ') || rest.starts_with('{'))
+        })
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<u64>().ok())
+        .sum()
+}
+
+fn verdict_key(i: usize) -> VerdictKey {
+    VerdictKey {
+        chain: sha256(format!("stress-chain-{i}").as_bytes()),
+        gcc: sha256(format!("stress-gcc-{}", i % 7).as_bytes()),
+        usage: if i.is_multiple_of(2) {
+            Usage::Tls
+        } else {
+            Usage::SMime
+        },
+    }
+}
+
+/// 16 threads hammer one sharded cache; afterwards every counter must
+/// be *exactly* right — the same no-lost-updates contract
+/// `crates/obs/tests/concurrency.rs` pins for raw registry handles,
+/// here end to end through the cache's instrumented hot path.
+#[test]
+fn stress_16_threads_exact_totals() {
+    const THREADS: usize = 16;
+    const OPS_PER_THREAD: usize = 10_000;
+    const KEYS: usize = 512;
+
+    // Capacity 4096 over 8 shards = 512 per shard, so even the worst
+    // hash skew cannot evict with only 512 distinct keys in play and
+    // the final entry count is deterministic.
+    let registry = Registry::new();
+    let cache = VerdictCache::with_shards_and_registry(4096, 8, &registry);
+    let keys: Vec<VerdictKey> = (0..KEYS).map(verdict_key).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = &cache;
+            let keys = &keys;
+            scope.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    // Each thread walks the key space at its own stride
+                    // so shards see interleaved, contended traffic.
+                    let key = &keys[(t * 31 + i) % KEYS];
+                    if cache.get(key).is_none() {
+                        cache.insert(*key, i % 2 == 0);
+                    }
+                }
+            });
+        }
+    });
+
+    let total = (THREADS * OPS_PER_THREAD) as u64;
+    // Every lookup is exactly one hit or one miss; none may be lost.
+    assert_eq!(cache.hits() + cache.misses(), total);
+    // All 512 keys were touched and nothing was ever evicted.
+    assert_eq!(cache.len(), KEYS);
+    assert_eq!(cache.evictions(), 0);
+    // A key can miss more than once (two threads race the first
+    // lookup), but at least one miss per key is structural.
+    assert!(cache.misses() >= KEYS as u64, "{cache:?}");
+
+    // The mirrored registry agrees exactly with the cache's own
+    // atomics, both in aggregate and summed across per-shard series.
+    let text = registry.render_text();
+    assert_eq!(
+        sum_metric(&text, "nrslb_verdict_cache_hits_total"),
+        cache.hits()
+    );
+    assert_eq!(
+        sum_metric(&text, "nrslb_verdict_cache_misses_total"),
+        cache.misses()
+    );
+    assert_eq!(
+        sum_metric(&text, "nrslb_verdict_cache_shard_hits_total"),
+        cache.hits()
+    );
+    assert_eq!(
+        sum_metric(&text, "nrslb_verdict_cache_shard_misses_total"),
+        cache.misses()
+    );
+    assert_eq!(
+        sum_metric(&text, "nrslb_verdict_cache_entries"),
+        KEYS as u64
+    );
+}

@@ -79,7 +79,21 @@ impl MerkleTree {
 
     /// Root hash of the whole tree.
     pub fn root(&self) -> Digest {
-        self.subtree_root(&self.leaves)
+        subtree_root(&self.leaves)
+    }
+
+    /// Root hash of the whole tree, computed with up to
+    /// `available_parallelism` scoped worker threads over RFC 6962
+    /// subtree ranges. Bit-identical to [`MerkleTree::root`] by
+    /// construction: the split points and hash order are the same, only
+    /// *who* computes each subtree differs. RSF snapshot ingest and
+    /// checkpoint publishing use this path (trees there run to millions
+    /// of leaves).
+    pub fn root_parallel(&self) -> Digest {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        subtree_root_parallel(&self.leaves, threads)
     }
 
     /// Root of the first `size` leaves (historical tree head).
@@ -88,21 +102,7 @@ impl MerkleTree {
         if size > self.leaves.len() {
             return None;
         }
-        Some(self.subtree_root(&self.leaves[..size]))
-    }
-
-    fn subtree_root(&self, leaves: &[Digest]) -> Digest {
-        match leaves.len() {
-            0 => crate::sha256::sha256(b""),
-            1 => leaves[0],
-            n => {
-                let k = largest_power_of_two_below(n as u64) as usize;
-                node_hash(
-                    &self.subtree_root(&leaves[..k]),
-                    &self.subtree_root(&leaves[k..]),
-                )
-            }
-        }
+        Some(subtree_root(&self.leaves[..size]))
     }
 
     /// Inclusion proof for `leaf_index` in the tree of `tree_size` leaves.
@@ -130,10 +130,10 @@ impl MerkleTree {
         let k = largest_power_of_two_below(leaves.len() as u64) as usize;
         if index < k {
             self.inclusion_path(index, &leaves[..k], out);
-            out.push(self.subtree_root(&leaves[k..]));
+            out.push(subtree_root(&leaves[k..]));
         } else {
             self.inclusion_path(index - k, &leaves[k..], out);
-            out.push(self.subtree_root(&leaves[..k]));
+            out.push(subtree_root(&leaves[..k]));
         }
     }
 
@@ -163,19 +163,60 @@ impl MerkleTree {
         debug_assert!(m <= n);
         if m == n {
             if !complete {
-                out.push(self.subtree_root(leaves));
+                out.push(subtree_root(leaves));
             }
             return;
         }
         let k = largest_power_of_two_below(n as u64) as usize;
         if m <= k {
             self.consistency_path(m, &leaves[..k], complete, out);
-            out.push(self.subtree_root(&leaves[k..]));
+            out.push(subtree_root(&leaves[k..]));
         } else {
             self.consistency_path(m - k, &leaves[k..], false, out);
-            out.push(self.subtree_root(&leaves[..k]));
+            out.push(subtree_root(&leaves[..k]));
         }
     }
+}
+
+/// RFC 6962 subtree root: empty → `SHA-256("")`, one leaf → the leaf,
+/// else split at the largest power of two strictly below `n`.
+fn subtree_root(leaves: &[Digest]) -> Digest {
+    match leaves.len() {
+        0 => crate::sha256::sha256(b""),
+        1 => leaves[0],
+        n => {
+            let k = largest_power_of_two_below(n as u64) as usize;
+            node_hash(&subtree_root(&leaves[..k]), &subtree_root(&leaves[k..]))
+        }
+    }
+}
+
+/// Below this many leaves a subtree is hashed inline: forking a thread
+/// costs more than ~1k SHA-256 compressions buy back.
+const PARALLEL_MIN_LEAVES: usize = 1024;
+
+/// The RFC 6962 subtree root over `leaves`, computed by up to
+/// `threads` scoped worker threads.
+///
+/// The recursion splits at the same RFC 6962 point as the sequential
+/// path and combines with the same interior-node hash order, so the
+/// result is bit-identical; the thread budget halves at each fork
+/// (left half to a spawned worker, right half inline) and small
+/// subtrees fall back to the sequential code.
+pub fn subtree_root_parallel(leaves: &[Digest], threads: usize) -> Digest {
+    if threads <= 1 || leaves.len() < PARALLEL_MIN_LEAVES {
+        return subtree_root(leaves);
+    }
+    let k = largest_power_of_two_below(leaves.len() as u64) as usize;
+    let (left_leaves, right_leaves) = leaves.split_at(k);
+    let half = threads / 2;
+    crossbeam::thread::scope(|s| {
+        let left = s.spawn(move |_| subtree_root_parallel(left_leaves, half));
+        let right = subtree_root_parallel(right_leaves, threads - half);
+        let left = left.join().expect("merkle worker panicked");
+        node_hash(&left, &right)
+    })
+    .expect("merkle scope failed")
 }
 
 /// Verify an inclusion proof: does `leaf` live at `proof.leaf_index` in the

@@ -1,0 +1,59 @@
+//! The parallel Merkle builder must be bit-identical to the sequential
+//! reference for every tree shape — empty, singleton, powers of two,
+//! non-powers, and a 10k-leaf tree large enough to actually fan out
+//! across worker threads — and proofs generated against either root
+//! must verify interchangeably.
+
+use nrslb_crypto::merkle::{
+    leaf_hash, subtree_root_parallel, verify_consistency, verify_inclusion, MerkleTree,
+};
+use nrslb_crypto::sha256::Digest;
+
+fn build(n: usize) -> (MerkleTree, Vec<Digest>) {
+    let mut tree = MerkleTree::new();
+    let mut leaves = Vec::new();
+    for i in 0..n {
+        let data = format!("parallel-entry-{i}");
+        leaves.push(leaf_hash(data.as_bytes()));
+        tree.push(data.as_bytes());
+    }
+    (tree, leaves)
+}
+
+#[test]
+fn parallel_root_matches_sequential_for_edge_sizes() {
+    // 0, 1, powers of two, and every flavor of non-power shape.
+    for n in [0usize, 1, 2, 3, 5, 7, 8, 9, 31, 33, 100, 1023, 1025] {
+        let (tree, _) = build(n);
+        assert_eq!(tree.root_parallel(), tree.root(), "n={n}");
+    }
+}
+
+#[test]
+fn parallel_root_matches_sequential_for_10k_leaves() {
+    let (tree, leaves) = build(10_000);
+    let sequential = tree.root();
+    assert_eq!(tree.root_parallel(), sequential);
+    // Identical regardless of the thread budget, including budgets that
+    // don't divide the tree evenly.
+    for threads in [1, 2, 3, 4, 7, 16] {
+        assert_eq!(
+            subtree_root_parallel(&leaves, threads),
+            sequential,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn proofs_verify_against_the_parallel_root() {
+    let (tree, leaves) = build(10_000);
+    let root = tree.root_parallel();
+    for i in [0u64, 1, 4097, 9_999] {
+        let proof = tree.prove_inclusion(i, 10_000).unwrap();
+        verify_inclusion(&leaves[i as usize], &proof, &root).unwrap();
+    }
+    let consistency = tree.prove_consistency(6_000, 10_000).unwrap();
+    let old_root = tree.root_at(6_000).unwrap();
+    verify_consistency(&consistency, &old_root, &root).unwrap();
+}

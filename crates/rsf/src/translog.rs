@@ -108,10 +108,13 @@ impl TransparencyLog {
         self.tree.push(&message.encode())
     }
 
-    /// Sign the current head with the feed key.
+    /// Sign the current head with the feed key. The root is computed on
+    /// the parallel Merkle path (bit-identical to the sequential one);
+    /// publish-time checkpoints hash the whole log, which for a busy
+    /// feed is the dominant publishing cost.
     pub fn checkpoint(&self, key: &FeedKey) -> Result<Checkpoint, RsfError> {
         let size = self.tree.len();
-        let root = self.tree.root();
+        let root = self.tree.root_parallel();
         let signature = key.sign_raw(&checkpoint_bytes(size, &root))?;
         Ok(Checkpoint {
             size,

@@ -7,7 +7,7 @@ use crate::{name, oids, X509Error};
 use nrslb_crypto::hbs;
 use nrslb_crypto::sha256::{sha256, Digest};
 use nrslb_der::{decode, encode, Value};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A validity window in Unix-epoch seconds (inclusive bounds, as X.509).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,7 +49,9 @@ struct CertInner {
     tbs_der: Vec<u8>,
     signature: hbs::Signature,
     der: Vec<u8>,
-    fingerprint: Digest,
+    /// Computed on first use; shared by every clone through the `Arc`,
+    /// so the DER is hashed at most once per certificate.
+    fingerprint: OnceLock<Digest>,
 }
 
 impl std::fmt::Debug for Certificate {
@@ -101,7 +103,6 @@ impl Certificate {
             },
         ]);
         let der = encode(&cert_value);
-        let fingerprint = sha256(&der);
         Certificate {
             inner: Arc::new(CertInner {
                 serial,
@@ -113,7 +114,7 @@ impl Certificate {
                 tbs_der,
                 signature,
                 der,
-                fingerprint,
+                fingerprint: OnceLock::new(),
             }),
         }
     }
@@ -148,7 +149,6 @@ impl Certificate {
         // the signed bytes exactly.
         let tbs_der = encode(tbs_v);
         let (serial, issuer, subject, validity, spki, extensions) = parse_tbs(tbs_v)?;
-        let fingerprint = sha256(bytes);
         Ok(Certificate {
             inner: Arc::new(CertInner {
                 serial,
@@ -160,7 +160,7 @@ impl Certificate {
                 tbs_der,
                 signature,
                 der: bytes.to_vec(),
-                fingerprint,
+                fingerprint: OnceLock::new(),
             }),
         })
     }
@@ -177,8 +177,17 @@ impl Certificate {
 
     /// SHA-256 fingerprint of the full DER encoding — the identifier GCCs
     /// attach to (paper §3).
+    ///
+    /// Computed lazily and memoized: the first call hashes the DER, every
+    /// later call (on this certificate or any clone — the memo lives
+    /// behind the shared `Arc`) returns the stored digest. The validator
+    /// alone asks for a fingerprint several times per chain, so this
+    /// keeps repeated identity checks off the hashing path.
     pub fn fingerprint(&self) -> Digest {
-        self.inner.fingerprint
+        *self
+            .inner
+            .fingerprint
+            .get_or_init(|| sha256(&self.inner.der))
     }
 
     /// Serial number.
@@ -371,6 +380,22 @@ mod tests {
             assert_eq!(parsed.tbs_der(), cert.tbs_der());
             assert_eq!(parsed.public_key(), cert.public_key());
         }
+    }
+
+    #[test]
+    fn fingerprint_is_lazy_shared_and_stable() {
+        let pki = testutil::simple_chain("fingerprint.example");
+        let clone = pki.leaf.clone();
+        // Clones share the memo: both observe the same digest, and it
+        // matches hashing the DER directly.
+        assert_eq!(pki.leaf.fingerprint(), clone.fingerprint());
+        assert_eq!(
+            pki.leaf.fingerprint(),
+            nrslb_crypto::sha256::sha256(pki.leaf.to_der())
+        );
+        // Round-tripping through DER preserves the fingerprint.
+        let parsed = Certificate::from_der(pki.leaf.to_der()).unwrap();
+        assert_eq!(parsed.fingerprint(), pki.leaf.fingerprint());
     }
 
     #[test]

@@ -1,7 +1,62 @@
 //! Shim for the `crossbeam` crate: multi-producer multi-consumer
 //! channels (the `crossbeam::channel` API subset the trust daemon's
 //! worker pool uses), implemented with a `Mutex<VecDeque>` plus two
-//! condvars.
+//! condvars, and scoped threads (the `crossbeam::thread` API subset
+//! the parallel Merkle builder uses), delegating to
+//! `std::thread::scope`.
+
+pub mod thread {
+    //! Scoped threads: `crossbeam::thread::scope` over `std::thread`.
+    //!
+    //! One behavioral difference from real crossbeam: a panicking child
+    //! thread propagates its panic out of [`scope`] (as
+    //! `std::thread::scope` does) instead of surfacing as an `Err`
+    //! return. Callers here treat child panics as fatal either way.
+
+    /// Spawns scoped threads; handed to the closure passed to [`scope`].
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; join before the scope ends or the
+    /// scope joins it implicitly.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish and return its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread that may borrow from the enclosing frame. The
+        /// closure receives the scope again (crossbeam's signature), so
+        /// workers can spawn nested workers.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope whose spawned threads are all joined before
+    /// `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
 
 pub mod channel {
     //! MPMC channels: `bounded` and `unbounded`.
@@ -170,7 +225,28 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel;
+    use super::{channel, thread};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn scoped_threads_can_nest() {
+        let n =
+            thread::scope(|s| s.spawn(|s| s.spawn(|_| 7).join().unwrap()).join().unwrap()).unwrap();
+        assert_eq!(n, 7);
+    }
 
     #[test]
     fn mpmc_all_items_delivered_once() {
