@@ -38,6 +38,15 @@ echo "==> daemon throughput smoke (release, bounded, asserted)"
 NRSLB_E16_ASSERT=1 NRSLB_SCALE=12 NRSLB_JSON="$(mktemp)" \
     cargo run --release -q -p nrslb-bench --bin e16_throughput
 
+echo "==> allocation-budget smoke (release, bounded, asserted)"
+# Bounded e17 run: hard-asserts the warm verdict path (held session
+# re-evaluating through its scratch arena) stays under a fixed gross
+# allocation bound per verdict — the interned core's zero-allocation
+# claim, observed at the allocator. Report goes to a scratch path so
+# CI never clobbers the committed BENCH_e17.json.
+NRSLB_E17_ASSERT=1 NRSLB_SCALE=12 NRSLB_JSON="$(mktemp)" \
+    cargo run --release -q -p nrslb-bench --bin e17_alloc_throughput
+
 echo "==> differential oracle smoke (fixed seed)"
 # Bounded run: >=1,000 cross-path (chain, GCC, usage) checks; exits
 # non-zero and prints the failing NRSLB_SIM_SEED on any disagreement.

@@ -10,6 +10,8 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
+
 use serde::Serialize;
 
 /// Scale knob: most binaries honour `NRSLB_SCALE` (a leaf/chain count).

@@ -87,7 +87,7 @@ pub struct ShardedLru<K, V> {
     entries: AtomicU64,
 }
 
-impl<K: Hash + Eq + Copy, V: Copy> ShardedLru<K, V> {
+impl<K: Hash + Eq + Copy, V: Clone> ShardedLru<K, V> {
     /// A map of at least `capacity` total entries split across `shards`
     /// shards (each shard holds `⌈capacity/shards⌉`, at least 1).
     pub fn new(capacity: usize, shards: usize) -> ShardedLru<K, V> {
@@ -135,7 +135,7 @@ impl<K: Hash + Eq + Copy, V: Copy> ShardedLru<K, V> {
                 order.remove(stamp);
                 *stamp = clock;
                 order.insert(clock, *key);
-                let value = *value;
+                let value = value.clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(value)
             }
@@ -527,6 +527,96 @@ impl SigMemo {
     }
 }
 
+/// Default capacity of the daemon's parsed-certificate cache: one entry
+/// per distinct certificate DER, sized to cover every cert a busy
+/// daemon sees between root-store updates (leaves churn; issuers
+/// repeat).
+pub const DEFAULT_CERT_CACHE_CAPACITY: usize = 8192;
+
+/// A bounded memo of parsed certificates, keyed by a fast
+/// non-cryptographic hash of the raw DER and verified by byte equality.
+///
+/// Parsing is a pure function of the DER bytes, so repeat wire bytes —
+/// the steady state of a busy daemon — can skip the parser entirely.
+/// The lookup is deliberately *not* keyed by SHA-256: hashing a
+/// multi-kilobyte hash-based-signature certificate cryptographically
+/// costs more than the rest of a warm request combined. Instead the key
+/// is a 64-bit FxHash of the DER, and a probe only counts as a hit when
+/// the cached certificate's DER is byte-identical to the probe bytes —
+/// correctness never rests on the weak hash, a collision merely
+/// degrades to a fresh parse. A hit returns a handle (an `Arc` clone)
+/// whose fingerprint, hex form, and interned symbol were memoized by
+/// earlier requests, so the warm path recomputes none of them.
+pub struct ParsedCertCache {
+    lru: ShardedLru<u64, Certificate>,
+}
+
+impl std::fmt::Debug for ParsedCertCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ParsedCertCache({}/{} entries, {} hits, {} misses)",
+            self.lru.len(),
+            self.lru.capacity(),
+            self.hits(),
+            self.misses()
+        )
+    }
+}
+
+impl Default for ParsedCertCache {
+    fn default() -> ParsedCertCache {
+        ParsedCertCache::new(DEFAULT_CERT_CACHE_CAPACITY)
+    }
+}
+
+impl ParsedCertCache {
+    /// A cache of at least `capacity` parsed certificates, sharded like
+    /// the verdict cache.
+    pub fn new(capacity: usize) -> ParsedCertCache {
+        ParsedCertCache {
+            lru: ShardedLru::new(capacity, DEFAULT_CACHE_SHARDS),
+        }
+    }
+
+    /// Parse `der`, answering from the cache when these exact bytes
+    /// were parsed before (verified by byte comparison, so an FxHash
+    /// collision can never alias two certificates).
+    pub fn parse(&self, der: &[u8]) -> Result<Certificate, nrslb_x509::X509Error> {
+        let mut h = nrslb_datalog::intern::FxHasher::default();
+        std::hash::Hasher::write(&mut h, der);
+        let key = std::hash::Hasher::finish(&h);
+        if let Some(cert) = self.lru.get(&key) {
+            if cert.to_der() == der {
+                return Ok(cert);
+            }
+        }
+        let cert = Certificate::from_der(der)?;
+        self.lru.insert(key, cert.clone());
+        Ok(cert)
+    }
+
+    /// Parses answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.lru.hits()
+    }
+
+    /// Parses computed (and cached) so far.
+    pub fn misses(&self) -> u64 {
+        self.lru.misses()
+    }
+
+    /// Number of cached certificates.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -624,6 +714,26 @@ mod tests {
         assert_eq!((memo.hits(), memo.misses()), (1, 1));
         // The correct edge is a different key and still verifies.
         assert!(memo.verify_signed_by(&pki.leaf, &pki.intermediate));
+    }
+
+    #[test]
+    fn parsed_cert_cache_parses_once_per_der() {
+        let pki = simple_chain("certcache.example");
+        let der = pki.leaf.to_der().to_vec();
+        let cache = ParsedCertCache::new(16);
+        let a = cache.parse(&der).unwrap();
+        let b = cache.parse(&der).unwrap();
+        assert_eq!(a.fingerprint(), pki.leaf.fingerprint());
+        assert_eq!(b.fingerprint(), pki.leaf.fingerprint());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        // A different certificate is a separate entry.
+        let other = cache.parse(pki.intermediate.to_der()).unwrap();
+        assert_eq!(other.fingerprint(), pki.intermediate.fingerprint());
+        assert_eq!(cache.len(), 2);
+        // Garbage DER is not cached.
+        assert!(cache.parse(b"not-a-cert").is_err());
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -51,9 +51,11 @@
 //! [`Registry::render_text`] — Prometheus text exposition over the same
 //! socket, so operators scrape the daemon without a second listener.
 
+use crate::cache::ParsedCertCache;
 use crate::gcc_eval::GccVerdict;
 use crate::validate::{GccOracle, InProcessOracle};
 use crate::CoreError;
+use nrslb_crypto::sha256::{Digest, Sha256};
 use nrslb_obs::{Counter, Gauge, Histogram, Registry, Span};
 use nrslb_rootstore::{RootStore, Usage};
 use nrslb_rsf::{Staleness, Subscriber, SyncCounters};
@@ -232,6 +234,7 @@ pub struct TrustDaemon {
     path: PathBuf,
     stop: Arc<AtomicBool>,
     oracle: Arc<InProcessOracle>,
+    cert_cache: Arc<ParsedCertCache>,
     instruments: DaemonInstruments,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -303,6 +306,7 @@ impl TrustDaemon {
             config.cache_shards,
             Some(&registry),
         ));
+        let cert_cache = Arc::new(ParsedCertCache::default());
         let instruments = DaemonInstruments::new(registry);
         // Bounded: with all workers busy, at most 2x`workers` accepted
         // connections queue before the accept loop itself blocks (and
@@ -312,13 +316,15 @@ impl TrustDaemon {
             .map(|_| {
                 let conn_rx = conn_rx.clone();
                 let oracle = Arc::clone(&oracle);
+                let certs = Arc::clone(&cert_cache);
                 let instruments = instruments.clone();
                 let stop = Arc::clone(&stop);
                 std::thread::spawn(move || {
                     // recv fails once the accept thread (the only
                     // sender) is gone and the queue has drained.
                     while let Ok(queued) = conn_rx.recv() {
-                        let _ = serve_connection(queued.take(), &*oracle, &instruments, &stop);
+                        let _ =
+                            serve_connection(queued.take(), &*oracle, &certs, &instruments, &stop);
                     }
                 })
             })
@@ -343,6 +349,7 @@ impl TrustDaemon {
             path,
             stop,
             oracle,
+            cert_cache,
             instruments,
             accept_thread: Some(accept_thread),
             workers: worker_handles,
@@ -358,6 +365,12 @@ impl TrustDaemon {
     /// The shared oracle (exposes the verdict cache for metrics).
     pub fn oracle(&self) -> &InProcessOracle {
         &self.oracle
+    }
+
+    /// The shared parsed-certificate cache (DER bytes → handle),
+    /// exposed so operators and tests can read its hit/miss counters.
+    pub fn cert_cache(&self) -> &ParsedCertCache {
+        &self.cert_cache
     }
 
     /// The daemon's metric registry.
@@ -445,6 +458,7 @@ const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(25);
 fn serve_connection(
     mut stream: UnixStream,
     oracle: &dyn GccOracle,
+    certs: &ParsedCertCache,
     instruments: &DaemonInstruments,
     stop: &AtomicBool,
 ) -> std::io::Result<()> {
@@ -477,7 +491,7 @@ fn serve_connection(
         // records on drop, so error paths are timed too.
         let span = instruments.span();
         instruments.requests.inc();
-        let reply = handle_request(opcode, &mut stream, oracle, instruments);
+        let reply = handle_request(opcode, &mut stream, oracle, certs, instruments);
         match reply {
             Ok(Reply::Verdicts(verdicts)) => {
                 stream.write_all(&[STATUS_OK])?;
@@ -508,7 +522,16 @@ fn serve_connection(
 }
 
 /// Read one `evaluate` body (usage byte + chain) off the wire.
-fn read_evaluate_body(stream: &mut UnixStream) -> Result<(Usage, Vec<Certificate>), String> {
+///
+/// Each certificate's wire bytes go through the shared
+/// [`ParsedCertCache`] (fast hash + byte-identity check), so on a hit
+/// the daemon skips the DER parse and gets back a handle whose
+/// fingerprint, hex form, and interned Datalog symbol were memoized by
+/// earlier requests.
+fn read_evaluate_body(
+    stream: &mut UnixStream,
+    certs: &ParsedCertCache,
+) -> Result<(Usage, Vec<Certificate>), String> {
     let usage = read_u8(stream)
         .ok()
         .and_then(usage_from_byte)
@@ -520,22 +543,35 @@ fn read_evaluate_body(stream: &mut UnixStream) -> Result<(Usage, Vec<Certificate
     let mut chain = Vec::with_capacity(n as usize);
     for _ in 0..n {
         let der = read_block(stream).map_err(|e| e.to_string())?;
-        let cert = Certificate::from_der(&der).map_err(|e| e.to_string())?;
+        let cert = certs.parse(&der).map_err(|e| e.to_string())?;
         chain.push(cert);
     }
     Ok((usage, chain))
+}
+
+/// Content identity of one batch item: the usage byte plus a digest of
+/// the chain's certificate fingerprints in order. Two items with equal
+/// keys are the same evaluation by construction, so the batch handler
+/// evaluates the first and clones its verdicts for the rest.
+fn batch_item_key(usage: Usage, chain: &[Certificate]) -> (u8, Digest) {
+    let mut h = Sha256::new();
+    for cert in chain {
+        h.update(cert.fingerprint().0);
+    }
+    (usage_to_byte(usage), h.finalize())
 }
 
 fn handle_request(
     opcode: u8,
     stream: &mut UnixStream,
     oracle: &dyn GccOracle,
+    certs: &ParsedCertCache,
     instruments: &DaemonInstruments,
 ) -> Result<Reply, String> {
     match opcode {
         OP_METRICS => Ok(Reply::Text(instruments.registry.render_text())),
         OP_EVALUATE => {
-            let (usage, chain) = read_evaluate_body(stream)?;
+            let (usage, chain) = read_evaluate_body(stream, certs)?;
             oracle
                 .evaluate(&chain, usage)
                 .map(Reply::Verdicts)
@@ -551,12 +587,26 @@ fn handle_request(
             // the single response frame.
             let mut items = Vec::with_capacity(n as usize);
             for _ in 0..n {
-                items.push(read_evaluate_body(stream)?);
+                items.push(read_evaluate_body(stream, certs)?);
             }
             instruments.batch_size.observe(items.len() as u64);
-            let mut batches = Vec::with_capacity(items.len());
-            for (usage, chain) in &items {
-                batches.push(oracle.evaluate(chain, *usage).map_err(|e| e.to_string())?);
+            // Page loads repeat chains (every subresource re-validates
+            // the same server chain), so dedup by content identity:
+            // evaluate each distinct (usage, chain) once and clone the
+            // verdicts — a refcount bump per name — for the repeats.
+            let mut first_at: std::collections::HashMap<(u8, Digest), usize> =
+                std::collections::HashMap::with_capacity(items.len());
+            let mut batches: Vec<Vec<GccVerdict>> = Vec::with_capacity(items.len());
+            for (i, (usage, chain)) in items.iter().enumerate() {
+                match first_at.entry(batch_item_key(*usage, chain)) {
+                    std::collections::hash_map::Entry::Occupied(seen) => {
+                        batches.push(batches[*seen.get()].clone());
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(i);
+                        batches.push(oracle.evaluate(chain, *usage).map_err(|e| e.to_string())?);
+                    }
+                }
             }
             Ok(Reply::Batch(batches))
         }
@@ -637,8 +687,8 @@ fn read_verdict_list(
     for _ in 0..n {
         let accepted = read_u8(stream)? != 0;
         let name = read_block(stream)?;
-        let gcc_name = match String::from_utf8(name) {
-            Ok(name) => name,
+        let gcc_name: std::sync::Arc<str> = match std::str::from_utf8(&name) {
+            Ok(name) => std::sync::Arc::from(name),
             Err(_) => return Ok(Err(CoreError::Daemon("non-utf8 GCC name".into()))),
         };
         verdicts.push(GccVerdict { gcc_name, accepted });
@@ -935,7 +985,7 @@ mod tests {
             let verdicts = client.evaluate(chain, usage).unwrap();
             let by_name: Vec<(&str, bool)> = verdicts
                 .iter()
-                .map(|v| (v.gcc_name.as_str(), v.accepted))
+                .map(|v| (&*v.gcc_name, v.accepted))
                 .collect();
             assert_eq!(
                 by_name,
@@ -1168,7 +1218,7 @@ mod tests {
         assert_eq!(batches.len(), 3);
         for (i, (_, usage)) in items.iter().enumerate() {
             assert_eq!(batches[i].len(), 1, "item {i}");
-            assert_eq!(batches[i][0].gcc_name, "tls-only");
+            assert_eq!(&*batches[i][0].gcc_name, "tls-only");
             assert_eq!(batches[i][0].accepted, *usage == Usage::Tls, "item {i}");
         }
 
@@ -1187,6 +1237,56 @@ mod tests {
         // Batch sizes were observed: two batch requests (3 chains, 0).
         let text = daemon.render_metrics();
         assert!(text.contains("nrslb_daemon_batch_size_count 2"), "{text}");
+    }
+
+    #[test]
+    fn cert_cache_parses_each_der_once_across_requests() {
+        let pki = simple_chain("certcache-daemon.example");
+        let store = tls_gated_store(&pki);
+        let daemon = TrustDaemon::spawn(store, ephemeral_socket_path("certcache")).unwrap();
+        let chain = vec![pki.leaf, pki.intermediate, pki.root];
+        let conn = daemon.connection();
+
+        assert!(conn.evaluate(&chain, Usage::Tls).unwrap()[0].accepted);
+        // First request: three certs, all parse-cache misses.
+        assert_eq!(daemon.cert_cache().misses(), 3);
+        assert_eq!(daemon.cert_cache().hits(), 0);
+
+        // Repeats of the same wire bytes never touch the DER parser.
+        for _ in 0..2 {
+            assert!(conn.evaluate(&chain, Usage::Tls).unwrap()[0].accepted);
+        }
+        assert_eq!(daemon.cert_cache().misses(), 3);
+        assert_eq!(daemon.cert_cache().hits(), 6);
+    }
+
+    #[test]
+    fn batch_dedups_repeated_chains_by_content() {
+        let pki = simple_chain("batchdedup.example");
+        let store = tls_gated_store(&pki);
+        let daemon = TrustDaemon::spawn(store, ephemeral_socket_path("batchdedup")).unwrap();
+        let chain = vec![pki.leaf, pki.intermediate, pki.root];
+        let conn = daemon.connection();
+
+        // Four copies of the same (chain, usage) plus one distinct
+        // usage: two distinct evaluations, five verdict lists.
+        let items: Vec<(&[Certificate], Usage)> = vec![
+            (&chain, Usage::Tls),
+            (&chain, Usage::Tls),
+            (&chain, Usage::SMime),
+            (&chain, Usage::Tls),
+            (&chain, Usage::Tls),
+        ];
+        let batches = conn.evaluate_batch(&items).unwrap();
+        assert_eq!(batches.len(), 5);
+        for (i, (_, usage)) in items.iter().enumerate() {
+            assert_eq!(batches[i][0].accepted, *usage == Usage::Tls, "item {i}");
+        }
+        // The duplicates were answered by cloning, not re-evaluation:
+        // the verdict cache saw exactly the two distinct items (both
+        // misses, no hits — dedup short-circuits before the oracle).
+        assert_eq!(daemon.oracle().cache().misses(), 2);
+        assert_eq!(daemon.oracle().cache().hits(), 0);
     }
 
     #[test]

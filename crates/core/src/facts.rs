@@ -25,14 +25,113 @@
 //!
 //! Certificate handles are the fingerprint hex itself, which is why
 //! Listing 2's `hash(Int, H), exempt(H)` works unchanged.
+//!
+//! Facts are emitted **pre-interned**: schema predicates are interned
+//! once per process (`fact_syms`), and each certificate's handle
+//! symbol is interned once per certificate and cached on the
+//! certificate itself ([`cert_sym`]), so converting a chain hashes
+//! small `u32` ids instead of rebuilding and re-hashing hex strings.
 
-use nrslb_datalog::{Database, Program, Val};
+use nrslb_datalog::intern::{ITuple, IVal, Sym};
+use nrslb_datalog::{intern, Database, Program};
 use nrslb_der::Oid;
+use nrslb_rootstore::Usage;
 use nrslb_x509::Certificate;
+use std::sync::{Arc, OnceLock};
+
+/// Pre-interned symbols for every schema predicate (plus the `valid`
+/// verdict predicate and the usage constants), resolved once per
+/// process.
+pub(crate) struct FactSyms {
+    pub(crate) chain: Sym,
+    pub(crate) leaf: Sym,
+    pub(crate) root: Sym,
+    pub(crate) intermediate: Sym,
+    pub(crate) chain_index: Sym,
+    pub(crate) signs: Sym,
+    pub(crate) hash: Sym,
+    pub(crate) not_before: Sym,
+    pub(crate) not_after: Sym,
+    pub(crate) subject: Sym,
+    pub(crate) issuer: Sym,
+    pub(crate) serial: Sym,
+    pub(crate) ev: Sym,
+    pub(crate) is_ca: Sym,
+    pub(crate) path_len: Sym,
+    pub(crate) san: Sym,
+    pub(crate) san_tld: Sym,
+    pub(crate) key_usage: Sym,
+    pub(crate) extended_key_usage: Sym,
+    pub(crate) permitted_subtree: Sym,
+    pub(crate) excluded_subtree: Sym,
+    pub(crate) valid: Sym,
+    tls: Sym,
+    smime: Sym,
+}
+
+impl FactSyms {
+    /// The interned symbol for a usage's Datalog constant.
+    pub(crate) fn usage(&self, usage: Usage) -> Sym {
+        match usage {
+            Usage::Tls => self.tls,
+            Usage::SMime => self.smime,
+        }
+    }
+}
+
+/// The process-wide schema symbols.
+pub(crate) fn fact_syms() -> &'static FactSyms {
+    static SYMS: OnceLock<FactSyms> = OnceLock::new();
+    SYMS.get_or_init(|| FactSyms {
+        chain: intern("chain"),
+        leaf: intern("leaf"),
+        root: intern("root"),
+        intermediate: intern("intermediate"),
+        chain_index: intern("chainIndex"),
+        signs: intern("signs"),
+        hash: intern("hash"),
+        not_before: intern("notBefore"),
+        not_after: intern("notAfter"),
+        subject: intern("subject"),
+        issuer: intern("issuer"),
+        serial: intern("serial"),
+        ev: intern("EV"),
+        is_ca: intern("isCA"),
+        path_len: intern("pathLen"),
+        san: intern("san"),
+        san_tld: intern("sanTld"),
+        key_usage: intern("keyUsage"),
+        extended_key_usage: intern("extendedKeyUsage"),
+        permitted_subtree: intern("permittedSubtree"),
+        excluded_subtree: intern("excludedSubtree"),
+        valid: intern("valid"),
+        tls: intern(Usage::Tls.as_datalog()),
+        smime: intern(Usage::SMime.as_datalog()),
+    })
+}
 
 /// The Datalog handle for a certificate: its SHA-256 fingerprint in hex.
-pub fn cert_id(cert: &Certificate) -> String {
-    cert.fingerprint().to_hex()
+///
+/// The hex is rendered at most once per certificate and shared by every
+/// clone (see [`Certificate::fingerprint_hex`]); this returns a refcount
+/// bump, not a fresh `String`.
+pub fn cert_id(cert: &Certificate) -> Arc<str> {
+    Arc::clone(cert.fingerprint_hex())
+}
+
+/// The certificate's handle as an interned symbol.
+///
+/// The symbol id is cached on the certificate itself after the first
+/// call, so re-emitting facts for a previously seen certificate skips
+/// the global symbol-table lookup entirely.
+pub fn cert_sym(cert: &Certificate) -> Sym {
+    match cert.symbol_token() {
+        Some(token) => Sym::from_raw(token),
+        None => {
+            let sym = intern(cert.fingerprint_hex());
+            Sym::from_raw(cert.set_symbol_token(sym.to_raw()))
+        }
+    }
 }
 
 /// The Datalog handle for a chain: `chain:` + the leaf's short hash.
@@ -59,77 +158,80 @@ fn eku_name(oid: &Oid) -> String {
     }
 }
 
+fn istr(s: &str) -> IVal {
+    IVal::Sym(intern(s))
+}
+
+fn fact1(db: &mut Database, pred: Sym, a: IVal) {
+    db.add_ifact(pred, ITuple::from_slice(&[a]));
+}
+
+fn fact2(db: &mut Database, pred: Sym, a: IVal, b: IVal) {
+    db.add_ifact(pred, ITuple::from_slice(&[a, b]));
+}
+
+fn fact3(db: &mut Database, pred: Sym, a: IVal, b: IVal, c: IVal) {
+    db.add_ifact(pred, ITuple::from_slice(&[a, b, c]));
+}
+
 /// Append the facts for one certificate (independent of chain position).
 pub fn cert_facts(cert: &Certificate, db: &mut Database) {
-    let id = Val::str(cert_id(cert));
-    db.add_fact(
-        "hash",
-        vec![id.clone(), Val::str(cert.fingerprint().to_hex())],
+    let syms = fact_syms();
+    let id = IVal::Sym(cert_sym(cert));
+    // The handle *is* the hex digest, so `hash` relates it to itself.
+    fact2(db, syms.hash, id, id);
+    fact2(
+        db,
+        syms.not_before,
+        id,
+        IVal::Int(cert.validity().not_before),
     );
-    db.add_fact(
-        "notBefore",
-        vec![id.clone(), Val::int(cert.validity().not_before)],
-    );
-    db.add_fact(
-        "notAfter",
-        vec![id.clone(), Val::int(cert.validity().not_after)],
-    );
-    db.add_fact(
-        "subject",
-        vec![id.clone(), Val::str(cert.subject().to_string())],
-    );
-    db.add_fact(
-        "issuer",
-        vec![id.clone(), Val::str(cert.issuer().to_string())],
-    );
-    db.add_fact(
-        "serial",
-        vec![id.clone(), Val::str(cert.serial().to_string())],
-    );
+    fact2(db, syms.not_after, id, IVal::Int(cert.validity().not_after));
+    fact2(db, syms.subject, id, istr(&cert.subject().to_string()));
+    fact2(db, syms.issuer, id, istr(&cert.issuer().to_string()));
+    fact2(db, syms.serial, id, istr(&cert.serial().to_string()));
     if cert.is_ev() {
-        db.add_fact("EV", vec![id.clone()]);
+        fact1(db, syms.ev, id);
     }
     if cert.is_ca() {
-        db.add_fact("isCA", vec![id.clone()]);
+        fact1(db, syms.is_ca, id);
     }
     if let Some(n) = cert.path_len() {
-        db.add_fact("pathLen", vec![id.clone(), Val::int(n as i64)]);
+        fact2(db, syms.path_len, id, IVal::Int(n as i64));
     }
     for san in cert.dns_names() {
-        db.add_fact("san", vec![id.clone(), Val::str(san)]);
+        fact2(db, syms.san, id, istr(san));
         // TLD extraction is a string operation Datalog cannot do itself;
         // providing it as a relation lets pre-emptive GCCs (§5.2)
         // constrain issuance scope by TLD.
         if let Some(tld) = nrslb_x509::name::tld(san) {
-            db.add_fact("sanTld", vec![id.clone(), Val::str(tld)]);
+            fact2(db, syms.san_tld, id, istr(&tld));
         }
     }
     if let Some(ku) = cert.extensions().key_usage {
         for name in ku.names() {
-            db.add_fact("keyUsage", vec![id.clone(), Val::str(name)]);
+            fact2(db, syms.key_usage, id, istr(name));
         }
     }
     if let Some(eku) = &cert.extensions().extended_key_usage {
         for oid in &eku.0 {
-            db.add_fact(
-                "extendedKeyUsage",
-                vec![id.clone(), Val::str(eku_name(oid))],
-            );
+            fact2(db, syms.extended_key_usage, id, istr(&eku_name(oid)));
         }
     }
     if let Some(nc) = &cert.extensions().name_constraints {
         for base in &nc.permitted {
-            db.add_fact("permittedSubtree", vec![id.clone(), Val::str(base)]);
+            fact2(db, syms.permitted_subtree, id, istr(base));
         }
         for base in &nc.excluded {
-            db.add_fact("excludedSubtree", vec![id.clone(), Val::str(base)]);
+            fact2(db, syms.excluded_subtree, id, istr(base));
         }
     }
 }
 
 /// Convert a complete chain (leaf first, root last) into a fact database.
 ///
-/// This is the **direct** path: facts are constructed in memory.
+/// This is the **direct** path: facts are constructed in memory, already
+/// interned.
 pub fn chain_facts(chain: &[Certificate]) -> Database {
     let mut db = Database::new();
     add_chain_facts(chain, &mut db);
@@ -139,27 +241,25 @@ pub fn chain_facts(chain: &[Certificate]) -> Database {
 /// Append chain facts to an existing database (used by the Hammurabi mode
 /// which layers policy facts on top).
 pub fn add_chain_facts(chain: &[Certificate], db: &mut Database) {
-    let cid = Val::str(chain_id(chain));
-    db.add_fact("chain", vec![cid.clone()]);
+    let syms = fact_syms();
+    let cid = istr(&chain_id(chain));
+    fact1(db, syms.chain, cid);
     for (i, cert) in chain.iter().enumerate() {
         cert_facts(cert, db);
-        let id = Val::str(cert_id(cert));
-        db.add_fact(
-            "chainIndex",
-            vec![cid.clone(), Val::int(i as i64), id.clone()],
-        );
+        let id = IVal::Sym(cert_sym(cert));
+        fact3(db, syms.chain_index, cid, IVal::Int(i as i64), id);
         if i == 0 {
-            db.add_fact("leaf", vec![cid.clone(), id.clone()]);
+            fact2(db, syms.leaf, cid, id);
         }
         if i == chain.len() - 1 {
-            db.add_fact("root", vec![cid.clone(), id.clone()]);
+            fact2(db, syms.root, cid, id);
         }
         if i != 0 && i != chain.len() - 1 {
-            db.add_fact("intermediate", vec![cid.clone(), id.clone()]);
+            fact2(db, syms.intermediate, cid, id);
         }
         if i + 1 < chain.len() {
-            let issuer_id = Val::str(cert_id(&chain[i + 1]));
-            db.add_fact("signs", vec![issuer_id, id]);
+            let issuer_id = IVal::Sym(cert_sym(&chain[i + 1]));
+            fact2(db, syms.signs, issuer_id, id);
         }
     }
 }
@@ -181,7 +281,7 @@ pub fn chain_facts_unoptimized(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nrslb_datalog::Engine;
+    use nrslb_datalog::{Engine, Val};
     use nrslb_x509::testutil::simple_chain;
 
     fn test_chain() -> Vec<Certificate> {
@@ -194,9 +294,9 @@ mod tests {
         let chain = test_chain();
         let db = chain_facts(&chain);
         let cid = Val::str(chain_id(&chain));
-        let leaf = Val::str(cert_id(&chain[0]));
-        let mid = Val::str(cert_id(&chain[1]));
-        let root = Val::str(cert_id(&chain[2]));
+        let leaf = Val::Str(cert_id(&chain[0]));
+        let mid = Val::Str(cert_id(&chain[1]));
+        let root = Val::Str(cert_id(&chain[2]));
 
         assert!(db.contains("chain", std::slice::from_ref(&cid)));
         assert!(db.contains("leaf", &[cid.clone(), leaf.clone()]));
@@ -212,7 +312,7 @@ mod tests {
         let chain = test_chain();
         let db = chain_facts(&chain);
         let leaf = &chain[0];
-        let id = Val::str(cert_id(leaf));
+        let id = Val::Str(cert_id(leaf));
         assert!(db.contains(
             "notBefore",
             &[id.clone(), Val::int(leaf.validity().not_before)]
@@ -226,7 +326,7 @@ mod tests {
         assert!(!db.contains("isCA", std::slice::from_ref(&id)));
         assert!(!db.contains("EV", &[id]));
 
-        let mid = Val::str(cert_id(&chain[1]));
+        let mid = Val::Str(cert_id(&chain[1]));
         assert!(db.contains("isCA", std::slice::from_ref(&mid)));
         assert!(db.contains("pathLen", &[mid, Val::int(0)]));
     }
@@ -242,6 +342,16 @@ mod tests {
     }
 
     #[test]
+    fn cert_sym_is_stable_and_matches_handle() {
+        let chain = test_chain();
+        let leaf = &chain[0];
+        let sym = cert_sym(leaf);
+        assert_eq!(cert_sym(leaf), sym, "token cached on the certificate");
+        assert_eq!(cert_sym(&leaf.clone()), sym, "shared through the Arc");
+        assert_eq!(&*sym.resolve(), &*cert_id(leaf));
+    }
+
+    #[test]
     fn unoptimized_path_equals_direct_path() {
         let chain = test_chain();
         let direct = chain_facts(&chain);
@@ -250,8 +360,8 @@ mod tests {
         let reparsed = Engine::new(&program).unwrap().run(Database::new()).unwrap();
         assert_eq!(reparsed.len(), direct.len());
         for pred in direct.predicates() {
-            for tuple in direct.tuples(pred) {
-                assert!(reparsed.contains(pred, tuple), "{pred}{tuple:?}");
+            for tuple in direct.tuples(&pred) {
+                assert!(reparsed.contains(&pred, &tuple), "{pred}{tuple:?}");
             }
         }
     }

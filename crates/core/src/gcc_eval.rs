@@ -17,8 +17,9 @@ use nrslb_x509::Certificate;
 /// The result of evaluating one GCC against one chain.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GccVerdict {
-    /// The GCC's name.
-    pub gcc_name: String,
+    /// The GCC's name — shared with the [`Gcc`] itself, so building a
+    /// verdict is a refcount bump, not a `String` copy.
+    pub gcc_name: std::sync::Arc<str>,
     /// Did `valid(Chain, Usage)` hold?
     pub accepted: bool,
 }

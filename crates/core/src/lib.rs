@@ -51,7 +51,10 @@ pub mod metrics;
 pub mod session;
 pub mod validate;
 
-pub use cache::{ShardedLru, SigMemo, SigMemoKey, DEFAULT_CACHE_SHARDS, DEFAULT_SIG_MEMO_CAPACITY};
+pub use cache::{
+    ParsedCertCache, ShardedLru, SigMemo, SigMemoKey, DEFAULT_CACHE_SHARDS,
+    DEFAULT_CERT_CACHE_CAPACITY, DEFAULT_SIG_MEMO_CAPACITY,
+};
 pub use chain::{ChainBuilder, ChainError};
 pub use facts::{cert_id, chain_facts, chain_facts_unoptimized, chain_id};
 pub use gcc_eval::{evaluate_gcc, evaluate_gccs, GccVerdict};

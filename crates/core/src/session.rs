@@ -4,9 +4,13 @@
 //! A [`ValidationSession`] converts a candidate chain into its Datalog
 //! fact representation exactly once and freezes it behind an
 //! `Arc<Database>`. Every GCC evaluated against the chain — and every
-//! usage it is evaluated for — reads through that shared base via a
-//! [`nrslb_datalog::LayeredDatabase`], so the per-GCC cost is one small
-//! overlay of derived tuples instead of a full clone of the fact base.
+//! usage it is evaluated for — reads through that shared base, so the
+//! per-GCC cost is one small overlay of derived tuples instead of a
+//! full clone of the fact base. The session also owns a reusable
+//! [`EvalScratch`]: overlay relations, binding slots, semi-naive delta
+//! sets and the pending queue are cleared capacity-retained between
+//! evaluations, so a warm cache-miss evaluation performs zero
+//! steady-state heap allocations.
 //!
 //! On top of that sits the [`VerdictCache`] (see [`crate::cache`]), a
 //! bounded sharded LRU keyed by `(chain, GCC source hash, usage)`.
@@ -19,14 +23,16 @@
 //! defers fact conversion until the first cache miss, so a fully warm
 //! chain costs a few hashes and cache probes — no Datalog at all.
 
-use crate::facts::{chain_facts, chain_id};
+use crate::facts::{chain_facts, chain_id, fact_syms};
 use crate::gcc_eval::GccVerdict;
 use crate::CoreError;
-use nrslb_crypto::sha256::{sha256, Digest};
-use nrslb_datalog::{Database, Engine, EvalMode, Val};
+use nrslb_crypto::sha256::{Digest, Sha256};
+use nrslb_datalog::eval::DEFAULT_BUDGET;
+use nrslb_datalog::intern::{IVal, Sym};
+use nrslb_datalog::{Database, Engine, EvalMode, EvalScratch, Val};
 use nrslb_rootstore::{Gcc, Usage};
 use nrslb_x509::Certificate;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 pub use crate::cache::{VerdictCache, VerdictKey, DEFAULT_VERDICT_CACHE_CAPACITY};
 
@@ -34,31 +40,52 @@ pub use crate::cache::{VerdictCache, VerdictKey, DEFAULT_VERDICT_CACHE_CAPACITY}
 /// fingerprints in order. This is the verdict-cache key component —
 /// unlike [`chain_id`], which is only unique *within* one validation,
 /// it distinguishes chains sharing a leaf. Computable without building
-/// any facts, which is what makes the lazy fast path possible.
+/// any facts (and without allocating: the digest is streamed), which is
+/// what makes the lazy fast path possible.
 pub fn chain_content_key(chain: &[Certificate]) -> Digest {
-    let mut fingerprints = Vec::with_capacity(chain.len() * 32);
+    let mut hasher = Sha256::new();
     for cert in chain {
-        fingerprints.extend_from_slice(&cert.fingerprint().0);
+        hasher.update(cert.fingerprint().0);
     }
-    sha256(&fingerprints)
+    hasher.finalize()
 }
 
 /// A candidate chain converted to facts once, shared by every GCC (and
 /// usage) evaluated against it.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ValidationSession {
     facts: Arc<Database>,
     handle: String,
+    handle_sym: Sym,
     chain_key: Digest,
+    /// Reusable evaluation buffers; fresh per clone (scratch state is
+    /// transient, never part of the session's identity).
+    scratch: Mutex<EvalScratch>,
+}
+
+impl Clone for ValidationSession {
+    fn clone(&self) -> ValidationSession {
+        ValidationSession {
+            facts: Arc::clone(&self.facts),
+            handle: self.handle.clone(),
+            handle_sym: self.handle_sym,
+            chain_key: self.chain_key,
+            scratch: Mutex::new(EvalScratch::new()),
+        }
+    }
 }
 
 impl ValidationSession {
     /// Convert `chain` (leaf first) into a frozen, shareable fact base.
     pub fn new(chain: &[Certificate]) -> ValidationSession {
+        let handle = chain_id(chain);
+        let handle_sym = nrslb_datalog::intern(&handle);
         ValidationSession {
             facts: Arc::new(chain_facts(chain)),
-            handle: chain_id(chain),
+            handle,
+            handle_sym,
             chain_key: chain_content_key(chain),
+            scratch: Mutex::new(EvalScratch::new()),
         }
     }
 
@@ -77,15 +104,31 @@ impl ValidationSession {
         self.chain_key
     }
 
+    fn scratch(&self) -> std::sync::MutexGuard<'_, EvalScratch> {
+        self.scratch.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Did the last run derive `valid(handle, usage)`? Probes the
+    /// scratch overlay with pre-interned symbols — no allocation, no
+    /// string hashing.
+    fn verdict(&self, scratch: &EvalScratch, usage: Usage) -> bool {
+        let syms = fact_syms();
+        let query = [IVal::Sym(self.handle_sym), IVal::Sym(syms.usage(usage))];
+        scratch.overlay().icontains(syms.valid, &query)
+    }
+
     /// Evaluate one GCC against the shared fact base. The base is not
-    /// cloned; the GCC's derived tuples live in a private overlay that
-    /// is discarded after the query.
+    /// cloned; the GCC's derived tuples land in the session's reusable
+    /// scratch overlay (cleared capacity-retained, not reallocated).
     pub fn evaluate_gcc(&self, gcc: &Gcc, usage: Usage) -> Result<bool, CoreError> {
-        let out = gcc.compiled().evaluate(Arc::clone(&self.facts))?;
-        Ok(out.contains(
-            "valid",
-            &[Val::str(&*self.handle), Val::str(usage.as_datalog())],
-        ))
+        let mut scratch = self.scratch();
+        gcc.compiled().evaluate_reusing(
+            &self.facts,
+            &mut scratch,
+            EvalMode::SemiNaive,
+            DEFAULT_BUDGET,
+        )?;
+        Ok(self.verdict(&scratch, usage))
     }
 
     /// [`ValidationSession::evaluate_gcc`] with the engine reporting
@@ -96,30 +139,44 @@ impl ValidationSession {
         usage: Usage,
         metrics: &nrslb_datalog::EvalMetrics,
     ) -> Result<bool, CoreError> {
-        let (out, _stats) = gcc.compiled().evaluate_metered(
-            Arc::clone(&self.facts),
+        let mut scratch = self.scratch();
+        gcc.compiled().evaluate_reusing_metered(
+            &self.facts,
+            &mut scratch,
             EvalMode::SemiNaive,
-            nrslb_datalog::eval::DEFAULT_BUDGET,
+            DEFAULT_BUDGET,
             metrics,
         )?;
+        Ok(self.verdict(&scratch, usage))
+    }
+
+    /// Evaluate one GCC with the reference naive-iteration engine
+    /// instead of the compiled stratified pipeline.
+    ///
+    /// This is a differential-testing hook: naive iteration shares the
+    /// interned storage with [`ValidationSession::evaluate_gcc`] but
+    /// none of the semi-naive delta machinery. It clones the fact base
+    /// per call — strictly a test/oracle path, never the serving path.
+    pub fn evaluate_gcc_naive(&self, gcc: &Gcc, usage: Usage) -> Result<bool, CoreError> {
+        let engine = Engine::from_compiled(Arc::clone(gcc.compiled())).with_mode(EvalMode::Naive);
+        let out = engine.run((*self.facts).clone())?;
         Ok(out.contains(
             "valid",
             &[Val::str(&*self.handle), Val::str(usage.as_datalog())],
         ))
     }
 
-    /// Evaluate one GCC with the reference naive-iteration engine
-    /// instead of the compiled stratified pipeline.
+    /// Evaluate one GCC on the **string-path reference evaluator**
+    /// ([`nrslb_datalog::evaluate_strings`]), which shares no execution
+    /// machinery with the interned engine at all — relations keyed by
+    /// strings, tuples of owned [`Val`]s, naive iteration.
     ///
-    /// This is the differential-testing hook: the naive evaluator
-    /// shares no execution machinery with
-    /// [`ValidationSession::evaluate_gcc`] beyond the parsed rules, so
-    /// agreement between the two is strong evidence the compiled path
-    /// computes the right fixpoint. It clones the fact base per call —
-    /// strictly a test/oracle path, never the serving path.
-    pub fn evaluate_gcc_naive(&self, gcc: &Gcc, usage: Usage) -> Result<bool, CoreError> {
-        let engine = Engine::from_compiled(Arc::clone(gcc.compiled())).with_mode(EvalMode::Naive);
-        let out = engine.run((*self.facts).clone())?;
+    /// This is the `interned-vs-string` differential arm: agreement
+    /// here checks the entire interning layer (symbol table, `ITuple`
+    /// storage, compiled IR) against the pre-interning execution model.
+    pub fn evaluate_gcc_string(&self, gcc: &Gcc, usage: Usage) -> Result<bool, CoreError> {
+        let out =
+            nrslb_datalog::evaluate_strings(gcc.compiled().program(), &self.facts, DEFAULT_BUDGET)?;
         Ok(out.contains(
             "valid",
             &[Val::str(&*self.handle), Val::str(usage.as_datalog())],
@@ -168,7 +225,7 @@ impl ValidationSession {
                 }
             };
             verdicts.push(GccVerdict {
-                gcc_name: gcc.name().to_string(),
+                gcc_name: Arc::clone(gcc.name_shared()),
                 accepted,
             });
         }
@@ -198,9 +255,25 @@ pub fn evaluate_gccs_lazy(
     cache: &VerdictCache,
     metrics: Option<&nrslb_datalog::EvalMetrics>,
 ) -> Result<Vec<GccVerdict>, CoreError> {
+    let mut verdicts = Vec::with_capacity(gccs.len());
+    evaluate_gccs_lazy_into(chain, gccs, usage, cache, metrics, &mut verdicts)?;
+    Ok(verdicts)
+}
+
+/// [`evaluate_gccs_lazy`] writing into a caller-provided buffer
+/// (cleared first), so a serving loop can reuse one verdict `Vec`
+/// across requests instead of allocating per call.
+pub fn evaluate_gccs_lazy_into(
+    chain: &[Certificate],
+    gccs: &[Gcc],
+    usage: Usage,
+    cache: &VerdictCache,
+    metrics: Option<&nrslb_datalog::EvalMetrics>,
+    verdicts: &mut Vec<GccVerdict>,
+) -> Result<(), CoreError> {
+    verdicts.clear();
     let chain_key = chain_content_key(chain);
     let mut session: Option<ValidationSession> = None;
-    let mut verdicts = Vec::with_capacity(gccs.len());
     for gcc in gccs {
         let key = VerdictKey {
             chain: chain_key,
@@ -220,16 +293,17 @@ pub fn evaluate_gccs_lazy(
             }
         };
         verdicts.push(GccVerdict {
-            gcc_name: gcc.name().to_string(),
+            gcc_name: Arc::clone(gcc.name_shared()),
             accepted,
         });
     }
-    Ok(verdicts)
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nrslb_crypto::sha256::sha256;
     use nrslb_rootstore::GccMetadata;
     use nrslb_x509::testutil::simple_chain;
 
@@ -240,6 +314,16 @@ mod tests {
 
     fn gcc(name: &str, src: &str) -> Gcc {
         Gcc::parse(name, Digest::ZERO, src, GccMetadata::default()).unwrap()
+    }
+
+    #[test]
+    fn content_key_streams_to_the_same_digest() {
+        let chain = chain();
+        let mut concat = Vec::new();
+        for cert in &chain {
+            concat.extend_from_slice(&cert.fingerprint().0);
+        }
+        assert_eq!(chain_content_key(&chain), sha256(&concat));
     }
 
     #[test]
@@ -259,6 +343,28 @@ mod tests {
         );
         // Nothing held onto the base: evaluation borrowed it per GCC.
         assert_eq!(Arc::strong_count(session.facts()), before);
+    }
+
+    #[test]
+    fn string_reference_agrees_with_interned_paths() {
+        let chain = chain();
+        let session = ValidationSession::new(&chain);
+        let gccs = [
+            gcc("accept", r#"valid(Chain, "TLS") :- leaf(Chain, _)."#),
+            gcc("reject", r#"valid(Chain, "TLS") :- leaf(Chain, C), EV(C)."#),
+            gcc(
+                "lifetime",
+                r#"valid(Chain, "TLS") :- leaf(Chain, C), notBefore(C, NB),
+                   notAfter(C, NA), L = NA - NB, L < 100000000."#,
+            ),
+        ];
+        for g in &gccs {
+            for usage in Usage::ALL {
+                let interned = session.evaluate_gcc(g, usage).unwrap();
+                assert_eq!(interned, session.evaluate_gcc_string(g, usage).unwrap());
+                assert_eq!(interned, session.evaluate_gcc_naive(g, usage).unwrap());
+            }
+        }
     }
 
     #[test]
@@ -322,8 +428,10 @@ mod tests {
         );
         assert_eq!((cache.hits(), cache.misses()), (0, 2));
         // Warm pass: every verdict answered from the cache; the eager
-        // path agrees verdict-for-verdict.
-        let warm = evaluate_gccs_lazy(&chain, &gccs, Usage::Tls, &cache, None).unwrap();
+        // path agrees verdict-for-verdict. The `_into` form reuses the
+        // caller's buffer.
+        let mut warm = Vec::new();
+        evaluate_gccs_lazy_into(&chain, &gccs, Usage::Tls, &cache, None, &mut warm).unwrap();
         assert_eq!(warm, cold);
         assert_eq!((cache.hits(), cache.misses()), (2, 2));
         let eager = ValidationSession::new(&chain)

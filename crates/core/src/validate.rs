@@ -541,7 +541,7 @@ impl Validator {
             ValidationMode::Hammurabi => unreachable!("handled above"),
         };
         if let Some(bad) = verdicts.iter().find(|v| !v.accepted) {
-            let name = bad.gcc_name.clone();
+            let name = bad.gcc_name.to_string();
             attempt.gcc_verdicts = verdicts;
             reject(&mut attempt, RejectReason::GccRejected { gcc_name: name });
             return Ok(attempt);

@@ -3,16 +3,102 @@
 //! [`CompiledProgram`] is the immutable product of the safety and
 //! stratification checks: rules grouped into strata, plus the set of
 //! predicates derived in each stratum. Compiling happens once per GCC
-//! (at parse/load time); evaluation happens once per (chain, usage)
-//! query and reads the chain's facts through a [`LayeredDatabase`], so
-//! the shared fact base is never cloned per run.
+//! (at parse/load time) and **lowers every rule to the interned IR**:
+//! predicates and string constants become [`Sym`]s, variables become
+//! dense per-rule slots, and the semi-naive join then compares `u32`
+//! ids instead of hashing `Arc<str>`. Evaluation happens once per
+//! (chain, usage) query and reads the chain's facts through a
+//! [`LayeredDatabase`], so the shared fact base is never cloned per run.
+//!
+//! [`EvalScratch`] holds every transient buffer an evaluation needs
+//! (derived-tuple overlay, variable bindings, semi-naive delta sets,
+//! the pending queue). Reusing one scratch across evaluations via
+//! [`CompiledProgram::evaluate_reusing`] makes a steady-state run
+//! allocation-free: all buffers are cleared capacity-retained, and
+//! small-arity tuples ([`crate::intern::ITuple`]) live inline.
 
-use crate::ast::{ArithOp, BodyItem, CmpOp, Expr, Literal, Program, Rule, Term, Val};
-use crate::eval::{EvalMode, EvalStats, Tuple, DEFAULT_BUDGET};
+use crate::ast::{ArithOp, BodyItem, CmpOp, Expr, Literal, Program, Rule, Term};
+use crate::eval::{Database, EvalMode, EvalStats, DEFAULT_BUDGET};
+use crate::intern::{intern, FxBuild, ITuple, ITupleSet, IVal, Sym, SymMap};
 use crate::layered::LayeredDatabase;
 use crate::{safety, stratify, DatalogError};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+/// A compiled term: an interned constant or a dense variable slot.
+#[derive(Clone, Copy, Debug)]
+enum CTerm {
+    Const(IVal),
+    Var(u16),
+}
+
+/// A compiled literal: interned predicate plus compiled argument terms.
+#[derive(Clone, Debug)]
+struct CLit {
+    pred: Sym,
+    args: Vec<CTerm>,
+}
+
+/// A compiled arithmetic expression.
+#[derive(Clone, Debug)]
+enum CExpr {
+    Term(CTerm),
+    Bin(Box<CExpr>, ArithOp, Box<CExpr>),
+}
+
+/// One compiled body item.
+#[derive(Clone, Debug)]
+enum CItem {
+    Pos(CLit),
+    Neg(CLit),
+    Cmp(CExpr, CmpOp, CExpr),
+    Assign(u16, CExpr),
+}
+
+/// A rule lowered to the interned IR.
+#[derive(Clone, Debug)]
+struct CRule {
+    head_pred: Sym,
+    head_args: Vec<CTerm>,
+    body: Vec<CItem>,
+    /// Number of distinct variables (the env slot count).
+    var_count: usize,
+}
+
+impl CRule {
+    fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+}
+
+/// Reusable evaluation state: every buffer one run needs, retained
+/// between runs so a warm evaluation performs no steady-state heap
+/// allocation.
+///
+/// One scratch serves any number of sequential evaluations (of the same
+/// or different programs). [`CompiledProgram::evaluate_reusing`] clears
+/// the buffers capacity-retained at entry and leaves the derived tuples
+/// in [`EvalScratch::overlay`] for the caller to query.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    overlay: Database,
+    pending: Vec<(Sym, ITuple)>,
+    delta: SymMap<ITupleSet>,
+    next_delta: SymMap<ITupleSet>,
+    env: Vec<Option<IVal>>,
+}
+
+impl EvalScratch {
+    /// A fresh scratch (all buffers empty).
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+
+    /// The overlay holding the most recent run's derived tuples.
+    pub fn overlay(&self) -> &Database {
+        &self.overlay
+    }
+}
 
 /// A checked, pre-stratified program, ready to evaluate any number of
 /// times against different fact bases.
@@ -22,28 +108,40 @@ use std::sync::Arc;
 #[derive(Clone, Debug)]
 pub struct CompiledProgram {
     program: Program,
-    /// Rule indices grouped by stratum, in evaluation order.
+    /// Rules lowered to the interned IR, aligned with `program.rules`.
+    crules: Vec<CRule>,
+    /// Non-fact rule indices grouped by stratum, in evaluation order.
     strata: Vec<Vec<usize>>,
-    /// Predicates derived in each stratum (drives semi-naive deltas).
-    derived_by_stratum: Vec<HashSet<Arc<str>>>,
+    /// Predicate symbols derived in each stratum (drives semi-naive
+    /// deltas).
+    derived_syms: Vec<HashSet<Sym, FxBuild>>,
 }
 
 impl CompiledProgram {
-    /// Check `program` and pre-compute its strata.
+    /// Check `program`, pre-compute its strata and lower it to the
+    /// interned IR.
     pub fn compile(program: &Program) -> Result<CompiledProgram, DatalogError> {
         safety::check_program(program)?;
         let strat = stratify::stratify(program)?;
+        let crules: Vec<CRule> = program
+            .rules
+            .iter()
+            .map(compile_rule)
+            .collect::<Result<_, _>>()?;
         let mut strata: Vec<Vec<usize>> = vec![Vec::new(); strat.count];
-        let mut derived_by_stratum: Vec<HashSet<Arc<str>>> = vec![HashSet::new(); strat.count];
+        let mut derived_syms: Vec<HashSet<Sym, FxBuild>> = vec![HashSet::default(); strat.count];
         for (i, rule) in program.rules.iter().enumerate() {
             let s = strat.of(&rule.head.pred);
-            strata[s].push(i);
-            derived_by_stratum[s].insert(rule.head.pred.clone());
+            derived_syms[s].insert(crules[i].head_pred);
+            if !crules[i].is_fact() {
+                strata[s].push(i);
+            }
         }
         Ok(CompiledProgram {
             program: program.clone(),
+            crules,
             strata,
-            derived_by_stratum,
+            derived_syms,
         })
     }
 
@@ -110,42 +208,119 @@ impl CompiledProgram {
         mode: EvalMode,
         budget: usize,
     ) -> Result<EvalStats, DatalogError> {
+        let mut scratch = EvalScratch::new();
+        self.evaluate_layered_scratch(db, mode, budget, &mut scratch)
+    }
+
+    /// [`CompiledProgram::evaluate_layered`] reusing a caller-provided
+    /// scratch for all transient evaluation state.
+    pub fn evaluate_layered_scratch(
+        &self,
+        db: &mut LayeredDatabase,
+        mode: EvalMode,
+        budget: usize,
+        scratch: &mut EvalScratch,
+    ) -> Result<EvalStats, DatalogError> {
+        let (base, overlay) = db.split_mut();
+        self.run(base, overlay, scratch, mode, budget)
+    }
+
+    /// Evaluate against `base`, writing derived tuples into the
+    /// scratch's own overlay (cleared capacity-retained at entry; query
+    /// it via [`EvalScratch::overlay`] afterwards).
+    ///
+    /// This is the warm serving path: with a warmed scratch, a run
+    /// performs zero steady-state heap allocations — bindings, deltas,
+    /// the pending queue and the overlay's relation storage are all
+    /// reused, and small-arity tuples stay inline.
+    pub fn evaluate_reusing(
+        &self,
+        base: &Database,
+        scratch: &mut EvalScratch,
+        mode: EvalMode,
+        budget: usize,
+    ) -> Result<EvalStats, DatalogError> {
+        let mut overlay = std::mem::take(&mut scratch.overlay);
+        overlay.clear_retaining();
+        let result = self.run(base, &mut overlay, scratch, mode, budget);
+        scratch.overlay = overlay;
+        result
+    }
+
+    /// [`CompiledProgram::evaluate_reusing`], reporting into `metrics`
+    /// exactly like [`CompiledProgram::evaluate_metered`].
+    pub fn evaluate_reusing_metered(
+        &self,
+        base: &Database,
+        scratch: &mut EvalScratch,
+        mode: EvalMode,
+        budget: usize,
+        metrics: &crate::metrics::EvalMetrics,
+    ) -> Result<EvalStats, DatalogError> {
+        let _span = metrics.span();
+        match self.evaluate_reusing(base, scratch, mode, budget) {
+            Ok(stats) => {
+                metrics.record(&stats);
+                Ok(stats)
+            }
+            Err(e) => {
+                metrics.eval_errors.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// The full fixpoint loop over (base, overlay) with scratch state.
+    fn run(
+        &self,
+        base: &Database,
+        overlay: &mut Database,
+        scratch: &mut EvalScratch,
+        mode: EvalMode,
+        budget: usize,
+    ) -> Result<EvalStats, DatalogError> {
+        // A failed previous run may have left residue.
+        scratch.pending.clear();
         let mut stats = EvalStats::default();
         // Program facts (ground heads, checked by safety) seed the run.
-        for rule in &self.program.rules {
-            if rule.is_fact() {
-                let tuple: Tuple = rule
-                    .head
-                    .args
-                    .iter()
-                    .map(|t| match t {
-                        Term::Const(v) => v.clone(),
-                        Term::Var(_) => unreachable!("safety rejects non-ground facts"),
-                    })
-                    .collect();
-                if db.add_fact(rule.head.pred.clone(), tuple) {
+        for crule in &self.crules {
+            if crule.is_fact() {
+                let mut tuple = ITuple::new();
+                for arg in &crule.head_args {
+                    tuple.push(match arg {
+                        CTerm::Const(v) => *v,
+                        CTerm::Var(_) => unreachable!("safety rejects non-ground facts"),
+                    });
+                }
+                if !base.icontains(crule.head_pred, tuple.as_slice())
+                    && overlay.add_ifact(crule.head_pred, tuple)
+                {
                     stats.derived += 1;
                 }
             }
         }
         for (stratum_idx, rule_indices) in self.strata.iter().enumerate() {
-            let rules: Vec<&Rule> = rule_indices
-                .iter()
-                .map(|&i| &self.program.rules[i])
-                .filter(|r| !r.is_fact())
-                .collect();
-            if rules.is_empty() {
+            if rule_indices.is_empty() {
                 continue;
             }
             match mode {
                 EvalMode::SemiNaive => self.run_stratum_semi_naive(
-                    &rules,
-                    &self.derived_by_stratum[stratum_idx],
-                    db,
+                    rule_indices,
+                    &self.derived_syms[stratum_idx],
+                    base,
+                    overlay,
+                    scratch,
                     budget,
                     &mut stats,
                 )?,
-                EvalMode::Naive => self.run_stratum_naive(&rules, db, budget, &mut stats)?,
+                EvalMode::Naive => self.run_stratum_naive(
+                    rule_indices,
+                    base,
+                    overlay,
+                    scratch,
+                    budget,
+                    &mut stats,
+                )?,
             }
         }
         Ok(stats)
@@ -153,23 +328,29 @@ impl CompiledProgram {
 
     fn run_stratum_naive(
         &self,
-        rules: &[&Rule],
-        db: &mut LayeredDatabase,
+        rules: &[usize],
+        base: &Database,
+        overlay: &mut Database,
+        scratch: &mut EvalScratch,
         budget: usize,
         stats: &mut EvalStats,
     ) -> Result<(), DatalogError> {
         loop {
             stats.rounds += 1;
-            let mut new_tuples: Vec<(Arc<str>, Tuple)> = Vec::new();
-            for rule in rules {
+            for &ri in rules {
                 stats.rule_applications += 1;
-                evaluate_rule(rule, db, None, &mut |pred, tuple| {
-                    new_tuples.push((pred, tuple));
-                })?;
+                evaluate_crule(
+                    &self.crules[ri],
+                    base,
+                    overlay,
+                    None,
+                    &mut scratch.env,
+                    &mut scratch.pending,
+                )?;
             }
             let mut changed = false;
-            for (pred, tuple) in new_tuples {
-                if db.add_fact(pred, tuple) {
+            for (pred, tuple) in scratch.pending.drain(..) {
+                if !base.icontains(pred, tuple.as_slice()) && overlay.add_ifact(pred, tuple) {
                     stats.derived += 1;
                     changed = true;
                     if stats.derived > budget {
@@ -183,64 +364,84 @@ impl CompiledProgram {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_stratum_semi_naive(
         &self,
-        rules: &[&Rule],
-        stratum_preds: &HashSet<Arc<str>>,
-        db: &mut LayeredDatabase,
+        rules: &[usize],
+        stratum_syms: &HashSet<Sym, FxBuild>,
+        base: &Database,
+        overlay: &mut Database,
+        scratch: &mut EvalScratch,
         budget: usize,
         stats: &mut EvalStats,
     ) -> Result<(), DatalogError> {
-        // Round 0: full evaluation; derived tuples seed the delta.
+        // Round 0: full evaluation; derived tuples seed the delta. The
+        // delta maps are reused across runs: sets are cleared
+        // capacity-retained, and stale keys with empty sets are inert.
         stats.rounds += 1;
-        let mut delta: HashMap<Arc<str>, HashSet<Tuple>> = HashMap::new();
-        let mut pending: Vec<(Arc<str>, Tuple)> = Vec::new();
-        for rule in rules {
-            stats.rule_applications += 1;
-            evaluate_rule(rule, db, None, &mut |pred, tuple| {
-                pending.push((pred, tuple));
-            })?;
+        for set in scratch.delta.values_mut() {
+            set.clear();
         }
-        for (pred, tuple) in pending.drain(..) {
-            if db.add_fact(pred.clone(), tuple.clone()) {
+        for &ri in rules {
+            stats.rule_applications += 1;
+            evaluate_crule(
+                &self.crules[ri],
+                base,
+                overlay,
+                None,
+                &mut scratch.env,
+                &mut scratch.pending,
+            )?;
+        }
+        for (pred, tuple) in scratch.pending.drain(..) {
+            if !base.icontains(pred, tuple.as_slice()) && overlay.add_ifact(pred, tuple.clone()) {
                 stats.derived += 1;
-                delta.entry(pred).or_default().insert(tuple);
+                scratch.delta.entry(pred).or_default().insert(tuple);
             }
         }
         check_budget(stats, budget)?;
 
         // Subsequent rounds: only rule instantiations touching the delta.
-        while !delta.is_empty() {
+        while scratch.delta.values().any(|s| !s.is_empty()) {
             stats.rounds += 1;
-            let mut next_delta: HashMap<Arc<str>, HashSet<Tuple>> = HashMap::new();
-            for rule in rules {
+            for set in scratch.next_delta.values_mut() {
+                set.clear();
+            }
+            for &ri in rules {
+                let rule = &self.crules[ri];
                 // For each positive literal over a predicate in this
                 // stratum, re-run with that literal restricted to delta.
                 for (idx, item) in rule.body.iter().enumerate() {
-                    let BodyItem::Pos(lit) = item else { continue };
-                    if !stratum_preds.contains(&lit.pred) {
+                    let CItem::Pos(lit) = item else { continue };
+                    if !stratum_syms.contains(&lit.pred) {
                         continue;
                     }
-                    let Some(dset) = delta.get(&lit.pred) else {
+                    let Some(dset) = scratch.delta.get(&lit.pred) else {
                         continue;
                     };
                     if dset.is_empty() {
                         continue;
                     }
                     stats.rule_applications += 1;
-                    evaluate_rule(rule, db, Some((idx, dset)), &mut |p, t| {
-                        pending.push((p, t));
-                    })?;
+                    evaluate_crule(
+                        rule,
+                        base,
+                        overlay,
+                        Some((idx, dset)),
+                        &mut scratch.env,
+                        &mut scratch.pending,
+                    )?;
                 }
             }
-            for (pred, tuple) in pending.drain(..) {
-                if db.add_fact(pred.clone(), tuple.clone()) {
+            for (pred, tuple) in scratch.pending.drain(..) {
+                if !base.icontains(pred, tuple.as_slice()) && overlay.add_ifact(pred, tuple.clone())
+                {
                     stats.derived += 1;
-                    next_delta.entry(pred).or_default().insert(tuple);
+                    scratch.next_delta.entry(pred).or_default().insert(tuple);
                 }
             }
             check_budget(stats, budget)?;
-            delta = next_delta;
+            std::mem::swap(&mut scratch.delta, &mut scratch.next_delta);
         }
         Ok(())
     }
@@ -254,75 +455,164 @@ fn check_budget(stats: &EvalStats, budget: usize) -> Result<(), DatalogError> {
     }
 }
 
-type Env = HashMap<Arc<str>, Val>;
+/// Upper bound on per-literal arity: newly-bound argument positions are
+/// tracked in a `u128` bitmask so backtracking never allocates.
+const MAX_LITERAL_ARITY: usize = 128;
 
-/// Evaluate one rule against the layered view, calling `emit` for each
-/// derived head tuple. When `delta` is `Some((idx, tuples))`, body
-/// literal `idx` iterates over `tuples` instead of the full relation.
-fn evaluate_rule(
-    rule: &Rule,
-    db: &LayeredDatabase,
-    delta: Option<(usize, &HashSet<Tuple>)>,
-    emit: &mut dyn FnMut(Arc<str>, Tuple),
-) -> Result<(), DatalogError> {
-    let mut env: Env = HashMap::new();
-    solve(rule, 0, db, delta, &mut env, emit)
+/// Dense per-rule variable slot assignment (first occurrence order).
+struct VarSlots<'a> {
+    map: HashMap<&'a str, u16>,
 }
 
+impl<'a> VarSlots<'a> {
+    fn slot(&mut self, name: &'a str) -> Result<u16, DatalogError> {
+        if let Some(&s) = self.map.get(name) {
+            return Ok(s);
+        }
+        let next = u16::try_from(self.map.len()).map_err(|_| DatalogError::Eval {
+            message: format!("rule exceeds {} variables", u16::MAX),
+        })?;
+        self.map.insert(name, next);
+        Ok(next)
+    }
+
+    fn cterm(&mut self, term: &'a Term) -> Result<CTerm, DatalogError> {
+        Ok(match term {
+            Term::Const(v) => CTerm::Const(IVal::from_val(v)),
+            Term::Var(v) => CTerm::Var(self.slot(v)?),
+        })
+    }
+
+    fn clit(&mut self, lit: &'a Literal) -> Result<CLit, DatalogError> {
+        if lit.args.len() > MAX_LITERAL_ARITY {
+            return Err(DatalogError::Eval {
+                message: format!("literal `{lit}` exceeds arity {MAX_LITERAL_ARITY}"),
+            });
+        }
+        Ok(CLit {
+            pred: intern(&lit.pred),
+            args: lit
+                .args
+                .iter()
+                .map(|t| self.cterm(t))
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    fn cexpr(&mut self, expr: &'a Expr) -> Result<CExpr, DatalogError> {
+        Ok(match expr {
+            Expr::Term(t) => CExpr::Term(self.cterm(t)?),
+            Expr::Bin(l, op, r) => {
+                CExpr::Bin(Box::new(self.cexpr(l)?), *op, Box::new(self.cexpr(r)?))
+            }
+        })
+    }
+}
+
+/// Lower one rule to the interned IR, assigning dense variable slots.
+fn compile_rule(rule: &Rule) -> Result<CRule, DatalogError> {
+    let mut slots = VarSlots {
+        map: HashMap::new(),
+    };
+    let mut body = Vec::with_capacity(rule.body.len());
+    for item in &rule.body {
+        body.push(match item {
+            BodyItem::Pos(lit) => CItem::Pos(slots.clit(lit)?),
+            BodyItem::Neg(lit) => CItem::Neg(slots.clit(lit)?),
+            BodyItem::Cmp(l, op, r) => CItem::Cmp(slots.cexpr(l)?, *op, slots.cexpr(r)?),
+            BodyItem::Assign(var, expr) => {
+                let e = slots.cexpr(expr)?;
+                CItem::Assign(slots.slot(var)?, e)
+            }
+        });
+    }
+    let head_args = rule
+        .head
+        .args
+        .iter()
+        .map(|t| slots.cterm(t))
+        .collect::<Result<Vec<_>, _>>()?;
+    let var_count = slots.map.len();
+    Ok(CRule {
+        head_pred: intern(&rule.head.pred),
+        head_args,
+        body,
+        var_count,
+    })
+}
+
+/// Evaluate one compiled rule against the (base, overlay) view, pushing
+/// each derived head tuple onto `pending`. When `delta` is
+/// `Some((idx, tuples))`, body literal `idx` iterates over `tuples`
+/// instead of the full relation.
+fn evaluate_crule(
+    rule: &CRule,
+    base: &Database,
+    overlay: &Database,
+    delta: Option<(usize, &ITupleSet)>,
+    env: &mut Vec<Option<IVal>>,
+    pending: &mut Vec<(Sym, ITuple)>,
+) -> Result<(), DatalogError> {
+    env.clear();
+    env.resize(rule.var_count, None);
+    solve(rule, 0, base, overlay, delta, env, pending)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn solve(
-    rule: &Rule,
+    rule: &CRule,
     idx: usize,
-    db: &LayeredDatabase,
-    delta: Option<(usize, &HashSet<Tuple>)>,
-    env: &mut Env,
-    emit: &mut dyn FnMut(Arc<str>, Tuple),
+    base: &Database,
+    overlay: &Database,
+    delta: Option<(usize, &ITupleSet)>,
+    env: &mut Vec<Option<IVal>>,
+    pending: &mut Vec<(Sym, ITuple)>,
 ) -> Result<(), DatalogError> {
     let Some(item) = rule.body.get(idx) else {
         // Body satisfied: instantiate the head (safety guarantees ground).
-        let tuple: Tuple = rule
-            .head
-            .args
-            .iter()
-            .map(|t| match t {
-                Term::Const(v) => v.clone(),
-                Term::Var(v) => env[v].clone(),
-            })
-            .collect();
-        emit(rule.head.pred.clone(), tuple);
+        let mut tuple = ITuple::new();
+        for arg in &rule.head_args {
+            tuple.push(match arg {
+                CTerm::Const(v) => *v,
+                CTerm::Var(i) => env[*i as usize].expect("safety: head vars bound"),
+            });
+        }
+        pending.push((rule.head_pred, tuple));
         return Ok(());
     };
     match item {
-        BodyItem::Pos(lit) => {
+        CItem::Pos(lit) => {
             // Iterate either the delta set (for the designated literal)
             // or the stored relation — in both layers, base first —
             // using the first-arg index when possible.
             if let Some((didx, dset)) = delta {
                 if didx == idx {
                     for tuple in dset {
-                        try_tuple(rule, idx, db, delta, env, emit, lit, tuple)?;
+                        try_tuple(rule, idx, base, overlay, delta, env, pending, lit, tuple)?;
                     }
                     return Ok(());
                 }
             }
             // Index lookup when the first argument is bound.
-            let first_bound: Option<Val> = lit.args.first().and_then(|t| match t {
-                Term::Const(v) => Some(v.clone()),
-                Term::Var(v) => env.get(v).cloned(),
+            let first_bound: Option<IVal> = lit.args.first().and_then(|t| match t {
+                CTerm::Const(v) => Some(*v),
+                CTerm::Var(i) => env[*i as usize],
             });
-            for layer in db.layers() {
-                let Some(rel) = layer.relation(&lit.pred) else {
+            for layer in [base, overlay] {
+                let Some(rel) = layer.relation(lit.pred) else {
                     continue;
                 };
-                if let Some(key) = &first_bound {
-                    if let Some(indices) = rel.first_arg.get(key) {
+                if let Some(key) = first_bound {
+                    if let Some(indices) = rel.first_arg.get(&key) {
                         for &i in indices {
                             try_tuple(
                                 rule,
                                 idx,
-                                db,
+                                base,
+                                overlay,
                                 delta,
                                 env,
-                                emit,
+                                pending,
                                 lit,
                                 &rel.tuples[i as usize],
                             )?;
@@ -331,48 +621,49 @@ fn solve(
                     continue;
                 }
                 for tuple in &rel.tuples {
-                    try_tuple(rule, idx, db, delta, env, emit, lit, tuple)?;
+                    try_tuple(rule, idx, base, overlay, delta, env, pending, lit, tuple)?;
                 }
             }
             Ok(())
         }
-        BodyItem::Neg(lit) => {
+        CItem::Neg(lit) => {
             // Safety guarantees all vars bound; ground the literal.
-            let tuple: Tuple = lit
-                .args
-                .iter()
-                .map(|t| match t {
-                    Term::Const(v) => v.clone(),
-                    Term::Var(v) => env[v].clone(),
-                })
-                .collect();
-            if !db.contains(&lit.pred, &tuple) {
-                solve(rule, idx + 1, db, delta, env, emit)?;
+            let mut tuple = ITuple::new();
+            for arg in &lit.args {
+                tuple.push(match arg {
+                    CTerm::Const(v) => *v,
+                    CTerm::Var(i) => env[*i as usize].expect("safety: negation vars bound"),
+                });
+            }
+            if !overlay.icontains(lit.pred, tuple.as_slice())
+                && !base.icontains(lit.pred, tuple.as_slice())
+            {
+                solve(rule, idx + 1, base, overlay, delta, env, pending)?;
             }
             Ok(())
         }
-        BodyItem::Cmp(lhs, op, rhs) => {
-            let l = eval_expr(lhs, env)?;
-            let r = eval_expr(rhs, env)?;
-            if compare(&l, *op, &r)? {
-                solve(rule, idx + 1, db, delta, env, emit)?;
+        CItem::Cmp(lhs, op, rhs) => {
+            let l = eval_cexpr(lhs, env)?;
+            let r = eval_cexpr(rhs, env)?;
+            if compare(l, *op, r)? {
+                solve(rule, idx + 1, base, overlay, delta, env, pending)?;
             }
             Ok(())
         }
-        BodyItem::Assign(var, expr) => {
-            let value = eval_expr(expr, env)?;
-            match env.get(var) {
+        CItem::Assign(var, expr) => {
+            let value = eval_cexpr(expr, env)?;
+            match env[*var as usize] {
                 Some(existing) => {
                     // Re-assignment acts as an equality check.
-                    if *existing == value {
-                        solve(rule, idx + 1, db, delta, env, emit)?;
+                    if existing == value {
+                        solve(rule, idx + 1, base, overlay, delta, env, pending)?;
                     }
                     Ok(())
                 }
                 None => {
-                    env.insert(var.clone(), value);
-                    solve(rule, idx + 1, db, delta, env, emit)?;
-                    env.remove(var);
+                    env[*var as usize] = Some(value);
+                    solve(rule, idx + 1, base, overlay, delta, env, pending)?;
+                    env[*var as usize] = None;
                     Ok(())
                 }
             }
@@ -382,83 +673,101 @@ fn solve(
 
 #[allow(clippy::too_many_arguments)]
 fn try_tuple(
-    rule: &Rule,
+    rule: &CRule,
     idx: usize,
-    db: &LayeredDatabase,
-    delta: Option<(usize, &HashSet<Tuple>)>,
-    env: &mut Env,
-    emit: &mut dyn FnMut(Arc<str>, Tuple),
-    lit: &Literal,
-    tuple: &[Val],
+    base: &Database,
+    overlay: &Database,
+    delta: Option<(usize, &ITupleSet)>,
+    env: &mut Vec<Option<IVal>>,
+    pending: &mut Vec<(Sym, ITuple)>,
+    lit: &CLit,
+    tuple: &ITuple,
 ) -> Result<(), DatalogError> {
-    if tuple.len() != lit.args.len() {
+    let vals = tuple.as_slice();
+    if vals.len() != lit.args.len() {
         return Ok(());
     }
-    let mut bound_here: Vec<Arc<str>> = Vec::new();
+    // Track which argument positions bound a variable in a bitmask, so
+    // backtracking unbinds without a heap-allocated list.
+    let mut bound_mask: u128 = 0;
     let mut ok = true;
-    for (arg, val) in lit.args.iter().zip(tuple) {
+    for (i, (arg, val)) in lit.args.iter().zip(vals).enumerate() {
         match arg {
-            Term::Const(c) => {
+            CTerm::Const(c) => {
                 if c != val {
                     ok = false;
                     break;
                 }
             }
-            Term::Var(v) => match env.get(v) {
+            CTerm::Var(v) => match env[*v as usize] {
                 Some(existing) => {
-                    if existing != val {
+                    if existing != *val {
                         ok = false;
                         break;
                     }
                 }
                 None => {
-                    env.insert(v.clone(), val.clone());
-                    bound_here.push(v.clone());
+                    env[*v as usize] = Some(*val);
+                    bound_mask |= 1 << i;
                 }
             },
         }
     }
     if ok {
-        solve(rule, idx + 1, db, delta, env, emit)?;
+        solve(rule, idx + 1, base, overlay, delta, env, pending)?;
     }
-    for v in bound_here {
-        env.remove(&v);
+    if bound_mask != 0 {
+        for (i, arg) in lit.args.iter().enumerate() {
+            if bound_mask & (1 << i) != 0 {
+                if let CTerm::Var(v) = arg {
+                    env[*v as usize] = None;
+                }
+            }
+        }
     }
     Ok(())
 }
 
-fn eval_expr(expr: &Expr, env: &Env) -> Result<Val, DatalogError> {
+fn eval_cexpr(expr: &CExpr, env: &[Option<IVal>]) -> Result<IVal, DatalogError> {
     match expr {
-        Expr::Term(Term::Const(v)) => Ok(v.clone()),
-        Expr::Term(Term::Var(v)) => Ok(env[v].clone()),
-        Expr::Bin(l, op, r) => {
-            let l = eval_expr(l, env)?;
-            let r = eval_expr(r, env)?;
-            let (Val::Int(a), Val::Int(b)) = (&l, &r) else {
+        CExpr::Term(CTerm::Const(v)) => Ok(*v),
+        CExpr::Term(CTerm::Var(i)) => Ok(env[*i as usize].expect("safety: expr vars bound")),
+        CExpr::Bin(l, op, r) => {
+            let l = eval_cexpr(l, env)?;
+            let r = eval_cexpr(r, env)?;
+            let (IVal::Int(a), IVal::Int(b)) = (l, r) else {
                 return Err(DatalogError::Eval {
-                    message: format!("arithmetic on non-integers: {l} {op} {r}"),
+                    message: format!(
+                        "arithmetic on non-integers: {} {op} {}",
+                        l.to_val(),
+                        r.to_val()
+                    ),
                 });
             };
             let out = match op {
-                ArithOp::Add => a.checked_add(*b),
-                ArithOp::Sub => a.checked_sub(*b),
-                ArithOp::Mul => a.checked_mul(*b),
+                ArithOp::Add => a.checked_add(b),
+                ArithOp::Sub => a.checked_sub(b),
+                ArithOp::Mul => a.checked_mul(b),
             };
-            out.map(Val::Int).ok_or_else(|| DatalogError::Eval {
+            out.map(IVal::Int).ok_or_else(|| DatalogError::Eval {
                 message: format!("arithmetic overflow: {a} {op} {b}"),
             })
         }
     }
 }
 
-fn compare(l: &Val, op: CmpOp, r: &Val) -> Result<bool, DatalogError> {
+fn compare(l: IVal, op: CmpOp, r: IVal) -> Result<bool, DatalogError> {
     match op {
         CmpOp::Eq => Ok(l == r),
         CmpOp::Ne => Ok(l != r),
         _ => {
-            let (Val::Int(a), Val::Int(b)) = (l, r) else {
+            let (IVal::Int(a), IVal::Int(b)) = (l, r) else {
                 return Err(DatalogError::Eval {
-                    message: format!("ordered comparison on non-integers: {l} {op} {r}"),
+                    message: format!(
+                        "ordered comparison on non-integers: {} {op} {}",
+                        l.to_val(),
+                        r.to_val()
+                    ),
                 });
             };
             Ok(match op {
@@ -475,6 +784,7 @@ fn compare(l: &Val, op: CmpOp, r: &Val) -> Result<bool, DatalogError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::Val;
     use crate::Database;
 
     fn compiled(src: &str) -> CompiledProgram {
@@ -602,5 +912,65 @@ mod tests {
             .evaluate_layered(&mut layered, EvalMode::SemiNaive, DEFAULT_BUDGET)
             .unwrap();
         assert!(layered.contains("seen", &[Val::str("a")]));
+    }
+
+    #[test]
+    fn scratch_reuse_is_correct_across_programs_and_runs() {
+        let mut db = Database::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            db.add_fact("edge", vec![Val::str(a), Val::str(b)]);
+        }
+        let reach = compiled("reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).");
+        let inv = compiled("back(X,Y) :- edge(Y,X). lonely(X) :- edge(X, Y), \\+back(X, Y).");
+        let mut scratch = EvalScratch::new();
+        for _ in 0..3 {
+            let stats = reach
+                .evaluate_reusing(&db, &mut scratch, EvalMode::SemiNaive, DEFAULT_BUDGET)
+                .unwrap();
+            assert_eq!(stats.derived, 6);
+            assert!(scratch
+                .overlay()
+                .contains("reach", &[Val::str("a"), Val::str("d")]));
+            // A different program reuses the same buffers; no residue
+            // from the previous run leaks into its results.
+            inv.evaluate_reusing(&db, &mut scratch, EvalMode::SemiNaive, DEFAULT_BUDGET)
+                .unwrap();
+            assert!(scratch
+                .overlay()
+                .contains("back", &[Val::str("b"), Val::str("a")]));
+            assert!(!scratch
+                .overlay()
+                .contains("reach", &[Val::str("a"), Val::str("d")]));
+        }
+    }
+
+    #[test]
+    fn scratch_matches_fresh_evaluation_in_both_modes() {
+        let mut db = Database::new();
+        for i in 0..10 {
+            db.add_fact("edge", vec![Val::int(i), Val::int(i + 1)]);
+        }
+        let program = compiled(
+            "reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).
+             source(X) :- edge(X, Y), \\+reach(Y, X).",
+        );
+        let base = Arc::new(db);
+        let mut scratch = EvalScratch::new();
+        for mode in [EvalMode::SemiNaive, EvalMode::Naive] {
+            let fresh = program
+                .evaluate_with(Arc::clone(&base), mode, DEFAULT_BUDGET)
+                .unwrap()
+                .0;
+            program
+                .evaluate_reusing(&base, &mut scratch, mode, DEFAULT_BUDGET)
+                .unwrap();
+            for pred in ["reach", "source"] {
+                let mut a = fresh.overlay().tuples(pred);
+                let mut b = scratch.overlay().tuples(pred);
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "{pred} ({mode:?})");
+            }
+        }
     }
 }

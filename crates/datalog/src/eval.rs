@@ -1,5 +1,12 @@
 //! Fact storage and the classic single-database [`Engine`] entry point.
 //!
+//! Storage is **interned**: relations are keyed by [`Sym`] and hold
+//! [`ITuple`]s, so joins and dedup compare `u32` ids instead of hashing
+//! `Arc<str>` (see [`mod@crate::intern`]). The [`Val`]-based methods remain
+//! the parse/display boundary and convert at the edge — membership
+//! probes use the non-inserting lookup, so asking about a never-seen
+//! string cannot grow the symbol table.
+//!
 //! The evaluator itself lives in [`crate::compile`]: an [`Engine`] is a
 //! thin wrapper pairing an `Arc<CompiledProgram>` with an evaluation
 //! mode and budget. `Engine::run` keeps the original take-a-database /
@@ -9,50 +16,61 @@
 
 use crate::ast::Val;
 use crate::compile::CompiledProgram;
+use crate::intern::{ITuple, ITupleSet, IVal, IValMap, Sym, SymMap};
 use crate::DatalogError;
 use crate::Program;
-use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
-/// A ground tuple.
+/// A ground tuple at the AST boundary.
 pub type Tuple = Vec<Val>;
 
-/// A single relation: deduplicated tuples plus a first-argument index.
+/// A single relation: deduplicated interned tuples plus a first-argument
+/// index.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct Relation {
-    pub(crate) tuples: Vec<Tuple>,
-    pub(crate) seen: HashSet<Tuple>,
+    pub(crate) tuples: Vec<ITuple>,
+    pub(crate) seen: ITupleSet,
     /// Maps first argument -> indices into `tuples`, accelerating joins
     /// where the first argument is already bound (the common shape for
     /// certificate facts like `notBefore(Cert, NB)`).
-    pub(crate) first_arg: HashMap<Val, Vec<u32>>,
+    pub(crate) first_arg: IValMap<Vec<u32>>,
 }
 
 impl Relation {
-    fn insert(&mut self, tuple: Tuple) -> bool {
+    fn insert(&mut self, tuple: ITuple) -> bool {
         if self.seen.contains(&tuple) {
             return false;
         }
-        self.seen.insert(tuple.clone());
-        if let Some(first) = tuple.first() {
+        if let Some(first) = tuple.as_slice().first() {
             self.first_arg
-                .entry(first.clone())
+                .entry(*first)
                 .or_default()
                 .push(self.tuples.len() as u32);
         }
+        self.seen.insert(tuple.clone());
         self.tuples.push(tuple);
         true
     }
 
-    fn contains(&self, tuple: &[Val]) -> bool {
+    fn contains(&self, tuple: &[IVal]) -> bool {
         self.seen.contains(tuple)
+    }
+
+    /// Empty the relation, retaining every allocation (tuple vec, seen
+    /// set, index vecs) for the next run.
+    fn clear_retaining(&mut self) {
+        self.tuples.clear();
+        self.seen.clear();
+        for hits in self.first_arg.values_mut() {
+            hits.clear();
+        }
     }
 }
 
-/// A fact database: named relations over ground tuples.
+/// A fact database: named relations over ground tuples, stored interned.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
-    relations: BTreeMap<Arc<str>, Relation>,
+    relations: SymMap<Relation>,
 }
 
 impl Database {
@@ -61,45 +79,94 @@ impl Database {
         Database::default()
     }
 
-    /// Add a ground fact; returns `true` if it was new.
+    /// Add a ground fact; returns `true` if it was new. Interns the
+    /// predicate and any string values.
     pub fn add_fact(&mut self, pred: impl AsRef<str>, tuple: Tuple) -> bool {
-        self.relations
-            .entry(Arc::from(pred.as_ref()))
-            .or_default()
-            .insert(tuple)
+        let pred = crate::intern::intern(pred.as_ref());
+        let tuple: ITuple = tuple.iter().map(IVal::from_val).collect();
+        self.add_ifact(pred, tuple)
+    }
+
+    /// Add an already-interned fact; returns `true` if it was new. This
+    /// is the zero-conversion path fact emitters use.
+    pub fn add_ifact(&mut self, pred: Sym, tuple: ITuple) -> bool {
+        self.relations.entry(pred).or_default().insert(tuple)
     }
 
     /// Is `tuple` present in relation `pred`?
     pub fn contains(&self, pred: &str, tuple: &[Val]) -> bool {
+        let Some(pred) = crate::intern::lookup(pred) else {
+            return false;
+        };
+        let mut interned = ITuple::new();
+        for v in tuple {
+            match IVal::lookup_val(v) {
+                Some(iv) => interned.push(iv),
+                // A never-interned string cannot be stored anywhere.
+                None => return false,
+            }
+        }
+        self.icontains(pred, interned.as_slice())
+    }
+
+    /// Is the interned `tuple` present in relation `pred`?
+    pub fn icontains(&self, pred: Sym, tuple: &[IVal]) -> bool {
         self.relations
-            .get(pred)
+            .get(&pred)
             .map(|r| r.contains(tuple))
             .unwrap_or(false)
     }
 
-    /// All tuples of `pred` (empty slice if absent).
-    pub fn tuples(&self, pred: &str) -> &[Tuple] {
+    /// All tuples of `pred`, materialized at the AST boundary (empty if
+    /// absent). The evaluator reads interned storage directly via
+    /// [`Database::ituples`]; this accessor serves explain/tests/CLI.
+    pub fn tuples(&self, pred: &str) -> Vec<Tuple> {
+        crate::intern::lookup(pred)
+            .and_then(|p| self.relations.get(&p))
+            .map(|r| r.tuples.iter().map(|t| t.to_vals()).collect())
+            .unwrap_or_default()
+    }
+
+    /// All interned tuples of `pred` (empty slice if absent).
+    pub fn ituples(&self, pred: Sym) -> &[ITuple] {
         self.relations
-            .get(pred)
+            .get(&pred)
             .map(|r| r.tuples.as_slice())
             .unwrap_or(&[])
     }
 
     /// The relation named `pred`, if present (evaluator internals).
-    pub(crate) fn relation(&self, pred: &str) -> Option<&Relation> {
-        self.relations.get(pred)
+    pub(crate) fn relation(&self, pred: Sym) -> Option<&Relation> {
+        self.relations.get(&pred)
     }
 
-    /// Tuples of `pred` matching a pattern (`None` = wildcard).
-    pub fn query<'a>(&'a self, pred: &str, pattern: &[Option<Val>]) -> Vec<&'a Tuple> {
-        self.tuples(pred)
+    /// Tuples of `pred` matching a pattern (`None` = wildcard),
+    /// materialized at the AST boundary.
+    pub fn query(&self, pred: &str, pattern: &[Option<Val>]) -> Vec<Tuple> {
+        let ipattern: Vec<Option<Option<IVal>>> = pattern
+            .iter()
+            .map(|p| p.as_ref().map(IVal::lookup_val))
+            .collect();
+        // A bound pattern slot with a never-interned string matches
+        // nothing.
+        if ipattern.iter().any(|p| matches!(p, Some(None))) {
+            return Vec::new();
+        }
+        let Some(pred) = crate::intern::lookup(pred) else {
+            return Vec::new();
+        };
+        self.ituples(pred)
             .iter()
             .filter(|t| {
-                t.len() == pattern.len()
-                    && t.iter()
-                        .zip(pattern)
-                        .all(|(v, p)| p.as_ref().is_none_or(|p| p == v))
+                t.len() == ipattern.len()
+                    && t.as_slice()
+                        .iter()
+                        .zip(&ipattern)
+                        .all(|(v, p)| p.map(|p| p == Some(*v)).unwrap_or(true))
+                // `p` is `Option<Option<IVal>>`: outer None = wildcard,
+                // inner always Some here (checked above).
             })
+            .map(|t| t.to_vals())
             .collect()
     }
 
@@ -113,12 +180,24 @@ impl Database {
         self.len() == 0
     }
 
-    /// Names of all non-empty relations.
-    pub fn predicates(&self) -> impl Iterator<Item = &str> {
+    /// Names of all non-empty relations, sorted.
+    pub fn predicates(&self) -> Vec<Arc<str>> {
+        let mut names: Vec<Arc<str>> = self
+            .relations
+            .iter()
+            .filter(|(_, r)| !r.tuples.is_empty())
+            .map(|(k, _)| k.resolve())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Symbols of all non-empty relations (evaluator/merge internals).
+    pub fn predicate_syms(&self) -> impl Iterator<Item = Sym> + '_ {
         self.relations
             .iter()
             .filter(|(_, r)| !r.tuples.is_empty())
-            .map(|(k, _)| &**k)
+            .map(|(k, _)| *k)
     }
 
     /// Move every fact of `other` into `self`, deduplicating.
@@ -131,20 +210,36 @@ impl Database {
         }
     }
 
+    /// Empty every relation while retaining allocations — the scratch
+    /// overlay reset between evaluations (see
+    /// [`crate::compile::EvalScratch`]).
+    pub fn clear_retaining(&mut self) {
+        for rel in self.relations.values_mut() {
+            rel.clear_retaining();
+        }
+    }
+
     /// Render the database as Datalog fact text (used by the paper-E1
     /// "unoptimized conversion" path, which serializes facts to text and
-    /// re-parses them).
+    /// re-parses them). Relations are emitted in name order for
+    /// deterministic output.
     pub fn to_fact_text(&self) -> String {
         use std::fmt::Write;
+        let mut rels: Vec<(Arc<str>, &Relation)> = self
+            .relations
+            .iter()
+            .map(|(k, r)| (k.resolve(), r))
+            .collect();
+        rels.sort_by(|a, b| a.0.cmp(&b.0));
         let mut out = String::new();
-        for (pred, rel) in &self.relations {
+        for (pred, rel) in rels {
             for tuple in &rel.tuples {
                 write!(out, "{pred}(").unwrap();
-                for (i, v) in tuple.iter().enumerate() {
+                for (i, v) in tuple.as_slice().iter().enumerate() {
                     if i > 0 {
                         out.push_str(", ");
                     }
-                    write!(out, "{v}").unwrap();
+                    write!(out, "{}", v.to_val()).unwrap();
                 }
                 out.push_str(").\n");
             }
@@ -384,8 +479,8 @@ mod tests {
             .run(db)
             .unwrap();
         for pred in ["reach", "isolated"] {
-            let mut a: Vec<_> = semi.tuples(pred).to_vec();
-            let mut b: Vec<_> = naive.tuples(pred).to_vec();
+            let mut a: Vec<_> = semi.tuples(pred);
+            let mut b: Vec<_> = naive.tuples(pred);
             a.sort();
             b.sort();
             assert_eq!(a, b, "{pred}");
@@ -486,6 +581,10 @@ mod tests {
         assert_eq!(hits.len(), 2);
         let hits = db.query("p", &[None, Some(Val::str("b"))]);
         assert_eq!(hits.len(), 1);
+        // A never-interned string in a bound slot matches nothing (and
+        // does not grow the symbol table).
+        let hits = db.query("p", &[None, Some(Val::str("eval-query-unseen-sym"))]);
+        assert!(hits.is_empty());
     }
 
     #[test]
@@ -522,6 +621,28 @@ mod tests {
         assert_eq!(a.len(), 3);
         assert!(a.contains("p", &[Val::int(2)]));
         assert!(a.contains("q", &[Val::int(3)]));
+    }
+
+    #[test]
+    fn clear_retaining_empties_but_reuses() {
+        let mut db = Database::new();
+        db.add_fact("p", vec![Val::int(1), Val::int(2)]);
+        db.add_fact("p", vec![Val::int(3), Val::int(4)]);
+        db.clear_retaining();
+        assert!(db.is_empty());
+        assert!(!db.contains("p", &[Val::int(1), Val::int(2)]));
+        // Re-inserting after the reset behaves like a fresh database,
+        // including the first-arg index.
+        assert!(db.add_fact("p", vec![Val::int(1), Val::int(2)]));
+        assert!(db.contains("p", &[Val::int(1), Val::int(2)]));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn contains_with_unseen_string_is_false() {
+        let db = run("p(\"x\").", Database::new());
+        assert!(!db.contains("p", &[Val::str("eval-contains-unseen-sym")]));
+        assert!(!db.contains("eval-unseen-pred-sym", &[Val::int(1)]));
     }
 
     #[test]

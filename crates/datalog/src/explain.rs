@@ -300,7 +300,7 @@ fn solve_body(
                 }
                 let mut bound_here = Vec::new();
                 let mut ok = true;
-                for (arg, val) in lit.args.iter().zip(stored) {
+                for (arg, val) in lit.args.iter().zip(&stored) {
                     match arg {
                         Term::Const(c) => {
                             if c != val {

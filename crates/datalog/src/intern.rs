@@ -1,0 +1,375 @@
+//! Global symbol interning and the interned ground representation.
+//!
+//! The string-keyed AST ([`crate::ast`]) is the parse/display boundary;
+//! everything the evaluator touches per tuple is interned here first:
+//!
+//! * [`Sym`] — a `u32` id for an interned string. Predicates, string
+//!   constants and certificate handles all become symbols, so the
+//!   semi-naive join compares and hashes `u32`s instead of `Arc<str>`s.
+//! * [`IVal`] — the interned ground value (`Int(i64)` or `Sym`), a
+//!   16-byte `Copy` type.
+//! * [`ITuple`] — a small-vec ground tuple storing up to
+//!   [`ITuple::INLINE`] values inline; certificate facts (arity ≤ 3)
+//!   never touch the heap.
+//!
+//! The table is global and append-only: a symbol, once interned, is
+//! valid for the life of the process. Resolution hands back the interned
+//! `Arc<str>` (a refcount bump, not a copy), which is what makes the
+//! `IVal` → [`Val`] edge conversion allocation-free. [`lookup`] probes
+//! without inserting, so negative membership tests (e.g.
+//! `Database::contains` on a never-seen string) cannot grow the table.
+
+use crate::ast::Val;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// An interned string: a dense `u32` id into the global symbol table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The raw id (stable for the life of the process).
+    pub fn to_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a symbol from a raw id previously obtained via
+    /// [`Sym::to_raw`]. The id must come from this process's table.
+    pub fn from_raw(raw: u32) -> Sym {
+        Sym(raw)
+    }
+
+    /// The interned string (a refcount bump on the table's `Arc<str>`).
+    pub fn resolve(self) -> Arc<str> {
+        table()
+            .read()
+            .expect("symbol table poisoned")
+            .strings
+            .get(self.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| Arc::from("<unknown-sym>"))
+    }
+}
+
+struct TableInner {
+    map: HashMap<Arc<str>, u32>,
+    strings: Vec<Arc<str>>,
+}
+
+fn table() -> &'static RwLock<TableInner> {
+    static TABLE: OnceLock<RwLock<TableInner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(TableInner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+/// Intern `s`, inserting it into the global table if new.
+pub fn intern(s: &str) -> Sym {
+    if let Some(sym) = lookup(s) {
+        return sym;
+    }
+    let mut inner = table().write().expect("symbol table poisoned");
+    if let Some(&id) = inner.map.get(s) {
+        return Sym(id);
+    }
+    let id = u32::try_from(inner.strings.len()).expect("symbol table exhausted");
+    let arc: Arc<str> = Arc::from(s);
+    inner.strings.push(Arc::clone(&arc));
+    inner.map.insert(arc, id);
+    Sym(id)
+}
+
+/// Probe the table **without inserting**: `None` means the string has
+/// never been interned (so no interned tuple can contain it).
+pub fn lookup(s: &str) -> Option<Sym> {
+    table()
+        .read()
+        .expect("symbol table poisoned")
+        .map
+        .get(s)
+        .map(|&id| Sym(id))
+}
+
+/// An interned ground value: what relations actually store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IVal {
+    /// A 64-bit integer (identical to [`Val::Int`]).
+    Int(i64),
+    /// An interned string.
+    Sym(Sym),
+}
+
+impl IVal {
+    /// Convert from the AST value, interning strings.
+    pub fn from_val(v: &Val) -> IVal {
+        match v {
+            Val::Int(i) => IVal::Int(*i),
+            Val::Str(s) => IVal::Sym(intern(s)),
+        }
+    }
+
+    /// Convert without inserting: `None` when the string was never
+    /// interned (membership tests use this so probes cannot grow the
+    /// table).
+    pub fn lookup_val(v: &Val) -> Option<IVal> {
+        match v {
+            Val::Int(i) => Some(IVal::Int(*i)),
+            Val::Str(s) => lookup(s).map(IVal::Sym),
+        }
+    }
+
+    /// Back to the AST value. Allocation-free: symbol resolution clones
+    /// the table's `Arc<str>`.
+    pub fn to_val(self) -> Val {
+        match self {
+            IVal::Int(i) => Val::Int(i),
+            IVal::Sym(s) => Val::Str(s.resolve()),
+        }
+    }
+}
+
+/// A ground tuple of interned values with inline storage for the small
+/// arities certificate facts use (a hand-rolled small-vec: the workspace
+/// vendors no `smallvec`).
+#[derive(Clone, Debug)]
+pub struct ITuple {
+    len: u32,
+    inline: [IVal; ITuple::INLINE],
+    /// Spill storage, used only when `len > INLINE`.
+    heap: Vec<IVal>,
+}
+
+impl ITuple {
+    /// Values stored inline before spilling to the heap.
+    pub const INLINE: usize = 4;
+
+    /// An empty tuple.
+    pub fn new() -> ITuple {
+        ITuple {
+            len: 0,
+            inline: [IVal::Int(0); ITuple::INLINE],
+            heap: Vec::new(),
+        }
+    }
+
+    /// Build from a slice of values.
+    pub fn from_slice(vals: &[IVal]) -> ITuple {
+        let mut t = ITuple::new();
+        for v in vals {
+            t.push(*v);
+        }
+        t
+    }
+
+    /// Append a value.
+    pub fn push(&mut self, v: IVal) {
+        let len = self.len as usize;
+        if len < ITuple::INLINE {
+            self.inline[len] = v;
+        } else {
+            if self.heap.is_empty() {
+                // First spill: move the inline prefix to the heap so the
+                // logical slice stays contiguous.
+                self.heap.reserve(ITuple::INLINE + 1);
+                self.heap.extend_from_slice(&self.inline);
+            }
+            self.heap.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the tuple has no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The values as a contiguous slice.
+    pub fn as_slice(&self) -> &[IVal] {
+        if (self.len as usize) <= ITuple::INLINE {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.heap
+        }
+    }
+
+    /// Materialize as an AST tuple (allocates the `Vec`; symbol
+    /// resolution itself is refcount-only).
+    pub fn to_vals(&self) -> Vec<Val> {
+        self.as_slice().iter().map(|v| v.to_val()).collect()
+    }
+}
+
+impl Default for ITuple {
+    fn default() -> ITuple {
+        ITuple::new()
+    }
+}
+
+impl PartialEq for ITuple {
+    fn eq(&self, other: &ITuple) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ITuple {}
+
+impl Hash for ITuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must match `<[IVal]>::hash` so `Borrow<[IVal]>` lookups agree.
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::borrow::Borrow<[IVal]> for ITuple {
+    fn borrow(&self) -> &[IVal] {
+        self.as_slice()
+    }
+}
+
+impl FromIterator<IVal> for ITuple {
+    fn from_iter<I: IntoIterator<Item = IVal>>(iter: I) -> ITuple {
+        let mut t = ITuple::new();
+        for v in iter {
+            t.push(v);
+        }
+        t
+    }
+}
+
+/// A fast, non-cryptographic hasher for symbol/tuple keyed maps (the
+/// FxHash mix: rotate, xor, multiply). Join keys are attacker-neutral
+/// `u32` ids, so SipHash's DoS resistance buys nothing here.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Build-hasher for [`FxHasher`]-keyed collections.
+pub type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// A `Sym`-keyed hash map using the fast hasher.
+pub type SymMap<V> = HashMap<Sym, V, FxBuild>;
+
+/// An `IVal`-keyed hash map using the fast hasher.
+pub type IValMap<V> = HashMap<IVal, V, FxBuild>;
+
+/// A set of interned tuples using the fast hasher.
+pub type ITupleSet = std::collections::HashSet<ITuple, FxBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_lookup_does_not_insert() {
+        let a = intern("intern-test-alpha");
+        assert_eq!(intern("intern-test-alpha"), a);
+        assert_eq!(lookup("intern-test-alpha"), Some(a));
+        assert_eq!(lookup("intern-test-never-seen-xyzzy"), None);
+        // Still absent: lookup must not have inserted.
+        assert_eq!(lookup("intern-test-never-seen-xyzzy"), None);
+        assert_eq!(&*a.resolve(), "intern-test-alpha");
+    }
+
+    #[test]
+    fn ival_roundtrip() {
+        let v = Val::str("intern-test-roundtrip");
+        let iv = IVal::from_val(&v);
+        assert_eq!(iv.to_val(), v);
+        assert_eq!(IVal::lookup_val(&v), Some(iv));
+        assert_eq!(IVal::from_val(&Val::int(-7)).to_val(), Val::int(-7));
+        assert_eq!(IVal::lookup_val(&Val::str("intern-test-unseen-abcd")), None);
+    }
+
+    #[test]
+    fn ituple_inline_and_spill() {
+        let vals: Vec<IVal> = (0..9).map(IVal::Int).collect();
+        for n in 0..vals.len() {
+            let t = ITuple::from_slice(&vals[..n]);
+            assert_eq!(t.len(), n);
+            assert_eq!(t.as_slice(), &vals[..n]);
+            let u: ITuple = vals[..n].iter().copied().collect();
+            assert_eq!(t, u);
+        }
+        let small = ITuple::from_slice(&vals[..3]);
+        let big = ITuple::from_slice(&vals[..7]);
+        assert_ne!(small, big);
+        let mut set = ITupleSet::default();
+        set.insert(small.clone());
+        assert!(set.contains(&vals[..3]));
+        assert!(!set.contains(&vals[..4]));
+    }
+
+    #[test]
+    fn ituple_hash_matches_slice_hash() {
+        use std::hash::BuildHasher;
+        let build = FxBuild::default();
+        let t = ITuple::from_slice(&[IVal::Int(1), IVal::Int(2)]);
+        let slice: &[IVal] = t.as_slice();
+        assert_eq!(build.hash_one(&t), build.hash_one(slice));
+    }
+}

@@ -5,9 +5,12 @@
 //! This is what makes GCC execution compile-once / evaluate-many: the
 //! base is an `Arc<Database>` shared by every GCC evaluated against the
 //! same chain, and each run allocates only its own (small) overlay
-//! instead of cloning the full fact database.
+//! instead of cloning the full fact database. Both layers store interned
+//! tuples (see [`mod@crate::intern`]); the [`Val`]-based methods convert at
+//! the edge.
 
 use crate::eval::{Database, Tuple};
+use crate::intern::{ITuple, IVal, Sym};
 use crate::Val;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -41,18 +44,28 @@ impl LayeredDatabase {
         &self.overlay
     }
 
-    /// Both layers, base first (the order joins iterate them in).
-    pub(crate) fn layers(&self) -> [&Database; 2] {
-        [&self.base, &self.overlay]
+    /// Split into a shared base reference and a mutable overlay — the
+    /// shape the evaluator works over (reads span both layers, writes
+    /// land in the overlay).
+    pub(crate) fn split_mut(&mut self) -> (&Database, &mut Database) {
+        (&self.base, &mut self.overlay)
     }
 
     /// Add a fact to the overlay; returns `true` if it was new to the
     /// combined view.
     pub fn add_fact(&mut self, pred: impl AsRef<str>, tuple: Tuple) -> bool {
-        if self.base.contains(pred.as_ref(), &tuple) {
+        let pred = crate::intern::intern(pred.as_ref());
+        let tuple: ITuple = tuple.iter().map(IVal::from_val).collect();
+        self.add_ifact(pred, tuple)
+    }
+
+    /// Add an already-interned fact to the overlay; returns `true` if it
+    /// was new to the combined view.
+    pub fn add_ifact(&mut self, pred: Sym, tuple: ITuple) -> bool {
+        if self.base.icontains(pred, tuple.as_slice()) {
             return false;
         }
-        self.overlay.add_fact(pred.as_ref(), tuple)
+        self.overlay.add_ifact(pred, tuple)
     }
 
     /// Is `tuple` present in relation `pred` in either layer?
@@ -60,17 +73,22 @@ impl LayeredDatabase {
         self.overlay.contains(pred, tuple) || self.base.contains(pred, tuple)
     }
 
-    /// All tuples of `pred` across both layers, base first.
-    pub fn tuples<'a>(&'a self, pred: &str) -> impl Iterator<Item = &'a Tuple> {
-        self.base
-            .tuples(pred)
-            .iter()
-            .chain(self.overlay.tuples(pred))
+    /// Is the interned `tuple` present in either layer?
+    pub fn icontains(&self, pred: Sym, tuple: &[IVal]) -> bool {
+        self.overlay.icontains(pred, tuple) || self.base.icontains(pred, tuple)
+    }
+
+    /// All tuples of `pred` across both layers, base first, materialized
+    /// at the AST boundary.
+    pub fn tuples(&self, pred: &str) -> Vec<Tuple> {
+        let mut out = self.base.tuples(pred);
+        out.extend(self.overlay.tuples(pred));
+        out
     }
 
     /// Tuples of `pred` matching a pattern (`None` = wildcard), across
     /// both layers.
-    pub fn query<'a>(&'a self, pred: &str, pattern: &[Option<Val>]) -> Vec<&'a Tuple> {
+    pub fn query(&self, pred: &str, pattern: &[Option<Val>]) -> Vec<Tuple> {
         let mut hits = self.base.query(pred, pattern);
         hits.extend(self.overlay.query(pred, pattern));
         hits
@@ -86,13 +104,16 @@ impl LayeredDatabase {
         self.len() == 0
     }
 
-    /// Names of all non-empty relations in either layer, deduplicated.
-    pub fn predicates(&self) -> impl Iterator<Item = &str> {
+    /// Names of all non-empty relations in either layer, deduplicated
+    /// and sorted.
+    pub fn predicates(&self) -> Vec<Arc<str>> {
         self.base
             .predicates()
+            .into_iter()
             .chain(self.overlay.predicates())
             .collect::<BTreeSet<_>>()
             .into_iter()
+            .collect()
     }
 
     /// Split into the shared base and the owned overlay.
@@ -138,8 +159,9 @@ mod tests {
         assert!(layered.add_fact("reach", vec![Val::str("a"), Val::str("c")]));
         assert!(layered.contains("reach", &[Val::str("a"), Val::str("c")]));
         assert_eq!(layered.len(), 3);
-        assert_eq!(layered.tuples("edge").count(), 2);
-        let preds: Vec<&str> = layered.predicates().collect();
+        assert_eq!(layered.tuples("edge").len(), 2);
+        let preds = layered.predicates();
+        let preds: Vec<&str> = preds.iter().map(|p| &**p).collect();
         assert_eq!(preds, ["edge", "reach"]);
     }
 

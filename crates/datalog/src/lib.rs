@@ -27,7 +27,13 @@
 //!   kept for the ablation benchmark), plus a derived-tuple budget as
 //!   defense in depth;
 //! * [`mod@explain`] — provenance: derivation trees showing *why* a derived
-//!   tuple holds, the audit trail for GCC decisions.
+//!   tuple holds, the audit trail for GCC decisions;
+//! * [`mod@intern`] — the global symbol table and interned ground
+//!   representation ([`intern::Sym`], [`intern::IVal`],
+//!   [`intern::ITuple`]) everything above executes over: the semi-naive
+//!   join compares `u32` ids, never `Arc<str>`s;
+//! * [`mod@reference`] — the independent string-path evaluator kept as the
+//!   differential oracle and ablation arm for the interned core.
 //!
 //! ```
 //! use nrslb_datalog::{Database, Engine, Program, Val};
@@ -50,19 +56,23 @@ pub mod ast;
 pub mod compile;
 pub mod eval;
 pub mod explain;
+pub mod intern;
 pub mod layered;
 pub mod lexer;
 pub mod metrics;
 pub mod parser;
+pub mod reference;
 pub mod safety;
 pub mod stratify;
 
 pub use ast::{Program, Rule, Term, Val};
-pub use compile::CompiledProgram;
+pub use compile::{CompiledProgram, EvalScratch};
 pub use eval::{Database, Engine, EvalMode, EvalStats};
 pub use explain::{explain, Derivation};
+pub use intern::{intern, ITuple, IVal, Sym};
 pub use layered::LayeredDatabase;
 pub use metrics::EvalMetrics;
+pub use reference::{evaluate_strings, StringEvaluation};
 
 use std::fmt;
 

@@ -79,8 +79,8 @@ proptest! {
             (Ok(da), Ok(dbn)) => {
                 prop_assert_eq!(da.len(), dbn.len());
                 for pred in da.predicates() {
-                    for tuple in da.tuples(pred) {
-                        prop_assert!(dbn.contains(pred, tuple), "{}{:?}", pred, tuple);
+                    for tuple in da.tuples(&pred) {
+                        prop_assert!(dbn.contains(&pred, &tuple), "{}{:?}", pred, tuple);
                     }
                 }
             }

@@ -56,7 +56,7 @@ fn edb() -> impl Strategy<Value = Vec<(u8, i64, i64)>> {
 fn canonical(db: &Database) -> Vec<String> {
     let mut lines = Vec::new();
     for pred in db.predicates() {
-        for tuple in db.tuples(pred) {
+        for tuple in db.tuples(&pred) {
             lines.push(format!("{pred}{tuple:?}"));
         }
     }

@@ -33,7 +33,7 @@ pub struct Gcc {
 }
 
 struct GccInner {
-    name: String,
+    name: Arc<str>,
     target: Digest,
     source: String,
     compiled: Arc<CompiledProgram>,
@@ -158,7 +158,7 @@ impl Gcc {
         }
         Ok(Gcc {
             inner: Arc::new(GccInner {
-                name: name.to_string(),
+                name: Arc::from(name),
                 target,
                 source_hash: sha256(source.as_bytes()),
                 source: source.to_string(),
@@ -171,6 +171,12 @@ impl Gcc {
 
     /// The constraint's display name.
     pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The display name as a shared `Arc<str>` — verdicts clone this
+    /// refcount instead of copying the string per evaluation.
+    pub fn name_shared(&self) -> &Arc<str> {
         &self.inner.name
     }
 
@@ -219,7 +225,7 @@ impl Gcc {
     pub fn retarget(&self, target: Digest) -> Gcc {
         Gcc {
             inner: Arc::new(GccInner {
-                name: self.inner.name.clone(),
+                name: Arc::clone(&self.inner.name),
                 target,
                 source: self.inner.source.clone(),
                 compiled: Arc::clone(&self.inner.compiled),

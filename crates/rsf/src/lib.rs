@@ -48,8 +48,6 @@ pub use sync::{
     SyncInstruments, SyncPolicy, SyncState,
 };
 pub use translog::{Checkpoint, TransparencyLog};
-#[allow(deprecated)]
-pub use transport::FeedSubscriber;
 pub use transport::{FaultInjector, FaultPlan, FeedPublisher, SyncReport};
 
 use std::fmt;

@@ -19,7 +19,7 @@
 //! continuity, checkpoint consistency) is verified by the subscriber —
 //! the socket is untrusted, exactly like the HTTPS CDN would be.
 
-use crate::signing::{FeedTrust, SignedMessage};
+use crate::signing::SignedMessage;
 use crate::sync::{ResilientReport, Staleness, Subscriber, SubscriberBuilder, SyncCounters};
 use crate::translog::Checkpoint;
 use crate::transport::{FeedPublisher, SyncReport};
@@ -222,15 +222,6 @@ pub struct RemoteSubscriber {
 }
 
 impl RemoteSubscriber {
-    /// A subscriber for the feed served at `socket`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Subscriber::builder(name, trust).connect(socket)"
-    )]
-    pub fn new(name: &str, trust: FeedTrust, socket: impl AsRef<Path>) -> RemoteSubscriber {
-        Subscriber::builder(name, trust).connect(socket)
-    }
-
     /// The local store replica.
     pub fn store(&self) -> &nrslb_rootstore::RootStore {
         self.inner.store()
@@ -343,7 +334,7 @@ impl RemoteSubscriber {
 mod tests {
     use super::*;
     use crate::clock::Clock;
-    use crate::signing::{CoordinatorKey, FeedKey};
+    use crate::signing::{CoordinatorKey, FeedKey, FeedTrust};
     use nrslb_rootstore::{RootStore, TrustStatus};
     use nrslb_x509::testutil::simple_chain;
 

@@ -8,8 +8,7 @@
 //! experiment (E5) turns.
 
 use crate::feed::{Delta, Snapshot};
-use crate::signing::{FeedKey, FeedTrust, MessageKind, SignedMessage};
-use crate::sync::Subscriber;
+use crate::signing::{FeedKey, MessageKind, SignedMessage};
 use crate::translog::{Checkpoint, TransparencyLog};
 use crate::RsfError;
 use nrslb_crypto::merkle::ConsistencyProof;
@@ -297,63 +296,11 @@ impl FaultInjector {
     }
 }
 
-/// A derivative store (or browser) subscribed to a feed.
-///
-/// Deprecated shim: the sync engine moved to [`crate::sync::Subscriber`],
-/// which adds retry/backoff, quarantine and staleness tracking. Build
-/// one with [`Subscriber::builder`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use sync::Subscriber via Subscriber::builder(name, trust).build()"
-)]
-pub struct FeedSubscriber {
-    inner: Subscriber,
-}
-
-#[allow(deprecated)]
-impl FeedSubscriber {
-    /// A fresh subscriber that has never synced.
-    pub fn new(name: &str, trust: FeedTrust) -> FeedSubscriber {
-        FeedSubscriber {
-            inner: Subscriber::builder(name, trust).build(),
-        }
-    }
-
-    /// The pinned transparency-log checkpoint, if any sync completed.
-    pub fn pinned_checkpoint(&self) -> Option<&Checkpoint> {
-        self.inner.pinned_checkpoint()
-    }
-
-    /// The subscriber's current store (what its TLS clients use).
-    pub fn store(&self) -> &RootStore {
-        self.inner.store()
-    }
-
-    /// The last applied sequence (0 = never synced).
-    pub fn sequence(&self) -> u64 {
-        self.inner.sequence()
-    }
-
-    /// Poll the publisher: fetch, verify and apply pending messages.
-    pub fn sync(&mut self, publisher: &mut FeedPublisher) -> Result<SyncReport, RsfError> {
-        self.inner.sync(publisher, 0)
-    }
-
-    /// Verify and apply transported feed artifacts.
-    pub fn apply_remote(
-        &mut self,
-        messages: Vec<SignedMessage>,
-        checkpoint: Checkpoint,
-        proof: Option<ConsistencyProof>,
-    ) -> Result<SyncReport, RsfError> {
-        self.inner.poll(messages, checkpoint, proof, 0)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::signing::CoordinatorKey;
+    use crate::signing::{CoordinatorKey, FeedTrust};
+    use crate::sync::Subscriber;
     use nrslb_rootstore::TrustStatus;
     use nrslb_x509::testutil::simple_chain;
 

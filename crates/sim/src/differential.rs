@@ -226,7 +226,10 @@ impl<'a> Oracle<'a> {
         let gccs = self.truth.gccs_for(&anchor_fp).to_vec();
 
         for usage in Usage::ALL {
-            // Path 1: compiled vs naive Datalog, per GCC.
+            // Path 1: compiled vs naive Datalog, per GCC — and the
+            // interned engine against the string-path reference
+            // evaluator, which shares no interning, indexing, or
+            // scratch machinery with it.
             for gcc in &gccs {
                 let compiled = session.evaluate_gcc(gcc, usage);
                 let naive = session.evaluate_gcc_naive(gcc, usage);
@@ -240,6 +243,20 @@ impl<'a> Oracle<'a> {
                         sample_index,
                         "compiled-vs-naive",
                         format!("compiled={compiled:?} naive={naive:?}"),
+                        Some((gcc.name(), gcc.source())),
+                    ),
+                }
+                let string_ref = session.evaluate_gcc_string(gcc, usage);
+                self.outcome.gcc_checks += 1;
+                match (&compiled, &string_ref) {
+                    (Ok(c), Ok(s)) if c == s => {}
+                    _ => self.record(
+                        eco,
+                        sample,
+                        usage,
+                        sample_index,
+                        "interned-vs-string",
+                        format!("interned={compiled:?} string={string_ref:?}"),
                         Some((gcc.name(), gcc.source())),
                     ),
                 }

@@ -52,6 +52,13 @@ struct CertInner {
     /// Computed on first use; shared by every clone through the `Arc`,
     /// so the DER is hashed at most once per certificate.
     fingerprint: OnceLock<Digest>,
+    /// Lowercase hex of the fingerprint, rendered at most once per
+    /// certificate — the fact-emission handle (`cert_id`).
+    fingerprint_hex: OnceLock<Arc<str>>,
+    /// An opaque token a higher layer may attach exactly once (the core
+    /// crate stores the interned symbol id of the hex handle here, so
+    /// fact emission skips the symbol-table lookup entirely).
+    symbol_token: OnceLock<u32>,
 }
 
 impl std::fmt::Debug for Certificate {
@@ -115,6 +122,8 @@ impl Certificate {
                 signature,
                 der,
                 fingerprint: OnceLock::new(),
+                fingerprint_hex: OnceLock::new(),
+                symbol_token: OnceLock::new(),
             }),
         }
     }
@@ -161,6 +170,8 @@ impl Certificate {
                 signature,
                 der: bytes.to_vec(),
                 fingerprint: OnceLock::new(),
+                fingerprint_hex: OnceLock::new(),
+                symbol_token: OnceLock::new(),
             }),
         })
     }
@@ -188,6 +199,29 @@ impl Certificate {
             .inner
             .fingerprint
             .get_or_init(|| sha256(&self.inner.der))
+    }
+
+    /// Lowercase hex of [`Certificate::fingerprint`], rendered at most
+    /// once per certificate and shared by every clone. This is the
+    /// handle fact emission attaches to, so the hex `String` is no
+    /// longer rebuilt per fact.
+    pub fn fingerprint_hex(&self) -> &Arc<str> {
+        self.inner
+            .fingerprint_hex
+            .get_or_init(|| Arc::from(self.fingerprint().to_hex()))
+    }
+
+    /// The token attached via [`Certificate::set_symbol_token`], if any.
+    pub fn symbol_token(&self) -> Option<u32> {
+        self.inner.symbol_token.get().copied()
+    }
+
+    /// Attach an opaque token to this certificate (first caller wins;
+    /// the winning value is returned). The core crate stores the
+    /// interned symbol id of the hex handle here so repeated fact
+    /// emission skips the global symbol-table lookup.
+    pub fn set_symbol_token(&self, token: u32) -> u32 {
+        *self.inner.symbol_token.get_or_init(|| token)
     }
 
     /// Serial number.

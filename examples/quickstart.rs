@@ -73,7 +73,7 @@ fn main() {
                 .map(|a| a
                     .gcc_verdicts
                     .iter()
-                    .map(|v| (v.gcc_name.as_str(), v.accepted))
+                    .map(|v| (&*v.gcc_name, v.accepted))
                     .collect::<Vec<_>>())
                 .unwrap_or_default()
         );
