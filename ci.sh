@@ -10,8 +10,12 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo doc (warnings denied)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+echo "==> cargo doc (warnings denied, deprecation allowlisted)"
+# `-A deprecated`: the workspace deliberately documents the deprecated
+# `TrustDaemon::spawn*` / `DaemonConnection` forwards (kept for one
+# release as byte-identical shims over `DaemonBuilder`); their rustdoc
+# must not fail the gate that exists to catch *accidental* warnings.
+RUSTDOCFLAGS="-D warnings -A deprecated" cargo doc --workspace --no-deps --quiet
 
 echo "==> cargo test"
 cargo test --workspace -q
@@ -46,6 +50,20 @@ echo "==> allocation-budget smoke (release, bounded, asserted)"
 # CI never clobbers the committed BENCH_e17.json.
 NRSLB_E17_ASSERT=1 NRSLB_SCALE=12 NRSLB_JSON="$(mktemp)" \
     cargo run --release -q -p nrslb-bench --bin e17_alloc_throughput
+
+echo "==> reactor connection-scaling smoke (release, bounded, asserted)"
+# Bounded e18 run: the reactor engine must hold 1k concurrent keep-alive
+# connections (every one proving liveness with a correct round trip)
+# and its 8-driver warm throughput must not lose to the PR6
+# thread-per-connection engine measured back-to-back in the same
+# process (single-core floor 0.85, multi-core floor 1.0). Full-scale
+# numbers (10k-connection axis) live in the committed BENCH_e18.json;
+# the smoke writes to a scratch path.
+NRSLB_E18_ASSERT=1 NRSLB_E18_MAX_CONNS=1024 NRSLB_JSON="$(mktemp)" \
+    cargo run --release -q -p nrslb-bench --bin e18_connections
+
+echo "==> engine parity + reactor torture tests"
+cargo test -p nrslb-core --test daemon_parity --test reactor_torture -q
 
 echo "==> differential oracle smoke (fixed seed)"
 # Bounded run: >=1,000 cross-path (chain, GCC, usage) checks; exits

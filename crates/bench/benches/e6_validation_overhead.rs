@@ -75,7 +75,10 @@ fn bench_modes(c: &mut Criterion) {
         b.iter(|| black_box(ua.validate(&leaf, &pool, Usage::Tls, now).unwrap()))
     });
 
-    let daemon = TrustDaemon::spawn(store.clone(), ephemeral_socket_path("bench")).unwrap();
+    let daemon = TrustDaemon::builder()
+        .socket(ephemeral_socket_path("bench"))
+        .spawn(store.clone())
+        .unwrap();
     let platform = Validator::new(
         store.clone(),
         ValidationMode::Platform(Arc::new(daemon.client())),

@@ -199,13 +199,12 @@ fn main() {
 
     // --- Exposition smoke: observed daemon + feed, scraped over IPC ---
     let daemon_registry = Arc::new(Registry::new());
-    let daemon = TrustDaemon::spawn_observed(
-        store.clone(),
-        ephemeral_socket_path("e15"),
-        2,
-        Arc::clone(&daemon_registry),
-    )
-    .unwrap();
+    let daemon = TrustDaemon::builder()
+        .socket(ephemeral_socket_path("e15"))
+        .workers(2)
+        .registry(Arc::clone(&daemon_registry))
+        .spawn(store.clone())
+        .unwrap();
     let coordinator = CoordinatorKey::from_seed([0x15; 32], 4).unwrap();
     let feed_key = FeedKey::new([0x16; 32], 6, &coordinator).unwrap();
     let mut publisher = FeedPublisher::new("e15", feed_key, &store, 0).unwrap();

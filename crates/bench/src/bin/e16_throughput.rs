@@ -27,7 +27,7 @@
 //! the repo from this PR on.
 
 use nrslb_bench::{header, scale, Timer};
-use nrslb_core::daemon::{ephemeral_socket_path, DaemonConfig, TrustDaemon};
+use nrslb_core::daemon::{ephemeral_socket_path, Engine, TrustDaemon};
 use nrslb_core::{Usage, ValidationMode, Validator, DEFAULT_CACHE_SHARDS};
 use nrslb_obs::Registry;
 use nrslb_rootstore::{Gcc, GccMetadata, RootStore};
@@ -107,7 +107,7 @@ fn drive(daemon: &TrustDaemon, chains: &[Vec<Certificate>], clients: usize, pass
     let t = Timer::start();
     std::thread::scope(|scope| {
         for c in 0..clients {
-            let conn = daemon.connection();
+            let conn = daemon.keep_alive_client();
             scope.spawn(move || {
                 for p in 0..passes {
                     // Stagger start offsets so clients collide on
@@ -130,7 +130,7 @@ fn drive_cold(daemon: &TrustDaemon, chains: &[Vec<Certificate>], clients: usize)
     let t = Timer::start();
     std::thread::scope(|scope| {
         for c in 0..clients {
-            let conn = daemon.connection();
+            let conn = daemon.keep_alive_client();
             scope.spawn(move || {
                 for chain in chains.iter().skip(c).step_by(clients) {
                     let verdicts = conn.evaluate(chain, Usage::Tls).unwrap();
@@ -142,18 +142,18 @@ fn drive_cold(daemon: &TrustDaemon, chains: &[Vec<Certificate>], clients: usize)
     chains.len() as f64 / t.secs()
 }
 
+// Pinned to the thread-pool engine: E16's trajectory (and the E17
+// baseline read from its JSON) was measured on that engine, and the
+// reactor-vs-thread-pool comparison lives in E18.
 fn spawn(store: &RootStore, shards: usize, tag: &str) -> TrustDaemon {
-    TrustDaemon::spawn_configured(
-        store.clone(),
-        ephemeral_socket_path(tag),
-        DaemonConfig {
-            workers: WORKERS,
-            cache_shards: shards,
-            ..DaemonConfig::default()
-        },
-        Arc::new(Registry::new()),
-    )
-    .unwrap()
+    TrustDaemon::builder()
+        .socket(ephemeral_socket_path(tag))
+        .workers(WORKERS)
+        .cache_shards(shards)
+        .registry(Arc::new(Registry::new()))
+        .engine(Engine::ThreadPool)
+        .spawn(store.clone())
+        .unwrap()
 }
 
 fn main() {
@@ -211,7 +211,7 @@ fn main() {
     // --- Pipelining: batch vs single requests, one client, warm ---
     let daemon = spawn(&store, DEFAULT_CACHE_SHARDS, "e16b");
     drive(&daemon, &chains, 1, 1);
-    let conn = daemon.connection();
+    let conn = daemon.keep_alive_client();
     let mut single_request_rps = 0f64;
     let mut batch_rps = 0f64;
     for _ in 0..TRIALS {

@@ -26,7 +26,7 @@
 
 use nrslb_bench::alloc::CountingAlloc;
 use nrslb_bench::{header, scale, Timer};
-use nrslb_core::daemon::{ephemeral_socket_path, DaemonConfig, TrustDaemon};
+use nrslb_core::daemon::{ephemeral_socket_path, Engine, TrustDaemon};
 use nrslb_core::session::evaluate_gccs_lazy_into;
 use nrslb_core::{Usage, ValidationSession, VerdictCache, DEFAULT_CACHE_SHARDS};
 use nrslb_obs::Registry;
@@ -142,7 +142,7 @@ fn drive(daemon: &TrustDaemon, chains: &[Vec<Certificate>], clients: usize, pass
     let t = Timer::start();
     std::thread::scope(|scope| {
         for c in 0..clients {
-            let conn = daemon.connection();
+            let conn = daemon.keep_alive_client();
             scope.spawn(move || {
                 for p in 0..passes {
                     for i in 0..chains.len() {
@@ -285,17 +285,15 @@ fn main() {
     let mut daemon_rows = Vec::new();
     println!("\n{:>8} {:>12}", "clients", "warm r/s");
     for clients in CLIENT_COUNTS {
-        let daemon = TrustDaemon::spawn_configured(
-            store.clone(),
-            ephemeral_socket_path(&format!("e17d{clients}")),
-            DaemonConfig {
-                workers: WORKERS,
-                cache_shards: DEFAULT_CACHE_SHARDS,
-                ..DaemonConfig::default()
-            },
-            Arc::new(Registry::new()),
-        )
-        .unwrap();
+        // Thread-pool engine: comparable with the E16 baseline row.
+        let daemon = TrustDaemon::builder()
+            .socket(ephemeral_socket_path(&format!("e17d{clients}")))
+            .workers(WORKERS)
+            .cache_shards(DEFAULT_CACHE_SHARDS)
+            .registry(Arc::new(Registry::new()))
+            .engine(Engine::ThreadPool)
+            .spawn(store.clone())
+            .unwrap();
         drive(&daemon, &chains, clients, 1); // fill the caches
         let mut warm_rps = 0f64;
         for _ in 0..TRIALS {

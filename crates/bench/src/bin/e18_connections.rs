@@ -1,0 +1,291 @@
+//! E18 — trust-daemon connection scaling: reactor vs thread pool.
+//!
+//! The platform-execution daemon (§3.1) serves every TLS client on the
+//! machine, so the number of *simultaneously open* connections — not
+//! just requests/sec — is a deployability axis. A thread-per-connection
+//! engine pays one OS thread (stack, scheduler slot) per idle client; a
+//! readiness reactor pays one slab entry. This binary measures both:
+//!
+//! 1. **Connection axis** (reactor): 16 → 10,000 keep-alive
+//!    connections held open against one daemon. Every connection must
+//!    prove liveness (one correct round trip), then warm throughput is
+//!    measured with 8 active drivers while the rest of the connections
+//!    sit open. The axis is capped by `RLIMIT_NOFILE` (client and
+//!    daemon share this process, so each connection costs two fds);
+//!    the binary first tries to raise the soft limit to the hard one.
+//! 2. **Ablation arm** (thread pool): warm throughput at 8 keep-alive
+//!    clients on the PR6 thread-per-connection engine — the baseline
+//!    the reactor must not lose to.
+//!
+//! `NRSLB_E18_ASSERT=1` turns the acceptance thresholds into hard
+//! failures: the reactor must sustain `min(5000, NRSLB_E18_MAX_CONNS,
+//! rlimit cap)` connections, and its 8-driver warm throughput at the
+//! largest sustained row must be at least the thread-pool baseline
+//! (floor 0.85 on a single-core runner, where the reactor's extra
+//! loop→worker hop cannot be hidden by parallelism — the same
+//! single-core accommodation E16 makes for its shard gate).
+//! The JSON report lands in `NRSLB_JSON`, or `BENCH_e18.json` when
+//! unset.
+
+use nrslb_bench::{header, Timer};
+use nrslb_core::daemon::{ephemeral_socket_path, DaemonClient, Engine, TrustDaemon};
+use nrslb_core::Usage;
+use nrslb_obs::Registry;
+use nrslb_rootstore::{Gcc, GccMetadata, RootStore};
+use nrslb_x509::testutil::simple_chain;
+use nrslb_x509::Certificate;
+use serde::Serialize;
+use std::sync::Arc;
+
+const CONN_AXIS: [usize; 7] = [16, 64, 256, 1024, 2048, 5120, 10_000];
+const WORKERS: usize = 8;
+const DRIVERS: usize = 8;
+const GCCS_PER_ROOT: usize = 4;
+const CHAINS: usize = 16;
+const WARM_PASSES: usize = 8;
+const TRIALS: usize = 3;
+/// Fds reserved for everything that is not a benchmark connection
+/// (listener, notify pipes, stdio, the JSON report...).
+const FD_SLACK: usize = 256;
+const SUSTAIN_TARGET: usize = 5_000;
+
+#[derive(Serialize)]
+struct ConnRow {
+    connections: usize,
+    liveness_round_trips: usize,
+    warm_rps: f64,
+    thread_pool_rps: f64,
+    vs_thread_pool: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    cpus: usize,
+    workers: usize,
+    event_loops: usize,
+    rlimit_nofile: usize,
+    max_connections_tried: usize,
+    max_connections_sustained: usize,
+    thread_pool_warm_rps_at_8: f64,
+    rows: Vec<ConnRow>,
+}
+
+/// `getrlimit`/`setrlimit` for `RLIMIT_NOFILE`, without the libc crate
+/// (offline workspace). Returns the soft limit after trying to raise it
+/// to the hard limit.
+fn raise_and_get_nofile() -> usize {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    // SAFETY: `lim` is a valid, writable Rlimit; the syscall fills it.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 1024; // conservative POSIX default
+    }
+    if lim.cur < lim.max {
+        let want = Rlimit {
+            cur: lim.max,
+            max: lim.max,
+        };
+        // SAFETY: `want` is a valid Rlimit; failure leaves limits as-is.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &want) } == 0 {
+            lim.cur = lim.max;
+        }
+    }
+    usize::try_from(lim.cur).unwrap_or(usize::MAX)
+}
+
+fn build_workload() -> (RootStore, Vec<Vec<Certificate>>) {
+    let mut store = RootStore::new("e18");
+    let mut chains = Vec::with_capacity(CHAINS);
+    for c in 0..CHAINS {
+        let pki = simple_chain(&format!("e18-{c}.example"));
+        store.add_trusted(pki.root.clone()).unwrap();
+        for g in 0..GCCS_PER_ROOT {
+            let src = format!(
+                r#"cutoff{g}(4000000000).
+valid(Chain, _) :- leaf(Chain, C), notBefore(C, NB), cutoff{g}(T), NB < T."#
+            );
+            let gcc = Gcc::parse(
+                &format!("e18-gcc-{g}"),
+                pki.root.fingerprint(),
+                &src,
+                GccMetadata::default(),
+            )
+            .unwrap();
+            store.attach_gcc(gcc).unwrap();
+        }
+        chains.push(vec![pki.leaf, pki.intermediate, pki.root]);
+    }
+    (store, chains)
+}
+
+fn spawn(store: &RootStore, engine: Engine, loops: usize, tag: &str) -> TrustDaemon {
+    TrustDaemon::builder()
+        .socket(ephemeral_socket_path(tag))
+        .workers(WORKERS)
+        .event_loops(loops)
+        .registry(Arc::new(Registry::new()))
+        .engine(engine)
+        .spawn(store.clone())
+        .unwrap()
+}
+
+/// One timed warm pass: `DRIVERS` threads sweeping the chain set over
+/// already-open clients; returns requests/sec.
+fn drive_once(clients: &[DaemonClient], chains: &[Vec<Certificate>]) -> f64 {
+    let total = (DRIVERS * WARM_PASSES * chains.len()) as f64;
+    let t = Timer::start();
+    std::thread::scope(|scope| {
+        for (c, client) in clients.iter().take(DRIVERS).enumerate() {
+            scope.spawn(move || {
+                for p in 0..WARM_PASSES {
+                    for i in 0..chains.len() {
+                        let chain = &chains[(c * 7 + p + i) % chains.len()];
+                        let verdicts = client.evaluate(chain, Usage::Tls).unwrap();
+                        assert_eq!(verdicts.len(), GCCS_PER_ROOT);
+                    }
+                }
+            });
+        }
+    });
+    total / t.secs()
+}
+
+/// Open `n` keep-alive connections and prove each one live with one
+/// round trip (connections are lazy until first use). Work is spread
+/// over a few threads so the 10k row doesn't serialize on round-trip
+/// latency.
+fn open_connections(
+    daemon: &TrustDaemon,
+    n: usize,
+    chains: &[Vec<Certificate>],
+) -> Vec<DaemonClient> {
+    let clients: Vec<DaemonClient> = (0..n).map(|_| daemon.keep_alive_client()).collect();
+    let openers = 16.min(n);
+    std::thread::scope(|scope| {
+        for (t, shard) in clients.chunks(n.div_ceil(openers)).enumerate() {
+            scope.spawn(move || {
+                for (i, client) in shard.iter().enumerate() {
+                    let chain = &chains[(t + i) % chains.len()];
+                    let verdicts = client.evaluate(chain, Usage::Tls).unwrap();
+                    assert_eq!(verdicts.len(), GCCS_PER_ROOT);
+                }
+            });
+        }
+    });
+    clients
+}
+
+fn main() {
+    header(
+        "E18",
+        "daemon connection scaling: reactor vs thread-per-connection",
+        "§3.1 platform execution (one daemon, every TLS client on the machine)",
+    );
+    let assert_mode = std::env::var("NRSLB_E18_ASSERT").is_ok_and(|v| v == "1");
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let rlimit = raise_and_get_nofile();
+    let env_cap = std::env::var("NRSLB_E18_MAX_CONNS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(usize::MAX);
+    // Client fd + daemon fd per connection, both in this process.
+    let fd_cap = rlimit.saturating_sub(FD_SLACK) / 2;
+    let cap = fd_cap.min(env_cap);
+    let loops = 2.max(cpus / 2).min(4);
+    let (store, chains) = build_workload();
+    println!(
+        "workload: {CHAINS} chains x {GCCS_PER_ROOT} GCCs, {WORKERS} workers, {loops} loops, \
+         {cpus} CPUs, rlimit {rlimit} (cap {cap} conns), best of {TRIALS} trials"
+    );
+
+    // --- Thread-pool baseline arm: kept open for the whole sweep so
+    // every reactor row can interleave baseline trials with its own
+    // (machine drift then hits both arms equally — the same trick
+    // E16's shard ablation uses). ---
+    let tp_daemon = spawn(&store, Engine::ThreadPool, loops, "e18tp");
+    let tp_clients = open_connections(&tp_daemon, DRIVERS, &chains);
+    drive_once(&tp_clients, &chains); // warm both caches once
+
+    // --- Reactor connection axis ---
+    let mut rows: Vec<ConnRow> = Vec::new();
+    let mut tried = 0;
+    println!(
+        "\n{:>12} {:>12} {:>12} {:>12} {:>8}",
+        "connections", "liveness", "warm r/s", "tp r/s", "ratio"
+    );
+    for conns in CONN_AXIS {
+        let conns = conns.min(cap);
+        if rows.iter().any(|r| r.connections == conns) {
+            continue; // the cap collapsed this rung into the previous one
+        }
+        tried = tried.max(conns);
+        let daemon = spawn(&store, Engine::Reactor, loops, &format!("e18r{conns}"));
+        let clients = open_connections(&daemon, conns, &chains);
+        let mut warm_rps = 0f64;
+        let mut thread_pool_rps = 0f64;
+        for _ in 0..TRIALS {
+            thread_pool_rps = thread_pool_rps.max(drive_once(&tp_clients, &chains));
+            warm_rps = warm_rps.max(drive_once(&clients, &chains));
+        }
+        let ratio = warm_rps / thread_pool_rps;
+        println!("{conns:>12} {conns:>12} {warm_rps:>12.0} {thread_pool_rps:>12.0} {ratio:>8.2}");
+        rows.push(ConnRow {
+            connections: conns,
+            liveness_round_trips: conns,
+            warm_rps,
+            thread_pool_rps,
+            vs_thread_pool: ratio,
+        });
+    }
+    let sustained = rows.last().map_or(0, |r| r.connections);
+    let baseline_rps = rows.iter().fold(0f64, |m, r| m.max(r.thread_pool_rps));
+
+    // --- Acceptance gates ---
+    let target = SUSTAIN_TARGET.min(cap);
+    let top = rows.last().expect("at least one row");
+    // On one core the reactor's loop→worker hop is pure overhead that
+    // no second core can absorb; E16 grants its shard gate the same
+    // 0.85 single-core floor.
+    let floor = if cpus >= 2 { 1.0 } else { 0.85 };
+    println!(
+        "\ngates: sustained {sustained} conns (target {target}), \
+         warm ratio at {} conns {:.2} (floor {floor})",
+        top.connections, top.vs_thread_pool
+    );
+    if assert_mode {
+        assert!(
+            sustained >= target,
+            "reactor sustained only {sustained} connections (target {target})"
+        );
+        let ratio = top.vs_thread_pool;
+        assert!(
+            ratio >= floor,
+            "reactor warm throughput below thread-pool baseline: {ratio:.2} (floor {floor})"
+        );
+        println!("E18 asserts: OK");
+    }
+
+    let report = Report {
+        cpus,
+        workers: WORKERS,
+        event_loops: loops,
+        rlimit_nofile: rlimit,
+        max_connections_tried: tried,
+        max_connections_sustained: sustained,
+        thread_pool_warm_rps_at_8: baseline_rps,
+        rows,
+    };
+    let path = std::env::var("NRSLB_JSON").unwrap_or_else(|_| "BENCH_e18.json".to_string());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json).unwrap_or_else(|e| eprintln!("write {path}: {e}"));
+    eprintln!("json report written to {path}");
+}

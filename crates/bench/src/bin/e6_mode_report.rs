@@ -87,7 +87,10 @@ fn main() {
     }
 
     let (store, leaf, pool, now) = store_with_gccs(2);
-    let daemon = TrustDaemon::spawn(store.clone(), ephemeral_socket_path("e6report")).unwrap();
+    let daemon = TrustDaemon::builder()
+        .socket(ephemeral_socket_path("e6report"))
+        .spawn(store.clone())
+        .unwrap();
     let platform = Validator::new(
         store.clone(),
         ValidationMode::Platform(Arc::new(daemon.client())),

@@ -9,24 +9,37 @@
 //! user-agent proceeds with chain construction, "building a new chain if
 //! the daemon responded false".
 //!
-//! ## Concurrency
+//! ## Engines
 //!
-//! Connections are served by a fixed pool of worker threads fed from a
-//! bounded MPMC channel: the accept loop enqueues each connection, and
-//! whichever worker is free picks it up. The pool bounds both thread
-//! count and queued-connection memory no matter how many clients
-//! connect at once. All workers share one [`InProcessOracle`] — and
-//! thus one GCC [`crate::VerdictCache`] — so a verdict computed for one
-//! client is a cache hit for every other.
+//! Daemons are spawned through [`DaemonBuilder`] and serve connections
+//! with one of two interchangeable engines ([`Engine`]):
+//!
+//! * [`Engine::Reactor`] (default) — a readiness reactor
+//!   (`crate::reactor`): a few event-loop threads multiplex *all*
+//!   connections over non-blocking sockets, and complete frames are
+//!   dispatched to a worker pool for Datalog evaluation. Concurrency is
+//!   bounded by memory, not worker count — thousands of keep-alive
+//!   user-agents can stay connected while eight workers evaluate.
+//! * [`Engine::ThreadPool`] — the original thread-per-connection pool:
+//!   accepted connections queue on a bounded MPMC channel and a worker
+//!   owns one connection end-to-end until its peer hangs up. Kept as
+//!   the ablation arm; at most `workers` connections are served
+//!   concurrently.
+//!
+//! Both engines speak exactly `crate::proto` — one parser, one
+//! executor, one set of reply encoders — so they are reply-for-reply
+//! identical, and both share one [`InProcessOracle`] (and thus one GCC
+//! [`crate::VerdictCache`]), so a verdict computed for one client is a
+//! cache hit for every other.
 //!
 //! ## Wire protocol
 //!
 //! Little-endian, length-prefixed. Connections are **keep-alive**: a
 //! client sends any number of requests on one connection and the daemon
 //! answers each in order, so user-agents amortize socket setup across a
-//! page load ([`DaemonConnection`]). `OP_EVALUATE_BATCH` goes further
-//! and packs many chains into one round-trip with a single response
-//! frame:
+//! page load ([`DaemonClient::keep_alive`]). `OP_EVALUATE_BATCH` goes
+//! further and packs many chains into one round-trip with a single
+//! response frame:
 //!
 //! ```text
 //! evaluate := u8 usage(0=TLS,1=S/MIME) u32 n_certs (u32 len, bytes der)*
@@ -41,21 +54,32 @@
 //!             error:              u32 len, bytes message
 //! ```
 //!
+//! A malformed-but-delimitable frame (e.g. a bad usage byte) is
+//! answered with a structured error frame and the connection **stays
+//! open** — the bad frame was consumed whole, so the stream is still in
+//! sync. Only undelimitable garbage (unknown opcode, a length field
+//! past its cap) closes the connection, after a final error frame.
+//!
 //! ## Observability
 //!
-//! Every daemon owns (or is handed, [`TrustDaemon::spawn_observed`]) an
+//! Every daemon owns (or is handed, [`DaemonBuilder::registry`]) an
 //! [`nrslb_obs::Registry`]. The shared oracle's verdict cache mirrors
 //! its hit/miss/eviction statistics into it, each request is timed into
-//! `nrslb_daemon_request_latency_us`, and the connection queue depth is
-//! tracked as a gauge. The `metrics` opcode returns
-//! [`Registry::render_text`] — Prometheus text exposition over the same
-//! socket, so operators scrape the daemon without a second listener.
+//! `nrslb_daemon_request_latency_us`, and the reactor engine adds
+//! per-loop gauges/counters (see `crate::reactor`). The `metrics`
+//! opcode returns [`Registry::render_text`] — Prometheus text
+//! exposition over the same socket, so operators scrape the daemon
+//! without a second listener.
 
 use crate::cache::ParsedCertCache;
 use crate::gcc_eval::GccVerdict;
+use crate::proto::{
+    self, Parsed, MAX_BATCH, MAX_LEN, OP_EVALUATE, OP_EVALUATE_BATCH, OP_METRICS, STATUS_ERR,
+    STATUS_OK,
+};
+use crate::reactor::ReactorHandle;
 use crate::validate::{GccOracle, InProcessOracle};
 use crate::CoreError;
-use nrslb_crypto::sha256::{Digest, Sha256};
 use nrslb_obs::{Counter, Gauge, Histogram, Registry, Span};
 use nrslb_rootstore::{RootStore, Usage};
 use nrslb_rsf::{Staleness, Subscriber, SyncCounters};
@@ -66,21 +90,6 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-
-const OP_EVALUATE: u8 = 1;
-const OP_METRICS: u8 = 2;
-const OP_EVALUATE_BATCH: u8 = 3;
-const STATUS_OK: u8 = 0;
-const STATUS_ERR: u8 = 1;
-/// Upper bound on any length field, to bound allocations from hostile
-/// peers (a trust daemon is security-critical infrastructure).
-const MAX_LEN: u32 = 16 * 1024 * 1024;
-/// Upper bound on chains per `OP_EVALUATE_BATCH` request.
-const MAX_BATCH: u32 = 256;
-
-fn write_u32(w: &mut impl Write, v: u32) -> std::io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
 
 fn read_u8(r: &mut impl Read) -> std::io::Result<u8> {
     let mut b = [0u8; 1];
@@ -107,40 +116,26 @@ fn read_block(r: &mut impl Read) -> std::io::Result<Vec<u8>> {
     Ok(buf)
 }
 
-fn usage_to_byte(usage: Usage) -> u8 {
-    match usage {
-        Usage::Tls => 0,
-        Usage::SMime => 1,
-    }
-}
-
-fn usage_from_byte(b: u8) -> Option<Usage> {
-    match b {
-        0 => Some(Usage::Tls),
-        1 => Some(Usage::SMime),
-        _ => None,
-    }
-}
-
-/// Default number of worker threads serving connections.
+/// Default number of evaluation worker threads.
 pub const DEFAULT_WORKERS: usize = 8;
 
-/// Per-daemon instrument handles, shared by the accept loop and every
-/// worker. The registry rides along so the `metrics` opcode can render
-/// it from any worker thread.
+/// Per-daemon instrument handles, shared by every engine thread. The
+/// registry rides along so the `metrics` opcode can render it from any
+/// thread.
 #[derive(Clone)]
-struct DaemonInstruments {
-    registry: Arc<Registry>,
-    /// Connections accepted but not yet picked up by a worker.
-    queue_depth: Gauge,
+pub(crate) struct DaemonInstruments {
+    pub(crate) registry: Arc<Registry>,
+    /// Connections accepted but not yet picked up by a worker
+    /// (thread-pool engine only; the reactor never queues accepts).
+    pub(crate) queue_depth: Gauge,
     /// Requests served, by opcode outcome.
-    requests: Counter,
+    pub(crate) requests: Counter,
     /// Requests answered with an error status.
-    request_errors: Counter,
+    pub(crate) request_errors: Counter,
     /// Per-request service time in microseconds.
-    latency_us: Histogram,
+    pub(crate) latency_us: Histogram,
     /// Chains per `OP_EVALUATE_BATCH` request.
-    batch_size: Histogram,
+    pub(crate) batch_size: Histogram,
 }
 
 impl DaemonInstruments {
@@ -167,9 +162,18 @@ impl DaemonInstruments {
         }
     }
 
-    fn span(&self) -> Span {
+    pub(crate) fn span(&self) -> Span {
         Span::enter(self.latency_us.clone(), Arc::clone(self.registry.clock()))
     }
+}
+
+/// Everything a serving thread needs to execute requests: the shared
+/// oracle, the shared parsed-certificate cache, and the instruments.
+#[derive(Clone)]
+pub(crate) struct ExecCtx {
+    pub(crate) oracle: Arc<InProcessOracle>,
+    pub(crate) certs: Arc<ParsedCertCache>,
+    pub(crate) instruments: DaemonInstruments,
 }
 
 /// An accepted connection waiting in the worker queue, keeping the
@@ -207,7 +211,20 @@ impl Drop for QueuedConn {
     }
 }
 
-/// Configuration for spawning a [`TrustDaemon`].
+/// Which serving engine a daemon runs (see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Readiness reactor: event loops multiplex every connection,
+    /// workers only evaluate. The default.
+    #[default]
+    Reactor,
+    /// Thread-per-connection worker pool (the ablation arm): at most
+    /// `workers` connections are served concurrently.
+    ThreadPool,
+}
+
+/// Configuration for [`TrustDaemon::spawn_configured`]. Superseded by
+/// [`DaemonBuilder`], which covers the same knobs plus engine choice.
 #[derive(Clone, Copy, Debug)]
 pub struct DaemonConfig {
     /// Worker threads serving connections (at least 1).
@@ -229,6 +246,214 @@ impl Default for DaemonConfig {
     }
 }
 
+/// How many event loops the reactor engine runs by default: half the
+/// available cores, clamped to `1..=4` — loops only parse and move
+/// bytes, so a few go a long way.
+fn default_event_loops() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    (cores / 2).clamp(1, 4)
+}
+
+/// Builder for a [`TrustDaemon`]: socket path (required), engine,
+/// worker count, event-loop count, verdict-cache geometry, and metric
+/// registry.
+///
+/// ```no_run
+/// use nrslb_core::daemon::{Engine, TrustDaemon};
+/// # let store = nrslb_rootstore::RootStore::new("platform");
+/// let daemon = TrustDaemon::builder()
+///     .socket("/run/nrslb/trustd.sock")
+///     .workers(8)
+///     .engine(Engine::Reactor)
+///     .spawn(store)
+///     .unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct DaemonBuilder {
+    socket: Option<PathBuf>,
+    workers: usize,
+    event_loops: usize,
+    cache_capacity: usize,
+    cache_shards: usize,
+    registry: Option<Arc<Registry>>,
+    engine: Engine,
+}
+
+impl Default for DaemonBuilder {
+    fn default() -> DaemonBuilder {
+        DaemonBuilder {
+            socket: None,
+            workers: DEFAULT_WORKERS,
+            event_loops: default_event_loops(),
+            cache_capacity: crate::cache::DEFAULT_VERDICT_CACHE_CAPACITY,
+            cache_shards: crate::cache::DEFAULT_CACHE_SHARDS,
+            registry: None,
+            engine: Engine::default(),
+        }
+    }
+}
+
+impl DaemonBuilder {
+    /// The Unix socket path to bind (required; a stale socket file from
+    /// a previous run is removed first).
+    pub fn socket(mut self, path: impl AsRef<Path>) -> DaemonBuilder {
+        self.socket = Some(path.as_ref().to_path_buf());
+        self
+    }
+
+    /// Evaluation worker threads (at least 1; default
+    /// [`DEFAULT_WORKERS`]). Under [`Engine::ThreadPool`] this also
+    /// caps concurrent connections.
+    pub fn workers(mut self, workers: usize) -> DaemonBuilder {
+        self.workers = workers;
+        self
+    }
+
+    /// Event-loop threads for [`Engine::Reactor`] (at least 1; default
+    /// scales with core count). Ignored by [`Engine::ThreadPool`].
+    pub fn event_loops(mut self, event_loops: usize) -> DaemonBuilder {
+        self.event_loops = event_loops;
+        self
+    }
+
+    /// Capacity of the shared verdict cache.
+    pub fn cache_capacity(mut self, capacity: usize) -> DaemonBuilder {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Shard count of the shared verdict cache; `1` reproduces the old
+    /// single-lock cache (the throughput benchmark's ablation arm).
+    pub fn cache_shards(mut self, shards: usize) -> DaemonBuilder {
+        self.cache_shards = shards;
+        self
+    }
+
+    /// Report into a caller-provided registry — so the daemon's metrics
+    /// share one exposition with a co-resident validator's or
+    /// subscriber's. Defaults to a fresh private registry.
+    pub fn registry(mut self, registry: Arc<Registry>) -> DaemonBuilder {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Which serving engine to run (default [`Engine::Reactor`]).
+    pub fn engine(mut self, engine: Engine) -> DaemonBuilder {
+        self.engine = engine;
+        self
+    }
+
+    /// Bind the socket and start serving GCC evaluations for `store`.
+    ///
+    /// Fails with [`std::io::ErrorKind::InvalidInput`] if no socket
+    /// path was set, or with the bind error otherwise.
+    pub fn spawn(self, store: RootStore) -> std::io::Result<TrustDaemon> {
+        let path = self.socket.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "DaemonBuilder::socket is required",
+            )
+        })?;
+        // Remove a stale socket from a previous run.
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let registry = self.registry.unwrap_or_else(|| Arc::new(Registry::new()));
+        let oracle = Arc::new(InProcessOracle::configured(
+            store,
+            self.cache_capacity,
+            self.cache_shards,
+            Some(&registry),
+        ));
+        let cert_cache = Arc::new(ParsedCertCache::default());
+        let instruments = DaemonInstruments::new(registry);
+        let ctx = ExecCtx {
+            oracle: Arc::clone(&oracle),
+            certs: Arc::clone(&cert_cache),
+            instruments: instruments.clone(),
+        };
+        let engine = match self.engine {
+            Engine::Reactor => EngineHandle::Reactor(ReactorHandle::spawn(
+                listener,
+                self.event_loops.max(1),
+                self.workers.max(1),
+                ctx,
+                Arc::clone(&stop),
+            )?),
+            Engine::ThreadPool => {
+                spawn_thread_pool(listener, self.workers.max(1), ctx, Arc::clone(&stop))
+            }
+        };
+        Ok(TrustDaemon {
+            path,
+            stop,
+            oracle,
+            cert_cache,
+            instruments,
+            engine,
+            feed: None,
+        })
+    }
+}
+
+/// The running engine's threads, joined on shutdown.
+enum EngineHandle {
+    ThreadPool {
+        accept: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    Reactor(ReactorHandle),
+}
+
+/// Start the thread-pool engine: a bounded accept queue feeding workers
+/// that each own one connection until its peer hangs up.
+fn spawn_thread_pool(
+    listener: UnixListener,
+    workers: usize,
+    ctx: ExecCtx,
+    stop: Arc<AtomicBool>,
+) -> EngineHandle {
+    // Bounded: with all workers busy, at most 2x`workers` accepted
+    // connections queue before the accept loop itself blocks (and the
+    // kernel listen backlog takes over).
+    let (conn_tx, conn_rx) = crossbeam::channel::bounded::<QueuedConn>(workers * 2);
+    let worker_handles = (0..workers)
+        .map(|_| {
+            let conn_rx = conn_rx.clone();
+            let ctx = ctx.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // recv fails once the accept thread (the only sender)
+                // is gone and the queue has drained.
+                while let Ok(queued) = conn_rx.recv() {
+                    let _ = serve_connection(queued.take(), &ctx, &stop);
+                }
+            })
+        })
+        .collect();
+    drop(conn_rx);
+    let queue_depth = ctx.instruments.queue_depth.clone();
+    let accept = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let queued = QueuedConn::new(stream, queue_depth.clone());
+            if conn_tx.send(queued).is_err() {
+                break;
+            }
+        }
+        // conn_tx drops here; idle workers wake and exit.
+    });
+    EngineHandle::ThreadPool {
+        accept: Some(accept),
+        workers: worker_handles,
+    }
+}
+
 /// A running trust daemon; dropping the handle shuts it down.
 pub struct TrustDaemon {
     path: PathBuf,
@@ -236,8 +461,7 @@ pub struct TrustDaemon {
     oracle: Arc<InProcessOracle>,
     cert_cache: Arc<ParsedCertCache>,
     instruments: DaemonInstruments,
-    accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    engine: EngineHandle,
     /// The RSF subscriber keeping the platform store current, when the
     /// operator wired one up ([`TrustDaemon::attach_feed`]). The daemon
     /// surfaces its sync health ([`TrustDaemon::sync_counters`],
@@ -247,31 +471,43 @@ pub struct TrustDaemon {
 }
 
 impl TrustDaemon {
+    /// Configure a daemon: socket path, engine, workers, cache
+    /// geometry, registry. See [`DaemonBuilder`].
+    pub fn builder() -> DaemonBuilder {
+        DaemonBuilder::default()
+    }
+
     /// Bind `socket_path` and serve GCC evaluations for `store` with
     /// [`DEFAULT_WORKERS`] worker threads.
+    #[deprecated(note = "use TrustDaemon::builder()")]
     pub fn spawn(store: RootStore, socket_path: impl AsRef<Path>) -> std::io::Result<TrustDaemon> {
+        #[allow(deprecated)]
         TrustDaemon::spawn_with_workers(store, socket_path, DEFAULT_WORKERS)
     }
 
     /// Bind `socket_path` and serve with an explicit worker count
     /// (at least 1), reporting into a private registry.
+    #[deprecated(note = "use TrustDaemon::builder()")]
     pub fn spawn_with_workers(
         store: RootStore,
         socket_path: impl AsRef<Path>,
         workers: usize,
     ) -> std::io::Result<TrustDaemon> {
+        #[allow(deprecated)]
         TrustDaemon::spawn_observed(store, socket_path, workers, Arc::new(Registry::new()))
     }
 
     /// Bind `socket_path` and serve, reporting into a caller-provided
     /// registry — so the daemon's metrics share one exposition with a
     /// co-resident validator's or subscriber's.
+    #[deprecated(note = "use TrustDaemon::builder()")]
     pub fn spawn_observed(
         store: RootStore,
         socket_path: impl AsRef<Path>,
         workers: usize,
         registry: Arc<Registry>,
     ) -> std::io::Result<TrustDaemon> {
+        #[allow(deprecated)]
         TrustDaemon::spawn_configured(
             store,
             socket_path,
@@ -285,81 +521,39 @@ impl TrustDaemon {
 
     /// Bind `socket_path` and serve with full control over worker count
     /// and verdict-cache geometry, reporting into a caller-provided
-    /// registry. The throughput benchmark uses this to run the
-    /// single-lock (`cache_shards = 1`) ablation against the sharded
-    /// default.
+    /// registry.
+    ///
+    /// Forwards to [`DaemonBuilder`] pinned to [`Engine::ThreadPool`] —
+    /// the engine these constructors always ran — so existing callers
+    /// keep byte-identical behavior.
+    #[deprecated(note = "use TrustDaemon::builder()")]
     pub fn spawn_configured(
         store: RootStore,
         socket_path: impl AsRef<Path>,
         config: DaemonConfig,
         registry: Arc<Registry>,
     ) -> std::io::Result<TrustDaemon> {
-        let workers = config.workers.max(1);
-        let path = socket_path.as_ref().to_path_buf();
-        // Remove a stale socket from a previous run.
-        let _ = std::fs::remove_file(&path);
-        let listener = UnixListener::bind(&path)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let oracle = Arc::new(InProcessOracle::configured(
-            store,
-            config.cache_capacity,
-            config.cache_shards,
-            Some(&registry),
-        ));
-        let cert_cache = Arc::new(ParsedCertCache::default());
-        let instruments = DaemonInstruments::new(registry);
-        // Bounded: with all workers busy, at most 2x`workers` accepted
-        // connections queue before the accept loop itself blocks (and
-        // the kernel listen backlog takes over).
-        let (conn_tx, conn_rx) = crossbeam::channel::bounded::<QueuedConn>(workers * 2);
-        let worker_handles = (0..workers)
-            .map(|_| {
-                let conn_rx = conn_rx.clone();
-                let oracle = Arc::clone(&oracle);
-                let certs = Arc::clone(&cert_cache);
-                let instruments = instruments.clone();
-                let stop = Arc::clone(&stop);
-                std::thread::spawn(move || {
-                    // recv fails once the accept thread (the only
-                    // sender) is gone and the queue has drained.
-                    while let Ok(queued) = conn_rx.recv() {
-                        let _ =
-                            serve_connection(queued.take(), &*oracle, &certs, &instruments, &stop);
-                    }
-                })
-            })
-            .collect();
-        drop(conn_rx);
-        let stop2 = stop.clone();
-        let accept_instruments = instruments.clone();
-        let accept_thread = std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if stop2.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = conn else { continue };
-                let queued = QueuedConn::new(stream, accept_instruments.queue_depth.clone());
-                if conn_tx.send(queued).is_err() {
-                    break;
-                }
-            }
-            // conn_tx drops here; idle workers wake and exit.
-        });
-        Ok(TrustDaemon {
-            path,
-            stop,
-            oracle,
-            cert_cache,
-            instruments,
-            accept_thread: Some(accept_thread),
-            workers: worker_handles,
-            feed: None,
-        })
+        TrustDaemon::builder()
+            .socket(socket_path)
+            .workers(config.workers)
+            .cache_capacity(config.cache_capacity)
+            .cache_shards(config.cache_shards)
+            .registry(registry)
+            .engine(Engine::ThreadPool)
+            .spawn(store)
     }
 
     /// The socket path clients should connect to.
     pub fn socket_path(&self) -> &Path {
         &self.path
+    }
+
+    /// Which engine this daemon is serving with.
+    pub fn engine(&self) -> Engine {
+        match self.engine {
+            EngineHandle::ThreadPool { .. } => Engine::ThreadPool,
+            EngineHandle::Reactor(_) => Engine::Reactor,
+        }
     }
 
     /// The shared oracle (exposes the verdict cache for metrics).
@@ -413,6 +607,13 @@ impl TrustDaemon {
 
     /// Create a keep-alive client for this daemon (one connection,
     /// many requests, batch support).
+    pub fn keep_alive_client(&self) -> DaemonClient {
+        DaemonClient::keep_alive(&self.path)
+    }
+
+    /// Create a keep-alive client for this daemon.
+    #[deprecated(note = "use TrustDaemon::keep_alive_client()")]
+    #[allow(deprecated)]
     pub fn connection(&self) -> DaemonConnection {
         DaemonConnection::new(&self.path)
     }
@@ -423,241 +624,305 @@ impl Drop for TrustDaemon {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the accept loop.
         let _ = UnixStream::connect(&self.path);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        for t in self.workers.drain(..) {
-            let _ = t.join();
+        match &mut self.engine {
+            EngineHandle::ThreadPool { accept, workers } => {
+                if let Some(t) = accept.take() {
+                    let _ = t.join();
+                }
+                for t in workers.drain(..) {
+                    let _ = t.join();
+                }
+            }
+            EngineHandle::Reactor(handle) => handle.shutdown(),
         }
         let _ = std::fs::remove_file(&self.path);
     }
 }
 
-/// What a successful request answers with (the opcodes have different
-/// ok-payload shapes).
-enum Reply {
-    Verdicts(Vec<GccVerdict>),
-    Batch(Vec<Vec<GccVerdict>>),
-    Text(String),
-}
-
-fn write_verdict_list(stream: &mut UnixStream, verdicts: &[GccVerdict]) -> std::io::Result<()> {
-    write_u32(stream, verdicts.len() as u32)?;
-    for v in verdicts {
-        stream.write_all(&[u8::from(v.accepted)])?;
-        write_u32(stream, v.gcc_name.len() as u32)?;
-        stream.write_all(v.gcc_name.as_bytes())?;
-    }
-    Ok(())
-}
-
 /// How often an idle worker wakes to re-check the shutdown flag while
-/// waiting for the next request on a keep-alive connection.
+/// waiting for bytes on a keep-alive connection.
 const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(25);
 
-fn serve_connection(
-    mut stream: UnixStream,
-    oracle: &dyn GccOracle,
-    certs: &ParsedCertCache,
-    instruments: &DaemonInstruments,
-    stop: &AtomicBool,
-) -> std::io::Result<()> {
-    // Serve requests until the peer closes the connection.
+/// Thread-pool engine: serve one connection end-to-end over the shared
+/// protocol module, until the peer hangs up or the frame stream turns
+/// fatally malformed.
+fn serve_connection(stream: UnixStream, ctx: &ExecCtx, stop: &AtomicBool) -> std::io::Result<()> {
+    let mut stream = stream;
+    let mut rbuf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 64 * 1024];
+    // Keep-alive clients may hold the connection open indefinitely
+    // between requests, so reads poll with a short timeout and re-check
+    // the shutdown flag — a quiet connection must never block daemon
+    // shutdown.
+    stream.set_read_timeout(Some(IDLE_POLL))?;
     loop {
-        // Keep-alive clients may hold the connection open indefinitely
-        // between requests, so the idle opcode wait polls with a short
-        // read timeout and re-checks the shutdown flag between polls —
-        // a quiet connection must never block daemon shutdown.
-        stream.set_read_timeout(Some(IDLE_POLL))?;
-        let opcode = loop {
-            match read_u8(&mut stream) {
-                Ok(op) => break op,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if stop.load(Ordering::SeqCst) {
+        // Serve every complete frame already buffered before reading
+        // more (clients may pipeline).
+        loop {
+            match proto::try_parse(&rbuf) {
+                Parsed::Incomplete => {
+                    if rbuf.len() > proto::MAX_BUFFERED {
+                        proto::count_malformed(&ctx.instruments);
+                        stream
+                            .write_all(&proto::encode_error_reply("frame exceeds buffer limit"))?;
                         return Ok(());
                     }
+                    break;
                 }
-                Err(_) => return Ok(()), // peer hung up
-            }
-        };
-        // A frame is in flight: mid-request reads block normally.
-        stream.set_read_timeout(None)?;
-        // The span covers decode + evaluation + response write; it
-        // records on drop, so error paths are timed too.
-        let span = instruments.span();
-        instruments.requests.inc();
-        let reply = handle_request(opcode, &mut stream, oracle, certs, instruments);
-        match reply {
-            Ok(Reply::Verdicts(verdicts)) => {
-                stream.write_all(&[STATUS_OK])?;
-                write_verdict_list(&mut stream, &verdicts)?;
-            }
-            Ok(Reply::Batch(batches)) => {
-                stream.write_all(&[STATUS_OK])?;
-                write_u32(&mut stream, batches.len() as u32)?;
-                for verdicts in &batches {
-                    write_verdict_list(&mut stream, verdicts)?;
+                Parsed::Frame(Ok(request), consumed) => {
+                    rbuf.drain(..consumed);
+                    let reply =
+                        proto::execute(&request, &*ctx.oracle, &ctx.certs, &ctx.instruments);
+                    stream.write_all(&reply)?;
+                    stream.flush()?;
                 }
-            }
-            Ok(Reply::Text(text)) => {
-                stream.write_all(&[STATUS_OK])?;
-                write_u32(&mut stream, text.len() as u32)?;
-                stream.write_all(text.as_bytes())?;
-            }
-            Err(message) => {
-                instruments.request_errors.inc();
-                stream.write_all(&[STATUS_ERR])?;
-                write_u32(&mut stream, message.len() as u32)?;
-                stream.write_all(message.as_bytes())?;
+                Parsed::Frame(Err(message), consumed) => {
+                    rbuf.drain(..consumed);
+                    proto::count_malformed(&ctx.instruments);
+                    stream.write_all(&proto::encode_error_reply(&message))?;
+                    stream.flush()?;
+                }
+                Parsed::Fatal(message) => {
+                    proto::count_malformed(&ctx.instruments);
+                    stream.write_all(&proto::encode_error_reply(&message))?;
+                    stream.flush()?;
+                    return Ok(());
+                }
             }
         }
-        stream.flush()?;
-        drop(span);
+        match stream.read(&mut scratch) {
+            Ok(0) => return Ok(()), // peer hung up
+            Ok(n) => rbuf.extend_from_slice(&scratch[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Ok(()),
+        }
     }
 }
 
-/// Read one `evaluate` body (usage byte + chain) off the wire.
-///
-/// Each certificate's wire bytes go through the shared
-/// [`ParsedCertCache`] (fast hash + byte-identity check), so on a hit
-/// the daemon skips the DER parse and gets back a handle whose
-/// fingerprint, hex form, and interned Datalog symbol were memoized by
-/// earlier requests.
-fn read_evaluate_body(
-    stream: &mut UnixStream,
-    certs: &ParsedCertCache,
-) -> Result<(Usage, Vec<Certificate>), String> {
-    let usage = read_u8(stream)
-        .ok()
-        .and_then(usage_from_byte)
-        .ok_or("bad usage byte")?;
-    let n = read_u32(stream).map_err(|e| e.to_string())?;
-    if n > 64 {
-        return Err("chain too long".to_string());
-    }
-    let mut chain = Vec::with_capacity(n as usize);
-    for _ in 0..n {
-        let der = read_block(stream).map_err(|e| e.to_string())?;
-        let cert = certs.parse(&der).map_err(|e| e.to_string())?;
-        chain.push(cert);
-    }
-    Ok((usage, chain))
-}
-
-/// Content identity of one batch item: the usage byte plus a digest of
-/// the chain's certificate fingerprints in order. Two items with equal
-/// keys are the same evaluation by construction, so the batch handler
-/// evaluates the first and clones its verdicts for the rest.
-fn batch_item_key(usage: Usage, chain: &[Certificate]) -> (u8, Digest) {
-    let mut h = Sha256::new();
-    for cert in chain {
-        h.update(cert.fingerprint().0);
-    }
-    (usage_to_byte(usage), h.finalize())
-}
-
-fn handle_request(
-    opcode: u8,
-    stream: &mut UnixStream,
-    oracle: &dyn GccOracle,
-    certs: &ParsedCertCache,
-    instruments: &DaemonInstruments,
-) -> Result<Reply, String> {
-    match opcode {
-        OP_METRICS => Ok(Reply::Text(instruments.registry.render_text())),
-        OP_EVALUATE => {
-            let (usage, chain) = read_evaluate_body(stream, certs)?;
-            oracle
-                .evaluate(&chain, usage)
-                .map(Reply::Verdicts)
-                .map_err(|e| e.to_string())
-        }
-        OP_EVALUATE_BATCH => {
-            let n = read_u32(stream).map_err(|e| e.to_string())?;
-            if n > MAX_BATCH {
-                return Err("batch too large".to_string());
-            }
-            // Drain the whole batch off the wire before evaluating, so
-            // the client can write its request in one shot and block on
-            // the single response frame.
-            let mut items = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                items.push(read_evaluate_body(stream, certs)?);
-            }
-            instruments.batch_size.observe(items.len() as u64);
-            // Page loads repeat chains (every subresource re-validates
-            // the same server chain), so dedup by content identity:
-            // evaluate each distinct (usage, chain) once and clone the
-            // verdicts — a refcount bump per name — for the repeats.
-            let mut first_at: std::collections::HashMap<(u8, Digest), usize> =
-                std::collections::HashMap::with_capacity(items.len());
-            let mut batches: Vec<Vec<GccVerdict>> = Vec::with_capacity(items.len());
-            for (i, (usage, chain)) in items.iter().enumerate() {
-                match first_at.entry(batch_item_key(*usage, chain)) {
-                    std::collections::hash_map::Entry::Occupied(seen) => {
-                        batches.push(batches[*seen.get()].clone());
-                    }
-                    std::collections::hash_map::Entry::Vacant(slot) => {
-                        slot.insert(i);
-                        batches.push(oracle.evaluate(chain, *usage).map_err(|e| e.to_string())?);
-                    }
-                }
-            }
-            Ok(Reply::Batch(batches))
-        }
-        other => Err(format!("unknown opcode {other}")),
-    }
+/// How a [`DaemonClient`] manages its socket.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ConnectionMode {
+    /// A fresh `connect(2)` per request: trivially robust to daemon
+    /// restarts, no state to invalidate. The default.
+    #[default]
+    PerRequest,
+    /// One cached connection reused across requests — the
+    /// throughput-oriented mode, avoiding the per-request connect
+    /// round-trip that dominates warm-cache latency. Transport errors
+    /// (broken pipe after a daemon restart, short reads) drop the
+    /// cached stream and retry once on a fresh connection; evaluation
+    /// requests are idempotent, so the retry is safe.
+    KeepAlive,
 }
 
 /// Client side of the trust-daemon protocol. Implements [`GccOracle`],
 /// so a [`crate::Validator`] in `Platform` mode can delegate GCC
 /// evaluation to the daemon transparently.
 ///
-/// Connects per evaluation; the daemon supports request pipelining on one
-/// connection, but a fresh connection per candidate chain keeps the
-/// client trivially robust to daemon restarts.
-#[derive(Clone, Debug)]
+/// The [`ConnectionMode`] picks the transport strategy; request and
+/// response semantics are identical in both. Protocol errors (the
+/// daemon answered `STATUS_ERR`) are final in either mode and — under
+/// [`ConnectionMode::KeepAlive`] — keep the connection open, since the
+/// response frame was fully consumed.
+///
+/// `Clone` copies the path and mode but **not** the cached connection;
+/// each clone dials its own.
+#[derive(Debug)]
 pub struct DaemonClient {
     path: PathBuf,
+    mode: ConnectionMode,
+    stream: Mutex<Option<UnixStream>>,
+}
+
+impl Clone for DaemonClient {
+    fn clone(&self) -> DaemonClient {
+        DaemonClient {
+            path: self.path.clone(),
+            mode: self.mode,
+            stream: Mutex::new(None),
+        }
+    }
 }
 
 impl DaemonClient {
-    /// Client for the daemon at `socket_path`.
+    /// Connect-per-request client for the daemon at `socket_path`.
     pub fn new(socket_path: impl AsRef<Path>) -> DaemonClient {
+        DaemonClient::with_mode(socket_path, ConnectionMode::PerRequest)
+    }
+
+    /// Keep-alive client for the daemon at `socket_path`. No connection
+    /// is opened until the first request.
+    pub fn keep_alive(socket_path: impl AsRef<Path>) -> DaemonClient {
+        DaemonClient::with_mode(socket_path, ConnectionMode::KeepAlive)
+    }
+
+    /// Client with an explicit [`ConnectionMode`].
+    pub fn with_mode(socket_path: impl AsRef<Path>, mode: ConnectionMode) -> DaemonClient {
         DaemonClient {
             path: socket_path.as_ref().to_path_buf(),
+            mode,
+            stream: Mutex::new(None),
         }
+    }
+
+    /// This client's [`ConnectionMode`].
+    pub fn mode(&self) -> ConnectionMode {
+        self.mode
+    }
+
+    /// Run one request/response exchange. `parse` layers transport
+    /// errors (outer `io::Result` — the connection state is unknown)
+    /// over protocol errors (inner — the response frame was fully
+    /// consumed). Under [`ConnectionMode::KeepAlive`] a transport
+    /// failure drops the cached stream and retries once on a fresh
+    /// connection.
+    fn exchange<T>(
+        &self,
+        request: &[u8],
+        parse: impl Fn(&mut UnixStream) -> std::io::Result<Result<T, CoreError>>,
+    ) -> Result<T, CoreError> {
+        let io_err = |e: std::io::Error| CoreError::Daemon(e.to_string());
+        match self.mode {
+            ConnectionMode::PerRequest => {
+                let mut stream = UnixStream::connect(&self.path).map_err(io_err)?;
+                stream.write_all(request).map_err(io_err)?;
+                stream.flush().map_err(io_err)?;
+                parse(&mut stream).map_err(io_err)?
+            }
+            ConnectionMode::KeepAlive => {
+                let mut guard = self.stream.lock().expect("daemon client poisoned");
+                let mut reconnected = guard.is_none();
+                loop {
+                    if guard.is_none() {
+                        *guard = Some(UnixStream::connect(&self.path).map_err(io_err)?);
+                    }
+                    let stream = guard.as_mut().expect("stream just ensured");
+                    let attempt = (|| {
+                        stream.write_all(request)?;
+                        stream.flush()?;
+                        parse(stream)
+                    })();
+                    match attempt {
+                        Ok(result) => return result,
+                        Err(e) => {
+                            // Transport failure: the stream is in an
+                            // unknown state. Drop it; retry once on a
+                            // fresh connection.
+                            *guard = None;
+                            if reconnected {
+                                return Err(io_err(e));
+                            }
+                            reconnected = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluate one chain against the GCCs attached to its root.
+    pub fn evaluate(
+        &self,
+        chain: &[Certificate],
+        usage: Usage,
+    ) -> Result<Vec<GccVerdict>, CoreError> {
+        let mut req = vec![OP_EVALUATE];
+        encode_evaluate_body(&mut req, chain, usage);
+        self.exchange(&req, |stream| match read_u8(stream)? {
+            STATUS_OK => read_verdict_list(stream),
+            STATUS_ERR => Ok(Err(read_error_reply(stream)?)),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status byte {other}"),
+            )),
+        })
+    }
+
+    /// Evaluate many chains in one request frame (`OP_EVALUATE_BATCH`):
+    /// a single write, a single response read, one round trip. Verdict
+    /// lists come back in submission order. The whole batch shares one
+    /// response frame, so failures are all-or-nothing: any chain that
+    /// fails to evaluate fails the batch.
+    pub fn evaluate_batch(
+        &self,
+        items: &[(&[Certificate], Usage)],
+    ) -> Result<Vec<Vec<GccVerdict>>, CoreError> {
+        if items.len() as u32 > MAX_BATCH {
+            return Err(CoreError::Daemon(format!(
+                "batch of {} exceeds limit {MAX_BATCH}",
+                items.len()
+            )));
+        }
+        let mut req = vec![OP_EVALUATE_BATCH];
+        req.extend_from_slice(&(items.len() as u32).to_le_bytes());
+        for (chain, usage) in items {
+            encode_evaluate_body(&mut req, chain, *usage);
+        }
+        let expected = items.len();
+        self.exchange(&req, move |stream| match read_u8(stream)? {
+            STATUS_OK => {
+                let n = read_u32(stream)? as usize;
+                if n != expected {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("batch answered {n} items, expected {expected}"),
+                    ));
+                }
+                let mut batches = Vec::with_capacity(n);
+                for _ in 0..n {
+                    match read_verdict_list(stream)? {
+                        Ok(verdicts) => batches.push(verdicts),
+                        Err(e) => return Ok(Err(e)),
+                    }
+                }
+                Ok(Ok(batches))
+            }
+            STATUS_ERR => Ok(Err(read_error_reply(stream)?)),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status byte {other}"),
+            )),
+        })
     }
 
     /// Scrape the daemon: fetch its registry rendered as Prometheus
     /// text exposition (the `metrics` opcode).
     pub fn metrics_text(&self) -> Result<String, CoreError> {
-        let io_err = |e: std::io::Error| CoreError::Daemon(e.to_string());
-        let mut stream = UnixStream::connect(&self.path).map_err(io_err)?;
-        stream.write_all(&[OP_METRICS]).map_err(io_err)?;
-        stream.flush().map_err(io_err)?;
-        let status = read_u8(&mut stream).map_err(io_err)?;
-        let body = read_block(&mut stream).map_err(io_err)?;
-        match status {
-            STATUS_OK => String::from_utf8(body)
-                .map_err(|_| CoreError::Daemon("non-utf8 metrics payload".into())),
-            STATUS_ERR => Err(CoreError::Daemon(
-                String::from_utf8_lossy(&body).into_owned(),
+        self.exchange(&[OP_METRICS], |stream| match read_u8(stream)? {
+            STATUS_OK => {
+                let body = read_block(stream)?;
+                Ok(String::from_utf8(body)
+                    .map_err(|_| CoreError::Daemon("non-utf8 metrics payload".into())))
+            }
+            STATUS_ERR => Ok(Err(read_error_reply(stream)?)),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status byte {other}"),
             )),
-            other => Err(CoreError::Daemon(format!("bad status byte {other}"))),
-        }
+        })
+    }
+}
+
+impl GccOracle for DaemonClient {
+    fn evaluate(&self, chain: &[Certificate], usage: Usage) -> Result<Vec<GccVerdict>, CoreError> {
+        DaemonClient::evaluate(self, chain, usage)
     }
 }
 
 /// Append one `evaluate` body (usage byte, cert count, DER blocks) to a
 /// request buffer. Shared by the single-shot and batch encoders.
 fn encode_evaluate_body(req: &mut Vec<u8>, chain: &[Certificate], usage: Usage) {
-    req.push(usage_to_byte(usage));
+    req.push(proto::usage_to_byte(usage));
     req.extend_from_slice(&(chain.len() as u32).to_le_bytes());
     for cert in chain {
         let der = cert.to_der();
@@ -705,159 +970,47 @@ fn read_error_reply(stream: &mut UnixStream) -> std::io::Result<CoreError> {
     ))
 }
 
-impl GccOracle for DaemonClient {
-    fn evaluate(&self, chain: &[Certificate], usage: Usage) -> Result<Vec<GccVerdict>, CoreError> {
-        let io_err = |e: std::io::Error| CoreError::Daemon(e.to_string());
-        let mut stream = UnixStream::connect(&self.path).map_err(io_err)?;
-        // Request.
-        let mut req = vec![OP_EVALUATE];
-        encode_evaluate_body(&mut req, chain, usage);
-        stream.write_all(&req).map_err(io_err)?;
-        stream.flush().map_err(io_err)?;
-        // Response.
-        let status = read_u8(&mut stream).map_err(io_err)?;
-        match status {
-            STATUS_OK => read_verdict_list(&mut stream).map_err(io_err)?,
-            STATUS_ERR => Err(read_error_reply(&mut stream).map_err(io_err)?),
-            other => Err(CoreError::Daemon(format!("bad status byte {other}"))),
-        }
-    }
-}
-
 /// Keep-alive client: one Unix socket reused across requests, with
-/// batch submission. This is the throughput-oriented counterpart of
-/// [`DaemonClient`] — it avoids the per-request `connect(2)` +
-/// worker-dispatch round trip, which dominates daemon latency for warm
-/// cache hits.
-///
-/// Transport errors (broken pipe after a daemon restart, short reads)
-/// drop the cached stream and retry once on a fresh connection;
-/// evaluation requests are idempotent, so the retry is safe. Protocol
-/// errors (the daemon answered `STATUS_ERR`) are final and keep the
-/// connection open, since the response frame was fully consumed.
+/// batch submission.
+#[deprecated(note = "use DaemonClient::keep_alive()")]
 #[derive(Debug)]
 pub struct DaemonConnection {
-    path: PathBuf,
-    stream: Mutex<Option<UnixStream>>,
+    inner: DaemonClient,
 }
 
+#[allow(deprecated)]
 impl DaemonConnection {
     /// Keep-alive client for the daemon at `socket_path`. No connection
     /// is opened until the first request.
     pub fn new(socket_path: impl AsRef<Path>) -> DaemonConnection {
         DaemonConnection {
-            path: socket_path.as_ref().to_path_buf(),
-            stream: Mutex::new(None),
+            inner: DaemonClient::keep_alive(socket_path),
         }
     }
 
-    /// Run one request/response exchange on the cached stream,
-    /// reconnecting once if the transport fails (stale connection from a
-    /// daemon restart). `parse` layers transport errors (outer, retry)
-    /// over protocol errors (inner, final).
-    fn exchange<T>(
-        &self,
-        request: &[u8],
-        parse: impl Fn(&mut UnixStream) -> std::io::Result<Result<T, CoreError>>,
-    ) -> Result<T, CoreError> {
-        let io_err = |e: std::io::Error| CoreError::Daemon(e.to_string());
-        let mut guard = self.stream.lock().expect("daemon connection poisoned");
-        let mut reconnected = guard.is_none();
-        loop {
-            if guard.is_none() {
-                *guard = Some(UnixStream::connect(&self.path).map_err(io_err)?);
-            }
-            let stream = guard.as_mut().expect("stream just ensured");
-            let attempt = (|| {
-                stream.write_all(request)?;
-                stream.flush()?;
-                parse(stream)
-            })();
-            match attempt {
-                Ok(result) => return result,
-                Err(e) => {
-                    // Transport failure: the stream is in an unknown
-                    // state. Drop it; retry once on a fresh connection.
-                    *guard = None;
-                    if reconnected {
-                        return Err(io_err(e));
-                    }
-                    reconnected = true;
-                }
-            }
-        }
-    }
-
-    /// Evaluate one chain (same semantics as [`DaemonClient::evaluate`],
-    /// over the persistent connection).
+    /// Evaluate one chain over the persistent connection.
     pub fn evaluate(
         &self,
         chain: &[Certificate],
         usage: Usage,
     ) -> Result<Vec<GccVerdict>, CoreError> {
-        let mut req = vec![OP_EVALUATE];
-        encode_evaluate_body(&mut req, chain, usage);
-        self.exchange(&req, |stream| match read_u8(stream)? {
-            STATUS_OK => read_verdict_list(stream),
-            STATUS_ERR => Ok(Err(read_error_reply(stream)?)),
-            other => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("bad status byte {other}"),
-            )),
-        })
+        self.inner.evaluate(chain, usage)
     }
 
-    /// Evaluate many chains in one request frame (`OP_EVALUATE_BATCH`):
-    /// a single write, a single response read, one round trip. Verdict
-    /// lists come back in submission order. The whole batch shares one
-    /// daemon worker, so failures are all-or-nothing: any chain that
-    /// fails to evaluate fails the batch.
+    /// Evaluate many chains in one request frame; see
+    /// [`DaemonClient::evaluate_batch`].
     pub fn evaluate_batch(
         &self,
         items: &[(&[Certificate], Usage)],
     ) -> Result<Vec<Vec<GccVerdict>>, CoreError> {
-        if items.len() as u32 > MAX_BATCH {
-            return Err(CoreError::Daemon(format!(
-                "batch of {} exceeds limit {MAX_BATCH}",
-                items.len()
-            )));
-        }
-        let mut req = vec![OP_EVALUATE_BATCH];
-        req.extend_from_slice(&(items.len() as u32).to_le_bytes());
-        for (chain, usage) in items {
-            encode_evaluate_body(&mut req, chain, *usage);
-        }
-        let expected = items.len();
-        self.exchange(&req, move |stream| match read_u8(stream)? {
-            STATUS_OK => {
-                let n = read_u32(stream)? as usize;
-                if n != expected {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!("batch answered {n} items, expected {expected}"),
-                    ));
-                }
-                let mut batches = Vec::with_capacity(n);
-                for _ in 0..n {
-                    match read_verdict_list(stream)? {
-                        Ok(verdicts) => batches.push(verdicts),
-                        Err(e) => return Ok(Err(e)),
-                    }
-                }
-                Ok(Ok(batches))
-            }
-            STATUS_ERR => Ok(Err(read_error_reply(stream)?)),
-            other => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("bad status byte {other}"),
-            )),
-        })
+        self.inner.evaluate_batch(items)
     }
 }
 
+#[allow(deprecated)]
 impl GccOracle for DaemonConnection {
     fn evaluate(&self, chain: &[Certificate], usage: Usage) -> Result<Vec<GccVerdict>, CoreError> {
-        DaemonConnection::evaluate(self, chain, usage)
+        self.inner.evaluate(chain, usage)
     }
 }
 
@@ -881,6 +1034,13 @@ mod tests {
     use nrslb_rootstore::{Gcc, GccMetadata};
     use nrslb_x509::testutil::simple_chain;
 
+    fn spawn_default(store: RootStore, tag: &str) -> TrustDaemon {
+        TrustDaemon::builder()
+            .socket(ephemeral_socket_path(tag))
+            .spawn(store)
+            .unwrap()
+    }
+
     #[test]
     fn daemon_evaluates_gccs() {
         let pki = simple_chain("daemon.example");
@@ -895,7 +1055,7 @@ mod tests {
         .unwrap();
         store.attach_gcc(gcc).unwrap();
 
-        let daemon = TrustDaemon::spawn(store, ephemeral_socket_path("eval")).unwrap();
+        let daemon = spawn_default(store, "eval");
         let client = daemon.client();
         let chain = vec![pki.leaf, pki.intermediate, pki.root];
         let verdicts = client.evaluate(&chain, Usage::Tls).unwrap();
@@ -919,7 +1079,7 @@ mod tests {
         .unwrap();
         store.attach_gcc(gcc).unwrap();
 
-        let daemon = TrustDaemon::spawn(store.clone(), ephemeral_socket_path("mode")).unwrap();
+        let daemon = spawn_default(store.clone(), "mode");
         let validator = Validator::new(store, ValidationMode::Platform(Arc::new(daemon.client())));
         let out = validator
             .validate(
@@ -941,7 +1101,7 @@ mod tests {
         let pki = simple_chain("daemonempty.example");
         let mut store = RootStore::new("platform");
         store.add_trusted(pki.root.clone()).unwrap();
-        let daemon = TrustDaemon::spawn(store, ephemeral_socket_path("empty")).unwrap();
+        let daemon = spawn_default(store, "empty");
         let chain = vec![pki.leaf, pki.intermediate, pki.root];
         let verdicts = daemon.client().evaluate(&chain, Usage::Tls).unwrap();
         assert!(verdicts.is_empty());
@@ -976,8 +1136,11 @@ mod tests {
             store.attach_gcc(any_usage).unwrap();
         }
 
-        let daemon =
-            TrustDaemon::spawn_with_workers(store, ephemeral_socket_path("concurrent"), 8).unwrap();
+        let daemon = TrustDaemon::builder()
+            .socket(ephemeral_socket_path("concurrent"))
+            .workers(8)
+            .spawn(store)
+            .unwrap();
         let chain_a = vec![pki_a.leaf, pki_a.intermediate, pki_a.root];
         let chain_b = vec![pki_b.leaf, pki_b.intermediate, pki_b.root];
 
@@ -1031,7 +1194,7 @@ mod tests {
         };
         let feed = Arc::new(Mutex::new(Subscriber::builder("platform", trust).build()));
 
-        let mut daemon = TrustDaemon::spawn(store, ephemeral_socket_path("feed")).unwrap();
+        let mut daemon = spawn_default(store, "feed");
         assert!(daemon.sync_counters().is_none(), "no feed attached yet");
         daemon.attach_feed(feed.clone());
         assert_eq!(daemon.sync_counters(), Some(SyncCounters::default()));
@@ -1074,13 +1237,12 @@ mod tests {
         // the RSF subscriber (sync + state metrics) — the acceptance
         // shape for the observability PR.
         let registry = Arc::new(Registry::new());
-        let daemon = TrustDaemon::spawn_observed(
-            store.clone(),
-            ephemeral_socket_path("scrape"),
-            4,
-            Arc::clone(&registry),
-        )
-        .unwrap();
+        let daemon = TrustDaemon::builder()
+            .socket(ephemeral_socket_path("scrape"))
+            .workers(4)
+            .registry(Arc::clone(&registry))
+            .spawn(store.clone())
+            .unwrap();
         let coordinator = CoordinatorKey::from_seed([31; 32], 4).unwrap();
         let key = FeedKey::new([32; 32], 6, &coordinator).unwrap();
         let mut publisher = FeedPublisher::new("platform", key, &store, 0).unwrap();
@@ -1165,16 +1327,30 @@ mod tests {
     }
 
     #[test]
+    fn builder_requires_a_socket_path() {
+        let store = RootStore::new("platform");
+        let err = TrustDaemon::builder().spawn(store).err().unwrap();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
     fn daemon_shuts_down_cleanly() {
         let pki = simple_chain("shutdown.example");
         let mut store = RootStore::new("platform");
         store.add_trusted(pki.root.clone()).unwrap();
-        let path = ephemeral_socket_path("shutdown");
-        {
-            let _daemon = TrustDaemon::spawn(store, &path).unwrap();
-            assert!(path.exists());
+        for engine in [Engine::Reactor, Engine::ThreadPool] {
+            let path = ephemeral_socket_path("shutdown");
+            {
+                let daemon = TrustDaemon::builder()
+                    .socket(&path)
+                    .engine(engine)
+                    .spawn(store.clone())
+                    .unwrap();
+                assert_eq!(daemon.engine(), engine);
+                assert!(path.exists());
+            }
+            assert!(!path.exists(), "socket removed on drop ({engine:?})");
         }
-        assert!(!path.exists(), "socket removed on drop");
     }
 
     /// Store fixture with one TLS-gated GCC attached to the chain root.
@@ -1197,15 +1373,14 @@ mod tests {
         let pki = simple_chain("batch.example");
         let store = tls_gated_store(&pki);
         let registry = Arc::new(Registry::new());
-        let daemon = TrustDaemon::spawn_observed(
-            store,
-            ephemeral_socket_path("batch"),
-            2,
-            Arc::clone(&registry),
-        )
-        .unwrap();
+        let daemon = TrustDaemon::builder()
+            .socket(ephemeral_socket_path("batch"))
+            .workers(2)
+            .registry(Arc::clone(&registry))
+            .spawn(store)
+            .unwrap();
         let chain = vec![pki.leaf, pki.intermediate, pki.root];
-        let conn = daemon.connection();
+        let conn = daemon.keep_alive_client();
 
         // Mixed usages in one frame; verdicts must come back in
         // submission order with per-item correctness.
@@ -1243,9 +1418,9 @@ mod tests {
     fn cert_cache_parses_each_der_once_across_requests() {
         let pki = simple_chain("certcache-daemon.example");
         let store = tls_gated_store(&pki);
-        let daemon = TrustDaemon::spawn(store, ephemeral_socket_path("certcache")).unwrap();
+        let daemon = spawn_default(store, "certcache");
         let chain = vec![pki.leaf, pki.intermediate, pki.root];
-        let conn = daemon.connection();
+        let conn = daemon.keep_alive_client();
 
         assert!(conn.evaluate(&chain, Usage::Tls).unwrap()[0].accepted);
         // First request: three certs, all parse-cache misses.
@@ -1264,9 +1439,9 @@ mod tests {
     fn batch_dedups_repeated_chains_by_content() {
         let pki = simple_chain("batchdedup.example");
         let store = tls_gated_store(&pki);
-        let daemon = TrustDaemon::spawn(store, ephemeral_socket_path("batchdedup")).unwrap();
+        let daemon = spawn_default(store, "batchdedup");
         let chain = vec![pki.leaf, pki.intermediate, pki.root];
-        let conn = daemon.connection();
+        let conn = daemon.keep_alive_client();
 
         // Four copies of the same (chain, usage) plus one distinct
         // usage: two distinct evaluations, five verdict lists.
@@ -1296,11 +1471,13 @@ mod tests {
         let path = ephemeral_socket_path("keepalive");
         let chain = vec![pki.leaf, pki.intermediate, pki.root];
 
-        let daemon = TrustDaemon::spawn(store.clone(), &path).unwrap();
-        let conn = daemon.connection();
-        // Two sequential evaluations ride the same connection: the
-        // daemon's request counter advances but only one connection was
-        // ever queued (queue depth gauge saw a single accept).
+        let daemon = TrustDaemon::builder()
+            .socket(&path)
+            .spawn(store.clone())
+            .unwrap();
+        let conn = daemon.keep_alive_client();
+        assert_eq!(conn.mode(), ConnectionMode::KeepAlive);
+        // Two sequential evaluations ride the same connection.
         for _ in 0..2 {
             let verdicts = conn.evaluate(&chain, Usage::Tls).unwrap();
             assert!(verdicts[0].accepted);
@@ -1312,7 +1489,7 @@ mod tests {
         // Restart the daemon at the same path: the cached stream is now
         // stale, and the next request must transparently reconnect.
         drop(daemon);
-        let daemon = TrustDaemon::spawn(store, &path).unwrap();
+        let daemon = TrustDaemon::builder().socket(&path).spawn(store).unwrap();
         let verdicts = conn.evaluate(&chain, Usage::SMime).unwrap();
         assert!(!verdicts[0].accepted);
         drop(daemon);
@@ -1330,13 +1507,16 @@ mod tests {
         let pki = simple_chain("queuedepth.example");
         let store = tls_gated_store(&pki);
         let registry = Arc::new(Registry::new());
-        let daemon = TrustDaemon::spawn_observed(
-            store,
-            ephemeral_socket_path("queuedepth"),
-            2,
-            Arc::clone(&registry),
-        )
-        .unwrap();
+        // The queue-depth gauge meters the thread-pool accept queue;
+        // the reactor engine never queues accepts, so this test pins
+        // the engine.
+        let daemon = TrustDaemon::builder()
+            .socket(ephemeral_socket_path("queuedepth"))
+            .workers(2)
+            .registry(Arc::clone(&registry))
+            .engine(Engine::ThreadPool)
+            .spawn(store)
+            .unwrap();
         let chain = vec![pki.leaf, pki.intermediate, pki.root];
 
         // Hammer the daemon from several short-lived clients so the
@@ -1359,5 +1539,18 @@ mod tests {
         let text = daemon.render_metrics();
         assert!(text.contains("nrslb_daemon_queue_depth 0"), "{text}");
         assert!(text.contains("nrslb_daemon_requests_total 30"), "{text}");
+    }
+
+    #[test]
+    fn deprecated_constructors_still_spawn_thread_pool_daemons() {
+        let pki = simple_chain("deprecated.example");
+        let store = tls_gated_store(&pki);
+        let chain = vec![pki.leaf, pki.intermediate, pki.root];
+        #[allow(deprecated)]
+        let daemon = TrustDaemon::spawn(store, ephemeral_socket_path("deprecated")).unwrap();
+        assert_eq!(daemon.engine(), Engine::ThreadPool);
+        #[allow(deprecated)]
+        let conn = daemon.connection();
+        assert!(conn.evaluate(&chain, Usage::Tls).unwrap()[0].accepted);
     }
 }

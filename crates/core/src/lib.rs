@@ -48,6 +48,8 @@ pub mod facts;
 pub mod gcc_eval;
 pub mod hammurabi;
 pub mod metrics;
+pub(crate) mod proto;
+pub(crate) mod reactor;
 pub mod session;
 pub mod validate;
 
@@ -56,6 +58,7 @@ pub use cache::{
     DEFAULT_CERT_CACHE_CAPACITY, DEFAULT_SIG_MEMO_CAPACITY,
 };
 pub use chain::{ChainBuilder, ChainError};
+pub use daemon::{ConnectionMode, DaemonBuilder, DaemonClient, Engine, TrustDaemon};
 pub use facts::{cert_id, chain_facts, chain_facts_unoptimized, chain_id};
 pub use gcc_eval::{evaluate_gcc, evaluate_gccs, GccVerdict};
 pub use metrics::CoreMetrics;

@@ -1,0 +1,362 @@
+//! Engine parity: the reactor and thread-pool daemons must be
+//! reply-for-reply identical on the wire, because they share one
+//! protocol module. This suite speaks *raw frames* over the socket —
+//! no client-library smoothing — and byte-compares the replies across
+//! engines, including the malformed-frame keep-alive paths the old
+//! stream-oriented engine got wrong.
+
+use nrslb_core::daemon::{ephemeral_socket_path, Engine, TrustDaemon};
+use nrslb_core::Usage;
+use nrslb_rootstore::{Gcc, GccMetadata, RootStore};
+use nrslb_x509::testutil::simple_chain;
+use nrslb_x509::Certificate;
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+
+const OP_EVALUATE: u8 = 1;
+const OP_METRICS: u8 = 2;
+const OP_EVALUATE_BATCH: u8 = 3;
+const STATUS_OK: u8 = 0;
+const STATUS_ERR: u8 = 1;
+
+fn tls_gated_store(host: &str) -> (RootStore, Vec<Certificate>, i64) {
+    let pki = simple_chain(host);
+    let mut store = RootStore::new("parity");
+    store.add_trusted(pki.root.clone()).unwrap();
+    let gcc = Gcc::parse(
+        "tls-only",
+        pki.root.fingerprint(),
+        r#"valid(Chain, "TLS") :- leaf(Chain, _)."#,
+        GccMetadata::default(),
+    )
+    .unwrap();
+    store.attach_gcc(gcc).unwrap();
+    let chain = vec![pki.leaf, pki.intermediate, pki.root];
+    (store, chain, pki.now)
+}
+
+fn spawn(store: &RootStore, engine: Engine, tag: &str) -> TrustDaemon {
+    TrustDaemon::builder()
+        .socket(ephemeral_socket_path(tag))
+        .workers(2)
+        .engine(engine)
+        .spawn(store.clone())
+        .unwrap()
+}
+
+fn usage_byte(usage: Usage) -> u8 {
+    match usage {
+        Usage::Tls => 0,
+        Usage::SMime => 1,
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Raw `evaluate` body with an arbitrary usage byte (valid or not).
+fn evaluate_body(raw_usage: u8, chain: &[Certificate]) -> Vec<u8> {
+    let mut body = vec![raw_usage];
+    put_u32(&mut body, chain.len() as u32);
+    for cert in chain {
+        let der = cert.to_der();
+        put_u32(&mut body, der.len() as u32);
+        body.extend_from_slice(der);
+    }
+    body
+}
+
+fn evaluate_frame(raw_usage: u8, chain: &[Certificate]) -> Vec<u8> {
+    let mut frame = vec![OP_EVALUATE];
+    frame.extend_from_slice(&evaluate_body(raw_usage, chain));
+    frame
+}
+
+fn batch_frame(items: &[(u8, &[Certificate])]) -> Vec<u8> {
+    let mut frame = vec![OP_EVALUATE_BATCH];
+    put_u32(&mut frame, items.len() as u32);
+    for (raw_usage, chain) in items {
+        frame.extend_from_slice(&evaluate_body(*raw_usage, chain));
+    }
+    frame
+}
+
+fn read_u8(stream: &mut UnixStream) -> std::io::Result<u8> {
+    let mut b = [0u8; 1];
+    stream.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u32(stream: &mut UnixStream) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    stream.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_exact_vec(stream: &mut UnixStream, n: usize) -> std::io::Result<Vec<u8>> {
+    let mut buf = vec![0u8; n];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Read exactly one reply frame off the wire and return its raw bytes
+/// (status + payload), using only the framing rules — so two engines'
+/// replies can be compared byte-for-byte. `opcode` picks the ok-payload
+/// shape.
+fn read_reply(stream: &mut UnixStream, opcode: u8) -> std::io::Result<Vec<u8>> {
+    let mut reply = Vec::new();
+    let status = read_u8(stream)?;
+    reply.push(status);
+    match status {
+        STATUS_ERR => {
+            let len = read_u32(stream)?;
+            reply.extend_from_slice(&len.to_le_bytes());
+            reply.extend_from_slice(&read_exact_vec(stream, len as usize)?);
+        }
+        STATUS_OK => match opcode {
+            OP_METRICS => {
+                let len = read_u32(stream)?;
+                reply.extend_from_slice(&len.to_le_bytes());
+                reply.extend_from_slice(&read_exact_vec(stream, len as usize)?);
+            }
+            OP_EVALUATE => read_verdict_list(stream, &mut reply)?,
+            OP_EVALUATE_BATCH => {
+                let n = read_u32(stream)?;
+                reply.extend_from_slice(&n.to_le_bytes());
+                for _ in 0..n {
+                    read_verdict_list(stream, &mut reply)?;
+                }
+            }
+            other => panic!("bad opcode {other}"),
+        },
+        other => panic!("bad status byte {other}"),
+    }
+    Ok(reply)
+}
+
+fn read_verdict_list(stream: &mut UnixStream, reply: &mut Vec<u8>) -> std::io::Result<()> {
+    let n = read_u32(stream)?;
+    reply.extend_from_slice(&n.to_le_bytes());
+    for _ in 0..n {
+        reply.push(read_u8(stream)?);
+        let len = read_u32(stream)?;
+        reply.extend_from_slice(&len.to_le_bytes());
+        reply.extend_from_slice(&read_exact_vec(stream, len as usize)?);
+    }
+    Ok(())
+}
+
+/// Send every frame in `script` on ONE connection and collect the raw
+/// reply bytes for each.
+fn exchange_script(daemon: &TrustDaemon, script: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let mut stream = UnixStream::connect(daemon.socket_path()).unwrap();
+    let mut replies = Vec::with_capacity(script.len());
+    for frame in script {
+        stream.write_all(frame).unwrap();
+        stream.flush().unwrap();
+        replies.push(read_reply(&mut stream, frame[0]).unwrap());
+    }
+    replies
+}
+
+/// The shared scenario script: good frames, a recoverable-malformed
+/// frame mid-stream, batches with duplicates — all on one keep-alive
+/// connection. (Fatal frames close the connection, so they get their
+/// own test.)
+fn scenario_script(chain: &[Certificate]) -> Vec<Vec<u8>> {
+    vec![
+        evaluate_frame(usage_byte(Usage::Tls), chain),
+        evaluate_frame(usage_byte(Usage::SMime), chain),
+        // Bad usage byte: delimitable, must answer an error and keep
+        // the connection usable for the frames that follow.
+        evaluate_frame(9, chain),
+        evaluate_frame(usage_byte(Usage::Tls), chain),
+        // Batches with duplicate items exercise the dedup/cache path.
+        batch_frame(&[
+            (usage_byte(Usage::Tls), chain),
+            (usage_byte(Usage::Tls), chain),
+            (usage_byte(Usage::SMime), chain),
+        ]),
+        // A batch with one bad item: the whole frame is consumed, one
+        // error reply, connection survives.
+        batch_frame(&[(usage_byte(Usage::Tls), chain), (7, chain)]),
+        evaluate_frame(usage_byte(Usage::SMime), chain),
+    ]
+}
+
+#[test]
+fn engines_are_reply_for_reply_identical() {
+    let (store, chain, _) = tls_gated_store("parity.example");
+    let reactor = spawn(&store, Engine::Reactor, "parity-r");
+    let pool = spawn(&store, Engine::ThreadPool, "parity-t");
+    let script = scenario_script(&chain);
+    let reactor_replies = exchange_script(&reactor, &script);
+    let pool_replies = exchange_script(&pool, &script);
+    assert_eq!(reactor_replies.len(), pool_replies.len());
+    for (i, (r, t)) in reactor_replies.iter().zip(&pool_replies).enumerate() {
+        assert_eq!(r, t, "reply {i} diverged between engines");
+    }
+    // Spot-check semantics, not just parity: the TLS evaluate accepted,
+    // the bad-usage frame errored.
+    assert_eq!(reactor_replies[0][0], STATUS_OK);
+    assert_eq!(reactor_replies[2][0], STATUS_ERR);
+    assert_eq!(
+        &reactor_replies[2][5..],
+        b"bad usage byte",
+        "error message on the wire"
+    );
+}
+
+#[test]
+fn malformed_frame_mid_stream_keeps_connection_open() {
+    // The regression the protocol rewrite fixes: a recoverable
+    // malformed frame must produce a structured error reply and leave
+    // the connection in sync — on BOTH engines.
+    let (store, chain, _) = tls_gated_store("midstream.example");
+    for (engine, tag) in [(Engine::Reactor, "mid-r"), (Engine::ThreadPool, "mid-t")] {
+        let daemon = spawn(&store, engine, tag);
+        let mut stream = UnixStream::connect(daemon.socket_path()).unwrap();
+
+        // Good frame.
+        let good = evaluate_frame(usage_byte(Usage::Tls), &chain);
+        stream.write_all(&good).unwrap();
+        assert_eq!(
+            read_reply(&mut stream, OP_EVALUATE).unwrap()[0],
+            STATUS_OK,
+            "{engine:?}"
+        );
+
+        // Malformed-but-delimited frame: structured error, no close.
+        stream.write_all(&evaluate_frame(42, &chain)).unwrap();
+        let err = read_reply(&mut stream, OP_EVALUATE).unwrap();
+        assert_eq!(err[0], STATUS_ERR, "{engine:?}");
+        assert_eq!(&err[5..], b"bad usage byte", "{engine:?}");
+
+        // The same connection still serves correct replies.
+        stream.write_all(&good).unwrap();
+        let after = read_reply(&mut stream, OP_EVALUATE).unwrap();
+        assert_eq!(after[0], STATUS_OK, "{engine:?}");
+
+        // The error was counted.
+        let text = daemon.render_metrics();
+        assert!(
+            text.contains("nrslb_daemon_request_errors_total 1"),
+            "{engine:?}: {text}"
+        );
+        assert!(
+            text.contains("nrslb_daemon_requests_total 3"),
+            "{engine:?}: {text}"
+        );
+    }
+}
+
+#[test]
+fn fatal_frames_error_then_close_on_both_engines() {
+    let (store, chain, _) = tls_gated_store("fatal.example");
+    for (engine, tag) in [
+        (Engine::Reactor, "fatal-r"),
+        (Engine::ThreadPool, "fatal-t"),
+    ] {
+        let daemon = spawn(&store, engine, tag);
+        let mut stream = UnixStream::connect(daemon.socket_path()).unwrap();
+        // A good request first proves the connection works.
+        stream
+            .write_all(&evaluate_frame(usage_byte(Usage::Tls), &chain))
+            .unwrap();
+        assert_eq!(read_reply(&mut stream, OP_EVALUATE).unwrap()[0], STATUS_OK);
+
+        // Unknown opcode: cannot resync. Final error frame, then EOF.
+        stream.write_all(&[77]).unwrap();
+        let err = read_reply(&mut stream, OP_EVALUATE).unwrap();
+        assert_eq!(err[0], STATUS_ERR, "{engine:?}");
+        assert_eq!(&err[5..], b"unknown opcode 77", "{engine:?}");
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "{engine:?}: connection must close");
+    }
+}
+
+#[test]
+fn pipelined_frames_are_answered_in_order() {
+    // Write several frames in one burst before reading anything; both
+    // engines must answer each, in order. (The reactor buffers the
+    // pipeline and serves one-in-flight per connection.)
+    let (store, chain, _) = tls_gated_store("pipeline.example");
+    for (engine, tag) in [(Engine::Reactor, "pipe-r"), (Engine::ThreadPool, "pipe-t")] {
+        let daemon = spawn(&store, engine, tag);
+        let mut stream = UnixStream::connect(daemon.socket_path()).unwrap();
+        let mut burst = Vec::new();
+        let usages = [Usage::Tls, Usage::SMime, Usage::Tls, Usage::SMime];
+        for usage in usages {
+            burst.extend_from_slice(&evaluate_frame(usage_byte(usage), &chain));
+        }
+        stream.write_all(&burst).unwrap();
+        stream.flush().unwrap();
+        for usage in usages {
+            let reply = read_reply(&mut stream, OP_EVALUATE).unwrap();
+            assert_eq!(reply[0], STATUS_OK, "{engine:?}");
+            // verdict list: n=1, accepted iff TLS (the tls-only GCC).
+            assert_eq!(reply[5], u8::from(usage == Usage::Tls), "{engine:?}");
+        }
+    }
+}
+
+#[test]
+fn deprecated_constructors_match_builder_thread_pool_byte_for_byte() {
+    // The four deprecated constructors forward to the builder pinned to
+    // Engine::ThreadPool; their daemons must answer the scenario script
+    // byte-identically to an explicitly-built thread-pool daemon.
+    let (store, chain, _) = tls_gated_store("deprecated-parity.example");
+    let script = scenario_script(&chain);
+    let via_builder = spawn(&store, Engine::ThreadPool, "dep-builder");
+    let builder_replies = exchange_script(&via_builder, &script);
+
+    #[allow(deprecated)]
+    let daemons = [
+        TrustDaemon::spawn(store.clone(), ephemeral_socket_path("dep-spawn")).unwrap(),
+        TrustDaemon::spawn_with_workers(store.clone(), ephemeral_socket_path("dep-workers"), 2)
+            .unwrap(),
+        TrustDaemon::spawn_observed(
+            store.clone(),
+            ephemeral_socket_path("dep-observed"),
+            2,
+            std::sync::Arc::new(nrslb_obs::Registry::new()),
+        )
+        .unwrap(),
+        TrustDaemon::spawn_configured(
+            store.clone(),
+            ephemeral_socket_path("dep-configured"),
+            nrslb_core::daemon::DaemonConfig::default(),
+            std::sync::Arc::new(nrslb_obs::Registry::new()),
+        )
+        .unwrap(),
+    ];
+    for daemon in &daemons {
+        assert_eq!(daemon.engine(), Engine::ThreadPool);
+        assert_eq!(exchange_script(daemon, &script), builder_replies);
+    }
+}
+
+#[test]
+fn metrics_opcode_works_on_both_engines() {
+    // Metrics payloads are engine-specific (the reactor adds per-loop
+    // series), so no byte-parity — but both must answer STATUS_OK with
+    // a well-formed exposition containing the daemon series.
+    let (store, _, _) = tls_gated_store("metrics.example");
+    for (engine, tag) in [(Engine::Reactor, "met-r"), (Engine::ThreadPool, "met-t")] {
+        let daemon = spawn(&store, engine, tag);
+        let mut stream = UnixStream::connect(daemon.socket_path()).unwrap();
+        stream.write_all(&[OP_METRICS]).unwrap();
+        let reply = read_reply(&mut stream, OP_METRICS).unwrap();
+        assert_eq!(reply[0], STATUS_OK);
+        let text = String::from_utf8(reply[5..].to_vec()).unwrap();
+        assert!(text.contains("nrslb_daemon_requests_total"), "{engine:?}");
+        if engine == Engine::Reactor {
+            assert!(
+                text.contains("nrslb_reactor_connections{loop=\"0\"}"),
+                "{engine:?}: {text}"
+            );
+        }
+    }
+}

@@ -13,6 +13,10 @@
 //!    outcome against the ground-truth store versus each replica,
 //!    divergence excused only when the replica is visibly not in sync
 //!    (behind, quarantined, or stale at the virtual instant).
+//! 4. **In-process vs platform execution** — on a strided subset of
+//!    samples, the same validation with GCC evaluation delegated to a
+//!    live trust daemon over IPC (default engine, keep-alive client);
+//!    the two deployment modes must agree outcome-for-outcome.
 //!
 //! Any disagreement is recorded with a minimized repro — the seed, the
 //! recent event trace and the DER chain, serialized to
@@ -26,6 +30,7 @@
 
 use crate::chaingen::SampleChain;
 use crate::ecosystem::{Ecosystem, EcosystemConfig};
+use nrslb_core::daemon::{ephemeral_socket_path, DaemonClient, TrustDaemon};
 use nrslb_core::{ValidationMode, ValidationSession, Validator, VerdictCache};
 use nrslb_rootstore::{RootStore, Usage};
 use nrslb_rsf::{Staleness, SyncState};
@@ -132,6 +137,8 @@ pub struct DifferentialOutcome {
     pub cache_checks: u64,
     /// Primary-vs-replica store comparisons.
     pub store_checks: u64,
+    /// In-process-vs-daemon deployment-mode comparisons.
+    pub daemon_checks: u64,
     /// Replica divergences excused by visible staleness/quarantine.
     pub excused_divergences: u64,
     /// Oracle disagreements (must be empty on a healthy build).
@@ -151,7 +158,7 @@ impl DifferentialOutcome {
             "oracle disagreement: {} of {} checks diverged; first: [{}] {} \
              (mutation={}, usage={}); replay with NRSLB_SIM_SEED={} ; repros: {:?}",
             self.disagreements.len(),
-            self.gcc_checks + self.cache_checks + self.store_checks,
+            self.gcc_checks + self.cache_checks + self.store_checks + self.daemon_checks,
             first.kind,
             first.detail,
             first.mutation,
@@ -162,12 +169,20 @@ impl DifferentialOutcome {
     }
 }
 
+/// Every how many samples the daemon-backed deployment-mode check runs
+/// (each truth-store change forces a daemon respawn, so the arm is
+/// strided to bound its cost).
+const DAEMON_CHECK_STRIDE: u64 = 8;
+
 struct Oracle<'a> {
     config: &'a DifferentialConfig,
     cache: VerdictCache,
     /// Cached clone of the truth store, refreshed on version change.
     truth: RootStore,
     truth_version: u64,
+    /// A live trust daemon serving the truth store at `.0`'s version,
+    /// plus a keep-alive client to it; respawned when truth moves.
+    daemon: Option<(u64, TrustDaemon, Arc<DaemonClient>)>,
     outcome: DifferentialOutcome,
 }
 
@@ -213,6 +228,24 @@ impl<'a> Oracle<'a> {
             }
         }
         self.outcome.disagreements.push(disagreement);
+    }
+
+    /// A keep-alive client to a daemon serving the *current* truth
+    /// store, respawning the daemon if truth moved since last time.
+    fn daemon_client(&mut self) -> Option<Arc<DaemonClient>> {
+        if let Some((version, _, client)) = &self.daemon {
+            if *version == self.truth_version {
+                return Some(Arc::clone(client));
+            }
+        }
+        let daemon = TrustDaemon::builder()
+            .socket(ephemeral_socket_path("sim-diff"))
+            .workers(2)
+            .spawn(self.truth.clone())
+            .ok()?;
+        let client = Arc::new(daemon.keep_alive_client());
+        self.daemon = Some((self.truth_version, daemon, Arc::clone(&client)));
+        Some(client)
     }
 
     fn check_sample(&mut self, eco: &Ecosystem, sample: &SampleChain, sample_index: u64) {
@@ -314,6 +347,32 @@ impl<'a> Oracle<'a> {
                 );
             }
 
+            // Path 4: platform execution — the same validation with
+            // GCC evaluation delegated to a live trust daemon over
+            // IPC. Strided: each truth change forces a respawn.
+            if sample_index.is_multiple_of(DAEMON_CHECK_STRIDE) {
+                if let Some(client) = self.daemon_client() {
+                    let platform =
+                        Validator::new(self.truth.clone(), ValidationMode::Platform(client));
+                    let accepted_daemon = platform
+                        .validate(sample.leaf(), sample.intermediates(), usage, now)
+                        .map(|o| o.accepted())
+                        .unwrap_or(false);
+                    self.outcome.daemon_checks += 1;
+                    if accepted_daemon != accepted {
+                        self.record(
+                            eco,
+                            sample,
+                            usage,
+                            sample_index,
+                            "in-process-vs-daemon",
+                            format!("user_agent={accepted} daemon={accepted_daemon}"),
+                            None,
+                        );
+                    }
+                }
+            }
+
             for i in 0..eco.subscriber_count() {
                 let sub = eco.subscriber(i);
                 let in_sync = matches!(sub.state(), SyncState::Live)
@@ -387,6 +446,7 @@ pub fn run_differential(config: &DifferentialConfig) -> DifferentialOutcome {
         cache: VerdictCache::new(8_192),
         truth: eco.truth().clone(),
         truth_version: eco.truth().version(),
+        daemon: None,
         outcome: DifferentialOutcome {
             seed: config.seed,
             events: 0,
@@ -394,6 +454,7 @@ pub fn run_differential(config: &DifferentialConfig) -> DifferentialOutcome {
             gcc_checks: 0,
             cache_checks: 0,
             store_checks: 0,
+            daemon_checks: 0,
             excused_divergences: 0,
             disagreements: Vec::new(),
             report_paths: Vec::new(),
@@ -442,6 +503,7 @@ mod tests {
             outcome.gcc_checks
         );
         assert!(outcome.samples > 0);
+        assert!(outcome.daemon_checks > 0, "daemon arm never ran");
         outcome.assert_agreement();
     }
 
@@ -452,6 +514,7 @@ mod tests {
         assert_eq!(a.gcc_checks, b.gcc_checks);
         assert_eq!(a.samples, b.samples);
         assert_eq!(a.store_checks, b.store_checks);
+        assert_eq!(a.daemon_checks, b.daemon_checks);
         assert_eq!(a.excused_divergences, b.excused_divergences);
         assert_eq!(a.disagreements.len(), b.disagreements.len());
     }

@@ -1,13 +1,16 @@
 //! Quickstart: validate a chain, then attach the paper's Listing 1 GCC
-//! to its root and watch the policy bite.
+//! to its root and watch the policy bite — in-process first, then the
+//! same evaluation delegated to a trust daemon over IPC.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
+use nrslb::core::daemon::{ephemeral_socket_path, TrustDaemon};
 use nrslb::core::{Usage, ValidationMode, Validator};
 use nrslb::rootstore::{Gcc, GccMetadata, RootStore};
 use nrslb::x509::testutil::simple_chain;
+use std::sync::Arc;
 
 fn main() {
     // A synthetic PKI: root -> intermediate -> leaf for one hostname.
@@ -54,7 +57,7 @@ fn main() {
     .expect("GCC parses, is safe and stratifies");
     store.attach_gcc(gcc).unwrap();
 
-    let validator = Validator::new(store, ValidationMode::UserAgent);
+    let validator = Validator::new(store.clone(), ValidationMode::UserAgent);
     for usage in [Usage::Tls, Usage::SMime] {
         let outcome = validator
             .validate(
@@ -78,4 +81,29 @@ fn main() {
                 .unwrap_or_default()
         );
     }
+
+    // The same policy through the *platform execution* mode: a trust
+    // daemon owns the store and evaluates GCCs over a Unix socket,
+    // while the user-agent validator delegates via a keep-alive client.
+    let daemon = TrustDaemon::builder()
+        .socket(ephemeral_socket_path("quickstart"))
+        .spawn(store.clone())
+        .unwrap();
+    let platform = Validator::new(
+        store,
+        ValidationMode::Platform(Arc::new(daemon.keep_alive_client())),
+    );
+    let outcome = platform
+        .validate(
+            &pki.leaf,
+            std::slice::from_ref(&pki.intermediate),
+            Usage::Tls,
+            pki.now,
+        )
+        .unwrap();
+    println!(
+        "\nvia trust daemon ({:?} engine): accepted = {}",
+        daemon.engine(),
+        outcome.accepted()
+    );
 }

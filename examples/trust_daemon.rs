@@ -37,7 +37,10 @@ fn main() {
     // Spawn the daemon (a thread in this demo; a systemd service in the
     // deployment the paper sketches).
     let socket = ephemeral_socket_path("example");
-    let daemon = TrustDaemon::spawn(platform_store.clone(), &socket).unwrap();
+    let daemon = TrustDaemon::builder()
+        .socket(&socket)
+        .spawn(platform_store.clone())
+        .unwrap();
     println!(
         "trust daemon listening on {}",
         daemon.socket_path().display()

@@ -88,7 +88,10 @@ fn deployment_modes_agree() {
     let store = scenario.store.clone();
 
     let ua = Validator::new(store.clone(), ValidationMode::UserAgent);
-    let daemon = TrustDaemon::spawn(store.clone(), ephemeral_socket_path("e2e")).unwrap();
+    let daemon = TrustDaemon::builder()
+        .socket(ephemeral_socket_path("e2e"))
+        .spawn(store.clone())
+        .unwrap();
     let platform = Validator::new(
         store.clone(),
         ValidationMode::Platform(Arc::new(daemon.client())),

@@ -138,7 +138,10 @@ fn daemon_serves_concurrent_clients() {
             .unwrap(),
         )
         .unwrap();
-    let daemon = TrustDaemon::spawn(store.clone(), ephemeral_socket_path("concurrent")).unwrap();
+    let daemon = TrustDaemon::builder()
+        .socket(ephemeral_socket_path("concurrent"))
+        .spawn(store.clone())
+        .unwrap();
 
     let mut handles = Vec::new();
     for t in 0..8 {

@@ -1,0 +1,534 @@
+//! Shim for the `polling` crate: a portable readiness queue (the API
+//! subset the trust daemon's reactor uses), in the style of
+//! smol-rs/polling.
+//!
+//! On Linux this wraps `epoll(7)` directly — the symbols are declared
+//! `extern "C"` against the C library every Rust binary already links,
+//! so no third-party crate is needed. Elsewhere it falls back to
+//! `poll(2)` over a registration table, which is POSIX-portable (and
+//! the moral equivalent of kqueue for the fd counts our tests use off
+//! Linux).
+//!
+//! Semantics follow the real crate:
+//!
+//! * Interest is **oneshot**: after an event for a source is delivered,
+//!   the source stays registered but disarmed until [`Poller::modify`]
+//!   re-arms it. This makes per-connection state machines race-free by
+//!   construction — the reactor re-arms exactly the interest its state
+//!   wants next.
+//! * [`Poller::notify`] wakes a concurrent [`Poller::wait`] from any
+//!   thread (a self-socketpair under the hood); the wakeup is consumed
+//!   internally and never surfaces as a caller-visible [`Event`].
+//! * Error/hangup conditions are folded into readability/writability,
+//!   so a peer close surfaces as a readable event whose subsequent
+//!   `read` returns 0 — the state machine needs no separate EOF arm.
+
+use std::io;
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Readiness interest in, or readiness state of, one registered source.
+///
+/// `key` is an opaque caller token (the reactor uses slab slots)
+/// round-tripped through the kernel with the registration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Caller token identifying the source.
+    pub key: usize,
+    /// Interest in (or presence of) readability.
+    pub readable: bool,
+    /// Interest in (or presence of) writability.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in readability only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in writability only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest: the source stays registered but disarmed.
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// The key reserved for the internal notify waker; user keys must stay
+/// below it.
+const NOTIFY_KEY: usize = usize::MAX;
+
+/// A readiness queue over `epoll(7)` (Linux) or `poll(2)` (fallback).
+pub struct Poller {
+    backend: backend::Backend,
+    /// Self-socketpair waker: writing to `notify_tx` makes
+    /// `notify_rx` readable, waking a blocked `wait`.
+    notify_rx: UnixStream,
+    notify_tx: UnixStream,
+}
+
+impl Poller {
+    /// Create a poller with its notify waker armed.
+    pub fn new() -> io::Result<Poller> {
+        let (notify_tx, notify_rx) = UnixStream::pair()?;
+        notify_rx.set_nonblocking(true)?;
+        notify_tx.set_nonblocking(true)?;
+        let backend = backend::Backend::new()?;
+        // The waker is the one persistent (non-oneshot) registration.
+        backend.register(notify_rx.as_raw_fd(), Event::readable(NOTIFY_KEY), false)?;
+        Ok(Poller {
+            backend,
+            notify_rx,
+            notify_tx,
+        })
+    }
+
+    /// Register a source with its initial oneshot interest.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key usize::MAX is reserved for the notify waker",
+            ));
+        }
+        self.backend.register(source.as_raw_fd(), interest, true)
+    }
+
+    /// Re-arm (or change) a registered source's oneshot interest.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key usize::MAX is reserved for the notify waker",
+            ));
+        }
+        self.backend.rearm(source.as_raw_fd(), interest)
+    }
+
+    /// Remove a source from the poller entirely.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.backend.deregister(source.as_raw_fd())
+    }
+
+    /// Block until at least one source is ready (or `timeout` elapses,
+    /// or [`Poller::notify`] is called), appending events to `events`.
+    /// Returns the number of events delivered; `0` means timeout,
+    /// notification, or a benign interruption — callers are expected to
+    /// re-check their own queues and loop either way.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.backend.wait(events, timeout)?;
+        // Consume waker bytes without surfacing them; keep any real
+        // events gathered in the same wake.
+        let mut n = 0;
+        events.retain(|e| {
+            if e.key == NOTIFY_KEY {
+                n += 1;
+                false
+            } else {
+                true
+            }
+        });
+        if n > 0 {
+            let mut buf = [0u8; 64];
+            while let Ok(k) = (&self.notify_rx).read(&mut buf) {
+                if k == 0 {
+                    break;
+                }
+            }
+        }
+        Ok(events.len())
+    }
+
+    /// Wake a concurrent [`Poller::wait`] from any thread. Each call
+    /// writes one byte to the waker pair; a full pipe means wakeups are
+    /// already pending, which is just as good.
+    pub fn notify(&self) -> io::Result<()> {
+        match (&self.notify_tx).write(&[1u8]) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+use std::io::{Read, Write};
+
+#[cfg(target_os = "linux")]
+mod backend {
+    //! `epoll(7)` backend, FFI-declared against the linked C library.
+
+    use super::Event;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLONESHOT: u32 = 1 << 30;
+
+    /// Kernel `struct epoll_event`; packed on x86_64 only (the kernel
+    /// uapi header carries `__attribute__((packed))` under `__x86_64__`).
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask_of(interest: Event, oneshot: bool) -> u32 {
+        let mut mask = if oneshot { EPOLLONESHOT } else { 0 };
+        if interest.readable {
+            mask |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interest.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    pub(super) struct Backend {
+        epfd: RawFd,
+    }
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Backend { epfd })
+        }
+
+        pub(super) fn register(&self, fd: RawFd, interest: Event, oneshot: bool) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask_of(interest, oneshot),
+                data: interest.key as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        pub(super) fn rearm(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask_of(interest, true),
+                data: interest.key as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        pub(super) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let timeout_ms = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+            };
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 1024];
+            let n = match cvt(unsafe {
+                epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+            }) {
+                Ok(n) => n,
+                // A signal interrupted the wait; report an empty wake
+                // and let the caller loop.
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                Err(e) => return Err(e),
+            };
+            for ev in &buf[..n as usize] {
+                // Copy out of the (possibly packed) struct before use.
+                let events = ev.events;
+                let data = ev.data;
+                // Errors and hangups surface as readable+writable so the
+                // owner's next I/O attempt observes the real error.
+                let broken = events & (EPOLLERR | EPOLLHUP) != 0;
+                out.push(Event {
+                    key: data as usize,
+                    readable: events & (EPOLLIN | EPOLLRDHUP) != 0 || broken,
+                    writable: events & EPOLLOUT != 0 || broken,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod backend {
+    //! Portable `poll(2)` backend: a registration table re-polled on
+    //! every wait. O(n) per wake, which is fine for the non-Linux dev
+    //! machines this fallback serves.
+
+    use super::Event;
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    struct Registration {
+        key: usize,
+        readable: bool,
+        writable: bool,
+        oneshot: bool,
+    }
+
+    pub(super) struct Backend {
+        table: Mutex<HashMap<RawFd, Registration>>,
+    }
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            Ok(Backend {
+                table: Mutex::new(HashMap::new()),
+            })
+        }
+
+        pub(super) fn register(&self, fd: RawFd, interest: Event, oneshot: bool) -> io::Result<()> {
+            self.table.lock().unwrap().insert(
+                fd,
+                Registration {
+                    key: interest.key,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                    oneshot,
+                },
+            );
+            Ok(())
+        }
+
+        pub(super) fn rearm(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            match self.table.lock().unwrap().get_mut(&fd) {
+                Some(reg) => {
+                    reg.key = interest.key;
+                    reg.readable = interest.readable;
+                    reg.writable = interest.writable;
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.table.lock().unwrap().remove(&fd);
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut fds: Vec<PollFd> = {
+                let table = self.table.lock().unwrap();
+                table
+                    .iter()
+                    .map(|(fd, reg)| PollFd {
+                        fd: *fd,
+                        events: if reg.readable { POLLIN } else { 0 }
+                            | if reg.writable { POLLOUT } else { 0 },
+                        revents: 0,
+                    })
+                    .collect()
+            };
+            let timeout_ms = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+            };
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            let mut table = self.table.lock().unwrap();
+            for pfd in &fds {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                let Some(reg) = table.get_mut(&pfd.fd) else {
+                    continue;
+                };
+                let broken = pfd.revents & (POLLERR | POLLHUP) != 0;
+                out.push(Event {
+                    key: reg.key,
+                    readable: pfd.revents & POLLIN != 0 || broken,
+                    writable: pfd.revents & POLLOUT != 0 || broken,
+                });
+                if reg.oneshot {
+                    reg.readable = false;
+                    reg.writable = false;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const SHORT: Option<Duration> = Some(Duration::from_millis(50));
+
+    #[test]
+    fn readable_event_fires_once_then_needs_rearm() {
+        let poller = Poller::new().unwrap();
+        let (mut tx, rx) = UnixStream::pair().unwrap();
+        rx.set_nonblocking(true).unwrap();
+        poller.add(&rx, Event::readable(7)).unwrap();
+
+        tx.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        assert_eq!(poller.wait(&mut events, SHORT).unwrap(), 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+
+        // Oneshot: the byte is still unread, but the source is disarmed
+        // until modify re-arms it.
+        assert_eq!(poller.wait(&mut events, SHORT).unwrap(), 0);
+        poller.modify(&rx, Event::readable(7)).unwrap();
+        assert_eq!(poller.wait(&mut events, SHORT).unwrap(), 1);
+    }
+
+    #[test]
+    fn writable_event_on_unblocked_socket() {
+        let poller = Poller::new().unwrap();
+        let (tx, _rx) = UnixStream::pair().unwrap();
+        tx.set_nonblocking(true).unwrap();
+        poller.add(&tx, Event::writable(3)).unwrap();
+        let mut events = Vec::new();
+        assert_eq!(poller.wait(&mut events, SHORT).unwrap(), 1);
+        assert_eq!(events[0].key, 3);
+        assert!(events[0].writable);
+    }
+
+    #[test]
+    fn notify_wakes_blocked_wait_without_surfacing_an_event() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let p2 = poller.clone();
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            p2.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        // A long timeout the notify must cut short.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        waker.join().unwrap();
+    }
+
+    #[test]
+    fn deleted_source_stops_reporting() {
+        let poller = Poller::new().unwrap();
+        let (mut tx, rx) = UnixStream::pair().unwrap();
+        rx.set_nonblocking(true).unwrap();
+        poller.add(&rx, Event::readable(1)).unwrap();
+        poller.delete(&rx).unwrap();
+        tx.write_all(b"y").unwrap();
+        let mut events = Vec::new();
+        assert_eq!(poller.wait(&mut events, SHORT).unwrap(), 0);
+    }
+
+    #[test]
+    fn peer_hangup_surfaces_as_readable() {
+        let poller = Poller::new().unwrap();
+        let (tx, rx) = UnixStream::pair().unwrap();
+        rx.set_nonblocking(true).unwrap();
+        poller.add(&rx, Event::readable(9)).unwrap();
+        drop(tx);
+        let mut events = Vec::new();
+        assert_eq!(poller.wait(&mut events, SHORT).unwrap(), 1);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn reserved_key_rejected() {
+        let poller = Poller::new().unwrap();
+        let (_tx, rx) = UnixStream::pair().unwrap();
+        assert!(poller.add(&rx, Event::readable(usize::MAX)).is_err());
+    }
+}
