@@ -66,9 +66,27 @@ echo "==> engine parity + reactor torture tests"
 cargo test -p nrslb-core --test daemon_parity --test reactor_torture -q
 
 echo "==> differential oracle smoke (fixed seed)"
-# Bounded run: >=1,000 cross-path (chain, GCC, usage) checks; exits
-# non-zero and prints the failing NRSLB_SIM_SEED on any disagreement.
+# Bounded run: >=1,000 cross-path (chain, GCC, usage) checks PLUS
+# >=1,000 incremental-vs-scratch Datalog maintenance checks (the
+# apply_delta oracle arm, both policies); exits non-zero and prints the
+# failing NRSLB_SIM_SEED on any disagreement, with the JSON repro
+# dumped under reports/.
 NRSLB_SIM_SEED=0xd1ff NRSLB_SCALE=120 \
     cargo run --release -q -p nrslb-bench --bin e14_differential
+
+echo "==> incremental-maintenance proptests (counting + DRed vs scratch)"
+cargo test -p nrslb-datalog --test incremental_props -q
+
+echo "==> taint-keyed verdict invalidation tests"
+cargo test -p nrslb-core --test taint_invalidation -q
+
+echo "==> incremental maintenance smoke (release, bounded, asserted)"
+# Bounded e19 run: hard-asserts the taint-keyed serving arm delivers
+# >= 2x the full-clear arm's verdicts/s under per-round publisher
+# deltas, and that apply_delta does not lose to from-scratch
+# re-evaluation at the Datalog layer. The committed BENCH_e19.json
+# records full-scale numbers; the smoke writes to a scratch path.
+NRSLB_E19_ASSERT=1 NRSLB_SCALE=12 NRSLB_JSON="$(mktemp)" \
+    cargo run --release -q -p nrslb-bench --bin e19_incremental
 
 echo "==> CI green"

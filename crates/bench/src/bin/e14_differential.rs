@@ -21,6 +21,7 @@ struct Report {
     gcc_checks: u64,
     cache_checks: u64,
     store_checks: u64,
+    delta_checks: u64,
     excused_divergences: u64,
     disagreements: u64,
     secs: f64,
@@ -35,6 +36,7 @@ fn main() {
     let config = DifferentialConfig {
         seed: seed_from_env(0xd1ff),
         min_gcc_checks: 1_000,
+        min_delta_checks: 1_000,
         max_events: scale(260) as u64,
         // Ecosystem events (publishes, polls) pay for hash-based
         // signatures; dense sampling reaches the check floor with fewer
@@ -47,28 +49,30 @@ fn main() {
     let outcome = run_differential(&config);
     let secs = timer.secs();
     println!(
-        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>9} {:>13}",
+        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9} {:>13}",
         "events",
         "samples",
         "gcc checks",
         "cache checks",
         "store checks",
+        "delta checks",
         "excused",
         "disagreements"
     );
     println!(
-        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>9} {:>13}",
+        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9} {:>13}",
         outcome.events,
         outcome.samples,
         outcome.gcc_checks,
         outcome.cache_checks,
         outcome.store_checks,
+        outcome.delta_checks,
         outcome.excused_divergences,
         outcome.disagreements.len(),
     );
     println!(
         "\n{} cross-path checks in {:.2}s; replica divergence only where the",
-        outcome.gcc_checks + outcome.cache_checks + outcome.store_checks,
+        outcome.gcc_checks + outcome.cache_checks + outcome.store_checks + outcome.delta_checks,
         secs
     );
     println!("engine itself announced staleness or quarantine.");
@@ -79,6 +83,7 @@ fn main() {
         gcc_checks: outcome.gcc_checks,
         cache_checks: outcome.cache_checks,
         store_checks: outcome.store_checks,
+        delta_checks: outcome.delta_checks,
         excused_divergences: outcome.excused_divergences,
         disagreements: outcome.disagreements.len() as u64,
         secs,
@@ -88,6 +93,12 @@ fn main() {
         "smoke run must reach {} gcc checks, got {}",
         config.min_gcc_checks,
         outcome.gcc_checks
+    );
+    assert!(
+        outcome.delta_checks >= config.min_delta_checks,
+        "smoke run must reach {} incremental maintenance checks, got {}",
+        config.min_delta_checks,
+        outcome.delta_checks
     );
     // Panics with the replayable NRSLB_SIM_SEED line on disagreement.
     outcome.assert_agreement();

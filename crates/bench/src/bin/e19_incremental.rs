@@ -1,0 +1,307 @@
+//! E19 — incremental maintenance vs from-scratch recomputation under
+//! publisher churn (DESIGN.md §5e "Incremental maintenance +
+//! taint-keyed invalidation").
+//!
+//! Two axes:
+//!
+//! * **Serving axis** — an in-process oracle serves verdicts for a
+//!   population of chains while a publisher ships one delta per
+//!   modeled second (each round = one 1 Hz interval: one feed delta
+//!   touching a single root, then one request per chain). The
+//!   *scratch* arm reacts to every delta the pre-incremental way —
+//!   full taint, whole verdict cache cleared, every chain re-derived —
+//!   while the *incremental* arm applies the delta's precise
+//!   [`TaintSet`] so only the touched root's verdicts re-derive.
+//!   Reported as verdicts/s per arm.
+//! * **Micro axis** — the Datalog layer alone: a fixed program
+//!   (counting + negation + recursive strata) over a root/GCC/succ
+//!   fact base, absorbing single-fact deltas either through
+//!   `CompiledProgram::apply_delta` on a persistent database or by
+//!   from-scratch re-evaluation of the mutated base. Reported as
+//!   deltas/s per arm.
+//!
+//! `NRSLB_E19_ASSERT=1` turns the acceptance threshold into a hard
+//! assertion: the incremental serving arm must deliver at least 2x the
+//! scratch arm's verdicts/s. `NRSLB_JSON=<path>` writes the report
+//! (the committed `BENCH_e19.json` records a full-scale run).
+
+use nrslb_bench::{header, maybe_write_json, scale, Timer};
+use nrslb_core::validate::{GccOracle, InProcessOracle};
+use nrslb_core::Usage;
+use nrslb_datalog::{
+    delta_fact, CompiledProgram, Database, IncrementalState, LayeredDatabase, MaintenancePolicy,
+    Program, Val,
+};
+use nrslb_rootstore::{Gcc, GccMetadata, RootStore};
+use nrslb_rsf::{Delta, TaintSet};
+use nrslb_x509::testutil::{simple_chain, SimplePki};
+use nrslb_x509::Certificate;
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct Report {
+    roots: usize,
+    rounds: usize,
+    requests_per_round: usize,
+    scratch_verdicts_per_s: f64,
+    incremental_verdicts_per_s: f64,
+    serving_speedup: f64,
+    micro_facts: usize,
+    micro_deltas: usize,
+    scratch_deltas_per_s: f64,
+    incremental_deltas_per_s: f64,
+    micro_speedup: f64,
+    secs: f64,
+}
+
+/// Build a store of `n` roots, each carrying a distinct-source GCC (so
+/// taint stays per-root precise), plus the presented chains.
+fn population(n: usize) -> (RootStore, Vec<SimplePki>) {
+    let mut store = RootStore::new("e19");
+    let mut pkis = Vec::with_capacity(n);
+    for i in 0..n {
+        let pki = simple_chain(&format!("e19-{i}.example"));
+        store.add_trusted(pki.root.clone()).expect("add root");
+        let src = format!("valid(Chain, _) :- leaf(Chain, _).\nowner(\"{i}\").");
+        let gcc = Gcc::parse(
+            "e19-policy",
+            pki.root.fingerprint(),
+            &src,
+            GccMetadata::default(),
+        )
+        .expect("gcc parses");
+        store.attach_gcc(gcc).expect("attach");
+        pkis.push(pki);
+    }
+    (store, pkis)
+}
+
+/// One publisher round: toggle a marker GCC on root `i` and return the
+/// next store plus the delta's precise taint (computed on the
+/// pre-image, exactly as `Subscriber` ingest does).
+fn publisher_round(
+    store: &RootStore,
+    pki: &SimplePki,
+    i: usize,
+    seq: u64,
+) -> (RootStore, TaintSet) {
+    let mut next = store.clone();
+    let marker_src = format!("valid(Chain, _) :- leaf(Chain, _).\nmarker(\"{i}\").");
+    let marker = Gcc::parse(
+        "e19-marker",
+        pki.root.fingerprint(),
+        &marker_src,
+        GccMetadata::default(),
+    )
+    .expect("marker parses");
+    let marker_hash = marker.source_hash();
+    if !next.detach_gcc(&pki.root.fingerprint(), &marker_hash) {
+        next.attach_gcc(marker).expect("attach marker");
+    }
+    let delta = Delta::between(store, &next, seq, seq + 1, seq as i64);
+    let taint = TaintSet::of_delta(&delta, store);
+    (next, taint)
+}
+
+/// Drive one serving arm: per round, absorb the publisher delta with
+/// the arm's invalidation policy, then serve one request per chain.
+/// Returns verdicts served per second.
+fn serve(
+    store: &RootStore,
+    pkis: &[SimplePki],
+    chains: &[Vec<Certificate>],
+    rounds: usize,
+    full_clear: bool,
+) -> f64 {
+    let mut oracle = InProcessOracle::new(store.clone());
+    // Cold fill outside the measured window: both arms start warm.
+    for chain in chains {
+        oracle.evaluate(chain, Usage::Tls).expect("cold fill");
+    }
+    let mut served = 0usize;
+    let timer = Timer::start();
+    for round in 0..rounds {
+        let i = round % pkis.len();
+        let (next, taint) = publisher_round(oracle.store(), &pkis[i], i, round as u64);
+        let taint = if full_clear { TaintSet::full() } else { taint };
+        oracle.absorb_update(next, &taint);
+        for chain in chains {
+            let verdicts = oracle.evaluate(chain, Usage::Tls).expect("serve");
+            assert!(
+                verdicts.iter().any(|v| v.accepted),
+                "population chain rejected"
+            );
+            served += 1;
+        }
+    }
+    served as f64 / timer.secs()
+}
+
+const MICRO_PROGRAM: &str = "governed(R) :- root(R), gcc(R, _).\n\
+     bare(R) :- root(R), \\+governed(R).\n\
+     reach(R) :- governed(R).\n\
+     reach(B) :- reach(A), succ(A, B).\n";
+
+/// `succ` edges stay within blocks of this many roots, so a delta's
+/// recursive blast radius is one block — the representative shape: a
+/// feed delta perturbs one root's neighborhood, not the whole store.
+const MICRO_BLOCK: usize = 8;
+
+fn micro_base(facts: usize) -> Database {
+    let mut base = Database::new();
+    for i in 0..facts {
+        base.add_fact("root", vec![Val::str(format!("r{i:04}"))]);
+        if i % 2 == 0 {
+            base.add_fact(
+                "gcc",
+                vec![Val::str(format!("r{i:04}")), Val::str(format!("h{i:04}"))],
+            );
+        }
+        if i + 1 < facts && (i + 1) % MICRO_BLOCK != 0 {
+            base.add_fact(
+                "succ",
+                vec![
+                    Val::str(format!("r{i:04}")),
+                    Val::str(format!("r{:04}", i + 1)),
+                ],
+            );
+        }
+    }
+    base
+}
+
+/// The single-fact delta stream: toggle root `i % facts`'s GCC fact.
+fn micro_step(i: usize, facts: usize) -> (String, Vec<Val>) {
+    let r = i % facts;
+    (
+        "gcc".to_string(),
+        vec![Val::str(format!("r{r:04}")), Val::str(format!("h{r:04}"))],
+    )
+}
+
+fn main() {
+    header(
+        "E19",
+        "incremental maintenance vs from-scratch recomputation",
+        "DESIGN.md §5e (incremental maintenance + taint-keyed invalidation)",
+    );
+    let assert_mode = std::env::var("NRSLB_E19_ASSERT").is_ok_and(|v| v == "1");
+    let roots = scale(24);
+    let rounds = (scale(24) * 4).max(8);
+    let timer = Timer::start();
+
+    let (store, pkis) = population(roots);
+    let chains: Vec<Vec<Certificate>> = pkis
+        .iter()
+        .map(|p| vec![p.leaf.clone(), p.intermediate.clone(), p.root.clone()])
+        .collect();
+
+    let scratch_vps = serve(&store, &pkis, &chains, rounds, true);
+    let incremental_vps = serve(&store, &pkis, &chains, rounds, false);
+    let serving_speedup = incremental_vps / scratch_vps;
+
+    println!(
+        "serving axis ({} roots, {} rounds, {} requests/round — one 1 Hz delta per round):",
+        roots,
+        rounds,
+        chains.len()
+    );
+    println!(
+        "{:>14} {:>16} {:>9}",
+        "scratch v/s", "incremental v/s", "speedup"
+    );
+    println!(
+        "{:>14.0} {:>16.0} {:>8.1}x",
+        scratch_vps, incremental_vps, serving_speedup
+    );
+
+    // --- Micro axis ---
+    let micro_facts = scale(24) * 8;
+    let micro_deltas = (scale(24) * 16).max(64);
+    let program = CompiledProgram::compile(&Program::parse(MICRO_PROGRAM).expect("parses"))
+        .expect("compiles");
+
+    // Scratch arm: mutate the base, re-evaluate everything.
+    let mut base = micro_base(micro_facts);
+    let micro_timer = Timer::start();
+    for i in 0..micro_deltas {
+        let (pred, tuple) = micro_step(i, micro_facts);
+        if !base.remove_fact(&pred, &tuple) {
+            base.add_fact(&pred, tuple);
+        }
+        program
+            .evaluate(Arc::new(base.clone()))
+            .expect("scratch evaluation");
+    }
+    let scratch_dps = micro_deltas as f64 / micro_timer.secs();
+
+    // Incremental arm: one persistent database, per-fact deltas.
+    let mut db = LayeredDatabase::new(Arc::new(micro_base(micro_facts)));
+    let mut state = IncrementalState::new(MaintenancePolicy::Auto);
+    program
+        .apply_delta(&mut db, &mut state, &[], &[])
+        .expect("baseline");
+    let micro_timer = Timer::start();
+    for i in 0..micro_deltas {
+        let (pred, tuple) = micro_step(i, micro_facts);
+        let fact = [delta_fact(&pred, &tuple)];
+        let out = if db.contains(&pred, &tuple) {
+            program.apply_delta(&mut db, &mut state, &[], &fact)
+        } else {
+            program.apply_delta(&mut db, &mut state, &fact, &[])
+        };
+        out.expect("incremental delta");
+    }
+    let incremental_dps = micro_deltas as f64 / micro_timer.secs();
+    let micro_speedup = incremental_dps / scratch_dps;
+
+    println!("\nmicro axis ({micro_facts} root facts, {micro_deltas} single-fact deltas):");
+    println!(
+        "{:>14} {:>16} {:>9}",
+        "scratch d/s", "incremental d/s", "speedup"
+    );
+    println!(
+        "{:>14.0} {:>16.0} {:>8.1}x",
+        scratch_dps, incremental_dps, micro_speedup
+    );
+
+    let secs = timer.secs();
+    println!(
+        "\nprecise taint keeps {}/{} verdicts warm across each delta; full\n\
+         clearing re-derives all of them ({:.1}x serving advantage in {:.2}s).",
+        chains.len() - 1,
+        chains.len(),
+        serving_speedup,
+        secs
+    );
+
+    maybe_write_json(&Report {
+        roots,
+        rounds,
+        requests_per_round: chains.len(),
+        scratch_verdicts_per_s: scratch_vps,
+        incremental_verdicts_per_s: incremental_vps,
+        serving_speedup,
+        micro_facts,
+        micro_deltas,
+        scratch_deltas_per_s: scratch_dps,
+        incremental_deltas_per_s: incremental_dps,
+        micro_speedup,
+        secs,
+    });
+
+    if assert_mode {
+        assert!(
+            serving_speedup >= 2.0,
+            "incremental serving must be >= 2x scratch, got {serving_speedup:.2}x \
+             ({incremental_vps:.0} vs {scratch_vps:.0} verdicts/s)"
+        );
+        assert!(
+            micro_speedup >= 1.0,
+            "incremental maintenance must not lose to scratch at the Datalog layer, \
+             got {micro_speedup:.2}x"
+        );
+        println!("assertions passed (NRSLB_E19_ASSERT=1)");
+    }
+}

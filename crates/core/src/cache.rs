@@ -30,6 +30,7 @@
 
 use nrslb_crypto::sha256::Digest;
 use nrslb_rootstore::Usage;
+use nrslb_rsf::TaintSet;
 use nrslb_x509::Certificate;
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
@@ -156,6 +157,15 @@ impl<K: Hash + Eq + Copy, V: Clone> ShardedLru<K, V> {
     /// used entry when the shard is full. Returns the shard index and
     /// how many entries were evicted.
     pub fn insert_indexed(&self, key: K, value: V) -> (usize, u64) {
+        let (idx, evicted) = self.insert_evicting(key, value);
+        (idx, evicted.len() as u64)
+    }
+
+    /// [`ShardedLru::insert_indexed`], additionally returning the keys
+    /// the LRU policy pushed out — callers maintaining side indexes
+    /// (e.g. the verdict cache's taint index) must learn which entries
+    /// silently disappeared.
+    pub fn insert_evicting(&self, key: K, value: V) -> (usize, Vec<K>) {
         let idx = self.shard_of(&key);
         let mut inner = self.shards[idx].inner.lock();
         inner.clock += 1;
@@ -166,21 +176,23 @@ impl<K: Hash + Eq + Copy, V: Clone> ShardedLru<K, V> {
             order.remove(stamp);
             *stamp = clock;
             order.insert(clock, key);
-            return (idx, 0);
+            return (idx, Vec::new());
         }
-        let mut evicted = 0u64;
+        let mut evicted = Vec::new();
         while map.len() >= self.shard_capacity {
             let Some((_, oldest)) = order.pop_first() else {
                 break;
             };
             map.remove(&oldest);
-            evicted += 1;
+            evicted.push(oldest);
         }
         map.insert(key, (value, clock));
         order.insert(clock, key);
-        if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
-            self.entries.fetch_sub(evicted, Ordering::Relaxed);
+        if !evicted.is_empty() {
+            self.evictions
+                .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+            self.entries
+                .fetch_sub(evicted.len() as u64, Ordering::Relaxed);
         }
         self.entries.fetch_add(1, Ordering::Relaxed);
         (idx, evicted)
@@ -189,6 +201,38 @@ impl<K: Hash + Eq + Copy, V: Clone> ShardedLru<K, V> {
     /// Insert (or refresh) `key`; see [`ShardedLru::insert_indexed`].
     pub fn insert(&self, key: K, value: V) {
         self.insert_indexed(key, value);
+    }
+
+    /// Remove `key` from its shard; returns whether it was present.
+    /// Targeted invalidation, not an LRU eviction — it does not count
+    /// toward [`ShardedLru::evictions`].
+    pub fn remove(&self, key: &K) -> bool {
+        let idx = self.shard_of(key);
+        let mut inner = self.shards[idx].inner.lock();
+        let ShardInner { map, order, .. } = &mut *inner;
+        match map.remove(key) {
+            Some((_, stamp)) => {
+                order.remove(&stamp);
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop every entry in every shard (retaining allocations); returns
+    /// how many entries were removed. Like [`ShardedLru::remove`], this
+    /// is invalidation, not LRU eviction.
+    pub fn clear(&self) -> u64 {
+        let mut removed = 0u64;
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            removed += inner.map.len() as u64;
+            inner.map.clear();
+            inner.order.clear();
+        }
+        self.entries.fetch_sub(removed, Ordering::Relaxed);
+        removed
     }
 
     /// Number of stored entries across all shards.
@@ -239,10 +283,67 @@ struct CacheInstruments {
     hits: nrslb_obs::Counter,
     misses: nrslb_obs::Counter,
     evictions: nrslb_obs::Counter,
+    invalidations: nrslb_obs::Counter,
     entries: nrslb_obs::Gauge,
     /// Per-shard hit/miss counters, indexed by shard.
     shard_hits: Vec<nrslb_obs::Counter>,
     shard_misses: Vec<nrslb_obs::Counter>,
+}
+
+/// Bidirectional index between cached verdict keys and the taint
+/// digests they depend on, enabling
+/// [`VerdictCache::invalidate_taint`] to evict exactly the verdicts a
+/// feed delta touched instead of clearing wholesale.
+#[derive(Default)]
+struct TaintIndex {
+    by_digest: HashMap<Digest, std::collections::HashSet<VerdictKey>>,
+    by_key: HashMap<VerdictKey, Vec<Digest>>,
+}
+
+impl TaintIndex {
+    /// Register `key` under `tags`, replacing any previous
+    /// registration (re-inserted verdicts may carry different taints).
+    fn register(&mut self, key: VerdictKey, tags: &[Digest]) {
+        self.unregister(&key);
+        let mut stored: Vec<Digest> = Vec::with_capacity(tags.len());
+        for tag in tags {
+            if stored.contains(tag) {
+                continue;
+            }
+            stored.push(*tag);
+            self.by_digest.entry(*tag).or_default().insert(key);
+        }
+        self.by_key.insert(key, stored);
+    }
+
+    /// Forget `key` entirely (evicted or invalidated).
+    fn unregister(&mut self, key: &VerdictKey) {
+        let Some(tags) = self.by_key.remove(key) else {
+            return;
+        };
+        for tag in tags {
+            if let Some(set) = self.by_digest.get_mut(&tag) {
+                set.remove(key);
+                if set.is_empty() {
+                    self.by_digest.remove(&tag);
+                }
+            }
+        }
+    }
+
+    /// All keys registered under `digest`, detached from that digest's
+    /// bucket (the caller unregisters each key it actually evicts).
+    fn take_keys(&mut self, digest: &Digest) -> Vec<VerdictKey> {
+        self.by_digest
+            .remove(digest)
+            .map(|set| set.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    fn clear(&mut self) {
+        self.by_digest.clear();
+        self.by_key.clear();
+    }
 }
 
 /// A bounded, thread-safe, N-way sharded LRU cache of GCC verdicts.
@@ -254,6 +355,10 @@ struct CacheInstruments {
 /// relative to a single global LRU.
 pub struct VerdictCache {
     lru: ShardedLru<VerdictKey, bool>,
+    /// Taint digests ↔ keys; locked before any shard lock (insert and
+    /// invalidate both follow index → shard order, so the two locks
+    /// never interleave in opposite orders).
+    taint: Mutex<TaintIndex>,
     instruments: Option<CacheInstruments>,
 }
 
@@ -284,6 +389,7 @@ impl VerdictCache {
     pub fn with_shards(capacity: usize, shards: usize) -> VerdictCache {
         VerdictCache {
             lru: ShardedLru::new(capacity, shards),
+            taint: Mutex::new(TaintIndex::default()),
             instruments: None,
         }
     }
@@ -322,6 +428,10 @@ impl VerdictCache {
                 "nrslb_verdict_cache_evictions_total",
                 "verdicts evicted by the LRU policy",
             ),
+            invalidations: registry.counter(
+                "nrslb_verdict_cache_invalidations_total",
+                "verdicts evicted by taint-targeted invalidation",
+            ),
             entries: registry.gauge("nrslb_verdict_cache_entries", "verdicts currently cached"),
             shard_hits: per_shard(
                 "nrslb_verdict_cache_shard_hits_total",
@@ -355,15 +465,73 @@ impl VerdictCache {
     }
 
     /// Insert (or refresh) a verdict, evicting the shard's least-
-    /// recently-used entry when the shard is full.
+    /// recently-used entry when the shard is full. The entry is
+    /// implicitly tainted by its GCC source hash (`key.gcc`); use
+    /// [`VerdictCache::insert_tainted`] to attach the chain's root and
+    /// issuer identities too.
     pub fn insert(&self, key: VerdictKey, value: bool) {
-        let (_, evicted) = self.lru.insert_indexed(key, value);
+        self.insert_tainted(key, value, &[]);
+    }
+
+    /// Insert (or refresh) a verdict tagged with the extra taint
+    /// digests it depends on — typically the chain's root fingerprint
+    /// and issuer SPKI fingerprints. `key.gcc` is always added, so
+    /// every entry is at minimum invalidatable by its policy source. A
+    /// later [`VerdictCache::invalidate_taint`] whose set names any of
+    /// these digests evicts exactly this entry (and its fellows).
+    pub fn insert_tainted(&self, key: VerdictKey, value: bool, taints: &[Digest]) {
+        let mut index = self.taint.lock();
+        let (_, evicted_keys) = self.lru.insert_evicting(key, value);
+        for k in &evicted_keys {
+            index.unregister(k);
+        }
+        let mut tags: Vec<Digest> = Vec::with_capacity(taints.len() + 1);
+        tags.push(key.gcc);
+        tags.extend_from_slice(taints);
+        index.register(key, &tags);
+        drop(index);
         if let Some(i) = &self.instruments {
-            if evicted > 0 {
-                i.evictions.add(evicted);
+            if !evicted_keys.is_empty() {
+                i.evictions.add(evicted_keys.len() as u64);
             }
             i.entries.set(self.lru.len() as i64);
         }
+    }
+
+    /// Evict every cached verdict whose taint tags intersect `taint` —
+    /// the single invalidation path for both feed-ingest flavors:
+    /// precise deltas name the touched roots/GCCs/SPKIs and evict only
+    /// their dependents; a snapshot fallback arrives as
+    /// [`TaintSet::full`] and clears everything. An empty taint evicts
+    /// nothing. Returns how many verdicts were evicted.
+    pub fn invalidate_taint(&self, taint: &TaintSet) -> u64 {
+        if taint.is_empty() {
+            return 0;
+        }
+        let mut index = self.taint.lock();
+        let removed = if taint.is_full() {
+            index.clear();
+            self.lru.clear()
+        } else {
+            let mut removed = 0u64;
+            for digest in taint.digests() {
+                for key in index.take_keys(&digest) {
+                    if self.lru.remove(&key) {
+                        removed += 1;
+                    }
+                    index.unregister(&key);
+                }
+            }
+            removed
+        };
+        drop(index);
+        if let Some(i) = &self.instruments {
+            if removed > 0 {
+                i.invalidations.add(removed);
+            }
+            i.entries.set(self.lru.len() as i64);
+        }
+        removed
     }
 
     /// Number of cached verdicts.

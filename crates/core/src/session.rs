@@ -219,7 +219,10 @@ impl ValidationSession {
                         None => self.evaluate_gcc(gcc, usage)?,
                     };
                     if let Some(c) = cache {
-                        c.insert(key, computed);
+                        // The session no longer holds the chain, so the
+                        // entry's taint is the policy's attachment
+                        // point (plus key.gcc, added implicitly).
+                        c.insert_tainted(key, computed, &[gcc.target()]);
                     }
                     computed
                 }
@@ -274,6 +277,11 @@ pub fn evaluate_gccs_lazy_into(
     verdicts.clear();
     let chain_key = chain_content_key(chain);
     let mut session: Option<ValidationSession> = None;
+    // Taint identities of this chain, computed once on the first miss
+    // (cold path only): the root's fingerprint plus every issuer SPKI,
+    // so a feed delta touching any of them evicts exactly these
+    // verdicts.
+    let mut chain_taints: Option<Vec<Digest>> = None;
     for gcc in gccs {
         let key = VerdictKey {
             chain: chain_key,
@@ -288,7 +296,19 @@ pub fn evaluate_gccs_lazy_into(
                     Some(m) => session.evaluate_gcc_metered(gcc, usage, m)?,
                     None => session.evaluate_gcc(gcc, usage)?,
                 };
-                cache.insert(key, computed);
+                let base = chain_taints.get_or_insert_with(|| {
+                    let mut tags: Vec<Digest> = Vec::with_capacity(chain.len() + 1);
+                    if let Some(root) = chain.last() {
+                        tags.push(root.fingerprint());
+                    }
+                    for issuer in chain.iter().skip(1) {
+                        tags.push(issuer.public_key().fingerprint());
+                    }
+                    tags
+                });
+                let mut tags = base.clone();
+                tags.push(gcc.target());
+                cache.insert_tainted(key, computed, &tags);
                 computed
             }
         };

@@ -259,6 +259,20 @@ impl Validator {
         self
     }
 
+    /// Apply a feed update's blast radius to the verdict cache: evict
+    /// exactly the cached verdicts whose taint tags the set names (a
+    /// full taint — snapshot fallback — clears everything, an empty
+    /// taint evicts nothing). Returns how many verdicts were evicted;
+    /// 0 when no cache is attached. This is the ingest-side hook of
+    /// delta → taint → selective invalidation: pass
+    /// [`nrslb_rsf::Subscriber::take_taint`] here after syncing.
+    pub fn invalidate_tainted(&self, taint: &nrslb_rsf::TaintSet) -> u64 {
+        self.verdict_cache
+            .as_deref()
+            .map(|c| c.invalidate_taint(taint))
+            .unwrap_or(0)
+    }
+
     /// Share a signature-verification memo with other validators.
     /// Every validator owns a private memo by default; sharing one
     /// means a `(cert, issuer)` edge verified by any of them is a memo
@@ -616,6 +630,27 @@ impl InProcessOracle {
     /// The oracle's verdict cache (for inspection / metrics).
     pub fn cache(&self) -> &VerdictCache {
         &self.cache
+    }
+
+    /// The oracle's current store snapshot.
+    pub fn store(&self) -> &RootStore {
+        &self.store
+    }
+
+    /// Evict exactly the cached verdicts a feed update tainted; see
+    /// [`VerdictCache::invalidate_taint`]. Returns the eviction count.
+    pub fn invalidate_tainted(&self, taint: &nrslb_rsf::TaintSet) -> u64 {
+        self.cache.invalidate_taint(taint)
+    }
+
+    /// Absorb a synced subscriber state: replace the store snapshot and
+    /// invalidate only the tainted verdicts — the core of the
+    /// delta → taint → selective invalidation → re-derivation flow.
+    /// Untainted verdicts survive and keep serving warm. Returns the
+    /// eviction count.
+    pub fn absorb_update(&mut self, store: RootStore, taint: &nrslb_rsf::TaintSet) -> u64 {
+        self.store = store;
+        self.cache.invalidate_taint(taint)
     }
 }
 

@@ -1,0 +1,203 @@
+//! Targeted taint-keyed invalidation of the verdict cache (ISSUE 8): a
+//! delta touching root R must evict exactly the cached verdicts whose
+//! taint set includes R — asserted as exact survivor/evictee sets
+//! across shards — an empty taint must evict nothing, and a full taint
+//! (the snapshot-fallback case) must clear everything through the same
+//! code path. An end-to-end flow then drives delta → taint →
+//! selective invalidation → re-derivation through a real root store
+//! and the in-process oracle.
+
+use nrslb_core::validate::{GccOracle, InProcessOracle};
+use nrslb_core::{Usage, VerdictCache, VerdictKey};
+use nrslb_crypto::sha256::Digest;
+use nrslb_rootstore::{Gcc, GccMetadata, RootStore};
+use nrslb_rsf::{Delta, TaintSet};
+use nrslb_x509::testutil::simple_chain;
+
+fn d(n: u8) -> Digest {
+    Digest([n; 32])
+}
+
+fn key(n: u8) -> VerdictKey {
+    VerdictKey {
+        chain: d(n),
+        gcc: d(n.wrapping_add(100)),
+        usage: Usage::Tls,
+    }
+}
+
+/// The exactness core: 32 verdicts spread across 8 shards, each tagged
+/// with one of four roots; invalidating one root's taint evicts that
+/// root's verdicts and only those.
+#[test]
+fn taint_evicts_exact_dependents_across_shards() {
+    let cache = VerdictCache::with_shards(256, 8);
+    let roots = [d(1), d(2), d(3), d(4)];
+    for n in 0..32u8 {
+        let root = roots[(n % 4) as usize];
+        cache.insert_tainted(key(n), n % 2 == 0, &[root]);
+    }
+    assert_eq!(cache.len(), 32);
+
+    let mut taint = TaintSet::empty();
+    taint.taint_root(d(2));
+    let evicted = cache.invalidate_taint(&taint);
+    assert_eq!(evicted, 8, "exactly the 8 verdicts tagged with root 2");
+
+    for n in 0..32u8 {
+        let expect_evicted = n % 4 == 1; // tagged with roots[1] = d(2)
+        match cache.get(&key(n)) {
+            None => assert!(expect_evicted, "verdict {n} wrongly evicted"),
+            Some(v) => {
+                assert!(!expect_evicted, "verdict {n} wrongly survived");
+                assert_eq!(v, n % 2 == 0, "surviving verdict {n} corrupted");
+            }
+        }
+    }
+    assert_eq!(cache.len(), 24);
+
+    // Re-invalidating the same root finds nothing left.
+    assert_eq!(cache.invalidate_taint(&taint), 0);
+}
+
+#[test]
+fn empty_taint_evicts_nothing() {
+    let cache = VerdictCache::with_shards(64, 8);
+    for n in 0..16u8 {
+        cache.insert_tainted(key(n), true, &[d(1)]);
+    }
+    assert_eq!(cache.invalidate_taint(&TaintSet::empty()), 0);
+    assert_eq!(cache.len(), 16);
+    for n in 0..16u8 {
+        assert_eq!(cache.get(&key(n)), Some(true));
+    }
+}
+
+/// Snapshot fallback arrives as full taint and flows through the same
+/// `invalidate_taint` entry point — there is no separate wholesale
+/// clear API.
+#[test]
+fn full_taint_clears_everything_via_the_shared_path() {
+    let cache = VerdictCache::with_shards(64, 8);
+    for n in 0..16u8 {
+        cache.insert_tainted(key(n), true, &[d((n % 3) + 1)]);
+    }
+    assert_eq!(cache.invalidate_taint(&TaintSet::full()), 16);
+    assert_eq!(cache.len(), 0);
+    for n in 0..16u8 {
+        assert_eq!(cache.get(&key(n)), None);
+    }
+    // The index was cleared with the entries: a later precise
+    // invalidation neither finds stale registrations nor panics.
+    let mut taint = TaintSet::empty();
+    taint.taint_root(d(1));
+    assert_eq!(cache.invalidate_taint(&taint), 0);
+}
+
+/// Every entry is implicitly tainted by its GCC source hash: plain
+/// `insert` (no explicit tags) is still evictable by policy identity.
+#[test]
+fn plain_inserts_are_tainted_by_their_gcc_source() {
+    let cache = VerdictCache::with_shards(64, 8);
+    cache.insert(key(1), true);
+    cache.insert(key(2), false);
+    let mut taint = TaintSet::empty();
+    taint.taint_gcc_source(key(1).gcc);
+    assert_eq!(cache.invalidate_taint(&taint), 1);
+    assert_eq!(cache.get(&key(1)), None);
+    assert_eq!(cache.get(&key(2)), Some(false));
+}
+
+/// LRU evictions must unregister from the taint index: a key pushed
+/// out by capacity pressure is not double-counted by invalidation.
+#[test]
+fn lru_evictions_clean_the_taint_index() {
+    let cache = VerdictCache::with_shards(2, 1); // tiny single-shard LRU
+    cache.insert_tainted(key(1), true, &[d(9)]);
+    cache.insert_tainted(key(2), true, &[d(9)]);
+    cache.insert_tainted(key(3), true, &[d(9)]); // evicts key(1)
+    assert_eq!(cache.len(), 2);
+    let mut taint = TaintSet::empty();
+    taint.taint_root(d(9));
+    assert_eq!(
+        cache.invalidate_taint(&taint),
+        2,
+        "only the entries actually cached count as evicted"
+    );
+}
+
+/// End to end: two roots with GCCs, two warm chains; a feed delta
+/// distrusting root A invalidates A's verdicts only, so B's chain
+/// still serves from the cache while A's re-derives.
+#[test]
+fn delta_taint_invalidates_only_touched_roots_verdicts() {
+    let pki_a = simple_chain("taint-e2e-a.example");
+    let pki_b = simple_chain("taint-e2e-b.example");
+
+    let mut store = RootStore::new("e2e");
+    // Distinct GCC sources per root: content-identical sources share a
+    // source hash and would (correctly) share invalidation fate, which
+    // this test's exact-count assertions must not conflate.
+    for (pki, tag) in [(&pki_a, "a"), (&pki_b, "b")] {
+        store.add_trusted(pki.root.clone()).unwrap();
+        let src = format!("valid(Chain, _) :- leaf(Chain, _).\nowner(\"{tag}\").");
+        let gcc = Gcc::parse(
+            "e2e-policy",
+            pki.root.fingerprint(),
+            &src,
+            GccMetadata::default(),
+        )
+        .unwrap();
+        store.attach_gcc(gcc).unwrap();
+    }
+
+    let mut oracle = InProcessOracle::new(store.clone());
+    let chain_a = [
+        pki_a.leaf.clone(),
+        pki_a.intermediate.clone(),
+        pki_a.root.clone(),
+    ];
+    let chain_b = [
+        pki_b.leaf.clone(),
+        pki_b.intermediate.clone(),
+        pki_b.root.clone(),
+    ];
+    // Cold, then warm: both chains cached.
+    for chain in [&chain_a, &chain_b] {
+        assert!(oracle.evaluate(chain, Usage::Tls).unwrap()[0].accepted);
+        assert!(oracle.evaluate(chain, Usage::Tls).unwrap()[0].accepted);
+    }
+    assert_eq!(oracle.cache().len(), 2);
+    assert_eq!(oracle.cache().hits(), 2);
+
+    // Feed delta: replace root A's GCC (a policy revision). A stays
+    // trusted, but its record — and therefore its cached verdict — is
+    // stale.
+    let mut next = store.clone();
+    let old_a = next.gccs_for(&pki_a.root.fingerprint())[0].clone();
+    next.detach_gcc(&pki_a.root.fingerprint(), &old_a.source_hash());
+    let revised = Gcc::parse(
+        "e2e-policy",
+        pki_a.root.fingerprint(),
+        "valid(Chain, _) :- leaf(Chain, _).\nowner(\"a\").\nrevision(\"2\").",
+        GccMetadata::default(),
+    )
+    .unwrap();
+    next.attach_gcc(revised).unwrap();
+    let delta = Delta::between(&store, &next, 1, 2, 10);
+    let taint = TaintSet::of_delta(&delta, &store);
+    assert!(!taint.is_full());
+
+    let evicted = oracle.absorb_update(next, &taint);
+    assert_eq!(evicted, 1, "exactly root A's verdict evicted");
+    assert_eq!(oracle.cache().len(), 1);
+
+    // B still serves warm (hit count advances); A re-derives (a miss).
+    let hits_before = oracle.cache().hits();
+    let misses_before = oracle.cache().misses();
+    assert!(oracle.evaluate(&chain_b, Usage::Tls).unwrap()[0].accepted);
+    assert_eq!(oracle.cache().hits(), hits_before + 1);
+    assert!(oracle.evaluate(&chain_a, Usage::Tls).unwrap()[0].accepted);
+    assert_eq!(oracle.cache().misses(), misses_before + 1);
+    assert_eq!(oracle.cache().len(), 2, "A's verdict re-cached");
+}

@@ -27,28 +27,28 @@ use std::sync::Arc;
 
 /// A compiled term: an interned constant or a dense variable slot.
 #[derive(Clone, Copy, Debug)]
-enum CTerm {
+pub(crate) enum CTerm {
     Const(IVal),
     Var(u16),
 }
 
 /// A compiled literal: interned predicate plus compiled argument terms.
 #[derive(Clone, Debug)]
-struct CLit {
-    pred: Sym,
-    args: Vec<CTerm>,
+pub(crate) struct CLit {
+    pub(crate) pred: Sym,
+    pub(crate) args: Vec<CTerm>,
 }
 
 /// A compiled arithmetic expression.
 #[derive(Clone, Debug)]
-enum CExpr {
+pub(crate) enum CExpr {
     Term(CTerm),
     Bin(Box<CExpr>, ArithOp, Box<CExpr>),
 }
 
 /// One compiled body item.
 #[derive(Clone, Debug)]
-enum CItem {
+pub(crate) enum CItem {
     Pos(CLit),
     Neg(CLit),
     Cmp(CExpr, CmpOp, CExpr),
@@ -57,16 +57,16 @@ enum CItem {
 
 /// A rule lowered to the interned IR.
 #[derive(Clone, Debug)]
-struct CRule {
-    head_pred: Sym,
-    head_args: Vec<CTerm>,
-    body: Vec<CItem>,
+pub(crate) struct CRule {
+    pub(crate) head_pred: Sym,
+    pub(crate) head_args: Vec<CTerm>,
+    pub(crate) body: Vec<CItem>,
     /// Number of distinct variables (the env slot count).
-    var_count: usize,
+    pub(crate) var_count: usize,
 }
 
 impl CRule {
-    fn is_fact(&self) -> bool {
+    pub(crate) fn is_fact(&self) -> bool {
         self.body.is_empty()
     }
 }
@@ -109,12 +109,12 @@ impl EvalScratch {
 pub struct CompiledProgram {
     program: Program,
     /// Rules lowered to the interned IR, aligned with `program.rules`.
-    crules: Vec<CRule>,
+    pub(crate) crules: Vec<CRule>,
     /// Non-fact rule indices grouped by stratum, in evaluation order.
-    strata: Vec<Vec<usize>>,
+    pub(crate) strata: Vec<Vec<usize>>,
     /// Predicate symbols derived in each stratum (drives semi-naive
     /// deltas).
-    derived_syms: Vec<HashSet<Sym, FxBuild>>,
+    pub(crate) derived_syms: Vec<HashSet<Sym, FxBuild>>,
 }
 
 impl CompiledProgram {
@@ -447,7 +447,7 @@ impl CompiledProgram {
     }
 }
 
-fn check_budget(stats: &EvalStats, budget: usize) -> Result<(), DatalogError> {
+pub(crate) fn check_budget(stats: &EvalStats, budget: usize) -> Result<(), DatalogError> {
     if stats.derived > budget {
         Err(DatalogError::BudgetExceeded { budget })
     } else {
@@ -728,7 +728,7 @@ fn try_tuple(
     Ok(())
 }
 
-fn eval_cexpr(expr: &CExpr, env: &[Option<IVal>]) -> Result<IVal, DatalogError> {
+pub(crate) fn eval_cexpr(expr: &CExpr, env: &[Option<IVal>]) -> Result<IVal, DatalogError> {
     match expr {
         CExpr::Term(CTerm::Const(v)) => Ok(*v),
         CExpr::Term(CTerm::Var(i)) => Ok(env[*i as usize].expect("safety: expr vars bound")),
@@ -756,7 +756,7 @@ fn eval_cexpr(expr: &CExpr, env: &[Option<IVal>]) -> Result<IVal, DatalogError> 
     }
 }
 
-fn compare(l: IVal, op: CmpOp, r: IVal) -> Result<bool, DatalogError> {
+pub(crate) fn compare(l: IVal, op: CmpOp, r: IVal) -> Result<bool, DatalogError> {
     match op {
         CmpOp::Eq => Ok(l == r),
         CmpOp::Ne => Ok(l != r),

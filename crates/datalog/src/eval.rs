@@ -56,6 +56,57 @@ impl Relation {
         self.seen.contains(tuple)
     }
 
+    /// Remove a tuple if present; returns `true` when it was stored.
+    ///
+    /// The backing vec removes by swap, so the displaced tuple's
+    /// first-argument index entry is repaired in place — the index stays
+    /// exact under interleaved inserts and removes (the incremental
+    /// maintenance workload, [`crate::incremental`]).
+    fn remove(&mut self, tuple: &[IVal]) -> bool {
+        if !self.seen.remove(tuple) {
+            return false;
+        }
+        let Relation {
+            tuples, first_arg, ..
+        } = self;
+        let pos = match tuple.first() {
+            Some(first) => {
+                let hits = first_arg
+                    .get_mut(first)
+                    .expect("index tracks stored tuples");
+                let slot = hits
+                    .iter()
+                    .position(|&i| tuples[i as usize].as_slice() == tuple)
+                    .expect("index tracks stored tuples");
+                let pos = hits[slot] as usize;
+                hits.swap_remove(slot);
+                pos
+            }
+            // Arity-0 relations hold at most one tuple.
+            None => tuples
+                .iter()
+                .position(|t| t.as_slice() == tuple)
+                .expect("seen tracks stored tuples"),
+        };
+        let last = tuples.len() - 1;
+        tuples.swap_remove(pos);
+        if pos != last {
+            // The former last tuple now lives at `pos`; repair its
+            // index entry.
+            if let Some(first) = tuples[pos].as_slice().first().copied() {
+                let hits = first_arg
+                    .get_mut(&first)
+                    .expect("index tracks stored tuples");
+                let slot = hits
+                    .iter()
+                    .position(|&i| i as usize == last)
+                    .expect("index tracks stored tuples");
+                hits[slot] = pos as u32;
+            }
+        }
+        true
+    }
+
     /// Empty the relation, retaining every allocation (tuple vec, seen
     /// set, index vecs) for the next run.
     fn clear_retaining(&mut self) {
@@ -91,6 +142,33 @@ impl Database {
     /// is the zero-conversion path fact emitters use.
     pub fn add_ifact(&mut self, pred: Sym, tuple: ITuple) -> bool {
         self.relations.entry(pred).or_default().insert(tuple)
+    }
+
+    /// Remove an already-interned fact; returns `true` if it was
+    /// stored. This is the EDB-delta path of incremental maintenance
+    /// ([`crate::incremental`]).
+    pub fn remove_ifact(&mut self, pred: Sym, tuple: &[IVal]) -> bool {
+        self.relations
+            .get_mut(&pred)
+            .map(|r| r.remove(tuple))
+            .unwrap_or(false)
+    }
+
+    /// Remove a ground fact; returns `true` if it was stored. Uses the
+    /// non-inserting symbol lookup, so removing a never-seen fact cannot
+    /// grow the symbol table.
+    pub fn remove_fact(&mut self, pred: impl AsRef<str>, tuple: &[Val]) -> bool {
+        let Some(pred) = crate::intern::lookup(pred.as_ref()) else {
+            return false;
+        };
+        let mut interned = ITuple::new();
+        for v in tuple {
+            match IVal::lookup_val(v) {
+                Some(iv) => interned.push(iv),
+                None => return false,
+            }
+        }
+        self.remove_ifact(pred, interned.as_slice())
     }
 
     /// Is `tuple` present in relation `pred`?
@@ -133,6 +211,19 @@ impl Database {
             .get(&pred)
             .map(|r| r.tuples.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// Tuples of `pred` whose first argument is `first`, served from the
+    /// first-argument index (evaluator internals).
+    pub(crate) fn ituples_first(&self, pred: Sym, first: IVal) -> impl Iterator<Item = &ITuple> {
+        self.relations.get(&pred).into_iter().flat_map(move |r| {
+            r.first_arg
+                .get(&first)
+                .map(|hits| hits.as_slice())
+                .unwrap_or(&[])
+                .iter()
+                .map(|&i| &r.tuples[i as usize])
+        })
     }
 
     /// The relation named `pred`, if present (evaluator internals).
@@ -243,6 +334,23 @@ impl Database {
                 }
                 out.push_str(").\n");
             }
+        }
+        out
+    }
+
+    /// [`Database::to_fact_text`] with the fact lines fully sorted: a
+    /// canonical form independent of insertion order, so two databases
+    /// holding the same facts render byte-identically. This is the
+    /// comparison form the incremental-vs-scratch differential oracle
+    /// and proptests use.
+    pub fn to_sorted_fact_text(&self) -> String {
+        let text = self.to_fact_text();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.sort_unstable();
+        let mut out = String::with_capacity(text.len());
+        for line in lines {
+            out.push_str(line);
+            out.push('\n');
         }
         out
     }

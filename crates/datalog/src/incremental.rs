@@ -1,0 +1,1440 @@
+//! Incremental maintenance of derived facts under EDB deltas.
+//!
+//! A root-store feed publishes small deltas, but until this module the
+//! only way to refresh derived state was from scratch: throw the overlay
+//! away and re-run the full semi-naive fixpoint. Here a
+//! [`CompiledProgram`] maintains its derived tuples *incrementally*:
+//! [`CompiledProgram::apply_delta`] takes the EDB facts a delta inserts
+//! and removes, propagates the change through the strata, and returns
+//! exactly which visible tuples appeared and disappeared.
+//!
+//! Two classic maintenance algorithms are used, chosen per stratum:
+//!
+//! * **Counting** — for strata whose rules never reference a predicate
+//!   derived in the *same* stratum (the common case: GCC policies are
+//!   small and non-recursive). Each derived tuple carries the number of
+//!   rule instantiations currently deriving it; a delta adjusts counts
+//!   via the telescoping rule (body position `i` ranges over the signed
+//!   delta, positions before `i` read the *new* state, positions after
+//!   read the *old* state) and a tuple is visible exactly while its
+//!   count is positive or it has EDB support. Deletion is as cheap as
+//!   insertion and never re-derives anything.
+//! * **DRed** (delete-and-rederive) — the fallback for strata with
+//!   intra-stratum (e.g. recursive) references, where counts diverge
+//!   (a cyclic derivation can support itself). Deletions are
+//!   over-approximated over the old state, candidates are rescued by
+//!   re-derivation over the new state, then insertions run semi-naive.
+//!   Stratification guarantees negation only ever references strictly
+//!   lower strata, so intra-stratum propagation is purely positive.
+//!
+//! [`MaintenancePolicy::ForceDRed`] routes *every* stratum through DRed
+//! so differential tests can exercise both code paths on the same
+//! programs. The from-scratch evaluator
+//! ([`CompiledProgram::evaluate_layered_scratch`]) remains the reference
+//! and ablation arm; the delta-vs-scratch proptests and the simulator's
+//! differential oracle hold the two byte-identical.
+//!
+//! ## Database contract
+//!
+//! The maintained [`LayeredDatabase`] splits exactly as in per-run
+//! evaluation: the **base** holds the EDB, the **overlay** holds derived
+//! tuples not present in the base (the overlay invariant
+//! `overlay ∩ base = ∅` is preserved across deltas). The first
+//! [`CompiledProgram::apply_delta`] call on a fresh
+//! [`IncrementalState`] rebuilds the overlay from scratch (establishing
+//! the baseline — those tuples are *not* reported as changes), then
+//! applies the delta incrementally. One state tracks one
+//! `(program, database)` pair; feeding it a different database or
+//! program produces garbage, and [`IncrementalState::reset`] forces
+//! re-initialization after out-of-band edits.
+
+use crate::compile::{
+    check_budget, compare, eval_cexpr, CItem, CLit, CRule, CTerm, CompiledProgram,
+};
+use crate::eval::{EvalStats, DEFAULT_BUDGET};
+use crate::intern::{intern, FxBuild, ITuple, ITupleSet, IVal, Sym, SymMap};
+use crate::layered::LayeredDatabase;
+use crate::{DatalogError, Val};
+use std::collections::HashMap;
+
+/// How strata are assigned to maintenance algorithms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MaintenancePolicy {
+    /// Counting for strata without intra-stratum references, DRed for
+    /// the rest (the production default).
+    #[default]
+    Auto,
+    /// Delete-and-rederive everywhere — the differential-testing arm
+    /// that exercises the DRed path on programs counting would handle.
+    ForceDRed,
+}
+
+/// Persistent bookkeeping for incrementally maintaining one
+/// `(program, database)` pair across deltas.
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalState {
+    policy: MaintenancePolicy,
+    ready: bool,
+    /// Per stratum: `true` = counting, `false` = DRed.
+    counting: Vec<bool>,
+    /// Which stratum derives each IDB predicate.
+    stratum_of: SymMap<usize>,
+    /// Signed derivation counts for tuples of counting strata.
+    counts: SymMap<HashMap<ITuple, i64, FxBuild>>,
+}
+
+impl IncrementalState {
+    /// A fresh state under `policy`; the first
+    /// [`CompiledProgram::apply_delta`] call initializes it against the
+    /// program and database it is handed.
+    pub fn new(policy: MaintenancePolicy) -> IncrementalState {
+        IncrementalState {
+            policy,
+            ..IncrementalState::default()
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> MaintenancePolicy {
+        self.policy
+    }
+
+    /// Has the baseline evaluation run yet?
+    pub fn is_ready(&self) -> bool {
+        self.ready
+    }
+
+    /// Per-stratum algorithm assignment (`true` = counting), empty until
+    /// initialized. Exposed so tests can assert which path a program
+    /// exercises.
+    pub fn counting_strata(&self) -> &[bool] {
+        &self.counting
+    }
+
+    /// Drop all derived bookkeeping; the next
+    /// [`CompiledProgram::apply_delta`] re-runs the baseline evaluation.
+    pub fn reset(&mut self) {
+        self.ready = false;
+        self.counting.clear();
+        self.stratum_of.clear();
+        self.counts.clear();
+    }
+}
+
+/// What one [`CompiledProgram::apply_delta`] call changed: every tuple
+/// that became visible or stopped being visible in the combined
+/// (base + overlay) view — derived tuples plus the effective EDB
+/// changes themselves. Order is unspecified (compare as sets).
+#[derive(Clone, Debug, Default)]
+pub struct DeltaOutcome {
+    /// Tuples now visible that were not before.
+    pub added: Vec<(Sym, ITuple)>,
+    /// Tuples no longer visible.
+    pub removed: Vec<(Sym, ITuple)>,
+    /// Work counters (shared shape with full evaluation).
+    pub stats: EvalStats,
+}
+
+impl DeltaOutcome {
+    /// Did the delta change anything visible?
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Intern a `(predicate, tuple)` pair for [`CompiledProgram::apply_delta`]
+/// — the test/bench convenience mirroring [`Database::add_fact`](crate::Database::add_fact).
+pub fn delta_fact(pred: impl AsRef<str>, tuple: &[Val]) -> (Sym, ITuple) {
+    (
+        intern(pred.as_ref()),
+        tuple.iter().map(IVal::from_val).collect(),
+    )
+}
+
+impl CompiledProgram {
+    /// Apply an EDB delta — `added` inserted into and `removed` deleted
+    /// from the base layer — and incrementally maintain the derived
+    /// overlay, with the default derived-tuple budget. Returns the
+    /// visible changes. See the module docs for the database contract.
+    ///
+    /// Set semantics: inserting a present tuple or removing an absent
+    /// one is a no-op, and a tuple named in both lists stays present
+    /// (addition wins).
+    pub fn apply_delta(
+        &self,
+        db: &mut LayeredDatabase,
+        state: &mut IncrementalState,
+        added: &[(Sym, ITuple)],
+        removed: &[(Sym, ITuple)],
+    ) -> Result<DeltaOutcome, DatalogError> {
+        self.apply_delta_metered(db, state, added, removed, DEFAULT_BUDGET)
+    }
+
+    /// [`CompiledProgram::apply_delta`] with an explicit budget.
+    pub fn apply_delta_metered(
+        &self,
+        db: &mut LayeredDatabase,
+        state: &mut IncrementalState,
+        added: &[(Sym, ITuple)],
+        removed: &[(Sym, ITuple)],
+        budget: usize,
+    ) -> Result<DeltaOutcome, DatalogError> {
+        let strata_count = self.strata.len();
+        let mut m = Maintainer {
+            compiled: self,
+            db,
+            state,
+            dplus: SymMap::default(),
+            dminus: SymMap::default(),
+            dred_seed_add: vec![Vec::new(); strata_count],
+            dred_seed_rem: vec![Vec::new(); strata_count],
+            stats: EvalStats::default(),
+            budget,
+        };
+        m.ensure_ready()?;
+        m.apply_edb(added, removed);
+        for s in 0..strata_count {
+            if m.state.counting[s] {
+                m.process_counting(s)?;
+            } else {
+                m.process_dred(s)?;
+            }
+        }
+        Ok(m.finish())
+    }
+}
+
+/// Which state a database read observes.
+#[derive(Clone, Copy, Debug)]
+enum View {
+    /// The current layered view.
+    New,
+    /// The pre-delta view, reconstructed as
+    /// `(new \ Δ⁺) ∪ Δ⁻` from the recorded visible changes.
+    Old,
+}
+
+/// How body literals map to views during one rule evaluation.
+#[derive(Clone, Copy, Debug)]
+enum Split {
+    /// Every literal reads the current state (insertion / re-derivation
+    /// / baseline evaluation).
+    AllNew,
+    /// Every literal reads the pre-delta state (over-deletion).
+    AllOld,
+    /// Literals before the pinned position read the new state, literals
+    /// after read the old state — the telescoping split of the counting
+    /// algorithm.
+    AtPin,
+}
+
+/// Immutable evaluation context for one rule solve.
+struct Ctx<'a> {
+    db: &'a LayeredDatabase,
+    dplus: &'a SymMap<ITupleSet>,
+    dminus: &'a SymMap<ITupleSet>,
+    split: Split,
+    /// Body item index pinned to a single changed tuple, if any.
+    pin: Option<(usize, &'a [IVal])>,
+    budget: usize,
+}
+
+impl Ctx<'_> {
+    fn view_at(&self, idx: usize) -> View {
+        match self.split {
+            Split::AllNew => View::New,
+            Split::AllOld => View::Old,
+            Split::AtPin => match self.pin {
+                Some((p, _)) if idx > p => View::Old,
+                _ => View::New,
+            },
+        }
+    }
+
+    fn member(&self, view: View, pred: Sym, tuple: &[IVal]) -> bool {
+        match view {
+            View::New => self.db.icontains(pred, tuple),
+            View::Old => {
+                if set_contains(self.dplus.get(&pred), tuple) {
+                    false
+                } else if set_contains(self.dminus.get(&pred), tuple) {
+                    true
+                } else {
+                    self.db.icontains(pred, tuple)
+                }
+            }
+        }
+    }
+
+    /// All tuples of `pred` under `view`, materialized (the incremental
+    /// solver trades the per-run index for view flexibility; these
+    /// relations are feed-delta sized, not chain-fact sized).
+    fn tuples_under(&self, view: View, pred: Sym) -> Vec<ITuple> {
+        let stored = self
+            .db
+            .base()
+            .ituples(pred)
+            .iter()
+            .chain(self.db.overlay().ituples(pred));
+        match view {
+            View::New => stored.cloned().collect(),
+            View::Old => {
+                let plus = self.dplus.get(&pred);
+                let mut out: Vec<ITuple> = stored
+                    .filter(|t| !set_contains(plus, t.as_slice()))
+                    .cloned()
+                    .collect();
+                if let Some(minus) = self.dminus.get(&pred) {
+                    out.extend(minus.iter().cloned());
+                }
+                out
+            }
+        }
+    }
+
+    /// Tuples of `pred` under `view` whose first argument is `first`,
+    /// served from the relations' first-argument index — the join fast
+    /// path when unification has already bound the leading position.
+    fn tuples_under_first(&self, view: View, pred: Sym, first: IVal) -> Vec<ITuple> {
+        let stored = self
+            .db
+            .base()
+            .ituples_first(pred, first)
+            .chain(self.db.overlay().ituples_first(pred, first));
+        match view {
+            View::New => stored.cloned().collect(),
+            View::Old => {
+                let plus = self.dplus.get(&pred);
+                let mut out: Vec<ITuple> = stored
+                    .filter(|t| !set_contains(plus, t.as_slice()))
+                    .cloned()
+                    .collect();
+                if let Some(minus) = self.dminus.get(&pred) {
+                    out.extend(
+                        minus
+                            .iter()
+                            .filter(|t| t.as_slice().first() == Some(&first))
+                            .cloned(),
+                    );
+                }
+                out
+            }
+        }
+    }
+}
+
+fn set_contains(set: Option<&ITupleSet>, tuple: &[IVal]) -> bool {
+    set.map(|s| s.contains(tuple)).unwrap_or(false)
+}
+
+fn resolve_term(term: &CTerm, env: &[Option<IVal>]) -> IVal {
+    match term {
+        CTerm::Const(v) => *v,
+        CTerm::Var(i) => env[*i as usize].expect("safety: vars bound"),
+    }
+}
+
+/// Recursive backtracking solve of `rule.body[idx..]` under the context's
+/// view split, pushing every ground head instantiation onto `out`
+/// (duplicates included — the counting algorithm needs multiplicity).
+fn solve(
+    ctx: &Ctx<'_>,
+    rule: &CRule,
+    idx: usize,
+    env: &mut Vec<Option<IVal>>,
+    stats: &mut EvalStats,
+    out: &mut Vec<ITuple>,
+) -> Result<(), DatalogError> {
+    if idx == rule.body.len() {
+        let mut head = ITuple::new();
+        for arg in &rule.head_args {
+            head.push(resolve_term(arg, env));
+        }
+        out.push(head);
+        stats.derived += 1;
+        return check_budget(stats, ctx.budget);
+    }
+    stats.rule_applications += 1;
+    match &rule.body[idx] {
+        CItem::Pos(lit) => match ctx.pin {
+            Some((p, tuple)) if p == idx => {
+                try_tuple(ctx, rule, idx, lit, tuple, env, stats, out)?;
+            }
+            _ => {
+                let view = ctx.view_at(idx);
+                // Ground fast path: every argument already resolves, so
+                // the literal is a membership test (at most one match —
+                // identical to what the scan would visit).
+                let mut ground = ITuple::new();
+                let mut all_bound = true;
+                for arg in &lit.args {
+                    match arg {
+                        CTerm::Const(v) => ground.push(*v),
+                        CTerm::Var(i) => match env[*i as usize] {
+                            Some(v) => ground.push(v),
+                            None => {
+                                all_bound = false;
+                                break;
+                            }
+                        },
+                    }
+                }
+                if all_bound {
+                    if ctx.member(view, lit.pred, ground.as_slice()) {
+                        solve(ctx, rule, idx + 1, env, stats, out)?;
+                    }
+                } else if let Some(first) = lit.args.first().and_then(|arg| match arg {
+                    CTerm::Const(v) => Some(*v),
+                    CTerm::Var(i) => env[*i as usize],
+                }) {
+                    // Leading argument bound: join through the first-arg
+                    // index instead of scanning the relation.
+                    for tuple in ctx.tuples_under_first(view, lit.pred, first) {
+                        try_tuple(ctx, rule, idx, lit, tuple.as_slice(), env, stats, out)?;
+                    }
+                } else {
+                    for tuple in ctx.tuples_under(view, lit.pred) {
+                        try_tuple(ctx, rule, idx, lit, tuple.as_slice(), env, stats, out)?;
+                    }
+                }
+            }
+        },
+        CItem::Neg(lit) => match ctx.pin {
+            // A pinned negated literal: the membership flip *is* the
+            // trigger, so unify (binding any free variables) and move
+            // on — the caller accounts for the flip's direction.
+            Some((p, tuple)) if p == idx => {
+                try_tuple(ctx, rule, idx, lit, tuple, env, stats, out)?;
+            }
+            _ => {
+                // Safety guarantees all vars bound; ground the literal.
+                let mut tuple = ITuple::new();
+                for arg in &lit.args {
+                    tuple.push(resolve_term(arg, env));
+                }
+                if !ctx.member(ctx.view_at(idx), lit.pred, tuple.as_slice()) {
+                    solve(ctx, rule, idx + 1, env, stats, out)?;
+                }
+            }
+        },
+        CItem::Cmp(l, op, r) => {
+            let lv = eval_cexpr(l, env)?;
+            let rv = eval_cexpr(r, env)?;
+            if compare(lv, *op, rv)? {
+                solve(ctx, rule, idx + 1, env, stats, out)?;
+            }
+        }
+        CItem::Assign(v, e) => {
+            let val = eval_cexpr(e, env)?;
+            match env[*v as usize] {
+                // Re-assignment acts as an equality check.
+                Some(bound) => {
+                    if bound == val {
+                        solve(ctx, rule, idx + 1, env, stats, out)?;
+                    }
+                }
+                None => {
+                    env[*v as usize] = Some(val);
+                    solve(ctx, rule, idx + 1, env, stats, out)?;
+                    env[*v as usize] = None;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Unify literal `idx` against one concrete tuple and recurse; newly
+/// bound argument positions are tracked in a bitmask (arity ≤ 128,
+/// enforced at compile time) so backtracking never allocates.
+#[allow(clippy::too_many_arguments)]
+fn try_tuple(
+    ctx: &Ctx<'_>,
+    rule: &CRule,
+    idx: usize,
+    lit: &CLit,
+    tuple: &[IVal],
+    env: &mut Vec<Option<IVal>>,
+    stats: &mut EvalStats,
+    out: &mut Vec<ITuple>,
+) -> Result<(), DatalogError> {
+    if lit.args.len() != tuple.len() {
+        return Ok(());
+    }
+    let mut newly: u128 = 0;
+    let mut ok = true;
+    for (pos, (arg, val)) in lit.args.iter().zip(tuple).enumerate() {
+        match arg {
+            CTerm::Const(c) => {
+                if c != val {
+                    ok = false;
+                    break;
+                }
+            }
+            CTerm::Var(i) => match env[*i as usize] {
+                Some(bound) => {
+                    if bound != *val {
+                        ok = false;
+                        break;
+                    }
+                }
+                None => {
+                    env[*i as usize] = Some(*val);
+                    newly |= 1 << pos;
+                }
+            },
+        }
+    }
+    let result = if ok {
+        solve(ctx, rule, idx + 1, env, stats, out)
+    } else {
+        Ok(())
+    };
+    for (pos, arg) in lit.args.iter().enumerate() {
+        if newly & (1 << pos) != 0 {
+            if let CTerm::Var(i) = arg {
+                env[*i as usize] = None;
+            }
+        }
+    }
+    result
+}
+
+/// How a predicate is maintained.
+enum Class {
+    /// Pure EDB: never derived, changes are visible directly.
+    Edb,
+    /// Derived in a counting stratum.
+    Counting,
+    /// Derived in a DRed stratum (carries the stratum index).
+    DRed(usize),
+}
+
+/// The working set of one `apply_delta` call.
+struct Maintainer<'a> {
+    compiled: &'a CompiledProgram,
+    db: &'a mut LayeredDatabase,
+    state: &'a mut IncrementalState,
+    /// Visible additions recorded so far this delta, per predicate.
+    dplus: SymMap<ITupleSet>,
+    /// Visible removals recorded so far this delta, per predicate.
+    dminus: SymMap<ITupleSet>,
+    /// EDB changes to DRed-stratum predicates, deferred into that
+    /// stratum's own phases.
+    dred_seed_add: Vec<Vec<(Sym, ITuple)>>,
+    dred_seed_rem: Vec<Vec<(Sym, ITuple)>>,
+    stats: EvalStats,
+    budget: usize,
+}
+
+impl Maintainer<'_> {
+    /// Run the baseline (from-scratch, counting-aware) evaluation if the
+    /// state has not been initialized yet.
+    fn ensure_ready(&mut self) -> Result<(), DatalogError> {
+        if self.state.ready {
+            return Ok(());
+        }
+        let compiled = self.compiled;
+        let strata_count = compiled.strata.len();
+        // Classify strata: counting unless some rule references a
+        // predicate derived in its own stratum (or the policy forces
+        // DRed everywhere).
+        self.state.counting = (0..strata_count)
+            .map(|s| {
+                if matches!(self.state.policy, MaintenancePolicy::ForceDRed) {
+                    return false;
+                }
+                !compiled.strata[s].iter().any(|&ri| {
+                    compiled.crules[ri].body.iter().any(|item| match item {
+                        CItem::Pos(l) | CItem::Neg(l) => compiled.derived_syms[s].contains(&l.pred),
+                        _ => false,
+                    })
+                })
+            })
+            .collect();
+        self.state.stratum_of.clear();
+        for (s, syms) in compiled.derived_syms.iter().enumerate() {
+            for sym in syms {
+                self.state.stratum_of.insert(*sym, s);
+            }
+        }
+        self.state.counts.clear();
+        self.db.clear_overlay_retaining();
+
+        // Fact rules grouped by their head's stratum.
+        let mut fact_heads: Vec<Vec<(Sym, ITuple)>> = vec![Vec::new(); strata_count];
+        for rule in &compiled.crules {
+            if !rule.is_fact() {
+                continue;
+            }
+            let head: ITuple = rule
+                .head_args
+                .iter()
+                .map(|a| resolve_term(a, &[]))
+                .collect();
+            let s = self.state.stratum_of[&rule.head_pred];
+            fact_heads[s].push((rule.head_pred, head));
+        }
+
+        for (s, heads) in fact_heads.iter().enumerate() {
+            for (p, h) in heads {
+                if self.state.counting[s] {
+                    *self
+                        .state
+                        .counts
+                        .entry(*p)
+                        .or_default()
+                        .entry(h.clone())
+                        .or_insert(0) += 1;
+                }
+                self.db.add_ifact(*p, h.clone());
+            }
+            if self.state.counting[s] {
+                // No intra-stratum references: a single pass computes
+                // both the fixpoint and the exact instantiation counts.
+                for &ri in &compiled.strata[s] {
+                    let rule = &compiled.crules[ri];
+                    let mut out = Vec::new();
+                    self.solve_rule(rule, None, Split::AllNew, &mut out)?;
+                    for h in out {
+                        *self
+                            .state
+                            .counts
+                            .entry(rule.head_pred)
+                            .or_default()
+                            .entry(h.clone())
+                            .or_insert(0) += 1;
+                        self.db.add_ifact(rule.head_pred, h);
+                    }
+                }
+            } else {
+                // Naive fixpoint (initialization only; steady state goes
+                // through the delta phases).
+                loop {
+                    let mut changed = false;
+                    for &ri in &compiled.strata[s] {
+                        let rule = &compiled.crules[ri];
+                        let mut out = Vec::new();
+                        self.solve_rule(rule, None, Split::AllNew, &mut out)?;
+                        for h in out {
+                            if !self.db.icontains(rule.head_pred, h.as_slice()) {
+                                self.db.add_ifact(rule.head_pred, h);
+                                changed = true;
+                            }
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                    self.stats.rounds += 1;
+                }
+            }
+        }
+        self.state.ready = true;
+        Ok(())
+    }
+
+    fn classify(&self, pred: Sym) -> Class {
+        match self.state.stratum_of.get(&pred) {
+            None => Class::Edb,
+            Some(&s) if self.state.counting[s] => Class::Counting,
+            Some(&s) => Class::DRed(s),
+        }
+    }
+
+    /// Record a tuple becoming visible, cancelling against an earlier
+    /// removal in the same delta.
+    fn record_add(&mut self, pred: Sym, tuple: ITuple) {
+        if let Some(set) = self.dminus.get_mut(&pred) {
+            if set.remove(tuple.as_slice()) {
+                return;
+            }
+        }
+        self.dplus.entry(pred).or_default().insert(tuple);
+    }
+
+    /// Record a tuple becoming invisible, cancelling against an earlier
+    /// addition in the same delta.
+    fn record_rem(&mut self, pred: Sym, tuple: ITuple) {
+        if let Some(set) = self.dplus.get_mut(&pred) {
+            if set.remove(tuple.as_slice()) {
+                return;
+            }
+        }
+        self.dminus.entry(pred).or_default().insert(tuple);
+    }
+
+    fn count_of(&self, pred: Sym, tuple: &ITuple) -> i64 {
+        self.state
+            .counts
+            .get(&pred)
+            .and_then(|m| m.get(tuple))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Normalize the request to effective set changes, apply them to the
+    /// base layer, and classify each into immediate visibility changes
+    /// (EDB / counting predicates) or deferred DRed seeds.
+    fn apply_edb(&mut self, added: &[(Sym, ITuple)], removed: &[(Sym, ITuple)]) {
+        let mut add_req: SymMap<ITupleSet> = SymMap::default();
+        for (p, t) in added {
+            add_req.entry(*p).or_default().insert(t.clone());
+        }
+        let mut eff_rem: Vec<(Sym, ITuple)> = Vec::new();
+        let mut seen: SymMap<ITupleSet> = SymMap::default();
+        for (p, t) in removed {
+            if set_contains(add_req.get(p), t.as_slice()) {
+                continue; // re-added in the same delta: net no-op
+            }
+            if !self.db.base().icontains(*p, t.as_slice()) {
+                continue; // never stored: removal is a no-op
+            }
+            if seen.entry(*p).or_default().insert(t.clone()) {
+                eff_rem.push((*p, t.clone()));
+            }
+        }
+        let mut eff_add: Vec<(Sym, ITuple)> = Vec::new();
+        seen.clear();
+        for (p, t) in added {
+            if self.db.base().icontains(*p, t.as_slice()) {
+                continue; // already stored: insertion is a no-op
+            }
+            if seen.entry(*p).or_default().insert(t.clone()) {
+                eff_add.push((*p, t.clone()));
+            }
+        }
+
+        for (p, t) in eff_rem {
+            self.db.base_mut().remove_ifact(p, t.as_slice());
+            match self.classify(p) {
+                Class::Edb => self.record_rem(p, t),
+                Class::Counting => {
+                    if self.count_of(p, &t) > 0 {
+                        // Still derivable: visibility is unchanged, but
+                        // the tuple now lives in the overlay.
+                        self.db.add_ifact(p, t);
+                    } else {
+                        self.record_rem(p, t);
+                    }
+                }
+                Class::DRed(s) => {
+                    // Tentatively invisible; the stratum's re-derivation
+                    // phase rescues it (cancelling this record) when it
+                    // is still derivable.
+                    self.record_rem(p, t.clone());
+                    self.dred_seed_rem[s].push((p, t));
+                }
+            }
+        }
+        for (p, t) in eff_add {
+            self.db.base_mut().add_ifact(p, t.clone());
+            match self.classify(p) {
+                Class::Edb => self.record_add(p, t),
+                Class::Counting => {
+                    if self.count_of(p, &t) > 0 {
+                        // Was already visible via the overlay; the base
+                        // now masks it (overlay invariant).
+                        self.db.remove_overlay_ifact(p, t.as_slice());
+                    } else {
+                        self.record_add(p, t);
+                    }
+                }
+                Class::DRed(s) => {
+                    if self.db.remove_overlay_ifact(p, t.as_slice()) {
+                        // Already derivable: visible before and after.
+                    } else {
+                        self.record_add(p, t.clone());
+                        self.dred_seed_add[s].push((p, t));
+                    }
+                }
+            }
+        }
+    }
+
+    fn solve_rule(
+        &mut self,
+        rule: &CRule,
+        pin: Option<(usize, &[IVal])>,
+        split: Split,
+        out: &mut Vec<ITuple>,
+    ) -> Result<(), DatalogError> {
+        let Maintainer {
+            db,
+            dplus,
+            dminus,
+            stats,
+            budget,
+            ..
+        } = self;
+        let ctx = Ctx {
+            db,
+            dplus,
+            dminus,
+            split,
+            pin,
+            budget: *budget,
+        };
+        let mut env: Vec<Option<IVal>> = vec![None; rule.var_count];
+        solve(&ctx, rule, 0, &mut env, stats, out)
+    }
+
+    /// Query-driven derivability: unify `rule`'s head against `tuple`
+    /// (pre-binding the shared variables) and solve the body under
+    /// `split`. Keeps DRed's rescue phase proportional to the delta's
+    /// blast radius instead of the database size.
+    fn rule_derives(
+        &mut self,
+        rule: &CRule,
+        tuple: &ITuple,
+        split: Split,
+    ) -> Result<bool, DatalogError> {
+        if rule.head_args.len() != tuple.len() {
+            return Ok(false);
+        }
+        let mut env: Vec<Option<IVal>> = vec![None; rule.var_count];
+        for (arg, val) in rule.head_args.iter().zip(tuple.as_slice().iter().copied()) {
+            match arg {
+                CTerm::Const(c) => {
+                    if *c != val {
+                        return Ok(false);
+                    }
+                }
+                CTerm::Var(i) => {
+                    let slot = &mut env[*i as usize];
+                    match slot {
+                        Some(bound) if *bound != val => return Ok(false),
+                        _ => *slot = Some(val),
+                    }
+                }
+            }
+        }
+        let Maintainer {
+            db,
+            dplus,
+            dminus,
+            stats,
+            budget,
+            ..
+        } = self;
+        let ctx = Ctx {
+            db,
+            dplus,
+            dminus,
+            split,
+            pin: None,
+            budget: *budget,
+        };
+        let mut out = Vec::new();
+        solve(&ctx, rule, 0, &mut env, stats, &mut out)?;
+        Ok(!out.is_empty())
+    }
+
+    /// The signed visible changes of `pred` so far, snapshotted for
+    /// trigger iteration.
+    fn changes_of(&self, pred: Sym) -> Vec<(ITuple, i64)> {
+        let plus = self
+            .dplus
+            .get(&pred)
+            .into_iter()
+            .flat_map(|s| s.iter().map(|t| (t.clone(), 1)));
+        let minus = self
+            .dminus
+            .get(&pred)
+            .into_iter()
+            .flat_map(|s| s.iter().map(|t| (t.clone(), -1)));
+        plus.chain(minus).collect()
+    }
+
+    /// Counting maintenance for stratum `s`: telescoping signed count
+    /// adjustments, then aggregated visibility transitions.
+    fn process_counting(&mut self, s: usize) -> Result<(), DatalogError> {
+        let compiled = self.compiled;
+        let mut pending: HashMap<(Sym, ITuple), i64, FxBuild> = HashMap::default();
+        for &ri in &compiled.strata[s] {
+            let rule = &compiled.crules[ri];
+            for (i, item) in rule.body.iter().enumerate() {
+                let (pred, lit_sign) = match item {
+                    CItem::Pos(l) => (l.pred, 1i64),
+                    CItem::Neg(l) => (l.pred, -1i64),
+                    _ => continue,
+                };
+                for (t, dir) in self.changes_of(pred) {
+                    let mut out = Vec::new();
+                    self.solve_rule(rule, Some((i, t.as_slice())), Split::AtPin, &mut out)?;
+                    for h in out {
+                        *pending.entry((rule.head_pred, h)).or_insert(0) += lit_sign * dir;
+                    }
+                }
+            }
+        }
+        for ((p, t), dc) in pending {
+            if dc == 0 {
+                continue;
+            }
+            let counts = self.state.counts.entry(p).or_default();
+            let slot = counts.entry(t.clone()).or_insert(0);
+            let old = *slot;
+            let new = old + dc;
+            debug_assert!(new >= 0, "negative derivation count for {p:?}");
+            if new == 0 {
+                counts.remove(&t);
+            } else {
+                *slot = new;
+            }
+            let base_has = self.db.base().icontains(p, t.as_slice());
+            if old <= 0 && new > 0 {
+                if !base_has && self.db.add_ifact(p, t.clone()) {
+                    self.record_add(p, t);
+                }
+            } else if old > 0 && new <= 0 {
+                // EDB support masks the loss of all derivations.
+                if !base_has && self.db.remove_overlay_ifact(p, t.as_slice()) {
+                    self.record_rem(p, t);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// DRed maintenance for stratum `s`: over-delete (old state) →
+    /// apply → re-derive (new state, restricted to candidates) → insert
+    /// (semi-naive over the new state).
+    fn process_dred(&mut self, s: usize) -> Result<(), DatalogError> {
+        let compiled = self.compiled;
+
+        // ---- Phase 1: over-delete, evaluated entirely over the OLD
+        // state, collecting candidates without mutating anything. ----
+        let mut over: SymMap<ITupleSet> = SymMap::default();
+        let mut frontier: Vec<(Sym, ITuple)> = Vec::new();
+        for (p, t) in std::mem::take(&mut self.dred_seed_rem[s]) {
+            if over.entry(p).or_default().insert(t.clone()) {
+                frontier.push((p, t));
+            }
+        }
+        for &ri in &compiled.strata[s] {
+            let rule = &compiled.crules[ri];
+            for (i, item) in rule.body.iter().enumerate() {
+                let triggers: Vec<ITuple> = match item {
+                    // A lower-stratum (or EDB) positive literal fires on
+                    // removals; same-stratum literals go through the
+                    // frontier below.
+                    CItem::Pos(l) if !compiled.derived_syms[s].contains(&l.pred) => self
+                        .dminus
+                        .get(&l.pred)
+                        .map(|set| set.iter().cloned().collect())
+                        .unwrap_or_default(),
+                    // Negation references strictly lower strata; it
+                    // fires on additions (the negation just turned
+                    // false).
+                    CItem::Neg(l) => self
+                        .dplus
+                        .get(&l.pred)
+                        .map(|set| set.iter().cloned().collect())
+                        .unwrap_or_default(),
+                    _ => Vec::new(),
+                };
+                for t in triggers {
+                    let mut out = Vec::new();
+                    self.solve_rule(rule, Some((i, t.as_slice())), Split::AllOld, &mut out)?;
+                    for h in out {
+                        self.mark_overdeleted(rule.head_pred, h, &mut over, &mut frontier);
+                    }
+                }
+            }
+        }
+        while let Some((p, t)) = frontier.pop() {
+            for &ri in &compiled.strata[s] {
+                let rule = &compiled.crules[ri];
+                for (i, item) in rule.body.iter().enumerate() {
+                    let CItem::Pos(l) = item else { continue };
+                    if l.pred != p {
+                        continue;
+                    }
+                    let mut out = Vec::new();
+                    self.solve_rule(rule, Some((i, t.as_slice())), Split::AllOld, &mut out)?;
+                    for h in out {
+                        self.mark_overdeleted(rule.head_pred, h, &mut over, &mut frontier);
+                    }
+                }
+            }
+        }
+
+        // ---- Phase 2: apply the over-deletions. Base-removal seeds
+        // recorded their visibility change in apply_edb; everything else
+        // leaves the overlay here. ----
+        for (p, set) in &over {
+            for t in set {
+                if self.db.remove_overlay_ifact(*p, t.as_slice()) {
+                    self.record_rem(*p, t.clone());
+                }
+            }
+        }
+
+        // ---- Phase 3: re-derive, restricted to over-deleted
+        // candidates, over the NEW state. Query-driven: each candidate
+        // is checked by unifying it against rule heads, so the cost
+        // tracks the blast radius, not the database. ----
+        if over.values().any(|set| !set.is_empty()) {
+            let mut work: Vec<(Sym, ITuple)> = Vec::new();
+            // Fact rules of this stratum hold unconditionally.
+            for rule in &compiled.crules {
+                if !rule.is_fact() || self.state.stratum_of.get(&rule.head_pred) != Some(&s) {
+                    continue;
+                }
+                let head: ITuple = rule
+                    .head_args
+                    .iter()
+                    .map(|a| resolve_term(a, &[]))
+                    .collect();
+                self.rescue(rule.head_pred, head, &over, &mut work);
+            }
+            let candidates: Vec<(Sym, ITuple)> = over
+                .iter()
+                .flat_map(|(p, set)| set.iter().map(move |t| (*p, t.clone())))
+                .collect();
+            for (p, t) in candidates {
+                if self.db.icontains(p, t.as_slice()) {
+                    continue; // already rescued (e.g. by a fact rule)
+                }
+                for &ri in &compiled.strata[s] {
+                    let rule = &compiled.crules[ri];
+                    if rule.head_pred != p {
+                        continue;
+                    }
+                    if self.rule_derives(rule, &t, Split::AllNew)? {
+                        self.rescue(p, t.clone(), &over, &mut work);
+                        break;
+                    }
+                }
+            }
+            while let Some((p, t)) = work.pop() {
+                for &ri in &compiled.strata[s] {
+                    let rule = &compiled.crules[ri];
+                    for (i, item) in rule.body.iter().enumerate() {
+                        let CItem::Pos(l) = item else { continue };
+                        if l.pred != p {
+                            continue;
+                        }
+                        let mut out = Vec::new();
+                        self.solve_rule(rule, Some((i, t.as_slice())), Split::AllNew, &mut out)?;
+                        for h in out {
+                            self.rescue(rule.head_pred, h, &over, &mut work);
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Phase 4: insert, semi-naive over the NEW state. ----
+        let mut work: Vec<(Sym, ITuple)> = std::mem::take(&mut self.dred_seed_add[s]);
+        for &ri in &compiled.strata[s] {
+            let rule = &compiled.crules[ri];
+            for (i, item) in rule.body.iter().enumerate() {
+                let triggers: Vec<ITuple> = match item {
+                    CItem::Pos(l) if !compiled.derived_syms[s].contains(&l.pred) => self
+                        .dplus
+                        .get(&l.pred)
+                        .map(|set| set.iter().cloned().collect())
+                        .unwrap_or_default(),
+                    // The negation just turned true.
+                    CItem::Neg(l) => self
+                        .dminus
+                        .get(&l.pred)
+                        .map(|set| set.iter().cloned().collect())
+                        .unwrap_or_default(),
+                    _ => Vec::new(),
+                };
+                for t in triggers {
+                    let mut out = Vec::new();
+                    self.solve_rule(rule, Some((i, t.as_slice())), Split::AllNew, &mut out)?;
+                    for h in out {
+                        self.try_insert(rule.head_pred, h, &mut work);
+                    }
+                }
+            }
+        }
+        while let Some((p, t)) = work.pop() {
+            for &ri in &compiled.strata[s] {
+                let rule = &compiled.crules[ri];
+                for (i, item) in rule.body.iter().enumerate() {
+                    let CItem::Pos(l) = item else { continue };
+                    if l.pred != p {
+                        continue;
+                    }
+                    let mut out = Vec::new();
+                    self.solve_rule(rule, Some((i, t.as_slice())), Split::AllNew, &mut out)?;
+                    for h in out {
+                        self.try_insert(rule.head_pred, h, &mut work);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Queue a tuple that lost a derivation in the old state. Tuples
+    /// with EDB support in the new base stay visible regardless, so
+    /// deletion never propagates through them.
+    fn mark_overdeleted(
+        &self,
+        pred: Sym,
+        tuple: ITuple,
+        over: &mut SymMap<ITupleSet>,
+        frontier: &mut Vec<(Sym, ITuple)>,
+    ) {
+        if self.db.base().icontains(pred, tuple.as_slice()) {
+            return;
+        }
+        if over.entry(pred).or_default().insert(tuple.clone()) {
+            frontier.push((pred, tuple));
+        }
+    }
+
+    /// Restore an over-deleted candidate that is still derivable in the
+    /// new state, cancelling its tentative removal record.
+    fn rescue(
+        &mut self,
+        pred: Sym,
+        tuple: ITuple,
+        over: &SymMap<ITupleSet>,
+        work: &mut Vec<(Sym, ITuple)>,
+    ) {
+        if !set_contains(over.get(&pred), tuple.as_slice()) {
+            return;
+        }
+        if self.db.icontains(pred, tuple.as_slice()) {
+            return;
+        }
+        if self.db.add_ifact(pred, tuple.clone()) {
+            self.record_add(pred, tuple.clone());
+            work.push((pred, tuple));
+        }
+    }
+
+    /// Add a newly derived tuple during the insertion phase.
+    fn try_insert(&mut self, pred: Sym, tuple: ITuple, work: &mut Vec<(Sym, ITuple)>) {
+        if self.db.icontains(pred, tuple.as_slice()) {
+            return;
+        }
+        if self.db.add_ifact(pred, tuple.clone()) {
+            self.record_add(pred, tuple.clone());
+            work.push((pred, tuple));
+        }
+    }
+
+    fn finish(self) -> DeltaOutcome {
+        let mut outcome = DeltaOutcome {
+            stats: self.stats,
+            ..DeltaOutcome::default()
+        };
+        for (p, set) in self.dplus {
+            outcome.added.extend(set.into_iter().map(|t| (p, t)));
+        }
+        for (p, set) in self.dminus {
+            outcome.removed.extend(set.into_iter().map(|t| (p, t)));
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Database;
+    use crate::Program;
+    use std::sync::Arc;
+
+    fn compiled(src: &str) -> CompiledProgram {
+        CompiledProgram::compile(&Program::parse(src).unwrap()).unwrap()
+    }
+
+    fn s(v: &str) -> Val {
+        Val::str(v)
+    }
+
+    /// The incremental overlay must match a from-scratch evaluation over
+    /// the (post-delta) base, byte for byte in canonical form.
+    fn assert_matches_scratch(program: &CompiledProgram, db: &LayeredDatabase) {
+        let scratch = program
+            .evaluate(Arc::new(db.base().clone()))
+            .expect("scratch evaluation");
+        assert_eq!(
+            db.overlay().to_sorted_fact_text(),
+            scratch.overlay().to_sorted_fact_text(),
+            "incremental overlay diverged from scratch"
+        );
+    }
+
+    fn both_policies(run: impl Fn(MaintenancePolicy)) {
+        run(MaintenancePolicy::Auto);
+        run(MaintenancePolicy::ForceDRed);
+    }
+
+    #[test]
+    fn counting_insert_and_remove_roundtrip() {
+        both_policies(|policy| {
+            let program = compiled("path(X, Y) :- edge(X, Y).\npair(X) :- edge(X, _), edge(_, X).");
+            let mut base = Database::new();
+            base.add_fact("edge", vec![s("a"), s("b")]);
+            let mut db = LayeredDatabase::new(Arc::new(base));
+            let mut state = IncrementalState::new(policy);
+
+            let out = program
+                .apply_delta(
+                    &mut db,
+                    &mut state,
+                    &[delta_fact("edge", &[s("b"), s("a")])],
+                    &[],
+                )
+                .unwrap();
+            assert!(db.contains("pair", &[s("a")]));
+            assert!(db.contains("pair", &[s("b")]));
+            assert_eq!(out.removed, vec![]);
+            assert_matches_scratch(&program, &db);
+
+            let out = program
+                .apply_delta(
+                    &mut db,
+                    &mut state,
+                    &[],
+                    &[delta_fact("edge", &[s("b"), s("a")])],
+                )
+                .unwrap();
+            assert!(!db.contains("pair", &[s("a")]));
+            assert!(!db.contains("path", &[s("b"), s("a")]));
+            assert!(db.contains("path", &[s("a"), s("b")]));
+            assert!(out.added.is_empty());
+            assert_matches_scratch(&program, &db);
+        });
+    }
+
+    #[test]
+    fn auto_policy_counts_nonrecursive_and_dreds_recursive() {
+        let flat = compiled("p(X) :- e(X, _).");
+        let mut db = LayeredDatabase::new(Arc::new(Database::new()));
+        let mut state = IncrementalState::new(MaintenancePolicy::Auto);
+        flat.apply_delta(&mut db, &mut state, &[], &[]).unwrap();
+        assert_eq!(state.counting_strata(), &[true]);
+
+        let rec = compiled("reach(X, Y) :- edge(X, Y).\nreach(X, Z) :- reach(X, Y), edge(Y, Z).");
+        let mut db = LayeredDatabase::new(Arc::new(Database::new()));
+        let mut state = IncrementalState::new(MaintenancePolicy::Auto);
+        rec.apply_delta(&mut db, &mut state, &[], &[]).unwrap();
+        assert_eq!(state.counting_strata(), &[false]);
+    }
+
+    #[test]
+    fn dred_deletes_break_and_rederive_paths() {
+        let program =
+            compiled("reach(X, Y) :- edge(X, Y).\nreach(X, Z) :- reach(X, Y), edge(Y, Z).");
+        let mut base = Database::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("a", "c")] {
+            base.add_fact("edge", vec![s(a), s(b)]);
+        }
+        let mut db = LayeredDatabase::new(Arc::new(base));
+        let mut state = IncrementalState::new(MaintenancePolicy::Auto);
+        program.apply_delta(&mut db, &mut state, &[], &[]).unwrap();
+        assert!(db.contains("reach", &[s("a"), s("c")]));
+
+        // Removing edge(b, c) over-deletes reach(a, c), but the direct
+        // edge(a, c) re-derives it: the only visible loss is the edge
+        // itself plus reach(b, c).
+        let out = program
+            .apply_delta(
+                &mut db,
+                &mut state,
+                &[],
+                &[delta_fact("edge", &[s("b"), s("c")])],
+            )
+            .unwrap();
+        assert!(
+            db.contains("reach", &[s("a"), s("c")]),
+            "rescued by re-derivation"
+        );
+        assert!(!db.contains("reach", &[s("b"), s("c")]));
+        assert_eq!(out.added, vec![]);
+        assert_eq!(out.removed.len(), 2, "{:?}", out.removed);
+        assert_matches_scratch(&program, &db);
+
+        // Deleting the rescue edge finally kills reach(a, c).
+        program
+            .apply_delta(
+                &mut db,
+                &mut state,
+                &[],
+                &[delta_fact("edge", &[s("a"), s("c")])],
+            )
+            .unwrap();
+        assert!(!db.contains("reach", &[s("a"), s("c")]));
+        assert_matches_scratch(&program, &db);
+    }
+
+    #[test]
+    fn negation_flips_both_ways() {
+        both_policies(|policy| {
+            let program =
+                compiled("flagged(X) :- node(X), bad(X).\nok(X) :- node(X), \\+flagged(X).");
+            let mut base = Database::new();
+            base.add_fact("node", vec![s("n1")]);
+            let mut db = LayeredDatabase::new(Arc::new(base));
+            let mut state = IncrementalState::new(policy);
+            program.apply_delta(&mut db, &mut state, &[], &[]).unwrap();
+            assert!(db.contains("ok", &[s("n1")]));
+
+            // Marking the node bad flips ok(n1) off through the negation.
+            let out = program
+                .apply_delta(&mut db, &mut state, &[delta_fact("bad", &[s("n1")])], &[])
+                .unwrap();
+            assert!(!db.contains("ok", &[s("n1")]));
+            assert!(db.contains("flagged", &[s("n1")]));
+            assert!(out
+                .removed
+                .iter()
+                .any(|(p, _)| p.resolve().as_ref() == "ok"));
+            assert_matches_scratch(&program, &db);
+
+            // And back.
+            program
+                .apply_delta(&mut db, &mut state, &[], &[delta_fact("bad", &[s("n1")])])
+                .unwrap();
+            assert!(db.contains("ok", &[s("n1")]));
+            assert!(!db.contains("flagged", &[s("n1")]));
+            assert_matches_scratch(&program, &db);
+        });
+    }
+
+    #[test]
+    fn duplicate_and_noop_deltas_change_nothing() {
+        both_policies(|policy| {
+            let program = compiled("p(X) :- e(X).");
+            let mut base = Database::new();
+            base.add_fact("e", vec![s("a")]);
+            let mut db = LayeredDatabase::new(Arc::new(base));
+            let mut state = IncrementalState::new(policy);
+            program.apply_delta(&mut db, &mut state, &[], &[]).unwrap();
+
+            // Duplicate insert, absent removal, insert+remove of the
+            // same tuple: all no-ops.
+            let dup = delta_fact("e", &[s("a")]);
+            let ghost = delta_fact("e", &[s("ghost")]);
+            let out = program
+                .apply_delta(
+                    &mut db,
+                    &mut state,
+                    &[dup.clone(), dup.clone(), ghost.clone()],
+                    &[ghost.clone(), delta_fact("e", &[s("never")])],
+                )
+                .unwrap();
+            // `ghost` is both added and removed: addition wins.
+            assert!(db.contains("e", &[s("ghost")]));
+            assert!(db.contains("p", &[s("ghost")]));
+            assert_eq!(out.added.len(), 2, "{out:?}");
+            assert!(out.removed.is_empty());
+            assert_matches_scratch(&program, &db);
+
+            let out = program
+                .apply_delta(&mut db, &mut state, &[], &[ghost.clone(), ghost])
+                .unwrap();
+            assert!(!db.contains("p", &[s("ghost")]));
+            assert_eq!(out.removed.len(), 2);
+            assert_matches_scratch(&program, &db);
+        });
+    }
+
+    #[test]
+    fn edb_support_masks_derived_loss() {
+        both_policies(|policy| {
+            // `p` is derived but also receives EDB facts directly.
+            let program = compiled("p(X) :- e(X).");
+            let mut base = Database::new();
+            base.add_fact("e", vec![s("a")]);
+            base.add_fact("p", vec![s("a")]);
+            let mut db = LayeredDatabase::new(Arc::new(base));
+            let mut state = IncrementalState::new(policy);
+            program.apply_delta(&mut db, &mut state, &[], &[]).unwrap();
+
+            // Dropping the derivation leaves the EDB copy visible.
+            let out = program
+                .apply_delta(&mut db, &mut state, &[], &[delta_fact("e", &[s("a")])])
+                .unwrap();
+            assert!(db.contains("p", &[s("a")]), "EDB support remains");
+            assert_eq!(out.removed.len(), 1, "only e(a) disappears: {out:?}");
+            assert_matches_scratch(&program, &db);
+
+            // Dropping the EDB copy too finally removes it.
+            let out = program
+                .apply_delta(&mut db, &mut state, &[], &[delta_fact("p", &[s("a")])])
+                .unwrap();
+            assert!(!db.contains("p", &[s("a")]));
+            assert_eq!(out.removed.len(), 1);
+            assert_matches_scratch(&program, &db);
+        });
+    }
+
+    #[test]
+    fn arithmetic_and_comparison_bodies_maintain() {
+        both_policies(|policy| {
+            let program = compiled(
+                "lifetime(C, L) :- notBefore(C, NB), notAfter(C, NA), L = NA - NB.\n\
+                 shortlived(C) :- lifetime(C, L), L < 90.",
+            );
+            let mut base = Database::new();
+            base.add_fact("notBefore", vec![s("c1"), Val::Int(0)]);
+            base.add_fact("notAfter", vec![s("c1"), Val::Int(30)]);
+            let mut db = LayeredDatabase::new(Arc::new(base));
+            let mut state = IncrementalState::new(policy);
+            program.apply_delta(&mut db, &mut state, &[], &[]).unwrap();
+            assert!(db.contains("shortlived", &[s("c1")]));
+
+            // Reissue with a longer lifetime: remove + add notAfter.
+            program
+                .apply_delta(
+                    &mut db,
+                    &mut state,
+                    &[delta_fact("notAfter", &[s("c1"), Val::Int(365)])],
+                    &[delta_fact("notAfter", &[s("c1"), Val::Int(30)])],
+                )
+                .unwrap();
+            assert!(!db.contains("shortlived", &[s("c1")]));
+            assert!(db.contains("lifetime", &[s("c1"), Val::Int(365)]));
+            assert_matches_scratch(&program, &db);
+        });
+    }
+
+    #[test]
+    fn fact_rules_survive_unrelated_deltas() {
+        both_policies(|policy| {
+            let program = compiled("pinned(\"root\").\np(X) :- e(X), \\+pinned(X).");
+            let mut base = Database::new();
+            base.add_fact("e", vec![s("root")]);
+            base.add_fact("e", vec![s("leaf")]);
+            let mut db = LayeredDatabase::new(Arc::new(base));
+            let mut state = IncrementalState::new(policy);
+            program.apply_delta(&mut db, &mut state, &[], &[]).unwrap();
+            assert!(db.contains("p", &[s("leaf")]));
+            assert!(!db.contains("p", &[s("root")]));
+
+            program
+                .apply_delta(&mut db, &mut state, &[], &[delta_fact("e", &[s("leaf")])])
+                .unwrap();
+            assert!(db.contains("pinned", &[s("root")]), "fact rule persists");
+            assert!(!db.contains("p", &[s("leaf")]));
+            assert_matches_scratch(&program, &db);
+        });
+    }
+
+    #[test]
+    fn budget_bounds_delta_work() {
+        let program =
+            compiled("reach(X, Y) :- edge(X, Y).\nreach(X, Z) :- reach(X, Y), edge(Y, Z).");
+        let mut base = Database::new();
+        for i in 0..20i64 {
+            base.add_fact("edge", vec![Val::Int(i), Val::Int(i + 1)]);
+        }
+        let mut db = LayeredDatabase::new(Arc::new(base));
+        let mut state = IncrementalState::new(MaintenancePolicy::Auto);
+        let err = program.apply_delta_metered(&mut db, &mut state, &[], &[], 10);
+        assert!(matches!(err, Err(DatalogError::BudgetExceeded { .. })));
+    }
+}

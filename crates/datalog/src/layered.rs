@@ -51,6 +51,28 @@ impl LayeredDatabase {
         (&self.base, &mut self.overlay)
     }
 
+    /// Mutable access to the base layer, copy-on-write: when the base
+    /// `Arc` is shared the underlying database is cloned first, so other
+    /// holders never observe the mutation. This is the EDB-delta
+    /// application hook of incremental maintenance
+    /// ([`crate::CompiledProgram::apply_delta`]); per-run GCC evaluation
+    /// never touches it.
+    pub fn base_mut(&mut self) -> &mut Database {
+        Arc::make_mut(&mut self.base)
+    }
+
+    /// Remove an interned fact from the overlay only; returns `true` if
+    /// it was stored there (incremental-maintenance internals).
+    pub(crate) fn remove_overlay_ifact(&mut self, pred: Sym, tuple: &[IVal]) -> bool {
+        self.overlay.remove_ifact(pred, tuple)
+    }
+
+    /// Empty the overlay while retaining allocations (incremental
+    /// maintenance rebuilds it from scratch at state initialization).
+    pub(crate) fn clear_overlay_retaining(&mut self) {
+        self.overlay.clear_retaining();
+    }
+
     /// Add a fact to the overlay; returns `true` if it was new to the
     /// combined view.
     pub fn add_fact(&mut self, pred: impl AsRef<str>, tuple: Tuple) -> bool {

@@ -26,6 +26,11 @@
 //!   bottom-up evaluation with semi-naive iteration (and a naive mode
 //!   kept for the ablation benchmark), plus a derived-tuple budget as
 //!   defense in depth;
+//! * [`mod@incremental`] — delta maintenance: counting / DRed
+//!   propagation of EDB insertions and deletions through a compiled
+//!   program ([`CompiledProgram::apply_delta`]), keeping derived state
+//!   live under root-store feed deltas without re-evaluating from
+//!   scratch;
 //! * [`mod@explain`] — provenance: derivation trees showing *why* a derived
 //!   tuple holds, the audit trail for GCC decisions;
 //! * [`mod@intern`] — the global symbol table and interned ground
@@ -56,6 +61,7 @@ pub mod ast;
 pub mod compile;
 pub mod eval;
 pub mod explain;
+pub mod incremental;
 pub mod intern;
 pub mod layered;
 pub mod lexer;
@@ -69,6 +75,7 @@ pub use ast::{Program, Rule, Term, Val};
 pub use compile::{CompiledProgram, EvalScratch};
 pub use eval::{Database, Engine, EvalMode, EvalStats};
 pub use explain::{explain, Derivation};
+pub use incremental::{delta_fact, DeltaOutcome, IncrementalState, MaintenancePolicy};
 pub use intern::{intern, ITuple, IVal, Sym};
 pub use layered::LayeredDatabase;
 pub use metrics::EvalMetrics;

@@ -1,0 +1,240 @@
+//! Property tests for incremental delta maintenance: after any random
+//! sequence of EDB insert/remove batches, the incrementally maintained
+//! overlay must be byte-identical (canonical sorted fact text) to a
+//! from-scratch evaluation over the post-delta base — in both the
+//! counting path (`Auto`) and the delete-and-rederive path
+//! (`ForceDRed`) — and effective insert-then-remove round-trips must
+//! restore the database exactly.
+
+use nrslb_datalog::intern::ITuple;
+use nrslb_datalog::{
+    delta_fact, CompiledProgram, Database, IncrementalState, LayeredDatabase, MaintenancePolicy,
+    Program, Sym, Val,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Same family as `proptest_layered`'s generator: chains of derived
+/// predicates over `e0`/`e1`, negation of strictly earlier strata,
+/// optional positive recursion (`c{i}`) so `Auto` classifies some
+/// strata counting and some DRed.
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    rules: Vec<String>,
+}
+
+fn random_program() -> impl Strategy<Value = RandomProgram> {
+    proptest::collection::vec((0u8..5, any::<bool>(), any::<bool>()), 1..5).prop_map(|specs| {
+        let mut rules = Vec::new();
+        for (i, (template, negate, extra_edge)) in specs.into_iter().enumerate() {
+            let head = format!("d{i}");
+            let neg_part = if negate && i > 0 {
+                format!(", \\+d{}(X)", i - 1)
+            } else {
+                String::new()
+            };
+            let body = match template {
+                0 => format!("e0(X, Y){neg_part}"),
+                1 => format!("e0(X, Z), e1(Z, Y){neg_part}"),
+                2 if i > 0 => format!("d{}(X, Y){}", i - 1, neg_part.replace("(X)", "(Y)")),
+                3 => format!("e1(X, Y), X < Y{neg_part}"),
+                _ => format!("e0(X, Y), e0(Y, X){neg_part}"),
+            };
+            rules.push(format!("{head}(X, Y) :- {body}."));
+            if negate && i > 0 {
+                rules.push(format!("d{}(X) :- e0(X, _).", i - 1));
+            }
+            if extra_edge {
+                rules.push(format!("c{i}(X, Y) :- e0(X, Y)."));
+                rules.push(format!("c{i}(X, Z) :- c{i}(X, Y), e0(Y, Z)."));
+            }
+        }
+        RandomProgram { rules }
+    })
+}
+
+/// One EDB mutation: insert/remove one tuple of `e0`, `e1`, or the
+/// derived-but-also-EDB predicate `d0` (exercising base support masking
+/// derived tuples). The small value domain makes duplicate inserts,
+/// removals of absent tuples, and insert-then-remove collisions across
+/// batches common.
+type Op = (bool, u8, i64, i64);
+
+fn pred_of(rel: u8) -> &'static str {
+    match rel {
+        0 => "e0",
+        1 => "e1",
+        _ => "d0",
+    }
+}
+
+fn op_fact(op: &Op) -> (Sym, ITuple) {
+    delta_fact(pred_of(op.1), &[Val::int(op.2), Val::int(op.3)])
+}
+
+fn batches() -> impl Strategy<Value = Vec<Vec<Op>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((any::<bool>(), 0u8..3, 0i64..5, 0i64..5), 1..8),
+        1..5,
+    )
+}
+
+fn initial_base(facts: &[(u8, i64, i64)]) -> Database {
+    let mut db = Database::new();
+    for (rel, a, b) in facts {
+        db.add_fact(pred_of(*rel), vec![Val::int(*a), Val::int(*b)]);
+    }
+    db
+}
+
+fn compile(rules: &[String]) -> Option<CompiledProgram> {
+    let parsed = Program::parse(&rules.join("\n")).ok()?;
+    CompiledProgram::compile(&parsed).ok()
+}
+
+/// The canonical form two maintenance paths must agree on.
+fn canon(db: &Database) -> String {
+    db.to_sorted_fact_text()
+}
+
+const POLICIES: [MaintenancePolicy; 2] = [MaintenancePolicy::Auto, MaintenancePolicy::ForceDRed];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // After every delta batch, the maintained overlay equals a
+    // from-scratch evaluation over the same (mutated) base, byte for
+    // byte — and the reported outcome matches reality: added tuples
+    // visible, removed tuples gone, no overlap.
+    #[test]
+    fn delta_maintenance_matches_scratch(
+        program in random_program(),
+        facts in proptest::collection::vec((0u8..3, 0i64..5, 0i64..5), 0..15),
+        deltas in batches(),
+    ) {
+        let Some(compiled) = compile(&program.rules) else { return Ok(()) };
+
+        for policy in POLICIES {
+            let mut db = LayeredDatabase::new(Arc::new(initial_base(&facts)));
+            let mut state = IncrementalState::new(policy);
+            // Baseline: must itself match scratch.
+            prop_assume!(compiled.apply_delta(&mut db, &mut state, &[], &[]).is_ok());
+
+            for batch in &deltas {
+                let added: Vec<_> =
+                    batch.iter().filter(|op| op.0).map(op_fact).collect();
+                let removed: Vec<_> =
+                    batch.iter().filter(|op| !op.0).map(op_fact).collect();
+                let outcome = compiled
+                    .apply_delta(&mut db, &mut state, &added, &removed)
+                    .unwrap();
+
+                for (p, t) in &outcome.added {
+                    prop_assert!(
+                        db.icontains(*p, t.as_slice()),
+                        "{policy:?}: reported-added tuple is not visible"
+                    );
+                }
+                for (p, t) in &outcome.removed {
+                    prop_assert!(
+                        !db.icontains(*p, t.as_slice()),
+                        "{policy:?}: reported-removed tuple is still visible"
+                    );
+                }
+
+                let scratch = compiled
+                    .evaluate(Arc::new(db.base().clone()))
+                    .unwrap();
+                prop_assert_eq!(
+                    canon(db.overlay()),
+                    canon(scratch.overlay()),
+                    "{:?}: incremental overlay diverged from scratch",
+                    policy
+                );
+            }
+        }
+    }
+
+    // Inserting a batch of genuinely new tuples and then removing the
+    // same batch restores the database (base and overlay) exactly, and
+    // the two outcomes mirror each other.
+    #[test]
+    fn effective_insert_then_remove_roundtrips(
+        program in random_program(),
+        facts in proptest::collection::vec((0u8..3, 0i64..5, 0i64..5), 0..12),
+        batch in proptest::collection::vec((0u8..3, 0i64..5, 0i64..5), 1..8),
+    ) {
+        let Some(compiled) = compile(&program.rules) else { return Ok(()) };
+
+        for policy in POLICIES {
+            let mut db = LayeredDatabase::new(Arc::new(initial_base(&facts)));
+            let mut state = IncrementalState::new(policy);
+            prop_assume!(compiled.apply_delta(&mut db, &mut state, &[], &[]).is_ok());
+
+            // Only tuples not already in the base round-trip: removing a
+            // pre-existing tuple would (correctly) not restore it.
+            let fresh: Vec<_> = batch
+                .iter()
+                .map(|(rel, a, b)| (*rel, *a, *b))
+                .map(|op| op_fact(&(true, op.0, op.1, op.2)))
+                .filter(|(p, t)| !db.base().icontains(*p, t.as_slice()))
+                .collect();
+
+            let before_base = canon(db.base());
+            let before_overlay = canon(db.overlay());
+
+            let ins = compiled.apply_delta(&mut db, &mut state, &fresh, &[]).unwrap();
+            let rem = compiled.apply_delta(&mut db, &mut state, &[], &fresh).unwrap();
+
+            prop_assert_eq!(canon(db.base()), before_base, "{:?}: base not restored", policy);
+            prop_assert_eq!(
+                canon(db.overlay()),
+                before_overlay,
+                "{:?}: overlay not restored",
+                policy
+            );
+            // What the insert made visible is exactly what the removal
+            // took away.
+            let mut gained: Vec<String> =
+                ins.added.iter().map(|(p, t)| format!("{p:?}{t:?}")).collect();
+            let mut lost: Vec<String> =
+                rem.removed.iter().map(|(p, t)| format!("{p:?}{t:?}")).collect();
+            gained.sort();
+            lost.sort();
+            prop_assert_eq!(gained, lost, "{:?}: asymmetric round-trip", policy);
+            prop_assert!(ins.removed.is_empty());
+            prop_assert!(rem.added.is_empty());
+        }
+    }
+
+    // A no-op delta (removing absent tuples, re-inserting present ones)
+    // reports no changes and leaves the database untouched.
+    #[test]
+    fn noop_deltas_are_empty(
+        program in random_program(),
+        facts in proptest::collection::vec((0u8..3, 0i64..5, 0i64..5), 1..12),
+    ) {
+        let Some(compiled) = compile(&program.rules) else { return Ok(()) };
+
+        for policy in POLICIES {
+            let mut db = LayeredDatabase::new(Arc::new(initial_base(&facts)));
+            let mut state = IncrementalState::new(policy);
+            prop_assume!(compiled.apply_delta(&mut db, &mut state, &[], &[]).is_ok());
+
+            let present: Vec<_> =
+                facts.iter().map(|&(rel, a, b)| op_fact(&(true, rel, a, b))).collect();
+            let absent: Vec<_> = (0..3u8)
+                .map(|rel| delta_fact(pred_of(rel), &[Val::int(99), Val::int(99)]))
+                .collect();
+
+            let before_base = canon(db.base());
+            let before_overlay = canon(db.overlay());
+            let out = compiled
+                .apply_delta(&mut db, &mut state, &present, &absent)
+                .unwrap();
+            prop_assert!(out.is_empty(), "{policy:?}: no-op delta reported {out:?}");
+            prop_assert_eq!(canon(db.base()), before_base);
+            prop_assert_eq!(canon(db.overlay()), before_overlay);
+        }
+    }
+}

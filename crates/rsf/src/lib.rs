@@ -34,6 +34,7 @@ pub mod merge;
 pub mod signing;
 pub mod socket;
 pub mod sync;
+pub mod taint;
 pub mod translog;
 pub mod transport;
 pub mod wire;
@@ -47,6 +48,7 @@ pub use sync::{
     FeedUpdate, ResilientReport, Staleness, Subscriber, SubscriberBuilder, SyncCounters, SyncEvent,
     SyncInstruments, SyncPolicy, SyncState,
 };
+pub use taint::TaintSet;
 pub use translog::{Checkpoint, TransparencyLog};
 pub use transport::{FaultInjector, FaultPlan, FeedPublisher, SyncReport};
 

@@ -28,6 +28,7 @@
 use crate::clock::{Clock, WallClock};
 use crate::feed::{Delta, Snapshot};
 use crate::signing::{FeedTrust, MessageKind, SignedMessage};
+use crate::taint::TaintSet;
 use crate::translog::{verify_extension, Checkpoint};
 use crate::transport::{FaultInjector, FeedPublisher, SyncReport};
 use crate::RsfError;
@@ -399,6 +400,7 @@ impl SubscriberBuilder {
             instruments,
             registry,
             last_synced_at: None,
+            pending_taint: TaintSet::empty(),
             rng,
             clock: self.clock,
         }
@@ -420,6 +422,10 @@ pub struct Subscriber {
     instruments: SyncInstruments,
     registry: Arc<Registry>,
     last_synced_at: Option<i64>,
+    /// Taint accumulated by applied updates since the last
+    /// [`Subscriber::take_taint`] — what downstream verdict caches must
+    /// invalidate before trusting this subscriber's store again.
+    pending_taint: TaintSet,
     rng: StdRng,
     clock: Arc<dyn Clock>,
 }
@@ -444,6 +450,20 @@ impl Subscriber {
     /// The last applied sequence (0 = never synced).
     pub fn sequence(&self) -> u64 {
         self.sequence
+    }
+
+    /// Taint accumulated by updates applied since the last
+    /// [`Subscriber::take_taint`] (deltas contribute their precise
+    /// blast radius, snapshot fallbacks full taint). Empty when every
+    /// applied update has been accounted for.
+    pub fn pending_taint(&self) -> &TaintSet {
+        &self.pending_taint
+    }
+
+    /// Drain the accumulated taint, handing it to the verdict-cache
+    /// invalidation step. Subsequent updates start a fresh set.
+    pub fn take_taint(&mut self) -> TaintSet {
+        std::mem::take(&mut self.pending_taint)
     }
 
     /// Lifecycle state.
@@ -655,6 +675,10 @@ impl Subscriber {
                     self.instruments.snapshot_fallbacks.inc();
                 }
                 self.store = snap.materialize(&self.name)?;
+                // A snapshot replaces the whole store: full taint,
+                // flowing through the same invalidation path a precise
+                // delta uses.
+                self.pending_taint.merge(&TaintSet::full());
                 self.sequence = snap.sequence;
                 self.instruments.messages_ingested.inc();
                 Ok(SyncEvent::SnapshotApplied {
@@ -673,7 +697,11 @@ impl Subscriber {
                         got: delta.from_sequence,
                     });
                 }
+                // Taint is computed against the pre-image store so the
+                // replaced entries' old GCCs and keys are captured.
+                let taint = TaintSet::of_delta(&delta, &self.store);
                 delta.apply(&mut self.store)?;
+                self.pending_taint.merge(&taint);
                 self.sequence = delta.to_sequence;
                 self.instruments.messages_ingested.inc();
                 Ok(SyncEvent::DeltaApplied {

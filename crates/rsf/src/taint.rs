@@ -1,0 +1,210 @@
+//! Taint sets: the precise blast radius of a feed update.
+//!
+//! A root-store delta touches a handful of roots; re-deriving every
+//! cached verdict after each one is the batch-recomputation cliff the
+//! incremental pipeline removes. [`TaintSet::of_delta`] computes, from
+//! a [`Delta`] and the store state *before* it is
+//! applied, every identity a downstream verdict could depend on:
+//!
+//! * **root fingerprints** — upserted, removed, or distrusted roots
+//!   (old and new state both matter, so the pre-image store is
+//!   consulted for entries the delta replaces);
+//! * **GCC source hashes** — the content-addressed policy identities
+//!   attached before or after the delta, matching
+//!   `VerdictKey.gcc` / [`Gcc::source_hash`](nrslb_rootstore::Gcc);
+//! * **issuer SPKI fingerprints** — the keys whose signature
+//!   memoizations and chain verdicts a root swap invalidates.
+//!
+//! Snapshot fallback produces [`TaintSet::full`]: a snapshot replaces
+//! the whole store, so everything is tainted — but it flows through the
+//! *same* invalidation code path as a precise delta, keeping one
+//! mechanism for both ingest paths.
+
+use crate::feed::Delta;
+use nrslb_crypto::sha256::{sha256, Digest};
+use nrslb_rootstore::RootStore;
+use std::collections::BTreeSet;
+
+/// The set of trust identities a feed update may have changed.
+///
+/// Either `full` (snapshot semantics: everything is suspect) or three
+/// sets of digests keyed the way verdict caches index their entries.
+/// Empty means the update provably changed nothing a cached verdict
+/// depends on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TaintSet {
+    full: bool,
+    roots: BTreeSet<Digest>,
+    gcc_sources: BTreeSet<Digest>,
+    issuer_spkis: BTreeSet<Digest>,
+}
+
+impl TaintSet {
+    /// Nothing tainted.
+    pub fn empty() -> TaintSet {
+        TaintSet::default()
+    }
+
+    /// Everything tainted — the snapshot-fallback taint.
+    pub fn full() -> TaintSet {
+        TaintSet {
+            full: true,
+            ..TaintSet::default()
+        }
+    }
+
+    /// Does this taint cover the whole store?
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// Is nothing tainted at all?
+    pub fn is_empty(&self) -> bool {
+        !self.full
+            && self.roots.is_empty()
+            && self.gcc_sources.is_empty()
+            && self.issuer_spkis.is_empty()
+    }
+
+    /// Tainted root certificate fingerprints.
+    pub fn roots(&self) -> &BTreeSet<Digest> {
+        &self.roots
+    }
+
+    /// Tainted GCC source hashes (the content-addressed policy ids).
+    pub fn gcc_sources(&self) -> &BTreeSet<Digest> {
+        &self.gcc_sources
+    }
+
+    /// Tainted issuer SPKI fingerprints.
+    pub fn issuer_spkis(&self) -> &BTreeSet<Digest> {
+        &self.issuer_spkis
+    }
+
+    /// Mark a root fingerprint tainted.
+    pub fn taint_root(&mut self, fp: Digest) {
+        self.roots.insert(fp);
+    }
+
+    /// Mark a GCC source hash tainted.
+    pub fn taint_gcc_source(&mut self, hash: Digest) {
+        self.gcc_sources.insert(hash);
+    }
+
+    /// Mark an issuer SPKI fingerprint tainted.
+    pub fn taint_issuer_spki(&mut self, fp: Digest) {
+        self.issuer_spkis.insert(fp);
+    }
+
+    /// Every tainted digest regardless of kind — the flat view cache
+    /// invalidation indexes by.
+    pub fn digests(&self) -> impl Iterator<Item = Digest> + '_ {
+        self.roots
+            .iter()
+            .chain(&self.gcc_sources)
+            .chain(&self.issuer_spkis)
+            .copied()
+    }
+
+    /// Does the flat digest view contain `d`? Full taint matches
+    /// everything.
+    pub fn contains(&self, d: &Digest) -> bool {
+        self.full
+            || self.roots.contains(d)
+            || self.gcc_sources.contains(d)
+            || self.issuer_spkis.contains(d)
+    }
+
+    /// Absorb another taint set (e.g. accumulate across the updates of
+    /// one poll batch). Full taint is absorbing.
+    pub fn merge(&mut self, other: &TaintSet) {
+        if other.full {
+            *self = TaintSet::full();
+            return;
+        }
+        if self.full {
+            return;
+        }
+        self.roots.extend(&other.roots);
+        self.gcc_sources.extend(&other.gcc_sources);
+        self.issuer_spkis.extend(&other.issuer_spkis);
+    }
+
+    /// The precise taint of applying `delta` to `store_before` (the
+    /// store state *before* [`Delta::apply`] runs, so replaced entries'
+    /// old GCC attachments and keys are captured too).
+    pub fn of_delta(delta: &Delta, store_before: &RootStore) -> TaintSet {
+        let mut taint = TaintSet::empty();
+        for entry in &delta.upserted {
+            let fp = entry.cert.fingerprint();
+            taint.taint_root(fp);
+            taint.taint_issuer_spki(entry.cert.public_key().fingerprint());
+            for gcc in &entry.gccs {
+                taint.taint_gcc_source(sha256(gcc.source.as_bytes()));
+            }
+            taint.absorb_old_record(store_before, &fp);
+        }
+        for fp in delta
+            .removed
+            .iter()
+            .chain(delta.distrusted.iter().map(|(fp, _)| fp))
+        {
+            taint.taint_root(*fp);
+            taint.absorb_old_record(store_before, fp);
+        }
+        taint
+    }
+
+    /// Taint whatever the pre-image store currently attaches to `fp`.
+    fn absorb_old_record(&mut self, store: &RootStore, fp: &Digest) {
+        if let Some(record) = store.record(fp) {
+            self.taint_issuer_spki(record.cert.public_key().fingerprint());
+            for gcc in &record.gccs {
+                self.taint_gcc_source(gcc.source_hash());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(n: u8) -> Digest {
+        Digest([n; 32])
+    }
+
+    #[test]
+    fn empty_and_full_semantics() {
+        let empty = TaintSet::empty();
+        assert!(empty.is_empty());
+        assert!(!empty.is_full());
+        assert!(!empty.contains(&d(1)));
+
+        let full = TaintSet::full();
+        assert!(full.is_full());
+        assert!(!full.is_empty());
+        assert!(full.contains(&d(1)));
+        assert_eq!(full.digests().count(), 0, "full taint has no finite view");
+    }
+
+    #[test]
+    fn merge_accumulates_and_full_absorbs() {
+        let mut a = TaintSet::empty();
+        a.taint_root(d(1));
+        let mut b = TaintSet::empty();
+        b.taint_gcc_source(d(2));
+        b.taint_issuer_spki(d(3));
+        a.merge(&b);
+        assert!(a.contains(&d(1)));
+        assert!(a.contains(&d(2)));
+        assert!(a.contains(&d(3)));
+        assert_eq!(a.digests().count(), 3);
+
+        a.merge(&TaintSet::full());
+        assert!(a.is_full());
+        let mut c = TaintSet::full();
+        c.merge(&TaintSet::empty());
+        assert!(c.is_full(), "full taint is sticky");
+    }
+}

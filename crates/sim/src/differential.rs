@@ -17,6 +17,13 @@
 //!    samples, the same validation with GCC evaluation delegated to a
 //!    live trust daemon over IPC (default engine, keep-alive client);
 //!    the two deployment modes must agree outcome-for-outcome.
+//! 5. **Incremental vs scratch Datalog maintenance** — after every
+//!    ecosystem event, the truth store's fact-level delta is applied
+//!    one fact at a time to persistent incrementally-maintained
+//!    databases (one per [`MaintenancePolicy`]) via
+//!    `CompiledProgram::apply_delta`, and each resulting state must be
+//!    byte-identical in canonical form to a from-scratch evaluation of
+//!    the same base.
 //!
 //! Any disagreement is recorded with a minimized repro — the seed, the
 //! recent event trace and the DER chain, serialized to
@@ -32,9 +39,14 @@ use crate::chaingen::SampleChain;
 use crate::ecosystem::{Ecosystem, EcosystemConfig};
 use nrslb_core::daemon::{ephemeral_socket_path, DaemonClient, TrustDaemon};
 use nrslb_core::{ValidationMode, ValidationSession, Validator, VerdictCache};
+use nrslb_datalog::{
+    delta_fact, CompiledProgram, Database, IncrementalState, LayeredDatabase, MaintenancePolicy,
+    Program, Val,
+};
 use nrslb_rootstore::{RootStore, Usage};
 use nrslb_rsf::{Staleness, SyncState};
 use serde::Serialize;
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -47,6 +59,10 @@ pub struct DifferentialConfig {
     /// Keep stepping until at least this many `(chain, GCC, usage)`
     /// compiled-vs-naive checks have run.
     pub min_gcc_checks: u64,
+    /// Keep stepping until at least this many incremental-vs-scratch
+    /// Datalog maintenance checks have run (each applied fact on each
+    /// policy arm is one check).
+    pub min_delta_checks: u64,
     /// Ecosystem events to execute (more run if `min_gcc_checks` has
     /// not been reached when they are spent).
     pub max_events: u64,
@@ -68,6 +84,7 @@ impl Default for DifferentialConfig {
         DifferentialConfig {
             seed: 0xd1ff,
             min_gcc_checks: 1_000,
+            min_delta_checks: 1_000,
             max_events: 260,
             samples_per_event: 2,
             initial_gccs_per_root: 2,
@@ -139,6 +156,9 @@ pub struct DifferentialOutcome {
     pub store_checks: u64,
     /// In-process-vs-daemon deployment-mode comparisons.
     pub daemon_checks: u64,
+    /// Incremental-vs-scratch Datalog maintenance checks (per applied
+    /// fact, per policy arm).
+    pub delta_checks: u64,
     /// Replica divergences excused by visible staleness/quarantine.
     pub excused_divergences: u64,
     /// Oracle disagreements (must be empty on a healthy build).
@@ -158,7 +178,11 @@ impl DifferentialOutcome {
             "oracle disagreement: {} of {} checks diverged; first: [{}] {} \
              (mutation={}, usage={}); replay with NRSLB_SIM_SEED={} ; repros: {:?}",
             self.disagreements.len(),
-            self.gcc_checks + self.cache_checks + self.store_checks + self.daemon_checks,
+            self.gcc_checks
+                + self.cache_checks
+                + self.store_checks
+                + self.daemon_checks
+                + self.delta_checks,
             first.kind,
             first.detail,
             first.mutation,
@@ -174,6 +198,64 @@ impl DifferentialOutcome {
 /// strided to bound its cost).
 const DAEMON_CHECK_STRIDE: u64 = 8;
 
+/// The fixed program maintained incrementally over truth-store facts:
+/// a counting-eligible stratum (`governed`), a negation (`bare`), and a
+/// recursive stratum (`reach` over the sorted-fingerprint `succ`
+/// chain) so root/GCC churn exercises both the counting and the DRed
+/// maintenance paths.
+const DELTA_PROGRAM: &str = "governed(R) :- root(R), gcc(R, _).\n\
+     bare(R) :- root(R), \\+governed(R).\n\
+     reach(R) :- governed(R).\n\
+     reach(B) :- reach(A), succ(A, B).\n";
+
+/// One EDB fact in the [`DELTA_PROGRAM`] fact space: predicate name
+/// plus string arguments, pre-interning.
+type StoreFact = (&'static str, Vec<String>);
+
+/// Project the truth store into the EDB fact space of
+/// [`DELTA_PROGRAM`]: one `root` fact per trusted fingerprint, one
+/// `gcc` fact per attachment, `distrusted` markers, and a `succ` chain
+/// over the sorted fingerprints (so adding or removing one root
+/// rewires two edges — a genuinely recursive delta).
+fn store_facts(store: &RootStore) -> BTreeSet<StoreFact> {
+    let mut facts = BTreeSet::new();
+    let mut fps: Vec<String> = Vec::new();
+    for (fp, _) in store.iter() {
+        let hex = fp.to_hex();
+        for gcc in store.gccs_for(fp) {
+            facts.insert(("gcc", vec![hex.clone(), gcc.source_hash().to_hex()]));
+        }
+        fps.push(hex.clone());
+        facts.insert(("root", vec![hex]));
+    }
+    fps.sort();
+    for pair in fps.windows(2) {
+        facts.insert(("succ", vec![pair[0].clone(), pair[1].clone()]));
+    }
+    for (fp, _) in store.iter_distrusted() {
+        facts.insert(("distrusted", vec![fp.to_hex()]));
+    }
+    facts
+}
+
+/// One persistent incrementally-maintained database (satellite arm of
+/// the oracle): same program, one of the two maintenance policies.
+struct DeltaArm {
+    label: &'static str,
+    db: LayeredDatabase,
+    state: IncrementalState,
+}
+
+impl DeltaArm {
+    fn new(label: &'static str, policy: MaintenancePolicy) -> DeltaArm {
+        DeltaArm {
+            label,
+            db: LayeredDatabase::new(Arc::new(Database::new())),
+            state: IncrementalState::new(policy),
+        }
+    }
+}
+
 struct Oracle<'a> {
     config: &'a DifferentialConfig,
     cache: VerdictCache,
@@ -183,6 +265,12 @@ struct Oracle<'a> {
     /// A live trust daemon serving the truth store at `.0`'s version,
     /// plus a keep-alive client to it; respawned when truth moves.
     daemon: Option<(u64, TrustDaemon, Arc<DaemonClient>)>,
+    /// The compiled [`DELTA_PROGRAM`] plus one persistent arm per
+    /// maintenance policy, and the fact image the arms were last
+    /// brought up to date with.
+    delta_program: CompiledProgram,
+    delta_arms: Vec<DeltaArm>,
+    delta_facts: BTreeSet<StoreFact>,
     outcome: DifferentialOutcome,
 }
 
@@ -214,11 +302,21 @@ impl<'a> Oracle<'a> {
             sample_index,
             recent_trace: eco.recent_trace(8),
         };
+        self.dump(disagreement);
+    }
+
+    /// Serialize a disagreement repro to the report directory (when
+    /// configured) and append it to the outcome. The file name carries
+    /// the seed, the sample (or event) index, and the disagreement
+    /// ordinal, so repros never clobber one another.
+    fn dump(&mut self, disagreement: Disagreement) {
         if let Some(dir) = &self.config.report_dir {
             if std::fs::create_dir_all(dir).is_ok() {
                 let path = dir.join(format!(
-                    "differential-seed{}-sample{}.json",
-                    self.config.seed, sample_index
+                    "differential-seed{}-sample{}-d{}.json",
+                    self.config.seed,
+                    disagreement.sample_index,
+                    self.outcome.disagreements.len(),
                 ));
                 if let Ok(json) = serde_json::to_string_pretty(&disagreement) {
                     if std::fs::write(&path, json).is_ok() {
@@ -228,6 +326,92 @@ impl<'a> Oracle<'a> {
             }
         }
         self.outcome.disagreements.push(disagreement);
+    }
+
+    /// Path 5: incremental vs scratch Datalog maintenance. Applies the
+    /// truth store's fact-level delta one fact at a time to every
+    /// persistent policy arm; after each application the arm's derived
+    /// overlay must be byte-identical (canonical form) to a
+    /// from-scratch evaluation over the same post-delta base.
+    fn check_incremental(&mut self, eco: &Ecosystem) {
+        let next = store_facts(eco.truth());
+        let mut steps: Vec<(Vec<StoreFact>, Vec<StoreFact>)> = Vec::new();
+        for fact in next.difference(&self.delta_facts) {
+            steps.push((vec![fact.clone()], Vec::new()));
+        }
+        for fact in self.delta_facts.difference(&next) {
+            steps.push((Vec::new(), vec![fact.clone()]));
+        }
+        // A trailing no-op step: quiet events must not perturb the
+        // maintained state either.
+        steps.push((Vec::new(), Vec::new()));
+
+        let to_interned = |facts: &[StoreFact]| {
+            facts
+                .iter()
+                .map(|(pred, args)| {
+                    delta_fact(pred, &args.iter().map(Val::str).collect::<Vec<_>>())
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let mut failures: Vec<(String, String)> = Vec::new();
+        for arm in &mut self.delta_arms {
+            for (added, removed) in &steps {
+                self.outcome.delta_checks += 1;
+                let applied = self.delta_program.apply_delta(
+                    &mut arm.db,
+                    &mut arm.state,
+                    &to_interned(added),
+                    &to_interned(removed),
+                );
+                if let Err(err) = applied {
+                    failures.push((
+                        format!("incremental-vs-scratch[{}]", arm.label),
+                        format!("apply_delta failed: {err} (step +{added:?} -{removed:?})"),
+                    ));
+                    continue;
+                }
+                let scratch = match self.delta_program.evaluate(Arc::new(arm.db.base().clone())) {
+                    Ok(scratch) => scratch,
+                    Err(err) => {
+                        failures.push((
+                            format!("incremental-vs-scratch[{}]", arm.label),
+                            format!("scratch evaluation failed: {err}"),
+                        ));
+                        continue;
+                    }
+                };
+                let incremental_text = arm.db.overlay().to_sorted_fact_text();
+                let scratch_text = scratch.overlay().to_sorted_fact_text();
+                if incremental_text != scratch_text {
+                    failures.push((
+                        format!("incremental-vs-scratch[{}]", arm.label),
+                        format!(
+                            "derived state diverged after +{added:?} -{removed:?}\n\
+                             incremental:\n{incremental_text}\nscratch:\n{scratch_text}"
+                        ),
+                    ));
+                }
+            }
+        }
+        self.delta_facts = next;
+
+        let event_index = self.outcome.events;
+        for (kind, detail) in failures {
+            self.dump(Disagreement {
+                kind,
+                detail,
+                usage: "*".to_string(),
+                mutation: "ecosystem-delta".to_string(),
+                chain_der_hex: Vec::new(),
+                gcc_name: None,
+                gcc_source: None,
+                seed: self.config.seed,
+                sample_index: event_index,
+                recent_trace: eco.recent_trace(8),
+            });
+        }
     }
 
     /// A keep-alive client to a daemon serving the *current* truth
@@ -441,12 +625,23 @@ pub fn run_differential(config: &DifferentialConfig) -> DifferentialOutcome {
     eco_config.split_view_attack_at_secs = Some(eco_config.epoch_secs + 6 * 3_600);
     let mut eco = Ecosystem::new(&eco_config);
 
+    let delta_program = CompiledProgram::compile(
+        &Program::parse(DELTA_PROGRAM).expect("delta oracle program parses"),
+    )
+    .expect("delta oracle program compiles");
+
     let mut oracle = Oracle {
         config,
         cache: VerdictCache::new(8_192),
         truth: eco.truth().clone(),
         truth_version: eco.truth().version(),
         daemon: None,
+        delta_program,
+        delta_arms: vec![
+            DeltaArm::new("counting", MaintenancePolicy::Auto),
+            DeltaArm::new("dred", MaintenancePolicy::ForceDRed),
+        ],
+        delta_facts: BTreeSet::new(),
         outcome: DifferentialOutcome {
             seed: config.seed,
             events: 0,
@@ -455,22 +650,29 @@ pub fn run_differential(config: &DifferentialConfig) -> DifferentialOutcome {
             cache_checks: 0,
             store_checks: 0,
             daemon_checks: 0,
+            delta_checks: 0,
             excused_divergences: 0,
             disagreements: Vec::new(),
             report_paths: Vec::new(),
         },
     };
+    // The pre-step truth store is the arms' baseline: its whole fact
+    // image arrives as the first (large) delta.
+    oracle.check_incremental(&eco);
 
     // Hard ceiling so a mis-sized config terminates regardless of the
-    // min_gcc_checks target.
+    // min_gcc_checks / min_delta_checks targets.
     let ceiling = config.max_events.saturating_mul(4).max(config.max_events);
     while oracle.outcome.events < config.max_events
-        || (oracle.outcome.gcc_checks < config.min_gcc_checks && oracle.outcome.events < ceiling)
+        || ((oracle.outcome.gcc_checks < config.min_gcc_checks
+            || oracle.outcome.delta_checks < config.min_delta_checks)
+            && oracle.outcome.events < ceiling)
     {
         if eco.step().is_none() {
             break;
         }
         oracle.outcome.events += 1;
+        oracle.check_incremental(&eco);
         for _ in 0..config.samples_per_event {
             let sample = eco.next_sample();
             let index = oracle.outcome.samples;
@@ -488,6 +690,7 @@ mod tests {
     fn quick_config() -> DifferentialConfig {
         DifferentialConfig {
             min_gcc_checks: 120,
+            min_delta_checks: 120,
             max_events: 60,
             report_dir: None,
             ..DifferentialConfig::default()
@@ -504,6 +707,11 @@ mod tests {
         );
         assert!(outcome.samples > 0);
         assert!(outcome.daemon_checks > 0, "daemon arm never ran");
+        assert!(
+            outcome.delta_checks >= 120,
+            "incremental arm ran only {} checks",
+            outcome.delta_checks
+        );
         outcome.assert_agreement();
     }
 
@@ -515,6 +723,7 @@ mod tests {
         assert_eq!(a.samples, b.samples);
         assert_eq!(a.store_checks, b.store_checks);
         assert_eq!(a.daemon_checks, b.daemon_checks);
+        assert_eq!(a.delta_checks, b.delta_checks);
         assert_eq!(a.excused_divergences, b.excused_divergences);
         assert_eq!(a.disagreements.len(), b.disagreements.len());
     }
@@ -525,6 +734,7 @@ mod tests {
         let config = DifferentialConfig {
             ignore_quarantine: true,
             min_gcc_checks: 400,
+            min_delta_checks: 120,
             max_events: 320,
             report_dir: None,
             ..DifferentialConfig::default()
