@@ -36,16 +36,14 @@ fn main() {
         "paper §4 (RSFs as critical infrastructure; immutable logs)",
     );
     let coordinator = CoordinatorKey::from_seed([0xe1; 32], 6).unwrap();
-    let trust = FeedTrust {
-        coordinator: coordinator.public(),
-    };
+    let trust = FeedTrust::single(coordinator.public());
     let key = FeedKey::new([0xe2; 32], 10, &coordinator).unwrap();
 
     let pki = simple_chain("e10.example");
     let mut store = RootStore::new("nss");
     store.add_trusted(pki.root.clone()).unwrap();
     let mut publisher = FeedPublisher::new("nss", key, &store, 0).unwrap();
-    let mut subscriber = Subscriber::builder("derivative", trust).build();
+    let mut subscriber = Subscriber::builder("derivative", trust.clone()).build();
     subscriber.sync(&mut publisher, 0).unwrap();
 
     // 1. Forgery.

@@ -208,9 +208,7 @@ fn main() {
     let coordinator = CoordinatorKey::from_seed([0x15; 32], 4).unwrap();
     let feed_key = FeedKey::new([0x16; 32], 6, &coordinator).unwrap();
     let mut publisher = FeedPublisher::new("e15", feed_key, &store, 0).unwrap();
-    let trust = FeedTrust {
-        coordinator: coordinator.public(),
-    };
+    let trust = FeedTrust::single(coordinator.public());
     let feed = Arc::new(Mutex::new(
         Subscriber::builder("e15", trust)
             .registry(Arc::clone(&daemon_registry))

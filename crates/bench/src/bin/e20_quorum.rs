@@ -1,0 +1,220 @@
+//! E20 — quorum-witnessed feeds (paper §4: the coordinating body as a
+//! single point of compromise, replaced by a k-of-n signer set).
+//!
+//! Two measurements:
+//!
+//! 1. **Warm-path overhead** — idle re-polls and delta catch-up against
+//!    a quorum-governed feed, measured back-to-back against the
+//!    single-signer ablation arm in the same process. The warm
+//!    (content-unchanged) poll must stay within 5% of single-signer;
+//!    the delta path reports the full cost of checkpoint witnessing.
+//! 2. **Compromised-minority soundness** — the ecosystem simulation
+//!    stages >= 200 forged-checkpoint presentations from an attacker
+//!    holding `k-1` signers; zero may be accepted. On violation the
+//!    failing `NRSLB_SIM_SEED` is printed for replay.
+//!
+//! `NRSLB_E20_ASSERT=1` turns both claims into hard assertions.
+
+use nrslb_bench::{header, maybe_write_json, scale, Timer};
+use nrslb_crypto::sha256::sha256;
+use nrslb_rootstore::RootStore;
+use nrslb_rsf::{
+    CoordinatorKey, FeedKey, FeedPublisher, FeedTrust, QuorumAuthority, QuorumConfig, Subscriber,
+};
+use nrslb_sim::differential::seed_from_env;
+use nrslb_sim::ecosystem::{Ecosystem, EcosystemConfig, MinorityAttack, SubscriberSpec};
+use nrslb_x509::testutil::simple_chain;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    warm_polls: usize,
+    warm_single_polls_per_s: f64,
+    warm_quorum_polls_per_s: f64,
+    warm_overhead_ratio: f64,
+    delta_rounds: usize,
+    delta_single_syncs_per_s: f64,
+    delta_quorum_syncs_per_s: f64,
+    delta_overhead_ratio: f64,
+    sim_seed: u64,
+    forged_attempts: u64,
+    forged_accepted: u64,
+    secs: f64,
+}
+
+/// One synced publisher/subscriber pair, single-signer or quorum.
+fn pair(quorum: bool) -> (RootStore, FeedPublisher, Subscriber) {
+    let mut truth = RootStore::new("primary");
+    truth.add_trusted(simple_chain("e20.example").root).unwrap();
+    let (publisher, trust) = if quorum {
+        let authority =
+            QuorumAuthority::from_seed([0xe2; 32], QuorumConfig { k: 3, n: 5 }, 10).unwrap();
+        let trust = FeedTrust::quorum(authority.trust());
+        let key = FeedKey::new_quorum([0xe3; 32], 12, &authority).unwrap();
+        (
+            FeedPublisher::new_quorum("primary", key, authority, &truth, 0).unwrap(),
+            trust,
+        )
+    } else {
+        let coordinator = CoordinatorKey::from_seed([0xe4; 32], 6).unwrap();
+        let trust = FeedTrust::single(coordinator.public());
+        let key = FeedKey::new([0xe5; 32], 12, &coordinator).unwrap();
+        (
+            FeedPublisher::new("primary", key, &truth, 0).unwrap(),
+            trust,
+        )
+    };
+    let mut publisher = publisher;
+    let mut subscriber = Subscriber::builder("derivative", trust).build();
+    subscriber.sync(&mut publisher, 0).unwrap();
+    (truth, publisher, subscriber)
+}
+
+/// Idle re-polls: nothing new to fetch, the checkpoint content is the
+/// pinned one — the warm path every derivative store lives on.
+fn warm_polls(publisher: &mut FeedPublisher, subscriber: &mut Subscriber, rounds: usize) -> f64 {
+    let timer = Timer::start();
+    for i in 0..rounds {
+        subscriber.sync(publisher, 10 + i as i64).unwrap();
+    }
+    rounds as f64 / timer.secs()
+}
+
+/// Delta catch-up: one published incident per sync, so every round
+/// re-verifies a fresh (witnessed, for the quorum arm) checkpoint.
+fn delta_syncs(
+    truth: &mut RootStore,
+    publisher: &mut FeedPublisher,
+    subscriber: &mut Subscriber,
+    rounds: usize,
+) -> f64 {
+    let timer = Timer::start();
+    for i in 0..rounds {
+        truth.distrust(
+            sha256(format!("e20-incident-{i}").as_bytes()),
+            format!("incident {i}"),
+        );
+        let t = 1_000 + i as i64;
+        publisher.publish(truth, t).unwrap();
+        subscriber.sync(publisher, t).unwrap();
+    }
+    rounds as f64 / timer.secs()
+}
+
+fn main() {
+    header(
+        "E20",
+        "quorum-witnessed feeds: warm-path overhead + minority soundness",
+        "paper §4 (coordinating body as infrastructure); DESIGN.md §5f",
+    );
+    let assert_mode = std::env::var("NRSLB_E20_ASSERT").is_ok();
+    let warm_rounds = scale(200) * 25;
+    let delta_rounds = scale(200);
+    let timer = Timer::start();
+
+    let (_, mut single_pub, mut single_sub) = pair(false);
+    let (_, mut quorum_pub, mut quorum_sub) = pair(true);
+    // Interleave a short warm-up of both arms before timing so neither
+    // pays first-touch costs inside its measurement window.
+    warm_polls(&mut single_pub, &mut single_sub, warm_rounds / 10);
+    warm_polls(&mut quorum_pub, &mut quorum_sub, warm_rounds / 10);
+
+    let warm_single = warm_polls(&mut single_pub, &mut single_sub, warm_rounds);
+    let warm_quorum = warm_polls(&mut quorum_pub, &mut quorum_sub, warm_rounds);
+    let warm_ratio = warm_single / warm_quorum;
+    println!(
+        "warm idle polls:      single {warm_single:>12.0}/s   quorum {warm_quorum:>12.0}/s   \
+         overhead {:.2}%",
+        (warm_ratio - 1.0) * 100.0
+    );
+
+    let (mut single_truth, mut single_pub, mut single_sub) = pair(false);
+    let (mut quorum_truth, mut quorum_pub, mut quorum_sub) = pair(true);
+    let delta_single = delta_syncs(
+        &mut single_truth,
+        &mut single_pub,
+        &mut single_sub,
+        delta_rounds,
+    );
+    let delta_quorum = delta_syncs(
+        &mut quorum_truth,
+        &mut quorum_pub,
+        &mut quorum_sub,
+        delta_rounds,
+    );
+    let delta_ratio = delta_single / delta_quorum;
+    println!(
+        "delta catch-up syncs: single {delta_single:>12.0}/s   quorum {delta_quorum:>12.0}/s   \
+         overhead {:.2}%",
+        (delta_ratio - 1.0) * 100.0
+    );
+
+    // Compromised-minority soundness through the ecosystem simulation:
+    // 100 staged attempts hit a fresh bootstrapping victim AND a pinned
+    // fleet member each, i.e. >= 200 forged-checkpoint presentations.
+    let sim_seed = seed_from_env(0xe20);
+    println!("sim seed: {sim_seed} (override with NRSLB_SIM_SEED)");
+    let mut config = EcosystemConfig {
+        seed: sim_seed,
+        subscribers: vec![
+            SubscriberSpec::named("mirror").polling_every(1_800),
+            SubscriberSpec::named("laggard").polling_every(14_400),
+        ],
+        quorum: Some(QuorumConfig { k: 2, n: 3 }),
+        ..EcosystemConfig::default()
+    };
+    config.minority_attack = Some(MinorityAttack {
+        at_secs: config.epoch_secs + 6 * 3_600,
+        attempts: 100,
+    });
+    config.rotate_at_secs = Some(config.epoch_secs + 10 * 3_600);
+    let mut eco = Ecosystem::new(&config);
+    for _ in 0..600 {
+        eco.step();
+    }
+    println!(
+        "minority attack:      {} forged presentations, {} accepted",
+        eco.forged_attempts(),
+        eco.forged_accepted()
+    );
+    let secs = timer.secs();
+
+    maybe_write_json(&Report {
+        warm_polls: warm_rounds,
+        warm_single_polls_per_s: warm_single,
+        warm_quorum_polls_per_s: warm_quorum,
+        warm_overhead_ratio: warm_ratio,
+        delta_rounds,
+        delta_single_syncs_per_s: delta_single,
+        delta_quorum_syncs_per_s: delta_quorum,
+        delta_overhead_ratio: delta_ratio,
+        sim_seed,
+        forged_attempts: eco.forged_attempts(),
+        forged_accepted: eco.forged_accepted(),
+        secs,
+    });
+
+    if assert_mode {
+        assert!(
+            eco.minority_attack_done() && eco.forged_attempts() >= 200,
+            "minority attack must stage >= 200 presentations, got {} \
+             (replay with NRSLB_SIM_SEED={sim_seed})",
+            eco.forged_attempts()
+        );
+        assert!(
+            eco.forged_accepted() == 0,
+            "a k-1 minority forged an accepted checkpoint ({} of {}); \
+             replay with NRSLB_SIM_SEED={sim_seed}; recent trace:\n{}",
+            eco.forged_accepted(),
+            eco.forged_attempts(),
+            eco.recent_trace(10).join("\n")
+        );
+        assert!(
+            warm_ratio < 1.05,
+            "quorum warm-path overhead must stay < 5%, got {:.2}% \
+             ({warm_quorum:.0} vs {warm_single:.0} polls/s)",
+            (warm_ratio - 1.0) * 100.0
+        );
+        println!("assertions passed (NRSLB_E20_ASSERT=1)");
+    }
+}

@@ -27,6 +27,7 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         ["daemon"] => daemon(&opts, out),
         ["demo", "make-pki"] => demo_make_pki(&opts, out),
         ["demo", "incidents"] => demo_incidents(out),
+        ["demo", "quorum"] => demo_quorum(&opts, out),
         [] => Err(CliError::Usage(
             "expected a command; see crate docs (store/gcc/validate/convert/daemon/demo)".into(),
         )),
@@ -390,6 +391,119 @@ fn demo_incidents(out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// A guided tour of the k-of-n coordinating body: share issuance,
+/// sub-quorum recovery refusal, a quorum-witnessed feed checkpoint, a
+/// compromised-minority forgery rejected live, and a share-rotation
+/// ceremony flowing through the feed like any other mutation.
+fn demo_quorum(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
+    use nrslb_crypto::shamir;
+    use nrslb_rsf::{FeedKey, FeedPublisher, FeedTrust, QuorumAuthority, QuorumConfig, Subscriber};
+
+    let parse = |key: &str, default: &str| -> Result<u8, CliError> {
+        opts.get_or(key, default)
+            .parse::<u8>()
+            .map_err(|_| CliError::Usage(format!("--{key} must be a small integer")))
+    };
+    let k = parse("k", "2")?;
+    let n = parse("n", "3")?;
+    if k == 0 || k > n || n > 8 {
+        return Err(CliError::Usage(format!(
+            "the demo needs 1 <= k <= n <= 8, got k={k} n={n}"
+        )));
+    }
+    let config = QuorumConfig { k, n };
+    let invalid = |e: nrslb_rsf::RsfError| CliError::Invalid(e.to_string());
+
+    writeln!(out, "quorum demo: {k}-of-{n} coordinating body").ok();
+    let authority = QuorumAuthority::from_seed([0x42; 32], config, 6).map_err(invalid)?;
+    for id in 0..n {
+        let share = authority
+            .share(id)
+            .ok_or_else(|| CliError::Invalid(format!("no share for signer {id}")))?;
+        writeln!(
+            out,
+            "  signer {id}: holds share index {} ({} body bytes)",
+            share.index,
+            share.body.len()
+        )
+        .ok();
+    }
+    if k > 1 {
+        let minority_shares: Vec<shamir::Share> =
+            (0..k - 1).filter_map(|id| authority.share(id)).collect();
+        match shamir::recover(&minority_shares, k) {
+            Err(e) => writeln!(out, "  {} shares alone: {e}", k - 1).ok(),
+            Ok(_) => return Err(CliError::Invalid("sub-quorum recovery succeeded".into())),
+        };
+    }
+
+    let mut truth = RootStore::new("primary");
+    truth
+        .add_trusted(nrslb_x509::testutil::simple_chain("quorum.example").root)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let trust = FeedTrust::quorum(authority.trust());
+    let key = FeedKey::new_quorum([0x43; 32], 8, &authority).map_err(invalid)?;
+    let mut publisher =
+        FeedPublisher::new_quorum("primary", key, authority, &truth, 0).map_err(invalid)?;
+    let mut subscriber = Subscriber::builder("derivative", trust).build();
+    subscriber.sync(&mut publisher, 10).map_err(invalid)?;
+    writeln!(
+        out,
+        "  honest sync: subscriber at sequence {}",
+        subscriber.sequence()
+    )
+    .ok();
+
+    // A compromised minority (k-1 signers) re-witnesses a checkpoint
+    // over a doctored feed; the subscriber must refuse it and stay
+    // un-quarantined (the forgery is retryable, not a split view).
+    truth.distrust(
+        nrslb_crypto::sha256::sha256(b"demo incident"),
+        "demo incident",
+    );
+    publisher.publish(&truth, 20).map_err(invalid)?;
+    let messages: Vec<_> = publisher
+        .fetch(subscriber.sequence())
+        .into_iter()
+        .cloned()
+        .collect();
+    let mut forged = publisher.checkpoint().map_err(invalid)?;
+    let minority = QuorumAuthority::from_seed([0x42; 32], config, 6).map_err(invalid)?;
+    let ids: Vec<u8> = (0..k - 1).collect();
+    forged.witness = if ids.is_empty() {
+        None
+    } else {
+        Some(
+            minority
+                .sign_with(&ids, &forged.encode())
+                .map_err(invalid)?,
+        )
+    };
+    match subscriber.poll(messages, forged, None, 20) {
+        Err(e) => writeln!(out, "  {}-signer forgery: rejected ({e})", k - 1).ok(),
+        Ok(_) => return Err(CliError::Invalid("forged checkpoint accepted".into())),
+    };
+    subscriber.sync(&mut publisher, 30).map_err(invalid)?;
+    writeln!(
+        out,
+        "  recovery sync: subscriber at sequence {}",
+        subscriber.sequence()
+    )
+    .ok();
+
+    let event = publisher.rotate(40).map_err(invalid)?.clone();
+    subscriber.sync(&mut publisher, 50).map_err(invalid)?;
+    writeln!(
+        out,
+        "  rotation ceremony: epoch {} -> {}, applied by subscriber ({} total)",
+        event.from_epoch,
+        event.to_epoch,
+        subscriber.counters().rotations_applied
+    )
+    .ok();
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -592,6 +706,22 @@ mod tests {
         assert!(out.contains("symantec"));
         assert!(out.contains("trustcor"));
         assert_eq!(out.matches("gcc").count(), 7);
+    }
+
+    #[test]
+    fn quorum_demo_walks_the_happy_and_forged_paths() {
+        let out = run_cmd(&["demo", "quorum"]).unwrap();
+        assert!(out.contains("2-of-3 coordinating body"), "{out}");
+        assert!(out.contains("1 shares alone"), "{out}");
+        assert!(out.contains("1-signer forgery: rejected"), "{out}");
+        assert!(out.contains("rotation ceremony: epoch 1 -> 2"), "{out}");
+
+        let out = run_cmd(&["demo", "quorum", "--k", "3", "--n", "4"]).unwrap();
+        assert!(out.contains("3-of-4 coordinating body"), "{out}");
+        assert!(out.contains("2-signer forgery: rejected"), "{out}");
+
+        assert!(run_cmd(&["demo", "quorum", "--k", "5", "--n", "3"]).is_err());
+        assert!(run_cmd(&["demo", "quorum", "--k", "0"]).is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! nrslb daemon --store store.rsf --socket PATH [--engine reactor|thread-pool]
 //! nrslb demo make-pki --dir DIR                       # demo certs + store
 //! nrslb demo incidents                                # the E9 matrix
+//! nrslb demo quorum [--k K --n N]                     # k-of-n feed signing tour
 //! ```
 //!
 //! The command implementations live in this library so integration tests

@@ -1189,9 +1189,7 @@ mod tests {
         let coordinator = CoordinatorKey::from_seed([21; 32], 4).unwrap();
         let key = FeedKey::new([22; 32], 6, &coordinator).unwrap();
         let mut publisher = FeedPublisher::new("platform", key, &store, 0).unwrap();
-        let trust = FeedTrust {
-            coordinator: coordinator.public(),
-        };
+        let trust = FeedTrust::single(coordinator.public());
         let feed = Arc::new(Mutex::new(Subscriber::builder("platform", trust).build()));
 
         let mut daemon = spawn_default(store, "feed");
@@ -1246,9 +1244,7 @@ mod tests {
         let coordinator = CoordinatorKey::from_seed([31; 32], 4).unwrap();
         let key = FeedKey::new([32; 32], 6, &coordinator).unwrap();
         let mut publisher = FeedPublisher::new("platform", key, &store, 0).unwrap();
-        let trust = FeedTrust {
-            coordinator: coordinator.public(),
-        };
+        let trust = FeedTrust::single(coordinator.public());
         let feed = Arc::new(Mutex::new(
             Subscriber::builder("platform", trust)
                 .registry(Arc::clone(&registry))

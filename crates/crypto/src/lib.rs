@@ -15,6 +15,9 @@
 //!   the paper's contribution is trust *policy*, not cryptography, and a
 //!   hash-based scheme gives genuinely asymmetric sign/verify with only
 //!   the primitives above (see DESIGN.md §2 for the substitution note).
+//! * [`shamir`] — Shamir secret sharing over GF(256) (constant-table
+//!   log/exp arithmetic, polynomial split, Lagrange recovery), the
+//!   substrate for the k-of-n coordinating-body quorum in `nrslb-rsf`.
 //! * [`hex`] / [`base64`] — encodings for fingerprints and PEM armor.
 //!
 //! All types are `Send + Sync` and the crate performs no I/O.
@@ -27,6 +30,7 @@ pub mod hex;
 pub mod hmac;
 pub mod merkle;
 pub mod sha256;
+pub mod shamir;
 
 pub use hbs::{Keypair, PublicKey, Signature};
 pub use sha256::{sha256, Digest, Sha256};

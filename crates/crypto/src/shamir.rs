@@ -1,0 +1,331 @@
+//! Shamir secret sharing over GF(256).
+//!
+//! The coordinating body behind a root-store feed must not be a single
+//! point of compromise (the paper hands feed-key endorsement to "a
+//! coordinating body like ICANN"; one leaked key would forge the feed
+//! for every derivative store). This module provides the arithmetic
+//! substrate for the k-of-n quorum in `nrslb-rsf`: the body's master
+//! secret is split into `n` shares such that any `k` recover it
+//! byte-exactly and any `k-1` learn nothing.
+//!
+//! Everything is built from scratch, like the rest of this crate:
+//!
+//! * GF(256) under the AES reduction polynomial `x⁸+x⁴+x³+x+1`
+//!   (0x11b), with constant log/exp tables built at compile time over
+//!   generator `0x03` — multiplication is two table lookups and a
+//!   modular add, division a lookup subtraction.
+//! * Polynomial splitting: per secret byte, a random polynomial of
+//!   degree `k-1` with the secret as the constant term, evaluated at
+//!   the share indices `x = 1..=n` (Horner form).
+//! * Lagrange recovery at `x = 0` from any `k` distinct shares.
+//!
+//! Shares carry a short integrity checksum so accidental corruption is
+//! caught before interpolation silently yields garbage; all failure
+//! modes are typed ([`ShamirError`]).
+
+use crate::sha256::sha256_concat;
+use std::fmt;
+
+/// Compile-time exp/log tables for GF(256) over generator `0x03`.
+///
+/// `exp[i] = 3^i` for `i in 0..255` (the generator has order 255);
+/// `log[exp[i]] = i`, with `log[0]` unused (zero has no logarithm).
+const fn build_tables() -> ([u8; 256], [u8; 256]) {
+    let mut exp = [0u8; 256];
+    let mut log = [0u8; 256];
+    let mut x: u8 = 1;
+    let mut i = 0usize;
+    while i < 255 {
+        exp[i] = x;
+        log[x as usize] = i as u8;
+        // x *= 3 in GF(256): x ⊕ xtime(x), reducing by 0x11b.
+        let mut doubled = x << 1;
+        if x & 0x80 != 0 {
+            doubled ^= 0x1b;
+        }
+        x ^= doubled;
+        i += 1;
+    }
+    // exp[255] mirrors exp[0] so `exp[(log a + log b) % 255]` never
+    // needs a second reduction.
+    exp[255] = exp[0];
+    (exp, log)
+}
+
+const TABLES: ([u8; 256], [u8; 256]) = build_tables();
+
+/// `GF_EXP[i] = 3^i` in GF(256) (index 255 wraps to 1).
+pub const GF_EXP: [u8; 256] = TABLES.0;
+
+/// `GF_LOG[x]` = the discrete log of `x` base 3 (`GF_LOG[0]` is
+/// meaningless; zero has no logarithm).
+pub const GF_LOG: [u8; 256] = TABLES.1;
+
+/// Addition in GF(256) (= subtraction): XOR.
+#[inline]
+pub fn gf_add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication in GF(256) via the log/exp tables.
+#[inline]
+pub fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let sum = GF_LOG[a as usize] as usize + GF_LOG[b as usize] as usize;
+    GF_EXP[sum % 255]
+}
+
+/// Multiplicative inverse. Panics on zero (which has no inverse) —
+/// callers in this module guard against zero denominators by
+/// construction (share indices are distinct and nonzero).
+#[inline]
+pub fn gf_inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(256)");
+    GF_EXP[(255 - GF_LOG[a as usize] as usize) % 255]
+}
+
+/// Division `a / b` in GF(256). Panics when `b == 0`.
+#[inline]
+pub fn gf_div(a: u8, b: u8) -> u8 {
+    gf_mul(a, gf_inv(b))
+}
+
+/// Typed failures of the sharing layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShamirError {
+    /// `k` or `n` out of range (need `1 <= k <= n <= 255`).
+    BadParameters {
+        /// Requested threshold.
+        k: u8,
+        /// Requested share count.
+        n: u8,
+    },
+    /// Recovery was attempted with fewer shares than the threshold.
+    TooFewShares {
+        /// The threshold `k`.
+        need: u8,
+        /// Shares actually supplied.
+        got: usize,
+    },
+    /// Two supplied shares carry the same index.
+    DuplicateShare(u8),
+    /// A share's integrity checksum does not match its body.
+    CorruptShare(u8),
+    /// Shares of different lengths cannot belong to one split.
+    LengthMismatch,
+    /// A share carries the reserved index 0 (the secret's coordinate).
+    BadIndex,
+}
+
+impl fmt::Display for ShamirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShamirError::BadParameters { k, n } => {
+                write!(f, "bad shamir parameters: k={k}, n={n}")
+            }
+            ShamirError::TooFewShares { need, got } => {
+                write!(f, "threshold not met: need {need} shares, got {got}")
+            }
+            ShamirError::DuplicateShare(i) => write!(f, "duplicate share index {i}"),
+            ShamirError::CorruptShare(i) => write!(f, "share {i} failed its checksum"),
+            ShamirError::LengthMismatch => write!(f, "shares have mismatched lengths"),
+            ShamirError::BadIndex => write!(f, "share index 0 is reserved"),
+        }
+    }
+}
+
+impl std::error::Error for ShamirError {}
+
+/// Domain-separation prefix for share checksums.
+const SHARE_TAG: &[u8] = b"nrslb-shamir-share-v1:";
+
+fn share_checksum(index: u8, body: &[u8]) -> [u8; 4] {
+    let digest = sha256_concat(&[SHARE_TAG, &[index], body]);
+    digest.as_bytes()[..4].try_into().unwrap()
+}
+
+/// One share of a split secret: the evaluation of the sharing
+/// polynomials at `x = index`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Share {
+    /// The x-coordinate, `1..=n` (0 is the secret itself and reserved).
+    pub index: u8,
+    /// One polynomial evaluation per secret byte.
+    pub body: Vec<u8>,
+    /// Truncated-SHA-256 integrity checksum over `(index, body)`.
+    pub checksum: [u8; 4],
+}
+
+impl Share {
+    /// Assemble a share, computing its checksum.
+    pub fn new(index: u8, body: Vec<u8>) -> Share {
+        let checksum = share_checksum(index, &body);
+        Share {
+            index,
+            body,
+            checksum,
+        }
+    }
+
+    /// Validate the integrity checksum.
+    pub fn verify_checksum(&self) -> Result<(), ShamirError> {
+        if self.index == 0 {
+            return Err(ShamirError::BadIndex);
+        }
+        if share_checksum(self.index, &self.body) != self.checksum {
+            return Err(ShamirError::CorruptShare(self.index));
+        }
+        Ok(())
+    }
+}
+
+/// Split `secret` into `n` shares with threshold `k`.
+///
+/// `fill` supplies the random polynomial coefficients (the same
+/// injection point as [`crate::hbs::Keypair::generate`]): it is called
+/// once per polynomial degree with a buffer one byte per secret byte.
+/// A deterministic `fill` (e.g. a PRF counter stream) makes the split
+/// reproducible, which the quorum layer uses for seeded ceremonies.
+pub fn split(
+    secret: &[u8],
+    k: u8,
+    n: u8,
+    mut fill: impl FnMut(&mut [u8]),
+) -> Result<Vec<Share>, ShamirError> {
+    if k == 0 || n == 0 || k > n {
+        return Err(ShamirError::BadParameters { k, n });
+    }
+    // Coefficients c_1..c_{k-1}, each a vector over the secret bytes;
+    // c_0 is the secret itself.
+    let mut coeffs: Vec<Vec<u8>> = Vec::with_capacity(k as usize - 1);
+    for _ in 1..k {
+        let mut c = vec![0u8; secret.len()];
+        fill(&mut c);
+        coeffs.push(c);
+    }
+    let mut shares = Vec::with_capacity(n as usize);
+    for x in 1..=n {
+        let mut body = Vec::with_capacity(secret.len());
+        for (pos, &s) in secret.iter().enumerate() {
+            // Horner evaluation from the top coefficient down to c_0 = s.
+            let mut acc = 0u8;
+            for c in coeffs.iter().rev() {
+                acc = gf_add(gf_mul(acc, x), c[pos]);
+            }
+            body.push(gf_add(gf_mul(acc, x), s));
+        }
+        shares.push(Share::new(x, body));
+    }
+    Ok(shares)
+}
+
+/// Recover the secret from at least `k` distinct shares (Lagrange
+/// interpolation at `x = 0`; only the first `k` valid shares are
+/// used).
+///
+/// Every share is checksum-verified and the set is checked for
+/// duplicates and length mismatches first, so corruption surfaces as a
+/// typed error instead of silently interpolating garbage.
+pub fn recover(shares: &[Share], k: u8) -> Result<Vec<u8>, ShamirError> {
+    if k == 0 {
+        return Err(ShamirError::BadParameters { k, n: k });
+    }
+    if shares.len() < k as usize {
+        return Err(ShamirError::TooFewShares {
+            need: k,
+            got: shares.len(),
+        });
+    }
+    let used = &shares[..k as usize];
+    let mut seen = [false; 256];
+    let len = used[0].body.len();
+    for share in used {
+        share.verify_checksum()?;
+        if share.body.len() != len {
+            return Err(ShamirError::LengthMismatch);
+        }
+        if seen[share.index as usize] {
+            return Err(ShamirError::DuplicateShare(share.index));
+        }
+        seen[share.index as usize] = true;
+    }
+    // Lagrange basis at x = 0: L_i(0) = Π_{j≠i} x_j / (x_j ⊕ x_i).
+    let mut secret = vec![0u8; len];
+    for (i, share_i) in used.iter().enumerate() {
+        let mut basis = 1u8;
+        for (j, share_j) in used.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            basis = gf_mul(
+                basis,
+                gf_div(share_j.index, gf_add(share_j.index, share_i.index)),
+            );
+        }
+        for (pos, &b) in share_i.body.iter().enumerate() {
+            secret[pos] = gf_add(secret[pos], gf_mul(basis, b));
+        }
+    }
+    Ok(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_fill() -> impl FnMut(&mut [u8]) {
+        let mut state = 0x5eedu32;
+        move |buf: &mut [u8]| {
+            for b in buf {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                *b = (state >> 16) as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn fips197_multiplication_example() {
+        // FIPS-197 §4.2: {57} • {83} = {c1}, and {57} • {13} = {fe}.
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn split_recover_roundtrip() {
+        let secret = b"the coordinating body's master key".to_vec();
+        let shares = split(&secret, 3, 5, counter_fill()).unwrap();
+        assert_eq!(shares.len(), 5);
+        // Any 3 recover; use a non-prefix subset.
+        let subset = vec![shares[4].clone(), shares[1].clone(), shares[3].clone()];
+        assert_eq!(recover(&subset, 3).unwrap(), secret);
+    }
+
+    #[test]
+    fn threshold_enforced() {
+        let shares = split(b"secret", 3, 5, counter_fill()).unwrap();
+        let err = recover(&shares[..2], 3);
+        assert_eq!(err, Err(ShamirError::TooFewShares { need: 3, got: 2 }));
+    }
+
+    #[test]
+    fn duplicate_and_corrupt_rejected() {
+        let shares = split(b"secret", 2, 3, counter_fill()).unwrap();
+        let dup = vec![shares[0].clone(), shares[0].clone()];
+        assert_eq!(recover(&dup, 2), Err(ShamirError::DuplicateShare(1)));
+        let mut bad = shares.clone();
+        bad[1].body[0] ^= 0x40;
+        assert_eq!(
+            recover(&bad[..2], 2),
+            Err(ShamirError::CorruptShare(bad[1].index))
+        );
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(split(b"s", 0, 3, counter_fill()).is_err());
+        assert!(split(b"s", 4, 3, counter_fill()).is_err());
+        assert!(recover(&[], 0).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! GF(256) field-axiom property tests and golden vectors for the
+//! Shamir layer's arithmetic (the AES field, polynomial `0x11b`).
+//!
+//! The sharing scheme's soundness rests entirely on these axioms: if
+//! the field is wrong, split/recover still "round-trips" for the
+//! degenerate cases while silently corrupting thresholds. So the field
+//! is pinned independently of the scheme, against both the algebra
+//! (proptests over all axioms) and FIPS-197 worked examples (golden
+//! vectors).
+
+use nrslb_crypto::shamir::{gf_add, gf_div, gf_inv, gf_mul, GF_EXP, GF_LOG};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn addition_is_xor_and_self_inverse(a in any::<u8>(), b in any::<u8>()) {
+        prop_assert_eq!(gf_add(a, b), a ^ b);
+        prop_assert_eq!(gf_add(a, b), gf_add(b, a));
+        prop_assert_eq!(gf_add(a, 0), a);
+        prop_assert_eq!(gf_add(a, a), 0);
+    }
+
+    #[test]
+    fn addition_associates(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(gf_add(gf_add(a, b), c), gf_add(a, gf_add(b, c)));
+    }
+
+    #[test]
+    fn multiplication_commutes_with_identity_and_zero(a in any::<u8>(), b in any::<u8>()) {
+        prop_assert_eq!(gf_mul(a, b), gf_mul(b, a));
+        prop_assert_eq!(gf_mul(a, 1), a);
+        prop_assert_eq!(gf_mul(a, 0), 0);
+    }
+
+    #[test]
+    fn multiplication_associates(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(gf_mul(gf_mul(a, b), c), gf_mul(a, gf_mul(b, c)));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(gf_mul(a, gf_add(b, c)), gf_add(gf_mul(a, b), gf_mul(a, c)));
+    }
+
+    #[test]
+    fn nonzero_elements_invert(a in any::<u8>()) {
+        prop_assume!(a != 0);
+        prop_assert_eq!(gf_mul(a, gf_inv(a)), 1);
+        prop_assert_eq!(gf_inv(gf_inv(a)), a);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in any::<u8>(), b in any::<u8>()) {
+        prop_assume!(b != 0);
+        prop_assert_eq!(gf_mul(gf_div(a, b), b), a);
+        prop_assert_eq!(gf_div(gf_mul(a, b), b), a);
+    }
+
+    #[test]
+    fn no_zero_divisors(a in any::<u8>(), b in any::<u8>()) {
+        prop_assume!(a != 0 && b != 0);
+        prop_assert_ne!(gf_mul(a, b), 0);
+    }
+
+    #[test]
+    fn log_exp_tables_are_inverse(a in any::<u8>()) {
+        prop_assume!(a != 0);
+        prop_assert_eq!(GF_EXP[GF_LOG[a as usize] as usize], a);
+    }
+}
+
+/// The generator 0x03 cycles through every nonzero element exactly
+/// once before returning to 1 (the exp table's defining property).
+#[test]
+fn generator_has_full_order() {
+    let mut seen = [false; 256];
+    let mut x = 1u8;
+    for _ in 0..255 {
+        assert!(!seen[x as usize], "generator cycle shorter than 255");
+        seen[x as usize] = true;
+        x = gf_mul(x, 0x03);
+    }
+    assert_eq!(x, 1, "generator order is not 255");
+    assert!(!seen[0], "generator reached zero");
+}
+
+/// Worked examples from FIPS-197 §4.2 and the AES S-box derivation:
+/// any sign error in the reduction polynomial breaks these.
+#[test]
+fn golden_vectors() {
+    // FIPS-197 §4.2: {57} • {83} = {c1}.
+    assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+    // FIPS-197 §4.2.1: {57} • {13} = {fe}.
+    assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+    // xtime chain: {57}•{02}={ae}, {57}•{04}={47}, {57}•{08}={8e}.
+    assert_eq!(gf_mul(0x57, 0x02), 0xae);
+    assert_eq!(gf_mul(0x57, 0x04), 0x47);
+    assert_eq!(gf_mul(0x57, 0x08), 0x8e);
+    // The canonical inverse pair from the S-box construction.
+    assert_eq!(gf_mul(0x53, 0xca), 0x01);
+    assert_eq!(gf_inv(0x53), 0xca);
+    assert_eq!(gf_inv(0xca), 0x53);
+    // Inverse of the xtime element.
+    assert_eq!(gf_inv(0x02), 0x8d);
+    assert_eq!(gf_inv(0x01), 0x01);
+    // Reduction wraps: {80} • {02} overflows into 0x11b.
+    assert_eq!(gf_mul(0x80, 0x02), 0x1b);
+    assert_eq!(gf_mul(0xff, 0xff), 0x13);
+}

@@ -1,0 +1,161 @@
+//! Shamir split/recover round-trip properties: exhaustive threshold
+//! coverage for all `1 <= k <= n <= 16`, randomized share subsets, and
+//! typed rejection of under-threshold, duplicate and tampered shares.
+
+use nrslb_crypto::shamir::{recover, split, ShamirError, Share};
+use proptest::prelude::*;
+
+/// A cheap deterministic coefficient stream (xorshift) so every test
+/// split is reproducible from its label.
+fn stream(mut state: u64) -> impl FnMut(&mut [u8]) {
+    move |buf: &mut [u8]| {
+        for byte in buf {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *byte = state as u8;
+        }
+    }
+}
+
+/// Every `(k, n)` with `1 <= k <= n <= 16`, every cyclic `k`-subset of
+/// the shares: recovery is byte-exact, and `k-1` shares are refused
+/// with the typed threshold error.
+#[test]
+fn all_thresholds_up_to_16_roundtrip() {
+    let secret: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(37) ^ 0x5a).collect();
+    for n in 1u8..=16 {
+        for k in 1u8..=n {
+            let shares = split(&secret, k, n, stream(((k as u64) << 8) | n as u64)).unwrap();
+            assert_eq!(shares.len(), n as usize);
+            for offset in 0..n as usize {
+                let subset: Vec<Share> = (0..k as usize)
+                    .map(|i| shares[(offset + i) % n as usize].clone())
+                    .collect();
+                assert_eq!(
+                    recover(&subset, k).unwrap(),
+                    secret,
+                    "k={k} n={n} offset={offset}"
+                );
+                assert_eq!(
+                    recover(&subset[..k as usize - 1], k),
+                    Err(ShamirError::TooFewShares {
+                        need: k,
+                        got: k as usize - 1
+                    }),
+                    "k={k} n={n} offset={offset}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Any (not just cyclic) k-subset, over random secrets and sizes.
+    #[test]
+    fn random_subset_recovers_byte_exactly(
+        secret in proptest::collection::vec(any::<u8>(), 1..64),
+        k in 1u8..17,
+        extra in 0u8..9,
+        pick_seed in any::<u64>(),
+    ) {
+        let n = k + extra.min(16 - k);
+        let shares = split(&secret, k, n, stream(pick_seed | 1)).unwrap();
+        // Fisher-Yates over the share indices, driven by the seed.
+        let mut order: Vec<usize> = (0..n as usize).collect();
+        let mut state = pick_seed | 1;
+        for i in (1..order.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let subset: Vec<Share> = order[..k as usize].iter().map(|&i| shares[i].clone()).collect();
+        prop_assert_eq!(recover(&subset, k).unwrap(), secret);
+    }
+
+    // Interpolating below the threshold (an attacker pretending the
+    // scheme was `k-1`-of-`n`) never reproduces the secret.
+    #[test]
+    fn under_threshold_interpolation_mismatches(
+        secret in proptest::collection::vec(any::<u8>(), 8..64),
+        k in 2u8..17,
+        fill_seed in any::<u64>(),
+    ) {
+        let n = k;
+        let shares = split(&secret, k, n, stream(fill_seed | 1)).unwrap();
+        // With >= 8 secret bytes the per-byte collision chance is
+        // <= 2^-64: a match here means the threshold leaked.
+        if let Ok(wrong) = recover(&shares[..k as usize - 1], k - 1) {
+            prop_assert_ne!(wrong, secret);
+        }
+    }
+
+    // A duplicated share index is a typed error, not a silent
+    // interpolation of a degenerate basis.
+    #[test]
+    fn duplicate_share_rejected(
+        secret in proptest::collection::vec(any::<u8>(), 1..32),
+        k in 2u8..9,
+    ) {
+        let shares = split(&secret, k, k + 1, stream(7)).unwrap();
+        let mut dup = shares[..k as usize].to_vec();
+        dup[1] = dup[0].clone();
+        prop_assert_eq!(
+            recover(&dup, k),
+            Err(ShamirError::DuplicateShare(dup[0].index))
+        );
+    }
+
+    // Any single-byte body tamper trips the share checksum.
+    #[test]
+    fn tampered_share_rejected(
+        secret in proptest::collection::vec(any::<u8>(), 1..32),
+        k in 1u8..9,
+        victim_seed in any::<u64>(),
+        byte_seed in any::<u64>(),
+        flip in any::<u8>(),
+    ) {
+        prop_assume!(flip != 0);
+        let shares = split(&secret, k, k, stream(11)).unwrap();
+        let mut tampered = shares.clone();
+        let v = (victim_seed % tampered.len() as u64) as usize;
+        let b = (byte_seed % tampered[v].body.len() as u64) as usize;
+        tampered[v].body[b] ^= flip;
+        let index = tampered[v].index;
+        prop_assert_eq!(recover(&tampered, k), Err(ShamirError::CorruptShare(index)));
+    }
+}
+
+/// The remaining typed rejections: reserved index 0, checksum-valid
+/// shares of different lengths, and out-of-range parameters.
+#[test]
+fn structural_rejections_are_typed() {
+    let secret = b"root-store quorum master secret!";
+    let shares = split(secret, 3, 5, stream(13)).unwrap();
+
+    let mut zeroed = shares[..3].to_vec();
+    zeroed[2] = Share::new(0, zeroed[2].body.clone());
+    assert_eq!(recover(&zeroed, 3), Err(ShamirError::BadIndex));
+
+    let mut short = shares[..3].to_vec();
+    let mut body = short[1].body.clone();
+    body.pop();
+    short[1] = Share::new(short[1].index, body);
+    assert_eq!(recover(&short, 3), Err(ShamirError::LengthMismatch));
+
+    assert_eq!(
+        split(secret, 0, 5, stream(17)),
+        Err(ShamirError::BadParameters { k: 0, n: 5 })
+    );
+    assert_eq!(
+        split(secret, 6, 5, stream(17)),
+        Err(ShamirError::BadParameters { k: 6, n: 5 })
+    );
+    assert_eq!(
+        recover(&shares, 0),
+        Err(ShamirError::BadParameters { k: 0, n: 0 })
+    );
+}

@@ -31,6 +31,7 @@
 pub mod clock;
 pub mod feed;
 pub mod merge;
+pub mod quorum;
 pub mod signing;
 pub mod socket;
 pub mod sync;
@@ -42,7 +43,8 @@ pub mod wire;
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use feed::{Delta, GccEntry, RootEntry, Snapshot, SystematicConstraints};
 pub use merge::{merge_stores, Conflict, MergeReport};
-pub use signing::{CoordinatorKey, FeedKey, FeedTrust, SignedMessage};
+pub use quorum::{QuorumAuthority, QuorumConfig, QuorumSignature, QuorumTrust, RotationEvent};
+pub use signing::{CoordinatorKey, Endorsement, FeedKey, FeedTrust, SignedMessage};
 pub use socket::{FeedSocketServer, RemoteSubscriber};
 pub use sync::{
     FeedUpdate, ResilientReport, Staleness, Subscriber, SubscriberBuilder, SyncCounters, SyncEvent,

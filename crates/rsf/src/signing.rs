@@ -1,11 +1,23 @@
 //! Feed signing: "RSF updates \[should\] be signed with a separate key that
 //! should itself be signed by a coordinating body like ICANN" (§4).
 //!
-//! Two-link verification chain: subscribers pin the **coordinator's**
-//! public key ([`FeedTrust`]); each message carries the feed's public key,
-//! the coordinator's *endorsement* of that key, and the feed's signature
-//! over the payload.
+//! Two-link verification chain: subscribers pin the **coordinating
+//! body** ([`FeedTrust`]); each message carries the feed's public key,
+//! the body's *endorsement* of that key, and the feed's signature over
+//! the payload.
+//!
+//! The coordinating body comes in two shapes:
+//!
+//! * [`FeedTrust::Single`] — one [`CoordinatorKey`]. This is the
+//!   original scheme, kept as a byte-identical ablation arm
+//!   (`RSF1-SIGNED` frames); it is **deprecated in favour of the
+//!   quorum** because one leaked key forges the feed for every
+//!   derivative store (DESIGN.md §5f).
+//! * [`FeedTrust::Quorum`] — a k-of-n signer set
+//!   ([`crate::quorum::QuorumTrust`]); endorsements are
+//!   [`QuorumSignature`]s and frames are tagged `RSF2-SIGNED`.
 
+use crate::quorum::{QuorumAuthority, QuorumSignature, QuorumTrust, RotationEvent};
 use crate::wire::{Reader, Writer};
 use crate::RsfError;
 use nrslb_crypto::hbs::{self, Keypair, PublicKey, Signature};
@@ -16,7 +28,7 @@ use std::sync::Mutex;
 const ENDORSE_TAG: &[u8] = b"nrslb-rsf-endorse-v1:";
 const MESSAGE_TAG: &[u8] = b"nrslb-rsf-message-v1:";
 
-fn endorse_bytes(feed_key: &PublicKey) -> Vec<u8> {
+pub(crate) fn endorse_bytes(feed_key: &PublicKey) -> Vec<u8> {
     let mut out = ENDORSE_TAG.to_vec();
     out.extend_from_slice(&feed_key.to_bytes());
     out
@@ -62,15 +74,27 @@ impl CoordinatorKey {
     }
 }
 
-/// A feed operator's signing key plus its coordinator endorsement.
+/// A coordinating body's endorsement of a feed key — either the legacy
+/// single signature or a k-of-n quorum signature.
+#[derive(Clone, Debug)]
+pub enum Endorsement {
+    /// One [`CoordinatorKey`] signature (deprecated ablation arm;
+    /// byte-identical `RSF1-SIGNED` frames).
+    Single(Signature),
+    /// A k-of-n quorum signature (`RSF2-SIGNED` frames).
+    Quorum(QuorumSignature),
+}
+
+/// A feed operator's signing key plus its coordinating-body endorsement.
 pub struct FeedKey {
     keypair: Mutex<Keypair>,
     public: PublicKey,
-    endorsement: Signature,
+    endorsement: Mutex<Endorsement>,
 }
 
 impl FeedKey {
-    /// Create a feed key and have `coordinator` endorse it.
+    /// Create a feed key and have `coordinator` endorse it
+    /// (single-signer ablation arm).
     pub fn new(
         seed: [u8; 32],
         height: u8,
@@ -83,8 +107,33 @@ impl FeedKey {
         Ok(FeedKey {
             keypair: Mutex::new(keypair),
             public,
-            endorsement,
+            endorsement: Mutex::new(Endorsement::Single(endorsement)),
         })
+    }
+
+    /// Create a feed key endorsed by a k-of-n quorum.
+    pub fn new_quorum(
+        seed: [u8; 32],
+        height: u8,
+        authority: &QuorumAuthority,
+    ) -> Result<FeedKey, RsfError> {
+        let keypair =
+            Keypair::from_seed(seed, height).map_err(|_| RsfError::Wire("bad key params"))?;
+        let public = keypair.public();
+        let endorsement = authority.sign(&endorse_bytes(&public))?;
+        Ok(FeedKey {
+            keypair: Mutex::new(keypair),
+            public,
+            endorsement: Mutex::new(Endorsement::Quorum(endorsement)),
+        })
+    }
+
+    /// Refresh the endorsement after a quorum rotation: messages signed
+    /// from here on carry a new-epoch endorsement.
+    pub fn re_endorse(&self, authority: &QuorumAuthority) -> Result<(), RsfError> {
+        let endorsement = authority.sign(&endorse_bytes(&self.public))?;
+        *self.endorsement.lock().unwrap() = Endorsement::Quorum(endorsement);
+        Ok(())
     }
 
     /// The feed's public key.
@@ -114,17 +163,67 @@ impl FeedKey {
             kind,
             payload: payload.to_vec(),
             feed_key: self.public,
-            endorsement: self.endorsement.clone(),
+            endorsement: self.endorsement.lock().unwrap().clone(),
             signature,
         })
     }
 }
 
-/// What a subscriber pins: the coordinator's public key.
-#[derive(Clone, Copy, Debug)]
-pub struct FeedTrust {
-    /// Trusted coordinator public key.
-    pub coordinator: PublicKey,
+/// What a subscriber pins: the coordinating body behind the feed.
+#[derive(Clone, Debug)]
+pub enum FeedTrust {
+    /// Legacy single-coordinator trust (deprecated ablation arm).
+    Single {
+        /// Trusted coordinator public key.
+        coordinator: PublicKey,
+    },
+    /// k-of-n quorum trust; advanced in place by
+    /// [`FeedTrust::apply_rotation`].
+    Quorum(QuorumTrust),
+}
+
+impl FeedTrust {
+    /// Pin a single coordinator key (ablation arm).
+    pub fn single(coordinator: PublicKey) -> FeedTrust {
+        FeedTrust::Single { coordinator }
+    }
+
+    /// Pin a k-of-n quorum.
+    pub fn quorum(trust: QuorumTrust) -> FeedTrust {
+        FeedTrust::Quorum(trust)
+    }
+
+    /// Verify an endorsement of `feed_key` under this trust. A
+    /// single-signer endorsement presented to a quorum subscriber (or
+    /// vice versa) is a scheme mismatch and rejected outright.
+    pub fn verify_endorsement(
+        &self,
+        feed_key: &PublicKey,
+        endorsement: &Endorsement,
+    ) -> Result<(), RsfError> {
+        match (self, endorsement) {
+            (FeedTrust::Single { coordinator }, Endorsement::Single(sig)) => {
+                hbs::verify(coordinator, &endorse_bytes(feed_key), sig)
+                    .map_err(|_| RsfError::BadSignature("feed key endorsement"))
+            }
+            (FeedTrust::Quorum(quorum), Endorsement::Quorum(sig)) => quorum
+                .verify(&endorse_bytes(feed_key), sig)
+                .map_err(|_| RsfError::BadSignature("feed key endorsement")),
+            _ => Err(RsfError::BadSignature("endorsement scheme mismatch")),
+        }
+    }
+
+    /// Apply a quorum rotation event (no-op error for the single-signer
+    /// arm, which has no rotation story — one more reason it is the
+    /// deprecated arm). Returns whether the trust actually advanced.
+    pub fn apply_rotation(&mut self, event: &RotationEvent) -> Result<bool, RsfError> {
+        match self {
+            FeedTrust::Single { .. } => Err(RsfError::BadSignature(
+                "rotation event for single-signer feed",
+            )),
+            FeedTrust::Quorum(quorum) => quorum.apply_rotation(event),
+        }
+    }
 }
 
 /// The kind of payload inside a signed message.
@@ -157,21 +256,16 @@ pub struct SignedMessage {
     pub payload: Vec<u8>,
     /// The feed's public key.
     pub feed_key: PublicKey,
-    /// Coordinator's endorsement of `feed_key`.
-    pub endorsement: Signature,
+    /// The coordinating body's endorsement of `feed_key`.
+    pub endorsement: Endorsement,
     /// Feed signature over the payload.
     pub signature: Signature,
 }
 
 impl SignedMessage {
-    /// Verify the two-link chain under the pinned coordinator key.
+    /// Verify the two-link chain under the pinned coordinating body.
     pub fn verify(&self, trust: &FeedTrust) -> Result<(), RsfError> {
-        hbs::verify(
-            &trust.coordinator,
-            &endorse_bytes(&self.feed_key),
-            &self.endorsement,
-        )
-        .map_err(|_| RsfError::BadSignature("feed key endorsement"))?;
+        trust.verify_endorsement(&self.feed_key, &self.endorsement)?;
         hbs::verify(
             &self.feed_key,
             &message_bytes(self.kind, &self.payload),
@@ -182,13 +276,28 @@ impl SignedMessage {
     }
 
     /// Serialize the whole signed message (transport format).
+    ///
+    /// Single-signer messages keep the original `RSF1-SIGNED` frame
+    /// byte-for-byte (the ablation arm must stay wire-compatible);
+    /// quorum-endorsed messages use `RSF2-SIGNED`.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.put_str("RSF1-SIGNED");
-        w.put_u8(self.kind as u8);
-        w.put_bytes(&self.payload);
-        w.put_bytes(&self.feed_key.to_bytes());
-        w.put_bytes(&self.endorsement.to_bytes());
+        match &self.endorsement {
+            Endorsement::Single(sig) => {
+                w.put_str("RSF1-SIGNED");
+                w.put_u8(self.kind as u8);
+                w.put_bytes(&self.payload);
+                w.put_bytes(&self.feed_key.to_bytes());
+                w.put_bytes(&sig.to_bytes());
+            }
+            Endorsement::Quorum(sig) => {
+                w.put_str("RSF2-SIGNED");
+                w.put_u8(self.kind as u8);
+                w.put_bytes(&self.payload);
+                w.put_bytes(&self.feed_key.to_bytes());
+                w.put_bytes(&sig.encode());
+            }
+        }
         w.put_bytes(&self.signature.to_bytes());
         w.finish()
     }
@@ -196,16 +305,27 @@ impl SignedMessage {
     /// Parse a signed message (verification is separate).
     pub fn decode(bytes: &[u8]) -> Result<SignedMessage, RsfError> {
         let mut r = Reader::for_artifact(bytes, "signed-message");
-        if r.field("magic").get_str()? != "RSF1-SIGNED" {
-            return Err(r.error("bad signed-message magic"));
-        }
+        let magic = r.field("magic").get_str()?;
+        let quorum = match magic {
+            "RSF1-SIGNED" => false,
+            "RSF2-SIGNED" => true,
+            _ => return Err(r.error("bad signed-message magic")),
+        };
         let kind = MessageKind::from_u8(r.field("kind").get_u8()?)
             .ok_or_else(|| r.error("bad message kind"))?;
         let payload = r.field("payload").get_bytes()?.to_vec();
         let feed_key = PublicKey::from_bytes(r.field("feed key").get_bytes()?)
             .map_err(|_| r.error("bad feed key"))?;
-        let endorsement = Signature::from_bytes(r.field("endorsement").get_bytes()?)
-            .map_err(|_| r.error("bad endorsement"))?;
+        let endorsement = if quorum {
+            Endorsement::Quorum(QuorumSignature::decode(
+                r.field("endorsement").get_bytes()?,
+            )?)
+        } else {
+            Endorsement::Single(
+                Signature::from_bytes(r.field("endorsement").get_bytes()?)
+                    .map_err(|_| r.error("bad endorsement"))?,
+            )
+        };
         let signature = Signature::from_bytes(r.field("signature").get_bytes()?)
             .map_err(|_| r.error("bad signature"))?;
         r.expect_end()?;
@@ -226,9 +346,7 @@ mod tests {
     fn setup() -> (CoordinatorKey, FeedKey, FeedTrust) {
         let coordinator = CoordinatorKey::from_seed([1; 32], 4).unwrap();
         let feed = FeedKey::new([2; 32], 6, &coordinator).unwrap();
-        let trust = FeedTrust {
-            coordinator: coordinator.public(),
-        };
+        let trust = FeedTrust::single(coordinator.public());
         (coordinator, feed, trust)
     }
 
@@ -282,9 +400,7 @@ mod tests {
         let coordinator = CoordinatorKey::from_seed([1; 32], 4).unwrap();
         let feed_a = FeedKey::new([2; 32], 4, &coordinator).unwrap();
         let feed_b = FeedKey::new([3; 32], 4, &coordinator).unwrap();
-        let trust = FeedTrust {
-            coordinator: coordinator.public(),
-        };
+        let trust = FeedTrust::single(coordinator.public());
         let msg_a = feed_a.sign(MessageKind::Snapshot, b"x").unwrap();
         let msg_b = feed_b.sign(MessageKind::Snapshot, b"x").unwrap();
         let mut frankenstein = msg_b.clone();

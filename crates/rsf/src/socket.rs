@@ -13,12 +13,14 @@
 //!             u32 n_messages (u32 len, bytes signed-message)*
 //!             u32 len, bytes checkpoint
 //!             u8 has_proof [u64 old u64 new u32 n (32-byte digest)*]
+//!             u32 n_rotations (u32 len, bytes rotation-event)*
 //! ```
 //!
 //! Everything security-relevant (signatures, endorsements, sequence
 //! continuity, checkpoint consistency) is verified by the subscriber —
 //! the socket is untrusted, exactly like the HTTPS CDN would be.
 
+use crate::quorum::RotationEvent;
 use crate::signing::SignedMessage;
 use crate::sync::{ResilientReport, Staleness, Subscriber, SubscriberBuilder, SyncCounters};
 use crate::translog::Checkpoint;
@@ -176,6 +178,7 @@ fn serve_once(stream: &mut UnixStream, publisher: &Mutex<FeedPublisher>) -> Resu
         .into_iter()
         .map(|m| m.encode())
         .collect();
+    let rotations: Vec<Vec<u8>> = publisher.rotations().iter().map(|e| e.encode()).collect();
     drop(publisher);
 
     let mut w = Writer::new();
@@ -192,6 +195,10 @@ fn serve_once(stream: &mut UnixStream, publisher: &Mutex<FeedPublisher>) -> Resu
         None => {
             w.put_u8(0);
         }
+    }
+    w.put_u32(rotations.len() as u32);
+    for ev in &rotations {
+        w.put_bytes(ev);
     }
     write_frame(stream, b"RSFR", &w.finish())
 }
@@ -274,8 +281,17 @@ impl RemoteSubscriber {
             1 => Some(decode_proof(&mut r)?),
             _ => return Err(r.error("bad proof tag")),
         };
+        let n_rotations = r.field("rotation count").get_u32()?;
+        if n_rotations > 10_000 {
+            return Err(r.error("too many rotations"));
+        }
+        let mut rotations = Vec::with_capacity(n_rotations as usize);
+        for _ in 0..n_rotations {
+            rotations.push(RotationEvent::decode(r.field("rotation").get_bytes()?)?);
+        }
         r.expect_end()?;
-        self.inner.poll(messages, checkpoint, proof, now)
+        self.inner
+            .poll_full(messages, rotations, checkpoint, proof, now)
     }
 
     /// Poll the server once at the injected clock's current time.
@@ -345,9 +361,7 @@ mod tests {
     fn setup(tag: &str) -> (FeedSocketServer, RemoteSubscriber, RootStore) {
         let coordinator = CoordinatorKey::from_seed([1; 32], 4).unwrap();
         let key = FeedKey::new([2; 32], 8, &coordinator).unwrap();
-        let trust = FeedTrust {
-            coordinator: coordinator.public(),
-        };
+        let trust = FeedTrust::single(coordinator.public());
         let pki = simple_chain(&format!("sock-{tag}.example"));
         let mut store = RootStore::new("nss");
         store.add_trusted(pki.root.clone()).unwrap();
@@ -391,20 +405,15 @@ mod tests {
         // A virtual clock turns the retry backoff into instant,
         // deterministic time-advancement: no real sleeping in the test.
         let clock = crate::clock::VirtualClock::shared(0);
-        let mut victim = Subscriber::builder(
-            "victim",
-            FeedTrust {
-                coordinator: other.public(),
-            },
-        )
-        .policy(crate::sync::SyncPolicy {
-            base_backoff_ms: 1_000,
-            max_backoff_ms: 2_000,
-            max_attempts: 3,
-            ..Default::default()
-        })
-        .clock(clock.clone())
-        .connect(server.socket_path());
+        let mut victim = Subscriber::builder("victim", FeedTrust::single(other.public()))
+            .policy(crate::sync::SyncPolicy {
+                base_backoff_ms: 1_000,
+                max_backoff_ms: 2_000,
+                max_attempts: 3,
+                ..Default::default()
+            })
+            .clock(clock.clone())
+            .connect(server.socket_path());
         let err = victim.sync_now();
         assert!(matches!(err, Err(RsfError::Exhausted { .. })));
         assert!(victim.store().is_empty());

@@ -10,7 +10,8 @@
 //! valid consistency proof, so equivocation is detected at the next
 //! poll rather than never.
 
-use crate::signing::{FeedKey, SignedMessage};
+use crate::quorum::{QuorumAuthority, QuorumSignature, RotationEvent};
+use crate::signing::{FeedKey, FeedTrust, SignedMessage};
 use crate::wire::{Reader, Writer};
 use crate::RsfError;
 use nrslb_crypto::hbs::{self, PublicKey, Signature};
@@ -35,10 +36,17 @@ pub struct Checkpoint {
     pub root: Digest,
     /// Feed-key signature over `(size, root)`.
     pub signature: Signature,
+    /// Optional quorum co-signature ("witness") over the same bytes.
+    /// Quorum-governed feeds require it: a checkpoint carrying fewer
+    /// than `k` valid partials — or none — is rejected outright, so a
+    /// compromised feed key alone cannot commit a forged history.
+    pub witness: Option<QuorumSignature>,
 }
 
 impl Checkpoint {
-    /// Verify the signature under the feed's public key.
+    /// Verify the feed-key signature only (the single-signer ablation
+    /// arm; quorum deployments go through
+    /// [`Checkpoint::verify_with_trust`]).
     pub fn verify(&self, feed_key: &PublicKey) -> Result<(), RsfError> {
         hbs::verify(
             feed_key,
@@ -48,22 +56,63 @@ impl Checkpoint {
         .map_err(|_| RsfError::BadSignature("checkpoint signature"))
     }
 
-    /// Serialize (for storage or transports).
+    /// Verify under the pinned coordinating body: the feed-key
+    /// signature always, plus — for quorum trust — a present and valid
+    /// k-of-n witness at the current epoch.
+    pub fn verify_with_trust(
+        &self,
+        feed_key: &PublicKey,
+        trust: &FeedTrust,
+    ) -> Result<(), RsfError> {
+        self.verify(feed_key)?;
+        match trust {
+            FeedTrust::Single { .. } => Ok(()),
+            FeedTrust::Quorum(quorum) => {
+                let witness = self
+                    .witness
+                    .as_ref()
+                    .ok_or(RsfError::BadSignature("checkpoint missing quorum witness"))?;
+                quorum
+                    .verify(&checkpoint_bytes(self.size, &self.root), witness)
+                    .map_err(|e| match e {
+                        RsfError::BadSignature(w) => RsfError::BadSignature(w),
+                        other => other,
+                    })
+            }
+        }
+    }
+
+    /// Serialize (for storage or transports). Unwitnessed checkpoints
+    /// keep the original `RSF1-CKPT` frame byte-for-byte; witnessed
+    /// ones use `RSF2-CKPT`.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.put_str("RSF1-CKPT");
-        w.put_u64(self.size);
-        w.put_bytes(self.root.as_bytes());
-        w.put_bytes(&self.signature.to_bytes());
+        match &self.witness {
+            None => {
+                w.put_str("RSF1-CKPT");
+                w.put_u64(self.size);
+                w.put_bytes(self.root.as_bytes());
+                w.put_bytes(&self.signature.to_bytes());
+            }
+            Some(witness) => {
+                w.put_str("RSF2-CKPT");
+                w.put_u64(self.size);
+                w.put_bytes(self.root.as_bytes());
+                w.put_bytes(&self.signature.to_bytes());
+                w.put_bytes(&witness.encode());
+            }
+        }
         w.finish()
     }
 
     /// Parse a serialized checkpoint.
     pub fn decode(bytes: &[u8]) -> Result<Checkpoint, RsfError> {
         let mut r = Reader::for_artifact(bytes, "checkpoint");
-        if r.field("magic").get_str()? != "RSF1-CKPT" {
-            return Err(r.error("bad checkpoint magic"));
-        }
+        let witnessed = match r.field("magic").get_str()? {
+            "RSF1-CKPT" => false,
+            "RSF2-CKPT" => true,
+            _ => return Err(r.error("bad checkpoint magic")),
+        };
         let size = r.field("size").get_u64()?;
         let root_bytes: [u8; 32] = r
             .field("root")
@@ -72,11 +121,17 @@ impl Checkpoint {
             .map_err(|_| r.error("bad checkpoint root"))?;
         let signature = Signature::from_bytes(r.field("signature").get_bytes()?)
             .map_err(|_| r.error("bad checkpoint signature"))?;
+        let witness = if witnessed {
+            Some(QuorumSignature::decode(r.field("witness").get_bytes()?)?)
+        } else {
+            None
+        };
         r.expect_end()?;
         Ok(Checkpoint {
             size,
             root: Digest(root_bytes),
             signature,
+            witness,
         })
     }
 }
@@ -108,6 +163,14 @@ impl TransparencyLog {
         self.tree.push(&message.encode())
     }
 
+    /// Append a share-rotation event, making the ceremony auditable
+    /// like any other feed mutation: the event's canonical encoding
+    /// becomes a Merkle leaf, so it is covered by every later
+    /// checkpoint and by history-consistency proofs.
+    pub fn append_rotation(&mut self, event: &RotationEvent) -> u64 {
+        self.tree.push(&event.encode())
+    }
+
     /// Sign the current head with the feed key. The root is computed on
     /// the parallel Merkle path (bit-identical to the sequential one);
     /// publish-time checkpoints hash the whole log, which for a busy
@@ -120,7 +183,22 @@ impl TransparencyLog {
             size,
             root,
             signature,
+            witness: None,
         })
+    }
+
+    /// Sign the current head with the feed key *and* have the quorum
+    /// witness it. Quorum subscribers reject unwitnessed (or
+    /// sub-quorum-witnessed) checkpoints.
+    pub fn checkpoint_witnessed(
+        &self,
+        key: &FeedKey,
+        authority: &QuorumAuthority,
+    ) -> Result<Checkpoint, RsfError> {
+        let mut ckpt = self.checkpoint(key)?;
+        let witness = authority.sign(&checkpoint_bytes(ckpt.size, &ckpt.root))?;
+        ckpt.witness = Some(witness);
+        Ok(ckpt)
     }
 
     /// Consistency proof between two checkpoint sizes.
@@ -149,6 +227,28 @@ pub fn verify_extension(
     feed_key: &PublicKey,
 ) -> Result<(), RsfError> {
     new.verify(feed_key)?;
+    verify_history(old, new, proof)
+}
+
+/// Trust-aware variant of [`verify_extension`]: under quorum trust the
+/// new checkpoint must also carry a valid k-of-n witness at the current
+/// epoch before any history reasoning happens.
+pub fn verify_extension_trusted(
+    old: Option<&Checkpoint>,
+    new: &Checkpoint,
+    proof: Option<&ConsistencyProof>,
+    feed_key: &PublicKey,
+    trust: &FeedTrust,
+) -> Result<(), RsfError> {
+    new.verify_with_trust(feed_key, trust)?;
+    verify_history(old, new, proof)
+}
+
+fn verify_history(
+    old: Option<&Checkpoint>,
+    new: &Checkpoint,
+    proof: Option<&ConsistencyProof>,
+) -> Result<(), RsfError> {
     let Some(old) = old else { return Ok(()) };
     if new.size < old.size {
         return Err(RsfError::SplitView("checkpoint rollback"));

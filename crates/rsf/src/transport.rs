@@ -8,6 +8,7 @@
 //! experiment (E5) turns.
 
 use crate::feed::{Delta, Snapshot};
+use crate::quorum::{QuorumAuthority, RotationEvent};
 use crate::signing::{FeedKey, MessageKind, SignedMessage};
 use crate::translog::{Checkpoint, TransparencyLog};
 use crate::RsfError;
@@ -33,6 +34,13 @@ pub struct FeedPublisher {
     /// one-time signatures.
     translog: TransparencyLog,
     cached_checkpoint: Option<Checkpoint>,
+    /// The k-of-n coordinating body, when this feed is quorum-governed
+    /// (`None` = single-signer ablation arm).
+    authority: Option<QuorumAuthority>,
+    /// Every rotation ceremony this feed has run, oldest first.
+    /// Retained forever and served on every fetch — subscribers apply
+    /// them idempotently, so redelivery is free.
+    rotations: Vec<RotationEvent>,
 }
 
 impl FeedPublisher {
@@ -40,6 +48,29 @@ impl FeedPublisher {
     pub fn new(
         name: &str,
         key: FeedKey,
+        initial: &RootStore,
+        now: i64,
+    ) -> Result<FeedPublisher, RsfError> {
+        FeedPublisher::build(name, key, None, initial, now)
+    }
+
+    /// Create a quorum-governed feed: the feed key must already carry a
+    /// quorum endorsement (see [`FeedKey::new_quorum`]) and every
+    /// checkpoint is witnessed by `authority`.
+    pub fn new_quorum(
+        name: &str,
+        key: FeedKey,
+        authority: QuorumAuthority,
+        initial: &RootStore,
+        now: i64,
+    ) -> Result<FeedPublisher, RsfError> {
+        FeedPublisher::build(name, key, Some(authority), initial, now)
+    }
+
+    fn build(
+        name: &str,
+        key: FeedKey,
+        authority: Option<QuorumAuthority>,
         initial: &RootStore,
         now: i64,
     ) -> Result<FeedPublisher, RsfError> {
@@ -57,6 +88,8 @@ impl FeedPublisher {
             snapshot_sequence: 1,
             translog,
             cached_checkpoint: None,
+            authority,
+            rotations: Vec::new(),
         })
     }
 
@@ -102,17 +135,57 @@ impl FeedPublisher {
     }
 
     /// The current transparency-log checkpoint (signed once per log
-    /// growth and cached, so polls do not consume one-time signatures).
+    /// growth and cached, so polls do not consume one-time signatures —
+    /// neither the feed key's nor the quorum signers').
     pub fn checkpoint(&mut self) -> Result<Checkpoint, RsfError> {
+        Ok(self.checkpoint_ref()?.clone())
+    }
+
+    /// Borrowed view of the (refreshed-if-stale) cached checkpoint, so
+    /// the warm sync path can compare content without cloning the
+    /// artifact — a quorum witness carries `k` hash-based signatures
+    /// and is multi-KB, which dominates an idle poll if copied.
+    pub(crate) fn checkpoint_ref(&mut self) -> Result<&Checkpoint, RsfError> {
         let current = self.translog.len();
         if self
             .cached_checkpoint
             .as_ref()
             .is_none_or(|c| c.size != current)
         {
-            self.cached_checkpoint = Some(self.translog.checkpoint(&self.key)?);
+            self.cached_checkpoint = Some(match &self.authority {
+                Some(authority) => self.translog.checkpoint_witnessed(&self.key, authority)?,
+                None => self.translog.checkpoint(&self.key)?,
+            });
         }
-        Ok(self.cached_checkpoint.clone().expect("just cached"))
+        Ok(self.cached_checkpoint.as_ref().expect("just cached"))
+    }
+
+    /// Every rotation ceremony this feed has run, oldest first.
+    pub fn rotations(&self) -> &[RotationEvent] {
+        &self.rotations
+    }
+
+    /// Run a share-rotation ceremony on a quorum-governed feed:
+    /// recover the master from `k` shares, derive the next epoch's
+    /// signer set, record the outgoing quorum's approval in the
+    /// transparency log, re-endorse the feed key at the new epoch, and
+    /// re-baseline with a fresh snapshot so every message served from
+    /// here on carries a new-epoch endorsement (laggards hit the
+    /// ordinary snapshot-fallback path). The feed sequence does not
+    /// advance — rotation changes who vouches, not what is vouched for.
+    pub fn rotate(&mut self, now: i64) -> Result<&RotationEvent, RsfError> {
+        let authority = self
+            .authority
+            .as_mut()
+            .ok_or(RsfError::Wire("single-signer feed cannot rotate"))?;
+        let event = authority.rotate(now)?;
+        self.translog.append_rotation(&event);
+        self.rotations.push(event);
+        let authority = self.authority.as_ref().expect("still quorum-governed");
+        self.key.re_endorse(authority)?;
+        self.publish_snapshot(now)?;
+        self.prune();
+        Ok(self.rotations.last().expect("just pushed"))
     }
 
     /// Consistency proof extending a subscriber's pinned checkpoint.
@@ -307,9 +380,7 @@ mod tests {
     fn setup(initial: &RootStore) -> (FeedPublisher, Subscriber) {
         let coordinator = CoordinatorKey::from_seed([1; 32], 4).unwrap();
         let key = FeedKey::new([2; 32], 8, &coordinator).unwrap();
-        let trust = FeedTrust {
-            coordinator: coordinator.public(),
-        };
+        let trust = FeedTrust::single(coordinator.public());
         let publisher = FeedPublisher::new("nss", key, initial, 0).unwrap();
         let subscriber = Subscriber::builder("debian", trust).build();
         (publisher, subscriber)
@@ -432,13 +503,8 @@ mod tests {
 
         // Subscriber trusting a different coordinator.
         let other_coord = CoordinatorKey::from_seed([7; 32], 4).unwrap();
-        let mut victim = Subscriber::builder(
-            "victim",
-            FeedTrust {
-                coordinator: other_coord.public(),
-            },
-        )
-        .build();
+        let mut victim =
+            Subscriber::builder("victim", FeedTrust::single(other_coord.public())).build();
         let err = victim.sync(&mut publisher, 0);
         assert!(matches!(err, Err(RsfError::BadSignature(_))));
         assert_eq!(victim.sequence(), 0);

@@ -157,9 +157,7 @@ proptest! {
         flip_bit_n in any::<u8>(),
     ) {
         let key = feed_key();
-        let trust = FeedTrust {
-            coordinator: CoordinatorKey::from_seed([0x51; 32], 6).unwrap().public(),
-        };
+        let trust = FeedTrust::single(CoordinatorKey::from_seed([0x51; 32], 6).unwrap().public());
         let store = build_store(&spec);
         let snap = Snapshot::capture("prop-feed", 1, 0, &store);
         let signed = key.sign(MessageKind::Snapshot, &snap.encode()).unwrap();

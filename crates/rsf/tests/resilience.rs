@@ -19,9 +19,7 @@ fn coordinator() -> CoordinatorKey {
 }
 
 fn trust() -> FeedTrust {
-    FeedTrust {
-        coordinator: coordinator().public(),
-    }
+    FeedTrust::single(coordinator().public())
 }
 
 /// Canonical bytes of a store's *content* (name/sequence/time pinned).

@@ -16,9 +16,7 @@ fn coordinator() -> CoordinatorKey {
 }
 
 fn trust() -> FeedTrust {
-    FeedTrust {
-        coordinator: coordinator().public(),
-    }
+    FeedTrust::single(coordinator().public())
 }
 
 #[test]

@@ -21,10 +21,16 @@ use nrslb_crypto::Digest;
 use nrslb_rootstore::{Gcc, GccMetadata, RootStore};
 use nrslb_rsf::signing::MessageKind;
 use nrslb_rsf::{
-    CoordinatorKey, Delta, FaultInjector, FaultPlan, FeedKey, FeedPublisher, FeedTrust, Subscriber,
-    SyncPolicy, SyncState, TransparencyLog,
+    CoordinatorKey, Delta, FaultInjector, FaultPlan, FeedKey, FeedPublisher, FeedTrust,
+    QuorumAuthority, QuorumConfig, Subscriber, SyncPolicy, SyncState, TransparencyLog,
 };
 use rand::prelude::*;
+
+/// One-time-signature tree height for simulated quorum signer keys:
+/// 256 signatures per signer per epoch covers every witnessed
+/// checkpoint plus a 100-attempt forgery barrage with margin, while
+/// keeping quorum key generation cheap enough for debug-build tests.
+const SIM_SIGNER_HEIGHT: u8 = 8;
 
 /// One subscriber's knobs: how often it polls, how lossy its channel
 /// is, and how patient its retry/staleness policy is.
@@ -103,9 +109,34 @@ pub struct EcosystemConfig {
     /// When set, a forged split-view is presented to subscriber 0 at
     /// this absolute virtual time (it must quarantine).
     pub split_view_attack_at_secs: Option<i64>,
+    /// When set, the feed is governed by a k-of-n quorum instead of the
+    /// single coordinator (checkpoints are witnessed; subscribers pin
+    /// the signer set).
+    pub quorum: Option<QuorumConfig>,
+    /// When set (quorum feeds only), a share-rotation ceremony runs at
+    /// this absolute virtual time and flows through the feed.
+    pub rotate_at_secs: Option<i64>,
+    /// When set (quorum feeds only), a compromised minority of `k-1`
+    /// signers stages forged checkpoints at this virtual time; every
+    /// presentation must be rejected ([`Ecosystem::forged_accepted`]).
+    pub minority_attack: Option<MinorityAttack>,
     /// PKI sizing for the chain generator (its seed is overridden with
     /// one derived from `seed`).
     pub chains: ChainGenConfig,
+}
+
+/// Parameters of the compromised-minority scenario: an attacker holding
+/// `k-1` signers' keys and shares (rebuilt from the deterministic
+/// derivation, mirroring how the split-view attack rebuilds the feed
+/// key) stages forged checkpoints against both a pinned fleet member
+/// and a fresh bootstrapping victim.
+#[derive(Clone, Copy, Debug)]
+pub struct MinorityAttack {
+    /// Absolute virtual time of the attack.
+    pub at_secs: i64,
+    /// Forged-checkpoint presentations to stage (each counted in
+    /// [`Ecosystem::forged_attempts`]).
+    pub attempts: u32,
 }
 
 impl Default for EcosystemConfig {
@@ -130,6 +161,9 @@ impl Default for EcosystemConfig {
                     .with_staleness_bound(7_200),
             ],
             split_view_attack_at_secs: None,
+            quorum: None,
+            rotate_at_secs: None,
+            minority_attack: None,
             chains: ChainGenConfig::default(),
         }
     }
@@ -144,6 +178,10 @@ pub enum EcoEvent {
     Poll(usize),
     /// The split-view attack against subscriber 0.
     Attack,
+    /// A quorum share-rotation ceremony on the primary.
+    Rotate,
+    /// The compromised-minority forged-checkpoint barrage.
+    MinorityAttack,
 }
 
 struct SubscriberSlot {
@@ -162,6 +200,8 @@ pub struct Ecosystem {
     publisher: FeedPublisher,
     feed_seed: [u8; 32],
     coordinator_seed: [u8; 32],
+    quorum_seed: [u8; 32],
+    trust: FeedTrust,
     slots: Vec<SubscriberSlot>,
     generator: ChainGenerator,
     /// Ordered pool-root fingerprints — seeded choices must never
@@ -171,6 +211,9 @@ pub struct Ecosystem {
     publishes: u64,
     gccs_attached: u64,
     attack_done: bool,
+    forged_attempts: u64,
+    forged_accepted: u64,
+    minority_attack_done: bool,
 }
 
 impl Ecosystem {
@@ -186,11 +229,8 @@ impl Ecosystem {
         rng.fill(&mut coordinator_seed);
         let mut feed_seed = [0u8; 32];
         rng.fill(&mut feed_seed);
-        let coordinator = CoordinatorKey::from_seed(coordinator_seed, 4).expect("coordinator key");
-        let feed_key = FeedKey::new(feed_seed, 12, &coordinator).expect("feed key");
-        let trust = FeedTrust {
-            coordinator: coordinator.public(),
-        };
+        let mut quorum_seed = [0u8; 32];
+        rng.fill(&mut quorum_seed);
 
         let mut truth = RootStore::new("primary");
         let mut pool = Vec::new();
@@ -206,8 +246,33 @@ impl Ecosystem {
                 gccs_attached += 1;
             }
         }
-        let publisher =
-            FeedPublisher::new("primary", feed_key, &truth, config.epoch_secs).expect("publisher");
+        let (publisher, trust) = match config.quorum {
+            Some(qc) => {
+                let authority = QuorumAuthority::from_seed(quorum_seed, qc, SIM_SIGNER_HEIGHT)
+                    .expect("quorum authority");
+                let trust = FeedTrust::quorum(authority.trust());
+                let feed_key =
+                    FeedKey::new_quorum(feed_seed, 12, &authority).expect("quorum feed key");
+                let publisher = FeedPublisher::new_quorum(
+                    "primary",
+                    feed_key,
+                    authority,
+                    &truth,
+                    config.epoch_secs,
+                )
+                .expect("publisher");
+                (publisher, trust)
+            }
+            None => {
+                let coordinator =
+                    CoordinatorKey::from_seed(coordinator_seed, 4).expect("coordinator key");
+                let feed_key = FeedKey::new(feed_seed, 12, &coordinator).expect("feed key");
+                let trust = FeedTrust::single(coordinator.public());
+                let publisher = FeedPublisher::new("primary", feed_key, &truth, config.epoch_secs)
+                    .expect("publisher");
+                (publisher, trust)
+            }
+        };
 
         let mut scheduler = Scheduler::new();
         scheduler.schedule_at_secs(
@@ -216,7 +281,7 @@ impl Ecosystem {
         );
         let mut slots = Vec::with_capacity(config.subscribers.len());
         for (i, spec) in config.subscribers.iter().enumerate() {
-            let subscriber = Subscriber::builder(&spec.name, trust)
+            let subscriber = Subscriber::builder(&spec.name, trust.clone())
                 .policy(SyncPolicy {
                     max_attempts: spec.max_attempts,
                     base_backoff_ms: 50,
@@ -243,6 +308,14 @@ impl Ecosystem {
         if let Some(at) = config.split_view_attack_at_secs {
             scheduler.schedule_at_secs(at, EcoEvent::Attack);
         }
+        if config.quorum.is_some() {
+            if let Some(at) = config.rotate_at_secs {
+                scheduler.schedule_at_secs(at, EcoEvent::Rotate);
+            }
+            if let Some(attack) = config.minority_attack {
+                scheduler.schedule_at_secs(attack.at_secs, EcoEvent::MinorityAttack);
+            }
+        }
 
         Ecosystem {
             config: config.clone(),
@@ -253,6 +326,8 @@ impl Ecosystem {
             publisher,
             feed_seed,
             coordinator_seed,
+            quorum_seed,
+            trust,
             slots,
             generator,
             pool,
@@ -260,6 +335,9 @@ impl Ecosystem {
             publishes: 0,
             gccs_attached,
             attack_done: false,
+            forged_attempts: 0,
+            forged_accepted: 0,
+            minority_attack_done: false,
         }
     }
 
@@ -308,6 +386,23 @@ impl Ecosystem {
         self.attack_done
     }
 
+    /// Forged-checkpoint presentations staged by the compromised
+    /// minority so far.
+    pub fn forged_attempts(&self) -> u64 {
+        self.forged_attempts
+    }
+
+    /// Forged-checkpoint presentations a subscriber ACCEPTED — any
+    /// non-zero value is a soundness violation of the quorum scheme.
+    pub fn forged_accepted(&self) -> u64 {
+        self.forged_accepted
+    }
+
+    /// True once the configured compromised-minority attack has run.
+    pub fn minority_attack_done(&self) -> bool {
+        self.minority_attack_done
+    }
+
     /// The full event trace (one line per executed event).
     pub fn trace(&self) -> &[String] {
         &self.trace
@@ -336,6 +431,8 @@ impl Ecosystem {
             EcoEvent::Evolve => self.evolve(),
             EcoEvent::Poll(i) => self.poll(i),
             EcoEvent::Attack => self.attack_split_view(0),
+            EcoEvent::Rotate => self.rotate_quorum(),
+            EcoEvent::MinorityAttack => self.attack_minority(),
         }
         Some(event)
     }
@@ -472,6 +569,142 @@ impl Ecosystem {
         ));
     }
 
+    /// Run the scheduled share-rotation ceremony: the quorum recovers
+    /// its master from k shares, derives the next signer set, and the
+    /// outgoing quorum approves the hand-off through the transparency
+    /// log (subscribers pick the event up on their next poll).
+    fn rotate_quorum(&mut self) {
+        let now = self.clock.now_secs();
+        let epoch = match self.publisher.rotate(now) {
+            Ok(event) => event.to_epoch,
+            Err(e) => {
+                self.trace.push(format!("t={now} rotate failed: {e}"));
+                return;
+            }
+        };
+        self.trace
+            .push(format!("t={now} rotate quorum epoch={epoch}"));
+    }
+
+    /// Stage the compromised-minority barrage: an attacker holding
+    /// `k-1` signers' keys and the feed seed (rebuilt from the
+    /// deterministic derivation, like the split-view fork key) presents
+    /// forged checkpoints to a fresh bootstrapping victim and to pinned
+    /// fleet member 0. Forgery strategies cycle per attempt:
+    /// an honest-but-sub-quorum witness, a missing witness, and a
+    /// bitmap padded to `k` with a rogue-key partial. Every
+    /// presentation must be rejected with a retryable signature error —
+    /// never accepted, and never a quarantine of the honest fleet.
+    fn attack_minority(&mut self) {
+        let now = self.clock.now_secs();
+        let Some(attack) = self.config.minority_attack else {
+            return;
+        };
+        let Some(qc) = self.config.quorum else {
+            self.minority_attack_done = true;
+            self.trace.push(format!(
+                "t={now} minority attack skipped (single-signer feed)"
+            ));
+            return;
+        };
+        // The compromised minority: fresh one-time-signature state for
+        // the k-1 leaked signer keys, at the genesis epoch they were
+        // leaked in.
+        let compromised = QuorumAuthority::from_seed(self.quorum_seed, qc, SIM_SIGNER_HEIGHT)
+            .expect("compromised minority");
+        let minority: Vec<u8> = (0..qc.k - 1).collect();
+        let mut rogue =
+            nrslb_crypto::hbs::Keypair::from_seed(*sha256::sha256(b"rogue signer").as_bytes(), 8)
+                .expect("rogue signer");
+        // The attacker replays the real feed's (public) quorum
+        // endorsement, so the checkpoint witness is the only line of
+        // defense being exercised.
+        let honest_endorsement = self
+            .publisher
+            .fetch(0)
+            .first()
+            .expect("published message")
+            .endorsement
+            .clone();
+        let coordinator =
+            CoordinatorKey::from_seed(self.coordinator_seed, 4).expect("coordinator key");
+        let fork_key = FeedKey::new(self.feed_seed, 12, &coordinator).expect("fork key");
+        let mut evil = RootStore::new("primary");
+        evil.distrust(sha256::sha256(b"minority rewrite"), "attacker");
+        let delta = Delta::between(&RootStore::new("primary"), &evil, 0, 1, now);
+        let mut forged_msg = fork_key
+            .sign(MessageKind::Delta, &delta.encode())
+            .expect("sign forged delta");
+        forged_msg.endorsement = honest_endorsement;
+        let mut forked_log = TransparencyLog::new();
+        forked_log.append(&forged_msg);
+        let base_ckpt = forked_log.checkpoint(&fork_key).expect("forged checkpoint");
+        let mut rejections: Vec<String> = Vec::new();
+        for j in 0..attack.attempts {
+            // Vary the witnessed bytes per attempt so every forgery
+            // carries fresh partial signatures.
+            let mut witnessed = base_ckpt.encode();
+            witnessed.extend_from_slice(&j.to_le_bytes());
+            let witness = match j % 3 {
+                0 => Some(
+                    compromised
+                        .sign_with(&minority, &witnessed)
+                        .expect("minority partials"),
+                ),
+                1 => None,
+                _ => {
+                    let mut qs = compromised
+                        .sign_with(&minority, &witnessed)
+                        .expect("minority partials");
+                    qs.bitmap |= 1 << (qc.k - 1);
+                    qs.partials
+                        .push(rogue.sign(&witnessed).expect("rogue partial"));
+                    Some(qs)
+                }
+            };
+            let mut forged_ckpt = base_ckpt.clone();
+            forged_ckpt.witness = witness;
+            // A fresh bootstrapping victim: nothing pinned yet, so the
+            // quorum witness is its only protection.
+            let mut fresh = Subscriber::builder("fresh-victim", self.trust.clone())
+                .clock(self.clock.handle())
+                .build();
+            self.forged_attempts += 1;
+            match fresh.poll(vec![forged_msg.clone()], forged_ckpt.clone(), None, now) {
+                Ok(_) => self.forged_accepted += 1,
+                Err(e) => {
+                    if rejections.len() < 3 {
+                        rejections.push(e.to_string());
+                    }
+                }
+            }
+            // The pinned fleet member: must reject retryably, not
+            // quarantine (the witness check fires before any
+            // split-view history check).
+            self.forged_attempts += 1;
+            match self.slots[0]
+                .subscriber
+                .poll(vec![forged_msg.clone()], forged_ckpt, None, now)
+            {
+                Ok(_) => self.forged_accepted += 1,
+                Err(e) => {
+                    if rejections.len() < 3 {
+                        rejections.push(e.to_string());
+                    }
+                }
+            }
+        }
+        self.minority_attack_done = true;
+        let quarantined = matches!(
+            self.slots[0].subscriber.state(),
+            SyncState::Quarantined { .. }
+        );
+        self.trace.push(format!(
+            "t={now} minority attack: attempts={} accepted={} fleet_quarantined={quarantined} rejections={:?}",
+            self.forged_attempts, self.forged_accepted, rejections
+        ));
+    }
+
     /// The next GCC template, parameterized by the current instant so
     /// successive attachments have distinct sources.
     fn next_gcc_template(&mut self, target: Digest, now: i64) -> Gcc {
@@ -571,6 +804,89 @@ mod tests {
         assert_eq!(eco.subscriber(0).sequence(), eco.publisher_sequence());
         assert!(matches!(eco.subscriber(0).state(), SyncState::Live));
         assert!(eco.gccs_attached() > 0, "evolution must attach GCCs");
+    }
+
+    fn quorum_config() -> EcosystemConfig {
+        EcosystemConfig {
+            subscribers: vec![
+                SubscriberSpec::named("mirror").polling_every(1_800),
+                SubscriberSpec::named("laggard").polling_every(14_400),
+            ],
+            quorum: Some(QuorumConfig { k: 2, n: 3 }),
+            ..EcosystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn quorum_feed_converges_like_single_signer() {
+        let config = quorum_config();
+        let mut eco = Ecosystem::new(&config);
+        for _ in 0..60 {
+            eco.step();
+        }
+        while !matches!(eco.step(), Some(EcoEvent::Poll(0))) {}
+        assert_eq!(eco.subscriber(0).sequence(), eco.publisher_sequence());
+        assert!(matches!(eco.subscriber(0).state(), SyncState::Live));
+    }
+
+    #[test]
+    fn rotation_flows_through_the_fleet() {
+        let mut config = quorum_config();
+        config.rotate_at_secs = Some(config.epoch_secs + 4 * 3_600);
+        let mut eco = Ecosystem::new(&config);
+        for _ in 0..200 {
+            eco.step();
+        }
+        assert!(
+            eco.trace()
+                .iter()
+                .any(|l| l.contains("rotate quorum epoch=2")),
+            "rotation never ran: {:?}",
+            eco.recent_trace(10)
+        );
+        // Both fleet members keep tracking the primary across the
+        // rotation, and their pinned trust advanced to the new epoch.
+        while !matches!(eco.step(), Some(EcoEvent::Poll(0))) {}
+        assert_eq!(eco.subscriber(0).sequence(), eco.publisher_sequence());
+        for i in 0..eco.subscriber_count() {
+            match eco.subscriber(i).trust() {
+                FeedTrust::Quorum(quorum) => assert_eq!(quorum.epoch, 2),
+                other => panic!("expected quorum trust, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn compromised_minority_never_forges_a_checkpoint() {
+        let mut config = quorum_config();
+        config.minority_attack = Some(MinorityAttack {
+            at_secs: config.epoch_secs + 6 * 3_600,
+            attempts: 30,
+        });
+        let mut eco = Ecosystem::new(&config);
+        for _ in 0..400 {
+            eco.step();
+            if eco.minority_attack_done() {
+                break;
+            }
+        }
+        assert!(eco.minority_attack_done(), "minority attack never fired");
+        assert_eq!(eco.forged_attempts(), 60);
+        assert_eq!(
+            eco.forged_accepted(),
+            0,
+            "a sub-quorum forgery was accepted: {:?}",
+            eco.recent_trace(5)
+        );
+        // The forgeries are retryable signature failures, not split
+        // views: the honest fleet keeps converging afterwards.
+        assert!(
+            !matches!(eco.subscriber(0).state(), SyncState::Quarantined { .. }),
+            "honest fleet member quarantined by a rejected forgery"
+        );
+        while !matches!(eco.step(), Some(EcoEvent::Poll(0))) {}
+        assert_eq!(eco.subscriber(0).sequence(), eco.publisher_sequence());
+        assert!(matches!(eco.subscriber(0).state(), SyncState::Live));
     }
 
     #[test]

@@ -86,9 +86,7 @@ fn canonical(store: &RootStore) -> Vec<u8> {
 pub fn run_fault_simulation(config: &FaultConfig) -> FaultOutcome {
     let coordinator = CoordinatorKey::from_seed([0xa1; 32], 4).expect("coordinator key");
     let key = FeedKey::new([0xa2; 32], 12, &coordinator).expect("feed key");
-    let trust = FeedTrust {
-        coordinator: coordinator.public(),
-    };
+    let trust = FeedTrust::single(coordinator.public());
     let mut truth = RootStore::new("primary");
     let mut publisher = FeedPublisher::new("primary", key, &truth, 0).expect("publisher");
     let mut subscriber = Subscriber::builder("derivative", trust)

@@ -234,9 +234,7 @@ pub fn run_lag_simulation(config: &LagConfig) -> LagOutcome {
 
     // RSF infrastructure shared by all RSF derivatives.
     let coordinator = CoordinatorKey::from_seed([0x90; 32], 6).expect("coordinator key");
-    let trust = FeedTrust {
-        coordinator: coordinator.public(),
-    };
+    let trust = FeedTrust::single(coordinator.public());
     let feed_key = FeedKey::new([0x91; 32], 10, &coordinator).expect("feed key");
     let mut publisher =
         FeedPublisher::new("nss", feed_key, &world.primary_by_day[0], 0).expect("feed bootstrap");
@@ -277,7 +275,7 @@ pub fn run_lag_simulation(config: &LagConfig) -> LagOutcome {
                 // inter-poll intervals. Polls are phase-offset from the
                 // publisher's (day-aligned) events, as real schedules
                 // would be.
-                let mut subscriber = Subscriber::builder(&profile.name, trust).build();
+                let mut subscriber = Subscriber::builder(&profile.name, trust.clone()).build();
                 let poll_interval = poll_interval_hours as i64 * 3600;
                 let phase = poll_interval / 3;
                 let distrust_t = config.distrust_day as i64 * DAY;

@@ -57,7 +57,7 @@ pub use chaingen::{ChainGenConfig, ChainGenerator, ChainMutation, SampleChain};
 pub use differential::{
     run_differential, seed_from_env, DifferentialConfig, DifferentialOutcome, Disagreement,
 };
-pub use ecosystem::{EcoEvent, Ecosystem, EcosystemConfig, SubscriberSpec};
+pub use ecosystem::{EcoEvent, Ecosystem, EcosystemConfig, MinorityAttack, SubscriberSpec};
 pub use exposure::{
     counterfactual_all_rsf, default_population, exposure_curve, mean_window, ExposurePoint,
     PopulationMix,

@@ -9,17 +9,19 @@
 
 use nrslb::rootstore::{Gcc, GccMetadata, RootStore, TrustStatus};
 use nrslb::rsf::merge::MergePolicy;
-use nrslb::rsf::{merge_stores, CoordinatorKey, FeedKey, FeedPublisher, FeedTrust, Subscriber};
+use nrslb::rsf::{
+    merge_stores, FeedKey, FeedPublisher, FeedTrust, QuorumAuthority, QuorumConfig, Subscriber,
+};
 use nrslb::x509::testutil::simple_chain;
 
 fn main() {
-    // Key ceremony: a coordinating body (the ICANN stand-in) endorses
-    // the primary's feed key; subscribers pin only the coordinator.
-    let coordinator = CoordinatorKey::from_seed([1; 32], 6).unwrap();
-    let feed_key = FeedKey::new([2; 32], 8, &coordinator).unwrap();
-    let trust = FeedTrust {
-        coordinator: coordinator.public(),
-    };
+    // Key ceremony: the coordinating body (the ICANN stand-in) is a
+    // 2-of-3 signer quorum, so no single leaked key can forge the
+    // feed; subscribers pin the quorum and reject any checkpoint
+    // witnessed by fewer than 2 signers.
+    let authority = QuorumAuthority::from_seed([1; 32], QuorumConfig { k: 2, n: 3 }, 6).unwrap();
+    let feed_key = FeedKey::new_quorum([2; 32], 8, &authority).unwrap();
+    let trust = FeedTrust::quorum(authority.trust());
 
     // The primary store starts with two roots.
     let pki_a = simple_chain("feed-a.example");
@@ -28,7 +30,7 @@ fn main() {
     primary.add_trusted(pki_a.root.clone()).unwrap();
     primary.add_trusted(pki_b.root.clone()).unwrap();
 
-    let mut publisher = FeedPublisher::new("nss", feed_key, &primary, 0).unwrap();
+    let mut publisher = FeedPublisher::new_quorum("nss", feed_key, authority, &primary, 0).unwrap();
     let mut debian = Subscriber::builder("debian", trust).build();
 
     // Bootstrap sync: the derivative fetches the signed snapshot.

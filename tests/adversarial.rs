@@ -53,9 +53,7 @@ fn mutate(bytes: &[u8], rng: &mut Lcg) -> Vec<u8> {
 fn mutated_feed_messages_never_verify() {
     let coordinator = CoordinatorKey::from_seed([1; 32], 4).unwrap();
     let key = FeedKey::new([2; 32], 8, &coordinator).unwrap();
-    let trust = FeedTrust {
-        coordinator: coordinator.public(),
-    };
+    let trust = FeedTrust::single(coordinator.public());
     let pki = simple_chain("adv.example");
     let mut store = RootStore::new("nss");
     store.add_trusted(pki.root.clone()).unwrap();

@@ -39,13 +39,8 @@ fn partial_distrust_travels_from_primary_to_derivative_clients() {
     let coordinator = CoordinatorKey::from_seed([0x73; 32], 4).unwrap();
     let feed_key = FeedKey::new([0x74; 32], 6, &coordinator).unwrap();
     let mut publisher = FeedPublisher::new("nss", feed_key, &primary, 0).unwrap();
-    let mut derivative = Subscriber::builder(
-        "debian",
-        FeedTrust {
-            coordinator: coordinator.public(),
-        },
-    )
-    .build();
+    let mut derivative =
+        Subscriber::builder("debian", FeedTrust::single(coordinator.public())).build();
     let report = derivative.sync(&mut publisher, 0).unwrap();
     assert!(report.snapshot_applied);
 
@@ -208,13 +203,7 @@ fn feed_roundtrip_preserves_fingerprints() {
     let coordinator = CoordinatorKey::from_seed([0x78; 32], 4).unwrap();
     let feed_key = FeedKey::new([0x79; 32], 4, &coordinator).unwrap();
     let mut publisher = FeedPublisher::new("nss", feed_key, &primary, 0).unwrap();
-    let mut sub = Subscriber::builder(
-        "sub",
-        FeedTrust {
-            coordinator: coordinator.public(),
-        },
-    )
-    .build();
+    let mut sub = Subscriber::builder("sub", FeedTrust::single(coordinator.public())).build();
     sub.sync(&mut publisher, 0).unwrap();
     let rec = sub.store().record(&pki.root.fingerprint()).unwrap();
     assert_eq!(rec.cert.to_der(), pki.root.to_der());

@@ -187,13 +187,8 @@ fn feed_retracts_gcc_and_derivative_follows() {
     let coordinator = CoordinatorKey::from_seed([0xb4; 32], 4).unwrap();
     let key = FeedKey::new([0xb5; 32], 8, &coordinator).unwrap();
     let mut publisher = FeedPublisher::new("nss", key, &primary, 0).unwrap();
-    let mut derivative = Subscriber::builder(
-        "derivative",
-        FeedTrust {
-            coordinator: coordinator.public(),
-        },
-    )
-    .build();
+    let mut derivative =
+        Subscriber::builder("derivative", FeedTrust::single(coordinator.public())).build();
     derivative.sync(&mut publisher, 0).unwrap();
     // Derivative clients reject everything under the root.
     let check = |store: &RootStore| {
@@ -232,13 +227,8 @@ fn systematic_constraint_change_propagates() {
     let coordinator = CoordinatorKey::from_seed([0xb6; 32], 4).unwrap();
     let key = FeedKey::new([0xb7; 32], 8, &coordinator).unwrap();
     let mut publisher = FeedPublisher::new("nss", key, &primary, 0).unwrap();
-    let mut derivative = Subscriber::builder(
-        "derivative",
-        FeedTrust {
-            coordinator: coordinator.public(),
-        },
-    )
-    .build();
+    let mut derivative =
+        Subscriber::builder("derivative", FeedTrust::single(coordinator.public())).build();
     derivative.sync(&mut publisher, 0).unwrap();
     assert!(
         derivative
