@@ -65,6 +65,21 @@ NRSLB_E18_ASSERT=1 NRSLB_E18_MAX_CONNS=1024 NRSLB_JSON="$(mktemp)" \
 echo "==> engine parity + reactor torture tests"
 cargo test -p nrslb-core --test daemon_parity --test reactor_torture -q
 
+echo "==> feed-server parity + keep-alive torture tests"
+cargo test -p nrslb-rsf --test feed_parity --test feed_torture -q
+
+echo "==> feed distribution-node smoke (release, bounded, asserted)"
+# Bounded e21 run: the reactor-backed distribution node must hold 1k
+# keep-alive subscriber connections (each proving liveness with a
+# correct idle re-poll), beat the thread-per-connection feed server on
+# warm re-poll throughput, serve re-polls inline on the event loop
+# (inline counter > 0), and the fused inline cost guard must hold the
+# 8-client warm daemon reactor/thread-pool ratio at >= 0.95 single-core
+# (>= 1.0 multi-core). Full-scale numbers (10k-connection axis) live in
+# the committed BENCH_e21.json; the smoke writes to a scratch path.
+NRSLB_E21_ASSERT=1 NRSLB_E21_MAX_CONNS=1024 NRSLB_JSON="$(mktemp)" \
+    cargo run --release -q -p nrslb-bench --bin e21_feed_node
+
 echo "==> differential oracle smoke (fixed seed)"
 # Bounded run: >=1,000 cross-path (chain, GCC, usage) checks PLUS
 # >=1,000 incremental-vs-scratch Datalog maintenance checks (the

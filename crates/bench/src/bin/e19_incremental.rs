@@ -114,7 +114,7 @@ fn serve(
     rounds: usize,
     full_clear: bool,
 ) -> f64 {
-    let mut oracle = InProcessOracle::new(store.clone());
+    let oracle = InProcessOracle::new(store.clone());
     // Cold fill outside the measured window: both arms start warm.
     for chain in chains {
         oracle.evaluate(chain, Usage::Tls).expect("cold fill");
@@ -123,7 +123,7 @@ fn serve(
     let timer = Timer::start();
     for round in 0..rounds {
         let i = round % pkis.len();
-        let (next, taint) = publisher_round(oracle.store(), &pkis[i], i, round as u64);
+        let (next, taint) = publisher_round(&oracle.store(), &pkis[i], i, round as u64);
         let taint = if full_clear { TaintSet::full() } else { taint };
         oracle.absorb_update(next, &taint);
         for chain in chains {

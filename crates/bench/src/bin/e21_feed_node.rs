@@ -1,0 +1,513 @@
+//! E21 — feed distribution-node scaling and the daemon's inline warm
+//! path (DESIGN.md §5g).
+//!
+//! Two axes:
+//!
+//! 1. **Subscriber-connection axis**: 16 → 10,000 keep-alive subscriber
+//!    connections held open against one reactor-backed
+//!    [`FeedDistributionNode`]. Every connection proves liveness (one
+//!    correct idle re-poll), then warm re-poll throughput is measured
+//!    with 8 active drivers while the rest of the population sits open
+//!    — the steady state of a healthy feed, where idle re-polls ride
+//!    the node's inline path. The ablation arm is the deprecated
+//!    thread-per-connection [`FeedSocketServer`], whose one-shot
+//!    protocol forces every poll to pay a connect plus a thread spawn.
+//!    The axis is capped by `RLIMIT_NOFILE` (client and node share
+//!    this process, so each connection costs two fds); the binary
+//!    first tries to raise the soft limit to the hard one.
+//! 2. **Daemon warm-ratio re-measurement**: E18's 8-client warm
+//!    reactor-vs-thread-pool ratio, re-run with the inline cost guard
+//!    live (PR 11). The inline path serves cache-hit evaluations on
+//!    the event loop, removing the two thread wake-ups that made the
+//!    reactor trail the thread pool (~0.89) on the latency-bound warm
+//!    workload.
+//!
+//! `NRSLB_E21_ASSERT=1` turns the acceptance thresholds into hard
+//! failures: the node must sustain `min(5000, NRSLB_E21_MAX_CONNS,
+//! rlimit cap)` connections with warm re-poll throughput at least the
+//! thread server's, some re-polls must actually land on the inline
+//! path, and the daemon warm ratio must reach 1.0 multi-core (0.95 on
+//! a single-core runner, where the remaining non-inline dispatches
+//! cannot be hidden by parallelism). The JSON report — polls/s and
+//! polls/s/core per row — lands in `NRSLB_JSON`, or `BENCH_e21.json`
+//! when unset.
+
+#![allow(deprecated)] // the thread server is E21's ablation arm
+
+use nrslb_bench::{header, Timer};
+use nrslb_core::daemon::{ephemeral_socket_path, DaemonClient, Engine, TrustDaemon};
+use nrslb_core::Usage;
+use nrslb_obs::Registry;
+use nrslb_rootstore::{Gcc, GccMetadata, RootStore};
+use nrslb_rsf::{CoordinatorKey, FeedDistributionNode, FeedKey, FeedPublisher, FeedSocketServer};
+use nrslb_x509::testutil::simple_chain;
+use nrslb_x509::Certificate;
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const CONN_AXIS: [usize; 7] = [16, 64, 256, 1024, 2048, 5120, 10_000];
+const DRIVERS: usize = 8;
+const POLLS_PER_DRIVER: usize = 256;
+const TRIALS: usize = 3;
+/// The daemon ratio arm gets extra trials: it is a ratio of two
+/// best-of measurements on the same box, so a noise spike that lands
+/// in only one arm's trials skews it more than it skews the feed
+/// axis's absolute throughputs.
+const DAEMON_TRIALS: usize = 5;
+const FEED_ROOTS: usize = 8;
+/// Fds reserved for everything that is not a benchmark connection.
+const FD_SLACK: usize = 256;
+const SUSTAIN_TARGET: usize = 5_000;
+
+// Daemon re-measurement arm (mirrors E18's warm-ratio geometry).
+const DAEMON_WORKERS: usize = 8;
+const GCCS_PER_ROOT: usize = 4;
+const CHAINS: usize = 16;
+const WARM_PASSES: usize = 8;
+
+#[derive(Serialize)]
+struct FeedRow {
+    connections: usize,
+    warm_polls_per_s: f64,
+    warm_polls_per_s_per_core: f64,
+    thread_server_polls_per_s: f64,
+    thread_server_polls_per_s_per_core: f64,
+    vs_thread_server: f64,
+    inline_served: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    cpus: usize,
+    event_loops: usize,
+    workers: usize,
+    rlimit_nofile: usize,
+    max_connections_tried: usize,
+    max_connections_sustained: usize,
+    rows: Vec<FeedRow>,
+    daemon_warm_reactor_rps: f64,
+    daemon_warm_reactor_rps_per_core: f64,
+    daemon_warm_thread_pool_rps: f64,
+    daemon_warm_ratio: f64,
+    daemon_inline_total: u64,
+    secs: f64,
+}
+
+/// `getrlimit`/`setrlimit` for `RLIMIT_NOFILE`, without the libc crate
+/// (offline workspace). Returns the soft limit after trying to raise it
+/// to the hard limit.
+fn raise_and_get_nofile() -> usize {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    // SAFETY: `lim` is a valid, writable Rlimit; the syscall fills it.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 1024; // conservative POSIX default
+    }
+    if lim.cur < lim.max {
+        let want = Rlimit {
+            cur: lim.max,
+            max: lim.max,
+        };
+        // SAFETY: `want` is a valid Rlimit; failure leaves limits as-is.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &want) } == 0 {
+            lim.cur = lim.max;
+        }
+    }
+    usize::try_from(lim.cur).unwrap_or(usize::MAX)
+}
+
+// --- Feed axis -----------------------------------------------------
+
+fn build_feed() -> Arc<Mutex<FeedPublisher>> {
+    let mut store = RootStore::new("e21");
+    for i in 0..FEED_ROOTS {
+        let pki = simple_chain(&format!("e21-{i}.example"));
+        store.add_trusted(pki.root).unwrap();
+    }
+    let coordinator = CoordinatorKey::from_seed([11; 32], 4).unwrap();
+    let key = FeedKey::new([12; 32], 10, &coordinator).unwrap();
+    let publisher = FeedPublisher::new("e21", key, &store, 0).unwrap();
+    Arc::new(Mutex::new(publisher))
+}
+
+fn encode_request(have_sequence: u64, have_checkpoint: u64) -> Vec<u8> {
+    let mut req = Vec::with_capacity(24);
+    req.extend_from_slice(b"RSFQ");
+    req.extend_from_slice(&16u32.to_le_bytes());
+    req.extend_from_slice(&have_sequence.to_le_bytes());
+    req.extend_from_slice(&have_checkpoint.to_le_bytes());
+    req
+}
+
+fn read_reply(stream: &mut UnixStream) -> usize {
+    let mut head = [0u8; 8];
+    stream.read_exact(&mut head).expect("reply header");
+    assert_eq!(&head[..4], b"RSFR", "reply magic");
+    let len = u32::from_le_bytes(head[4..].try_into().unwrap()) as usize;
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).expect("reply body");
+    len
+}
+
+fn poll(stream: &mut UnixStream, req: &[u8]) -> usize {
+    stream.write_all(req).expect("request write");
+    read_reply(stream)
+}
+
+/// Connect with a short retry loop: thousands of threads connecting at
+/// once can transiently outrun the listener backlog.
+fn connect(path: &Path) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match UnixStream::connect(path) {
+            Ok(s) => return s,
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => panic!("connect failed past deadline: {e}"),
+        }
+    }
+}
+
+/// Open `n` keep-alive subscriber connections against the node and
+/// prove each live with one idle re-poll.
+fn open_connections(path: &Path, n: usize, idle_req: &[u8]) -> Vec<UnixStream> {
+    let openers = 16.min(n.max(1));
+    let out = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        let out = &out;
+        for t in 0..openers {
+            let share = n / openers + usize::from(t < n % openers);
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(share);
+                for _ in 0..share {
+                    let mut stream = connect(path);
+                    poll(&mut stream, idle_req);
+                    local.push(stream);
+                }
+                out.lock().unwrap().append(&mut local);
+            });
+        }
+    });
+    out.into_inner().unwrap()
+}
+
+/// One timed warm pass over the node: `DRIVERS` threads re-polling on
+/// their own already-open connections. Returns polls/sec.
+fn drive_node(drivers: &mut [UnixStream], idle_req: &[u8]) -> f64 {
+    let total = (drivers.len() * POLLS_PER_DRIVER) as f64;
+    let t = Timer::start();
+    std::thread::scope(|scope| {
+        for stream in drivers.iter_mut() {
+            scope.spawn(move || {
+                for _ in 0..POLLS_PER_DRIVER {
+                    poll(stream, idle_req);
+                }
+            });
+        }
+    });
+    total / t.secs()
+}
+
+/// One timed warm pass over the thread server: its single-shot
+/// protocol makes every poll a fresh connection.
+fn drive_thread_server(path: &Path, idle_req: &[u8]) -> f64 {
+    let total = (DRIVERS * POLLS_PER_DRIVER) as f64;
+    let t = Timer::start();
+    std::thread::scope(|scope| {
+        for _ in 0..DRIVERS {
+            scope.spawn(|| {
+                for _ in 0..POLLS_PER_DRIVER {
+                    let mut stream = connect(path);
+                    poll(&mut stream, idle_req);
+                }
+            });
+        }
+    });
+    total / t.secs()
+}
+
+fn inline_total(node: &FeedDistributionNode, loops: usize) -> u64 {
+    (0..loops)
+        .map(|i| {
+            let label = i.to_string();
+            node.registry()
+                .counter_with(
+                    "nrslb_reactor_inline_total",
+                    &[("loop", label.as_str())],
+                    "",
+                )
+                .get()
+        })
+        .sum()
+}
+
+// --- Daemon warm-ratio arm -----------------------------------------
+
+fn build_daemon_workload() -> (RootStore, Vec<Vec<Certificate>>) {
+    let mut store = RootStore::new("e21d");
+    let mut chains = Vec::with_capacity(CHAINS);
+    for c in 0..CHAINS {
+        let pki = simple_chain(&format!("e21d-{c}.example"));
+        store.add_trusted(pki.root.clone()).unwrap();
+        for g in 0..GCCS_PER_ROOT {
+            let src = format!(
+                r#"cutoff{g}(4000000000).
+valid(Chain, _) :- leaf(Chain, C), notBefore(C, NB), cutoff{g}(T), NB < T."#
+            );
+            let gcc = Gcc::parse(
+                &format!("e21-gcc-{g}"),
+                pki.root.fingerprint(),
+                &src,
+                GccMetadata::default(),
+            )
+            .unwrap();
+            store.attach_gcc(gcc).unwrap();
+        }
+        chains.push(vec![pki.leaf, pki.intermediate, pki.root]);
+    }
+    (store, chains)
+}
+
+fn spawn_daemon(
+    store: &RootStore,
+    engine: Engine,
+    loops: usize,
+    tag: &str,
+) -> (TrustDaemon, Arc<Registry>) {
+    let registry = Arc::new(Registry::new());
+    let daemon = TrustDaemon::builder()
+        .socket(ephemeral_socket_path(tag))
+        .workers(DAEMON_WORKERS)
+        .event_loops(loops)
+        .registry(Arc::clone(&registry))
+        .engine(engine)
+        .spawn(store.clone())
+        .unwrap();
+    (daemon, registry)
+}
+
+fn registry_inline_total(registry: &Registry, loops: usize) -> u64 {
+    (0..loops)
+        .map(|i| {
+            let label = i.to_string();
+            registry
+                .counter_with(
+                    "nrslb_reactor_inline_total",
+                    &[("loop", label.as_str())],
+                    "",
+                )
+                .get()
+        })
+        .sum()
+}
+
+fn drive_daemon(clients: &[DaemonClient], chains: &[Vec<Certificate>]) -> f64 {
+    let total = (DRIVERS * WARM_PASSES * chains.len()) as f64;
+    let t = Timer::start();
+    std::thread::scope(|scope| {
+        for (c, client) in clients.iter().take(DRIVERS).enumerate() {
+            scope.spawn(move || {
+                for p in 0..WARM_PASSES {
+                    for i in 0..chains.len() {
+                        let chain = &chains[(c * 7 + p + i) % chains.len()];
+                        let verdicts = client.evaluate(chain, Usage::Tls).unwrap();
+                        assert_eq!(verdicts.len(), GCCS_PER_ROOT);
+                    }
+                }
+            });
+        }
+    });
+    total / t.secs()
+}
+
+fn open_daemon_clients(daemon: &TrustDaemon, chains: &[Vec<Certificate>]) -> Vec<DaemonClient> {
+    let clients: Vec<DaemonClient> = (0..DRIVERS).map(|_| daemon.keep_alive_client()).collect();
+    for (i, client) in clients.iter().enumerate() {
+        let verdicts = client
+            .evaluate(&chains[i % chains.len()], Usage::Tls)
+            .unwrap();
+        assert_eq!(verdicts.len(), GCCS_PER_ROOT);
+    }
+    clients
+}
+
+fn main() {
+    header(
+        "E21",
+        "feed distribution-node scaling + inline warm daemon path",
+        "DESIGN.md §5g (reactor-backed feed node, inline cache-hit execution)",
+    );
+    let assert_mode = std::env::var("NRSLB_E21_ASSERT").is_ok_and(|v| v == "1");
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let rlimit = raise_and_get_nofile();
+    let env_cap = std::env::var("NRSLB_E21_MAX_CONNS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(usize::MAX);
+    // Client fd + node fd per connection, both in this process.
+    let fd_cap = rlimit.saturating_sub(FD_SLACK) / 2;
+    let cap = fd_cap.min(env_cap);
+    let loops = 2.max(cpus / 2).min(4);
+    let workers = 2;
+    let timer = Timer::start();
+    println!(
+        "feed: {FEED_ROOTS} roots, {loops} loops x {workers} workers, {cpus} CPUs, \
+         rlimit {rlimit} (cap {cap} conns), {DRIVERS} drivers x {POLLS_PER_DRIVER} polls, \
+         best of {TRIALS} trials"
+    );
+
+    // --- Thread-server ablation arm, shared across the axis so every
+    // row interleaves baseline trials with its own (machine drift hits
+    // both arms equally). ---
+    let ts_path: PathBuf = ephemeral_socket_path("e21ts");
+    let thread_server = FeedSocketServer::spawn(build_feed(), &ts_path).unwrap();
+    let (sequence, checkpoint_size) = {
+        let publisher = thread_server.publisher();
+        let mut publisher = publisher.lock().unwrap();
+        let checkpoint = publisher.checkpoint().unwrap();
+        (publisher.sequence(), checkpoint.size)
+    };
+    let idle_req = encode_request(sequence, checkpoint_size);
+
+    // --- Node connection axis ---
+    let mut rows: Vec<FeedRow> = Vec::new();
+    let mut tried = 0;
+    println!(
+        "\n{:>12} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "connections", "warm p/s", "p/s/core", "ts p/s", "ratio", "inline"
+    );
+    for conns in CONN_AXIS {
+        let conns = conns.min(cap);
+        if rows.iter().any(|r| r.connections == conns) {
+            continue; // the cap collapsed this rung into the previous one
+        }
+        tried = tried.max(conns);
+        let node_path = ephemeral_socket_path(&format!("e21n{conns}"));
+        let node =
+            FeedDistributionNode::spawn_with(build_feed(), &node_path, loops, workers).unwrap();
+        // Sign the node's checkpoint once so the population's idle
+        // re-polls hit the cached-checkpoint inline condition, exactly
+        // like the thread arm's publisher (signed above).
+        node.publisher().lock().unwrap().checkpoint().unwrap();
+        let mut clients = open_connections(&node_path, conns, &idle_req);
+        let mut warm_pps = 0f64;
+        let mut ts_pps = 0f64;
+        for _ in 0..TRIALS {
+            ts_pps = ts_pps.max(drive_thread_server(&ts_path, &idle_req));
+            warm_pps = warm_pps.max(drive_node(&mut clients[..DRIVERS.min(conns)], &idle_req));
+        }
+        let inline_served = inline_total(&node, loops);
+        let ratio = warm_pps / ts_pps;
+        println!(
+            "{conns:>12} {warm_pps:>12.0} {:>12.0} {ts_pps:>12.0} {ratio:>8.2} {inline_served:>8}",
+            warm_pps / cpus as f64
+        );
+        rows.push(FeedRow {
+            connections: conns,
+            warm_polls_per_s: warm_pps,
+            warm_polls_per_s_per_core: warm_pps / cpus as f64,
+            thread_server_polls_per_s: ts_pps,
+            thread_server_polls_per_s_per_core: ts_pps / cpus as f64,
+            vs_thread_server: ratio,
+            inline_served,
+        });
+    }
+    drop(thread_server);
+    let sustained = rows.last().map_or(0, |r| r.connections);
+
+    // --- Daemon warm-ratio re-measurement (inline cost guard live) ---
+    let (store, chains) = build_daemon_workload();
+    let (tp_daemon, _) = spawn_daemon(&store, Engine::ThreadPool, loops, "e21tp");
+    let (re_daemon, re_registry) = spawn_daemon(&store, Engine::Reactor, loops, "e21re");
+    let tp_clients = open_daemon_clients(&tp_daemon, &chains);
+    let re_clients = open_daemon_clients(&re_daemon, &chains);
+    drive_daemon(&tp_clients, &chains); // warm both verdict caches
+    drive_daemon(&re_clients, &chains);
+    let mut tp_rps = 0f64;
+    let mut re_rps = 0f64;
+    for _ in 0..DAEMON_TRIALS {
+        tp_rps = tp_rps.max(drive_daemon(&tp_clients, &chains));
+        re_rps = re_rps.max(drive_daemon(&re_clients, &chains));
+    }
+    let daemon_ratio = re_rps / tp_rps;
+    let daemon_inline = registry_inline_total(&re_registry, loops);
+    if std::env::var("NRSLB_E21_DEBUG").is_ok() {
+        eprintln!("{}", re_registry.render_text());
+    }
+    println!(
+        "\ndaemon warm path ({DRIVERS} clients, inline guard live): \
+         reactor {re_rps:.0} r/s vs thread pool {tp_rps:.0} r/s — ratio {daemon_ratio:.2} \
+         ({daemon_inline} inline)"
+    );
+
+    // --- Acceptance gates ---
+    let target = SUSTAIN_TARGET.min(cap);
+    let top = rows.last().expect("at least one row");
+    // Single-core: inline removes the handoff from cache hits, but the
+    // non-inline dispatches (cold fills, batches) still pay it with no
+    // second core to hide behind; grant the same style of floor E18
+    // did, raised from 0.85 to 0.95 because the warm path now hits
+    // inline.
+    let daemon_floor = if cpus >= 2 { 1.0 } else { 0.95 };
+    println!(
+        "\ngates: sustained {sustained} conns (target {target}), node-vs-thread-server \
+         ratio at {} conns {:.2} (floor 1.0), daemon warm ratio {daemon_ratio:.2} \
+         (floor {daemon_floor})",
+        top.connections, top.vs_thread_server
+    );
+    if assert_mode {
+        assert!(
+            sustained >= target,
+            "node sustained only {sustained} subscriber connections (target {target})"
+        );
+        assert!(
+            top.vs_thread_server >= 1.0,
+            "node warm re-polls below the thread server: {:.2}",
+            top.vs_thread_server
+        );
+        assert!(
+            top.inline_served > 0,
+            "no idle re-poll landed on the inline path"
+        );
+        assert!(
+            daemon_ratio >= daemon_floor,
+            "daemon warm ratio {daemon_ratio:.2} below floor {daemon_floor}"
+        );
+        println!("E21 asserts: OK");
+    }
+
+    let report = Report {
+        cpus,
+        event_loops: loops,
+        workers,
+        rlimit_nofile: rlimit,
+        max_connections_tried: tried,
+        max_connections_sustained: sustained,
+        rows,
+        daemon_warm_reactor_rps: re_rps,
+        daemon_warm_reactor_rps_per_core: re_rps / cpus as f64,
+        daemon_warm_thread_pool_rps: tp_rps,
+        daemon_warm_ratio: daemon_ratio,
+        daemon_inline_total: daemon_inline,
+        secs: timer.secs(),
+    };
+    let path = std::env::var("NRSLB_JSON").unwrap_or_else(|_| "BENCH_e21.json".to_string());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json).unwrap_or_else(|e| eprintln!("write {path}: {e}"));
+    eprintln!("json report written to {path}");
+}

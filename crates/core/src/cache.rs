@@ -153,6 +153,18 @@ impl<K: Hash + Eq + Copy, V: Clone> ShardedLru<K, V> {
         self.get_indexed(key).1
     }
 
+    /// Look up `key` *without* counting a hit or miss and without
+    /// touching the shard's recency order. This is the probe for the
+    /// reactor's inline cost guard: deciding *where* to execute a
+    /// request must not perturb the statistics or eviction behavior
+    /// the execution itself will produce, or the two dispatch paths
+    /// would stop being observationally identical.
+    pub fn peek(&self, key: &K) -> Option<V> {
+        let idx = self.shard_of(key);
+        let inner = self.shards[idx].inner.lock();
+        inner.map.get(key).map(|(value, _)| value.clone())
+    }
+
     /// Insert (or refresh) `key`, evicting the shard's least-recently-
     /// used entry when the shard is full. Returns the shard index and
     /// how many entries were evicted.
@@ -464,6 +476,14 @@ impl VerdictCache {
         value
     }
 
+    /// Look up a verdict *without* counting a hit or miss, touching
+    /// recency, or ticking the registry mirrors — see
+    /// [`ShardedLru::peek`]. Used by the inline cost guard to ask
+    /// "would this request hit?" before choosing a dispatch path.
+    pub fn peek(&self, key: &VerdictKey) -> Option<bool> {
+        self.lru.peek(key)
+    }
+
     /// Insert (or refresh) a verdict, evicting the shard's least-
     /// recently-used entry when the shard is full. The entry is
     /// implicitly tainted by its GCC source hash (`key.gcc`); use
@@ -747,13 +767,28 @@ impl ParsedCertCache {
         }
     }
 
+    /// The cache's lookup key for `der`: a 64-bit FxHash of the bytes.
+    /// Exposed so a probe ([`ParsedCertCache::peek_keyed`]) and its
+    /// later commit ([`ParsedCertCache::parse_keyed`]) can share one
+    /// hash pass — hashing the DER is the dominant cost of a warm
+    /// lookup, and the reactor's inline path must not pay it twice.
+    pub fn key_of(der: &[u8]) -> u64 {
+        let mut h = nrslb_datalog::intern::FxHasher::default();
+        std::hash::Hasher::write(&mut h, der);
+        std::hash::Hasher::finish(&h)
+    }
+
     /// Parse `der`, answering from the cache when these exact bytes
     /// were parsed before (verified by byte comparison, so an FxHash
     /// collision can never alias two certificates).
     pub fn parse(&self, der: &[u8]) -> Result<Certificate, nrslb_x509::X509Error> {
-        let mut h = nrslb_datalog::intern::FxHasher::default();
-        std::hash::Hasher::write(&mut h, der);
-        let key = std::hash::Hasher::finish(&h);
+        self.parse_keyed(ParsedCertCache::key_of(der), der)
+    }
+
+    /// [`ParsedCertCache::parse`] with a precomputed
+    /// [`ParsedCertCache::key_of`] key, for callers that already hashed
+    /// `der` during a probe.
+    pub fn parse_keyed(&self, key: u64, der: &[u8]) -> Result<Certificate, nrslb_x509::X509Error> {
         if let Some(cert) = self.lru.get(&key) {
             if cert.to_der() == der {
                 return Ok(cert);
@@ -762,6 +797,21 @@ impl ParsedCertCache {
         let cert = Certificate::from_der(der)?;
         self.lru.insert(key, cert.clone());
         Ok(cert)
+    }
+
+    /// Return the cached parse of exactly these DER bytes, if present,
+    /// *without* counting a hit or miss or touching recency — see
+    /// [`ShardedLru::peek`]. A `None` says nothing about parseability,
+    /// only that the inline probe cannot prove the parse is free.
+    pub fn peek(&self, der: &[u8]) -> Option<Certificate> {
+        self.peek_keyed(ParsedCertCache::key_of(der), der)
+    }
+
+    /// [`ParsedCertCache::peek`] with a precomputed
+    /// [`ParsedCertCache::key_of`] key.
+    pub fn peek_keyed(&self, key: u64, der: &[u8]) -> Option<Certificate> {
+        let cert = self.lru.peek(&key)?;
+        (cert.to_der() == der).then_some(cert)
     }
 
     /// Parses answered from the cache so far.

@@ -77,7 +77,7 @@ use crate::proto::{
     self, Parsed, MAX_BATCH, MAX_LEN, OP_EVALUATE, OP_EVALUATE_BATCH, OP_METRICS, STATUS_ERR,
     STATUS_OK,
 };
-use crate::reactor::ReactorHandle;
+use crate::reactor::{DaemonService, ReactorHandle};
 use crate::validate::{GccOracle, InProcessOracle};
 use crate::CoreError;
 use nrslb_obs::{Counter, Gauge, Histogram, Registry, Span};
@@ -375,13 +375,17 @@ impl DaemonBuilder {
             instruments: instruments.clone(),
         };
         let engine = match self.engine {
-            Engine::Reactor => EngineHandle::Reactor(ReactorHandle::spawn(
-                listener,
-                self.event_loops.max(1),
-                self.workers.max(1),
-                ctx,
-                Arc::clone(&stop),
-            )?),
+            Engine::Reactor => {
+                let registry = Arc::clone(&ctx.instruments.registry);
+                EngineHandle::Reactor(ReactorHandle::spawn(
+                    listener,
+                    self.event_loops.max(1),
+                    self.workers.max(1),
+                    Arc::new(DaemonService::new(ctx)),
+                    &registry,
+                    Arc::clone(&stop),
+                )?)
+            }
             Engine::ThreadPool => {
                 spawn_thread_pool(listener, self.workers.max(1), ctx, Arc::clone(&stop))
             }
@@ -598,6 +602,30 @@ impl TrustDaemon {
         self.feed
             .as_ref()
             .map(|f| f.lock().expect("feed mutex").staleness(now))
+    }
+
+    /// Propagate the attached feed's applied updates into the serving
+    /// path: drain the subscriber's accumulated [`nrslb_rsf::TaintSet`]
+    /// (precise per-delta blast radius; full on snapshot fallback),
+    /// swap the oracle onto the subscriber's current store, and evict
+    /// exactly the tainted verdicts — so a long-running daemon
+    /// invalidates by taint instead of absorbing updates wholesale.
+    ///
+    /// Call after the feed's polling loop applies updates. Returns the
+    /// number of verdicts evicted, `Some(0)` without touching the
+    /// store when the feed had nothing new, and `None` when no feed is
+    /// attached. In-flight requests keep the store snapshot they
+    /// started with ([`InProcessOracle::store`] hands out `Arc`s).
+    pub fn refresh_from_feed(&self) -> Option<u64> {
+        let feed = self.feed.as_ref()?;
+        let mut feed = feed.lock().expect("feed mutex");
+        let taint = feed.take_taint();
+        if taint.is_empty() {
+            return Some(0);
+        }
+        let store = feed.store().clone();
+        drop(feed);
+        Some(self.oracle.absorb_update(store, &taint))
     }
 
     /// Create a connect-per-request client for this daemon.
@@ -1211,6 +1239,95 @@ mod tests {
             daemon.feed_staleness(100 + 90_000),
             Some(Staleness::Exceeded { .. })
         ));
+    }
+
+    /// A long-running daemon propagates feed deltas into its verdict
+    /// cache by precise taint ([`TrustDaemon::refresh_from_feed`])
+    /// instead of absorbing updates wholesale.
+    #[test]
+    fn daemon_refresh_from_feed_invalidates_by_taint() {
+        use nrslb_rsf::{CoordinatorKey, FeedKey, FeedPublisher, FeedTrust};
+
+        let pki_a = simple_chain("refresh-a.example");
+        let pki_b = simple_chain("refresh-b.example");
+        let mut store = RootStore::new("platform");
+        // Distinct GCC sources per root so taint stays per-root precise.
+        for (pki, tag) in [(&pki_a, "a"), (&pki_b, "b")] {
+            store.add_trusted(pki.root.clone()).unwrap();
+            let src = format!("valid(Chain, _) :- leaf(Chain, _).\nowner(\"{tag}\").");
+            let gcc = Gcc::parse(
+                "refresh-policy",
+                pki.root.fingerprint(),
+                &src,
+                GccMetadata::default(),
+            )
+            .unwrap();
+            store.attach_gcc(gcc).unwrap();
+        }
+
+        let coordinator = CoordinatorKey::from_seed([41; 32], 4).unwrap();
+        let key = FeedKey::new([42; 32], 6, &coordinator).unwrap();
+        let mut publisher = FeedPublisher::new("platform", key, &store, 0).unwrap();
+        let trust = FeedTrust::single(coordinator.public());
+        let feed = Arc::new(Mutex::new(Subscriber::builder("platform", trust).build()));
+
+        let mut daemon = spawn_default(store.clone(), "refresh");
+        assert!(daemon.refresh_from_feed().is_none(), "no feed attached");
+        daemon.attach_feed(feed.clone());
+
+        // Bootstrap (snapshot → full taint): nothing cached yet, so
+        // the refresh swaps the store and evicts nothing.
+        feed.lock().unwrap().sync(&mut publisher, 10).unwrap();
+        assert_eq!(daemon.refresh_from_feed(), Some(0));
+
+        // Warm both chains through the socket.
+        let client = daemon.client();
+        let chain_a = vec![
+            pki_a.leaf.clone(),
+            pki_a.intermediate.clone(),
+            pki_a.root.clone(),
+        ];
+        let chain_b = vec![pki_b.leaf, pki_b.intermediate, pki_b.root];
+        for chain in [&chain_a, &chain_b] {
+            assert!(client.evaluate(chain, Usage::Tls).unwrap()[0].accepted);
+            assert!(client.evaluate(chain, Usage::Tls).unwrap()[0].accepted);
+        }
+        assert_eq!(daemon.oracle().cache().len(), 2);
+
+        // Idle poll applied nothing: refresh is a no-op.
+        feed.lock().unwrap().sync(&mut publisher, 20).unwrap();
+        assert_eq!(daemon.refresh_from_feed(), Some(0));
+        assert_eq!(daemon.oracle().cache().len(), 2);
+
+        // Revise root A's GCC upstream; the delta's precise taint
+        // evicts exactly A's verdict.
+        let mut next = store.clone();
+        let old_a = next.gccs_for(&pki_a.root.fingerprint())[0].clone();
+        next.detach_gcc(&pki_a.root.fingerprint(), &old_a.source_hash());
+        let revised = Gcc::parse(
+            "refresh-policy",
+            pki_a.root.fingerprint(),
+            "valid(Chain, _) :- leaf(Chain, _).\nowner(\"a\").\nrevision(\"2\").",
+            GccMetadata::default(),
+        )
+        .unwrap();
+        next.attach_gcc(revised).unwrap();
+        publisher.publish(&next, 30).unwrap();
+        feed.lock().unwrap().sync(&mut publisher, 30).unwrap();
+        assert_eq!(
+            daemon.refresh_from_feed(),
+            Some(1),
+            "exactly root A's verdict evicted"
+        );
+        assert_eq!(daemon.oracle().cache().len(), 1);
+
+        // B still serves warm; A re-derives against the refreshed store.
+        let hits = daemon.oracle().cache().hits();
+        let misses = daemon.oracle().cache().misses();
+        assert!(client.evaluate(&chain_b, Usage::Tls).unwrap()[0].accepted);
+        assert_eq!(daemon.oracle().cache().hits(), hits + 1);
+        assert!(client.evaluate(&chain_a, Usage::Tls).unwrap()[0].accepted);
+        assert_eq!(daemon.oracle().cache().misses(), misses + 1);
     }
 
     #[test]

@@ -1,641 +1,143 @@
-//! The readiness-reactor daemon engine (`Engine::Reactor`).
+//! The daemon instance of the generic readiness reactor
+//! ([`nrslb_reactor`], `Engine::Reactor`).
 //!
-//! A small fixed set of event-loop threads each own one
-//! [`polling::Poller`] (the vendored epoll/kqueue-style readiness shim)
-//! and a slab of non-blocking connections; the accept thread deals new
-//! connections round-robin across loops. Datalog evaluation never runs
-//! on a loop: complete frames are handed to a fixed worker pool over an
-//! MPMC channel, and workers push finished responses back through a
-//! per-loop completion queue plus [`polling::Poller::notify`]. Because
-//! a loop thread only ever parses buffers and moves bytes, one loop
-//! multiplexes thousands of keep-alive connections — concurrency is no
-//! longer capped at the worker count the way the thread-pool engine's
-//! connection-pinning is.
+//! PR 7 built the loop/slab/state-machine engine here; it now lives in
+//! the `nrslb-reactor` crate, generic over a per-connection
+//! [`Service`], and this module is reduced to the daemon protocol's
+//! instance of it: [`DaemonService`] maps [`crate::proto`]'s parser,
+//! executor, and error encoders onto the engine's [`Frame`] vocabulary
+//! (including the malformed-frame accounting, which belongs to the
+//! protocol, not the engine).
 //!
-//! ## Per-connection state machine
+//! ## The fused inline cost guard
 //!
-//! ```text
-//!          readable                 frame complete            worker done
-//! Reading ----------> (buffer) --------------------> Executing ----------+
-//!    ^                                                                   |
-//!    |        response fully written                response spilled     |
-//!    +<------------------------------- Writing <-------------------------+
-//!                                        ^  | partial write: stay, armed writable
-//!                                        +--+
-//! ```
-//!
-//! * **Reading** — readable interest armed; bytes accumulate in `rbuf`
-//!   until [`crate::proto::try_parse`] delimits a frame.
-//! * **Executing** — interest *disarmed*: while a request is in flight
-//!   the loop neither reads nor parses further frames from that
-//!   connection. This is the backpressure policy — one request in
-//!   flight per connection, pipelined bytes wait in `rbuf`, and a peer
-//!   that floods frames fills its own socket buffer, not daemon memory.
-//! * **Writing** — the response did not fit the socket buffer; the
-//!   remainder lives in `wbuf` with writable interest armed, and the
-//!   per-loop `nrslb_reactor_backpressure_total` counter ticks.
-//!
-//! Workers attempt the response write themselves (the socket is
-//! non-blocking and the loop has the connection disarmed during
-//! Executing, so the worker owns the only pending I/O); on the warm
-//! path the whole request is served with a single loop wake-up for the
-//! read and no loop involvement in the write.
-//!
-//! ## Observability
-//!
-//! Per-loop series, labelled `loop="N"`: `nrslb_reactor_connections`
-//! (registered connections), `nrslb_reactor_ready_events` (histogram of
-//! ready events per poller wake), `nrslb_reactor_backpressure_total`
-//! (responses that spilled to the loop's write path).
+//! [`Service::try_execute_inline`] is the daemon's answer to the
+//! warm-path handoff gap (DESIGN.md §5g): a single-chain `OP_EVALUATE`
+//! whose every certificate is already in the parsed-cert cache *and*
+//! whose every GCC verdict is already in the verdict cache executes in
+//! a few microseconds — cheaper than the two thread wake-ups of the
+//! loop→worker→loop round trip it would otherwise ride. The guard and
+//! the execution are one pass: the probe hashes each DER once
+//! ([`ParsedCertCache::key_of`] + [`ParsedCertCache::peek_keyed`]) and
+//! derives the chain content key once
+//! ([`crate::validate::InProcessOracle::evaluate_warm`]), and on a
+//! full cache hit those same keys *commit* the counting lookups the
+//! worker path would perform — no byte is re-hashed. Any probe miss
+//! returns `None` with zero observable effect (peeks count nothing and
+//! move no recency), and the worker runs the request from scratch.
+//! Replies, hit/miss counters, and request/error counts are identical
+//! on both dispatch paths; only the latency histogram differs, because
+//! inline requests genuinely are faster. Batch and metrics requests,
+//! unparsed certificates, uncached verdicts, and chains longer than
+//! [`INLINE_MAX_CHAIN`] all stay on the worker pool.
 
+use crate::cache::ParsedCertCache;
 use crate::daemon::ExecCtx;
 use crate::proto::{self, Parsed};
-use nrslb_obs::{Counter, Gauge, Histogram};
-use polling::{Event, Poller};
-use std::io::{Read, Write};
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::Duration;
+use nrslb_reactor::{Frame, Service};
 
-/// How long a loop sleeps in `wait` with nothing ready; bounds shutdown
-/// latency if a notify is ever lost.
-const WAIT_TIMEOUT: Duration = Duration::from_millis(500);
+pub(crate) use nrslb_reactor::ReactorHandle;
 
-/// A worker-finished response headed back to its owning loop.
-struct Completion {
-    key: usize,
-    gen: u64,
-    /// Bytes the worker could not push into the socket buffer (empty on
-    /// the fast path).
-    unwritten: Vec<u8>,
-    /// The worker's write hit a hard transport error; close.
-    close: bool,
-}
+/// Longest chain the inline probe will consider. A probe walks every
+/// DER through the cert-cache peek (an FxHash plus a byte compare), so
+/// its own cost scales with chain length; beyond a handful of
+/// certificates the handoff is no longer the dominant term and the
+/// worker path is fine.
+const INLINE_MAX_CHAIN: usize = 8;
 
-/// One evaluation dispatched off a loop.
-struct Job {
-    shared: Arc<LoopShared>,
-    key: usize,
-    gen: u64,
-    stream: Arc<UnixStream>,
-    request: proto::Request,
-    /// The connection had no pipelined bytes buffered at dispatch, so
-    /// after a fully-written response the worker may re-arm readable
-    /// interest itself instead of round-tripping a completion through
-    /// the loop (strict request/reply traffic never wakes the loop
-    /// twice per request).
-    fast_rearm: bool,
-}
-
-/// The cross-thread face of one event loop: where the accept thread
-/// injects connections and workers deliver completions.
-struct LoopShared {
-    poller: Poller,
-    injected: Mutex<Vec<UnixStream>>,
-    completions: Mutex<Vec<Completion>>,
-}
-
-impl LoopShared {
-    fn inject(&self, stream: UnixStream) {
-        self.injected.lock().expect("injected lock").push(stream);
-        let _ = self.poller.notify();
-    }
-
-    fn complete(&self, completion: Completion) {
-        self.completions
-            .lock()
-            .expect("completions lock")
-            .push(completion);
-        let _ = self.poller.notify();
-    }
-}
-
-/// Per-loop instruments (see module docs).
-struct LoopInstruments {
-    connections: Gauge,
-    ready_events: Histogram,
-    backpressure: Counter,
-}
-
-impl LoopInstruments {
-    fn new(registry: &nrslb_obs::Registry, loop_id: usize) -> LoopInstruments {
-        let label = loop_id.to_string();
-        let labels: &[(&str, &str)] = &[("loop", &label)];
-        LoopInstruments {
-            connections: registry.gauge_with(
-                "nrslb_reactor_connections",
-                labels,
-                "connections registered with this event loop",
-            ),
-            ready_events: registry.histogram_with(
-                "nrslb_reactor_ready_events",
-                labels,
-                "ready events delivered per poller wake",
-            ),
-            backpressure: registry.counter_with(
-                "nrslb_reactor_backpressure_total",
-                labels,
-                "responses that overflowed the socket buffer into the loop's write path",
-            ),
-        }
-    }
-}
-
-/// A running reactor engine; [`ReactorHandle::shutdown`] tears it down.
-pub(crate) struct ReactorHandle {
-    accept: Option<JoinHandle<()>>,
-    loops: Vec<(Arc<LoopShared>, JoinHandle<()>)>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl ReactorHandle {
-    /// Spawn `n_loops` event loops and `n_workers` evaluation workers
-    /// serving `listener`. `stop` is shared with the owning
-    /// [`crate::daemon::TrustDaemon`]; setting it (plus a wake-up
-    /// connect for the accept thread) initiates shutdown.
-    pub(crate) fn spawn(
-        listener: UnixListener,
-        n_loops: usize,
-        n_workers: usize,
-        ctx: ExecCtx,
-        stop: Arc<AtomicBool>,
-    ) -> std::io::Result<ReactorHandle> {
-        let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job>();
-        let workers = (0..n_workers.max(1))
-            .map(|_| {
-                let job_rx = job_rx.clone();
-                let ctx = ctx.clone();
-                std::thread::spawn(move || {
-                    // recv fails once every loop (the senders) is gone
-                    // and the queue has drained.
-                    while let Ok(job) = job_rx.recv() {
-                        serve_job(job, &ctx);
-                    }
-                })
-            })
-            .collect();
-        drop(job_rx);
-
-        let mut loops = Vec::with_capacity(n_loops.max(1));
-        for loop_id in 0..n_loops.max(1) {
-            let shared = Arc::new(LoopShared {
-                poller: Poller::new()?,
-                injected: Mutex::new(Vec::new()),
-                completions: Mutex::new(Vec::new()),
-            });
-            let instruments = LoopInstruments::new(&ctx.instruments.registry, loop_id);
-            let thread = {
-                let shared = Arc::clone(&shared);
-                let ctx = ctx.clone();
-                let job_tx = job_tx.clone();
-                let stop = Arc::clone(&stop);
-                std::thread::spawn(move || {
-                    EventLoop {
-                        shared,
-                        ctx,
-                        job_tx,
-                        instruments,
-                        slots: Vec::new(),
-                        free: Vec::new(),
-                        scratch: vec![0u8; 64 * 1024],
-                    }
-                    .run(&stop)
-                })
-            };
-            loops.push((shared, thread));
-        }
-        drop(job_tx);
-
-        let accept_loops: Vec<Arc<LoopShared>> = loops.iter().map(|(s, _)| Arc::clone(s)).collect();
-        let accept_stop = Arc::clone(&stop);
-        let accept = std::thread::spawn(move || {
-            let mut next = 0usize;
-            for conn in listener.incoming() {
-                if accept_stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = conn else { continue };
-                accept_loops[next].inject(stream);
-                next = (next + 1) % accept_loops.len();
-            }
-        });
-
-        Ok(ReactorHandle {
-            accept: Some(accept),
-            loops,
-            workers,
-        })
-    }
-
-    /// Join every thread. The caller has already set the shared stop
-    /// flag and poked the listener awake.
-    pub(crate) fn shutdown(&mut self) {
-        if let Some(t) = self.accept.take() {
-            let _ = t.join();
-        }
-        // Wake the loops so they observe the stop flag; joining them
-        // drops the last job senders, which in turn drains the workers.
-        for (shared, _) in &self.loops {
-            let _ = shared.poller.notify();
-        }
-        for (_, thread) in self.loops.drain(..) {
-            let _ = thread.join();
-        }
-        for t in self.workers.drain(..) {
-            let _ = t.join();
-        }
-    }
-}
-
-/// Evaluate one job and write its response directly; whatever does not
-/// fit the socket buffer rides the completion back to the loop.
-fn serve_job(job: Job, ctx: &ExecCtx) {
-    let bytes = proto::execute(&job.request, &*ctx.oracle, &ctx.certs, &ctx.instruments);
-    let (unwritten, close) = write_nonblocking(&job.stream, bytes, 0);
-    if job.fast_rearm && !close && unwritten.is_empty() {
-        // Fast path: the response is fully on the wire and no buffered
-        // frames are waiting, so the loop has nothing to do until the
-        // peer sends again — arm readable interest directly. The loop
-        // reinterprets a readable event on an Executing connection as
-        // exactly this signal. (Level-triggered interest also covers a
-        // request that raced in while we were writing.)
-        if job
-            .shared
-            .poller
-            .modify(&*job.stream, Event::readable(job.key))
-            .is_ok()
-        {
-            return;
-        }
-        // The loop deleted the fd under us (shutdown); fall through so
-        // the slot is reclaimed rather than leaked.
-    }
-    job.shared.complete(Completion {
-        key: job.key,
-        gen: job.gen,
-        unwritten,
-        close,
-    });
-}
-
-/// Push as much of `bytes[offset..]` as the socket accepts right now.
-/// Returns the unwritten tail (empty when done) and whether a hard
-/// error demands closing the connection.
-fn write_nonblocking(stream: &UnixStream, bytes: Vec<u8>, mut offset: usize) -> (Vec<u8>, bool) {
-    let mut stream = stream;
-    while offset < bytes.len() {
-        match stream.write(&bytes[offset..]) {
-            Ok(0) => return (Vec::new(), true),
-            Ok(n) => offset += n,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                return (bytes[offset..].to_vec(), false)
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return (Vec::new(), true),
-        }
-    }
-    (Vec::new(), false)
-}
-
-/// Connection lifecycle (see the module-level state diagram).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum ConnState {
-    Reading,
-    Executing,
-    Writing,
-}
-
-struct Conn {
-    stream: Arc<UnixStream>,
-    state: ConnState,
-    rbuf: Vec<u8>,
-    wbuf: Vec<u8>,
-    /// The peer's write half is closed; close once in-flight work and
-    /// buffered responses drain.
-    peer_closed: bool,
-    /// Close as soon as `wbuf` drains (fatal protocol violation).
-    close_after_write: bool,
-}
-
-struct Slot {
-    gen: u64,
-    conn: Option<Conn>,
-}
-
-struct EventLoop {
-    shared: Arc<LoopShared>,
+/// The trust-daemon protocol as a reactor [`Service`]: parsing and
+/// malformed accounting from [`crate::proto`], execution through the
+/// shared [`ExecCtx`] (oracle, caches, instruments).
+pub(crate) struct DaemonService {
     ctx: ExecCtx,
-    job_tx: crossbeam::channel::Sender<Job>,
-    instruments: LoopInstruments,
-    slots: Vec<Slot>,
-    free: Vec<usize>,
-    scratch: Vec<u8>,
 }
 
-impl EventLoop {
-    fn run(mut self, stop: &AtomicBool) {
-        let mut events = Vec::new();
-        loop {
-            let _ = self.shared.poller.wait(&mut events, Some(WAIT_TIMEOUT));
-            if stop.load(Ordering::SeqCst) {
-                break;
-            }
-            if !events.is_empty() {
-                self.instruments.ready_events.observe(events.len() as u64);
-            }
-            self.adopt_injected();
-            self.drain_completions();
-            for event in &events {
-                self.handle_event(*event);
-            }
-        }
-        // Drop connections; the gauge must read zero after shutdown.
-        for slot in &mut self.slots {
-            if slot.conn.take().is_some() {
-                self.instruments.connections.sub(1);
-            }
-        }
+impl DaemonService {
+    pub(crate) fn new(ctx: ExecCtx) -> DaemonService {
+        DaemonService { ctx }
     }
+}
 
-    fn adopt_injected(&mut self) {
-        let streams: Vec<UnixStream> =
-            std::mem::take(&mut *self.shared.injected.lock().expect("injected lock"));
-        for stream in streams {
-            if stream.set_nonblocking(true).is_err() {
-                continue;
-            }
-            let key = match self.free.pop() {
-                Some(key) => key,
-                None => {
-                    self.slots.push(Slot { gen: 0, conn: None });
-                    self.slots.len() - 1
+impl Service for DaemonService {
+    type Request = proto::Request;
+
+    fn parse(&self, buf: &[u8]) -> Frame<proto::Request> {
+        match proto::try_parse(buf) {
+            Parsed::Incomplete => Frame::Incomplete,
+            Parsed::Frame(Ok(request), consumed) => Frame::Request { request, consumed },
+            Parsed::Frame(Err(message), consumed) => {
+                proto::count_malformed(&self.ctx.instruments);
+                Frame::Reply {
+                    reply: proto::encode_error_reply(&message),
+                    consumed,
                 }
-            };
-            let stream = Arc::new(stream);
-            if self
-                .shared
-                .poller
-                .add(&*stream, Event::readable(key))
-                .is_err()
-            {
-                self.free.push(key);
-                continue;
             }
-            self.slots[key].conn = Some(Conn {
-                stream,
-                state: ConnState::Reading,
-                rbuf: Vec::new(),
-                wbuf: Vec::new(),
-                peer_closed: false,
-                close_after_write: false,
-            });
-            self.instruments.connections.add(1);
-        }
-    }
-
-    fn drain_completions(&mut self) {
-        let completions: Vec<Completion> =
-            std::mem::take(&mut *self.shared.completions.lock().expect("completions lock"));
-        for comp in completions {
-            let Some(slot) = self.slots.get_mut(comp.key) else {
-                continue;
-            };
-            // A stale completion for a slot that was closed and reused.
-            if slot.gen != comp.gen {
-                continue;
-            }
-            let Some(conn) = slot.conn.as_mut() else {
-                continue;
-            };
-            debug_assert_eq!(conn.state, ConnState::Executing);
-            if comp.close {
-                self.close(comp.key);
-                continue;
-            }
-            if comp.unwritten.is_empty() {
-                conn.state = ConnState::Reading;
-                // Pipelined frames may already be buffered; serve them
-                // before going back to sleep.
-                self.advance(comp.key);
-            } else {
-                conn.wbuf = comp.unwritten;
-                conn.state = ConnState::Writing;
-                self.instruments.backpressure.inc();
-                self.rearm(comp.key);
+            Parsed::Fatal(message) => {
+                proto::count_malformed(&self.ctx.instruments);
+                Frame::Fatal {
+                    reply: proto::encode_error_reply(&message),
+                }
             }
         }
     }
 
-    fn handle_event(&mut self, event: Event) {
-        let Some(state) = self
-            .slots
-            .get(event.key)
-            .and_then(|s| s.conn.as_ref())
-            .map(|c| c.state)
-        else {
-            return;
+    fn max_buffered(&self) -> usize {
+        proto::MAX_BUFFERED
+    }
+
+    fn overflow_reply(&self) -> Vec<u8> {
+        proto::count_malformed(&self.ctx.instruments);
+        proto::encode_error_reply("frame exceeds buffer limit")
+    }
+
+    fn execute(&self, request: &proto::Request) -> Vec<u8> {
+        proto::execute(
+            request,
+            &*self.ctx.oracle,
+            &self.ctx.certs,
+            &self.ctx.instruments,
+        )
+    }
+
+    fn try_execute_inline(&self, request: &proto::Request) -> Option<Vec<u8>> {
+        // Only single-chain evaluations: a batch amortizes its handoff
+        // over many chains already, and metrics renders are rare and
+        // allocation-heavy.
+        let proto::Request::Evaluate { usage, ders } = request else {
+            return None;
         };
-        match state {
-            ConnState::Reading if event.readable => self.on_readable(event.key),
-            // Interest is disarmed for the whole of Executing, so a
-            // readable event here can only be the worker's fast-path
-            // re-arm: the response is fully written and the connection
-            // is back to request/reply duty.
-            ConnState::Executing if event.readable => {
-                if let Some(conn) = self.slots[event.key].conn.as_mut() {
-                    conn.state = ConnState::Reading;
-                }
-                self.on_readable(event.key);
+        if ders.len() > INLINE_MAX_CHAIN {
+            return None;
+        }
+        // Probe: hash each DER once, keeping the key for the commit.
+        // Peeks count nothing, so bailing here leaves no trace.
+        let mut chain = Vec::with_capacity(ders.len());
+        let mut keys = Vec::with_capacity(ders.len());
+        for der in ders {
+            let key = ParsedCertCache::key_of(der);
+            let cert = self.ctx.certs.peek_keyed(key, der)?; // unparsed DER: worker
+            chain.push(cert);
+            keys.push(key);
+        }
+        let verdicts = self.ctx.oracle.evaluate_warm(&chain, *usage)?;
+        // Committed: evaluate_warm counted its verdict hits. Produce
+        // the rest of the accounting a worker-path execution would.
+        let instruments = &self.ctx.instruments;
+        instruments.requests.inc();
+        let span = instruments.span();
+        for (key, der) in keys.iter().zip(ders) {
+            // The counting cert-cache hits parse_chain would record; a
+            // racing eviction makes this a real parse, as on a worker.
+            let _ = self.ctx.certs.parse_keyed(*key, der);
+        }
+        let reply = match verdicts {
+            Ok(v) => proto::encode_verdicts_reply(&v),
+            Err(e) => {
+                instruments.request_errors.inc();
+                proto::encode_error_reply(&e.to_string())
             }
-            ConnState::Writing if event.writable => self.on_writable(event.key),
-            // Events for a disarmed or mismatched state are stale
-            // oneshot deliveries; the state machine re-arms what it
-            // actually wants.
-            _ => {}
-        }
-    }
-
-    fn on_readable(&mut self, key: usize) {
-        let conn = match self.slots[key].conn.as_mut() {
-            Some(c) => c,
-            None => return,
         };
-        loop {
-            match (&*conn.stream).read(&mut self.scratch) {
-                Ok(0) => {
-                    conn.peer_closed = true;
-                    break;
-                }
-                Ok(n) => {
-                    conn.rbuf.extend_from_slice(&self.scratch[..n]);
-                    // A short read means the kernel buffer is drained;
-                    // skip the WouldBlock confirmation syscall. (If
-                    // more raced in, level-triggered readable interest
-                    // re-delivers once the state machine re-arms.)
-                    if n < self.scratch.len() {
-                        break;
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => {
-                    self.close(key);
-                    return;
-                }
-            }
-        }
-        self.advance(key);
-    }
-
-    /// Drive the state machine from Reading: delimit frames out of
-    /// `rbuf`, dispatch or answer them, then re-arm interest to match
-    /// the resulting state.
-    fn advance(&mut self, key: usize) {
-        loop {
-            let conn = match self.slots[key].conn.as_mut() {
-                Some(c) if c.state == ConnState::Reading => c,
-                _ => return,
-            };
-            match proto::try_parse(&conn.rbuf) {
-                Parsed::Incomplete => {
-                    if conn.peer_closed {
-                        // Clean EOF between frames, or mid-frame
-                        // abandonment; nothing more will arrive.
-                        self.close(key);
-                    } else if conn.rbuf.len() > proto::MAX_BUFFERED {
-                        proto::count_malformed(&self.ctx.instruments);
-                        self.send_reply(
-                            key,
-                            proto::encode_error_reply("frame exceeds buffer limit"),
-                            true,
-                        );
-                    } else {
-                        self.rearm(key);
-                    }
-                    return;
-                }
-                Parsed::Frame(Ok(request), consumed) => {
-                    conn.rbuf.drain(..consumed);
-                    conn.state = ConnState::Executing;
-                    let fast_rearm = conn.rbuf.is_empty() && !conn.peer_closed;
-                    let job = Job {
-                        shared: Arc::clone(&self.shared),
-                        key,
-                        gen: self.slots[key].gen,
-                        stream: Arc::clone(&self.slots[key].conn.as_ref().unwrap().stream),
-                        request,
-                        fast_rearm,
-                    };
-                    // No re-arm syscall: every path into a dispatch has
-                    // just consumed a oneshot delivery, so the fd is
-                    // already disarmed — exactly what Executing wants.
-                    if self.job_tx.send(job).is_err() {
-                        // Workers are gone (shutdown); drop the conn.
-                        self.close(key);
-                    }
-                    return;
-                }
-                Parsed::Frame(Err(message), consumed) => {
-                    conn.rbuf.drain(..consumed);
-                    proto::count_malformed(&self.ctx.instruments);
-                    let reply = proto::encode_error_reply(&message);
-                    // The frame was fully consumed, so the stream is
-                    // still in sync: answer and keep serving.
-                    self.send_reply(key, reply, false);
-                    // send_reply may have moved us to Writing/closed;
-                    // the loop head re-checks state.
-                }
-                Parsed::Fatal(message) => {
-                    proto::count_malformed(&self.ctx.instruments);
-                    let reply = proto::encode_error_reply(&message);
-                    self.send_reply(key, reply, true);
-                    return;
-                }
-            }
-        }
-    }
-
-    /// Write `bytes` from the loop (error replies only — evaluation
-    /// responses are written by workers). Spills to Writing on a full
-    /// socket buffer.
-    fn send_reply(&mut self, key: usize, bytes: Vec<u8>, close_after: bool) {
-        let conn = match self.slots[key].conn.as_mut() {
-            Some(c) => c,
-            None => return,
-        };
-        let (unwritten, broken) = write_nonblocking(&conn.stream, bytes, 0);
-        if broken {
-            self.close(key);
-            return;
-        }
-        if unwritten.is_empty() {
-            if close_after {
-                self.close(key);
-            }
-            // else: state stays Reading; caller's loop continues.
-            return;
-        }
-        conn.wbuf = unwritten;
-        conn.state = ConnState::Writing;
-        conn.close_after_write = close_after;
-        self.instruments.backpressure.inc();
-        self.rearm(key);
-    }
-
-    fn on_writable(&mut self, key: usize) {
-        let conn = match self.slots[key].conn.as_mut() {
-            Some(c) => c,
-            None => return,
-        };
-        let wbuf = std::mem::take(&mut conn.wbuf);
-        let (unwritten, broken) = write_nonblocking(&conn.stream, wbuf, 0);
-        if broken {
-            self.close(key);
-            return;
-        }
-        if unwritten.is_empty() {
-            if conn.close_after_write {
-                self.close(key);
-                return;
-            }
-            conn.state = ConnState::Reading;
-            self.advance(key);
-        } else {
-            conn.wbuf = unwritten;
-            self.rearm(key);
-        }
-    }
-
-    /// Point the oneshot interest at what the current state needs next.
-    fn rearm(&mut self, key: usize) {
-        let Some(conn) = self.slots[key].conn.as_ref() else {
-            return;
-        };
-        let interest = match conn.state {
-            ConnState::Reading => Event::readable(key),
-            ConnState::Executing => Event::none(key),
-            ConnState::Writing => Event::writable(key),
-        };
-        if self.shared.poller.modify(&*conn.stream, interest).is_err() {
-            self.close(key);
-        }
-    }
-
-    fn close(&mut self, key: usize) {
-        let Some(slot) = self.slots.get_mut(key) else {
-            return;
-        };
-        let Some(conn) = slot.conn.take() else {
-            return;
-        };
-        let _ = self.shared.poller.delete(&*conn.stream);
-        slot.gen += 1;
-        self.free.push(key);
-        self.instruments.connections.sub(1);
-        // The stream's fd closes when the last Arc (possibly held by an
-        // in-flight worker job) drops; the bumped generation discards
-        // that job's completion.
+        drop(span);
+        Some(reply)
     }
 }

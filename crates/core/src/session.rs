@@ -274,8 +274,24 @@ pub fn evaluate_gccs_lazy_into(
     metrics: Option<&nrslb_datalog::EvalMetrics>,
     verdicts: &mut Vec<GccVerdict>,
 ) -> Result<(), CoreError> {
-    verdicts.clear();
     let chain_key = chain_content_key(chain);
+    evaluate_gccs_lazy_keyed(chain, gccs, usage, cache, metrics, chain_key, verdicts)
+}
+
+/// [`evaluate_gccs_lazy_into`] with a precomputed
+/// [`chain_content_key`], for callers (the reactor's fused inline
+/// probe) that already derived the key while checking cache residency
+/// and must not pay the SHA-256 pass twice.
+pub fn evaluate_gccs_lazy_keyed(
+    chain: &[Certificate],
+    gccs: &[Gcc],
+    usage: Usage,
+    cache: &VerdictCache,
+    metrics: Option<&nrslb_datalog::EvalMetrics>,
+    chain_key: Digest,
+    verdicts: &mut Vec<GccVerdict>,
+) -> Result<(), CoreError> {
+    verdicts.clear();
     let mut session: Option<ValidationSession> = None;
     // Taint identities of this chain, computed once on the first miss
     // (cold path only): the root's fingerprint plus every issuer SPKI,

@@ -10,13 +10,15 @@ use crate::cache::{SigMemo, DEFAULT_CACHE_SHARDS, DEFAULT_SIG_MEMO_CAPACITY};
 use crate::chain::ChainBuilder;
 use crate::gcc_eval::GccVerdict;
 use crate::session::{
-    evaluate_gccs_lazy, ValidationSession, VerdictCache, DEFAULT_VERDICT_CACHE_CAPACITY,
+    chain_content_key, evaluate_gccs_lazy, evaluate_gccs_lazy_keyed, ValidationSession,
+    VerdictCache, VerdictKey, DEFAULT_VERDICT_CACHE_CAPACITY,
 };
 use crate::{hammurabi, CoreError};
 use nrslb_revocation::RevocationChecker;
 use nrslb_rootstore::{RootStore, Usage};
 use nrslb_x509::name::DotSemantics;
 use nrslb_x509::{oids, Certificate};
+use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// Where policy (GCC) evaluation happens — the three deployment options
@@ -570,7 +572,16 @@ impl Validator {
 /// daemon (all worker threads share one oracle, hence one cache); also
 /// usable directly for tests.
 pub struct InProcessOracle {
-    store: RootStore,
+    /// The current store snapshot, swappable through `&self` so a
+    /// long-running daemon can absorb feed updates while worker threads
+    /// keep evaluating: readers clone the `Arc` under a briefly-held
+    /// read lock and evaluate against their own handle. A racing
+    /// evaluation may insert a verdict computed against the *old*
+    /// snapshot after [`InProcessOracle::absorb_update`] invalidated —
+    /// that is benign, because verdict keys are content-addressed by
+    /// (chain, GCC source hash, usage): an entry for a replaced GCC or
+    /// removed root is simply never looked up again.
+    store: RwLock<Arc<RootStore>>,
     cache: VerdictCache,
     eval_metrics: Option<nrslb_datalog::EvalMetrics>,
 }
@@ -585,7 +596,7 @@ impl InProcessOracle {
     /// Create an oracle with an explicit verdict-cache capacity.
     pub fn with_cache_capacity(store: RootStore, capacity: usize) -> InProcessOracle {
         InProcessOracle {
-            store,
+            store: RwLock::new(Arc::new(store)),
             cache: VerdictCache::new(capacity),
             eval_metrics: None,
         }
@@ -621,7 +632,7 @@ impl InProcessOracle {
             None => (VerdictCache::with_shards(capacity, shards), None),
         };
         InProcessOracle {
-            store,
+            store: RwLock::new(Arc::new(store)),
             cache,
             eval_metrics,
         }
@@ -632,9 +643,11 @@ impl InProcessOracle {
         &self.cache
     }
 
-    /// The oracle's current store snapshot.
-    pub fn store(&self) -> &RootStore {
-        &self.store
+    /// A handle to the oracle's current store snapshot. The handle
+    /// stays valid (and internally consistent) even if a concurrent
+    /// [`InProcessOracle::absorb_update`] swaps in a newer snapshot.
+    pub fn store(&self) -> Arc<RootStore> {
+        Arc::clone(&self.store.read())
     }
 
     /// Evict exactly the cached verdicts a feed update tainted; see
@@ -647,10 +660,68 @@ impl InProcessOracle {
     /// invalidate only the tainted verdicts — the core of the
     /// delta → taint → selective invalidation → re-derivation flow.
     /// Untainted verdicts survive and keep serving warm. Returns the
-    /// eviction count.
-    pub fn absorb_update(&mut self, store: RootStore, taint: &nrslb_rsf::TaintSet) -> u64 {
-        self.store = store;
+    /// eviction count. Takes `&self`, so a daemon sharing the oracle
+    /// across worker threads can refresh it live (see
+    /// [`crate::daemon::TrustDaemon::refresh_from_feed`]).
+    pub fn absorb_update(&self, store: RootStore, taint: &nrslb_rsf::TaintSet) -> u64 {
+        *self.store.write() = Arc::new(store);
         self.cache.invalidate_taint(taint)
+    }
+
+    /// [`GccOracle::evaluate`], but only if this exact chain is
+    /// answered entirely from the verdict cache — the reactor's fused
+    /// inline cost guard *and* execution in one pass (DESIGN.md §5g).
+    ///
+    /// The store lookup and [`chain_content_key`] are computed once;
+    /// each verdict is first checked with a *non-perturbing*
+    /// [`VerdictCache::peek`]. Any miss returns `None` having caused
+    /// no observable effect — no hit/miss counted, no recency moved —
+    /// and the caller hands the request to a worker, which starts from
+    /// scratch. On a full hit the same keys are committed through
+    /// [`evaluate_gccs_lazy_keyed`] (counting gets, identical to the
+    /// worker path), reusing the chain key so the SHA-256 pass is not
+    /// paid twice. A concurrent eviction between probe and commit
+    /// merely makes the commit derive that verdict on the loop thread,
+    /// exactly as a worker would.
+    pub fn evaluate_warm(
+        &self,
+        chain: &[Certificate],
+        usage: Usage,
+    ) -> Option<Result<Vec<GccVerdict>, CoreError>> {
+        let Some(root) = chain.last() else {
+            return Some(Ok(Vec::new())); // no verdicts to derive
+        };
+        let store = self.store();
+        let gccs = store.gccs_for(&root.fingerprint());
+        if gccs.is_empty() {
+            return Some(Ok(Vec::new())); // vacuous accept: no GCCs to run
+        }
+        let chain_key = chain_content_key(chain);
+        let all_cached = gccs.iter().all(|gcc| {
+            self.cache
+                .peek(&VerdictKey {
+                    chain: chain_key,
+                    gcc: gcc.source_hash(),
+                    usage,
+                })
+                .is_some()
+        });
+        if !all_cached {
+            return None;
+        }
+        let mut verdicts = Vec::with_capacity(gccs.len());
+        Some(
+            evaluate_gccs_lazy_keyed(
+                chain,
+                gccs,
+                usage,
+                &self.cache,
+                self.eval_metrics.as_ref(),
+                chain_key,
+                &mut verdicts,
+            )
+            .map(|()| verdicts),
+        )
     }
 }
 
@@ -659,7 +730,8 @@ impl GccOracle for InProcessOracle {
         let Some(root) = chain.last() else {
             return Ok(Vec::new());
         };
-        let gccs = self.store.gccs_for(&root.fingerprint());
+        let store = self.store();
+        let gccs = store.gccs_for(&root.fingerprint());
         if gccs.is_empty() {
             return Ok(Vec::new());
         }

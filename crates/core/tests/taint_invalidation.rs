@@ -151,7 +151,7 @@ fn delta_taint_invalidates_only_touched_roots_verdicts() {
         store.attach_gcc(gcc).unwrap();
     }
 
-    let mut oracle = InProcessOracle::new(store.clone());
+    let oracle = InProcessOracle::new(store.clone());
     let chain_a = [
         pki_a.leaf.clone(),
         pki_a.intermediate.clone(),

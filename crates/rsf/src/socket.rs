@@ -1,11 +1,11 @@
-//! Feed distribution over a real transport: a Unix-domain-socket feed
-//! server and a matching remote subscriber.
+//! Feed distribution over a real transport: Unix-domain-socket feed
+//! servers and a matching remote subscriber.
 //!
 //! The sans-IO [`crate::transport`] layer stays the source of truth;
 //! this module is the thin framing that carries its artifacts across a
 //! socket, standing in for the HTTPS endpoint the paper proposes
 //! ("RSFs can be distributed using conventional protocols", §4). The
-//! protocol is a single request/response per connection:
+//! wire protocol is a simple request/response exchange:
 //!
 //! ```text
 //! request  := "RSFQ" u64 have_sequence u64 have_checkpoint_size
@@ -15,6 +15,19 @@
 //!             u8 has_proof [u64 old u64 new u32 n (32-byte digest)*]
 //!             u32 n_rotations (u32 len, bytes rotation-event)*
 //! ```
+//!
+//! Two servers speak it, answering every request through one shared
+//! response builder (`build_response_body`) so their replies are
+//! byte-identical by construction:
+//!
+//! * [`FeedDistributionNode`] — the real thing: a reactor-backed node
+//!   (the same [`nrslb_reactor`] engine the trust daemon runs on) that
+//!   holds thousands of keep-alive subscriber connections on a few
+//!   event loops, serving idle re-polls inline on the loop and
+//!   everything else on a small worker pool.
+//! * [`FeedSocketServer`] — the deprecated thread-per-connection
+//!   ablation arm, kept so E21 can measure exactly what the reactor
+//!   buys at the distribution tier.
 //!
 //! Everything security-relevant (signatures, endorsements, sequence
 //! continuity, checkpoint consistency) is verified by the subscriber —
@@ -29,12 +42,26 @@ use crate::wire::{Reader, Writer};
 use crate::RsfError;
 use nrslb_crypto::merkle::ConsistencyProof;
 use nrslb_crypto::sha256::Digest;
-use std::io::{Read as _, Write as _};
+use nrslb_obs::Registry;
+use nrslb_reactor::{Frame, ReactorHandle, Service};
+use std::io::{ErrorKind, Read as _, Write as _};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard cap on any frame body, either direction.
+const MAX_FRAME_BYTES: u32 = 256 * 1024 * 1024;
+
+/// A request body is exactly two `u64`s.
+const FEED_REQUEST_BODY_LEN: usize = 16;
+
+/// Read timeout on the thread server's accepted streams: blocked serve
+/// reads become stop-flag checks at this cadence, which is what lets
+/// [`FeedSocketServer`]'s `Drop` join every connection thread.
+const SERVE_POLL: Duration = Duration::from_millis(25);
 
 fn io_err(e: std::io::Error) -> RsfError {
     let _ = e;
@@ -48,11 +75,58 @@ fn read_frame(stream: &mut UnixStream, magic: &[u8; 4]) -> Result<Vec<u8>, RsfEr
         return Err(RsfError::Wire("bad frame magic"));
     }
     let len = u32::from_le_bytes(head[4..].try_into().unwrap());
-    if len > 256 * 1024 * 1024 {
+    if len > MAX_FRAME_BYTES {
         return Err(RsfError::Wire("frame too large"));
     }
     let mut body = vec![0u8; len as usize];
     stream.read_exact(&mut body).map_err(io_err)?;
+    Ok(body)
+}
+
+/// [`read_frame`] for the thread server's serve loops: the stream
+/// carries a short read timeout ([`SERVE_POLL`]) and every timeout tick
+/// re-checks `stop`, so a connection blocked on a silent peer still
+/// unwinds promptly at shutdown.
+fn read_exact_stop(
+    stream: &mut UnixStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+) -> Result<(), RsfError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return Err(RsfError::Wire("server shutting down"));
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(RsfError::Wire("socket i/o failure")),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    Ok(())
+}
+
+fn read_frame_stop(
+    stream: &mut UnixStream,
+    magic: &[u8; 4],
+    stop: &AtomicBool,
+) -> Result<Vec<u8>, RsfError> {
+    let mut head = [0u8; 8];
+    read_exact_stop(stream, &mut head, stop)?;
+    if &head[..4] != magic {
+        return Err(RsfError::Wire("bad frame magic"));
+    }
+    let len = u32::from_le_bytes(head[4..].try_into().unwrap());
+    if len > MAX_FRAME_BYTES {
+        return Err(RsfError::Wire("frame too large"));
+    }
+    let mut body = vec![0u8; len as usize];
+    read_exact_stop(stream, &mut body, stop)?;
     Ok(body)
 }
 
@@ -96,90 +170,58 @@ fn decode_proof(r: &mut Reader<'_>) -> Result<ConsistencyProof, RsfError> {
     })
 }
 
-/// A feed server bound to a Unix socket, sharing a publisher that the
-/// operator keeps updating through the mutex.
-pub struct FeedSocketServer {
-    path: PathBuf,
-    publisher: Arc<Mutex<FeedPublisher>>,
-    stop: Arc<AtomicBool>,
-    thread: Option<JoinHandle<()>>,
+/// One decoded feed poll: where the subscriber claims to be.
+#[derive(Debug, Clone, Copy)]
+struct FeedRequest {
+    have_sequence: u64,
+    have_checkpoint: u64,
 }
 
-impl FeedSocketServer {
-    /// Bind and serve.
-    pub fn spawn(
-        publisher: Arc<Mutex<FeedPublisher>>,
-        socket_path: impl AsRef<Path>,
-    ) -> std::io::Result<FeedSocketServer> {
-        let path = socket_path.as_ref().to_path_buf();
-        let _ = std::fs::remove_file(&path);
-        let listener = UnixListener::bind(&path)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = stop.clone();
-        let publisher2 = publisher.clone();
-        let thread = std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if stop2.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(mut stream) = conn else { continue };
-                let publisher = publisher2.clone();
-                std::thread::spawn(move || {
-                    let _ = serve_once(&mut stream, &publisher);
-                });
-            }
-        });
-        Ok(FeedSocketServer {
-            path,
-            publisher,
-            stop,
-            thread: Some(thread),
-        })
-    }
-
-    /// The socket path.
-    pub fn socket_path(&self) -> &Path {
-        &self.path
-    }
-
-    /// The shared publisher handle (for publishing updates).
-    pub fn publisher(&self) -> Arc<Mutex<FeedPublisher>> {
-        self.publisher.clone()
-    }
-}
-
-impl Drop for FeedSocketServer {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        let _ = UnixStream::connect(&self.path);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
-        let _ = std::fs::remove_file(&self.path);
-    }
-}
-
-fn serve_once(stream: &mut UnixStream, publisher: &Mutex<FeedPublisher>) -> Result<(), RsfError> {
-    let body = read_frame(stream, b"RSFQ")?;
-    let mut r = Reader::new(&body);
+fn decode_request(body: &[u8]) -> Result<FeedRequest, RsfError> {
+    let mut r = Reader::new(body);
     let have_sequence = r.get_u64()?;
     let have_checkpoint = r.get_u64()?;
     r.expect_end()?;
+    Ok(FeedRequest {
+        have_sequence,
+        have_checkpoint,
+    })
+}
 
+/// Build the RSFR response body for a subscriber at
+/// `request.have_sequence` holding a pinned checkpoint of
+/// `request.have_checkpoint` leaves. Both servers — the deprecated
+/// thread-per-connection ablation arm and the reactor-backed
+/// distribution node — answer every request through this one function,
+/// so their replies are byte-identical by construction.
+fn build_response_body(
+    publisher: &Mutex<FeedPublisher>,
+    request: FeedRequest,
+) -> Result<Vec<u8>, RsfError> {
     let mut publisher = publisher.lock().expect("publisher mutex");
+    build_response_with(&mut publisher, request)
+}
+
+/// [`build_response_body`] against an already-acquired publisher — the
+/// node's fused inline path holds the `try_lock` guard it probed with,
+/// so locking again here would deadlock (std mutexes are not
+/// reentrant) and re-probing would waste the acquisition.
+fn build_response_with(
+    publisher: &mut FeedPublisher,
+    request: FeedRequest,
+) -> Result<Vec<u8>, RsfError> {
     let checkpoint = publisher.checkpoint()?;
-    let proof = if have_checkpoint > 0 {
-        publisher.prove_extension(have_checkpoint)
+    let proof = if request.have_checkpoint > 0 {
+        publisher.prove_extension(request.have_checkpoint)
     } else {
         None
     };
     let messages: Vec<Vec<u8>> = publisher
-        .fetch(have_sequence)
+        .fetch(request.have_sequence)
         .into_iter()
         .map(|m| m.encode())
         .collect();
     let rotations: Vec<Vec<u8>> = publisher.rotations().iter().map(|e| e.encode()).collect();
-    drop(publisher);
 
     let mut w = Writer::new();
     w.put_u32(messages.len() as u32);
@@ -200,7 +242,316 @@ fn serve_once(stream: &mut UnixStream, publisher: &Mutex<FeedPublisher>) -> Resu
     for ev in &rotations {
         w.put_bytes(ev);
     }
-    write_frame(stream, b"RSFR", &w.finish())
+    Ok(w.finish())
+}
+
+/// A feed server bound to a Unix socket, one thread per connection,
+/// sharing a publisher that the operator keeps updating through the
+/// mutex. Each connection serves a single request and hangs up.
+#[deprecated(
+    note = "thread-per-connection ablation arm for E21; use FeedDistributionNode, \
+            which holds thousands of keep-alive subscribers on a few event loops"
+)]
+pub struct FeedSocketServer {
+    path: PathBuf,
+    publisher: Arc<Mutex<FeedPublisher>>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    serves: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+#[allow(deprecated)]
+impl FeedSocketServer {
+    /// Bind and serve.
+    pub fn spawn(
+        publisher: Arc<Mutex<FeedPublisher>>,
+        socket_path: impl AsRef<Path>,
+    ) -> std::io::Result<FeedSocketServer> {
+        let path = socket_path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let serves = Arc::new(Mutex::new(Vec::<JoinHandle<()>>::new()));
+        let stop2 = stop.clone();
+        let publisher2 = publisher.clone();
+        let serves2 = serves.clone();
+        let accept = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = conn else { continue };
+                // The short read timeout turns blocked serve reads
+                // into stop-flag checks, so Drop can join this thread.
+                let _ = stream.set_read_timeout(Some(SERVE_POLL));
+                let publisher = publisher2.clone();
+                let stop = stop2.clone();
+                let handle = std::thread::spawn(move || {
+                    let _ = serve_once(&mut stream, &publisher, &stop);
+                });
+                let mut serves = serves2.lock().expect("serve-thread registry");
+                // Reap finished threads as we go so a long-lived server
+                // does not accumulate handles.
+                let mut live = Vec::with_capacity(serves.len() + 1);
+                for h in serves.drain(..) {
+                    if h.is_finished() {
+                        let _ = h.join();
+                    } else {
+                        live.push(h);
+                    }
+                }
+                live.push(handle);
+                *serves = live;
+            }
+        });
+        Ok(FeedSocketServer {
+            path,
+            publisher,
+            stop,
+            accept: Some(accept),
+            serves,
+        })
+    }
+
+    /// The socket path.
+    pub fn socket_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The shared publisher handle (for publishing updates).
+    pub fn publisher(&self) -> Arc<Mutex<FeedPublisher>> {
+        self.publisher.clone()
+    }
+}
+
+#[allow(deprecated)]
+impl Drop for FeedSocketServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the stop flag.
+        let _ = UnixStream::connect(&self.path);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        // Serve threads observe the flag within one read-timeout tick.
+        let serves: Vec<JoinHandle<()>> = {
+            let mut serves = self.serves.lock().expect("serve-thread registry");
+            serves.drain(..).collect()
+        };
+        for t in serves {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn serve_once(
+    stream: &mut UnixStream,
+    publisher: &Mutex<FeedPublisher>,
+    stop: &AtomicBool,
+) -> Result<(), RsfError> {
+    let body = read_frame_stop(stream, b"RSFQ", stop)?;
+    let request = decode_request(&body)?;
+    let reply = build_response_body(publisher, request)?;
+    write_frame(stream, b"RSFR", &reply)
+}
+
+/// The feed wire protocol as a reactor [`Service`]: framing and
+/// request decoding for [`Frame`], execution through the shared
+/// [`build_response_body`], and an inline guard that keeps idle
+/// re-polls off the worker pool.
+struct FeedService {
+    publisher: Arc<Mutex<FeedPublisher>>,
+}
+
+impl Service for FeedService {
+    type Request = FeedRequest;
+
+    fn parse(&self, buf: &[u8]) -> Frame<FeedRequest> {
+        if buf.len() < 8 {
+            return Frame::Incomplete;
+        }
+        if &buf[..4] != b"RSFQ" {
+            // The thread server closes without answering on a bad
+            // frame; an empty Fatal reply is the engine's spelling of
+            // the same silent hang-up.
+            return Frame::Fatal { reply: Vec::new() };
+        }
+        let len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+        // A valid request body is exactly two u64s. The thread server
+        // reads any cap-respecting length and then fails the decode;
+        // rejecting at the header is the same observable silent close,
+        // without buffering up to the frame cap first.
+        if len != FEED_REQUEST_BODY_LEN {
+            return Frame::Fatal { reply: Vec::new() };
+        }
+        let total = 8 + len;
+        if buf.len() < total {
+            return Frame::Incomplete;
+        }
+        match decode_request(&buf[8..total]) {
+            Ok(request) => Frame::Request {
+                request,
+                consumed: total,
+            },
+            Err(_) => Frame::Fatal { reply: Vec::new() },
+        }
+    }
+
+    fn max_buffered(&self) -> usize {
+        // Requests are 24 bytes and parse bounds any incomplete frame
+        // to that, so this is pipelining headroom, not a protocol cap.
+        4096
+    }
+
+    fn overflow_reply(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn execute(&self, request: &FeedRequest) -> Vec<u8> {
+        match build_response_body(&self.publisher, *request) {
+            Ok(body) => rsfr_frame(&body),
+            // The thread server closes without answering when the
+            // publisher fails; the engine has no close-from-execute
+            // channel, so the node stays silent and the subscriber's
+            // attempt timeout classifies the connection as damaged.
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn try_execute_inline(&self, request: &FeedRequest) -> Option<Vec<u8>> {
+        // Idle re-polls only: the subscriber is current (no messages
+        // to encode) and the cached checkpoint is fresh (no hash-based
+        // signing), so the reply is a few hundred bytes of copies —
+        // cheaper than the loop→worker→loop handoff. The guard and the
+        // execution share one lock acquisition: try_lock keeps the
+        // event loop from ever blocking behind a publish, and the held
+        // guard builds the reply, so a publish can no longer land
+        // between probe and execute.
+        let mut publisher = self.publisher.try_lock().ok()?;
+        if request.have_sequence < publisher.sequence() || !publisher.checkpoint_is_cached() {
+            return None; // real delta or stale checkpoint: worker
+        }
+        match build_response_with(&mut publisher, *request) {
+            Ok(body) => Some(rsfr_frame(&body)),
+            // Same silent close execute() answers failures with.
+            Err(_) => Some(Vec::new()),
+        }
+    }
+}
+
+/// Wrap a response body in the `RSFR` length-prefixed frame — the one
+/// encoding shared by the worker and inline reply paths.
+fn rsfr_frame(body: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(8 + body.len());
+    frame.extend_from_slice(b"RSFR");
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    frame
+}
+
+/// A reactor-backed feed distribution node: the event-driven
+/// replacement for [`FeedSocketServer`], built on the same
+/// [`nrslb_reactor`] engine as the trust daemon's `Engine::Reactor`.
+///
+/// Subscriber connections are keep-alive — a derivative store connects
+/// once and re-polls on the same stream for its whole lifetime — so a
+/// node holds its entire subscriber population (E21 drives it past
+/// 5 000 concurrent connections) on a few event loops plus a small
+/// worker pool. Idle re-polls, the steady state of a healthy feed
+/// (nothing new since the last poll), are served inline on the event
+/// loop under a cost guard: the publisher lock is free, the subscriber
+/// is current, and the signed checkpoint is cached, so the reply is
+/// cheap copies with no signing and no handoff.
+pub struct FeedDistributionNode {
+    path: PathBuf,
+    publisher: Arc<Mutex<FeedPublisher>>,
+    registry: Arc<Registry>,
+    stop: Arc<AtomicBool>,
+    engine: Option<ReactorHandle>,
+}
+
+impl FeedDistributionNode {
+    /// Bind and serve with default sizing: event loops scaled to the
+    /// machine (half the cores, clamped to 1..=4) and two workers —
+    /// execution is serialized on the publisher mutex, so extra
+    /// workers only overlap socket writes.
+    pub fn spawn(
+        publisher: Arc<Mutex<FeedPublisher>>,
+        socket_path: impl AsRef<Path>,
+    ) -> std::io::Result<FeedDistributionNode> {
+        let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
+        FeedDistributionNode::spawn_with(publisher, socket_path, (cores / 2).clamp(1, 4), 2)
+    }
+
+    /// Bind and serve with explicit event-loop and worker counts (both
+    /// floored at 1).
+    pub fn spawn_with(
+        publisher: Arc<Mutex<FeedPublisher>>,
+        socket_path: impl AsRef<Path>,
+        event_loops: usize,
+        workers: usize,
+    ) -> std::io::Result<FeedDistributionNode> {
+        let path = socket_path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(Registry::new());
+        let service = Arc::new(FeedService {
+            publisher: Arc::clone(&publisher),
+        });
+        let engine = ReactorHandle::spawn(
+            listener,
+            event_loops.max(1),
+            workers.max(1),
+            service,
+            &registry,
+            Arc::clone(&stop),
+        )?;
+        Ok(FeedDistributionNode {
+            path,
+            publisher,
+            registry,
+            stop,
+            engine: Some(engine),
+        })
+    }
+
+    /// The socket path.
+    pub fn socket_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The shared publisher handle (for publishing updates).
+    pub fn publisher(&self) -> Arc<Mutex<FeedPublisher>> {
+        self.publisher.clone()
+    }
+
+    /// The node's metrics registry: the engine's per-loop series
+    /// (`nrslb_reactor_connections`, `nrslb_reactor_ready_events`,
+    /// `nrslb_reactor_backpressure_total`, `nrslb_reactor_inline_total`)
+    /// labelled `loop="N"`.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Render the node's metrics in text exposition format.
+    pub fn render_metrics(&self) -> String {
+        self.registry.render_text()
+    }
+}
+
+impl Drop for FeedDistributionNode {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept thread so it observes the stop flag; the
+        // engine's shutdown then wakes and joins loops and workers.
+        let _ = UnixStream::connect(&self.path);
+        if let Some(mut engine) = self.engine.take() {
+            engine.shutdown();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
 }
 
 impl SubscriberBuilder {
@@ -211,11 +562,14 @@ impl SubscriberBuilder {
         RemoteSubscriber {
             inner: self.build(),
             socket: socket.as_ref().to_path_buf(),
+            stream: None,
+            keep_alive: true,
         }
     }
 }
 
-/// A subscriber that polls a [`FeedSocketServer`] over the socket.
+/// A subscriber that polls a [`FeedDistributionNode`] (or the
+/// deprecated [`FeedSocketServer`]) over the socket.
 ///
 /// Wraps the sans-IO [`Subscriber`]'s *state* but performs its own
 /// verification of the transported artifacts, since it cannot hold a
@@ -223,9 +577,18 @@ impl SubscriberBuilder {
 /// governs the socket too: `attempt_timeout_ms` becomes the stream's
 /// read/write timeout and [`RemoteSubscriber::sync`] retries transient
 /// failures with the policy's (real, slept) backoff.
+///
+/// Connections are kept alive across polls by default: the stream from
+/// a successful exchange is cached and reused, and a failure on a
+/// reused stream (a one-shot server hanging up, a restarted node)
+/// falls back to exactly one fresh connection before erroring — so the
+/// same subscriber works against both servers, paying the per-poll
+/// connect only where the server forces it.
 pub struct RemoteSubscriber {
     inner: Subscriber,
     socket: PathBuf,
+    stream: Option<UnixStream>,
+    keep_alive: bool,
 }
 
 impl RemoteSubscriber {
@@ -254,18 +617,46 @@ impl RemoteSubscriber {
         self.inner.serve(now)
     }
 
-    /// Poll the server once (no retries).
-    pub fn sync_once(&mut self, now: i64) -> Result<SyncReport, RsfError> {
-        let timeout = std::time::Duration::from_millis(self.inner.policy().attempt_timeout_ms);
+    /// Toggle connection reuse across polls (on by default). Turning
+    /// it off drops any cached stream and reverts to one connection
+    /// per poll — the E21 ablation arm's access pattern.
+    pub fn set_keep_alive(&mut self, keep_alive: bool) {
+        self.keep_alive = keep_alive;
+        if !keep_alive {
+            self.stream = None;
+        }
+    }
+
+    /// One request/response exchange, reusing the kept-alive stream
+    /// when there is one. A failure on a reused stream is
+    /// indistinguishable from the server having hung up between polls
+    /// (the deprecated thread server always does), so it falls through
+    /// to one fresh connection rather than surfacing an error.
+    fn exchange(&mut self, request: &[u8], timeout: Duration) -> Result<Vec<u8>, RsfError> {
+        if let Some(mut stream) = self.stream.take() {
+            if let Ok(body) = roundtrip(&mut stream, request) {
+                self.stream = Some(stream);
+                return Ok(body);
+            }
+        }
         let mut stream = UnixStream::connect(&self.socket).map_err(io_err)?;
         stream.set_read_timeout(Some(timeout)).map_err(io_err)?;
         stream.set_write_timeout(Some(timeout)).map_err(io_err)?;
+        let body = roundtrip(&mut stream, request)?;
+        if self.keep_alive {
+            self.stream = Some(stream);
+        }
+        Ok(body)
+    }
+
+    /// Poll the server once (no retries).
+    pub fn sync_once(&mut self, now: i64) -> Result<SyncReport, RsfError> {
+        let timeout = Duration::from_millis(self.inner.policy().attempt_timeout_ms);
         let mut req = Writer::new();
         req.put_u64(self.inner.sequence());
         req.put_u64(self.inner.pinned_checkpoint().map(|c| c.size).unwrap_or(0));
-        write_frame(&mut stream, b"RSFQ", &req.finish())?;
+        let body = self.exchange(&req.finish(), timeout)?;
 
-        let body = read_frame(&mut stream, b"RSFR")?;
         let mut r = Reader::for_artifact(&body, "feed response");
         let n = r.field("message count").get_u32()?;
         if n > 100_000 {
@@ -346,7 +737,13 @@ impl RemoteSubscriber {
     }
 }
 
+fn roundtrip(stream: &mut UnixStream, request: &[u8]) -> Result<Vec<u8>, RsfError> {
+    write_frame(stream, b"RSFQ", request)?;
+    read_frame(stream, b"RSFR")
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::clock::Clock;
@@ -358,7 +755,7 @@ mod tests {
         std::env::temp_dir().join(format!("nrslb-rsf-{tag}-{}.sock", std::process::id()))
     }
 
-    fn setup(tag: &str) -> (FeedSocketServer, RemoteSubscriber, RootStore) {
+    fn fresh_publisher(tag: &str) -> (Arc<Mutex<FeedPublisher>>, FeedTrust, RootStore) {
         let coordinator = CoordinatorKey::from_seed([1; 32], 4).unwrap();
         let key = FeedKey::new([2; 32], 8, &coordinator).unwrap();
         let trust = FeedTrust::single(coordinator.public());
@@ -366,10 +763,21 @@ mod tests {
         let mut store = RootStore::new("nss");
         store.add_trusted(pki.root.clone()).unwrap();
         let publisher = FeedPublisher::new("nss", key, &store, 0).unwrap();
-        let server =
-            FeedSocketServer::spawn(Arc::new(Mutex::new(publisher)), socket_path(tag)).unwrap();
+        (Arc::new(Mutex::new(publisher)), trust, store)
+    }
+
+    fn setup(tag: &str) -> (FeedSocketServer, RemoteSubscriber, RootStore) {
+        let (publisher, trust, store) = fresh_publisher(tag);
+        let server = FeedSocketServer::spawn(publisher, socket_path(tag)).unwrap();
         let subscriber = Subscriber::builder("remote", trust).connect(server.socket_path());
         (server, subscriber, store)
+    }
+
+    fn setup_node(tag: &str) -> (FeedDistributionNode, RemoteSubscriber, RootStore) {
+        let (publisher, trust, store) = fresh_publisher(tag);
+        let node = FeedDistributionNode::spawn_with(publisher, socket_path(tag), 2, 2).unwrap();
+        let subscriber = Subscriber::builder("remote", trust).connect(node.socket_path());
+        (node, subscriber, store)
     }
 
     #[test]
@@ -398,6 +806,64 @@ mod tests {
         assert!(!report.report.snapshot_applied);
     }
 
+    /// The same end-to-end flow against the reactor-backed node, over
+    /// a single kept-alive connection.
+    #[test]
+    fn node_bootstrap_and_incremental_sync() {
+        let (node, mut subscriber, mut store) = setup_node("node-inc");
+        let report = subscriber.sync(0).unwrap();
+        assert!(report.report.snapshot_applied);
+        assert_eq!(subscriber.store().len(), 1);
+        assert!(
+            subscriber.stream.is_some(),
+            "keep-alive stream cached after a successful poll"
+        );
+
+        let fp = *store.iter().next().unwrap().0;
+        store.distrust(fp, "incident");
+        node.publisher()
+            .lock()
+            .unwrap()
+            .publish(&store, 100)
+            .unwrap();
+        let report = subscriber.sync(10).unwrap();
+        assert_eq!(report.report.deltas_applied, 1);
+        assert_eq!(subscriber.store().status(&fp), TrustStatus::Distrusted);
+
+        // Idle re-polls ride the cached stream and qualify for inline
+        // service: the subscriber is current and the checkpoint was
+        // signed (and cached) answering the previous poll.
+        for now in [20, 30, 40] {
+            let report = subscriber.sync(now).unwrap();
+            assert_eq!(report.report.deltas_applied, 0);
+        }
+        let inline: u64 = (0..8)
+            .map(|i| {
+                node.registry()
+                    .counter_with(
+                        "nrslb_reactor_inline_total",
+                        &[("loop", &i.to_string())],
+                        "requests served inline on the event loop (cost-guard hits)",
+                    )
+                    .get()
+            })
+            .sum();
+        assert!(inline >= 3, "idle re-polls served inline, got {inline}");
+    }
+
+    /// Keep-alive against the one-shot thread server degrades
+    /// gracefully: the reused stream fails, the fallback connection
+    /// answers, and the poll still succeeds.
+    #[test]
+    fn keep_alive_falls_back_against_one_shot_server() {
+        let (_server, mut subscriber, _store) = setup("ka-fallback");
+        assert!(subscriber.sync(0).unwrap().report.snapshot_applied);
+        for now in [10, 20] {
+            let report = subscriber.sync(now).unwrap();
+            assert_eq!(report.report.deltas_applied, 0);
+        }
+    }
+
     #[test]
     fn wrong_coordinator_rejected_over_socket() {
         let (server, _subscriber, _store) = setup("forge");
@@ -424,11 +890,62 @@ mod tests {
     }
 
     #[test]
+    fn wrong_coordinator_rejected_over_node() {
+        let (node, _subscriber, _store) = setup_node("node-forge");
+        let other = CoordinatorKey::from_seed([9; 32], 4).unwrap();
+        let clock = crate::clock::VirtualClock::shared(0);
+        let mut victim = Subscriber::builder("victim", FeedTrust::single(other.public()))
+            .policy(crate::sync::SyncPolicy {
+                base_backoff_ms: 1_000,
+                max_backoff_ms: 2_000,
+                max_attempts: 3,
+                ..Default::default()
+            })
+            .clock(clock.clone())
+            .connect(node.socket_path());
+        let err = victim.sync_now();
+        assert!(matches!(err, Err(RsfError::Exhausted { .. })));
+        assert!(victim.store().is_empty());
+    }
+
+    #[test]
     fn server_socket_cleanup_on_drop() {
         let (server, _s, _st) = setup("cleanup");
         let path = server.socket_path().to_path_buf();
         assert!(path.exists());
         drop(server);
         assert!(!path.exists());
+    }
+
+    #[test]
+    fn node_socket_cleanup_on_drop() {
+        let (node, mut subscriber, _store) = setup_node("node-cleanup");
+        // Drop with a live kept-alive connection: the engine must
+        // still unwind (close the connection, join loops and workers).
+        assert!(subscriber.sync(0).is_ok());
+        let path = node.socket_path().to_path_buf();
+        assert!(path.exists());
+        drop(node);
+        assert!(!path.exists());
+    }
+
+    /// The shutdown satellite: a connection that never completes a
+    /// request must not wedge the thread server's Drop.
+    #[test]
+    fn server_drop_joins_stalled_connections() {
+        let (publisher, _trust, _store) = fresh_publisher("stall");
+        let server = FeedSocketServer::spawn(publisher, socket_path("stall")).unwrap();
+        // Half a request header, then silence.
+        let mut stalled = UnixStream::connect(server.socket_path()).unwrap();
+        stalled.write_all(b"RSF").unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let start = std::time::Instant::now();
+        drop(server);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "drop must join serve threads promptly, took {:?}",
+            start.elapsed()
+        );
+        drop(stalled);
     }
 }

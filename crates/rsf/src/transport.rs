@@ -141,6 +141,17 @@ impl FeedPublisher {
         Ok(self.checkpoint_ref()?.clone())
     }
 
+    /// Whether [`FeedPublisher::checkpoint`] would serve from its
+    /// cache — i.e. the transparency log has not grown since the last
+    /// signed checkpoint. The distribution node's inline guard uses
+    /// this to keep checkpoint signing (one-time hash-based
+    /// signatures, milliseconds of work) off the event loop.
+    pub fn checkpoint_is_cached(&self) -> bool {
+        self.cached_checkpoint
+            .as_ref()
+            .is_some_and(|c| c.size == self.translog.len())
+    }
+
     /// Borrowed view of the (refreshed-if-stale) cached checkpoint, so
     /// the warm sync path can compare content without cloning the
     /// artifact — a quorum witness carries `k` hash-based signatures

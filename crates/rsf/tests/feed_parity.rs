@@ -1,0 +1,277 @@
+//! Feed-server parity: the reactor-backed [`FeedDistributionNode`] and
+//! the deprecated thread-per-connection [`FeedSocketServer`] must be
+//! observationally identical at the byte level. Two publishers built
+//! from the same seeds and driven through the same mutations back the
+//! two servers; the same request script — valid polls (whole and
+//! dribbled in partial chunks), mid-stream garbage, oversized lengths,
+//! and truncated frames — must then produce the same outcome from
+//! both: the identical reply bytes, or the identical silent hang-up.
+
+#![allow(deprecated)]
+
+use nrslb_rootstore::RootStore;
+use nrslb_rsf::{
+    CoordinatorKey, FeedDistributionNode, FeedKey, FeedPublisher, FeedSocketServer, FeedTrust,
+    Subscriber,
+};
+use nrslb_x509::testutil::simple_chain;
+use std::io::{Read, Write};
+use std::net::Shutdown;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nrslb-parity-{tag}-{}.sock", std::process::id()))
+}
+
+/// Two publishers with identical seeds over identical stores: every
+/// signature they ever produce is deterministic, so as long as both
+/// are driven through the same operations their wire artifacts are
+/// byte-identical.
+fn twin_publishers() -> (
+    Arc<Mutex<FeedPublisher>>,
+    Arc<Mutex<FeedPublisher>>,
+    RootStore,
+) {
+    let pki = simple_chain("parity.example");
+    let mut store = RootStore::new("nss");
+    store.add_trusted(pki.root.clone()).unwrap();
+    let mut twins = Vec::new();
+    for _ in 0..2 {
+        let coordinator = CoordinatorKey::from_seed([7; 32], 4).unwrap();
+        let key = FeedKey::new([8; 32], 8, &coordinator).unwrap();
+        let publisher = FeedPublisher::new("nss", key, &store, 0).unwrap();
+        twins.push(Arc::new(Mutex::new(publisher)));
+    }
+    let b = twins.pop().unwrap();
+    let a = twins.pop().unwrap();
+    (a, b, store)
+}
+
+fn encode_request(have_sequence: u64, have_checkpoint: u64) -> Vec<u8> {
+    let mut req = Vec::with_capacity(24);
+    req.extend_from_slice(b"RSFQ");
+    req.extend_from_slice(&16u32.to_le_bytes());
+    req.extend_from_slice(&have_sequence.to_le_bytes());
+    req.extend_from_slice(&have_checkpoint.to_le_bytes());
+    req
+}
+
+/// What one connection observed: a complete RSFR frame, or the server
+/// hanging up without answering.
+#[derive(Debug, PartialEq, Eq)]
+enum Outcome {
+    Reply(Vec<u8>),
+    Closed,
+}
+
+/// Read one full reply frame, or observe the close. A reset counts as
+/// a close: a server that hangs up with unread bytes still in its
+/// receive buffer produces RST rather than FIN, and which of the two
+/// the client sees is kernel timing, not protocol behaviour.
+fn read_outcome(stream: &mut UnixStream) -> Outcome {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut head = [0u8; 8];
+    let mut have = 0;
+    while have < head.len() {
+        match stream.read(&mut head[have..]) {
+            Ok(0) => return Outcome::Closed,
+            Ok(n) => have += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::ConnectionAborted
+                ) =>
+            {
+                return Outcome::Closed
+            }
+            Err(e) => panic!("reply header read failed: {e}"),
+        }
+    }
+    assert_eq!(&head[..4], b"RSFR", "reply magic");
+    let len = u32::from_le_bytes(head[4..].try_into().unwrap()) as usize;
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).expect("reply body");
+    let mut frame = head.to_vec();
+    frame.extend_from_slice(&body);
+    Outcome::Reply(frame)
+}
+
+fn send_request(
+    stream: &mut UnixStream,
+    bytes: &[u8],
+    chunked: bool,
+    truncate: bool,
+) -> std::io::Result<()> {
+    if chunked {
+        for chunk in bytes.chunks(3) {
+            stream.write_all(chunk)?;
+            stream.flush()?;
+            std::thread::yield_now();
+        }
+    } else {
+        stream.write_all(bytes)?;
+    }
+    if truncate {
+        stream.shutdown(Shutdown::Write)?;
+    }
+    Ok(())
+}
+
+/// One fresh-connection exchange: write `bytes` (optionally dribbled in
+/// 3-byte chunks), half-close if `truncate`, and read the outcome. A
+/// server that rejects early may close (or reset) while the request is
+/// still being written; that is itself the "no answer" outcome.
+fn exchange(path: &Path, bytes: &[u8], chunked: bool, truncate: bool) -> Outcome {
+    let mut stream = UnixStream::connect(path).expect("connect");
+    if send_request(&mut stream, bytes, chunked, truncate).is_err() {
+        return Outcome::Closed;
+    }
+    read_outcome(&mut stream)
+}
+
+/// The script: every shape of traffic the servers must agree on.
+/// `(label, bytes, chunked, truncate)`.
+fn script() -> Vec<(&'static str, Vec<u8>, bool, bool)> {
+    vec![
+        ("bootstrap", encode_request(0, 0), false, false),
+        ("bootstrap chunked", encode_request(0, 0), true, false),
+        ("ahead of feed", encode_request(7, 0), false, false),
+        ("pinned checkpoint", encode_request(0, 1), false, false),
+        (
+            "bad magic",
+            b"XXXX\x10\x00\x00\x00aaaaaaaaaaaaaaaa".to_vec(),
+            false,
+            true,
+        ),
+        (
+            "bad body length",
+            b"RSFQ\x08\x00\x00\x00aaaaaaaa".to_vec(),
+            false,
+            true,
+        ),
+        (
+            "oversized length",
+            b"RSFQ\xff\xff\xff\xffaaaaaaaa".to_vec(),
+            false,
+            true,
+        ),
+        ("truncated header", b"RS".to_vec(), false, true),
+        (
+            "truncated body",
+            encode_request(0, 0)[..12].to_vec(),
+            false,
+            true,
+        ),
+        (
+            "garbage tail",
+            b"RSFQ\x10\x00\x00\x00".to_vec(),
+            false,
+            true,
+        ),
+    ]
+}
+
+#[test]
+fn thread_server_and_node_are_byte_identical() {
+    let (pub_thread, pub_node, mut store) = twin_publishers();
+    let server = FeedSocketServer::spawn(pub_thread, socket_path("thread")).unwrap();
+    let node = FeedDistributionNode::spawn_with(pub_node, socket_path("node"), 2, 2).unwrap();
+
+    let compare = |phase: &str| {
+        let mut thread_replies = Vec::new();
+        for (label, bytes, chunked, truncate) in script() {
+            let a = exchange(server.socket_path(), &bytes, chunked, truncate);
+            let b = exchange(node.socket_path(), &bytes, chunked, truncate);
+            assert_eq!(a, b, "{phase}: outcome diverged on step `{label}`");
+            if let Outcome::Reply(frame) = a {
+                thread_replies.push(frame);
+            }
+        }
+        thread_replies
+    };
+
+    // Phase 1: the fresh feed (snapshot-only history).
+    let fresh_replies = compare("fresh feed");
+    assert!(!fresh_replies.is_empty(), "script must elicit real replies");
+
+    // Advance both publishers through the identical mutation.
+    let fp = *store.iter().next().unwrap().0;
+    store.distrust(fp, "incident");
+    for publisher in [server.publisher(), node.publisher()] {
+        publisher.lock().unwrap().publish(&store, 100).unwrap();
+    }
+
+    // Phase 2: post-delta history (messages, proofs over a grown log).
+    let delta_replies = compare("post-delta feed");
+    assert_ne!(
+        fresh_replies, delta_replies,
+        "the delta must actually change the wire responses"
+    );
+
+    // Keep-alive pipelining is the node's extension, but the bytes per
+    // request must still match the thread server's one-shot replies.
+    let mut stream = UnixStream::connect(node.socket_path()).unwrap();
+    for (label, bytes, chunked, truncate) in script() {
+        if truncate {
+            continue; // close-provoking steps end a connection
+        }
+        send_request(&mut stream, &bytes, chunked, false).unwrap();
+        let node_reply = read_outcome(&mut stream);
+        let thread_reply = exchange(server.socket_path(), &bytes, false, false);
+        assert_eq!(
+            node_reply, thread_reply,
+            "keep-alive reply diverged on step `{label}`"
+        );
+    }
+}
+
+/// The verified path agrees too: a real subscriber synced against each
+/// server converges on the same store, sequence, and pinned checkpoint.
+#[test]
+fn subscribers_converge_identically_on_both_servers() {
+    let (pub_thread, pub_node, mut store) = twin_publishers();
+    let server = FeedSocketServer::spawn(pub_thread, socket_path("conv-thread")).unwrap();
+    let node = FeedDistributionNode::spawn_with(pub_node, socket_path("conv-node"), 2, 2).unwrap();
+
+    let trust = || {
+        let coordinator = CoordinatorKey::from_seed([7; 32], 4).unwrap();
+        FeedTrust::single(coordinator.public())
+    };
+    let mut on_thread = Subscriber::builder("a", trust()).connect(server.socket_path());
+    let mut on_node = Subscriber::builder("b", trust()).connect(node.socket_path());
+
+    assert!(on_thread.sync(0).unwrap().report.snapshot_applied);
+    assert!(on_node.sync(0).unwrap().report.snapshot_applied);
+
+    let fp = *store.iter().next().unwrap().0;
+    store.distrust(fp, "incident");
+    for publisher in [server.publisher(), node.publisher()] {
+        publisher.lock().unwrap().publish(&store, 100).unwrap();
+    }
+    assert_eq!(on_thread.sync(10).unwrap().report.deltas_applied, 1);
+    assert_eq!(on_node.sync(10).unwrap().report.deltas_applied, 1);
+
+    assert_eq!(on_thread.sequence(), on_node.sequence());
+    // Neither RootStore nor Checkpoint is PartialEq; their canonical
+    // wire encodings are the comparison the feed layer itself trusts.
+    let canonical =
+        |s: &nrslb_rootstore::RootStore| nrslb_rsf::Snapshot::capture("cmp", 0, 0, s).encode();
+    assert_eq!(canonical(on_thread.store()), canonical(on_node.store()));
+    assert_eq!(
+        on_thread
+            .subscriber()
+            .pinned_checkpoint()
+            .expect("thread-side checkpoint pinned")
+            .encode(),
+        on_node
+            .subscriber()
+            .pinned_checkpoint()
+            .expect("node-side checkpoint pinned")
+            .encode()
+    );
+}

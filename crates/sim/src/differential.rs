@@ -15,7 +15,9 @@
 //!    (behind, quarantined, or stale at the virtual instant).
 //! 4. **In-process vs platform execution** — on a strided subset of
 //!    samples, the same validation with GCC evaluation delegated to a
-//!    live trust daemon over IPC (default engine, keep-alive client);
+//!    live trust daemon over IPC (keep-alive client; respawns
+//!    alternate `Engine::Reactor` / `Engine::ThreadPool`, so the
+//!    reactor's fused inline cache-hit path is cross-checked too);
 //!    the two deployment modes must agree outcome-for-outcome.
 //! 5. **Incremental vs scratch Datalog maintenance** — after every
 //!    ecosystem event, the truth store's fact-level delta is applied
@@ -37,7 +39,7 @@
 
 use crate::chaingen::SampleChain;
 use crate::ecosystem::{Ecosystem, EcosystemConfig};
-use nrslb_core::daemon::{ephemeral_socket_path, DaemonClient, TrustDaemon};
+use nrslb_core::daemon::{ephemeral_socket_path, DaemonClient, Engine, TrustDaemon};
 use nrslb_core::{ValidationMode, ValidationSession, Validator, VerdictCache};
 use nrslb_datalog::{
     delta_fact, CompiledProgram, Database, IncrementalState, LayeredDatabase, MaintenancePolicy,
@@ -416,15 +418,25 @@ impl<'a> Oracle<'a> {
 
     /// A keep-alive client to a daemon serving the *current* truth
     /// store, respawning the daemon if truth moved since last time.
+    /// Respawns alternate engines by truth version (deterministic), so
+    /// the deployment-mode arm continuously cross-checks the reactor —
+    /// including its fused inline cache-hit path, which warm repeats
+    /// of a sampled chain exercise — against the thread pool.
     fn daemon_client(&mut self) -> Option<Arc<DaemonClient>> {
         if let Some((version, _, client)) = &self.daemon {
             if *version == self.truth_version {
                 return Some(Arc::clone(client));
             }
         }
+        let engine = if self.truth_version.is_multiple_of(2) {
+            Engine::Reactor
+        } else {
+            Engine::ThreadPool
+        };
         let daemon = TrustDaemon::builder()
             .socket(ephemeral_socket_path("sim-diff"))
             .workers(2)
+            .engine(engine)
             .spawn(self.truth.clone())
             .ok()?;
         let client = Arc::new(daemon.keep_alive_client());

@@ -11,11 +11,14 @@
 //!
 //! Semantics follow the real crate:
 //!
-//! * Interest is **oneshot**: after an event for a source is delivered,
-//!   the source stays registered but disarmed until [`Poller::modify`]
-//!   re-arms it. This makes per-connection state machines race-free by
-//!   construction — the reactor re-arms exactly the interest its state
-//!   wants next.
+//! * Interest is **oneshot** by default: after an event for a source is
+//!   delivered, the source stays registered but disarmed until
+//!   [`Poller::modify`] re-arms it. This makes per-connection state
+//!   machines race-free by construction — the reactor re-arms exactly
+//!   the interest its state wants next. [`Poller::modify_level`] opts a
+//!   source into *level-triggered* interest instead, for hot
+//!   request/reply connections where the per-delivery re-arm syscall is
+//!   the dominant cost.
 //! * [`Poller::notify`] wakes a concurrent [`Poller::wait`] from any
 //!   thread (a self-socketpair under the hood); the wakeup is consumed
 //!   internally and never surfaces as a caller-visible [`Event`].
@@ -128,7 +131,26 @@ impl Poller {
                 "key usize::MAX is reserved for the notify waker",
             ));
         }
-        self.backend.rearm(source.as_raw_fd(), interest)
+        self.backend.rearm(source.as_raw_fd(), interest, true)
+    }
+
+    /// Re-arm (or change) a registered source with *level-triggered*
+    /// interest: deliveries do not disarm it, so events keep arriving
+    /// whenever the condition holds, with no re-arm call in between.
+    /// This trades the oneshot mode's race-freedom-by-construction for
+    /// one fewer syscall per delivery — callers must be prepared for
+    /// events on a source whose state machine has since moved on, and
+    /// must switch back to [`Poller::modify`] (or disarm with
+    /// [`Event::none`]) before any state where a delivery would be
+    /// acted on incorrectly.
+    pub fn modify_level(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key usize::MAX is reserved for the notify waker",
+            ));
+        }
+        self.backend.rearm(source.as_raw_fd(), interest, false)
     }
 
     /// Remove a source from the poller entirely.
@@ -255,9 +277,9 @@ mod backend {
             Ok(())
         }
 
-        pub(super) fn rearm(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+        pub(super) fn rearm(&self, fd: RawFd, interest: Event, oneshot: bool) -> io::Result<()> {
             let mut ev = EpollEvent {
-                events: mask_of(interest, true),
+                events: mask_of(interest, oneshot),
                 data: interest.key as u64,
             };
             cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, fd, &mut ev) })?;
@@ -375,12 +397,13 @@ mod backend {
             Ok(())
         }
 
-        pub(super) fn rearm(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+        pub(super) fn rearm(&self, fd: RawFd, interest: Event, oneshot: bool) -> io::Result<()> {
             match self.table.lock().unwrap().get_mut(&fd) {
                 Some(reg) => {
                     reg.key = interest.key;
                     reg.readable = interest.readable;
                     reg.writable = interest.writable;
+                    reg.oneshot = oneshot;
                     Ok(())
                 }
                 None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
@@ -470,6 +493,34 @@ mod tests {
         assert_eq!(poller.wait(&mut events, SHORT).unwrap(), 0);
         poller.modify(&rx, Event::readable(7)).unwrap();
         assert_eq!(poller.wait(&mut events, SHORT).unwrap(), 1);
+    }
+
+    #[test]
+    fn level_interest_redelivers_without_rearm() {
+        let poller = Poller::new().unwrap();
+        let (mut tx, mut rx) = UnixStream::pair().unwrap();
+        rx.set_nonblocking(true).unwrap();
+        poller.add(&rx, Event::readable(5)).unwrap();
+        poller.modify_level(&rx, Event::readable(5)).unwrap();
+
+        let mut events = Vec::new();
+        for round in 0..3 {
+            tx.write_all(b"x").unwrap();
+            // Level mode: every round is delivered with no modify call.
+            assert_eq!(poller.wait(&mut events, SHORT).unwrap(), 1, "round {round}");
+            assert_eq!(events[0].key, 5);
+            assert!(events[0].readable);
+            let mut buf = [0u8; 8];
+            assert_eq!(rx.read(&mut buf).unwrap(), 1);
+        }
+        // Buffer drained: level interest goes quiet until new bytes.
+        assert_eq!(poller.wait(&mut events, SHORT).unwrap(), 0);
+
+        // Switching back to oneshot restores disarm-on-delivery.
+        poller.modify(&rx, Event::readable(5)).unwrap();
+        tx.write_all(b"xx").unwrap();
+        assert_eq!(poller.wait(&mut events, SHORT).unwrap(), 1);
+        assert_eq!(poller.wait(&mut events, SHORT).unwrap(), 0);
     }
 
     #[test]
